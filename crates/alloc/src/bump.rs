@@ -1,0 +1,91 @@
+//! Sequential (bump) allocator.
+//!
+//! Backs the sequential-write service (paper §8): "a worker first needs to
+//! configure the locality set to use a sequential allocator to allocate
+//! bytes from the page's host memory sequentially". Allocation is a pointer
+//! bump; individual frees are unsupported — the whole region is reclaimed at
+//! once, which is exactly the paper's observation about why Pangea deletes
+//! data so cheaply ("we can deallocate data belonging to the same block at
+//! once", §9.2.1).
+
+/// A bump allocator over `[0, capacity)`.
+#[derive(Debug, Clone)]
+pub struct BumpAllocator {
+    capacity: usize,
+    cursor: usize,
+}
+
+impl BumpAllocator {
+    /// Creates a bump allocator for a region of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            cursor: 0,
+        }
+    }
+
+    /// Allocates `size` bytes, returning the offset, or `None` if the region
+    /// is exhausted.
+    #[inline]
+    pub fn alloc(&mut self, size: usize) -> Option<usize> {
+        if size == 0 || self.cursor + size > self.capacity {
+            return None;
+        }
+        let off = self.cursor;
+        self.cursor += size;
+        Some(off)
+    }
+
+    /// Bytes handed out so far.
+    #[inline]
+    pub fn used(&self) -> usize {
+        self.cursor
+    }
+
+    /// Bytes still available.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.cursor
+    }
+
+    /// Total region size.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Reclaims the whole region at once.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_is_sequential_and_exact() {
+        let mut b = BumpAllocator::new(100);
+        assert_eq!(b.alloc(40), Some(0));
+        assert_eq!(b.alloc(60), Some(40));
+        assert_eq!(b.alloc(1), None);
+        assert_eq!(b.used(), 100);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn reset_reclaims_everything() {
+        let mut b = BumpAllocator::new(64);
+        assert!(b.alloc(64).is_some());
+        b.reset();
+        assert_eq!(b.alloc(64), Some(0));
+    }
+
+    #[test]
+    fn zero_size_allocs_are_rejected() {
+        let mut b = BumpAllocator::new(8);
+        assert_eq!(b.alloc(0), None);
+    }
+}

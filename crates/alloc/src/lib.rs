@@ -1,0 +1,92 @@
+//! # pangea-alloc
+//!
+//! Offset-based pool allocators for Pangea's shared-memory buffer pool and
+//! its in-page data structures.
+//!
+//! The paper (§5) manages each node's RAM as one large shared-memory region
+//! and carves variable-sized pages out of it with a pool allocator. Two
+//! allocators are supported, exactly as in the paper:
+//!
+//! * the **two-level segregated fit (TLSF)** allocator — the default,
+//!   "because it is more space-efficient for allocating variable-sized pages
+//!   from the shared memory", and
+//! * the **Memcached slab allocator** — also reused as the *secondary* data
+//!   allocator inside hash-service pages (§8), where each page hosts an
+//!   independent hash table whose entries are slab-allocated from the page's
+//!   own memory.
+//!
+//! A third, trivial allocator — the **sequential (bump) allocator** — backs
+//! the sequential-write service (§8).
+//!
+//! All allocators here hand out *offsets* into an arena they do not own.
+//! Keeping the metadata in side tables (instead of headers inside the arena)
+//! costs a little memory but keeps the allocators safe Rust and lets the same
+//! implementation manage a buffer-pool arena, a single page, or a simulated
+//! off-heap region.
+
+pub mod bump;
+pub mod slab;
+pub mod tlsf;
+
+pub use bump::BumpAllocator;
+pub use slab::SlabAllocator;
+pub use tlsf::TlsfAllocator;
+
+/// A pool allocator that places variable-sized blocks inside an arena
+/// `[0, capacity)` and can release them again.
+///
+/// The buffer pool is generic over this trait so TLSF and slab allocation
+/// can be compared (paper §5 discusses both).
+pub trait PoolAllocator: Send + std::fmt::Debug {
+    /// Allocates `size` bytes, returning the block's offset, or `None` when
+    /// the arena cannot satisfy the request.
+    fn alloc(&mut self, size: usize) -> Option<usize>;
+
+    /// Frees the block previously returned at `offset`.
+    ///
+    /// # Panics
+    /// Implementations panic on double-free or on offsets they never
+    /// handed out — these are internal-logic errors, never data errors.
+    fn free(&mut self, offset: usize);
+
+    /// Total arena size in bytes.
+    fn capacity(&self) -> usize;
+
+    /// Bytes currently allocated (including internal rounding).
+    fn used(&self) -> usize;
+
+    /// Largest single allocation that could currently succeed.
+    ///
+    /// Used by the paging system to decide whether more eviction is needed
+    /// before retrying an allocation.
+    fn largest_free_block(&self) -> usize;
+}
+
+/// Picks between the two buffer-pool allocators by name.
+///
+/// `"tlsf"` (the default) or `"slab"`, mirroring the paper's configuration
+/// choice.
+pub fn allocator_by_name(
+    name: &str,
+    capacity: usize,
+) -> pangea_common::Result<Box<dyn PoolAllocator>> {
+    match name {
+        "tlsf" => Ok(Box::new(TlsfAllocator::new(capacity))),
+        "slab" => Ok(Box::new(SlabAllocator::new(capacity))),
+        other => Err(pangea_common::PangeaError::config(format!(
+            "unknown allocator '{other}' (expected 'tlsf' or 'slab')"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_by_name_selects_and_rejects() {
+        assert!(allocator_by_name("tlsf", 1 << 16).is_ok());
+        assert!(allocator_by_name("slab", 1 << 16).is_ok());
+        assert!(allocator_by_name("jemalloc", 1 << 16).is_err());
+    }
+}

@@ -1,0 +1,461 @@
+//! Two-Level Segregated Fit allocator (Masmano et al., ECRTS 2004).
+//!
+//! TLSF keeps free blocks in `FL × SL` segregated lists: the first level
+//! partitions sizes by power of two, the second level splits each power-of-
+//! two range into `SL_COUNT` linear sub-ranges. Both levels are indexed by
+//! bitmaps, so finding a fitting block, splitting it, and coalescing on free
+//! are all O(1) in the number of blocks.
+//!
+//! This implementation manages *offsets* in an external arena; block
+//! metadata lives in a side table instead of in-band headers, which keeps
+//! the allocator 100 % safe Rust. Physical adjacency (for coalescing) is
+//! tracked with explicit `prev`/`next` offsets per block.
+
+use crate::PoolAllocator;
+use pangea_common::FxHashMap;
+
+/// Allocation granularity and minimum block size. 64 B keeps per-block
+/// metadata overhead negligible for page-sized allocations while still
+/// serving small in-page requests.
+const ALIGN: usize = 64;
+/// log2 of `ALIGN`.
+const ALIGN_LOG2: u32 = ALIGN.trailing_zeros();
+/// Number of second-level subdivisions per first-level class (2^5 = 32).
+const SL_LOG2: u32 = 5;
+const SL_COUNT: usize = 1 << SL_LOG2;
+/// First-level classes cover sizes up to 2^(FL_COUNT + ALIGN_LOG2).
+const FL_COUNT: usize = 40;
+
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    size: usize,
+    free: bool,
+    /// Offset of the physically previous block, if any.
+    prev_phys: Option<usize>,
+    /// Offset of the physically next block, if any.
+    next_phys: Option<usize>,
+}
+
+/// The TLSF allocator. See module docs.
+#[derive(Debug)]
+pub struct TlsfAllocator {
+    capacity: usize,
+    used: usize,
+    blocks: FxHashMap<usize, Block>,
+    /// free_lists[fl][sl] holds offsets of free blocks in that class.
+    free_lists: Vec<[Vec<usize>; SL_COUNT]>,
+    /// Bitmap of first levels with any free block.
+    fl_bitmap: u64,
+    /// Per-first-level bitmap of non-empty second-level lists.
+    sl_bitmaps: Vec<u32>,
+}
+
+/// Maps a size to its (fl, sl) class for *storing* a free block.
+#[inline]
+fn mapping(size: usize) -> (usize, usize) {
+    debug_assert!(size >= ALIGN);
+    let fl = (usize::BITS - 1 - size.leading_zeros()) as usize;
+    let fl_index = fl - ALIGN_LOG2 as usize;
+    // The SL index is taken from the bits just below the leading one.
+    let sl = if fl <= (SL_LOG2 + ALIGN_LOG2) as usize {
+        // Small sizes: subdivide linearly by ALIGN.
+        (size >> ALIGN_LOG2) & (SL_COUNT - 1)
+    } else {
+        (size >> (fl as u32 - SL_LOG2)) & (SL_COUNT - 1)
+    };
+    (fl_index.min(FL_COUNT - 1), sl)
+}
+
+impl TlsfAllocator {
+    /// Creates an allocator managing `[0, capacity)`. Capacity is rounded
+    /// down to the alignment granule.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity / ALIGN * ALIGN;
+        let mut a = Self {
+            capacity,
+            used: 0,
+            blocks: FxHashMap::default(),
+            free_lists: (0..FL_COUNT).map(|_| std::array::from_fn(|_| Vec::new())).collect(),
+            fl_bitmap: 0,
+            sl_bitmaps: vec![0; FL_COUNT],
+        };
+        if capacity >= ALIGN {
+            a.blocks.insert(
+                0,
+                Block {
+                    size: capacity,
+                    free: true,
+                    prev_phys: None,
+                    next_phys: None,
+                },
+            );
+            a.push_free(0, capacity);
+        }
+        a
+    }
+
+    #[inline]
+    fn push_free(&mut self, offset: usize, size: usize) {
+        let (fl, sl) = mapping(size);
+        self.free_lists[fl][sl].push(offset);
+        self.fl_bitmap |= 1 << fl;
+        self.sl_bitmaps[fl] |= 1 << sl;
+    }
+
+    fn remove_free(&mut self, offset: usize, size: usize) {
+        let (fl, sl) = mapping(size);
+        let list = &mut self.free_lists[fl][sl];
+        let pos = list
+            .iter()
+            .position(|&o| o == offset)
+            .expect("free block missing from its segregated list");
+        list.swap_remove(pos);
+        if list.is_empty() {
+            self.sl_bitmaps[fl] &= !(1 << sl);
+            if self.sl_bitmaps[fl] == 0 {
+                self.fl_bitmap &= !(1 << fl);
+            }
+        }
+    }
+
+    /// Finds a free list guaranteed to hold blocks of at least `size`.
+    fn find_fit(&self, size: usize) -> Option<(usize, usize)> {
+        let (fl, sl) = mapping(size);
+        // Within the same fl, only strictly-larger sl classes are guaranteed
+        // to fit (blocks in (fl, sl) itself may be smaller than `size`).
+        let sl_mask = if sl + 1 >= SL_COUNT {
+            0
+        } else {
+            self.sl_bitmaps[fl] & !((1u32 << (sl + 1)) - 1)
+        };
+        if sl_mask != 0 {
+            return Some((fl, sl_mask.trailing_zeros() as usize));
+        }
+        // Otherwise take the smallest block from any higher fl class.
+        let fl_mask = self.fl_bitmap & !((1u64 << (fl + 1)) - 1);
+        if fl_mask == 0 {
+            // Fall back to exact-class search: a block in (fl, sl) might
+            // still fit exactly.
+            let list = &self.free_lists[fl][sl];
+            if list.iter().any(|&o| self.blocks[&o].size >= size) {
+                return Some((fl, sl));
+            }
+            return None;
+        }
+        let fl2 = fl_mask.trailing_zeros() as usize;
+        let sl2 = self.sl_bitmaps[fl2].trailing_zeros() as usize;
+        Some((fl2, sl2))
+    }
+}
+
+impl PoolAllocator for TlsfAllocator {
+    fn alloc(&mut self, size: usize) -> Option<usize> {
+        if size == 0 {
+            return None;
+        }
+        let size = size.div_ceil(ALIGN) * ALIGN;
+        if size > self.capacity {
+            return None;
+        }
+        let (fl, sl) = self.find_fit(size)?;
+        // Pick a block from the class that actually fits (classes can hold a
+        // small size range, so verify).
+        let offset = {
+            let list = &self.free_lists[fl][sl];
+            *list.iter().find(|&&o| self.blocks[&o].size >= size)?
+        };
+        let block = self.blocks[&offset];
+        debug_assert!(block.free);
+        self.remove_free(offset, block.size);
+
+        let remainder = block.size - size;
+        if remainder >= ALIGN {
+            // Split: [offset, offset+size) allocated, tail stays free.
+            let tail_off = offset + size;
+            let tail = Block {
+                size: remainder,
+                free: true,
+                prev_phys: Some(offset),
+                next_phys: block.next_phys,
+            };
+            if let Some(next) = block.next_phys {
+                self.blocks.get_mut(&next).unwrap().prev_phys = Some(tail_off);
+            }
+            self.blocks.insert(tail_off, tail);
+            self.push_free(tail_off, remainder);
+            let b = self.blocks.get_mut(&offset).unwrap();
+            b.size = size;
+            b.free = false;
+            b.next_phys = Some(tail_off);
+            self.used += size;
+        } else {
+            let b = self.blocks.get_mut(&offset).unwrap();
+            b.free = false;
+            self.used += block.size;
+        }
+        Some(offset)
+    }
+
+    fn free(&mut self, offset: usize) {
+        let block = *self
+            .blocks
+            .get(&offset)
+            .expect("free() of unknown offset");
+        assert!(!block.free, "double free at offset {offset}");
+        self.used -= block.size;
+
+        let mut start = offset;
+        let mut size = block.size;
+        let mut prev_phys = block.prev_phys;
+        let mut next_phys = block.next_phys;
+
+        // Coalesce with the physically previous block if it is free.
+        if let Some(prev_off) = block.prev_phys {
+            let prev = self.blocks[&prev_off];
+            if prev.free {
+                self.remove_free(prev_off, prev.size);
+                self.blocks.remove(&start);
+                start = prev_off;
+                size += prev.size;
+                prev_phys = prev.prev_phys;
+            }
+        }
+        // Coalesce with the physically next block if it is free.
+        if let Some(next_off) = next_phys {
+            let next = self.blocks[&next_off];
+            if next.free {
+                self.remove_free(next_off, next.size);
+                self.blocks.remove(&next_off);
+                size += next.size;
+                next_phys = next.next_phys;
+            }
+        }
+        if let Some(n) = next_phys {
+            self.blocks.get_mut(&n).unwrap().prev_phys = Some(start);
+        }
+        self.blocks.insert(
+            start,
+            Block {
+                size,
+                free: true,
+                prev_phys,
+                next_phys,
+            },
+        );
+        self.push_free(start, size);
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn used(&self) -> usize {
+        self.used
+    }
+
+    fn largest_free_block(&self) -> usize {
+        let mut best = 0;
+        let mut fl_bits = self.fl_bitmap;
+        while fl_bits != 0 {
+            let fl = 63 - fl_bits.leading_zeros() as usize;
+            for sl in (0..SL_COUNT).rev() {
+                if self.sl_bitmaps[fl] & (1 << sl) != 0 {
+                    for &o in &self.free_lists[fl][sl] {
+                        best = best.max(self.blocks[&o].size);
+                    }
+                }
+            }
+            if best > 0 {
+                // Highest fl class holds the largest blocks; done.
+                return best;
+            }
+            fl_bits &= !(1 << fl);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_invariants(a: &TlsfAllocator) {
+        // Walk the physical chain from offset 0; blocks must tile the arena.
+        if a.capacity == 0 {
+            return;
+        }
+        let mut off = 0usize;
+        let mut total = 0usize;
+        let mut used = 0usize;
+        let mut prev: Option<usize> = None;
+        loop {
+            let b = a.blocks.get(&off).expect("broken physical chain");
+            assert_eq!(b.prev_phys, prev, "prev link broken at {off}");
+            total += b.size;
+            if !b.free {
+                used += b.size;
+            }
+            prev = Some(off);
+            match b.next_phys {
+                Some(n) => {
+                    assert_eq!(n, off + b.size, "next link not adjacent at {off}");
+                    off = n;
+                }
+                None => break,
+            }
+        }
+        assert_eq!(total, a.capacity, "blocks must tile the arena");
+        assert_eq!(used, a.used, "used-bytes accounting drifted");
+    }
+
+    #[test]
+    fn simple_alloc_free_cycle() {
+        let mut a = TlsfAllocator::new(1 << 20);
+        let x = a.alloc(1000).unwrap();
+        let y = a.alloc(2000).unwrap();
+        assert_ne!(x, y);
+        check_invariants(&a);
+        a.free(x);
+        check_invariants(&a);
+        a.free(y);
+        check_invariants(&a);
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.largest_free_block(), a.capacity());
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut a = TlsfAllocator::new(1 << 20);
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        for size in [100usize, 4096, 64, 333, 8192, 1, 65, 5000] {
+            let off = a.alloc(size).unwrap();
+            for &(o, s) in &spans {
+                assert!(
+                    off + size <= o || o + s <= off,
+                    "overlap: [{off},{}) vs [{o},{})",
+                    off + size,
+                    o + s
+                );
+            }
+            spans.push((off, size));
+        }
+        check_invariants(&a);
+    }
+
+    #[test]
+    fn exhaustion_returns_none_not_panic() {
+        let mut a = TlsfAllocator::new(4096);
+        let mut got = Vec::new();
+        while let Some(o) = a.alloc(512) {
+            got.push(o);
+        }
+        assert_eq!(got.len(), 8);
+        assert!(a.alloc(64).is_none());
+        for o in got {
+            a.free(o);
+        }
+        assert_eq!(a.used(), 0);
+        check_invariants(&a);
+    }
+
+    #[test]
+    fn coalescing_reassembles_the_arena() {
+        let mut a = TlsfAllocator::new(1 << 16);
+        let offs: Vec<usize> = (0..16).map(|_| a.alloc(4096).unwrap()).collect();
+        // Free in an interleaved order to exercise both merge directions.
+        for &o in offs.iter().step_by(2) {
+            a.free(o);
+        }
+        for &o in offs.iter().skip(1).step_by(2) {
+            a.free(o);
+        }
+        check_invariants(&a);
+        assert_eq!(a.largest_free_block(), a.capacity());
+        // The whole arena must be allocatable as one block again.
+        let big = a.alloc(a.capacity()).unwrap();
+        assert_eq!(big, 0);
+    }
+
+    #[test]
+    fn zero_and_oversized_requests_fail_cleanly() {
+        let mut a = TlsfAllocator::new(4096);
+        assert!(a.alloc(0).is_none());
+        assert!(a.alloc(8192).is_none());
+        assert!(a.alloc(4096).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = TlsfAllocator::new(4096);
+        let o = a.alloc(64).unwrap();
+        a.free(o);
+        a.free(o);
+    }
+
+    #[test]
+    fn reuse_prefers_freed_space() {
+        let mut a = TlsfAllocator::new(1 << 16);
+        let first = a.alloc(1 << 15).unwrap();
+        let _second = a.alloc(1 << 14).unwrap();
+        a.free(first);
+        // A same-size request must fit again (no leak of the freed range).
+        let again = a.alloc(1 << 15).unwrap();
+        assert_eq!(again, first);
+    }
+
+    #[test]
+    fn variable_sizes_fill_most_of_arena() {
+        // TLSF's selling point in the paper: space efficiency for
+        // variable-sized pages. Check fill ratio ≥ 90 % for a mixed load.
+        let mut a = TlsfAllocator::new(1 << 22);
+        let sizes = [64 * 1024, 17 * 1024, 4096, 256 * 1024, 1024, 96 * 1024];
+        let mut i = 0;
+        let mut allocated = 0usize;
+        while let Some(_o) = a.alloc(sizes[i % sizes.len()]) {
+            allocated += sizes[i % sizes.len()];
+            i += 1;
+        }
+        assert!(
+            allocated as f64 >= 0.90 * a.capacity() as f64,
+            "fill ratio too low: {} of {}",
+            allocated,
+            a.capacity()
+        );
+        check_invariants(&a);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn random_alloc_free_holds_invariants(
+                ops in proptest::collection::vec((any::<bool>(), 1usize..32 * 1024), 1..200)
+            ) {
+                let mut a = TlsfAllocator::new(1 << 20);
+                let mut live: Vec<usize> = Vec::new();
+                for (do_alloc, size) in ops {
+                    if do_alloc || live.is_empty() {
+                        if let Some(off) = a.alloc(size) {
+                            live.push(off);
+                        }
+                    } else {
+                        let idx = size % live.len();
+                        let off = live.swap_remove(idx);
+                        a.free(off);
+                    }
+                    check_invariants(&a);
+                }
+                for off in live {
+                    a.free(off);
+                }
+                check_invariants(&a);
+                prop_assert_eq!(a.used(), 0);
+                prop_assert_eq!(a.largest_free_block(), a.capacity());
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Fig. 3 — k-means latency: Pangea (data-aware) vs the layered stacks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pangea_bench::fig3_4::{run_cell, Fig3Config};
+
+fn bench(c: &mut Criterion) {
+    let cfg = Fig3Config::quick();
+    let points = cfg.scales[0];
+    let mut g = c.benchmark_group("fig03_kmeans");
+    g.sample_size(10);
+    for system in ["pangea/data-aware", "pangea/lru", "spark/hdfs", "spark/ignite"] {
+        g.bench_function(system.replace('/', "_"), |b| {
+            b.iter(|| {
+                let (lat, _) = run_cell(&cfg, system, points);
+                assert!(!lat.outcome.is_failure(), "{lat:?}");
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 4 — k-means memory usage. Memory is a report, not a timing;
+//! this bench times the instrumented run and prints the peak-memory rows
+//! once so `cargo bench` output carries the figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pangea_bench::fig3_4::{run_cell, Fig3Config};
+
+fn bench(c: &mut Criterion) {
+    let cfg = Fig3Config::quick();
+    let points = cfg.scales[0];
+    for system in ["pangea/data-aware", "spark/hdfs", "spark/alluxio"] {
+        let (_, mem) = run_cell(&cfg, system, points);
+        println!("fig04 memory {system}: {}", mem.outcome);
+    }
+    let mut g = c.benchmark_group("fig04_memory");
+    g.sample_size(10);
+    g.bench_function("pangea_instrumented_run", |b| {
+        b.iter(|| run_cell(&cfg, "pangea/data-aware", points))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 5 — TPC-H query latency: Pangea (heterogeneous replicas) vs
+//! Spark-over-HDFS (query-time repartitioning).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pangea_bench::fig5_6::{build_engines, Fig5Config};
+use pangea_query::QueryId;
+
+fn bench(c: &mut Criterion) {
+    let (pangea, spark) = build_engines(&Fig5Config::quick());
+    // Warm Spark's RDD caches so iterations measure steady-state queries.
+    for q in QueryId::ALL {
+        spark.run(q).unwrap();
+    }
+    let mut g = c.benchmark_group("fig05_tpch");
+    g.sample_size(10);
+    for q in [QueryId::Q01, QueryId::Q06, QueryId::Q12, QueryId::Q17] {
+        g.bench_function(format!("pangea_{}", q.label()), |b| {
+            b.iter(|| pangea.run(q).unwrap())
+        });
+        g.bench_function(format!("spark_{}", q.label()), |b| {
+            b.iter(|| spark.run(q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

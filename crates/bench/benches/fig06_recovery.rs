@@ -1,0 +1,23 @@
+//! Fig. 6 — failure-recovery latency via heterogeneous replication.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pangea_bench::fig5_6::{run_recovery, Fig6Config};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06_recovery");
+    g.sample_size(10);
+    for nodes in [4u32, 8] {
+        g.bench_function(format!("recover_{nodes}_nodes"), |b| {
+            b.iter(|| {
+                run_recovery(&Fig6Config {
+                    node_counts: vec![nodes],
+                    sf: 0.0005,
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 7 — sequential access for transient data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pangea_bench::fig7_8_9::{pangea_seq, SeqConfig};
+use pangea_bench::bench_dir;
+use pangea_layered::{load_dataset, DataStore, SimAlluxio, VmObjectStore};
+
+fn bench(c: &mut Criterion) {
+    let cfg = SeqConfig::quick();
+    let n = cfg.scales[cfg.scales.len() - 1]; // the paging regime
+    let mut g = c.benchmark_group("fig07_seq_transient");
+    g.sample_size(10);
+    g.bench_function("pangea_write_back", |b| {
+        b.iter(|| pangea_seq("b-f7p", &cfg, n, 1, "data-aware", true).unwrap())
+    });
+    g.bench_function("os_vm", |b| {
+        b.iter(|| {
+            let mut s = VmObjectStore::new(cfg.memory, &bench_dir("b-f7v"), None).unwrap();
+            for i in 0..n {
+                s.write(format!("obj-{i:074}").as_bytes()).unwrap();
+            }
+            s.scan(|_| {}).unwrap();
+            s.clear();
+        })
+    });
+    g.bench_function("alluxio_in_memory_scale", |b| {
+        let objs: Vec<Vec<u8>> = (0..cfg.scales[0])
+            .map(|i| format!("obj-{i:074}").into_bytes())
+            .collect();
+        b.iter(|| {
+            let a = SimAlluxio::new(cfg.memory as u64);
+            load_dataset(&a, "seq", objs.iter().map(|o| o.as_slice())).unwrap();
+            a.scan("seq", &mut |_| Ok(())).unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

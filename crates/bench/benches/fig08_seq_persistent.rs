@@ -1,0 +1,38 @@
+//! Fig. 8 — sequential access for persistent data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pangea_bench::bench_dir;
+use pangea_bench::fig7_8_9::{pangea_seq, SeqConfig};
+use pangea_layered::{load_dataset, DataStore, OsFileSystem, SimHdfs};
+
+fn bench(c: &mut Criterion) {
+    let cfg = SeqConfig::quick();
+    let n = cfg.scales[0];
+    let objs: Vec<Vec<u8>> = (0..n).map(|i| format!("obj-{i:074}").into_bytes()).collect();
+    let mut g = c.benchmark_group("fig08_seq_persistent");
+    g.sample_size(10);
+    g.bench_function("pangea_write_through_1disk", |b| {
+        b.iter(|| pangea_seq("b-f8p1", &cfg, n, 1, "data-aware", false).unwrap())
+    });
+    g.bench_function("pangea_write_through_2disk", |b| {
+        b.iter(|| pangea_seq("b-f8p2", &cfg, n, 2, "data-aware", false).unwrap())
+    });
+    g.bench_function("hdfs_1disk", |b| {
+        b.iter(|| {
+            let h = SimHdfs::new(&bench_dir("b-f8h"), 1, 64 * 1024).unwrap();
+            load_dataset(&h, "seq", objs.iter().map(|o| o.as_slice())).unwrap();
+            h.scan("seq", &mut |_| Ok(())).unwrap();
+        })
+    });
+    g.bench_function("os_file", |b| {
+        b.iter(|| {
+            let f = OsFileSystem::new(&bench_dir("b-f8o"), cfg.memory).unwrap();
+            load_dataset(&f, "seq", objs.iter().map(|o| o.as_slice())).unwrap();
+            f.scan("seq", &mut |_| Ok(())).unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Fig. 9 — page-replacement strategies under sequential access.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pangea_bench::fig7_8_9::{pangea_seq, SeqConfig, FIG9_STRATEGIES};
+
+fn bench(c: &mut Criterion) {
+    let cfg = SeqConfig::quick();
+    let n = cfg.scales[cfg.scales.len() - 1]; // beyond-memory regime
+    let mut g = c.benchmark_group("fig09_paging_seq");
+    g.sample_size(10);
+    for strategy in FIG9_STRATEGIES {
+        g.bench_function(format!("{strategy}_write_back"), |b| {
+            b.iter(|| pangea_seq("b-f9", &cfg, n, 1, strategy, true).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

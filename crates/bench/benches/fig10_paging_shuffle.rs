@@ -1,0 +1,20 @@
+//! Fig. 10 — page-replacement strategies under shuffle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pangea_bench::tab3_fig10::{pangea_shuffle, ShuffleBenchConfig, FIG10_STRATEGIES};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ShuffleBenchConfig::quick();
+    let bytes = cfg.per_worker_bytes[cfg.per_worker_bytes.len() - 1]; // spilling
+    let mut g = c.benchmark_group("fig10_paging_shuffle");
+    g.sample_size(10);
+    for strategy in FIG10_STRATEGIES {
+        g.bench_function(strategy, |b| {
+            b.iter(|| pangea_shuffle("b-f10", &cfg, bytes, 1, strategy).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

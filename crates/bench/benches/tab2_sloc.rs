@@ -1,0 +1,16 @@
+//! Table 2 — SLOC break-down of the query processor (a report; printed
+//! once, with a trivial timing of the counter itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    for row in pangea_bench::sloc::run() {
+        println!("tab2 {}: {}", row.series, row.outcome);
+    }
+    c.bench_function("tab2_sloc_count", |b| {
+        b.iter(|| pangea_bench::sloc::run())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

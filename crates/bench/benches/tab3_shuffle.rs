@@ -1,0 +1,25 @@
+//! Table 3 — shuffle write/read: Pangea's shuffle service vs the
+//! C-implemented Spark shuffle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pangea_bench::tab3_fig10::{cspark_shuffle, pangea_shuffle, ShuffleBenchConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ShuffleBenchConfig::quick();
+    let bytes = cfg.per_worker_bytes[0];
+    let mut g = c.benchmark_group("tab3_shuffle");
+    g.sample_size(10);
+    g.bench_function("pangea_1disk", |b| {
+        b.iter(|| pangea_shuffle("b-t3p", &cfg, bytes, 1, "data-aware").unwrap())
+    });
+    g.bench_function("pangea_2disk", |b| {
+        b.iter(|| pangea_shuffle("b-t3p2", &cfg, bytes, 2, "data-aware").unwrap())
+    });
+    g.bench_function("c_spark_shuffle", |b| {
+        b.iter(|| cspark_shuffle("b-t3c", bytes).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

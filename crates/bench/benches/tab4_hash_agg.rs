@@ -1,0 +1,24 @@
+//! Table 4 — key-value aggregation: STL map vs Pangea hashmap vs Redis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pangea_bench::tab4::{pangea_agg, redis_agg, stl_agg, HashAggConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = HashAggConfig::quick();
+    let distinct = cfg.scales[0];
+    let mut g = c.benchmark_group("tab4_hash_agg");
+    g.sample_size(10);
+    g.bench_function("pangea_hashmap", |b| {
+        b.iter(|| pangea_agg("b-t4p", &cfg, distinct).unwrap())
+    });
+    g.bench_function("stl_unordered_map", |b| {
+        b.iter(|| stl_agg("b-t4s", &cfg, distinct).unwrap())
+    });
+    g.bench_function("redis", |b| {
+        b.iter(|| redis_agg(&cfg, distinct).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

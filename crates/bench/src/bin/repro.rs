@@ -1,0 +1,115 @@
+//! Regenerates every table and figure of the paper's evaluation section
+//! (§9) at the scaled-down sizes documented in DESIGN.md §2.
+//!
+//! Usage:
+//!   repro            # everything
+//!   repro fig3 fig4  # specific experiments
+//!   repro --quick    # the fast configurations the Criterion benches use
+//!
+//! Experiments: fig3 fig4 tab2 fig5 fig6 fig7 fig8 fig9 tab3 fig10 tab4
+
+use pangea_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
+
+    if want("fig3") || want("fig4") {
+        let cfg = if quick {
+            fig3_4::Fig3Config::quick()
+        } else {
+            fig3_4::Fig3Config::full()
+        };
+        let (fig3, fig4) = fig3_4::run(&cfg);
+        if want("fig3") {
+            print_rows("Fig. 3 — k-means latency (failed cases = gaps)", &fig3);
+        }
+        if want("fig4") {
+            print_rows("Fig. 4 — k-means peak memory usage", &fig4);
+        }
+    }
+    if want("tab2") {
+        print_rows("Table 2 — query processor SLOC break-down", &sloc::run());
+    }
+    if want("fig5") {
+        let cfg = if quick {
+            fig5_6::Fig5Config::quick()
+        } else {
+            fig5_6::Fig5Config::full()
+        };
+        print_rows("Fig. 5 — TPC-H latency, Pangea vs Spark/HDFS", &fig5_6::run(&cfg));
+    }
+    if want("fig6") {
+        let cfg = if quick {
+            fig5_6::Fig6Config::quick()
+        } else {
+            fig5_6::Fig6Config::full()
+        };
+        print_rows(
+            "Fig. 6 — recovery latency & colliding ratio vs cluster size",
+            &fig5_6::run_recovery(&cfg),
+        );
+    }
+    let seq_cfg = if quick {
+        fig7_8_9::SeqConfig::quick()
+    } else {
+        fig7_8_9::SeqConfig::full()
+    };
+    if want("fig7") {
+        print_rows(
+            "Fig. 7 — sequential access, transient data",
+            &fig7_8_9::run_fig7(&seq_cfg),
+        );
+        let top = seq_cfg.scales[seq_cfg.scales.len() - 1];
+        if let Ok((pangea, osvm)) = fig7_8_9::pageout_bytes(&seq_cfg, top) {
+            println!(
+                "  page-out bytes at {top} objects: pangea {pangea} vs OS VM {osvm} \
+                 ({:.1}x)",
+                osvm as f64 / pangea.max(1) as f64
+            );
+        }
+    }
+    if want("fig8") {
+        print_rows(
+            "Fig. 8 — sequential access, persistent data",
+            &fig7_8_9::run_fig8(&seq_cfg),
+        );
+    }
+    if want("fig9") {
+        print_rows(
+            "Fig. 9 — page replacement for sequential access",
+            &fig7_8_9::run_fig9(&seq_cfg),
+        );
+    }
+    let sh_cfg = if quick {
+        tab3_fig10::ShuffleBenchConfig::quick()
+    } else {
+        tab3_fig10::ShuffleBenchConfig::full()
+    };
+    if want("tab3") {
+        print_rows(
+            "Table 3 — shuffle write/read latency",
+            &tab3_fig10::run_tab3(&sh_cfg),
+        );
+    }
+    if want("fig10") {
+        print_rows(
+            "Fig. 10 — page replacement under shuffle",
+            &tab3_fig10::run_fig10(&sh_cfg),
+        );
+    }
+    if want("tab4") {
+        let cfg = if quick {
+            tab4::HashAggConfig::quick()
+        } else {
+            tab4::HashAggConfig::full()
+        };
+        print_rows("Table 4 — key-value aggregation", &tab4::run(&cfg));
+    }
+}

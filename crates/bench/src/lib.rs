@@ -1,0 +1,17 @@
+//! # pangea-bench
+//!
+//! The reproduction harness: one runner module per paper table/figure
+//! (see DESIGN.md §4 for the experiment index), a shared row/report
+//! format, and the `repro` binary that prints every row the paper
+//! reports. The Criterion benches under `benches/` call the same
+//! runners with quick configurations.
+
+pub mod fig3_4;
+pub mod fig5_6;
+pub mod fig7_8_9;
+pub mod report;
+pub mod sloc;
+pub mod tab3_fig10;
+pub mod tab4;
+
+pub use report::{bench_dir, print_rows, Outcome, Row};

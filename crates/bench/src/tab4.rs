@@ -1,0 +1,159 @@
+//! Table 4 (key–value aggregation): STL `unordered_map` vs the Pangea
+//! hashmap (virtual hash buffer) vs Redis.
+//!
+//! Paper setup (§9.2.3): aggregate 50–300 M random `<string,int>` pairs
+//! following the incise.org benchmark. The STL map starts swapping
+//! virtual memory at 200 M keys (47 s → 7657 s); the Pangea hashmap
+//! only starts spilling at 300 M; Redis pays a round trip per operation
+//! and fails outright at 300 M.
+//!
+//! Scaled here: distinct-key counts swept against fixed memory budgets
+//! chosen so the same three regimes appear — STL thrashes first (its
+//! allocator wastes more), Pangea spills gracefully, Redis hits
+//! `maxmemory` at the top scale.
+
+use crate::report::{bench_dir, Outcome, Row};
+use pangea_common::{Result, KB};
+use pangea_core::{counting_hash_buffer, HashConfig, NodeConfig, StorageNode};
+use pangea_layered::{RedisLike, StlVmMap};
+use std::time::Instant;
+
+/// Aggregation experiment parameters.
+#[derive(Debug, Clone)]
+pub struct HashAggConfig {
+    /// Distinct-key counts to sweep.
+    pub scales: Vec<usize>,
+    /// Pangea pool bytes.
+    pub pangea_memory: usize,
+    /// STL process memory budget (smaller effective capacity: the STL
+    /// node allocator wastes more per entry, as the paper observes).
+    pub stl_budget: u64,
+    /// Redis `maxmemory`.
+    pub redis_budget: u64,
+}
+
+impl HashAggConfig {
+    /// Quick configuration.
+    pub fn quick() -> Self {
+        Self {
+            scales: vec![2_000, 8_000],
+            pangea_memory: 512 * KB,
+            stl_budget: 256 * KB as u64,
+            redis_budget: 512 * KB as u64,
+        }
+    }
+
+    /// Fuller sweep mirroring the paper's six scale points.
+    pub fn full() -> Self {
+        Self {
+            scales: vec![5_000, 10_000, 15_000, 20_000, 25_000, 30_000],
+            pangea_memory: 1_024 * KB,
+            stl_budget: 768 * KB as u64,
+            redis_budget: 1_024 * KB as u64,
+        }
+    }
+}
+
+fn key(i: usize, distinct: usize) -> Vec<u8> {
+    // Two inserts per distinct key on average (aggregation happens).
+    format!("key-{:09}", i % distinct).into_bytes()
+}
+
+/// Pangea hashmap run.
+pub fn pangea_agg(tag: &str, cfg: &HashAggConfig, distinct: usize) -> Result<f64> {
+    let node = StorageNode::new(
+        NodeConfig::new(bench_dir(tag))
+            .with_pool_capacity(cfg.pangea_memory)
+            .with_page_size(16 * KB),
+    )?;
+    let t = Instant::now();
+    // The paper initializes the hashmap with 200 root partitions.
+    let mut h = counting_hash_buffer(&node, "agg", HashConfig::new(16))?;
+    for i in 0..distinct * 2 {
+        h.insert_merge(&key(i, distinct), 1)?;
+    }
+    let out = h.finalize()?;
+    debug_assert_eq!(out.len(), distinct);
+    std::hint::black_box(out.len());
+    Ok(t.elapsed().as_secs_f64())
+}
+
+/// Swap-device bandwidth for the STL baseline: page faults must cost
+/// real time for the paper's 47 s → 7 657 s blow-up regime to appear.
+const STL_SWAP_BW: u64 = 200 * pangea_common::MB as u64;
+
+/// STL `unordered_map` run.
+pub fn stl_agg(tag: &str, cfg: &HashAggConfig, distinct: usize) -> Result<f64> {
+    let mut m = StlVmMap::new(cfg.stl_budget, &bench_dir(tag), Some(STL_SWAP_BW))?;
+    let t = Instant::now();
+    for i in 0..distinct * 2 {
+        m.merge(&key(i, distinct), 1)?;
+    }
+    std::hint::black_box(m.len());
+    Ok(t.elapsed().as_secs_f64())
+}
+
+/// Redis run.
+pub fn redis_agg(cfg: &HashAggConfig, distinct: usize) -> Result<f64> {
+    let mut r = RedisLike::new(cfg.redis_budget);
+    let t = Instant::now();
+    for i in 0..distinct * 2 {
+        r.incr_by(&key(i, distinct), 1)?;
+    }
+    std::hint::black_box(r.len());
+    Ok(t.elapsed().as_secs_f64())
+}
+
+/// Runs the whole Table 4 grid.
+pub fn run(cfg: &HashAggConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &distinct in &cfg.scales {
+        let x = format!("{distinct}keys");
+        let mut push = |series: &str, r: Result<f64>| {
+            rows.push(Row::new(
+                series,
+                &x,
+                "latency",
+                match r {
+                    Ok(s) => Outcome::Seconds(s),
+                    Err(e) => Outcome::failed(&e),
+                },
+            ));
+        };
+        push("stl-unordered-map", stl_agg(&format!("t4s-{distinct}"), cfg, distinct));
+        push("pangea-hashmap", pangea_agg(&format!("t4p-{distinct}"), cfg, distinct));
+        push("redis", redis_agg(cfg, distinct));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redis_fails_at_the_top_scale_pangea_survives() {
+        let cfg = HashAggConfig {
+            scales: vec![500, 6_000],
+            pangea_memory: 256 * KB,
+            stl_budget: 64 * KB as u64,
+            redis_budget: 64 * KB as u64,
+        };
+        let rows = run(&cfg);
+        let cell = |series: &str, x: &str| {
+            rows.iter()
+                .find(|r| r.series == series && r.x == x)
+                .unwrap()
+        };
+        assert!(cell("redis", "500keys").outcome.value().is_some());
+        assert!(
+            cell("redis", "6000keys").outcome.is_failure(),
+            "Redis must hit maxmemory"
+        );
+        assert!(
+            cell("pangea-hashmap", "6000keys").outcome.value().is_some(),
+            "Pangea spills instead of failing"
+        );
+        assert!(cell("stl-unordered-map", "6000keys").outcome.value().is_some());
+    }
+}

@@ -1,0 +1,588 @@
+//! The simulated Pangea cluster: one light-weight manager plus N worker
+//! nodes, each running a full per-node storage engine (paper §3.3).
+//!
+//! Substitution note (DESIGN.md §2): the paper's 11–31 AWS nodes become
+//! N in-process workers. Each worker owns its own buffer pool, disk
+//! directories, paging strategy, and catalog slice — the per-node code
+//! paths the experiments measure run for real; only the wire between
+//! nodes is simulated (byte-counted, optionally throttled).
+
+use crate::manager::Manager;
+use crate::network::SimNetwork;
+use crate::partition::PartitionScheme;
+use pangea_common::{NodeId, PangeaError, Result};
+use pangea_core::{LocalitySet, NodeConfig, SeqWriter, SetOptions, StorageNode};
+use parking_lot::RwLock;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub nodes: u32,
+    /// Root directory; worker `i` stores under `<root>/node<i>`.
+    pub data_root: PathBuf,
+    /// Per-worker buffer pool capacity in bytes.
+    pub pool_capacity: usize,
+    /// Default page size.
+    pub page_size: usize,
+    /// Disks per worker.
+    pub disks: usize,
+    /// Optional per-disk bandwidth (bytes/s).
+    pub disk_bandwidth: Option<u64>,
+    /// Optional aggregate network bandwidth (bytes/s).
+    pub net_bandwidth: Option<u64>,
+    /// Paging strategy for every worker.
+    pub strategy: String,
+    /// The public key registered for this deployment (paper §3.3:
+    /// bootstrap must present the matching private key).
+    pub auth_key: String,
+}
+
+impl ClusterConfig {
+    /// `nodes` workers rooted at `data_root` with library defaults and
+    /// the default test key pair.
+    pub fn new(data_root: impl Into<PathBuf>, nodes: u32) -> Self {
+        Self {
+            nodes: nodes.max(1),
+            data_root: data_root.into(),
+            pool_capacity: 16 * pangea_common::MB,
+            page_size: 64 * pangea_common::KB,
+            disks: 1,
+            disk_bandwidth: None,
+            net_bandwidth: None,
+            strategy: "data-aware".into(),
+            auth_key: "pangea-default-keypair".into(),
+        }
+    }
+
+    /// Overrides the per-worker pool capacity.
+    pub fn with_pool_capacity(mut self, bytes: usize) -> Self {
+        self.pool_capacity = bytes;
+        self
+    }
+
+    /// Overrides the default page size.
+    pub fn with_page_size(mut self, bytes: usize) -> Self {
+        self.page_size = bytes;
+        self
+    }
+
+    /// Overrides the per-worker disk count.
+    pub fn with_disks(mut self, disks: usize) -> Self {
+        self.disks = disks;
+        self
+    }
+
+    /// Sets disk bandwidth pacing.
+    pub fn with_disk_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.disk_bandwidth = Some(bytes_per_sec);
+        self
+    }
+
+    /// Sets network bandwidth pacing.
+    pub fn with_net_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.net_bandwidth = Some(bytes_per_sec);
+        self
+    }
+
+    /// Overrides the paging strategy.
+    pub fn with_strategy(mut self, name: &str) -> Self {
+        self.strategy = name.to_string();
+        self
+    }
+
+    /// Registers the deployment key the bootstrap must match.
+    pub fn with_auth_key(mut self, key: &str) -> Self {
+        self.auth_key = key.to_string();
+        self
+    }
+
+    fn node_config(&self, n: NodeId) -> NodeConfig {
+        let mut cfg = NodeConfig::new(self.data_root.join(format!("node{}", n.raw())))
+            .with_pool_capacity(self.pool_capacity)
+            .with_page_size(self.page_size)
+            .with_disks(self.disks)
+            .with_strategy(&self.strategy);
+        if let Some(bw) = self.disk_bandwidth {
+            cfg = cfg.with_disk_bandwidth(bw);
+        }
+        cfg
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct ClusterInner {
+    config: ClusterConfig,
+    /// Slot `i` hosts worker `i`; `None` marks a failed node.
+    pub(crate) workers: RwLock<Vec<Option<StorageNode>>>,
+    manager: Manager,
+    net: SimNetwork,
+}
+
+/// A handle to the simulated cluster. Cheap to clone.
+#[derive(Debug, Clone)]
+pub struct SimCluster {
+    pub(crate) inner: Arc<ClusterInner>,
+}
+
+impl SimCluster {
+    /// Bootstraps the cluster. Per the paper (§3.3), the user must submit
+    /// the deployment's private key; "a non-valid key will cause the
+    /// whole system to terminate".
+    pub fn bootstrap(config: ClusterConfig, private_key: &str) -> Result<Self> {
+        if private_key != config.auth_key {
+            return Err(PangeaError::AuthenticationFailed);
+        }
+        let mut workers = Vec::with_capacity(config.nodes as usize);
+        for n in 0..config.nodes {
+            let dir = config.data_root.join(format!("node{n}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            workers.push(Some(StorageNode::new(config.node_config(NodeId(n)))?));
+        }
+        let net = match config.net_bandwidth {
+            Some(bw) => SimNetwork::with_bandwidth(bw),
+            None => SimNetwork::unlimited(),
+        };
+        Ok(Self {
+            inner: Arc::new(ClusterInner {
+                config,
+                workers: RwLock::new(workers),
+                manager: Manager::new(),
+                net,
+            }),
+        })
+    }
+
+    /// Total node slots (alive or failed).
+    pub fn num_nodes(&self) -> u32 {
+        self.inner.config.nodes
+    }
+
+    /// Nodes currently alive, ascending.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        self.inner
+            .workers
+            .read()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.as_ref().map(|_| NodeId(i as u32)))
+            .collect()
+    }
+
+    /// The storage engine of one worker.
+    pub fn worker(&self, n: NodeId) -> Result<StorageNode> {
+        self.inner
+            .workers
+            .read()
+            .get(n.raw() as usize)
+            .and_then(|w| w.clone())
+            .ok_or(PangeaError::NodeUnavailable(n))
+    }
+
+    /// The manager's catalog / statistics database.
+    pub fn manager(&self) -> &Manager {
+        &self.inner.manager
+    }
+
+    /// The simulated interconnect.
+    pub fn network(&self) -> &SimNetwork {
+        &self.inner.net
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.inner.config
+    }
+
+    /// Kills a node: its memory vanishes and its disks are wiped
+    /// (total machine loss, the Fig. 6 failure model).
+    pub fn kill_node(&self, n: NodeId) -> Result<()> {
+        let mut workers = self.inner.workers.write();
+        let slot = workers
+            .get_mut(n.raw() as usize)
+            .ok_or(PangeaError::NodeUnavailable(n))?;
+        if slot.take().is_none() {
+            return Err(PangeaError::NodeUnavailable(n));
+        }
+        drop(workers);
+        let _ = std::fs::remove_dir_all(self.inner.config.data_root.join(format!("node{}", n.raw())));
+        Ok(())
+    }
+
+    /// Re-provisions a failed slot with a fresh, empty worker and
+    /// re-creates the local locality sets of every cataloged distributed
+    /// set. The data is restored separately by recovery (§7).
+    pub fn restart_node(&self, n: NodeId) -> Result<StorageNode> {
+        let mut workers = self.inner.workers.write();
+        let slot = workers
+            .get_mut(n.raw() as usize)
+            .ok_or(PangeaError::NodeUnavailable(n))?;
+        if slot.is_some() {
+            return Err(PangeaError::usage(format!("{n} is still alive")));
+        }
+        let node = StorageNode::new(self.inner.config.node_config(n))?;
+        for name in self.inner.manager.set_names() {
+            node.create_set(&name, SetOptions::write_through())?;
+        }
+        *slot = Some(node.clone());
+        Ok(node)
+    }
+
+    // ------------------------------------------------------------------
+    // Distributed sets
+    // ------------------------------------------------------------------
+
+    /// Creates a distributed set: a same-named write-through locality set
+    /// on every alive worker plus a catalog entry with its partitioning
+    /// scheme.
+    pub fn create_dist_set(
+        &self,
+        name: &str,
+        scheme: PartitionScheme,
+    ) -> Result<DistSet> {
+        self.inner.manager.register_set(name, scheme)?;
+        let workers = self.inner.workers.read();
+        for w in workers.iter().flatten() {
+            w.create_set(name, SetOptions::write_through())?;
+        }
+        Ok(DistSet {
+            cluster: self.clone(),
+            name: name.to_string(),
+        })
+    }
+
+    /// Looks up a cataloged distributed set.
+    pub fn get_dist_set(&self, name: &str) -> Option<DistSet> {
+        self.inner.manager.contains(name).then(|| DistSet {
+            cluster: self.clone(),
+            name: name.to_string(),
+        })
+    }
+
+    /// Drops a distributed set everywhere.
+    pub fn drop_dist_set(&self, name: &str) -> Result<()> {
+        let workers = self.inner.workers.read();
+        for w in workers.iter().flatten() {
+            if let Some(local) = w.get_set(name) {
+                w.drop_set(local.id())?;
+            }
+        }
+        self.inner.manager.deregister_set(name);
+        Ok(())
+    }
+}
+
+/// A distributed dataset: one locality set per worker plus manager
+/// metadata.
+#[derive(Debug, Clone)]
+pub struct DistSet {
+    cluster: SimCluster,
+    name: String,
+}
+
+impl DistSet {
+    /// The set's cluster-wide name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The owning cluster.
+    pub fn cluster(&self) -> &SimCluster {
+        &self.cluster
+    }
+
+    /// The set's partitioning scheme, from the manager catalog.
+    pub fn scheme(&self) -> Result<PartitionScheme> {
+        Ok(self
+            .cluster
+            .manager()
+            .entry(&self.name)
+            .ok_or_else(|| PangeaError::usage(format!("set '{}' not cataloged", self.name)))?
+            .scheme)
+    }
+
+    /// The node-local locality set on worker `n`.
+    pub fn local(&self, n: NodeId) -> Result<LocalitySet> {
+        let worker = self.cluster.worker(n)?;
+        worker
+            .get_set(&self.name)
+            .ok_or_else(|| PangeaError::usage(format!("set '{}' missing on {n}", self.name)))
+    }
+
+    /// A dispatcher that routes records to workers by the set's scheme.
+    /// `origin` is the node (or client) the records are sent from, for
+    /// network accounting; loading from outside the cluster uses
+    /// [`DistSet::loader`].
+    pub fn dispatcher(&self, origin: NodeId) -> Result<Dispatcher> {
+        let scheme = self.scheme()?;
+        let nodes = self.cluster.num_nodes();
+        Ok(Dispatcher {
+            set: self.clone(),
+            scheme,
+            origin,
+            nodes,
+            writers: (0..nodes).map(|_| None).collect(),
+            ordinal: 0,
+            objects: 0,
+            bytes: 0,
+        })
+    }
+
+    /// A dispatcher for records loaded from outside the cluster (every
+    /// delivery crosses the wire).
+    pub fn loader(&self) -> Result<Dispatcher> {
+        self.dispatcher(NodeId(u32::MAX))
+    }
+
+    /// Runs `f` over every record of the set on every alive node
+    /// (single-threaded convenience; hot paths scan per node).
+    pub fn for_each_record(&self, mut f: impl FnMut(NodeId, &[u8])) -> Result<()> {
+        self.try_for_each_record(|n, rec| {
+            f(n, rec);
+            Ok(())
+        })
+    }
+
+    /// Fallible variant of [`DistSet::for_each_record`]: the first error
+    /// aborts the scan.
+    pub fn try_for_each_record(
+        &self,
+        mut f: impl FnMut(NodeId, &[u8]) -> Result<()>,
+    ) -> Result<()> {
+        for n in self.cluster.alive_nodes() {
+            let local = self.local(n)?;
+            for num in local.page_numbers() {
+                let pin = local.pin_page(num)?;
+                let mut it = pangea_core::ObjectIter::new(&pin);
+                while let Some(rec) = it.next() {
+                    f(n, rec)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts records per alive node (placement diagnostics).
+    pub fn records_per_node(&self) -> Result<Vec<(NodeId, u64)>> {
+        let mut out = Vec::new();
+        for n in self.cluster.alive_nodes() {
+            let local = self.local(n)?;
+            let mut count = 0u64;
+            for num in local.page_numbers() {
+                let pin = local.pin_page(num)?;
+                count += pangea_core::ObjectIter::new(&pin).count() as u64;
+            }
+            out.push((n, count));
+        }
+        Ok(out)
+    }
+
+    /// Total records across alive nodes.
+    pub fn total_records(&self) -> Result<u64> {
+        Ok(self.records_per_node()?.iter().map(|(_, c)| c).sum())
+    }
+}
+
+/// Routes records to workers according to a partitioning scheme, paying
+/// network costs for remote deliveries.
+pub struct Dispatcher {
+    set: DistSet,
+    scheme: PartitionScheme,
+    origin: NodeId,
+    nodes: u32,
+    writers: Vec<Option<SeqWriter>>,
+    ordinal: u64,
+    objects: u64,
+    bytes: u64,
+}
+
+impl std::fmt::Debug for Dispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dispatcher")
+            .field("set", &self.set.name)
+            .field("dispatched", &self.objects)
+            .finish()
+    }
+}
+
+impl Dispatcher {
+    /// Dispatches one record, returning the node it landed on.
+    pub fn dispatch(&mut self, record: &[u8]) -> Result<NodeId> {
+        let node = self.scheme.node_of(record, self.ordinal, self.nodes);
+        self.ordinal += 1;
+        let delivered = self
+            .set
+            .cluster
+            .network()
+            .transfer(self.origin, node, record)?;
+        let writer = {
+            let slot = &mut self.writers[node.raw() as usize];
+            if slot.is_none() {
+                *slot = Some(self.set.local(node)?.writer());
+            }
+            slot.as_mut().expect("just ensured")
+        };
+        writer.add_object(&delivered)?;
+        self.objects += 1;
+        self.bytes += record.len() as u64;
+        Ok(node)
+    }
+
+    /// Records dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.objects
+    }
+
+    /// Seals all writers and publishes statistics to the manager.
+    pub fn finish(mut self) -> Result<()> {
+        for w in self.writers.iter_mut().flatten() {
+            w.finish()?;
+        }
+        self.set
+            .cluster
+            .manager()
+            .add_stats(&self.set.name, self.objects, self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pangea-cluster-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_cluster(tag: &str, nodes: u32) -> SimCluster {
+        let cfg = ClusterConfig::new(test_root(tag), nodes)
+            .with_pool_capacity(256 * pangea_common::KB)
+            .with_page_size(4 * pangea_common::KB);
+        SimCluster::bootstrap(cfg, "pangea-default-keypair").unwrap()
+    }
+
+    fn first_field(rec: &[u8]) -> Vec<u8> {
+        rec.split(|&b| b == b'|').next().unwrap_or(rec).to_vec()
+    }
+
+    #[test]
+    fn bad_key_terminates_bootstrap() {
+        let cfg = ClusterConfig::new(test_root("auth"), 2).with_auth_key("right");
+        assert!(matches!(
+            SimCluster::bootstrap(cfg.clone(), "wrong"),
+            Err(PangeaError::AuthenticationFailed)
+        ));
+        assert!(SimCluster::bootstrap(cfg, "right").is_ok());
+    }
+
+    #[test]
+    fn round_robin_dispatch_balances_nodes() {
+        let c = small_cluster("rr", 4);
+        let s = c
+            .create_dist_set("points", PartitionScheme::round_robin(8))
+            .unwrap();
+        let mut d = s.loader().unwrap();
+        for i in 0..400u32 {
+            d.dispatch(format!("{i}|payload").as_bytes()).unwrap();
+        }
+        d.finish().unwrap();
+        let per_node = s.records_per_node().unwrap();
+        assert_eq!(per_node.len(), 4);
+        for (_, count) in &per_node {
+            assert_eq!(*count, 100, "round robin balances exactly: {per_node:?}");
+        }
+        assert_eq!(s.total_records().unwrap(), 400);
+        assert_eq!(c.manager().entry("points").unwrap().stats.objects, 400);
+        assert!(c.network().bytes_moved() > 0);
+    }
+
+    #[test]
+    fn hash_dispatch_groups_keys_on_one_node() {
+        let c = small_cluster("hash", 3);
+        let s = c
+            .create_dist_set(
+                "orders",
+                PartitionScheme::hash("o_orderkey", 6, first_field),
+            )
+            .unwrap();
+        let mut d = s.loader().unwrap();
+        for i in 0..300u32 {
+            d.dispatch(format!("{}|row{}", i % 30, i).as_bytes()).unwrap();
+        }
+        d.finish().unwrap();
+        // Every record with the same key is on exactly one node.
+        let mut key_nodes: std::collections::HashMap<Vec<u8>, NodeId> =
+            std::collections::HashMap::new();
+        s.for_each_record(|node, rec| {
+            let k = first_field(rec);
+            let prev = key_nodes.insert(k.clone(), node);
+            if let Some(p) = prev {
+                assert_eq!(p, node, "key {k:?} split across nodes");
+            }
+        })
+        .unwrap();
+        assert_eq!(key_nodes.len(), 30);
+    }
+
+    #[test]
+    fn kill_makes_node_unavailable_and_restart_reprovisions() {
+        let c = small_cluster("kill", 3);
+        let s = c
+            .create_dist_set("data", PartitionScheme::round_robin(3))
+            .unwrap();
+        let mut d = s.loader().unwrap();
+        for i in 0..30u32 {
+            d.dispatch(&i.to_le_bytes()).unwrap();
+        }
+        d.finish().unwrap();
+        c.kill_node(NodeId(1)).unwrap();
+        assert_eq!(c.alive_nodes(), vec![NodeId(0), NodeId(2)]);
+        assert!(matches!(
+            c.worker(NodeId(1)),
+            Err(PangeaError::NodeUnavailable(_))
+        ));
+        assert!(c.kill_node(NodeId(1)).is_err(), "already dead");
+        // Survivors keep serving their shares.
+        assert_eq!(s.total_records().unwrap(), 20);
+        // Restart provisions an empty node with the set re-created.
+        c.restart_node(NodeId(1)).unwrap();
+        assert_eq!(c.alive_nodes().len(), 3);
+        assert_eq!(s.total_records().unwrap(), 20, "restart restores no data");
+        assert!(s.local(NodeId(1)).is_ok());
+    }
+
+    #[test]
+    fn duplicate_dist_set_rejected() {
+        let c = small_cluster("dup", 2);
+        c.create_dist_set("s", PartitionScheme::round_robin(2))
+            .unwrap();
+        assert!(c
+            .create_dist_set("s", PartitionScheme::round_robin(2))
+            .is_err());
+        assert!(c.get_dist_set("s").is_some());
+        assert!(c.get_dist_set("t").is_none());
+    }
+
+    #[test]
+    fn drop_dist_set_removes_everywhere() {
+        let c = small_cluster("drop", 2);
+        let s = c
+            .create_dist_set("gone", PartitionScheme::round_robin(2))
+            .unwrap();
+        let mut d = s.loader().unwrap();
+        d.dispatch(b"x").unwrap();
+        d.finish().unwrap();
+        c.drop_dist_set("gone").unwrap();
+        assert!(c.get_dist_set("gone").is_none());
+        for n in c.alive_nodes() {
+            assert!(c.worker(n).unwrap().get_set("gone").is_none());
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # pangea-cluster
+//!
+//! The distributed half of the Pangea reproduction (paper §3.3, §7): a
+//! simulated cluster of full per-node storage engines behind one
+//! light-weight manager, with partitioned dispatch, heterogeneous
+//! replication (replicas = different physical organizations of the same
+//! objects), colliding-object tracking, failure injection, and recovery.
+//!
+//! See DESIGN.md §2 for the cluster-to-simulation substitution argument.
+
+pub mod cluster;
+pub mod manager;
+pub mod network;
+pub mod partition;
+pub mod replication;
+
+pub use cluster::{ClusterConfig, DistSet, Dispatcher, SimCluster};
+pub use manager::{CatalogEntry, Manager, SetStats};
+pub use network::SimNetwork;
+pub use partition::{KeyFn, PartitionKind, PartitionScheme};
+pub use replication::{
+    colliding_set_name, expected_colliding_ratio, RecoveryReport, ReplicaReport,
+};

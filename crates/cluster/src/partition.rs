@@ -1,0 +1,182 @@
+//! Partitioning schemes (paper §7).
+//!
+//! A [`PartitionScheme`] names the key a replica is organized by (e.g.
+//! `l_orderkey`) and maps records to partitions and partitions to nodes.
+//! Applications supply the key extractor — the paper's
+//! `PartitionComp(getKeyUdf)` — as a plain function over record bytes, so
+//! schemes work for any record layout.
+
+use pangea_common::{fx_hash64, NodeId, PartitionId};
+use std::fmt;
+use std::sync::Arc;
+
+/// Extracts the partitioning key from a record's bytes.
+pub type KeyFn = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
+
+/// How records map to partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionKind {
+    /// `hash(key) % partitions` — the paper's partitioned replicas.
+    Hash,
+    /// Records round-robin over partitions (the paper's "randomly
+    /// dispatched" source sets).
+    RoundRobin,
+}
+
+/// A named partitioning scheme: key name, partition count, and kind.
+#[derive(Clone)]
+pub struct PartitionScheme {
+    /// The key the scheme organizes by (`l_orderkey`, …). Round-robin
+    /// schemes conventionally use `"random"`.
+    pub key_name: String,
+    /// Number of partitions.
+    pub partitions: u32,
+    /// Partitioning kind.
+    pub kind: PartitionKind,
+    key_fn: Option<KeyFn>,
+}
+
+impl fmt::Debug for PartitionScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PartitionScheme")
+            .field("key_name", &self.key_name)
+            .field("partitions", &self.partitions)
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+impl PartitionScheme {
+    /// A hash scheme over `partitions` partitions keyed by `key_fn`.
+    pub fn hash(
+        key_name: &str,
+        partitions: u32,
+        key_fn: impl Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            key_name: key_name.to_string(),
+            partitions: partitions.max(1),
+            kind: PartitionKind::Hash,
+            key_fn: Some(Arc::new(key_fn)),
+        }
+    }
+
+    /// A round-robin scheme (random dispatch).
+    pub fn round_robin(partitions: u32) -> Self {
+        Self {
+            key_name: "random".to_string(),
+            partitions: partitions.max(1),
+            kind: PartitionKind::RoundRobin,
+            key_fn: None,
+        }
+    }
+
+    /// The partitioning key of `record`, when the scheme is keyed.
+    pub fn key_of(&self, record: &[u8]) -> Option<Vec<u8>> {
+        self.key_fn.as_ref().map(|f| f(record))
+    }
+
+    /// The partition a record belongs to. Round-robin schemes use the
+    /// caller-maintained `ordinal` (records are sprayed in arrival order).
+    pub fn partition_of(&self, record: &[u8], ordinal: u64) -> PartitionId {
+        match self.kind {
+            PartitionKind::Hash => {
+                let key = self
+                    .key_fn
+                    .as_ref()
+                    .expect("hash schemes always carry a key fn")(record);
+                PartitionId((fx_hash64(&key) % self.partitions as u64) as u32)
+            }
+            PartitionKind::RoundRobin => {
+                PartitionId((ordinal % self.partitions as u64) as u32)
+            }
+        }
+    }
+
+    /// The node hosting a partition in an `n`-node cluster (partitions
+    /// stripe over nodes).
+    pub fn node_of_partition(&self, p: PartitionId, nodes: u32) -> NodeId {
+        NodeId(p.raw() % nodes.max(1))
+    }
+
+    /// The node a record lands on — the composition used for colliding-
+    /// object detection (paper §7).
+    pub fn node_of(&self, record: &[u8], ordinal: u64, nodes: u32) -> NodeId {
+        self.node_of_partition(self.partition_of(record, ordinal), nodes)
+    }
+
+    /// True when two schemes co-partition their inputs: same key name,
+    /// same kind, same partition count — the test the paper's query
+    /// scheduler runs before pipelining a join without a shuffle (§9.1.2).
+    pub fn co_partitioned_with(&self, other: &PartitionScheme) -> bool {
+        self.kind == PartitionKind::Hash
+            && other.kind == PartitionKind::Hash
+            && self.key_name == other.key_name
+            && self.partitions == other.partitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn first_field(rec: &[u8]) -> Vec<u8> {
+        rec.split(|&b| b == b'|').next().unwrap_or(rec).to_vec()
+    }
+
+    #[test]
+    fn hash_scheme_is_deterministic_and_key_based() {
+        let s = PartitionScheme::hash("k", 8, first_field);
+        let a1 = s.partition_of(b"42|alpha", 0);
+        let a2 = s.partition_of(b"42|beta", 99);
+        assert_eq!(a1, a2, "same key, same partition regardless of payload");
+        assert_eq!(s.key_of(b"42|x").unwrap(), b"42");
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let s = PartitionScheme::round_robin(3);
+        assert_eq!(s.partition_of(b"x", 0).raw(), 0);
+        assert_eq!(s.partition_of(b"x", 1).raw(), 1);
+        assert_eq!(s.partition_of(b"x", 2).raw(), 2);
+        assert_eq!(s.partition_of(b"x", 3).raw(), 0);
+        assert!(s.key_of(b"x").is_none());
+    }
+
+    #[test]
+    fn partitions_stripe_over_nodes() {
+        let s = PartitionScheme::hash("k", 8, first_field);
+        for p in 0..8 {
+            assert_eq!(
+                s.node_of_partition(PartitionId(p), 4).raw(),
+                p % 4
+            );
+        }
+    }
+
+    #[test]
+    fn co_partitioning_requires_key_kind_and_count() {
+        let a = PartitionScheme::hash("l_orderkey", 8, first_field);
+        let b = PartitionScheme::hash("l_orderkey", 8, first_field);
+        let c = PartitionScheme::hash("l_partkey", 8, first_field);
+        let d = PartitionScheme::hash("l_orderkey", 16, first_field);
+        let r = PartitionScheme::round_robin(8);
+        assert!(a.co_partitioned_with(&b));
+        assert!(!a.co_partitioned_with(&c));
+        assert!(!a.co_partitioned_with(&d));
+        assert!(!a.co_partitioned_with(&r));
+    }
+
+    #[test]
+    fn hash_spreads_keys_reasonably() {
+        let s = PartitionScheme::hash("k", 4, first_field);
+        let mut counts = [0usize; 4];
+        for i in 0..4000u32 {
+            let rec = format!("{i}|payload");
+            counts[s.partition_of(rec.as_bytes(), 0).raw() as usize] += 1;
+        }
+        for c in counts {
+            assert!(c > 700, "skewed partition: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Strongly-typed identifiers used across the workspace.
+//!
+//! Each identifier is a thin newtype over an integer so that, for example, a
+//! [`SetId`] can never be passed where a [`NodeId`] is expected. All of them
+//! are `Copy` and hash with the fast [`crate::FxHasher`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw integer value.
+            #[inline]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a locality set (one dataset managed uniformly; paper §3.2).
+    SetId, u64, "set#"
+);
+id_type!(
+    /// Identifies a worker node in the (simulated) cluster.
+    NodeId, u32, "node#"
+);
+id_type!(
+    /// Identifies a shuffle / hash partition.
+    PartitionId, u32, "part#"
+);
+id_type!(
+    /// Identifies a replication group: the collection of locality sets that
+    /// hold the same objects under different physical organizations (§7).
+    ReplicaGroupId, u64, "rg#"
+);
+
+/// The ordinal of a page within its locality set on one node.
+pub type PageNum = u64;
+
+/// Globally identifies a page: the locality set it belongs to plus its
+/// ordinal within that set.
+///
+/// Pages are the unit of buffering, eviction and file I/O. All pages of one
+/// locality set share a size (paper §3.2), but different sets may use
+/// different page sizes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageId {
+    /// The owning locality set.
+    pub set: SetId,
+    /// Page ordinal within the set (0-based, dense).
+    pub num: PageNum,
+}
+
+impl PageId {
+    /// Creates a page id from a set and page ordinal.
+    #[inline]
+    pub const fn new(set: SetId, num: PageNum) -> Self {
+        Self { set, num }
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/p{}", self.set, self.num)
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FxHashMap;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(SetId(3).to_string(), "set#3");
+        assert_eq!(NodeId(1).to_string(), "node#1");
+        assert_eq!(PartitionId(9).to_string(), "part#9");
+        assert_eq!(PageId::new(SetId(2), 7).to_string(), "set#2/p7");
+    }
+
+    #[test]
+    fn ids_roundtrip_raw() {
+        assert_eq!(SetId::from(42).raw(), 42);
+        assert_eq!(NodeId::from(7).raw(), 7);
+    }
+
+    #[test]
+    fn page_ids_are_ordered_within_set_first() {
+        let a = PageId::new(SetId(1), 9);
+        let b = PageId::new(SetId(2), 0);
+        assert!(a < b, "ordering must be by set id first");
+        let c = PageId::new(SetId(1), 10);
+        assert!(a < c, "then by page number");
+    }
+
+    #[test]
+    fn page_ids_usable_as_map_keys() {
+        let mut m: FxHashMap<PageId, u32> = FxHashMap::default();
+        m.insert(PageId::new(SetId(1), 0), 10);
+        m.insert(PageId::new(SetId(1), 1), 11);
+        assert_eq!(m[&PageId::new(SetId(1), 1)], 11);
+    }
+}

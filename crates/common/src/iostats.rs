@@ -1,0 +1,223 @@
+//! I/O statistics counters.
+//!
+//! Every disk, buffer pool, and network path in the workspace feeds these
+//! counters. The paper's analysis repeatedly argues from I/O *volume* (e.g.
+//! "the average size of data written to disk by page-out operations is
+//! 5074.2 MB (2.5× of Pangea)", §9.2.1); the benches report the same volumes
+//! from these counters so the shape of each comparison is auditable even on
+//! hardware whose raw speeds differ from the paper's testbed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe counters for one subsystem (a disk manager, a buffer
+/// pool, a simulated network, ...).
+#[derive(Debug, Default)]
+pub struct IoStats {
+    disk_reads: AtomicU64,
+    disk_read_bytes: AtomicU64,
+    disk_writes: AtomicU64,
+    disk_write_bytes: AtomicU64,
+    pages_evicted: AtomicU64,
+    pages_flushed: AtomicU64,
+    net_messages: AtomicU64,
+    net_bytes: AtomicU64,
+    serializations: AtomicU64,
+    serialized_bytes: AtomicU64,
+    copies: AtomicU64,
+    copied_bytes: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one disk read of `bytes`.
+    #[inline]
+    pub fn record_disk_read(&self, bytes: usize) {
+        self.disk_reads.fetch_add(1, Ordering::Relaxed);
+        self.disk_read_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records one disk write of `bytes`.
+    #[inline]
+    pub fn record_disk_write(&self, bytes: usize) {
+        self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        self.disk_write_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records one page eviction from a buffer pool.
+    #[inline]
+    pub fn record_eviction(&self) {
+        self.pages_evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one dirty-page flush.
+    #[inline]
+    pub fn record_flush(&self) {
+        self.pages_flushed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one network message of `bytes`.
+    #[inline]
+    pub fn record_net(&self, bytes: usize) {
+        self.net_messages.fetch_add(1, Ordering::Relaxed);
+        self.net_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records one (de)serialization pass over `bytes` — the "interfacing
+    /// overhead" the paper charges layered systems for.
+    #[inline]
+    pub fn record_serialization(&self, bytes: usize) {
+        self.serializations.fetch_add(1, Ordering::Relaxed);
+        self.serialized_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records one buffer-to-buffer copy of `bytes` (client↔server, layer
+    /// crossings).
+    #[inline]
+    pub fn record_copy(&self, bytes: usize) {
+        self.copies.fetch_add(1, Ordering::Relaxed);
+        self.copied_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            disk_reads: self.disk_reads.load(Ordering::Relaxed),
+            disk_read_bytes: self.disk_read_bytes.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            disk_write_bytes: self.disk_write_bytes.load(Ordering::Relaxed),
+            pages_evicted: self.pages_evicted.load(Ordering::Relaxed),
+            pages_flushed: self.pages_flushed.load(Ordering::Relaxed),
+            net_messages: self.net_messages.load(Ordering::Relaxed),
+            net_bytes: self.net_bytes.load(Ordering::Relaxed),
+            serializations: self.serializations.load(Ordering::Relaxed),
+            serialized_bytes: self.serialized_bytes.load(Ordering::Relaxed),
+            copies: self.copies.load(Ordering::Relaxed),
+            copied_bytes: self.copied_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.disk_reads.store(0, Ordering::Relaxed);
+        self.disk_read_bytes.store(0, Ordering::Relaxed);
+        self.disk_writes.store(0, Ordering::Relaxed);
+        self.disk_write_bytes.store(0, Ordering::Relaxed);
+        self.pages_evicted.store(0, Ordering::Relaxed);
+        self.pages_flushed.store(0, Ordering::Relaxed);
+        self.net_messages.store(0, Ordering::Relaxed);
+        self.net_bytes.store(0, Ordering::Relaxed);
+        self.serializations.store(0, Ordering::Relaxed);
+        self.serialized_bytes.store(0, Ordering::Relaxed);
+        self.copies.store(0, Ordering::Relaxed);
+        self.copied_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStatsSnapshot {
+    /// Number of disk read operations.
+    pub disk_reads: u64,
+    /// Total bytes read from disk.
+    pub disk_read_bytes: u64,
+    /// Number of disk write operations.
+    pub disk_writes: u64,
+    /// Total bytes written to disk.
+    pub disk_write_bytes: u64,
+    /// Pages evicted from a buffer pool.
+    pub pages_evicted: u64,
+    /// Dirty pages flushed.
+    pub pages_flushed: u64,
+    /// Network messages sent.
+    pub net_messages: u64,
+    /// Network bytes sent.
+    pub net_bytes: u64,
+    /// Serialization/deserialization passes.
+    pub serializations: u64,
+    /// Bytes passed through (de)serialization.
+    pub serialized_bytes: u64,
+    /// Buffer-to-buffer copies.
+    pub copies: u64,
+    /// Bytes copied between buffers.
+    pub copied_bytes: u64,
+}
+
+impl IoStatsSnapshot {
+    /// Component-wise difference `self - earlier`; saturates at zero.
+    pub fn delta_since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            disk_reads: self.disk_reads.saturating_sub(earlier.disk_reads),
+            disk_read_bytes: self.disk_read_bytes.saturating_sub(earlier.disk_read_bytes),
+            disk_writes: self.disk_writes.saturating_sub(earlier.disk_writes),
+            disk_write_bytes: self
+                .disk_write_bytes
+                .saturating_sub(earlier.disk_write_bytes),
+            pages_evicted: self.pages_evicted.saturating_sub(earlier.pages_evicted),
+            pages_flushed: self.pages_flushed.saturating_sub(earlier.pages_flushed),
+            net_messages: self.net_messages.saturating_sub(earlier.net_messages),
+            net_bytes: self.net_bytes.saturating_sub(earlier.net_bytes),
+            serializations: self.serializations.saturating_sub(earlier.serializations),
+            serialized_bytes: self
+                .serialized_bytes
+                .saturating_sub(earlier.serialized_bytes),
+            copies: self.copies.saturating_sub(earlier.copies),
+            copied_bytes: self.copied_bytes.saturating_sub(earlier.copied_bytes),
+        }
+    }
+
+    /// Total bytes that touched a disk in either direction.
+    pub fn disk_bytes_total(&self) -> u64 {
+        self.disk_read_bytes + self.disk_write_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_disk_read(100);
+        s.record_disk_read(50);
+        s.record_disk_write(10);
+        s.record_eviction();
+        s.record_flush();
+        s.record_net(7);
+        s.record_serialization(32);
+        s.record_copy(64);
+        let snap = s.snapshot();
+        assert_eq!(snap.disk_reads, 2);
+        assert_eq!(snap.disk_read_bytes, 150);
+        assert_eq!(snap.disk_writes, 1);
+        assert_eq!(snap.disk_write_bytes, 10);
+        assert_eq!(snap.pages_evicted, 1);
+        assert_eq!(snap.pages_flushed, 1);
+        assert_eq!(snap.net_messages, 1);
+        assert_eq!(snap.net_bytes, 7);
+        assert_eq!(snap.serialized_bytes, 32);
+        assert_eq!(snap.copied_bytes, 64);
+        assert_eq!(snap.disk_bytes_total(), 160);
+    }
+
+    #[test]
+    fn delta_and_reset() {
+        let s = IoStats::new();
+        s.record_disk_write(10);
+        let a = s.snapshot();
+        s.record_disk_write(30);
+        let b = s.snapshot();
+        let d = b.delta_since(&a);
+        assert_eq!(d.disk_writes, 1);
+        assert_eq!(d.disk_write_bytes, 30);
+        s.reset();
+        assert_eq!(s.snapshot(), IoStatsSnapshot::default());
+    }
+}

@@ -1,0 +1,161 @@
+//! Token-bucket byte-rate throttling.
+//!
+//! The paper's experiments ran on AWS SSDs whose bandwidth bounds every
+//! paging and persistence result. We reproduce bandwidth-bound behaviour on
+//! arbitrary host hardware by routing every simulated-disk and network byte
+//! through a [`Throttle`]: a token bucket refilled at a configured rate.
+//! Benchmarks enable throttling so wall-clock shapes track I/O volume;
+//! unit tests construct unlimited throttles so they stay fast.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Maximum burst the bucket may accumulate, as a multiple of 10 ms of rate.
+/// A small burst keeps latencies smooth without letting a long idle period
+/// grant a huge free transfer.
+const BURST_WINDOW: Duration = Duration::from_millis(10);
+
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// A byte-rate limiter. `None` rate means unlimited.
+#[derive(Debug)]
+pub struct Throttle {
+    /// Bytes per second, or `None` for unlimited.
+    rate: Option<f64>,
+    bucket: Mutex<Bucket>,
+}
+
+impl Throttle {
+    /// A throttle that never blocks. Used by unit tests and by in-memory
+    /// paths that the paper treats as free.
+    pub fn unlimited() -> Self {
+        Self {
+            rate: None,
+            bucket: Mutex::new(Bucket {
+                tokens: 0.0,
+                last_refill: Instant::now(),
+            }),
+        }
+    }
+
+    /// A throttle limited to `bytes_per_sec`.
+    ///
+    /// # Panics
+    /// Panics if `bytes_per_sec` is zero.
+    pub fn bytes_per_sec(bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "throttle rate must be positive");
+        Self {
+            rate: Some(bytes_per_sec as f64),
+            bucket: Mutex::new(Bucket {
+                tokens: 0.0,
+                last_refill: Instant::now(),
+            }),
+        }
+    }
+
+    /// Returns the configured rate, if any.
+    pub fn rate(&self) -> Option<u64> {
+        self.rate.map(|r| r as u64)
+    }
+
+    /// Consumes `n` bytes of budget, sleeping as needed to respect the rate.
+    ///
+    /// Unlimited throttles return immediately.
+    pub fn consume(&self, n: usize) {
+        let Some(rate) = self.rate else { return };
+        if n == 0 {
+            return;
+        }
+        let burst = rate * BURST_WINDOW.as_secs_f64();
+        let mut need = n as f64;
+        loop {
+            let wait = {
+                let mut b = self.bucket.lock();
+                let now = Instant::now();
+                let elapsed = now.duration_since(b.last_refill).as_secs_f64();
+                b.tokens = (b.tokens + elapsed * rate).min(burst.max(need.min(burst)));
+                b.last_refill = now;
+                if b.tokens >= need {
+                    b.tokens -= need;
+                    return;
+                }
+                // Drain what we have and compute how long the rest takes.
+                need -= b.tokens;
+                b.tokens = 0.0;
+                Duration::from_secs_f64(need / rate)
+            };
+            // Sleep outside the lock so concurrent users make progress.
+            std::thread::sleep(wait.min(Duration::from_millis(50)));
+        }
+    }
+
+    /// Computes the transfer time `n` bytes would take at the configured
+    /// rate without sleeping (used to report modelled time in benches).
+    pub fn model_duration(&self, n: usize) -> Duration {
+        match self.rate {
+            None => Duration::ZERO,
+            Some(r) => Duration::from_secs_f64(n as f64 / r),
+        }
+    }
+}
+
+impl Default for Throttle {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_blocks() {
+        let t = Throttle::unlimited();
+        let start = Instant::now();
+        t.consume(usize::MAX / 2);
+        assert!(start.elapsed() < Duration::from_millis(50));
+        assert_eq!(t.rate(), None);
+    }
+
+    #[test]
+    fn limited_rate_enforced_within_tolerance() {
+        // 10 MB/s, move 2 MB => ~200 ms.
+        let t = Throttle::bytes_per_sec(10 * 1024 * 1024);
+        let start = Instant::now();
+        for _ in 0..8 {
+            t.consume(256 * 1024);
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(120),
+            "too fast: {elapsed:?}"
+        );
+        assert!(elapsed < Duration::from_secs(2), "too slow: {elapsed:?}");
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let t = Throttle::bytes_per_sec(1); // 1 B/s: anything nonzero stalls
+        let start = Instant::now();
+        t.consume(0);
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn model_duration_matches_rate() {
+        let t = Throttle::bytes_per_sec(1_000_000);
+        assert_eq!(t.model_duration(500_000), Duration::from_millis(500));
+        assert_eq!(Throttle::unlimited().model_duration(123), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = Throttle::bytes_per_sec(0);
+    }
+}

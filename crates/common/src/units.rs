@@ -1,0 +1,43 @@
+//! Byte-size constants and formatting helpers.
+
+/// One kibibyte.
+pub const KB: usize = 1024;
+/// One mebibyte.
+pub const MB: usize = 1024 * KB;
+/// One gibibyte.
+pub const GB: usize = 1024 * MB;
+
+/// Formats a byte count with a binary unit suffix (`"1.50 MB"`).
+pub fn fmt_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 4] = ["B", "KB", "MB", "GB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_powers_of_1024() {
+        assert_eq!(MB, 1024 * 1024);
+        assert_eq!(GB, 1024 * MB);
+    }
+
+    #[test]
+    fn formats_each_magnitude() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(1536), "1.50 KB");
+        assert_eq!(fmt_bytes(3 * MB / 2), "1.50 MB");
+        assert_eq!(fmt_bytes(2 * GB), "2.00 GB");
+    }
+}

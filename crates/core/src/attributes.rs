@@ -1,0 +1,181 @@
+//! Locality-set attributes (paper Table 1).
+//!
+//! A locality set is "a set of pages associated with one dataset that are
+//! used by an application in a uniform way". Its attributes describe how
+//! the application uses it — durability requirement, writing/reading
+//! pattern, lifetime, and the operation currently in flight. Services
+//! update these attributes automatically as they run ("determining
+//! attributes", paper §3.2); the paging system consumes them through
+//! [`SetProfile`].
+
+use pangea_common::PangeaError;
+use pangea_paging::{CurrentOp, Durability, ReadPattern, SetProfile, WritePattern};
+
+/// Runtime attributes of one locality set (paper Table 1).
+///
+/// `AccessRecency` from Table 1 is tracked per page by the buffer pool's
+/// logical clock rather than stored here.
+#[derive(Debug, Clone, Copy)]
+pub struct SetAttributes {
+    /// `write-through` persists each page as soon as it is sealed;
+    /// `write-back` spills dirty pages only on eviction.
+    pub durability: Durability,
+    /// Writing pattern, learned from the service used to produce the set.
+    pub writing: Option<WritePattern>,
+    /// Reading pattern, learned from the service used to consume the set.
+    pub reading: Option<ReadPattern>,
+    /// Table 1 `Location`: a pinned set's pages are never eviction victims.
+    pub pinned: bool,
+    /// Table 1 `Lifetime`: once ended, pages are dropped without flushing
+    /// and the set is evicted before all live sets.
+    pub lifetime_ended: bool,
+    /// Table 1 `CurrentOperation`.
+    pub op: CurrentOp,
+    /// Page count estimate supplied by the application, used only by the
+    /// DBMIN baselines (Pangea itself never requires it).
+    pub estimated_pages: Option<u64>,
+}
+
+impl Default for SetAttributes {
+    fn default() -> Self {
+        Self {
+            durability: Durability::WriteThrough,
+            writing: None,
+            reading: None,
+            pinned: false,
+            lifetime_ended: false,
+            op: CurrentOp::None,
+            estimated_pages: None,
+        }
+    }
+}
+
+impl SetAttributes {
+    /// Projects these attributes onto the slice the paging policies consume.
+    ///
+    /// `page_size` feeds the profiled per-page I/O times `vr`/`vw` (cost is
+    /// proportional to bytes moved; the disk throttle turns bytes into
+    /// wall-clock in benches).
+    pub fn profile(&self, page_size: usize) -> SetProfile {
+        SetProfile {
+            durability: self.durability,
+            writing: self.writing,
+            reading: self.reading,
+            op: self.op,
+            lifetime_ended: self.lifetime_ended,
+            read_time: page_size as f64,
+            write_time: page_size as f64,
+            estimated_pages: self.estimated_pages,
+        }
+    }
+}
+
+/// Options supplied when creating a locality set.
+#[derive(Debug, Clone)]
+pub struct SetOptions {
+    /// Durability requirement; the paper's default is `write-through`
+    /// ("if `write-back` is not specified here, `write-through` is used by
+    /// default", §8).
+    pub durability: Durability,
+    /// Page size for every page of the set; `None` uses the node default.
+    pub page_size: Option<usize>,
+    /// Optional page-count estimate for the DBMIN baselines.
+    pub estimated_pages: Option<u64>,
+}
+
+impl Default for SetOptions {
+    fn default() -> Self {
+        Self {
+            durability: Durability::WriteThrough,
+            page_size: None,
+            estimated_pages: None,
+        }
+    }
+}
+
+impl SetOptions {
+    /// A `write-through` (persistent, user-data) set.
+    pub fn write_through() -> Self {
+        Self::default()
+    }
+
+    /// A `write-back` (transient, job/execution-data) set.
+    pub fn write_back() -> Self {
+        Self {
+            durability: Durability::WriteBack,
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the page size.
+    pub fn with_page_size(mut self, page_size: usize) -> Self {
+        self.page_size = Some(page_size);
+        self
+    }
+
+    /// Supplies the page-count estimate DBMIN's adaptive sizing wants.
+    pub fn with_estimated_pages(mut self, pages: u64) -> Self {
+        self.estimated_pages = Some(pages);
+        self
+    }
+
+    /// Parses the paper's string form (`"write-through"` / `"write-back"`,
+    /// as in `createSet(setName, "write-back")`).
+    pub fn from_durability_str(s: &str) -> pangea_common::Result<Self> {
+        match s {
+            "write-through" => Ok(Self::write_through()),
+            "write-back" => Ok(Self::write_back()),
+            other => Err(PangeaError::config(format!(
+                "unknown durability '{other}' (expected write-through or write-back)"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_defaults() {
+        let a = SetAttributes::default();
+        assert_eq!(a.durability, Durability::WriteThrough);
+        assert!(!a.lifetime_ended);
+        assert_eq!(a.op, CurrentOp::None);
+        let o = SetOptions::default();
+        assert_eq!(o.durability, Durability::WriteThrough);
+    }
+
+    #[test]
+    fn durability_strings_parse_like_the_paper_api() {
+        assert_eq!(
+            SetOptions::from_durability_str("write-back").unwrap().durability,
+            Durability::WriteBack
+        );
+        assert_eq!(
+            SetOptions::from_durability_str("write-through")
+                .unwrap()
+                .durability,
+            Durability::WriteThrough
+        );
+        assert!(SetOptions::from_durability_str("write-sometimes").is_err());
+    }
+
+    #[test]
+    fn profile_projection_keeps_patterns_and_costs() {
+        let attrs = SetAttributes {
+            durability: Durability::WriteBack,
+            writing: Some(WritePattern::Concurrent),
+            reading: Some(ReadPattern::Random),
+            op: CurrentOp::Write,
+            ..Default::default()
+        };
+        let p = attrs.profile(4096);
+        assert_eq!(p.durability, Durability::WriteBack);
+        assert_eq!(p.writing, Some(WritePattern::Concurrent));
+        assert_eq!(p.reading, Some(ReadPattern::Random));
+        assert_eq!(p.op, CurrentOp::Write);
+        assert_eq!(p.read_time, 4096.0);
+        assert_eq!(p.write_time, 4096.0);
+    }
+}

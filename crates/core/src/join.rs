@@ -1,0 +1,319 @@
+//! Join-map and broadcast-map services (paper §8: "Pangea also provides
+//! other services such as join map service for building hash table
+//! distributedly from shuffled data; and broadcast map service, which
+//! broadcasts a locality set and constructs a hash table from it on each
+//! node for broadcast join").
+//!
+//! A [`JoinMap`] is a read-optimized multimap over Pangea pages: build
+//! it once from a record stream (shuffled partition data or a broadcast
+//! copy of a small set), then probe it many times during a pipelined
+//! join. Payloads live in pinned record pages; an in-memory index maps
+//! key hashes to payload positions, so probes cost one hash lookup plus
+//! direct shared-memory reads — no per-probe deserialization.
+
+use crate::attributes::SetOptions;
+use crate::node::StorageNode;
+use crate::page::{self, ObjectIter};
+use crate::set::LocalitySet;
+use pangea_common::{fx_hash64, FxHashMap, PangeaError, Result};
+use pangea_paging::{ReadPattern, WritePattern};
+use pangea_storage::PagePin;
+
+/// Where one entry's payload lives: `(page index, byte offset of the
+/// record's length prefix within the page)`.
+type Slot = (u32, u32);
+
+/// Builds a [`JoinMap`] by streaming `(key, payload)` entries.
+pub struct JoinMapBuilder {
+    set: LocalitySet,
+    pages: Vec<PagePin>,
+    index: FxHashMap<u64, Vec<Slot>>,
+    scratch: Vec<u8>,
+    entries: u64,
+}
+
+impl JoinMapBuilder {
+    /// Starts a builder backed by a fresh write-back locality set.
+    pub fn new(node: &StorageNode, name: &str) -> Result<Self> {
+        Self::with_page_size(node, name, node.default_page_size())
+    }
+
+    /// Starts a builder with an explicit page size.
+    pub fn with_page_size(node: &StorageNode, name: &str, page_size: usize) -> Result<Self> {
+        let set = node.create_set(
+            name,
+            SetOptions::write_back().with_page_size(page_size),
+        )?;
+        set.declare_write(WritePattern::RandomMutable)?;
+        Ok(Self {
+            set,
+            pages: Vec::new(),
+            index: FxHashMap::default(),
+            scratch: Vec::new(),
+            entries: 0,
+        })
+    }
+
+    /// Adds one `(key, payload)` entry. Duplicate keys accumulate (a
+    /// join map is a multimap).
+    pub fn insert(&mut self, key: &[u8], payload: &[u8]) -> Result<()> {
+        if key.len() > u16::MAX as usize {
+            return Err(PangeaError::usage("join key longer than 64 KiB"));
+        }
+        // Record layout: [u16 klen][key][payload].
+        self.scratch.clear();
+        self.scratch
+            .extend_from_slice(&(key.len() as u16).to_le_bytes());
+        self.scratch.extend_from_slice(key);
+        self.scratch.extend_from_slice(payload);
+        let max_payload =
+            self.set.page_size() - page::PAGE_HEADER - page::RECORD_PREFIX;
+        if self.scratch.len() > max_payload {
+            return Err(PangeaError::usage(format!(
+                "join entry of {} B exceeds page capacity {max_payload} B",
+                self.scratch.len()
+            )));
+        }
+        loop {
+            if self.pages.is_empty() || {
+                let pin = self.pages.last().expect("non-empty");
+                let mut guard = pin.write();
+                let offset = (page::PAGE_HEADER + page::used_bytes(&guard)) as u32;
+                let fits = page::append_record(&mut guard, &self.scratch);
+                drop(guard);
+                if fits {
+                    let slot = ((self.pages.len() - 1) as u32, offset);
+                    self.index.entry(fx_hash64(key)).or_default().push(slot);
+                    self.entries += 1;
+                    return Ok(());
+                }
+                true // full → roll over
+            } {
+                self.pages.push(self.set.new_page()?);
+            }
+        }
+    }
+
+    /// Finishes building: the map becomes read-only and probe-able.
+    pub fn build(self) -> Result<JoinMap> {
+        self.set.declare_read(ReadPattern::Random)?;
+        Ok(JoinMap {
+            set: self.set,
+            pages: self.pages,
+            index: self.index,
+            entries: self.entries,
+        })
+    }
+}
+
+/// A read-only multimap from keys to payload byte strings, with payloads
+/// stored in pinned Pangea pages.
+pub struct JoinMap {
+    set: LocalitySet,
+    pages: Vec<PagePin>,
+    index: FxHashMap<u64, Vec<Slot>>,
+    entries: u64,
+}
+
+impl std::fmt::Debug for JoinMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinMap")
+            .field("set", &self.set.id())
+            .field("pages", &self.pages.len())
+            .field("entries", &self.entries)
+            .finish()
+    }
+}
+
+impl JoinMap {
+    /// Total entries in the map.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// True when the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of backing pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Probes the map, calling `f` for every payload whose key equals
+    /// `key`. Returns the number of matches. Each probe is one hash
+    /// lookup plus direct shared-memory reads at the recorded offsets.
+    pub fn probe(&self, key: &[u8], mut f: impl FnMut(&[u8])) -> usize {
+        let Some(slots) = self.index.get(&fx_hash64(key)) else {
+            return 0;
+        };
+        let mut matches = 0;
+        for &(page_idx, offset) in slots {
+            let pin = &self.pages[page_idx as usize];
+            let guard = pin.read();
+            let at = offset as usize;
+            let len =
+                u32::from_le_bytes(guard[at..at + 4].try_into().expect("4 bytes")) as usize;
+            let rec = &guard[at + 4..at + 4 + len];
+            let klen = u16::from_le_bytes(rec[..2].try_into().expect("2 bytes")) as usize;
+            if &rec[2..2 + klen] == key {
+                f(&rec[2 + klen..]);
+                matches += 1;
+            }
+        }
+        matches
+    }
+
+    /// Collects the payloads for `key` (convenience; `probe` avoids the
+    /// allocation).
+    pub fn get(&self, key: &[u8]) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        self.probe(key, |p| out.push(p.to_vec()));
+        out
+    }
+
+    /// True when the key has at least one entry (semi-join probes).
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let mut found = false;
+        self.probe(key, |_| found = true);
+        found
+    }
+
+    /// Releases the map's storage.
+    pub fn release(self) -> Result<()> {
+        let node = self.set.node().clone();
+        let id = self.set.id();
+        drop(self.pages);
+        self.set.end_lifetime()?;
+        node.drop_set(id)
+    }
+}
+
+/// The broadcast map service: builds a [`JoinMap`] on this node from an
+/// existing locality set by extracting a key from every record. In the
+/// distributed setting the cluster layer first copies the set to every
+/// node, then calls this on each (paper §8).
+pub fn broadcast_map(
+    node: &StorageNode,
+    source: &LocalitySet,
+    map_name: &str,
+    mut key_of: impl FnMut(&[u8]) -> Vec<u8>,
+) -> Result<JoinMap> {
+    let mut builder = JoinMapBuilder::with_page_size(node, map_name, source.page_size())?;
+    source.declare_read(ReadPattern::Sequential)?;
+    for num in source.page_numbers() {
+        let pin = source.pin_page(num)?;
+        let mut it = ObjectIter::new(&pin);
+        let mut staged: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        while let Some(rec) = it.next() {
+            staged.push((key_of(rec), rec.to_vec()));
+        }
+        drop(it);
+        for (k, payload) in staged {
+            builder.insert(&k, &payload)?;
+        }
+    }
+    source.declare_idle()?;
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeConfig, StorageNode};
+    use pangea_common::KB;
+
+    fn node(tag: &str, pool_kb: usize) -> StorageNode {
+        let dir = std::env::temp_dir().join(format!(
+            "pangea-join-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        StorageNode::new(
+            NodeConfig::new(dir)
+                .with_pool_capacity(pool_kb * KB)
+                .with_page_size(KB),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn multimap_probe_returns_all_matches() {
+        let n = node("probe", 64);
+        let mut b = JoinMapBuilder::new(&n, "jm").unwrap();
+        b.insert(b"k1", b"a").unwrap();
+        b.insert(b"k2", b"b").unwrap();
+        b.insert(b"k1", b"c").unwrap();
+        let m = b.build().unwrap();
+        assert_eq!(m.len(), 3);
+        let mut vals = m.get(b"k1");
+        vals.sort();
+        assert_eq!(vals, vec![b"a".to_vec(), b"c".to_vec()]);
+        assert_eq!(m.get(b"k2"), vec![b"b".to_vec()]);
+        assert!(m.get(b"k3").is_empty());
+        assert!(m.contains(b"k2"));
+        assert!(!m.contains(b"k3"));
+    }
+
+    #[test]
+    fn spans_many_pages() {
+        let n = node("pages", 256);
+        let mut b = JoinMapBuilder::new(&n, "jm").unwrap();
+        for i in 0..500u32 {
+            b.insert(
+                format!("key-{:03}", i % 100).as_bytes(),
+                format!("payload-{i:05}").as_bytes(),
+            )
+            .unwrap();
+        }
+        let m = b.build().unwrap();
+        assert!(m.num_pages() > 1);
+        for k in 0..100u32 {
+            assert_eq!(m.get(format!("key-{k:03}").as_bytes()).len(), 5);
+        }
+    }
+
+    #[test]
+    fn hash_collisions_are_filtered_by_key_equality() {
+        let n = node("collide", 64);
+        let mut b = JoinMapBuilder::new(&n, "jm").unwrap();
+        b.insert(b"aaa", b"1").unwrap();
+        b.insert(b"bbb", b"2").unwrap();
+        let m = b.build().unwrap();
+        // Regardless of hash behaviour, only exact key matches count.
+        assert_eq!(m.get(b"aaa"), vec![b"1".to_vec()]);
+        assert_eq!(m.get(b"bbb"), vec![b"2".to_vec()]);
+    }
+
+    #[test]
+    fn broadcast_map_from_set() {
+        let n = node("bcast", 64);
+        let s = n.create_set("src", SetOptions::write_back()).unwrap();
+        let mut w = s.writer();
+        for i in 0..50u32 {
+            w.add_object(format!("{:02}|value-{i}", i % 10).as_bytes())
+                .unwrap();
+        }
+        w.finish().unwrap();
+        let m = broadcast_map(&n, &s, "src.map", |rec| rec[..2].to_vec()).unwrap();
+        assert_eq!(m.len(), 50);
+        assert_eq!(m.get(b"07").len(), 5);
+        m.release().unwrap();
+        assert_eq!(n.pool().pool_stats().pinned_pages, 0);
+    }
+
+    #[test]
+    fn release_frees_pinned_pages() {
+        let n = node("release", 64);
+        let mut b = JoinMapBuilder::new(&n, "jm").unwrap();
+        for i in 0..100u32 {
+            b.insert(&i.to_le_bytes(), b"payload").unwrap();
+        }
+        let m = b.build().unwrap();
+        assert!(n.pool().pool_stats().pinned_pages > 0);
+        m.release().unwrap();
+        assert_eq!(n.pool().pool_stats().pinned_pages, 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! The sequential read service (paper §8 and Fig. 2).
+//!
+//! Two access paths, both exposing the paper's long-lived-worker model
+//! (workers pull pages in a loop; there is no "wave of tasks" — §5):
+//!
+//! * [`LocalitySet::page_iterators`] — the `getPageIterators(numThreads)`
+//!   API: N iterators sharing one atomic cursor over the set's pages.
+//!   Each `next()` pins (and, if spilled, reloads) the next unclaimed
+//!   page.
+//! * [`DataProxy::scan`] — the Fig. 2 protocol: a storage thread answers
+//!   the `GetSetPages` request by pinning pages ahead and pushing their
+//!   metadata ("page pinned: id, offset") into a bounded, thread-safe
+//!   circular buffer; worker threads pull pins from the buffer and read
+//!   the page bytes through shared memory (the pool arena). A `NoMorePage`
+//!   sentinel ends the scan.
+
+use crate::set::LocalitySet;
+use pangea_common::{PageNum, Result};
+use pangea_paging::ReadPattern;
+use pangea_storage::PagePin;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One of N concurrent page iterators over a locality set.
+///
+/// All iterators from one [`LocalitySet::page_iterators`] call share a
+/// cursor, so each page is delivered to exactly one iterator.
+#[derive(Debug)]
+pub struct PageIterator {
+    set: LocalitySet,
+    pages: Arc<Vec<PageNum>>,
+    cursor: Arc<AtomicUsize>,
+}
+
+impl PageIterator {
+    /// Pins and returns the next unclaimed page, or `None` when the scan
+    /// is complete. Pages spilled to disk are transparently reloaded.
+    #[allow(clippy::should_implement_trait)] // fallible iterator
+    pub fn next(&mut self) -> Option<Result<PagePin>> {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let num = *self.pages.get(i)?;
+        Some(self.set.pin_page(num))
+    }
+
+    /// Total pages in the shared scan.
+    pub fn total_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl LocalitySet {
+    /// Returns `threads` iterators sharing one scan over the whole set
+    /// (paper §8: `getPageIterators(numThreads)`). Declares the
+    /// `sequential-read` pattern on the set.
+    pub fn page_iterators(&self, threads: usize) -> Result<Vec<PageIterator>> {
+        self.declare_read(ReadPattern::Sequential)?;
+        let pages = Arc::new(self.page_numbers());
+        let cursor = Arc::new(AtomicUsize::new(0));
+        Ok((0..threads.max(1))
+            .map(|_| PageIterator {
+                set: self.clone(),
+                pages: Arc::clone(&pages),
+                cursor: Arc::clone(&cursor),
+            })
+            .collect())
+    }
+
+    /// Scans the whole set with `threads` worker threads through the
+    /// Fig. 2 data-proxy protocol, calling `work` on every pinned page.
+    /// Returns the number of pages processed.
+    pub fn scan(
+        &self,
+        threads: usize,
+        work: impl Fn(PagePin) -> Result<()> + Send + Sync,
+    ) -> Result<usize> {
+        DataProxy::new(self.clone()).scan(threads, work)
+    }
+}
+
+/// Maximum capacity of the circular buffer between the storage thread
+/// and the computation workers (Fig. 2). The effective capacity also
+/// adapts to the pool so prefetch can never pin the whole pool.
+const CIRCULAR_BUFFER_SLOTS: usize = 8;
+
+/// The computation process's access point to the storage process
+/// (paper §5): forwards `GetSetPages`, receives pinned-page metadata
+/// through a bounded circular buffer, and hands pages to workers.
+#[derive(Debug)]
+pub struct DataProxy {
+    set: LocalitySet,
+}
+
+impl DataProxy {
+    /// A proxy bound to one locality set.
+    pub fn new(set: LocalitySet) -> Self {
+        Self { set }
+    }
+
+    /// Runs a full scan: one storage thread pins pages in order and
+    /// pushes them into the circular buffer; `threads` workers pull and
+    /// run `work`. Errors on either side abort the scan.
+    pub fn scan(
+        &self,
+        threads: usize,
+        work: impl Fn(PagePin) -> Result<()> + Send + Sync,
+    ) -> Result<usize> {
+        self.set.declare_read(ReadPattern::Sequential)?;
+        // Budget the pins the scan holds concurrently (buffered pages +
+        // one per worker + one in the producer's hand) against the pool,
+        // so a small pool is streamed through rather than exhausted.
+        let pool_pages =
+            (self.set.node().pool().capacity() / self.set.page_size()).max(1);
+        let threads = threads.max(1).min(pool_pages.saturating_sub(2).max(1));
+        let slots = pool_pages
+            .saturating_sub(threads + 1)
+            .clamp(1, CIRCULAR_BUFFER_SLOTS);
+        let (tx, rx) = crossbeam::channel::bounded::<PagePin>(slots);
+        let set = self.set.clone();
+        let pages = set.page_numbers();
+        let total = pages.len();
+        let processed = AtomicUsize::new(0);
+        let result: Result<()> = std::thread::scope(|scope| {
+            // The storage thread: answers GetSetPages by pinning pages
+            // and publishing their metadata. Dropping `tx` at the end is
+            // the NoMorePage sentinel.
+            let producer = scope.spawn(move || -> Result<()> {
+                for num in pages {
+                    let pin = set.pin_page(num)?;
+                    if tx.send(pin).is_err() {
+                        break; // workers bailed out early
+                    }
+                }
+                Ok(())
+            });
+            let mut workers = Vec::new();
+            for _ in 0..threads {
+                let rx = rx.clone();
+                let work = &work;
+                let processed = &processed;
+                workers.push(scope.spawn(move || -> Result<()> {
+                    // Long-lived worker loop: pull page metadata, access
+                    // the page through shared memory, repeat (§5).
+                    while let Ok(pin) = rx.recv() {
+                        work(pin)?;
+                        processed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(())
+                }));
+            }
+            drop(rx);
+            let mut first_err = None;
+            for w in workers {
+                if let Err(e) = w.join().expect("worker panicked") {
+                    first_err.get_or_insert(e);
+                }
+            }
+            match producer.join().expect("storage thread panicked") {
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+                Ok(()) => {}
+            }
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        });
+        result?;
+        self.set.declare_idle()?;
+        Ok(processed.load(Ordering::Relaxed).min(total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::SetOptions;
+    use crate::node::{NodeConfig, StorageNode};
+    use crate::page::ObjectIter;
+    use pangea_common::KB;
+    use pangea_paging::CurrentOp;
+    use std::sync::atomic::AtomicU64;
+
+    fn node(tag: &str, pool_kb: usize) -> StorageNode {
+        let dir = std::env::temp_dir().join(format!(
+            "pangea-scan-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        StorageNode::new(
+            NodeConfig::new(dir)
+                .with_pool_capacity(pool_kb * KB)
+                .with_page_size(KB),
+        )
+        .unwrap()
+    }
+
+    fn fill(set: &LocalitySet, n: u64) {
+        let mut w = set.writer();
+        for i in 0..n {
+            w.add_object(&i.to_le_bytes()).unwrap();
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn page_iterators_cover_every_page_exactly_once() {
+        let n = node("iters", 64);
+        let s = n.create_set("s", SetOptions::write_back()).unwrap();
+        fill(&s, 500);
+        let iters = s.page_iterators(4).unwrap();
+        assert_eq!(s.attributes().op, CurrentOp::Read);
+        let sum = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for mut it in iters {
+                let sum = Arc::clone(&sum);
+                let count = Arc::clone(&count);
+                scope.spawn(move || {
+                    while let Some(pin) = it.next() {
+                        let pin = pin.unwrap();
+                        ObjectIter::new(&pin).for_each(|rec| {
+                            sum.fetch_add(
+                                u64::from_le_bytes(rec.try_into().unwrap()),
+                                Ordering::Relaxed,
+                            );
+                            count.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+        assert_eq!(sum.load(Ordering::Relaxed), (0..500).sum::<u64>());
+    }
+
+    #[test]
+    fn proxy_scan_visits_all_pages_with_small_pool() {
+        // Pool holds 8 pages; the set has ~40: the scan must page data
+        // back in from disk as it streams.
+        let n = node("proxy", 8);
+        let s = n.create_set("s", SetOptions::write_back()).unwrap();
+        fill(&s, 1000);
+        let total_pages = s.num_pages() as usize;
+        assert!(total_pages > 8, "working set must exceed the pool");
+        let seen = AtomicU64::new(0);
+        let pages = s
+            .scan(3, |pin| {
+                ObjectIter::new(&pin).for_each(|rec| {
+                    seen.fetch_add(u64::from_le_bytes(rec.try_into().unwrap()), Ordering::Relaxed);
+                });
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(pages, total_pages);
+        assert_eq!(seen.load(Ordering::Relaxed), (0..1000).sum::<u64>());
+        assert_eq!(s.attributes().op, CurrentOp::None, "scan declared idle");
+    }
+
+    #[test]
+    fn scan_of_empty_set_is_empty() {
+        let n = node("empty", 16);
+        let s = n.create_set("s", SetOptions::write_back()).unwrap();
+        assert_eq!(s.scan(2, |_| Ok(())).unwrap(), 0);
+        let mut iters = s.page_iterators(2).unwrap();
+        assert!(iters[0].next().is_none());
+        assert!(iters[1].next().is_none());
+    }
+
+    #[test]
+    fn worker_errors_abort_the_scan() {
+        let n = node("err", 16);
+        let s = n.create_set("s", SetOptions::write_back()).unwrap();
+        fill(&s, 50);
+        let r = s.scan(2, |_pin| {
+            Err(pangea_common::PangeaError::usage("boom"))
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn repeated_scans_reread_spilled_data() {
+        let n = node("rescan", 8);
+        let s = n.create_set("s", SetOptions::write_back()).unwrap();
+        fill(&s, 300);
+        for _ in 0..3 {
+            let cnt = AtomicU64::new(0);
+            s.scan(2, |pin| {
+                cnt.fetch_add(ObjectIter::new(&pin).count() as u64, Ordering::Relaxed);
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(cnt.load(Ordering::Relaxed), 300);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The [`LocalitySet`] handle — the application-facing unit of storage
+//! (paper §3.2).
+
+use crate::attributes::SetAttributes;
+use crate::node::{SetState, StorageNode};
+use crate::seq::SeqWriter;
+use pangea_common::{PageNum, Result, SetId};
+use pangea_paging::{CurrentOp, Durability, ReadPattern, WritePattern};
+use pangea_storage::PagePin;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A handle to one locality set on one node. Cheap to clone; all methods
+/// are thread-safe.
+#[derive(Debug, Clone)]
+pub struct LocalitySet {
+    node: StorageNode,
+    state: Arc<SetState>,
+}
+
+impl LocalitySet {
+    pub(crate) fn new(node: StorageNode, state: Arc<SetState>) -> Self {
+        Self { node, state }
+    }
+
+    /// The set's id.
+    pub fn id(&self) -> SetId {
+        self.state.id
+    }
+
+    /// The set's name.
+    pub fn name(&self) -> &str {
+        &self.state.name
+    }
+
+    /// The fixed page size of this set.
+    pub fn page_size(&self) -> usize {
+        self.state.page_size
+    }
+
+    /// The owning node.
+    pub fn node(&self) -> &StorageNode {
+        &self.node
+    }
+
+    /// A copy of the current attributes (Table 1).
+    pub fn attributes(&self) -> SetAttributes {
+        self.state.attrs()
+    }
+
+    /// Number of pages ever allocated in this set (dense ordinals
+    /// `0..num_pages`).
+    pub fn num_pages(&self) -> u64 {
+        self.state.next_page.load(Ordering::Relaxed)
+    }
+
+    /// All page ordinals of the set, in order.
+    pub fn page_numbers(&self) -> Vec<PageNum> {
+        (0..self.num_pages()).collect()
+    }
+
+    /// Bytes of this set currently on disk.
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.state.file.bytes_on_disk()
+    }
+
+    /// Number of this set's pages resident in the buffer pool.
+    pub fn resident_pages(&self) -> usize {
+        self.node.pool().resident_of_set(self.state.id).len()
+    }
+
+    // ------------------------------------------------------------------
+    // Attribute updates (services call these; paper §3.2 "determining
+    // attributes")
+    // ------------------------------------------------------------------
+
+    fn update_attrs(&self, f: impl FnOnce(&mut SetAttributes)) -> Result<()> {
+        {
+            let mut attrs = self.state.attrs.write();
+            f(&mut attrs);
+        }
+        self.node.republish_profile(&self.state)
+    }
+
+    /// Declares the pattern/operation a service is about to perform.
+    pub fn declare_write(&self, pattern: WritePattern) -> Result<()> {
+        self.update_attrs(|a| {
+            a.writing = Some(pattern);
+            a.op = match a.op {
+                CurrentOp::Read | CurrentOp::ReadAndWrite => CurrentOp::ReadAndWrite,
+                _ => CurrentOp::Write,
+            };
+        })
+    }
+
+    /// Declares the read pattern a service is about to perform.
+    pub fn declare_read(&self, pattern: ReadPattern) -> Result<()> {
+        self.update_attrs(|a| {
+            a.reading = Some(pattern);
+            a.op = match a.op {
+                CurrentOp::Write | CurrentOp::ReadAndWrite => CurrentOp::ReadAndWrite,
+                _ => CurrentOp::Read,
+            };
+        })
+    }
+
+    /// Declares the current operation finished (`CurrentOperation: none`).
+    pub fn declare_idle(&self) -> Result<()> {
+        self.update_attrs(|a| a.op = CurrentOp::None)
+    }
+
+    /// Pins or unpins the whole set in memory (Table 1 `Location`).
+    pub fn set_pinned(&self, pinned: bool) -> Result<()> {
+        self.update_attrs(|a| a.pinned = pinned)
+    }
+
+    /// Ends the set's lifetime: resident pages are dropped without
+    /// flushing and the set is preferred for eviction (paper §6).
+    pub fn end_lifetime(&self) -> Result<()> {
+        self.node.end_lifetime(&self.state)
+    }
+
+    /// The set's durability requirement.
+    pub fn durability(&self) -> Durability {
+        self.state.attrs().durability
+    }
+
+    // ------------------------------------------------------------------
+    // Page access
+    // ------------------------------------------------------------------
+
+    /// Allocates and pins a fresh, empty record page.
+    pub fn new_page(&self) -> Result<PagePin> {
+        self.node.new_pinned_page(&self.state)
+    }
+
+    /// Pins page `num`, loading it from disk when necessary.
+    pub fn pin_page(&self, num: PageNum) -> Result<PagePin> {
+        self.node.pin_page(&self.state, num)
+    }
+
+    /// Seals a finished page (persists it under `write-through`).
+    pub fn seal_page(&self, pin: &PagePin) -> Result<()> {
+        self.node.seal_page(&self.state, pin)
+    }
+
+    /// Spills a pinned page out of memory: flushes it to the set's file
+    /// and frees its pool frame. The caller must hold the only pin.
+    pub fn spill_page_out(&self, pin: PagePin) -> Result<()> {
+        self.node.spill_page_out(&self.state, pin)
+    }
+
+    /// A sequential writer bound to this set (paper §8 sequential write
+    /// service). Each writer owns its own current page, so multiple
+    /// threads can each hold one.
+    pub fn writer(&self) -> SeqWriter {
+        SeqWriter::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::SetOptions;
+    use crate::node::NodeConfig;
+    use pangea_common::KB;
+
+    fn node(tag: &str) -> StorageNode {
+        let dir = std::env::temp_dir().join(format!(
+            "pangea-set-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        StorageNode::new(
+            NodeConfig::new(dir)
+                .with_pool_capacity(64 * KB)
+                .with_page_size(4 * KB),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn declared_patterns_update_attributes() {
+        let n = node("attrs");
+        let s = n.create_set("s", SetOptions::write_back()).unwrap();
+        s.declare_write(WritePattern::Sequential).unwrap();
+        let a = s.attributes();
+        assert_eq!(a.writing, Some(WritePattern::Sequential));
+        assert_eq!(a.op, CurrentOp::Write);
+        s.declare_read(ReadPattern::Random).unwrap();
+        let a = s.attributes();
+        assert_eq!(a.reading, Some(ReadPattern::Random));
+        assert_eq!(a.op, CurrentOp::ReadAndWrite, "write then read overlap");
+        s.declare_idle().unwrap();
+        assert_eq!(s.attributes().op, CurrentOp::None);
+    }
+
+    #[test]
+    fn read_only_declaration_is_read_op() {
+        let n = node("readonly");
+        let s = n.create_set("s", SetOptions::write_back()).unwrap();
+        s.declare_read(ReadPattern::Sequential).unwrap();
+        assert_eq!(s.attributes().op, CurrentOp::Read);
+    }
+
+    #[test]
+    fn page_numbers_are_dense() {
+        let n = node("dense");
+        let s = n.create_set("s", SetOptions::write_back()).unwrap();
+        let _a = s.new_page().unwrap();
+        let _b = s.new_page().unwrap();
+        assert_eq!(s.num_pages(), 2);
+        assert_eq!(s.page_numbers(), vec![0, 1]);
+    }
+}

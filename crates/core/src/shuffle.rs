@@ -1,0 +1,428 @@
+//! The shuffle service and virtual shuffle buffer (paper §8).
+//!
+//! For shuffling, all data elements dispatched to the same partition are
+//! grouped in one locality set — one set per partition, so a node spills
+//! at most `numPartitions` files instead of Spark's
+//! `numCores × numPartitions` (§9.2.2).
+//!
+//! Many writer threads append to the *same* page of a partition's set
+//! concurrently (the `concurrent-write` pattern). A secondary small-page
+//! allocator makes that cheap: each [`VirtualShuffleBuffer`] stages
+//! records into a thread-private small page (a few KB of the big page's
+//! capacity) and publishes it with a single reservation + `memcpy` into
+//! the partition's current big page. Because records are self-framing
+//! and published whole, the big page remains a valid record page that
+//! the sequential read service can scan directly.
+
+use crate::attributes::SetOptions;
+use crate::node::StorageNode;
+use crate::page;
+use crate::set::LocalitySet;
+use pangea_common::{PangeaError, PartitionId, Result};
+use pangea_paging::WritePattern;
+use pangea_storage::PagePin;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Default staging (small page) size: 1/16 of the big page.
+fn default_small_page(page_size: usize) -> usize {
+    (page_size / 16).max(page::RECORD_PREFIX + 16)
+}
+
+/// Shuffle service construction parameters.
+#[derive(Debug, Clone)]
+pub struct ShuffleConfig {
+    /// Number of shuffle partitions (one locality set each).
+    pub partitions: u32,
+    /// Big-page size for the partition sets; `None` uses the node default.
+    pub page_size: Option<usize>,
+    /// Small-page (staging) size; `None` derives 1/16 of the page size.
+    pub small_page_size: Option<usize>,
+}
+
+impl ShuffleConfig {
+    /// A shuffle over `partitions` partitions with default sizing.
+    pub fn new(partitions: u32) -> Self {
+        Self {
+            partitions,
+            page_size: None,
+            small_page_size: None,
+        }
+    }
+
+    /// Overrides the big-page size.
+    pub fn with_page_size(mut self, bytes: usize) -> Self {
+        self.page_size = Some(bytes);
+        self
+    }
+
+    /// Overrides the staging small-page size.
+    pub fn with_small_page_size(mut self, bytes: usize) -> Self {
+        self.small_page_size = Some(bytes);
+        self
+    }
+}
+
+/// Per-partition shared state: the partition's locality set and the big
+/// page currently open for concurrent writing.
+#[derive(Debug)]
+struct PartitionSink {
+    set: LocalitySet,
+    current: Mutex<Option<PagePin>>,
+}
+
+impl PartitionSink {
+    /// Publishes a staged run of framed records into the partition's
+    /// current big page, rolling to a fresh page when full. This is the
+    /// small-page allocator's "reserve region in the big page" step.
+    fn publish(&self, mut framed: &[u8]) -> Result<()> {
+        while !framed.is_empty() {
+            let mut current = self.current.lock();
+            if current.is_none() {
+                *current = Some(self.set.new_page()?);
+            }
+            let pin = current.as_ref().expect("just ensured");
+            let taken = page::append_framed(&mut pin.write(), framed);
+            framed = &framed[taken..];
+            if !framed.is_empty() {
+                // Big page full: seal and roll over.
+                let full = current.take().expect("held above");
+                drop(current);
+                self.set.seal_page(&full)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Result<()> {
+        let page = self.current.lock().take();
+        if let Some(pin) = page {
+            self.set.seal_page(&pin)?;
+        }
+        self.set.declare_idle()
+    }
+}
+
+/// The node-local shuffle service: `partitions` write-back locality sets
+/// accepting concurrent writers through virtual shuffle buffers.
+#[derive(Debug, Clone)]
+pub struct ShuffleService {
+    sinks: Arc<Vec<PartitionSink>>,
+    small_page_size: usize,
+}
+
+impl ShuffleService {
+    /// Creates the per-partition locality sets
+    /// (`<name>.part0 … <name>.partN-1`) on `node`.
+    pub fn create(node: &StorageNode, name: &str, config: ShuffleConfig) -> Result<Self> {
+        if config.partitions == 0 {
+            return Err(PangeaError::config("shuffle needs at least one partition"));
+        }
+        let page_size = config.page_size.unwrap_or(node.default_page_size());
+        let small = config
+            .small_page_size
+            .unwrap_or_else(|| default_small_page(page_size));
+        if small + page::PAGE_HEADER > page_size {
+            return Err(PangeaError::config(format!(
+                "small page {small} B does not fit the {page_size} B big page"
+            )));
+        }
+        let mut sinks = Vec::with_capacity(config.partitions as usize);
+        for p in 0..config.partitions {
+            let set = node.create_set(
+                &format!("{name}.part{p}"),
+                SetOptions::write_back().with_page_size(page_size),
+            )?;
+            // Shuffle teaches the set its pattern (§3.2): concurrent-write.
+            set.declare_write(WritePattern::Concurrent)?;
+            sinks.push(PartitionSink {
+                set,
+                current: Mutex::new(None),
+            });
+        }
+        Ok(Self {
+            sinks: Arc::new(sinks),
+            small_page_size: small,
+        })
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> u32 {
+        self.sinks.len() as u32
+    }
+
+    /// The locality set holding one partition's data (readable with the
+    /// sequential read service once writers finished).
+    pub fn partition_set(&self, p: PartitionId) -> Result<&LocalitySet> {
+        self.sinks
+            .get(p.raw() as usize)
+            .map(|s| &s.set)
+            .ok_or_else(|| PangeaError::usage(format!("{p} out of range")))
+    }
+
+    /// Allocates a virtual shuffle buffer for one (worker, partition)
+    /// pair — the paper's
+    /// `shuffledData.getVirtualShuffleBuffer(workerId, partitionId)`.
+    pub fn virtual_buffer(&self, p: PartitionId) -> Result<VirtualShuffleBuffer> {
+        if p.raw() as usize >= self.sinks.len() {
+            return Err(PangeaError::usage(format!("{p} out of range")));
+        }
+        Ok(VirtualShuffleBuffer {
+            sinks: Arc::clone(&self.sinks),
+            partition: p,
+            staging: Vec::with_capacity(self.small_page_size),
+            small_page_size: self.small_page_size,
+        })
+    }
+
+    /// Seals all in-progress big pages. Call after every writer flushed.
+    pub fn finish_writes(&self) -> Result<()> {
+        for sink in self.sinks.iter() {
+            sink.finish()?;
+        }
+        Ok(())
+    }
+
+    /// Ends the lifetime of every partition set (shuffle data spans two
+    /// job stages; call this after the consuming stage).
+    pub fn end_lifetime(&self) -> Result<()> {
+        for sink in self.sinks.iter() {
+            sink.set.end_lifetime()?;
+        }
+        Ok(())
+    }
+}
+
+/// A thread-private shuffle writer for one partition: stages records in
+/// a small page and publishes them to the partition's shared big page.
+#[derive(Debug)]
+pub struct VirtualShuffleBuffer {
+    sinks: Arc<Vec<PartitionSink>>,
+    partition: PartitionId,
+    staging: Vec<u8>,
+    small_page_size: usize,
+}
+
+impl VirtualShuffleBuffer {
+    /// The partition this buffer feeds.
+    pub fn partition(&self) -> PartitionId {
+        self.partition
+    }
+
+    /// Appends one record (the paper's `buffer->addObject(record)`).
+    pub fn add_object(&mut self, payload: &[u8]) -> Result<()> {
+        let sink = &self.sinks[self.partition.raw() as usize];
+        let max_payload = sink.set.page_size() - page::PAGE_HEADER - page::RECORD_PREFIX;
+        if payload.len() > max_payload {
+            return Err(PangeaError::usage(format!(
+                "shuffle object of {} B exceeds page capacity {max_payload} B",
+                payload.len()
+            )));
+        }
+        self.staging
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.staging.extend_from_slice(payload);
+        if self.staging.len() >= self.small_page_size {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Publishes the staged small page to the shared big page.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.staging.is_empty() {
+            return Ok(());
+        }
+        let sink = &self.sinks[self.partition.raw() as usize];
+        sink.publish(&self.staging)?;
+        self.staging.clear();
+        Ok(())
+    }
+}
+
+impl Drop for VirtualShuffleBuffer {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeConfig;
+    use crate::page::ObjectIter;
+    use pangea_common::{fx_hash64, KB};
+    use std::collections::BTreeSet;
+
+    fn node(tag: &str, pool_kb: usize) -> StorageNode {
+        let dir = std::env::temp_dir().join(format!(
+            "pangea-shuffle-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        StorageNode::new(
+            NodeConfig::new(dir)
+                .with_pool_capacity(pool_kb * KB)
+                .with_page_size(2 * KB),
+        )
+        .unwrap()
+    }
+
+    fn read_partition(svc: &ShuffleService, p: u32) -> Vec<Vec<u8>> {
+        let set = svc.partition_set(PartitionId(p)).unwrap();
+        let mut out = Vec::new();
+        for num in set.page_numbers() {
+            let pin = set.pin_page(num).unwrap();
+            ObjectIter::new(&pin).for_each(|r| out.push(r.to_vec()));
+        }
+        out
+    }
+
+    #[test]
+    fn records_route_to_their_partitions() {
+        let n = node("route", 64);
+        let svc = ShuffleService::create(&n, "sh", ShuffleConfig::new(4)).unwrap();
+        let mut bufs: Vec<_> = (0..4)
+            .map(|p| svc.virtual_buffer(PartitionId(p)).unwrap())
+            .collect();
+        for i in 0..200u64 {
+            let rec = format!("key-{i}");
+            let p = (fx_hash64(rec.as_bytes()) % 4) as usize;
+            bufs[p].add_object(rec.as_bytes()).unwrap();
+        }
+        for b in &mut bufs {
+            b.flush().unwrap();
+        }
+        svc.finish_writes().unwrap();
+        let mut total = 0;
+        for p in 0..4 {
+            for rec in read_partition(&svc, p) {
+                let s = String::from_utf8(rec).unwrap();
+                assert_eq!(fx_hash64(s.as_bytes()) % 4, p as u64);
+                total += 1;
+            }
+        }
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn concurrent_writers_share_one_partition_page() {
+        let n = node("conc", 256);
+        let svc = ShuffleService::create(&n, "sh", ShuffleConfig::new(1)).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let svc = svc.clone();
+                scope.spawn(move || {
+                    let mut buf = svc.virtual_buffer(PartitionId(0)).unwrap();
+                    for i in 0..100u32 {
+                        buf.add_object(format!("w{t}-{i:03}").as_bytes()).unwrap();
+                    }
+                    buf.flush().unwrap();
+                });
+            }
+        });
+        svc.finish_writes().unwrap();
+        let recs = read_partition(&svc, 0);
+        assert_eq!(recs.len(), 400, "no record lost or torn");
+        let unique: BTreeSet<_> = recs.iter().collect();
+        assert_eq!(unique.len(), 400, "no record duplicated");
+        // All four writers interleave within few pages — far fewer than
+        // one page per (writer, batch).
+        let set = svc.partition_set(PartitionId(0)).unwrap();
+        assert!(set.num_pages() <= 4, "pages: {}", set.num_pages());
+    }
+
+    #[test]
+    fn spills_when_working_set_exceeds_pool() {
+        // 16 KB pool, 2 KB pages -> 8 resident pages; write ~64 KB.
+        let n = node("spill", 16);
+        let svc = ShuffleService::create(&n, "sh", ShuffleConfig::new(2)).unwrap();
+        for p in 0..2u32 {
+            let mut buf = svc.virtual_buffer(PartitionId(p)).unwrap();
+            for i in 0..400u64 {
+                buf.add_object(format!("p{p}-{i:05}-payloadpayload").as_bytes())
+                    .unwrap();
+            }
+            buf.flush().unwrap();
+        }
+        svc.finish_writes().unwrap();
+        assert!(
+            n.disk_stats().snapshot().pages_flushed > 0,
+            "shuffle data must have spilled"
+        );
+        // Reading back still sees everything, reloading spilled pages.
+        assert_eq!(read_partition(&svc, 0).len(), 400);
+        assert_eq!(read_partition(&svc, 1).len(), 400);
+    }
+
+    #[test]
+    fn concurrent_readers_reload_spilled_pages_consistently() {
+        // Regression: eviction used to remove a page from the pool
+        // before flushing it, so a concurrent reader missing the pool
+        // could read a stale or in-flight on-disk image.
+        let n = node("racer", 16);
+        let svc = ShuffleService::create(&n, "sh", ShuffleConfig::new(4)).unwrap();
+        for p in 0..4u32 {
+            let mut buf = svc.virtual_buffer(PartitionId(p)).unwrap();
+            for i in 0..300u64 {
+                buf.add_object(format!("p{p}-{i:05}-payload").as_bytes())
+                    .unwrap();
+            }
+            buf.flush().unwrap();
+        }
+        svc.finish_writes().unwrap();
+        std::thread::scope(|scope| {
+            for p in 0..4u32 {
+                let svc = svc.clone();
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        let set = svc.partition_set(PartitionId(p)).unwrap();
+                        let mut seen = 0;
+                        for num in set.page_numbers() {
+                            let pin = set.pin_page(num).unwrap();
+                            ObjectIter::new(&pin).for_each(|rec| {
+                                assert!(rec.starts_with(
+                                    format!("p{p}-").as_bytes()
+                                ));
+                                seen += 1;
+                            });
+                        }
+                        assert_eq!(seen, 300, "partition {p} torn");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn lifetime_end_drops_partitions() {
+        let n = node("life", 64);
+        let svc = ShuffleService::create(&n, "sh", ShuffleConfig::new(2)).unwrap();
+        let mut buf = svc.virtual_buffer(PartitionId(0)).unwrap();
+        buf.add_object(b"x").unwrap();
+        buf.flush().unwrap();
+        svc.finish_writes().unwrap();
+        svc.end_lifetime().unwrap();
+        assert_eq!(n.disk_stats().snapshot().pages_flushed, 0);
+        assert_eq!(
+            svc.partition_set(PartitionId(0)).unwrap().resident_pages(),
+            0
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let n = node("cfg", 64);
+        assert!(ShuffleService::create(&n, "s0", ShuffleConfig::new(0)).is_err());
+        assert!(ShuffleService::create(
+            &n,
+            "s1",
+            ShuffleConfig::new(1).with_small_page_size(4 * KB)
+        )
+        .is_err());
+        let svc = ShuffleService::create(&n, "s2", ShuffleConfig::new(2)).unwrap();
+        assert!(svc.virtual_buffer(PartitionId(9)).is_err());
+        assert!(svc.partition_set(PartitionId(9)).is_err());
+    }
+}

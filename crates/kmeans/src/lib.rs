@@ -1,0 +1,348 @@
+//! # pangea-kmeans
+//!
+//! The paper's k-means workload (Fig. 1, §9.1.1): the storage benchmark
+//! behind Fig. 3 (latency) and Fig. 4 (memory usage).
+//!
+//! The dataflow follows Fig. 1:
+//!
+//! 1. **User data** — the input points, persistent (`write-through` on
+//!    Pangea; a dataset in HDFS/Alluxio/Ignite under Spark);
+//! 2. **Initialization** — one pass computes per-point norms and samples
+//!    initial centroids; points-with-norms is **job data** (`write-back`
+//!    locality set on Pangea; a materialized RDD under Spark);
+//! 3. **Iterative training loop** — each iteration assigns every point
+//!    to its nearest centroid via the norm shortcut
+//!    `‖x−c‖² = ‖x‖² − 2·x·c + ‖c‖²` and hash-aggregates per-cluster
+//!    sums (**hash data**; the virtual hash buffer on Pangea).
+//!
+//! Both backends run identical arithmetic on identical points, so their
+//! final centroids must match exactly — the tests use this as a
+//! cross-backend oracle.
+
+pub mod pangea_backend;
+pub mod spark_backend;
+
+pub use pangea_backend::PangeaKmeans;
+pub use spark_backend::SparkKmeans;
+
+use pangea_common::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Workload parameters (the paper: 1–3 billion 10-d points, five
+/// iterations; benches scale the point count per DESIGN.md §2).
+#[derive(Debug, Clone)]
+pub struct KmeansConfig {
+    /// Number of points.
+    pub points: usize,
+    /// Dimensions per point (the paper uses 10).
+    pub dims: usize,
+    /// Number of clusters.
+    pub k: usize,
+    /// Training iterations after initialization (the paper runs 5).
+    pub iterations: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl KmeansConfig {
+    /// A workload of `points` 10-d points, k = 8, 5 iterations.
+    pub fn new(points: usize) -> Self {
+        Self {
+            points,
+            dims: 10,
+            k: 8,
+            iterations: 5,
+            seed: 7,
+        }
+    }
+
+    /// Overrides the iteration count.
+    pub fn with_iterations(mut self, n: usize) -> Self {
+        self.iterations = n;
+        self
+    }
+}
+
+/// Deterministically generates input points around `k` well-spread
+/// hidden centers.
+pub fn generate_points(cfg: &KmeansConfig) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let centers: Vec<Vec<f64>> = (0..cfg.k)
+        .map(|c| {
+            (0..cfg.dims)
+                .map(|d| ((c * 37 + d * 11) % 100) as f64)
+                .collect()
+        })
+        .collect();
+    (0..cfg.points)
+        .map(|i| {
+            let c = &centers[i % cfg.k];
+            c.iter()
+                .map(|&x| x + rng.random_range(-3.0..3.0))
+                .collect()
+        })
+        .collect()
+}
+
+/// Timing + memory outcome of one run (a Fig. 3 / Fig. 4 row).
+#[derive(Debug, Clone)]
+pub struct KmeansOutcome {
+    /// Backend label.
+    pub system: String,
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Initialization (load + norms + sampling) wall time.
+    pub init_time: Duration,
+    /// Per-iteration wall times.
+    pub iter_times: Vec<Duration>,
+    /// Peak RAM observed across the run (all layers).
+    pub peak_mem_bytes: u64,
+}
+
+impl KmeansOutcome {
+    /// Total wall time.
+    pub fn total_time(&self) -> Duration {
+        self.init_time + self.iter_times.iter().sum::<Duration>()
+    }
+
+    /// Mean per-iteration time.
+    pub fn avg_iter_time(&self) -> Duration {
+        if self.iter_times.is_empty() {
+            Duration::ZERO
+        } else {
+            self.iter_times.iter().sum::<Duration>() / self.iter_times.len() as u32
+        }
+    }
+}
+
+/// A storage backend the k-means driver runs against.
+///
+/// Norm records are `[‖x‖², x₀ … x_{d−1}]`; `aggregate_pass` must, for
+/// every norm record, route `[x₀ … x_{d−1}, 1]` to the cluster returned
+/// by `assign(record)` with element-wise-sum merging, and return the
+/// merged totals.
+pub trait KmeansBackend {
+    /// Label for benchmark output.
+    fn name(&self) -> String;
+    /// Stores the input points (user data).
+    fn load_points(&mut self, points: &[Vec<f64>]) -> Result<()>;
+    /// One pass over the points producing the norms job dataset.
+    fn init_norms(&mut self) -> Result<()>;
+    /// Streams every norm record (diagnostics / tests).
+    fn for_each_norm(&mut self, f: &mut dyn FnMut(&[f64]) -> Result<()>) -> Result<()>;
+    /// One assign + hash-aggregate pass (see trait docs).
+    fn aggregate_pass(
+        &mut self,
+        dims: usize,
+        assign: &dyn Fn(&[f64]) -> u32,
+    ) -> Result<Vec<(u32, Vec<f64>)>>;
+    /// Current RAM bytes across the backend's layers.
+    fn mem_bytes(&self) -> u64;
+    /// Releases transient data.
+    fn cleanup(&mut self) -> Result<()>;
+}
+
+pub(crate) fn squared_norm(p: &[f64]) -> f64 {
+    p.iter().map(|x| x * x).sum()
+}
+
+fn nearest(centroids: &[Vec<f64>], cnorms: &[f64], point: &[f64], pnorm: f64) -> u32 {
+    let mut best = 0u32;
+    let mut best_d = f64::INFINITY;
+    for (c, (centroid, &cn)) in centroids.iter().zip(cnorms).enumerate() {
+        let dot: f64 = centroid.iter().zip(point).map(|(a, b)| a * b).sum();
+        let d = pnorm - 2.0 * dot + cn;
+        if d < best_d {
+            best_d = d;
+            best = c as u32;
+        }
+    }
+    best
+}
+
+/// Runs the full workload (Fig. 1 dataflow) against a backend.
+pub fn run_kmeans(
+    backend: &mut dyn KmeansBackend,
+    cfg: &KmeansConfig,
+) -> Result<KmeansOutcome> {
+    let points = generate_points(cfg);
+    let mut peak = 0u64;
+
+    let t0 = Instant::now();
+    backend.load_points(&points)?;
+    backend.init_norms()?;
+    // Initial centroids: the first k points (deterministic sampling).
+    let mut centroids: Vec<Vec<f64>> = points.iter().take(cfg.k).cloned().collect();
+    let init_time = t0.elapsed();
+    peak = peak.max(backend.mem_bytes());
+
+    let mut iter_times = Vec::with_capacity(cfg.iterations);
+    for _ in 0..cfg.iterations {
+        let t = Instant::now();
+        let cnorms: Vec<f64> = centroids.iter().map(|c| squared_norm(c)).collect();
+        let assign = |rec: &[f64]| -> u32 {
+            let (norm, coords) = rec.split_first().expect("non-empty norm record");
+            nearest(&centroids, &cnorms, coords, *norm)
+        };
+        let totals = backend.aggregate_pass(cfg.dims, &assign)?;
+        centroids = new_centroids(&totals, cfg);
+        iter_times.push(t.elapsed());
+        peak = peak.max(backend.mem_bytes());
+    }
+    let system = backend.name();
+    backend.cleanup()?;
+    Ok(KmeansOutcome {
+        system,
+        centroids,
+        init_time,
+        iter_times,
+        peak_mem_bytes: peak,
+    })
+}
+
+fn new_centroids(totals: &[(u32, Vec<f64>)], cfg: &KmeansConfig) -> Vec<Vec<f64>> {
+    let mut out = vec![vec![0.0; cfg.dims]; cfg.k];
+    for (cluster, sums) in totals {
+        let count = sums[cfg.dims];
+        if count > 0.0 {
+            out[*cluster as usize] = sums[..cfg.dims].iter().map(|s| s / count).collect();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangea_layered::{SimAlluxio, SimHdfs, SimIgnite};
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "pangea-kmeans-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn small_cfg() -> KmeansConfig {
+        KmeansConfig {
+            points: 400,
+            dims: 4,
+            k: 3,
+            iterations: 3,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn points_are_deterministic() {
+        let cfg = small_cfg();
+        let a = generate_points(&cfg);
+        let b = generate_points(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 400);
+        assert_eq!(a[0].len(), 4);
+    }
+
+    #[test]
+    fn pangea_and_spark_backends_agree_exactly() {
+        let cfg = small_cfg();
+        let mut pangea =
+            PangeaKmeans::new(&dir("agree-p"), 4 * pangea_common::MB, "data-aware")
+                .unwrap();
+        let pangea_out = run_kmeans(&mut pangea, &cfg).unwrap();
+        let hdfs = Arc::new(SimHdfs::new(&dir("agree-s"), 1, 64 * 1024).unwrap());
+        let mut spark = SparkKmeans::new(hdfs, 8 * pangea_common::MB);
+        let spark_out = run_kmeans(&mut spark, &cfg).unwrap();
+        assert_eq!(pangea_out.centroids, spark_out.centroids);
+        assert!(pangea_out
+            .centroids
+            .iter()
+            .any(|c| c.iter().any(|&x| x != 0.0)));
+    }
+
+    #[test]
+    fn all_spark_stores_agree() {
+        let cfg = small_cfg();
+        let hdfs = Arc::new(SimHdfs::new(&dir("st-h"), 1, 64 * 1024).unwrap());
+        let alluxio = Arc::new(SimAlluxio::new(32 * pangea_common::MB as u64));
+        let ignite = Arc::new(SimIgnite::new(32 * pangea_common::MB as u64));
+        let mut outs = Vec::new();
+        for store in [
+            Arc::clone(&hdfs) as Arc<dyn pangea_layered::DataStore>,
+            alluxio,
+            ignite,
+        ] {
+            let mut spark = SparkKmeans::new(store, 8 * pangea_common::MB);
+            outs.push(run_kmeans(&mut spark, &cfg).unwrap());
+        }
+        assert_eq!(outs[0].centroids, outs[1].centroids);
+        assert_eq!(outs[1].centroids, outs[2].centroids);
+    }
+
+    #[test]
+    fn pangea_handles_memory_pressure_by_spilling() {
+        // Pool far smaller than the working set: must page, not fail.
+        let cfg = KmeansConfig {
+            points: 3000,
+            dims: 8,
+            k: 4,
+            iterations: 2,
+            seed: 1,
+        };
+        let mut pangea =
+            PangeaKmeans::new(&dir("pressure"), 96 * pangea_common::KB, "data-aware")
+                .unwrap();
+        let out = run_kmeans(&mut pangea, &cfg).unwrap();
+        assert!(
+            pangea.node().disk_stats().snapshot().pages_flushed > 0,
+            "working set exceeded the pool; spills expected"
+        );
+        assert_eq!(out.centroids.len(), 4);
+    }
+
+    #[test]
+    fn dbmin_adaptive_blocks_like_fig3() {
+        // DBMIN-adaptive blocks when the desired locality-set sizes
+        // exceed memory — the paper's "failed cases shown as gaps".
+        let cfg = KmeansConfig {
+            points: 3000,
+            dims: 8,
+            k: 4,
+            iterations: 1,
+            seed: 1,
+        };
+        let mut pangea = PangeaKmeans::new(
+            &dir("dbmin"),
+            96 * pangea_common::KB,
+            "dbmin-adaptive",
+        )
+        .unwrap();
+        let r = run_kmeans(&mut pangea, &cfg);
+        match r {
+            Err(e) => assert!(e.is_reported_as_gap(), "unexpected error: {e}"),
+            Ok(_) => panic!("DBMIN-adaptive must block under pressure"),
+        }
+    }
+
+    #[test]
+    fn spark_over_small_alluxio_fails_as_gap() {
+        let cfg = KmeansConfig {
+            points: 5000,
+            dims: 8,
+            k: 4,
+            iterations: 1,
+            seed: 1,
+        };
+        let alluxio = Arc::new(SimAlluxio::new(64 * pangea_common::KB as u64));
+        let mut spark = SparkKmeans::new(alluxio, 8 * pangea_common::MB);
+        let err = run_kmeans(&mut spark, &cfg).unwrap_err();
+        assert!(err.is_reported_as_gap());
+    }
+}

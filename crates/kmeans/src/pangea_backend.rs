@@ -1,0 +1,201 @@
+//! k-means directly on a Pangea storage node (the paper's §9.1.1
+//! implementation: "We use one write-through locality set to store input
+//! data, and use one write-back locality set to store the points with
+//! norms for fast distance computation").
+
+use crate::{squared_norm, KmeansBackend};
+use pangea_common::{Record, Result};
+use pangea_core::{
+    HashConfig, NodeConfig, ObjectIter, SetOptions, StorageNode, VirtualHashBuffer,
+};
+use std::path::Path;
+
+/// The Pangea k-means backend. The paging strategy is configurable so
+/// Fig. 3 can sweep Pangea × {data-aware, LRU, MRU, DBMIN-…}.
+#[derive(Debug)]
+pub struct PangeaKmeans {
+    node: StorageNode,
+    agg_runs: u64,
+    point_bytes: u64,
+}
+
+impl PangeaKmeans {
+    /// A fresh single-worker node under `dir` with the given pool size
+    /// and paging strategy.
+    pub fn new(dir: &Path, pool_capacity: usize, strategy: &str) -> Result<Self> {
+        Self::with_bandwidth(dir, pool_capacity, strategy, None)
+    }
+
+    /// As [`PangeaKmeans::new`] with an optional disk bandwidth (benches
+    /// pace the disks so I/O volume converts to wall-clock).
+    pub fn with_bandwidth(
+        dir: &Path,
+        pool_capacity: usize,
+        strategy: &str,
+        disk_bandwidth: Option<u64>,
+    ) -> Result<Self> {
+        let mut cfg = NodeConfig::new(dir)
+            .with_pool_capacity(pool_capacity)
+            .with_page_size(8 * pangea_common::KB)
+            .with_strategy(strategy);
+        if let Some(bw) = disk_bandwidth {
+            cfg = cfg.with_disk_bandwidth(bw);
+        }
+        let node = StorageNode::new(cfg)?;
+        Ok(Self::with_node(node))
+    }
+
+    /// Wraps an existing node (cluster benches).
+    pub fn with_node(node: StorageNode) -> Self {
+        Self {
+            node,
+            agg_runs: 0,
+            point_bytes: 0,
+        }
+    }
+
+    /// The underlying storage node (stats, pool).
+    pub fn node(&self) -> &StorageNode {
+        &self.node
+    }
+
+    fn estimated_pages(&self, bytes: u64) -> u64 {
+        (bytes / self.node.default_page_size() as u64).max(1)
+    }
+}
+
+impl KmeansBackend for PangeaKmeans {
+    fn name(&self) -> String {
+        format!("pangea/{}", self.node.strategy_name())
+    }
+
+    fn load_points(&mut self, points: &[Vec<f64>]) -> Result<()> {
+        self.point_bytes = points
+            .iter()
+            .map(|p| (p.encoded_len() + 4) as u64)
+            .sum();
+        // User data: write-through (persisted as imported; §9.1.1). The
+        // page estimate feeds only the DBMIN baselines.
+        let set = self.node.create_set(
+            "points",
+            SetOptions::write_through()
+                .with_estimated_pages(self.estimated_pages(self.point_bytes)),
+        )?;
+        let mut w = set.writer();
+        for p in points {
+            w.add_record(p)?;
+        }
+        w.finish()
+    }
+
+    fn init_norms(&mut self) -> Result<()> {
+        let points = self
+            .node
+            .get_set("points")
+            .ok_or_else(|| pangea_common::PangeaError::usage("points not loaded"))?;
+        // Job data: write-back (transient; spilled only under pressure).
+        let norms = self.node.create_set(
+            "points_norms",
+            SetOptions::write_back().with_estimated_pages(
+                self.estimated_pages(self.point_bytes + self.point_bytes / 10),
+            ),
+        )?;
+        let mut w = norms.writer();
+        let mut iters = points.page_iterators(1)?;
+        while let Some(pin) = iters[0].next() {
+            let pin = pin?;
+            let mut it = ObjectIter::new(&pin);
+            while let Some(rec) = it.next() {
+                let p = <Vec<f64> as Record>::decode(rec)?;
+                let mut with_norm = Vec::with_capacity(p.len() + 1);
+                with_norm.push(squared_norm(&p));
+                with_norm.extend_from_slice(&p);
+                w.add_record(&with_norm)?;
+            }
+        }
+        w.finish()?;
+        points.declare_idle()
+    }
+
+    fn for_each_norm(&mut self, f: &mut dyn FnMut(&[f64]) -> Result<()>) -> Result<()> {
+        let norms = self
+            .node
+            .get_set("points_norms")
+            .ok_or_else(|| pangea_common::PangeaError::usage("norms not built"))?;
+        let mut iters = norms.page_iterators(1)?;
+        while let Some(pin) = iters[0].next() {
+            let pin = pin?;
+            let mut it = ObjectIter::new(&pin);
+            while let Some(rec) = it.next() {
+                let v = <Vec<f64> as Record>::decode(rec)?;
+                f(&v)?;
+            }
+        }
+        norms.declare_idle()
+    }
+
+    fn aggregate_pass(
+        &mut self,
+        dims: usize,
+        assign: &dyn Fn(&[f64]) -> u32,
+    ) -> Result<Vec<(u32, Vec<f64>)>> {
+        self.agg_runs += 1;
+        // Hash data: the virtual hash buffer (cluster → [sums…, count]).
+        let mut agg: VirtualHashBuffer<Vec<f64>, _> = VirtualHashBuffer::create(
+            &self.node,
+            &format!("kmeans.agg{}", self.agg_runs),
+            HashConfig::new(2),
+            |acc: &mut Vec<f64>, v: Vec<f64>| {
+                for (a, b) in acc.iter_mut().zip(v) {
+                    *a += b;
+                }
+            },
+        )?;
+        let norms = self
+            .node
+            .get_set("points_norms")
+            .ok_or_else(|| pangea_common::PangeaError::usage("norms not built"))?;
+        let mut contribution = vec![0.0f64; dims + 1];
+        let mut iters = norms.page_iterators(1)?;
+        while let Some(pin) = iters[0].next() {
+            let pin = pin?;
+            let mut it = ObjectIter::new(&pin);
+            while let Some(rec) = it.next() {
+                let v = <Vec<f64> as Record>::decode(rec)?;
+                let cluster = assign(&v);
+                contribution[..dims].copy_from_slice(&v[1..]);
+                contribution[dims] = 1.0;
+                agg.insert_merge(&cluster.to_le_bytes(), contribution.clone())?;
+            }
+        }
+        norms.declare_idle()?;
+        let mut out = Vec::new();
+        for (key, sums) in agg.finalize()? {
+            let cluster = u32::from_le_bytes(
+                key.as_slice()
+                    .try_into()
+                    .map_err(|_| pangea_common::PangeaError::Corruption(
+                        "bad cluster key".into(),
+                    ))?,
+            );
+            out.push((cluster, sums));
+        }
+        out.sort_by_key(|(c, _)| *c);
+        Ok(out)
+    }
+
+    fn mem_bytes(&self) -> u64 {
+        self.node.pool().used() as u64
+    }
+
+    fn cleanup(&mut self) -> Result<()> {
+        for name in ["points_norms", "points"] {
+            if let Some(set) = self.node.get_set(name) {
+                let id = set.id();
+                set.end_lifetime()?;
+                self.node.drop_set(id)?;
+            }
+        }
+        Ok(())
+    }
+}

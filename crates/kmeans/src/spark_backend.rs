@@ -1,0 +1,138 @@
+//! k-means on the layered stack (paper §9.1.1): a Spark executor over a
+//! pluggable store (HDFS / Alluxio / Ignite).
+//!
+//! * Input points are a dataset in the store; the executor caches them
+//!   as an RDD (paying per-record deserialization + per-object
+//!   allocation at the boundary);
+//! * points-with-norms is a *materialized* RDD (MEMORY_AND_DISK): the
+//!   partitions that fit the storage pool stay cached, the rest spill
+//!   and are re-read every iteration — the paper's Alluxio observation
+//!   ("3× slower iterations" once double caching shrinks working memory);
+//! * the per-iteration aggregation reserves execution-pool memory,
+//!   which under pressure evicts cached partitions (Spark's unified
+//!   memory manager).
+
+use crate::{squared_norm, KmeansBackend};
+use pangea_common::{FxHashMap, Record, Result};
+use pangea_layered::{DataStore, SimSpark, SparkConfig};
+use std::sync::Arc;
+
+/// The Spark-over-store k-means backend.
+pub struct SparkKmeans {
+    spark: SimSpark,
+    store: Arc<dyn DataStore>,
+    dims_hint: usize,
+}
+
+impl std::fmt::Debug for SparkKmeans {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SparkKmeans")
+            .field("store", &self.store.name())
+            .finish()
+    }
+}
+
+impl SparkKmeans {
+    /// An executor with `executor_memory` bytes over `store`.
+    pub fn new(store: Arc<dyn DataStore>, executor_memory: usize) -> Self {
+        let spark = SimSpark::new(
+            Arc::clone(&store),
+            SparkConfig::new(executor_memory, 64 * pangea_common::KB),
+        );
+        Self {
+            spark,
+            store,
+            dims_hint: 0,
+        }
+    }
+
+    /// The executor (wave/eviction accounting).
+    pub fn spark(&self) -> &SimSpark {
+        &self.spark
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &Arc<dyn DataStore> {
+        &self.store
+    }
+}
+
+impl KmeansBackend for SparkKmeans {
+    fn name(&self) -> String {
+        format!("spark/{}", self.store.name())
+    }
+
+    fn load_points(&mut self, points: &[Vec<f64>]) -> Result<()> {
+        self.dims_hint = points.first().map(|p| p.len()).unwrap_or(0);
+        for p in points {
+            let mut bytes = Vec::with_capacity(p.encoded_len());
+            p.encode(&mut bytes);
+            self.store.append("points", &bytes)?;
+        }
+        self.store.seal("points")?;
+        self.spark.cache_rdd("points")
+    }
+
+    fn init_norms(&mut self) -> Result<()> {
+        let mut norm_records: Vec<Vec<u8>> = Vec::new();
+        self.spark.map_partitions("points", |rec| {
+            let p = <Vec<f64> as Record>::decode(rec)?;
+            let mut with_norm = Vec::with_capacity(p.len() + 1);
+            with_norm.push(squared_norm(&p));
+            with_norm.extend_from_slice(&p);
+            let mut bytes = Vec::with_capacity(with_norm.encoded_len());
+            with_norm.encode(&mut bytes);
+            norm_records.push(bytes);
+            Ok(())
+        })?;
+        self.spark
+            .materialize_rdd("points_norms", norm_records.into_iter())
+    }
+
+    fn for_each_norm(&mut self, f: &mut dyn FnMut(&[f64]) -> Result<()>) -> Result<()> {
+        self.spark.map_partitions("points_norms", |rec| {
+            let v = <Vec<f64> as Record>::decode(rec)?;
+            f(&v)
+        })
+    }
+
+    fn aggregate_pass(
+        &mut self,
+        dims: usize,
+        assign: &dyn Fn(&[f64]) -> u32,
+    ) -> Result<Vec<(u32, Vec<f64>)>> {
+        // Execution-pool reservation for the aggregation hash state; may
+        // evict cached partitions (unified memory manager).
+        let reservation = (64 * (dims + 2) * 8).max(4096);
+        self.spark.reserve_execution(reservation)?;
+        let mut totals: FxHashMap<u32, Vec<f64>> = FxHashMap::default();
+        let result = self.spark.map_partitions("points_norms", |rec| {
+            let v = <Vec<f64> as Record>::decode(rec)?;
+            let cluster = assign(&v);
+            let entry = totals
+                .entry(cluster)
+                .or_insert_with(|| vec![0.0; dims + 1]);
+            for (a, b) in entry[..dims].iter_mut().zip(&v[1..]) {
+                *a += b;
+            }
+            entry[dims] += 1.0;
+            Ok(())
+        });
+        self.spark.release_execution(reservation);
+        result?;
+        let mut out: Vec<(u32, Vec<f64>)> = totals.into_iter().collect();
+        out.sort_by_key(|(c, _)| *c);
+        Ok(out)
+    }
+
+    fn mem_bytes(&self) -> u64 {
+        self.spark.mem_bytes() + self.store.mem_bytes()
+    }
+
+    fn cleanup(&mut self) -> Result<()> {
+        self.spark.uncache("points_norms");
+        self.spark.uncache("points");
+        self.store.delete("points")?;
+        Ok(())
+    }
+}

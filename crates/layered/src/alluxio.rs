@@ -1,0 +1,311 @@
+//! Alluxio baseline (paper §9.1.1 and Fig. 7).
+//!
+//! Alluxio is an in-memory file system deployed *between* a computation
+//! framework and a DFS. The costs the paper measures:
+//!
+//! * every write serializes the record and copies it client → worker;
+//!   every read copies worker → client and deserializes (the paper's
+//!   tuned NIO client — still two crossings per record);
+//! * worker memory is a hard budget: "Alluxio doesn't support writing
+//!   more data than its configured memory size" (Fig. 7) — exceeding it
+//!   is a [`PangeaError::SystemFailure`], plotted as a gap;
+//! * optionally an under-store (e.g. [`crate::hdfs::SimHdfs`]) persists
+//!   every write too — that is the *double caching* of §9.1.1: the same
+//!   bytes live in Alluxio memory and again in the under-store path.
+
+use crate::store::DataStore;
+use pangea_common::{
+    FxHashMap, IoStats, IoStatsSnapshot, PangeaError, Result,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct MemDataset {
+    /// Framed records (length prefix + payload) in 1 MB-ish buffers.
+    buffers: Vec<Vec<u8>>,
+    bytes: u64,
+}
+
+struct AlluxioInner {
+    capacity: u64,
+    used: Mutex<u64>,
+    datasets: Mutex<FxHashMap<String, MemDataset>>,
+    under: Option<Arc<dyn DataStore>>,
+    stats: Arc<IoStats>,
+}
+
+impl std::fmt::Debug for AlluxioInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlluxioInner")
+            .field("capacity", &self.capacity)
+            .field("has_under_store", &self.under.is_some())
+            .finish()
+    }
+}
+
+/// A single-worker Alluxio simulation.
+#[derive(Debug, Clone)]
+pub struct SimAlluxio {
+    inner: Arc<AlluxioInner>,
+}
+
+/// Buffer granularity inside the worker.
+const ALLUXIO_BUFFER: usize = 1 << 20;
+
+impl SimAlluxio {
+    /// A worker with `capacity` bytes of memory and no under-store
+    /// (the Fig. 7 transient configuration).
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            inner: Arc::new(AlluxioInner {
+                capacity,
+                used: Mutex::new(0),
+                datasets: Mutex::new(FxHashMap::default()),
+                under: None,
+                stats: Arc::new(IoStats::new()),
+            }),
+        }
+    }
+
+    /// A worker that also persists every write to an under-store — the
+    /// double-caching configuration of §9.1.1.
+    pub fn with_under_store(capacity: u64, under: Arc<dyn DataStore>) -> Self {
+        Self {
+            inner: Arc::new(AlluxioInner {
+                capacity,
+                used: Mutex::new(0),
+                datasets: Mutex::new(FxHashMap::default()),
+                under: Some(under),
+                stats: Arc::new(IoStats::new()),
+            }),
+        }
+    }
+
+    /// Worker memory currently used.
+    pub fn used_bytes(&self) -> u64 {
+        *self.inner.used.lock()
+    }
+
+    /// Configured worker memory.
+    pub fn capacity(&self) -> u64 {
+        self.inner.capacity
+    }
+}
+
+impl DataStore for SimAlluxio {
+    fn name(&self) -> &'static str {
+        "alluxio"
+    }
+
+    fn append(&self, dataset: &str, record: &[u8]) -> Result<()> {
+        // Spill datasets (Spark block-manager files, named `…#spill`)
+        // belong on local disk, not in worker memory; route them to the
+        // under-store when one exists.
+        if dataset.contains("#spill") {
+            if let Some(under) = &self.inner.under {
+                return under.append(dataset, record);
+            }
+        }
+        let framed = record.len() as u64 + 4;
+        {
+            let mut used = self.inner.used.lock();
+            if *used + framed > self.inner.capacity {
+                return Err(PangeaError::SystemFailure(format!(
+                    "Alluxio worker out of memory: {} B used of {} B",
+                    *used, self.inner.capacity
+                )));
+            }
+            *used += framed;
+        }
+        // Client → worker crossing.
+        self.inner.stats.record_serialization(record.len());
+        self.inner.stats.record_copy(record.len());
+        let mut datasets = self.inner.datasets.lock();
+        let ds = datasets.entry(dataset.to_string()).or_default();
+        if ds
+            .buffers
+            .last()
+            .map(|b| b.len() + record.len() + 4 > ALLUXIO_BUFFER)
+            .unwrap_or(true)
+        {
+            ds.buffers.push(Vec::with_capacity(ALLUXIO_BUFFER.min(
+                (record.len() + 4).next_power_of_two(),
+            )));
+        }
+        let buf = ds.buffers.last_mut().expect("just ensured");
+        buf.extend_from_slice(&(record.len() as u32).to_le_bytes());
+        buf.extend_from_slice(record);
+        ds.bytes += framed;
+        drop(datasets);
+        if let Some(under) = &self.inner.under {
+            under.append(dataset, record)?;
+        }
+        Ok(())
+    }
+
+    fn seal(&self, dataset: &str) -> Result<()> {
+        if let Some(under) = &self.inner.under {
+            under.seal(dataset)?;
+        }
+        Ok(())
+    }
+
+    fn scan(&self, dataset: &str, f: &mut dyn FnMut(&[u8]) -> Result<()>) -> Result<()> {
+        if dataset.contains("#spill") {
+            if let Some(under) = &self.inner.under {
+                return under.scan(dataset, f);
+            }
+        }
+        let datasets = self.inner.datasets.lock();
+        let ds = datasets
+            .get(dataset)
+            .ok_or_else(|| PangeaError::usage(format!("unknown dataset '{dataset}'")))?;
+        // Copy the buffers out under the lock (worker → client copy),
+        // then deserialize client-side.
+        let buffers: Vec<Vec<u8>> = ds.buffers.clone();
+        for b in &buffers {
+            self.inner.stats.record_copy(b.len());
+        }
+        drop(datasets);
+        for buf in buffers {
+            let mut pos = 0;
+            while pos + 4 <= buf.len() {
+                let len =
+                    u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+                if pos + 4 + len > buf.len() {
+                    return Err(PangeaError::Corruption("torn Alluxio record".into()));
+                }
+                self.inner.stats.record_serialization(len);
+                f(&buf[pos + 4..pos + 4 + len])?;
+                pos += 4 + len;
+            }
+        }
+        Ok(())
+    }
+
+    fn delete(&self, dataset: &str) -> Result<()> {
+        if dataset.contains("#spill") {
+            if let Some(under) = &self.inner.under {
+                return under.delete(dataset);
+            }
+        }
+        let removed = self.inner.datasets.lock().remove(dataset);
+        if let Some(ds) = removed {
+            *self.inner.used.lock() -= ds.bytes;
+        }
+        if let Some(under) = &self.inner.under {
+            under.delete(dataset)?;
+        }
+        Ok(())
+    }
+
+    fn mem_bytes(&self) -> u64 {
+        *self.inner.used.lock()
+            + self
+                .inner
+                .under
+                .as_ref()
+                .map(|u| u.mem_bytes())
+                .unwrap_or(0)
+    }
+
+    fn stats(&self) -> IoStatsSnapshot {
+        let mut s = self.inner.stats.snapshot();
+        if let Some(under) = &self.inner.under {
+            let u = under.stats();
+            s.disk_reads += u.disk_reads;
+            s.disk_read_bytes += u.disk_read_bytes;
+            s.disk_writes += u.disk_writes;
+            s.disk_write_bytes += u.disk_write_bytes;
+            s.serializations += u.serializations;
+            s.serialized_bytes += u.serialized_bytes;
+            s.copies += u.copies;
+            s.copied_bytes += u.copied_bytes;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hdfs::SimHdfs;
+    use crate::store::load_dataset;
+    use pangea_common::KB;
+
+    #[test]
+    fn roundtrip_within_memory() {
+        let a = SimAlluxio::new(64 * KB as u64);
+        let recs: Vec<Vec<u8>> = (0..50u32).map(|i| format!("r{i}").into_bytes()).collect();
+        load_dataset(&a, "t", recs.iter().map(|r| r.as_slice())).unwrap();
+        let mut out = Vec::new();
+        a.scan("t", &mut |r| {
+            out.push(r.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out, recs);
+        assert!(a.used_bytes() > 0);
+    }
+
+    #[test]
+    fn refuses_writes_beyond_memory() {
+        let a = SimAlluxio::new(1024);
+        let rec = vec![0u8; 256];
+        let mut wrote = 0;
+        let err = loop {
+            match a.append("t", &rec) {
+                Ok(()) => wrote += 1,
+                Err(e) => break e,
+            }
+        };
+        assert!(wrote >= 3, "some writes fit: {wrote}");
+        assert!(matches!(err, PangeaError::SystemFailure(_)));
+        assert!(err.is_reported_as_gap(), "plotted as a gap in Fig. 7");
+    }
+
+    #[test]
+    fn delete_releases_memory() {
+        let a = SimAlluxio::new(8 * KB as u64);
+        load_dataset(&a, "t", [b"0123456789".as_slice()]).unwrap();
+        assert!(a.used_bytes() > 0);
+        a.delete("t").unwrap();
+        assert_eq!(a.used_bytes(), 0);
+    }
+
+    #[test]
+    fn under_store_double_caches() {
+        let dir = std::env::temp_dir().join(format!(
+            "pangea-alluxio-under-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let hdfs = Arc::new(SimHdfs::new(&dir, 1, 256).unwrap());
+        let a = SimAlluxio::with_under_store(64 * KB as u64, hdfs.clone());
+        load_dataset(&a, "t", [b"persisted".as_slice()]).unwrap();
+        // The same record is in Alluxio memory AND on the HDFS path.
+        assert!(a.used_bytes() > 0);
+        let mut from_hdfs = Vec::new();
+        hdfs.scan("t", &mut |r| {
+            from_hdfs.push(r.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(from_hdfs, vec![b"persisted".to_vec()]);
+        // Both layers' interfacing costs accumulate.
+        assert!(a.stats().serialized_bytes >= 18, "two layers serialized");
+    }
+
+    #[test]
+    fn every_scan_pays_copy_and_deserialization() {
+        let a = SimAlluxio::new(64 * KB as u64);
+        load_dataset(&a, "t", [b"abcdefgh".as_slice()]).unwrap();
+        let before = a.stats();
+        a.scan("t", &mut |_| Ok(())).unwrap();
+        let after = a.stats();
+        assert!(after.copied_bytes > before.copied_bytes);
+        assert!(after.serialized_bytes > before.serialized_bytes);
+    }
+}

@@ -1,0 +1,311 @@
+//! HDFS baseline (paper §9.1.1, §9.2.1 / Fig. 8).
+//!
+//! Mechanically faithful costs of the HDFS write/read path as the paper
+//! measures them against Pangea write-through:
+//!
+//! * every record crosses a client → datanode boundary (one serialized
+//!   copy each way — the paper compares against the native `libhdfs3`
+//!   client, so there is no JNI tax, but the client/server copy remains);
+//! * data lands in fixed-size blocks, each an append-only file striped
+//!   round-robin over the datanode's disks;
+//! * reads stream whole blocks from disk, then copy datanode → client.
+//!
+//! In-memory state is one open block buffer per dataset being written —
+//! HDFS itself caches nothing (the OS page cache it normally leans on is
+//! the separate [`crate::osfile::OsFileSystem`] baseline).
+
+use crate::store::DataStore;
+use pangea_common::{
+    FxHashMap, IoStats, IoStatsSnapshot, PangeaError, Result,
+};
+use pangea_storage::{DiskConfig, DiskManager};
+use parking_lot::Mutex;
+use std::path::Path;
+use std::sync::Arc;
+
+/// One sealed on-disk block.
+#[derive(Debug, Clone, Copy)]
+struct BlockLoc {
+    disk: usize,
+    offset: u64,
+    len: u32,
+}
+
+#[derive(Debug, Default)]
+struct Dataset {
+    blocks: Vec<BlockLoc>,
+    open: Vec<u8>,
+    records: u64,
+}
+
+#[derive(Debug)]
+struct HdfsInner {
+    disks: Arc<DiskManager>,
+    datasets: Mutex<FxHashMap<String, Dataset>>,
+    cursors: Mutex<Vec<u64>>,
+    next_disk: Mutex<usize>,
+    stats: Arc<IoStats>,
+    block_size: usize,
+}
+
+/// A single-datanode HDFS simulation.
+#[derive(Debug, Clone)]
+pub struct SimHdfs {
+    inner: Arc<HdfsInner>,
+}
+
+impl SimHdfs {
+    /// A datanode with `disks` drives under `dir` and the given block
+    /// size (the paper's 64 MB, scaled down in benches).
+    pub fn new(dir: &Path, disks: usize, block_size: usize) -> Result<Self> {
+        Self::with_bandwidth(dir, disks, block_size, None)
+    }
+
+    /// As [`SimHdfs::new`] with a per-disk bandwidth throttle.
+    pub fn with_bandwidth(
+        dir: &Path,
+        disks: usize,
+        block_size: usize,
+        bytes_per_sec: Option<u64>,
+    ) -> Result<Self> {
+        if block_size < 16 {
+            return Err(PangeaError::config("HDFS block size too small"));
+        }
+        let mut cfg = DiskConfig::under(dir, disks);
+        if let Some(bw) = bytes_per_sec {
+            cfg = cfg.with_bandwidth(bw);
+        }
+        let disks_mgr = Arc::new(DiskManager::new(cfg)?);
+        let n = disks_mgr.num_disks();
+        Ok(Self {
+            inner: Arc::new(HdfsInner {
+                disks: disks_mgr,
+                datasets: Mutex::new(FxHashMap::default()),
+                cursors: Mutex::new(vec![0; n]),
+                next_disk: Mutex::new(0),
+                stats: Arc::new(IoStats::new()),
+                block_size,
+            }),
+        })
+    }
+
+    fn flush_block(&self, name: &str, ds: &mut Dataset) -> Result<()> {
+        if ds.open.is_empty() {
+            return Ok(());
+        }
+        let disk = {
+            let mut next = self.inner.next_disk.lock();
+            let d = *next;
+            *next = (*next + 1) % self.inner.disks.num_disks();
+            d
+        };
+        let offset = {
+            let mut cursors = self.inner.cursors.lock();
+            let o = cursors[disk];
+            cursors[disk] += ds.open.len() as u64;
+            o
+        };
+        self.inner.disks.write_at(
+            disk,
+            &format!("hdfs_{name}_d{disk}.blk"),
+            offset,
+            &ds.open,
+        )?;
+        ds.blocks.push(BlockLoc {
+            disk,
+            offset,
+            len: ds.open.len() as u32,
+        });
+        ds.open.clear();
+        Ok(())
+    }
+}
+
+impl DataStore for SimHdfs {
+    fn name(&self) -> &'static str {
+        "hdfs"
+    }
+
+    fn append(&self, dataset: &str, record: &[u8]) -> Result<()> {
+        // Client → datanode: the record is framed (serialized) and
+        // copied across the process boundary.
+        self.inner.stats.record_serialization(record.len());
+        self.inner.stats.record_copy(record.len());
+        let mut datasets = self.inner.datasets.lock();
+        let ds = datasets.entry(dataset.to_string()).or_default();
+        ds.open
+            .extend_from_slice(&(record.len() as u32).to_le_bytes());
+        ds.open.extend_from_slice(record);
+        ds.records += 1;
+        if ds.open.len() >= self.inner.block_size {
+            let mut full = Dataset {
+                blocks: std::mem::take(&mut ds.blocks),
+                open: std::mem::take(&mut ds.open),
+                records: ds.records,
+            };
+            self.flush_block(dataset, &mut full)?;
+            *ds = full;
+        }
+        Ok(())
+    }
+
+    fn seal(&self, dataset: &str) -> Result<()> {
+        let mut datasets = self.inner.datasets.lock();
+        let Some(ds) = datasets.get_mut(dataset) else {
+            return Ok(());
+        };
+        let mut taken = Dataset {
+            blocks: std::mem::take(&mut ds.blocks),
+            open: std::mem::take(&mut ds.open),
+            records: ds.records,
+        };
+        self.flush_block(dataset, &mut taken)?;
+        *ds = taken;
+        Ok(())
+    }
+
+    fn scan(&self, dataset: &str, f: &mut dyn FnMut(&[u8]) -> Result<()>) -> Result<()> {
+        let blocks: Vec<BlockLoc> = {
+            let datasets = self.inner.datasets.lock();
+            let ds = datasets
+                .get(dataset)
+                .ok_or_else(|| PangeaError::usage(format!("unknown dataset '{dataset}'")))?;
+            if !ds.open.is_empty() {
+                return Err(PangeaError::usage(format!(
+                    "dataset '{dataset}' scanned before seal()"
+                )));
+            }
+            ds.blocks.clone()
+        };
+        for b in blocks {
+            let mut buf = vec![0u8; b.len as usize];
+            self.inner.disks.read_at(
+                b.disk,
+                &format!("hdfs_{dataset}_d{}.blk", b.disk),
+                b.offset,
+                &mut buf,
+            )?;
+            // Datanode → client copy, then per-record deserialization.
+            self.inner.stats.record_copy(buf.len());
+            let mut pos = 0;
+            while pos + 4 <= buf.len() {
+                let len =
+                    u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+                if pos + 4 + len > buf.len() {
+                    return Err(PangeaError::Corruption("torn HDFS record".into()));
+                }
+                self.inner.stats.record_serialization(len);
+                f(&buf[pos + 4..pos + 4 + len])?;
+                pos += 4 + len;
+            }
+        }
+        Ok(())
+    }
+
+    fn delete(&self, dataset: &str) -> Result<()> {
+        let removed = self.inner.datasets.lock().remove(dataset);
+        if removed.is_some() {
+            for d in 0..self.inner.disks.num_disks() {
+                self.inner
+                    .disks
+                    .delete(&format!("hdfs_{dataset}_d{d}.blk"))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn mem_bytes(&self) -> u64 {
+        self.inner
+            .datasets
+            .lock()
+            .values()
+            .map(|d| d.open.len() as u64)
+            .sum()
+    }
+
+    fn stats(&self) -> IoStatsSnapshot {
+        let mut s = self.inner.stats.snapshot();
+        let disks = self.inner.disks.stats().snapshot();
+        s.disk_reads += disks.disk_reads;
+        s.disk_read_bytes += disks.disk_read_bytes;
+        s.disk_writes += disks.disk_writes;
+        s.disk_write_bytes += disks.disk_write_bytes;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::load_dataset;
+    use std::path::PathBuf;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "pangea-hdfs-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn write_seal_scan_roundtrip() {
+        let h = SimHdfs::new(&dir("rt"), 2, 256).unwrap();
+        let records: Vec<Vec<u8>> = (0..100u32)
+            .map(|i| format!("row-{i:04}").into_bytes())
+            .collect();
+        load_dataset(&h, "t", records.iter().map(|r| r.as_slice())).unwrap();
+        let mut out = Vec::new();
+        h.scan("t", &mut |r| {
+            out.push(r.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out, records);
+        assert_eq!(h.mem_bytes(), 0, "sealed datasets hold no RAM");
+    }
+
+    #[test]
+    fn every_byte_pays_serialization_and_copy() {
+        let h = SimHdfs::new(&dir("cost"), 1, 128).unwrap();
+        load_dataset(&h, "t", [b"0123456789".as_slice()]).unwrap();
+        let s = h.stats();
+        assert!(s.serialized_bytes >= 10);
+        assert!(s.copied_bytes >= 10);
+        assert!(s.disk_write_bytes >= 10);
+        h.scan("t", &mut |_| Ok(())).unwrap();
+        let s2 = h.stats();
+        assert!(s2.serialized_bytes >= 20, "read deserializes again");
+        assert!(s2.disk_read_bytes >= 10);
+    }
+
+    #[test]
+    fn blocks_stripe_over_disks() {
+        let h = SimHdfs::new(&dir("stripe"), 2, 64).unwrap();
+        let recs: Vec<Vec<u8>> = (0..50u32).map(|i| vec![i as u8; 30]).collect();
+        load_dataset(&h, "t", recs.iter().map(|r| r.as_slice())).unwrap();
+        let inner = h.inner.datasets.lock();
+        let blocks = &inner.get("t").unwrap().blocks;
+        assert!(blocks.len() > 2);
+        assert!(blocks.iter().any(|b| b.disk == 0));
+        assert!(blocks.iter().any(|b| b.disk == 1));
+    }
+
+    #[test]
+    fn scan_before_seal_is_rejected() {
+        let h = SimHdfs::new(&dir("unsealed"), 1, 1024).unwrap();
+        h.append("t", b"x").unwrap();
+        assert!(h.scan("t", &mut |_| Ok(())).is_err());
+        assert!(h.scan("missing", &mut |_| Ok(())).is_err());
+    }
+
+    #[test]
+    fn delete_removes_files() {
+        let h = SimHdfs::new(&dir("del"), 1, 64).unwrap();
+        load_dataset(&h, "t", [b"data".as_slice()]).unwrap();
+        h.delete("t").unwrap();
+        assert!(h.scan("t", &mut |_| Ok(())).is_err());
+    }
+}

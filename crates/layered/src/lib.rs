@@ -1,0 +1,39 @@
+//! # pangea-layered
+//!
+//! Mechanically faithful simulations of the layered systems the paper
+//! compares Pangea against (§9): HDFS, Alluxio, Ignite, Spark, the OS
+//! file system and virtual memory, a C-implemented Spark shuffle, and a
+//! Redis-like aggregation server, plus the VM-pressured `unordered_map`
+//! baseline.
+//!
+//! Design rule (DESIGN.md §2): these baselines *execute* the work the
+//! paper attributes to layering — serialization at each boundary,
+//! client↔server copies, double caching, per-object allocation, 16 KB
+//! Ignite pages with compaction, waves-of-tasks scheduling, RESP round
+//! trips — rather than modeling it with fitted constants. Failure modes
+//! the paper plots as gaps (Alluxio memory refusal, Ignite's segfault,
+//! Redis OOM, DBMIN blocking) surface as [`pangea_common::PangeaError`]
+//! values with `is_reported_as_gap() == true`.
+//!
+//! Deliberately **not** built on `pangea-core`: a baseline must not
+//! benefit from Pangea's unified buffer pool.
+
+pub mod alluxio;
+pub mod hdfs;
+pub mod ignite;
+pub mod osfile;
+pub mod osvm;
+pub mod redis;
+pub mod shuffle;
+pub mod spark;
+pub mod store;
+
+pub use alluxio::SimAlluxio;
+pub use hdfs::SimHdfs;
+pub use ignite::{SimIgnite, IGNITE_PAGE};
+pub use osfile::OsFileSystem;
+pub use osvm::{OsVm, VmObjectStore, VmPtr, VM_PAGE};
+pub use redis::{RedisLike, StlVmMap};
+pub use shuffle::CSparkShuffle;
+pub use spark::{SimSpark, SparkConfig};
+pub use store::{load_dataset, DataStore};

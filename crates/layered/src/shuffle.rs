@@ -1,0 +1,237 @@
+//! C-implemented Spark-style shuffle baseline (paper §9.2.2, Table 3).
+//!
+//! The paper compares Pangea's shuffle service against "simulated Spark
+//! shuffling written in C++" for an apples-to-apples (not JVM-vs-C)
+//! comparison. Its mechanical properties, executed here:
+//!
+//! * each CPU core keeps a separate spill file per shuffle partition —
+//!   `numCores × numPartitions` files in total (Pangea: at most
+//!   `numPartitions` locality sets);
+//! * writing a record pays a `malloc` + copy (heap-allocated record)
+//!   and then a buffered `fwrite` (copy into a stdio buffer, flushed to
+//!   disk in 4 KB chunks);
+//! * reading a partition reads back every core's file for it.
+
+use pangea_common::{IoStats, IoStatsSnapshot, PangeaError, Result};
+use pangea_storage::{DiskConfig, DiskManager};
+use std::path::Path;
+use std::sync::Arc;
+
+/// stdio user-space buffer size (`fwrite` semantics).
+const STDIO_BUF: usize = 4096;
+
+#[derive(Debug)]
+struct SpillFile {
+    buf: Vec<u8>,
+    cursor: u64,
+}
+
+/// The C-Spark shuffle: `cores × partitions` spill files on disk.
+#[derive(Debug)]
+pub struct CSparkShuffle {
+    disks: Arc<DiskManager>,
+    cores: usize,
+    partitions: usize,
+    files: Vec<SpillFile>,
+    stats: Arc<IoStats>,
+}
+
+impl CSparkShuffle {
+    /// A shuffle with `cores` writer cores and `partitions` partitions,
+    /// spilling under `dir`.
+    pub fn new(dir: &Path, cores: usize, partitions: usize) -> Result<Self> {
+        Self::with_bandwidth(dir, cores, partitions, None)
+    }
+
+    /// As [`CSparkShuffle::new`] with a disk throttle.
+    pub fn with_bandwidth(
+        dir: &Path,
+        cores: usize,
+        partitions: usize,
+        bytes_per_sec: Option<u64>,
+    ) -> Result<Self> {
+        if cores == 0 || partitions == 0 {
+            return Err(PangeaError::config("cores and partitions must be > 0"));
+        }
+        let mut cfg = DiskConfig::under(dir, 1);
+        if let Some(bw) = bytes_per_sec {
+            cfg = cfg.with_bandwidth(bw);
+        }
+        Ok(Self {
+            disks: Arc::new(DiskManager::new(cfg)?),
+            cores,
+            partitions,
+            files: (0..cores * partitions)
+                .map(|_| SpillFile {
+                    buf: Vec::with_capacity(STDIO_BUF),
+                    cursor: 0,
+                })
+                .collect(),
+            stats: Arc::new(IoStats::new()),
+        })
+    }
+
+    /// Total spill files (`cores × partitions` — the paper's point).
+    pub fn num_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// I/O + allocation counters.
+    pub fn stats(&self) -> IoStatsSnapshot {
+        let mut s = self.stats.snapshot();
+        let d = self.disks.stats().snapshot();
+        s.disk_reads += d.disk_reads;
+        s.disk_read_bytes += d.disk_read_bytes;
+        s.disk_writes += d.disk_writes;
+        s.disk_write_bytes += d.disk_write_bytes;
+        s
+    }
+
+    fn file_name(core: usize, partition: usize) -> String {
+        format!("spill_c{core}_p{partition}.dat")
+    }
+
+    fn file_index(&self, core: usize, partition: usize) -> Result<usize> {
+        if core >= self.cores || partition >= self.partitions {
+            return Err(PangeaError::usage(format!(
+                "core {core} / partition {partition} out of range"
+            )));
+        }
+        Ok(core * self.partitions + partition)
+    }
+
+    /// Writes one record from `core` to `partition`.
+    pub fn write(&mut self, core: usize, partition: usize, record: &[u8]) -> Result<()> {
+        let idx = self.file_index(core, partition)?;
+        // malloc + copy: the record is first heap-allocated …
+        let owned: Box<[u8]> = record.to_vec().into_boxed_slice();
+        self.stats.record_copy(owned.len());
+        // … then fwrite'd: copied again into the stdio buffer.
+        let file = &mut self.files[idx];
+        file.buf
+            .extend_from_slice(&(owned.len() as u32).to_le_bytes());
+        file.buf.extend_from_slice(&owned);
+        self.stats.record_copy(owned.len() + 4);
+        if file.buf.len() >= STDIO_BUF {
+            let name = Self::file_name(core, partition);
+            self.disks.write_at(0, &name, file.cursor, &file.buf)?;
+            file.cursor += file.buf.len() as u64;
+            file.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Flushes every open stdio buffer (end of the write phase).
+    pub fn finish_writes(&mut self) -> Result<()> {
+        for core in 0..self.cores {
+            for partition in 0..self.partitions {
+                let idx = core * self.partitions + partition;
+                let file = &mut self.files[idx];
+                if !file.buf.is_empty() {
+                    let name = Self::file_name(core, partition);
+                    self.disks.write_at(0, &name, file.cursor, &file.buf)?;
+                    file.cursor += file.buf.len() as u64;
+                    file.buf.clear();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Streams every record of `partition` (all cores' files) through `f`.
+    pub fn read_partition(
+        &self,
+        partition: usize,
+        mut f: impl FnMut(&[u8]) -> Result<()>,
+    ) -> Result<()> {
+        if partition >= self.partitions {
+            return Err(PangeaError::usage(format!(
+                "partition {partition} out of range"
+            )));
+        }
+        for core in 0..self.cores {
+            let idx = core * self.partitions + partition;
+            let len = self.files[idx].cursor;
+            if len == 0 {
+                continue;
+            }
+            let mut buf = vec![0u8; len as usize];
+            self.disks
+                .read_at(0, &Self::file_name(core, partition), 0, &mut buf)?;
+            self.stats.record_copy(buf.len());
+            let mut pos = 0;
+            while pos + 4 <= buf.len() {
+                let rec_len =
+                    u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+                if pos + 4 + rec_len > buf.len() {
+                    return Err(PangeaError::Corruption("torn shuffle record".into()));
+                }
+                f(&buf[pos + 4..pos + 4 + rec_len])?;
+                pos += 4 + rec_len;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "pangea-cshuffle-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn file_count_is_cores_times_partitions() {
+        let s = CSparkShuffle::new(&dir("count"), 4, 4).unwrap();
+        assert_eq!(s.num_files(), 16);
+    }
+
+    #[test]
+    fn write_read_roundtrip_by_partition() {
+        let mut s = CSparkShuffle::new(&dir("rt"), 2, 3).unwrap();
+        for i in 0..300u32 {
+            let core = (i % 2) as usize;
+            let part = (i % 3) as usize;
+            s.write(core, part, format!("rec-{i:04}").as_bytes())
+                .unwrap();
+        }
+        s.finish_writes().unwrap();
+        let mut total = 0;
+        for p in 0..3 {
+            s.read_partition(p, |rec| {
+                let n: u32 = std::str::from_utf8(rec).unwrap()[4..].parse().unwrap();
+                assert_eq!(n % 3, p as u32);
+                total += 1;
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn every_record_pays_double_copy() {
+        let mut s = CSparkShuffle::new(&dir("copy"), 1, 1).unwrap();
+        s.write(0, 0, &[0u8; 100]).unwrap();
+        let st = s.stats();
+        assert!(st.copied_bytes >= 200, "malloc copy + fwrite copy");
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut s = CSparkShuffle::new(&dir("range"), 2, 2).unwrap();
+        assert!(s.write(2, 0, b"x").is_err());
+        assert!(s.write(0, 2, b"x").is_err());
+        assert!(s.read_partition(2, |_| Ok(())).is_err());
+        assert!(CSparkShuffle::new(&dir("zero"), 0, 1).is_err());
+    }
+}

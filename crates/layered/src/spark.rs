@@ -1,0 +1,585 @@
+//! Spark baseline (paper §1, §9.1.1).
+//!
+//! Models the layered computation framework the paper measures Pangea
+//! against: an executor with a unified memory region split into a
+//! **storage pool** (the RDD cache, holding *deserialized* objects with
+//! per-object allocations) and an **execution pool** (shuffle /
+//! aggregation state), running **waves of tasks** (§5: one task per
+//! split, `cores` tasks per wave) over a [`DataStore`] such as HDFS,
+//! Alluxio, or Ignite.
+//!
+//! The executed costs:
+//! * loading an RDD pays the store's scan cost (serialization + copies)
+//!   plus one per-object allocation+copy into the cache;
+//! * partitions that do not fit the storage pool are **not cached**
+//!   (MEMORY_ONLY semantics) and are recomputed from the store on every
+//!   subsequent pass — the §9.1.1 Alluxio observation ("3× slower
+//!   iterations" once double caching shrinks the working memory);
+//! * reserving execution memory can evict cached partitions (Spark's
+//!   unified memory manager), which then also must be recomputed.
+
+use crate::store::DataStore;
+use pangea_common::{
+    FxHashMap, IoStats, IoStatsSnapshot, PangeaError, Result,
+};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct SparkConfig {
+    /// Unified executor memory (storage + execution).
+    pub memory: usize,
+    /// Fraction reserved for the storage pool (Spark's
+    /// `spark.memory.storageFraction`, default 0.5).
+    pub storage_fraction: f64,
+    /// Split size in bytes (the paper uses 256 MB; benches scale down).
+    pub split_size: usize,
+    /// Tasks per wave.
+    pub cores: usize,
+}
+
+impl SparkConfig {
+    /// An executor with `memory` bytes, default fractions, `split_size`
+    /// splits and 4 cores.
+    pub fn new(memory: usize, split_size: usize) -> Self {
+        Self {
+            memory,
+            storage_fraction: 0.5,
+            split_size: split_size.max(64),
+            cores: 4,
+        }
+    }
+}
+
+/// Per-object overhead of a deserialized JVM cache entry (object header
+/// + reference). The RDD cache pays this per record.
+const OBJECT_OVERHEAD: usize = 16;
+
+/// Where a partition's records can be re-read from when not cached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Source {
+    /// Recompute by re-scanning the backing store's dataset (store-backed
+    /// RDDs, MEMORY_ONLY semantics).
+    Store,
+    /// Re-read from the RDD's spill dataset (materialized RDDs,
+    /// MEMORY_AND_DISK semantics). `false` until the partition has been
+    /// spilled at least once.
+    Spill(bool),
+}
+
+#[derive(Debug)]
+struct Partition {
+    /// Deserialized objects, or `None` when not cached.
+    objects: Option<Vec<Box<[u8]>>>,
+    /// In-cache size (payload + per-object overhead).
+    bytes: usize,
+    /// Record range `[start, end)` of this partition in its source
+    /// (the dataset for `Source::Store`, the spill dataset otherwise).
+    start: u64,
+    end: u64,
+    /// LRU stamp.
+    last_used: u64,
+    source: Source,
+}
+
+#[derive(Debug, Default)]
+struct Rdd {
+    partitions: Vec<Partition>,
+}
+
+/// The spill dataset holding a materialized RDD's overflow partitions.
+fn spill_name(dataset: &str) -> String {
+    format!("{dataset}#spill")
+}
+
+/// A single-executor Spark simulation over a [`DataStore`].
+pub struct SimSpark {
+    store: Arc<dyn DataStore>,
+    config: SparkConfig,
+    rdds: Mutex<FxHashMap<String, Rdd>>,
+    storage_used: Mutex<usize>,
+    execution_used: Mutex<usize>,
+    clock: AtomicU64,
+    waves: AtomicU64,
+    tasks: AtomicU64,
+    stats: Arc<IoStats>,
+}
+
+impl std::fmt::Debug for SimSpark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSpark")
+            .field("store", &self.store.name())
+            .field("memory", &self.config.memory)
+            .finish()
+    }
+}
+
+impl SimSpark {
+    /// An executor over `store`.
+    pub fn new(store: Arc<dyn DataStore>, config: SparkConfig) -> Self {
+        Self {
+            store,
+            config,
+            rdds: Mutex::new(FxHashMap::default()),
+            storage_used: Mutex::new(0),
+            execution_used: Mutex::new(0),
+            clock: AtomicU64::new(0),
+            waves: AtomicU64::new(0),
+            tasks: AtomicU64::new(0),
+            stats: Arc::new(IoStats::new()),
+        }
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &Arc<dyn DataStore> {
+        &self.store
+    }
+
+    /// Storage-pool budget in bytes.
+    pub fn storage_budget(&self) -> usize {
+        ((self.config.memory as f64) * self.config.storage_fraction) as usize
+    }
+
+    /// Executor RAM currently used (RDD cache + execution).
+    pub fn mem_bytes(&self) -> u64 {
+        (*self.storage_used.lock() + *self.execution_used.lock()) as u64
+    }
+
+    /// Task waves run so far (§5 "waves of tasks").
+    pub fn waves_run(&self) -> u64 {
+        self.waves.load(Ordering::Relaxed)
+    }
+
+    /// Tasks run so far.
+    pub fn tasks_run(&self) -> u64 {
+        self.tasks.load(Ordering::Relaxed)
+    }
+
+    /// Executor-side interfacing counters.
+    pub fn stats(&self) -> IoStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Loads `dataset` from the store as a cached RDD: deserializes every
+    /// record, splits into partitions, and caches as many as fit the
+    /// storage pool.
+    pub fn cache_rdd(&self, dataset: &str) -> Result<()> {
+        let split = self.config.split_size;
+        let mut partitions: Vec<Partition> = Vec::new();
+        let mut current: Vec<Box<[u8]>> = Vec::new();
+        let mut current_bytes = 0usize;
+        let mut record_no = 0u64;
+        let mut start = 0u64;
+        self.store.scan(dataset, &mut |rec| {
+            // Deserialized-object materialization: one allocation + copy
+            // per record (the JVM object churn the paper charges).
+            self.stats.record_copy(rec.len());
+            current.push(rec.to_vec().into_boxed_slice());
+            current_bytes += rec.len() + OBJECT_OVERHEAD;
+            record_no += 1;
+            if current_bytes >= split {
+                partitions.push(Partition {
+                    objects: Some(std::mem::take(&mut current)),
+                    bytes: current_bytes,
+                    start,
+                    end: record_no,
+                    last_used: self.clock.fetch_add(1, Ordering::Relaxed),
+                    source: Source::Store,
+                });
+                current_bytes = 0;
+                start = record_no;
+            }
+            Ok(())
+        })?;
+        if !current.is_empty() {
+            partitions.push(Partition {
+                objects: Some(current),
+                bytes: current_bytes,
+                start,
+                end: record_no,
+                last_used: self.clock.fetch_add(1, Ordering::Relaxed),
+                source: Source::Store,
+            });
+        }
+        // Admit partitions under the storage budget (MEMORY_ONLY: the
+        // rest are dropped and recomputed on use).
+        let budget = self.storage_budget();
+        let mut used = self.storage_used.lock();
+        for p in &mut partitions {
+            if *used + p.bytes <= budget {
+                *used += p.bytes;
+            } else {
+                p.objects = None;
+            }
+        }
+        drop(used);
+        self.rdds
+            .lock()
+            .insert(dataset.to_string(), Rdd { partitions });
+        Ok(())
+    }
+
+    /// True when every partition of the RDD is cached.
+    pub fn fully_cached(&self, dataset: &str) -> bool {
+        self.rdds
+            .lock()
+            .get(dataset)
+            .map(|r| r.partitions.iter().all(|p| p.objects.is_some()))
+            .unwrap_or(false)
+    }
+
+    /// Runs `f` over every record of the RDD in waves of `cores` tasks.
+    /// Cached partitions are served from the RDD cache; missing ones are
+    /// recomputed from the backing store (one store scan per pass that
+    /// has any miss).
+    pub fn map_partitions(
+        &self,
+        dataset: &str,
+        mut f: impl FnMut(&[u8]) -> Result<()>,
+    ) -> Result<()> {
+        let (cached, missing_store, missing_spill, n_parts) = {
+            let mut rdds = self.rdds.lock();
+            let rdd = rdds
+                .get_mut(dataset)
+                .ok_or_else(|| PangeaError::usage(format!("RDD '{dataset}' not loaded")))?;
+            let mut cached: Vec<(u64, Vec<Box<[u8]>>)> = Vec::new();
+            let mut missing_store: Vec<(u64, u64)> = Vec::new();
+            let mut missing_spill: Vec<(u64, u64)> = Vec::new();
+            for p in &mut rdd.partitions {
+                p.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+                match (&p.objects, p.source) {
+                    (Some(objs), _) => cached.push((p.start, objs.clone())),
+                    (None, Source::Store) => missing_store.push((p.start, p.end)),
+                    (None, Source::Spill(true)) => missing_spill.push((p.start, p.end)),
+                    (None, Source::Spill(false)) => {
+                        return Err(PangeaError::Corruption(format!(
+                            "materialized partition of '{dataset}' lost without a                              spill image"
+                        )))
+                    }
+                }
+            }
+            (cached, missing_store, missing_spill, rdd.partitions.len())
+        };
+        // Task accounting: one task per partition, `cores` per wave.
+        let waves = n_parts.div_ceil(self.config.cores.max(1));
+        self.waves.fetch_add(waves as u64, Ordering::Relaxed);
+        self.tasks.fetch_add(n_parts as u64, Ordering::Relaxed);
+        // Cached partitions stream from memory.
+        for (_, objs) in &cached {
+            for o in objs {
+                f(o)?;
+            }
+        }
+        // Missing store-backed partitions are recomputed from the store:
+        // one scan delivering only the missing record ranges (the store
+        // still pays its full interfacing cost — that is the point).
+        if !missing_store.is_empty() {
+            let mut rec_no = 0u64;
+            self.store.scan(dataset, &mut |rec| {
+                let wanted = missing_store
+                    .iter()
+                    .any(|&(s, e)| rec_no >= s && rec_no < e);
+                rec_no += 1;
+                if wanted {
+                    f(rec)?;
+                }
+                Ok(())
+            })?;
+        }
+        // Missing materialized partitions re-read from the spill dataset
+        // (MEMORY_AND_DISK).
+        if !missing_spill.is_empty() {
+            let mut rec_no = 0u64;
+            self.store.scan(&spill_name(dataset), &mut |rec| {
+                let wanted = missing_spill
+                    .iter()
+                    .any(|&(s, e)| rec_no >= s && rec_no < e);
+                rec_no += 1;
+                if wanted {
+                    f(rec)?;
+                }
+                Ok(())
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Materializes a *computed* RDD (e.g. a map output) with
+    /// MEMORY_AND_DISK semantics: partitions are cached while the storage
+    /// pool has room; overflow partitions are written to a spill dataset
+    /// on the backing store and re-read on access.
+    pub fn materialize_rdd(
+        &self,
+        dataset: &str,
+        records: impl Iterator<Item = Vec<u8>>,
+    ) -> Result<()> {
+        let split = self.config.split_size;
+        let budget = self.storage_budget();
+        let spill = spill_name(dataset);
+        let _ = self.store.delete(&spill);
+        let mut partitions: Vec<Partition> = Vec::new();
+        let mut current: Vec<Box<[u8]>> = Vec::new();
+        let mut current_bytes = 0usize;
+        let mut spill_cursor = 0u64;
+        let mut flush = |current: &mut Vec<Box<[u8]>>,
+                         current_bytes: &mut usize,
+                         partitions: &mut Vec<Partition>|
+         -> Result<()> {
+            if current.is_empty() {
+                return Ok(());
+            }
+            let objs = std::mem::take(current);
+            let bytes = *current_bytes;
+            *current_bytes = 0;
+            let mut used = self.storage_used.lock();
+            if *used + bytes <= budget {
+                *used += bytes;
+                partitions.push(Partition {
+                    objects: Some(objs),
+                    bytes,
+                    start: 0,
+                    end: 0,
+                    last_used: self.clock.fetch_add(1, Ordering::Relaxed),
+                    source: Source::Spill(false),
+                });
+            } else {
+                drop(used);
+                // Spill: write the partition's records to the store.
+                let start = spill_cursor;
+                for o in &objs {
+                    self.store.append(&spill, o)?;
+                    spill_cursor += 1;
+                }
+                partitions.push(Partition {
+                    objects: None,
+                    bytes,
+                    start,
+                    end: spill_cursor,
+                    last_used: self.clock.fetch_add(1, Ordering::Relaxed),
+                    source: Source::Spill(true),
+                });
+            }
+            Ok(())
+        };
+        for rec in records {
+            self.stats.record_copy(rec.len());
+            current_bytes += rec.len() + OBJECT_OVERHEAD;
+            current.push(rec.into_boxed_slice());
+            if current_bytes >= split {
+                flush(&mut current, &mut current_bytes, &mut partitions)?;
+            }
+        }
+        flush(&mut current, &mut current_bytes, &mut partitions)?;
+        self.store.seal(&spill)?;
+        self.rdds
+            .lock()
+            .insert(dataset.to_string(), Rdd { partitions });
+        Ok(())
+    }
+
+    /// Reserves execution-pool memory (shuffle/aggregation state). Under
+    /// Spark's unified memory manager this may evict cached partitions.
+    pub fn reserve_execution(&self, bytes: usize) -> Result<()> {
+        {
+            let mut exec = self.execution_used.lock();
+            *exec += bytes;
+        }
+        // Evict LRU partitions until storage + execution fit memory.
+        let mut storage = self.storage_used.lock();
+        let exec = *self.execution_used.lock();
+        if exec + *storage <= self.config.memory {
+            return Ok(());
+        }
+        let mut rdds = self.rdds.lock();
+        let mut victims: Vec<(String, usize)> = Vec::new();
+        {
+            let mut all: Vec<(u64, String, usize)> = Vec::new();
+            for (name, rdd) in rdds.iter() {
+                for (i, p) in rdd.partitions.iter().enumerate() {
+                    if p.objects.is_some() {
+                        all.push((p.last_used, name.clone(), i));
+                    }
+                }
+            }
+            all.sort_unstable();
+            let mut need = (exec + *storage).saturating_sub(self.config.memory);
+            for (_, name, i) in all {
+                if need == 0 {
+                    break;
+                }
+                let bytes = rdds[&name].partitions[i].bytes;
+                need = need.saturating_sub(bytes);
+                victims.push((name, i));
+            }
+        }
+        for (name, i) in victims {
+            if let Some(rdd) = rdds.get_mut(&name) {
+                if let Some(p) = rdd.partitions.get_mut(i) {
+                    if p.source == Source::Spill(false) {
+                        // MEMORY_AND_DISK: write the partition out before
+                        // dropping it so it stays recoverable.
+                        if let Some(objs) = &p.objects {
+                            let spill = spill_name(&name);
+                            let mut cursor = 0u64;
+                            // Append after any existing spill records.
+                            let _ = self.store.scan(&spill, &mut |_| {
+                                cursor += 1;
+                                Ok(())
+                            });
+                            p.start = cursor;
+                            for o in objs {
+                                self.store.append(&spill, o)?;
+                                cursor += 1;
+                            }
+                            self.store.seal(&spill)?;
+                            p.end = cursor;
+                            p.source = Source::Spill(true);
+                        }
+                    }
+                    if p.objects.take().is_some() {
+                        *storage -= p.bytes;
+                        self.stats.record_eviction();
+                    }
+                }
+            }
+        }
+        if exec + *storage > self.config.memory {
+            return Err(PangeaError::OutOfMemory {
+                requested: bytes,
+                capacity: self.config.memory,
+                pinned: exec,
+            });
+        }
+        Ok(())
+    }
+
+    /// Releases execution-pool memory.
+    pub fn release_execution(&self, bytes: usize) {
+        let mut exec = self.execution_used.lock();
+        *exec = exec.saturating_sub(bytes);
+    }
+
+    /// Drops an RDD from the cache (and its spill dataset, if any).
+    pub fn uncache(&self, dataset: &str) {
+        let _ = self.store.delete(&spill_name(dataset));
+        if let Some(rdd) = self.rdds.lock().remove(dataset) {
+            let freed: usize = rdd
+                .partitions
+                .iter()
+                .filter(|p| p.objects.is_some())
+                .map(|p| p.bytes)
+                .sum();
+            let mut used = self.storage_used.lock();
+            *used = used.saturating_sub(freed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alluxio::SimAlluxio;
+    use crate::store::load_dataset;
+    use pangea_common::{KB, MB};
+
+    fn records(n: u32, len: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| {
+                let mut v = vec![0u8; len];
+                v[..4].copy_from_slice(&i.to_le_bytes());
+                v
+            })
+            .collect()
+    }
+
+    fn spark_over_alluxio(mem: usize, n: u32) -> (SimSpark, Vec<Vec<u8>>) {
+        let store = Arc::new(SimAlluxio::new(64 * MB as u64));
+        let recs = records(n, 100);
+        load_dataset(store.as_ref(), "pts", recs.iter().map(|r| r.as_slice())).unwrap();
+        let spark = SimSpark::new(store, SparkConfig::new(mem, 4 * KB));
+        (spark, recs)
+    }
+
+    #[test]
+    fn fully_cached_rdd_streams_from_memory() {
+        let (spark, recs) = spark_over_alluxio(4 * MB, 300);
+        spark.cache_rdd("pts").unwrap();
+        assert!(spark.fully_cached("pts"));
+        let store_reads_before = spark.store().stats().serialized_bytes;
+        let mut seen = 0u32;
+        spark
+            .map_partitions("pts", |_| {
+                seen += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(seen as usize, recs.len());
+        assert_eq!(
+            spark.store().stats().serialized_bytes,
+            store_reads_before,
+            "no store traffic when fully cached"
+        );
+        assert!(spark.waves_run() > 0);
+    }
+
+    #[test]
+    fn partial_cache_recomputes_from_store_every_pass() {
+        // Storage pool fits only part of the RDD.
+        let (spark, recs) = spark_over_alluxio(48 * KB, 1000);
+        spark.cache_rdd("pts").unwrap();
+        assert!(!spark.fully_cached("pts"));
+        let before = spark.store().stats().serialized_bytes;
+        let mut seen = 0u32;
+        spark
+            .map_partitions("pts", |_| {
+                seen += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(seen as usize, recs.len(), "no record lost on miss path");
+        assert!(
+            spark.store().stats().serialized_bytes > before,
+            "misses re-read (and re-deserialize) from the store"
+        );
+        // Second pass pays again — the per-iteration penalty of Fig. 3.
+        let mid = spark.store().stats().serialized_bytes;
+        spark.map_partitions("pts", |_| Ok(())).unwrap();
+        assert!(spark.store().stats().serialized_bytes > mid);
+    }
+
+    #[test]
+    fn execution_reservation_evicts_cached_partitions() {
+        let (spark, _) = spark_over_alluxio(256 * KB, 1000);
+        spark.cache_rdd("pts").unwrap();
+        let cached_before = spark.mem_bytes();
+        assert!(cached_before > 0);
+        spark.reserve_execution(200 * KB).unwrap();
+        assert!(
+            spark.stats().pages_evicted > 0,
+            "unified memory manager evicted storage for execution"
+        );
+        spark.release_execution(200 * KB);
+    }
+
+    #[test]
+    fn over_reservation_is_oom() {
+        let (spark, _) = spark_over_alluxio(64 * KB, 10);
+        spark.cache_rdd("pts").unwrap();
+        assert!(matches!(
+            spark.reserve_execution(1 * MB),
+            Err(PangeaError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn uncache_frees_storage() {
+        let (spark, _) = spark_over_alluxio(4 * MB, 200);
+        spark.cache_rdd("pts").unwrap();
+        assert!(spark.mem_bytes() > 0);
+        spark.uncache("pts");
+        assert_eq!(spark.mem_bytes(), 0);
+        assert!(spark.map_partitions("pts", |_| Ok(())).is_err());
+    }
+}

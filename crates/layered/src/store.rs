@@ -1,0 +1,52 @@
+//! The layer-boundary contract shared by the simulated storage systems.
+//!
+//! Every baseline in this crate *executes* the costs the paper attributes
+//! to layering rather than estimating them (§1 "Interfacing Overhead"):
+//! records are serialized/deserialized through the workspace codec at
+//! each layer crossing, client↔server transfers pay real `memcpy`s
+//! (counted in [`IoStats`]), and persistent layers move real bytes
+//! through a throttleable disk manager.
+
+use pangea_common::{IoStatsSnapshot, Result};
+
+/// A dataset store sitting *under* a computation framework — the role
+/// HDFS, Alluxio, and Ignite play below Spark in the paper's layered
+/// stacks.
+pub trait DataStore: Send + Sync {
+    /// Human-readable system name (benchmark labels).
+    fn name(&self) -> &'static str;
+
+    /// Appends one record to `dataset` (client → store crossing).
+    fn append(&self, dataset: &str, record: &[u8]) -> Result<()>;
+
+    /// Flushes buffered writes of `dataset`.
+    fn seal(&self, dataset: &str) -> Result<()>;
+
+    /// Streams every record of `dataset` through `f`
+    /// (store → client crossing).
+    fn scan(&self, dataset: &str, f: &mut dyn FnMut(&[u8]) -> Result<()>) -> Result<()>;
+
+    /// Removes `dataset` entirely.
+    fn delete(&self, dataset: &str) -> Result<()>;
+
+    /// RAM bytes this layer currently holds (Fig. 4 memory accounting).
+    fn mem_bytes(&self) -> u64;
+
+    /// Interfacing + I/O counters.
+    fn stats(&self) -> IoStatsSnapshot;
+}
+
+/// Convenience: appends a whole iterator and seals.
+pub fn load_dataset<'a>(
+    store: &dyn DataStore,
+    dataset: &str,
+    records: impl IntoIterator<Item = &'a [u8]>,
+) -> Result<u64> {
+    let mut n = 0;
+    for r in records {
+        store.append(dataset, r)?;
+        n += 1;
+    }
+    store.seal(dataset)?;
+    Ok(n)
+}

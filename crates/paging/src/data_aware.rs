@@ -1,0 +1,319 @@
+//! The paper's data-aware page replacement strategy (§6).
+//!
+//! Victim selection happens in two steps:
+//!
+//! 1. **Pick the victim locality set.** If any set has ended its lifetime,
+//!    those sets win immediately (their pages can never be useful again).
+//!    Otherwise every set nominates its next victim page according to its
+//!    within-set policy (MRU for sequential patterns, LRU for random ones),
+//!    and the set whose nominee has the *lowest expected eviction cost*
+//!    `cw + p_reuse·cr` is chosen.
+//! 2. **Evict a batch from that set.** One page if the set is being
+//!    written (`write` / `read-and-write`); 10 % of its resident pages if
+//!    it is read-only — the paper's observation that well-behaved read
+//!    patterns warrant larger evictions to overlap I/O with computation.
+
+use crate::cost::{eviction_cost, CostParams};
+use crate::{PageView, PagingStrategy, SetProfile, WithinSetPolicy};
+use pangea_common::{FxHashMap, PageId, Result, SetId, Tick};
+
+/// See module docs.
+#[derive(Debug, Default)]
+pub struct DataAwareStrategy {
+    profiles: FxHashMap<SetId, SetProfile>,
+}
+
+impl DataAwareStrategy {
+    /// Creates the strategy with no registered sets.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn profile_of(&self, set: SetId) -> SetProfile {
+        self.profiles.get(&set).copied().unwrap_or_default()
+    }
+
+    /// Orders one set's evictable pages best-victim-first under `policy`.
+    fn order_victims(mut pages: Vec<&PageView>, policy: WithinSetPolicy) -> Vec<PageId> {
+        match policy {
+            WithinSetPolicy::Lru => pages.sort_by_key(|p| p.last_access),
+            WithinSetPolicy::Mru => pages.sort_by_key(|p| std::cmp::Reverse(p.last_access)),
+        }
+        pages.into_iter().map(|p| p.page).collect()
+    }
+}
+
+impl PagingStrategy for DataAwareStrategy {
+    fn update_set(&mut self, set: SetId, profile: SetProfile) -> Result<()> {
+        self.profiles.insert(set, profile);
+        Ok(())
+    }
+
+    fn remove_set(&mut self, set: SetId) {
+        self.profiles.remove(&set);
+    }
+
+    // The data-aware strategy works entirely from the residency view passed
+    // to `choose_victims` (recency lives in the buffer pool frames), so the
+    // per-page notifications need no bookkeeping here.
+    fn on_page_cached(&mut self, _page: PageId, _tick: Tick) {}
+
+    fn on_page_accessed(&mut self, _page: PageId, _tick: Tick) {}
+
+    fn on_page_evicted(&mut self, _page: PageId) {}
+
+    fn choose_victims(&mut self, pages: &[PageView], now: Tick) -> Vec<PageId> {
+        // Group evictable pages per set.
+        let mut by_set: FxHashMap<SetId, Vec<&PageView>> = FxHashMap::default();
+        let mut resident_count: FxHashMap<SetId, usize> = FxHashMap::default();
+        for pv in pages {
+            *resident_count.entry(pv.page.set).or_default() += 1;
+            if pv.evictable {
+                by_set.entry(pv.page.set).or_default().push(pv);
+            }
+        }
+        if by_set.is_empty() {
+            return Vec::new();
+        }
+
+        // Step 0: lifetime-ended sets are always evicted first (§6), still
+        // ordered by minimum eviction cost among them.
+        let mut candidates: Vec<(SetId, f64)> = Vec::new();
+        let mut expired: Vec<(SetId, f64)> = Vec::new();
+        for (&set, cands) in &by_set {
+            let profile = self.profile_of(set);
+            let policy = profile.within_set_policy();
+            // The set's nominee is its best victim under the set policy.
+            let nominee = match policy {
+                WithinSetPolicy::Lru => cands.iter().min_by_key(|p| p.last_access),
+                WithinSetPolicy::Mru => cands.iter().max_by_key(|p| p.last_access),
+            }
+            .expect("by_set entries are non-empty");
+            let cost = eviction_cost(
+                &profile,
+                CostParams::at(now, nominee.last_access, nominee.dirty),
+            );
+            if profile.lifetime_ended {
+                expired.push((set, cost));
+            } else {
+                candidates.push((set, cost));
+            }
+        }
+        let pick_from = if expired.is_empty() {
+            &mut candidates
+        } else {
+            &mut expired
+        };
+        // Tie-break deterministically by set id so tests are stable.
+        pick_from.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let victim_set = pick_from[0].0;
+
+        let profile = self.profile_of(victim_set);
+        let resident = resident_count.get(&victim_set).copied().unwrap_or(0);
+        let batch = profile.evict_batch(resident);
+        let ordered = Self::order_victims(
+            by_set.remove(&victim_set).expect("victim set present"),
+            profile.within_set_policy(),
+        );
+        ordered.into_iter().take(batch).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "data-aware"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CurrentOp, Durability, ReadPattern, WritePattern};
+
+    fn pv(set: u64, num: u64, last: Tick, evictable: bool, dirty: bool) -> PageView {
+        PageView {
+            page: PageId::new(SetId(set), num),
+            last_access: last,
+            evictable,
+            dirty,
+        }
+    }
+
+    #[test]
+    fn never_selects_pinned_pages() {
+        let mut s = DataAwareStrategy::new();
+        let pages = vec![pv(1, 0, 10, false, false), pv(1, 1, 20, true, false)];
+        let victims = s.choose_victims(&pages, 100);
+        assert_eq!(victims, vec![PageId::new(SetId(1), 1)]);
+    }
+
+    #[test]
+    fn empty_when_nothing_evictable() {
+        let mut s = DataAwareStrategy::new();
+        let pages = vec![pv(1, 0, 10, false, false)];
+        assert!(s.choose_victims(&pages, 100).is_empty());
+        assert!(s.choose_victims(&[], 100).is_empty());
+    }
+
+    #[test]
+    fn lifetime_ended_sets_evicted_first() {
+        let mut s = DataAwareStrategy::new();
+        // Set 1: alive write-back (expensive to evict? doesn't matter).
+        s.update_set(
+            SetId(1),
+            SetProfile {
+                durability: Durability::WriteBack,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Set 2: lifetime ended.
+        s.update_set(
+            SetId(2),
+            SetProfile {
+                lifetime_ended: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Set 2's page was accessed *very* recently (normally protected).
+        let pages = vec![pv(1, 0, 1, true, false), pv(2, 0, 99, true, true)];
+        let victims = s.choose_victims(&pages, 100);
+        assert_eq!(victims[0].set, SetId(2));
+    }
+
+    #[test]
+    fn cheaper_set_loses_its_page_first() {
+        let mut s = DataAwareStrategy::new();
+        // Write-through user data: cw = 0.
+        s.update_set(
+            SetId(1),
+            SetProfile {
+                durability: Durability::WriteThrough,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Write-back job data with dirty pages: cw = vw > 0.
+        s.update_set(
+            SetId(2),
+            SetProfile {
+                durability: Durability::WriteBack,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Same recency; only durability differs.
+        let pages = vec![pv(1, 0, 50, true, true), pv(2, 0, 50, true, true)];
+        let victims = s.choose_victims(&pages, 100);
+        assert_eq!(
+            victims[0].set,
+            SetId(1),
+            "write-through page is free to evict; write-back costs a spill"
+        );
+    }
+
+    #[test]
+    fn sequential_set_evicts_mru_random_set_evicts_lru() {
+        let mut s = DataAwareStrategy::new();
+        s.update_set(
+            SetId(1),
+            SetProfile {
+                writing: Some(WritePattern::Sequential),
+                op: CurrentOp::Write,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let pages = vec![pv(1, 0, 10, true, false), pv(1, 1, 90, true, false)];
+        let victims = s.choose_victims(&pages, 100);
+        assert_eq!(victims, vec![PageId::new(SetId(1), 1)], "MRU in seq set");
+
+        let mut s = DataAwareStrategy::new();
+        s.update_set(
+            SetId(1),
+            SetProfile {
+                reading: Some(ReadPattern::Random),
+                op: CurrentOp::Write,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let victims = s.choose_victims(&pages, 100);
+        assert_eq!(victims, vec![PageId::new(SetId(1), 0)], "LRU in random set");
+    }
+
+    #[test]
+    fn writing_sets_lose_one_page_reading_sets_ten_percent() {
+        let mk_pages = || (0..30).map(|i| pv(1, i, i, true, false)).collect::<Vec<_>>();
+        let mut s = DataAwareStrategy::new();
+        s.update_set(
+            SetId(1),
+            SetProfile {
+                op: CurrentOp::Write,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.choose_victims(&mk_pages(), 100).len(), 1);
+
+        let mut s = DataAwareStrategy::new();
+        s.update_set(
+            SetId(1),
+            SetProfile {
+                op: CurrentOp::Read,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.choose_victims(&mk_pages(), 100).len(), 3, "10 % of 30");
+    }
+
+    #[test]
+    fn recently_read_set_survives_over_stale_set() {
+        let mut s = DataAwareStrategy::new();
+        s.update_set(SetId(1), SetProfile::default()).unwrap();
+        s.update_set(SetId(2), SetProfile::default()).unwrap();
+        // Set 1 stale, set 2 hot.
+        let pages = vec![pv(1, 0, 5, true, false), pv(2, 0, 999, true, false)];
+        let victims = s.choose_victims(&pages, 1000);
+        assert_eq!(victims[0].set, SetId(1));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn victims_are_evictable_and_from_one_set(
+                raw in proptest::collection::vec(
+                    (0u64..4, 0u64..64, 0u64..1000, any::<bool>(), any::<bool>()),
+                    1..80
+                )
+            ) {
+                let mut s = DataAwareStrategy::new();
+                let mut pages: Vec<PageView> = Vec::new();
+                let mut seen = std::collections::HashSet::new();
+                for (set, num, last, evictable, dirty) in raw {
+                    if seen.insert((set, num)) {
+                        pages.push(pv(set, num, last, evictable, dirty));
+                    }
+                }
+                let victims = s.choose_victims(&pages, 2000);
+                let any_evictable = pages.iter().any(|p| p.evictable);
+                prop_assert_eq!(victims.is_empty(), !any_evictable);
+                if let Some(first) = victims.first() {
+                    for v in &victims {
+                        prop_assert_eq!(v.set, first.set, "batch stays in one set");
+                        let view = pages.iter().find(|p| p.page == *v).unwrap();
+                        prop_assert!(view.evictable, "never a pinned page");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! DBMIN (Chou & DeWitt, 1986) baseline, in the four sizing variants the
+//! paper benchmarks.
+//!
+//! DBMIN assigns every locality set a *desired size* and a per-pattern
+//! replacement policy; a set whose resident pages exceed its desired size
+//! evicts from itself. Crucially, DBMIN performs **admission control**:
+//! when the sum of desired sizes exceeds available memory, new requests
+//! block — which the paper surfaces as the failures of `DBMIN-adaptive`
+//! and `DBMIN-1000` in Fig. 3. We reproduce blocking as the
+//! [`pangea_common::PangeaError::DbminBlocked`] error.
+//!
+//! Sizing variants (paper §9.1.1 and §9.2.1):
+//! * **Adaptive** — per the original QLSM algorithm, with reference
+//!   patterns learned from Pangea services: a loop-sequential set (scanned
+//!   repeatedly) wants its whole size resident; a straight-sequential set
+//!   wants one page; a random set wants a working-set estimate (we use the
+//!   set's estimated size, matching the paper's "estimates locality set
+//!   size exactly following the algorithm in [21]").
+//! * **Fixed(1)** — `DBMIN-1`: every set's desired size is 1 page.
+//! * **Fixed(1000)** — `DBMIN-1000`: every set wants 1000 pages.
+//! * **Tuned** — Fig. 9's variant: adaptive, but each desired size is
+//!   capped at pool capacity so admission never blocks.
+
+use crate::{CurrentOp, PageView, PagingStrategy, ReadPattern, SetProfile, WithinSetPolicy};
+use pangea_common::{FxHashMap, PageId, PangeaError, Result, SetId, Tick};
+
+/// How DBMIN estimates each locality set's desired size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbminSizing {
+    /// QLSM-style estimation from the set's (learned) reference pattern.
+    Adaptive,
+    /// Every set desires exactly this many pages.
+    Fixed(u64),
+    /// Adaptive, but capped at pool capacity (never blocks).
+    Tuned,
+}
+
+/// See module docs.
+#[derive(Debug)]
+pub struct DbminStrategy {
+    sizing: DbminSizing,
+    /// Pool capacity in pages, for admission control.
+    capacity_pages: u64,
+    profiles: FxHashMap<SetId, SetProfile>,
+    desired: FxHashMap<SetId, u64>,
+}
+
+impl DbminStrategy {
+    /// Creates a DBMIN strategy for a pool of `capacity_pages` pages.
+    pub fn new(sizing: DbminSizing, capacity_pages: u64) -> Self {
+        Self {
+            sizing,
+            capacity_pages,
+            profiles: FxHashMap::default(),
+            desired: FxHashMap::default(),
+        }
+    }
+
+    /// The desired size DBMIN would assign to `profile`.
+    fn desired_size(&self, profile: &SetProfile) -> u64 {
+        match self.sizing {
+            DbminSizing::Fixed(n) => n,
+            DbminSizing::Adaptive | DbminSizing::Tuned => {
+                let raw = match (profile.reading, profile.op) {
+                    // Loop-sequential (read sets are re-scanned in analytics
+                    // dataflows): QLSM wants the full set resident.
+                    (Some(ReadPattern::Sequential), _) => {
+                        profile.estimated_pages.unwrap_or(1)
+                    }
+                    // Random access: working set ≈ the set size (hash data
+                    // is fully live while the aggregation runs).
+                    (Some(ReadPattern::Random), _) => profile.estimated_pages.unwrap_or(100),
+                    // Pure sequential write: one page suffices.
+                    (None, CurrentOp::Write) => 1,
+                    _ => profile.estimated_pages.unwrap_or(1),
+                };
+                if self.sizing == DbminSizing::Tuned {
+                    raw.min(self.capacity_pages)
+                } else {
+                    raw
+                }
+            }
+        }
+    }
+
+    fn check_admission(&self) -> Result<()> {
+        let total: u64 = self.desired.values().sum();
+        if total > self.capacity_pages {
+            return Err(PangeaError::DbminBlocked {
+                desired_bytes: total as usize,
+                available_bytes: self.capacity_pages as usize,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl PagingStrategy for DbminStrategy {
+    fn update_set(&mut self, set: SetId, profile: SetProfile) -> Result<()> {
+        let want = self.desired_size(&profile);
+        self.profiles.insert(set, profile);
+        self.desired.insert(set, want);
+        // DBMIN admission control: block (error) when the sum of desired
+        // sizes no longer fits — the Fig. 3 failure mode.
+        self.check_admission()
+    }
+
+    fn remove_set(&mut self, set: SetId) {
+        self.profiles.remove(&set);
+        self.desired.remove(&set);
+    }
+
+    fn on_page_cached(&mut self, _page: PageId, _tick: Tick) {}
+
+    fn on_page_accessed(&mut self, _page: PageId, _tick: Tick) {}
+
+    fn on_page_evicted(&mut self, _page: PageId) {}
+
+    fn choose_victims(&mut self, pages: &[PageView], _now: Tick) -> Vec<PageId> {
+        let mut by_set: FxHashMap<SetId, Vec<&PageView>> = FxHashMap::default();
+        let mut resident: FxHashMap<SetId, u64> = FxHashMap::default();
+        for pv in pages {
+            *resident.entry(pv.page.set).or_default() += 1;
+            if pv.evictable {
+                by_set.entry(pv.page.set).or_default().push(pv);
+            }
+        }
+        if by_set.is_empty() {
+            return Vec::new();
+        }
+        // Evict from the set most over its desired size; if nobody is over
+        // budget (sizes were under-estimated), fall back to the set with
+        // the most resident pages so progress is still possible.
+        let over_budget = |set: SetId| {
+            let res = resident.get(&set).copied().unwrap_or(0) as i64;
+            let want = self.desired.get(&set).copied().unwrap_or(1) as i64;
+            res - want
+        };
+        let victim_set = by_set
+            .keys()
+            .copied()
+            .max_by_key(|&s| (over_budget(s), resident.get(&s).copied().unwrap_or(0), std::cmp::Reverse(s)))
+            .expect("non-empty");
+
+        let profile = self.profiles.get(&victim_set).copied().unwrap_or_default();
+        let mut cands = by_set.remove(&victim_set).expect("present");
+        match profile.within_set_policy() {
+            WithinSetPolicy::Lru => cands.sort_by_key(|p| p.last_access),
+            WithinSetPolicy::Mru => cands.sort_by_key(|p| std::cmp::Reverse(p.last_access)),
+        }
+        // DBMIN evicts down to the desired size, one page at a time; we
+        // return a single victim per round (the caller loops as needed).
+        cands.into_iter().take(1).map(|p| p.page).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        match self.sizing {
+            DbminSizing::Adaptive => "dbmin-adaptive",
+            DbminSizing::Fixed(1) => "dbmin-1",
+            DbminSizing::Fixed(_) => "dbmin-1000",
+            DbminSizing::Tuned => "dbmin-tuned",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Durability;
+
+    fn pv(set: u64, num: u64, last: Tick, evictable: bool) -> PageView {
+        PageView {
+            page: PageId::new(SetId(set), num),
+            last_access: last,
+            evictable,
+            dirty: false,
+        }
+    }
+
+    fn seq_read_profile(pages: u64) -> SetProfile {
+        SetProfile {
+            durability: Durability::WriteBack,
+            reading: Some(ReadPattern::Sequential),
+            op: CurrentOp::Read,
+            estimated_pages: Some(pages),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_blocks_when_desired_exceeds_capacity() {
+        let mut s = DbminStrategy::new(DbminSizing::Adaptive, 100);
+        assert!(s.update_set(SetId(1), seq_read_profile(60)).is_ok());
+        let err = s.update_set(SetId(2), seq_read_profile(60)).unwrap_err();
+        assert!(matches!(err, PangeaError::DbminBlocked { .. }));
+        assert!(err.is_reported_as_gap(), "matches Fig. 3 failure rendering");
+    }
+
+    #[test]
+    fn dbmin_1000_blocks_on_small_pools() {
+        let mut s = DbminStrategy::new(DbminSizing::Fixed(1000), 128);
+        assert!(matches!(
+            s.update_set(SetId(1), SetProfile::default()),
+            Err(PangeaError::DbminBlocked { .. })
+        ));
+    }
+
+    #[test]
+    fn dbmin_1_never_blocks_and_evicts_over_budget_sets() {
+        let mut s = DbminStrategy::new(DbminSizing::Fixed(1), 128);
+        for i in 0..10 {
+            s.update_set(SetId(i), SetProfile::default()).unwrap();
+        }
+        // Set 3 holds 5 pages (4 over budget), others hold 1.
+        let mut pages = vec![];
+        for i in 0..10u64 {
+            pages.push(pv(i, 0, i, true));
+        }
+        for n in 1..5u64 {
+            pages.push(pv(3, n, 50 + n, true));
+        }
+        let victims = s.choose_victims(&pages, 100);
+        assert_eq!(victims.len(), 1, "DBMIN evicts one page per round");
+        assert_eq!(victims[0].set, SetId(3));
+    }
+
+    #[test]
+    fn tuned_caps_at_capacity_and_admits() {
+        let mut s = DbminStrategy::new(DbminSizing::Tuned, 100);
+        // A set 10x the pool would block adaptive DBMIN; tuned caps it.
+        assert!(s.update_set(SetId(1), seq_read_profile(1000)).is_ok());
+    }
+
+    #[test]
+    fn sequential_sets_evict_mru_within_set() {
+        let mut s = DbminStrategy::new(DbminSizing::Fixed(1), 128);
+        s.update_set(SetId(1), seq_read_profile(4)).unwrap();
+        let pages = vec![pv(1, 0, 10, true), pv(1, 1, 90, true)];
+        let victims = s.choose_victims(&pages, 100);
+        assert_eq!(victims, vec![PageId::new(SetId(1), 1)]);
+    }
+
+    #[test]
+    fn random_sets_evict_lru_within_set() {
+        let mut s = DbminStrategy::new(DbminSizing::Fixed(1), 1000);
+        s.update_set(
+            SetId(1),
+            SetProfile {
+                reading: Some(ReadPattern::Random),
+                estimated_pages: Some(4),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let pages = vec![pv(1, 0, 10, true), pv(1, 1, 90, true)];
+        let victims = s.choose_victims(&pages, 100);
+        assert_eq!(victims, vec![PageId::new(SetId(1), 0)]);
+    }
+
+    #[test]
+    fn removing_a_set_unblocks_admission() {
+        let mut s = DbminStrategy::new(DbminSizing::Adaptive, 100);
+        s.update_set(SetId(1), seq_read_profile(80)).unwrap();
+        assert!(s.update_set(SetId(2), seq_read_profile(80)).is_err());
+        s.remove_set(SetId(2));
+        s.remove_set(SetId(1));
+        assert!(s.update_set(SetId(3), seq_read_profile(80)).is_ok());
+    }
+
+    #[test]
+    fn never_selects_pinned_pages() {
+        let mut s = DbminStrategy::new(DbminSizing::Fixed(1), 128);
+        s.update_set(SetId(1), SetProfile::default()).unwrap();
+        let pages = vec![pv(1, 0, 10, false), pv(1, 1, 20, true)];
+        let victims = s.choose_victims(&pages, 100);
+        assert_eq!(victims, vec![PageId::new(SetId(1), 1)]);
+    }
+}

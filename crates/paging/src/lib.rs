@@ -1,0 +1,316 @@
+//! # pangea-paging
+//!
+//! Page-replacement policy for the unified buffer pool (paper §6), plus the
+//! baseline strategies the paper evaluates against (Figs. 3, 9, 10):
+//!
+//! * [`DataAwareStrategy`] — the paper's contribution. Locality sets are
+//!   prioritized by the expected cost of evicting their next victim,
+//!   `cw + p_reuse · cr`, with the victim-within-set chosen by a policy
+//!   matched to the set's access pattern (MRU for sequential patterns, LRU
+//!   for random patterns). Lifetime-ended sets are always evicted first.
+//! * [`LruStrategy`] / [`MruStrategy`] — global recency-based baselines,
+//!   evicting 10 % batches as described in §9.2.1.
+//! * [`DbminStrategy`] — DBMIN (Chou & DeWitt 1986) with the three sizing
+//!   modes from Fig. 3 (`adaptive`, fixed 1, fixed 1000) plus the `tuned`
+//!   mode of Fig. 9 (sizes capped at memory so it does not block).
+//!
+//! The strategies are *pure policy*: they observe page lifecycle events
+//! (cached / accessed / evicted) and, on demand, name victim pages. The
+//! storage node in `pangea-core` owns the mechanism (actually evicting and
+//! flushing pages).
+
+pub mod cost;
+pub mod data_aware;
+pub mod dbmin;
+pub mod recency;
+
+pub use cost::{eviction_cost, reuse_probability, CostParams};
+pub use data_aware::DataAwareStrategy;
+pub use dbmin::{DbminSizing, DbminStrategy};
+pub use recency::{LruStrategy, MruStrategy};
+
+use pangea_common::{PageId, Result, SetId, Tick};
+
+/// Fraction of a read-only locality set evicted per eviction round
+/// (paper §6: "For read-only locality sets, 10 % of the locality set is
+/// evicted"). Also the batch fraction of the plain LRU/MRU baselines
+/// (§9.2.1).
+pub const EVICT_FRACTION: f64 = 0.10;
+
+/// Durability requirement of a locality set (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Durability {
+    /// Persist each page as soon as it is fully written.
+    WriteThrough,
+    /// Keep pages in memory; spill only on eviction.
+    WriteBack,
+}
+
+/// Writing pattern of a locality set (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WritePattern {
+    /// Immutable data written page-by-page by one writer.
+    Sequential,
+    /// Multiple concurrent streams into one page (shuffle).
+    Concurrent,
+    /// Dynamic allocate/modify/free within pages (hash, join).
+    RandomMutable,
+}
+
+/// Reading pattern of a locality set (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadPattern {
+    /// Full scans.
+    Sequential,
+    /// Point accesses (hash probes).
+    Random,
+}
+
+/// What the application is currently doing with the set (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CurrentOp {
+    /// Being scanned.
+    Read,
+    /// Being produced.
+    Write,
+    /// Both (e.g. in-place aggregation).
+    ReadAndWrite,
+    /// Not in active use.
+    #[default]
+    None,
+}
+
+/// Victim-selection order within one locality set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WithinSetPolicy {
+    /// Evict least-recently-used first.
+    Lru,
+    /// Evict most-recently-used first.
+    Mru,
+}
+
+/// The slice of locality-set metadata the paging policies consume.
+///
+/// `pangea-core` derives this from the full locality-set attributes
+/// (Table 1) and keeps it updated as services run.
+#[derive(Debug, Clone, Copy)]
+pub struct SetProfile {
+    /// Durability requirement.
+    pub durability: Durability,
+    /// Writing pattern, when known.
+    pub writing: Option<WritePattern>,
+    /// Reading pattern, when known.
+    pub reading: Option<ReadPattern>,
+    /// Current operation.
+    pub op: CurrentOp,
+    /// True once the application declared the set's lifetime over;
+    /// such sets are always evicted first (paper §6).
+    pub lifetime_ended: bool,
+    /// Profiled time to read one page back from disk (`vr`), in cost units.
+    pub read_time: f64,
+    /// Profiled time to write one page to disk (`vw`), in cost units.
+    pub write_time: f64,
+    /// Estimated total pages of the set, when the application knows it
+    /// (used by DBMIN's adaptive sizing; Pangea itself never requires it).
+    pub estimated_pages: Option<u64>,
+}
+
+impl Default for SetProfile {
+    fn default() -> Self {
+        Self {
+            durability: Durability::WriteThrough,
+            writing: None,
+            reading: None,
+            op: CurrentOp::None,
+            lifetime_ended: false,
+            read_time: 1.0,
+            write_time: 1.0,
+            estimated_pages: None,
+        }
+    }
+}
+
+impl SetProfile {
+    /// Paging policy matched to the set's access pattern (paper §6):
+    /// MRU for `sequential-write`, `concurrent-write`, `sequential-read`;
+    /// LRU for `random-mutable-write`, `random-read`.
+    pub fn within_set_policy(&self) -> WithinSetPolicy {
+        let random = matches!(self.writing, Some(WritePattern::RandomMutable))
+            || matches!(self.reading, Some(ReadPattern::Random));
+        if random {
+            WithinSetPolicy::Lru
+        } else {
+            WithinSetPolicy::Mru
+        }
+    }
+
+    /// Read-pattern penalty `wr` (paper §6): random-read spills need hash
+    /// reconstruction and re-aggregation on reload, so their re-read is
+    /// costlier than a plain sequential page read.
+    pub fn read_penalty(&self) -> f64 {
+        match self.reading {
+            Some(ReadPattern::Random) => 3.0,
+            _ => 1.0,
+        }
+    }
+
+    /// Number of pages to evict from this set per round (paper §6): one for
+    /// sets being written, 10 % (at least one) for read-only sets.
+    pub fn evict_batch(&self, resident_pages: usize) -> usize {
+        match self.op {
+            CurrentOp::Write | CurrentOp::ReadAndWrite => 1,
+            CurrentOp::Read | CurrentOp::None => {
+                ((resident_pages as f64 * EVICT_FRACTION).ceil() as usize).max(1)
+            }
+        }
+    }
+}
+
+/// Everything a strategy may inspect about one resident page when choosing
+/// victims.
+#[derive(Debug, Clone, Copy)]
+pub struct PageView {
+    /// The page.
+    pub page: PageId,
+    /// Last access tick.
+    pub last_access: Tick,
+    /// True when the page can be evicted right now (pin count is zero).
+    pub evictable: bool,
+    /// True when eviction would require a write-back flush.
+    pub dirty: bool,
+}
+
+/// A page-replacement strategy over one node's buffer pool.
+///
+/// Strategies are driven by the storage node: lifecycle notifications keep
+/// the strategy's books current; [`PagingStrategy::choose_victims`] names
+/// pages to evict when an allocation fails.
+pub trait PagingStrategy: Send + std::fmt::Debug {
+    /// A new locality set was registered (or its profile changed).
+    fn update_set(&mut self, set: SetId, profile: SetProfile) -> Result<()>;
+
+    /// A locality set was removed entirely.
+    fn remove_set(&mut self, set: SetId);
+
+    /// A page became resident in the pool.
+    fn on_page_cached(&mut self, page: PageId, tick: Tick);
+
+    /// A resident page was accessed.
+    fn on_page_accessed(&mut self, page: PageId, tick: Tick);
+
+    /// A page left the pool (evicted or dropped).
+    fn on_page_evicted(&mut self, page: PageId);
+
+    /// Names pages to evict, best victims first. `pages` views the current
+    /// residency state (including pin and dirty bits); `now` is the current
+    /// clock tick. Implementations must only return evictable pages, and at
+    /// least one when any page is evictable.
+    fn choose_victims(&mut self, pages: &[PageView], now: Tick) -> Vec<PageId>;
+
+    /// Human-readable strategy name for benchmark output.
+    fn name(&self) -> &'static str;
+}
+
+/// Selects a strategy by benchmark name.
+///
+/// Accepted names: `data-aware`, `lru`, `mru`, `dbmin-adaptive`, `dbmin-1`,
+/// `dbmin-1000`, `dbmin-tuned` (matching Fig. 3 / Fig. 9 labels).
+pub fn strategy_by_name(
+    name: &str,
+    pool_capacity_pages: u64,
+) -> Result<Box<dyn PagingStrategy>> {
+    match name {
+        "data-aware" => Ok(Box::new(DataAwareStrategy::new())),
+        "lru" => Ok(Box::new(LruStrategy::new())),
+        "mru" => Ok(Box::new(MruStrategy::new())),
+        "dbmin-adaptive" => Ok(Box::new(DbminStrategy::new(
+            DbminSizing::Adaptive,
+            pool_capacity_pages,
+        ))),
+        "dbmin-1" => Ok(Box::new(DbminStrategy::new(
+            DbminSizing::Fixed(1),
+            pool_capacity_pages,
+        ))),
+        "dbmin-1000" => Ok(Box::new(DbminStrategy::new(
+            DbminSizing::Fixed(1000),
+            pool_capacity_pages,
+        ))),
+        "dbmin-tuned" => Ok(Box::new(DbminStrategy::new(
+            DbminSizing::Tuned,
+            pool_capacity_pages,
+        ))),
+        other => Err(pangea_common::PangeaError::config(format!(
+            "unknown paging strategy '{other}'"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_set_policy_matches_paper_table() {
+        let mut p = SetProfile {
+            writing: Some(WritePattern::Sequential),
+            ..Default::default()
+        };
+        assert_eq!(p.within_set_policy(), WithinSetPolicy::Mru);
+        p.writing = Some(WritePattern::Concurrent);
+        assert_eq!(p.within_set_policy(), WithinSetPolicy::Mru);
+        p.writing = None;
+        p.reading = Some(ReadPattern::Sequential);
+        assert_eq!(p.within_set_policy(), WithinSetPolicy::Mru);
+        p.reading = Some(ReadPattern::Random);
+        assert_eq!(p.within_set_policy(), WithinSetPolicy::Lru);
+        p.reading = None;
+        p.writing = Some(WritePattern::RandomMutable);
+        assert_eq!(p.within_set_policy(), WithinSetPolicy::Lru);
+    }
+
+    #[test]
+    fn evict_batch_is_one_for_writers_and_ten_percent_for_readers() {
+        let mut p = SetProfile {
+            op: CurrentOp::Write,
+            ..Default::default()
+        };
+        assert_eq!(p.evict_batch(100), 1);
+        p.op = CurrentOp::ReadAndWrite;
+        assert_eq!(p.evict_batch(100), 1);
+        p.op = CurrentOp::Read;
+        assert_eq!(p.evict_batch(100), 10);
+        assert_eq!(p.evict_batch(5), 1, "batch is at least one page");
+        assert_eq!(p.evict_batch(95), 10, "ceil of 10 %");
+    }
+
+    #[test]
+    fn random_read_sets_pay_a_reload_penalty() {
+        let seq = SetProfile {
+            reading: Some(ReadPattern::Sequential),
+            ..Default::default()
+        };
+        let rnd = SetProfile {
+            reading: Some(ReadPattern::Random),
+            ..Default::default()
+        };
+        assert_eq!(seq.read_penalty(), 1.0);
+        assert!(rnd.read_penalty() > 1.0);
+    }
+
+    #[test]
+    fn strategy_factory_knows_all_benchmark_names() {
+        for name in [
+            "data-aware",
+            "lru",
+            "mru",
+            "dbmin-adaptive",
+            "dbmin-1",
+            "dbmin-1000",
+            "dbmin-tuned",
+        ] {
+            let s = strategy_by_name(name, 128).unwrap();
+            assert!(!s.name().is_empty());
+        }
+        assert!(strategy_by_name("arc", 128).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Plain recency-based baselines: global LRU and global MRU.
+//!
+//! These are the comparison strategies of Figs. 3, 9 and 10. Per §9.2.1:
+//! "In our implementation, 10 % of most recently used pages will be evicted
+//! at each eviction for MRU, and at most 10 % of least recently used pages
+//! will be evicted for LRU." Both ignore locality-set structure entirely —
+//! that blindness is exactly what the paper's data-aware policy fixes.
+
+use crate::{PageView, PagingStrategy, SetProfile, EVICT_FRACTION};
+use pangea_common::{PageId, Result, SetId, Tick};
+
+fn batch_size(total_resident: usize) -> usize {
+    ((total_resident as f64 * EVICT_FRACTION).ceil() as usize).max(1)
+}
+
+/// Global least-recently-used eviction in 10 % batches.
+#[derive(Debug, Default)]
+pub struct LruStrategy;
+
+impl LruStrategy {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl PagingStrategy for LruStrategy {
+    fn update_set(&mut self, _set: SetId, _profile: SetProfile) -> Result<()> {
+        Ok(())
+    }
+
+    fn remove_set(&mut self, _set: SetId) {}
+
+    fn on_page_cached(&mut self, _page: PageId, _tick: Tick) {}
+
+    fn on_page_accessed(&mut self, _page: PageId, _tick: Tick) {}
+
+    fn on_page_evicted(&mut self, _page: PageId) {}
+
+    fn choose_victims(&mut self, pages: &[PageView], _now: Tick) -> Vec<PageId> {
+        let mut evictable: Vec<&PageView> = pages.iter().filter(|p| p.evictable).collect();
+        evictable.sort_by_key(|p| p.last_access);
+        evictable
+            .into_iter()
+            .take(batch_size(pages.len()))
+            .map(|p| p.page)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+/// Global most-recently-used eviction in 10 % batches.
+#[derive(Debug, Default)]
+pub struct MruStrategy;
+
+impl MruStrategy {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl PagingStrategy for MruStrategy {
+    fn update_set(&mut self, _set: SetId, _profile: SetProfile) -> Result<()> {
+        Ok(())
+    }
+
+    fn remove_set(&mut self, _set: SetId) {}
+
+    fn on_page_cached(&mut self, _page: PageId, _tick: Tick) {}
+
+    fn on_page_accessed(&mut self, _page: PageId, _tick: Tick) {}
+
+    fn on_page_evicted(&mut self, _page: PageId) {}
+
+    fn choose_victims(&mut self, pages: &[PageView], _now: Tick) -> Vec<PageId> {
+        let mut evictable: Vec<&PageView> = pages.iter().filter(|p| p.evictable).collect();
+        evictable.sort_by_key(|p| std::cmp::Reverse(p.last_access));
+        evictable
+            .into_iter()
+            .take(batch_size(pages.len()))
+            .map(|p| p.page)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "mru"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pv(set: u64, num: u64, last: Tick, evictable: bool) -> PageView {
+        PageView {
+            page: PageId::new(SetId(set), num),
+            last_access: last,
+            evictable,
+            dirty: false,
+        }
+    }
+
+    #[test]
+    fn lru_takes_stalest_first() {
+        let mut s = LruStrategy::new();
+        let pages = vec![pv(1, 0, 30, true), pv(1, 1, 10, true), pv(1, 2, 20, true)];
+        let victims = s.choose_victims(&pages, 100);
+        assert_eq!(victims[0], PageId::new(SetId(1), 1));
+    }
+
+    #[test]
+    fn mru_takes_freshest_first() {
+        let mut s = MruStrategy::new();
+        let pages = vec![pv(1, 0, 30, true), pv(1, 1, 10, true), pv(1, 2, 20, true)];
+        let victims = s.choose_victims(&pages, 100);
+        assert_eq!(victims[0], PageId::new(SetId(1), 0));
+    }
+
+    #[test]
+    fn both_evict_ten_percent_batches() {
+        let pages: Vec<PageView> = (0..50).map(|i| pv(1, i, i, true)).collect();
+        assert_eq!(LruStrategy::new().choose_victims(&pages, 100).len(), 5);
+        assert_eq!(MruStrategy::new().choose_victims(&pages, 100).len(), 5);
+    }
+
+    #[test]
+    fn pinned_pages_skipped_even_if_best_candidates() {
+        let mut s = LruStrategy::new();
+        let pages = vec![pv(1, 0, 1, false), pv(1, 1, 2, true)];
+        let victims = s.choose_victims(&pages, 100);
+        assert_eq!(victims, vec![PageId::new(SetId(1), 1)]);
+    }
+
+    #[test]
+    fn cross_set_blindness_is_preserved() {
+        // LRU/MRU must ignore set boundaries: a batch may span sets.
+        let mut s = LruStrategy::new();
+        let pages: Vec<PageView> = (0..20)
+            .map(|i| pv(i % 3, i, i, true))
+            .collect();
+        let victims = s.choose_victims(&pages, 100);
+        let sets: std::collections::HashSet<SetId> = victims.iter().map(|p| p.set).collect();
+        assert!(sets.len() > 1, "global LRU spans locality sets");
+    }
+}

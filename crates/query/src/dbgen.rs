@@ -1,0 +1,279 @@
+//! Deterministic, scale-factor-parameterized TPC-H data generator.
+//!
+//! Cardinality ratios follow `dbgen`: per unit of scale factor,
+//! 6 M lineitem / 1.5 M orders / 150 K customer / 200 K part /
+//! 10 K supplier / 800 K partsupp rows, with 25 nations over 5 regions.
+//! Benches run SF 0.001–0.05 (DESIGN.md §2: replica-selection speedups
+//! depend on co-partitioning avoiding shuffles, not absolute size).
+//!
+//! Generation is seeded, so every run (and both query engines) sees the
+//! same database.
+
+use crate::schema::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale-factor-derived table cardinalities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cardinalities {
+    /// `lineitem` rows (6 M × SF, approximately — lines per order vary).
+    pub lineitem: u64,
+    /// `orders` rows (1.5 M × SF).
+    pub orders: u64,
+    /// `customer` rows (150 K × SF).
+    pub customer: u64,
+    /// `part` rows (200 K × SF).
+    pub part: u64,
+    /// `supplier` rows (10 K × SF).
+    pub supplier: u64,
+    /// `partsupp` rows (800 K × SF).
+    pub partsupp: u64,
+}
+
+impl Cardinalities {
+    /// Cardinalities at scale factor `sf`.
+    pub fn at(sf: f64) -> Self {
+        let n = |base: f64| ((base * sf).round() as u64).max(1);
+        Self {
+            lineitem: n(6_000_000.0),
+            orders: n(1_500_000.0),
+            customer: n(150_000.0),
+            part: n(200_000.0),
+            supplier: n(10_000.0),
+            partsupp: n(800_000.0),
+        }
+    }
+}
+
+/// A deterministic TPC-H database at some scale factor.
+#[derive(Debug, Clone)]
+pub struct TpchData {
+    /// Scale factor used.
+    pub sf: f64,
+    /// `lineitem` rows.
+    pub lineitem: Vec<LineItem>,
+    /// `orders` rows.
+    pub orders: Vec<Order>,
+    /// `customer` rows.
+    pub customer: Vec<Customer>,
+    /// `part` rows.
+    pub part: Vec<Part>,
+    /// `supplier` rows.
+    pub supplier: Vec<Supplier>,
+    /// `partsupp` rows.
+    pub partsupp: Vec<PartSupp>,
+    /// `nation` rows (always 25).
+    pub nation: Vec<Nation>,
+    /// `region` rows (always 5).
+    pub region: Vec<Region>,
+}
+
+fn random_date(rng: &mut StdRng) -> u32 {
+    let year = rng.random_range(1992..=1998u32);
+    let month = rng.random_range(1..=12u32);
+    let day = rng.random_range(1..=28u32);
+    year * 10_000 + month * 100 + day
+}
+
+/// Adds `days` (< 90) to a `yyyymmdd` date with a simplified 28-day
+/// month calendar (consistent for comparisons because every generated
+/// day is ≤ 28).
+pub fn date_plus(date: u32, days: u32) -> u32 {
+    let year = date / 10_000;
+    let month = (date / 100) % 100;
+    let day = date % 100;
+    let total = (day - 1) + days;
+    let month_total = (month - 1) + total / 28;
+    let year = year + month_total / 12;
+    let month = month_total % 12 + 1;
+    let day = total % 28 + 1;
+    year * 10_000 + month * 100 + day
+}
+
+impl TpchData {
+    /// Generates the database at `sf` with a fixed seed.
+    pub fn generate(sf: f64) -> Self {
+        Self::generate_seeded(sf, 0x50414E47_4541)
+    }
+
+    /// Generates the database at `sf` from an explicit seed.
+    pub fn generate_seeded(sf: f64, seed: u64) -> Self {
+        let card = Cardinalities::at(sf);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let region: Vec<Region> = (0..5)
+            .map(|r| Region { r_regionkey: r })
+            .collect();
+        let nation: Vec<Nation> = (0..25)
+            .map(|n| Nation {
+                n_nationkey: n,
+                n_regionkey: n % 5,
+            })
+            .collect();
+        let supplier: Vec<Supplier> = (1..=card.supplier as i64)
+            .map(|k| Supplier {
+                s_suppkey: k,
+                s_nationkey: rng.random_range(0..25),
+                s_acctbal: rng.random_range(-100_000..1_000_000),
+            })
+            .collect();
+        let part: Vec<Part> = (1..=card.part as i64)
+            .map(|k| Part {
+                p_partkey: k,
+                p_brand: rng.random_range(1..=55),
+                p_type: rng.random_range(0..150),
+                p_size: rng.random_range(1..=50),
+                p_container: rng.random_range(0..CONTAINERS.len() as u32) as u8,
+            })
+            .collect();
+        let partsupp: Vec<PartSupp> = (0..card.partsupp)
+            .map(|i| PartSupp {
+                ps_partkey: (i % card.part) as i64 + 1,
+                ps_suppkey: rng.random_range(1..=card.supplier as i64),
+                ps_supplycost: rng.random_range(100..100_000),
+                ps_availqty: rng.random_range(1..10_000),
+            })
+            .collect();
+        let customer: Vec<Customer> = (1..=card.customer as i64)
+            .map(|k| Customer {
+                c_custkey: k,
+                c_nationkey: rng.random_range(0..25),
+                c_acctbal: rng.random_range(-99_999..1_000_000),
+                c_phone_cc: rng.random_range(10..35),
+            })
+            .collect();
+        let mut orders = Vec::with_capacity(card.orders as usize);
+        let mut lineitem = Vec::with_capacity(card.lineitem as usize);
+        let lines_per_order =
+            (card.lineitem as f64 / card.orders as f64).round().max(1.0) as u64;
+        for k in 1..=card.orders as i64 {
+            let o_orderdate = random_date(&mut rng);
+            // One third of customers never order (TPC-H's convention is
+            // similar: only 2/3 of custkeys appear in orders) — Q13/Q22
+            // depend on this skew.
+            let o_custkey =
+                (rng.random_range(0..(card.customer * 2 / 3).max(1)) as i64) + 1;
+            let n_lines = rng.random_range(1..=(lines_per_order * 2 - 1).max(1));
+            let mut total = 0i64;
+            for _ in 0..n_lines {
+                if lineitem.len() as u64 >= card.lineitem {
+                    break;
+                }
+                let price = rng.random_range(90_000..10_500_000);
+                total += price;
+                let shipdate = date_plus(o_orderdate, rng.random_range(1..=80));
+                let commitdate = date_plus(o_orderdate, rng.random_range(20..=60));
+                lineitem.push(LineItem {
+                    l_orderkey: k,
+                    l_partkey: rng.random_range(1..=card.part as i64),
+                    l_suppkey: rng.random_range(1..=card.supplier as i64),
+                    l_quantity: rng.random_range(1..=50),
+                    l_extendedprice: price,
+                    l_discount: rng.random_range(0..=1000),
+                    l_tax: rng.random_range(0..=800),
+                    l_returnflag: rng.random_range(0..3u32) as u8,
+                    l_linestatus: rng.random_range(0..2u32) as u8,
+                    l_shipdate: shipdate,
+                    l_commitdate: commitdate,
+                    l_receiptdate: date_plus(shipdate, rng.random_range(1..=30)),
+                    l_shipmode: rng.random_range(0..SHIP_MODES.len() as u32) as u8,
+                });
+            }
+            orders.push(Order {
+                o_orderkey: k,
+                o_custkey,
+                o_totalprice: total,
+                o_orderdate,
+                o_orderpriority: rng.random_range(0..ORDER_PRIORITIES.len() as u32)
+                    as u8,
+            });
+        }
+        Self {
+            sf,
+            lineitem,
+            orders,
+            customer,
+            part,
+            supplier,
+            partsupp,
+            nation,
+            region,
+        }
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.lineitem.len()
+            + self.orders.len()
+            + self.customer.len()
+            + self.part.len()
+            + self.supplier.len()
+            + self.partsupp.len()
+            + self.nation.len()
+            + self.region.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TpchData::generate(0.001);
+        let b = TpchData::generate(0.001);
+        assert_eq!(a.lineitem, b.lineitem);
+        assert_eq!(a.orders, b.orders);
+        assert_eq!(a.customer, b.customer);
+    }
+
+    #[test]
+    fn cardinality_ratios_follow_dbgen() {
+        let c = Cardinalities::at(0.01);
+        assert_eq!(c.lineitem, 60_000);
+        assert_eq!(c.orders, 15_000);
+        assert_eq!(c.customer, 1_500);
+        assert_eq!(c.part, 2_000);
+        assert_eq!(c.supplier, 100);
+        assert_eq!(c.partsupp, 8_000);
+    }
+
+    #[test]
+    fn generated_data_respects_foreign_keys() {
+        let d = TpchData::generate(0.001);
+        let card = Cardinalities::at(0.001);
+        for li in &d.lineitem {
+            assert!(li.l_orderkey >= 1 && li.l_orderkey <= d.orders.len() as i64);
+            assert!(li.l_partkey >= 1 && li.l_partkey <= card.part as i64);
+            assert!(li.l_suppkey >= 1 && li.l_suppkey <= card.supplier as i64);
+            assert!(li.l_shipdate > li.l_orderdate_of(&d.orders));
+        }
+        for o in &d.orders {
+            assert!(o.o_custkey >= 1 && o.o_custkey <= card.customer as i64);
+        }
+        assert_eq!(d.nation.len(), 25);
+        assert_eq!(d.region.len(), 5);
+    }
+
+    impl LineItem {
+        fn l_orderdate_of(&self, orders: &[Order]) -> u32 {
+            orders[(self.l_orderkey - 1) as usize].o_orderdate
+        }
+    }
+
+    #[test]
+    fn date_arithmetic_is_monotone() {
+        let d = 19_950_115;
+        assert!(date_plus(d, 1) > d);
+        assert!(date_plus(d, 45) > date_plus(d, 10));
+        // Month rollover.
+        assert_eq!(date_plus(19_951_228, 1), 19_960_101);
+    }
+
+    #[test]
+    fn lineitem_count_tracks_scale() {
+        let small = TpchData::generate(0.0005);
+        let large = TpchData::generate(0.002);
+        assert!(large.lineitem.len() > 2 * small.lineitem.len());
+    }
+}

@@ -1,0 +1,150 @@
+//! Shared query semantics for the two TPC-H engines.
+//!
+//! Both the Pangea engine ([`crate::pangea_exec::PangeaTpch`]) and the
+//! Spark-style baseline ([`crate::spark_exec::SparkTpch`]) implement the
+//! same nine paper queries (Q01 Q02 Q04 Q06 Q12 Q13 Q14 Q17 Q22) against
+//! the same deterministic data, with all arithmetic in exact integers —
+//! so equality of their results is a cross-engine correctness oracle
+//! (tested in `tests/`).
+//!
+//! The predicates are simplified from full TPC-H (string `LIKE`s become
+//! integer vocabulary tests) but preserve each query's *shape*: which
+//! tables join on which keys, and therefore which heterogeneous replica
+//! the Pangea scheduler should pick (paper §9.1.2).
+
+/// One query's output: rows of stringified columns, sorted.
+pub type QueryResult = Vec<Vec<String>>;
+
+/// Sorts a result into canonical order (all engines return this form).
+pub fn canonical(mut rows: QueryResult) -> QueryResult {
+    rows.sort();
+    rows
+}
+
+/// The nine paper queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryId {
+    /// Pricing summary report (scan + aggregate over `lineitem`).
+    Q01,
+    /// Minimum-cost supplier (multi-way join over the small tables).
+    Q02,
+    /// Order priority checking (semi-join `orders` ⋉ `lineitem` on
+    /// orderkey).
+    Q04,
+    /// Forecasting revenue change (scan + filter + sum over `lineitem`).
+    Q06,
+    /// Shipping modes and order priority (join on orderkey).
+    Q12,
+    /// Customer order-count distribution (outer join on custkey).
+    Q13,
+    /// Promotion effect (join `lineitem` ⋈ `part` on partkey).
+    Q14,
+    /// Small-quantity-order revenue (per-part aggregate then join on
+    /// partkey).
+    Q17,
+    /// Global sales opportunity (anti-join `customer` ▷ `orders` on
+    /// custkey).
+    Q22,
+}
+
+impl QueryId {
+    /// All nine queries, in paper order (Fig. 5's x-axis).
+    pub const ALL: [QueryId; 9] = [
+        QueryId::Q01,
+        QueryId::Q02,
+        QueryId::Q04,
+        QueryId::Q06,
+        QueryId::Q12,
+        QueryId::Q13,
+        QueryId::Q14,
+        QueryId::Q17,
+        QueryId::Q22,
+    ];
+
+    /// The benchmark label (`Q01` …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryId::Q01 => "Q01",
+            QueryId::Q02 => "Q02",
+            QueryId::Q04 => "Q04",
+            QueryId::Q06 => "Q06",
+            QueryId::Q12 => "Q12",
+            QueryId::Q13 => "Q13",
+            QueryId::Q14 => "Q14",
+            QueryId::Q17 => "Q17",
+            QueryId::Q22 => "Q22",
+        }
+    }
+}
+
+/// Query constants, shared verbatim by both engines.
+pub mod params {
+    /// Q01: `l_shipdate <=` this date.
+    pub const Q01_SHIPDATE_MAX: u32 = 19_980_801;
+    /// Q02: `p_size =` this.
+    pub const Q02_SIZE: i64 = 15;
+    /// Q02: part-type class (stand-in for `%BRASS`): `p_type % 5 == 0`.
+    pub const Q02_TYPE_MOD: u8 = 5;
+    /// Q02: region key (`EUROPE`).
+    pub const Q02_REGION: i64 = 3;
+    /// Q04: order date window `[lo, hi)`.
+    pub const Q04_DATE_LO: u32 = 19_950_701;
+    /// Q04 upper bound.
+    pub const Q04_DATE_HI: u32 = 19_951_001;
+    /// Q06: ship date window `[lo, hi)`.
+    pub const Q06_DATE_LO: u32 = 19_940_101;
+    /// Q06 upper bound.
+    pub const Q06_DATE_HI: u32 = 19_950_101;
+    /// Q06: discount window (basis points), inclusive.
+    pub const Q06_DISC_LO: i64 = 500;
+    /// Q06 discount upper bound.
+    pub const Q06_DISC_HI: i64 = 700;
+    /// Q06: quantity bound (exclusive).
+    pub const Q06_QTY_MAX: i64 = 24;
+    /// Q12: the two ship modes (`MAIL`, `SHIP` indexes).
+    pub const Q12_MODES: [u8; 2] = [5, 3];
+    /// Q12: receipt date window `[lo, hi)`.
+    pub const Q12_DATE_LO: u32 = 19_940_101;
+    /// Q12 upper bound.
+    pub const Q12_DATE_HI: u32 = 19_950_101;
+    /// Q14: ship date window `[lo, hi)`.
+    pub const Q14_DATE_LO: u32 = 19_950_901;
+    /// Q14 upper bound.
+    pub const Q14_DATE_HI: u32 = 19_951_001;
+    /// Q14: promo part types (`PROMO%` stand-in): `p_type < 25`.
+    pub const Q14_PROMO_TYPE_MAX: u8 = 25;
+    /// Q17: brand range (inclusive upper bound) — widened from the
+    /// paper's single brand so the predicate selects parts at the
+    /// scaled-down sizes benches run at.
+    pub const Q17_BRAND_MAX: u8 = 12;
+    /// Q17: container (`MED BOX` index).
+    pub const Q17_CONTAINER: u8 = 3;
+    /// Q22: phone country codes.
+    pub const Q22_CODES: [u8; 7] = [13, 31, 23, 29, 30, 18, 17];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_sorts_rows() {
+        let rows = vec![
+            vec!["b".to_string(), "2".to_string()],
+            vec!["a".to_string(), "1".to_string()],
+        ];
+        let c = canonical(rows);
+        assert_eq!(c[0][0], "a");
+        assert_eq!(c[1][0], "b");
+    }
+
+    #[test]
+    fn all_nine_queries_enumerated() {
+        assert_eq!(QueryId::ALL.len(), 9);
+        let labels: Vec<&str> = QueryId::ALL.iter().map(|q| q.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Q01", "Q02", "Q04", "Q06", "Q12", "Q13", "Q14", "Q17", "Q22"]
+        );
+    }
+}

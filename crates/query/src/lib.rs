@@ -1,0 +1,30 @@
+//! # pangea-query
+//!
+//! The distributed relational query processor the paper builds on Pangea
+//! (§9.1.2, Table 2), plus everything needed to reproduce Fig. 5:
+//!
+//! * [`schema`] / [`dbgen`] — the TPC-H schema and a deterministic,
+//!   scale-factor-parameterized generator;
+//! * [`pangea_exec::PangeaTpch`] — the nine paper queries on Pangea,
+//!   with heterogeneous-replica selection through the manager's
+//!   statistics database;
+//! * [`spark_exec::SparkTpch`] — the same queries over Spark-on-HDFS
+//!   with query-time repartitioning.
+//!
+//! Both engines compute in exact integers over the same seeded data, so
+//! their results must be equal — the integration tests use this as a
+//! cross-engine oracle.
+
+pub mod dbgen;
+pub mod exec;
+pub mod pangea_exec;
+pub mod schema;
+pub mod spark_exec;
+
+pub use dbgen::{Cardinalities, TpchData};
+pub use exec::{canonical, QueryId, QueryResult};
+pub use pangea_exec::PangeaTpch;
+pub use spark_exec::SparkTpch;
+
+#[cfg(test)]
+mod tests;

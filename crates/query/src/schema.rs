@@ -1,0 +1,322 @@
+//! TPC-H schema (the fields the paper's nine queries touch).
+//!
+//! Rows are stored as pipe-delimited text records — the `dbgen` `.tbl`
+//! wire format — so every byte-level Pangea service (dispatch,
+//! partitioning by extracted key, shuffle, join maps) works on them
+//! unchanged, and both engines pay identical parse costs.
+//!
+//! Money is fixed-point cents (`i64`), discounts/taxes are basis points
+//! (`i64`, 100 = 1%), and dates are `yyyymmdd` integers, keeping every
+//! aggregate exactly comparable across engines.
+
+use pangea_common::{PangeaError, Result};
+
+/// Splits a `.tbl` line into at most `N` fields.
+pub fn fields(line: &[u8]) -> impl Iterator<Item = &[u8]> {
+    line.split(|&b| b == b'|')
+}
+
+/// The `idx`-th pipe-delimited field of a record, as bytes.
+pub fn field(line: &[u8], idx: usize) -> &[u8] {
+    fields(line).nth(idx).unwrap_or(b"")
+}
+
+/// Parses an integer field.
+pub fn int_field(line: &[u8], idx: usize) -> Result<i64> {
+    let f = field(line, idx);
+    std::str::from_utf8(f)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            PangeaError::Corruption(format!(
+                "field {idx} of row is not an integer: {:?}",
+                String::from_utf8_lossy(line)
+            ))
+        })
+}
+
+macro_rules! tpch_table {
+    (
+        $(#[$doc:meta])*
+        $name:ident {
+            $( $(#[$fdoc:meta])* $field:ident : $ty:ty ),+ $(,)?
+        }
+    ) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name {
+            $( $(#[$fdoc])* pub $field: $ty, )+
+        }
+
+        impl $name {
+            /// Formats the row as a pipe-delimited `.tbl` record.
+            pub fn to_line(&self) -> Vec<u8> {
+                let mut out = Vec::with_capacity(64);
+                let mut first = true;
+                $(
+                    if !first { out.push(b'|'); }
+                    first = false;
+                    let _ = first;
+                    out.extend_from_slice(self.$field.to_string().as_bytes());
+                )+
+                out
+            }
+
+            /// Parses a `.tbl` record back into a row.
+            pub fn from_line(line: &[u8]) -> Result<Self> {
+                let mut it = fields(line);
+                Ok(Self {
+                    $(
+                        $field: {
+                            let f = it.next().ok_or_else(|| PangeaError::Corruption(
+                                format!(concat!(stringify!($name), " row missing ",
+                                                stringify!($field))))
+                            )?;
+                            let s = std::str::from_utf8(f).map_err(|_| {
+                                PangeaError::Corruption("non-utf8 field".into())
+                            })?;
+                            s.parse::<$ty>().map_err(|_| PangeaError::Corruption(
+                                format!(concat!("bad ", stringify!($field), ": {}"), s)
+                            ))?
+                        },
+                    )+
+                })
+            }
+        }
+    };
+}
+
+tpch_table! {
+    /// The `lineitem` fact table.
+    LineItem {
+        /// Order this line belongs to.
+        l_orderkey: i64,
+        /// Part sold.
+        l_partkey: i64,
+        /// Supplier.
+        l_suppkey: i64,
+        /// Quantity sold.
+        l_quantity: i64,
+        /// Extended price in cents.
+        l_extendedprice: i64,
+        /// Discount in basis points (100 = 1%).
+        l_discount: i64,
+        /// Tax in basis points.
+        l_tax: i64,
+        /// Return flag: 0 = 'A', 1 = 'N', 2 = 'R'.
+        l_returnflag: u8,
+        /// Line status: 0 = 'F', 1 = 'O'.
+        l_linestatus: u8,
+        /// Ship date as yyyymmdd.
+        l_shipdate: u32,
+        /// Commit date as yyyymmdd.
+        l_commitdate: u32,
+        /// Receipt date as yyyymmdd.
+        l_receiptdate: u32,
+        /// Ship mode index into [`SHIP_MODES`].
+        l_shipmode: u8,
+    }
+}
+
+tpch_table! {
+    /// The `orders` table.
+    Order {
+        /// Primary key.
+        o_orderkey: i64,
+        /// Ordering customer.
+        o_custkey: i64,
+        /// Total price in cents.
+        o_totalprice: i64,
+        /// Order date as yyyymmdd.
+        o_orderdate: u32,
+        /// Priority index into [`ORDER_PRIORITIES`].
+        o_orderpriority: u8,
+    }
+}
+
+tpch_table! {
+    /// The `customer` table.
+    Customer {
+        /// Primary key.
+        c_custkey: i64,
+        /// Nation.
+        c_nationkey: i64,
+        /// Account balance in cents (may be negative).
+        c_acctbal: i64,
+        /// Two-digit phone country code (Q22's substring).
+        c_phone_cc: u8,
+    }
+}
+
+tpch_table! {
+    /// The `part` table.
+    Part {
+        /// Primary key.
+        p_partkey: i64,
+        /// Brand index (Brand#<n>).
+        p_brand: u8,
+        /// Type index into a synthetic type vocabulary.
+        p_type: u8,
+        /// Size.
+        p_size: i64,
+        /// Container index into [`CONTAINERS`].
+        p_container: u8,
+    }
+}
+
+tpch_table! {
+    /// The `supplier` table.
+    Supplier {
+        /// Primary key.
+        s_suppkey: i64,
+        /// Nation.
+        s_nationkey: i64,
+        /// Account balance in cents.
+        s_acctbal: i64,
+    }
+}
+
+tpch_table! {
+    /// The `partsupp` table.
+    PartSupp {
+        /// Part.
+        ps_partkey: i64,
+        /// Supplier.
+        ps_suppkey: i64,
+        /// Supply cost in cents.
+        ps_supplycost: i64,
+        /// Available quantity.
+        ps_availqty: i64,
+    }
+}
+
+tpch_table! {
+    /// The `nation` table.
+    Nation {
+        /// Primary key (0..25).
+        n_nationkey: i64,
+        /// Region.
+        n_regionkey: i64,
+    }
+}
+
+tpch_table! {
+    /// The `region` table.
+    Region {
+        /// Primary key (0..5).
+        r_regionkey: i64,
+    }
+}
+
+/// Ship modes (`l_shipmode` indexes this).
+pub const SHIP_MODES: [&str; 7] =
+    ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Order priorities (`o_orderpriority` indexes this).
+pub const ORDER_PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Containers (`p_container` indexes this).
+pub const CONTAINERS: [&str; 8] = [
+    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK",
+    "WRAP JAR",
+];
+
+/// Return-flag characters (`l_returnflag` indexes this).
+pub const RETURN_FLAGS: [char; 3] = ['A', 'N', 'R'];
+
+/// Line-status characters (`l_linestatus` indexes this).
+pub const LINE_STATUS: [char; 2] = ['F', 'O'];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineitem_roundtrips_through_tbl_format() {
+        let li = LineItem {
+            l_orderkey: 42,
+            l_partkey: 7,
+            l_suppkey: 3,
+            l_quantity: 17,
+            l_extendedprice: 123_456,
+            l_discount: 500,
+            l_tax: 800,
+            l_returnflag: 1,
+            l_linestatus: 0,
+            l_shipdate: 19_950_321,
+            l_commitdate: 19_950_301,
+            l_receiptdate: 19_950_401,
+            l_shipmode: 5,
+        };
+        let line = li.to_line();
+        assert_eq!(
+            line,
+            b"42|7|3|17|123456|500|800|1|0|19950321|19950301|19950401|5"
+        );
+        assert_eq!(LineItem::from_line(&line).unwrap(), li);
+    }
+
+    #[test]
+    fn field_extraction_matches_positions() {
+        let line = b"42|7|3|17";
+        assert_eq!(field(line, 0), b"42");
+        assert_eq!(field(line, 2), b"3");
+        assert_eq!(field(line, 9), b"");
+        assert_eq!(int_field(line, 3).unwrap(), 17);
+        assert!(int_field(b"x|y", 0).is_err());
+    }
+
+    #[test]
+    fn corrupt_rows_are_rejected() {
+        assert!(LineItem::from_line(b"1|2|3").is_err());
+        assert!(Order::from_line(b"not|an|order|at|all").is_err());
+        let ok = Order {
+            o_orderkey: 1,
+            o_custkey: 2,
+            o_totalprice: 300,
+            o_orderdate: 19_970_101,
+            o_orderpriority: 2,
+        };
+        assert_eq!(Order::from_line(&ok.to_line()).unwrap(), ok);
+    }
+
+    #[test]
+    fn all_small_tables_roundtrip() {
+        let c = Customer {
+            c_custkey: 9,
+            c_nationkey: 3,
+            c_acctbal: -50,
+            c_phone_cc: 13,
+        };
+        assert_eq!(Customer::from_line(&c.to_line()).unwrap(), c);
+        let p = Part {
+            p_partkey: 11,
+            p_brand: 23,
+            p_type: 4,
+            p_size: 30,
+            p_container: 2,
+        };
+        assert_eq!(Part::from_line(&p.to_line()).unwrap(), p);
+        let s = Supplier {
+            s_suppkey: 5,
+            s_nationkey: 1,
+            s_acctbal: 1000,
+        };
+        assert_eq!(Supplier::from_line(&s.to_line()).unwrap(), s);
+        let ps = PartSupp {
+            ps_partkey: 11,
+            ps_suppkey: 5,
+            ps_supplycost: 99,
+            ps_availqty: 100,
+        };
+        assert_eq!(PartSupp::from_line(&ps.to_line()).unwrap(), ps);
+        let n = Nation {
+            n_nationkey: 7,
+            n_regionkey: 2,
+        };
+        assert_eq!(Nation::from_line(&n.to_line()).unwrap(), n);
+        let r = Region { r_regionkey: 2 };
+        assert_eq!(Region::from_line(&r.to_line()).unwrap(), r);
+    }
+}

@@ -1,0 +1,521 @@
+//! The Spark-over-HDFS TPC-H baseline (paper §9.1.2, Fig. 5).
+//!
+//! Implements the same nine queries as [`crate::pangea_exec::PangeaTpch`]
+//! with identical integer semantics, but through the layered path the
+//! paper measures:
+//!
+//! * tables are read from [`SimHdfs`] through a [`SimSpark`] executor
+//!   (paying the load/deserialize cost on first access);
+//! * "there is nothing analogous to pre-partitioning available to a
+//!   Spark developer when loading data from HDFS; all partitioning must
+//!   be performed at query time" — every join exchanges *both* inputs
+//!   through a shuffle that serializes, copies, and (optionally)
+//!   throttles every record across the simulated wire.
+
+use crate::dbgen::TpchData;
+use crate::exec::{canonical, params::*, QueryId, QueryResult};
+use crate::schema::*;
+use pangea_common::{
+    fx_hash64, FxHashMap, FxHashSet, IoStats, IoStatsSnapshot, Result, Throttle,
+};
+use pangea_layered::{load_dataset, SimHdfs, SimSpark, SparkConfig};
+use parking_lot::Mutex;
+use std::path::Path;
+use std::sync::Arc;
+
+/// TPC-H running on Spark-over-HDFS.
+pub struct SparkTpch {
+    spark: SimSpark,
+    partitions: u32,
+    net: Arc<IoStats>,
+    wire: Arc<Throttle>,
+    cached: Mutex<FxHashSet<String>>,
+}
+
+impl std::fmt::Debug for SparkTpch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SparkTpch")
+            .field("partitions", &self.partitions)
+            .finish()
+    }
+}
+
+impl SparkTpch {
+    /// Writes the generated database to HDFS under `dir` and starts an
+    /// executor with `executor_memory` bytes. `net_bandwidth` paces the
+    /// shuffle wire (None = unthrottled, for tests).
+    pub fn load(
+        dir: &Path,
+        data: &TpchData,
+        executor_memory: usize,
+        partitions: u32,
+        net_bandwidth: Option<u64>,
+    ) -> Result<Self> {
+        let hdfs = Arc::new(SimHdfs::new(dir, 1, 256 * 1024)?);
+        fn write_table<R>(
+            hdfs: &SimHdfs,
+            name: &str,
+            rows: &[R],
+            line: impl Fn(&R) -> Vec<u8>,
+        ) -> Result<()> {
+            let lines: Vec<Vec<u8>> = rows.iter().map(line).collect();
+            load_dataset(hdfs, name, lines.iter().map(|l| l.as_slice()))?;
+            Ok(())
+        }
+        write_table(&hdfs, "lineitem", &data.lineitem, |r| r.to_line())?;
+        write_table(&hdfs, "orders", &data.orders, |r| r.to_line())?;
+        write_table(&hdfs, "customer", &data.customer, |r| r.to_line())?;
+        write_table(&hdfs, "part", &data.part, |r| r.to_line())?;
+        write_table(&hdfs, "supplier", &data.supplier, |r| r.to_line())?;
+        write_table(&hdfs, "partsupp", &data.partsupp, |r| r.to_line())?;
+        write_table(&hdfs, "nation", &data.nation, |r| r.to_line())?;
+        write_table(&hdfs, "region", &data.region, |r| r.to_line())?;
+        let spark = SimSpark::new(
+            hdfs,
+            SparkConfig::new(executor_memory, 256 * 1024),
+        );
+        Ok(Self {
+            spark,
+            partitions: partitions.max(1),
+            net: Arc::new(IoStats::new()),
+            wire: Arc::new(match net_bandwidth {
+                Some(bw) => Throttle::bytes_per_sec(bw),
+                None => Throttle::unlimited(),
+            }),
+            cached: Mutex::new(FxHashSet::default()),
+        })
+    }
+
+    /// Shuffle-wire counters (Fig. 5 diagnostics).
+    pub fn net_stats(&self) -> IoStatsSnapshot {
+        self.net.snapshot()
+    }
+
+    /// The executor (memory accounting for Fig. 4).
+    pub fn spark(&self) -> &SimSpark {
+        &self.spark
+    }
+
+    /// Scans a table through the executor (caching the RDD on first
+    /// use, like a Spark application would).
+    fn scan(&self, table: &str, mut f: impl FnMut(&[u8]) -> Result<()>) -> Result<()> {
+        if self.cached.lock().insert(table.to_string()) {
+            self.spark.cache_rdd(table)?;
+        }
+        self.spark.map_partitions(table, |rec| f(rec))
+    }
+
+    /// Query-time repartitioning: filters/projects the table with `map`
+    /// and shuffles the projected records by key across the wire.
+    fn exchange(
+        &self,
+        table: &str,
+        mut map: impl FnMut(&[u8]) -> Result<Option<(Vec<u8>, Vec<u8>)>>,
+    ) -> Result<Vec<Vec<Vec<u8>>>> {
+        let p = self.partitions as usize;
+        let mut parts: Vec<Vec<Vec<u8>>> = vec![Vec::new(); p];
+        self.scan(table, |rec| {
+            if let Some((key, payload)) = map(rec)? {
+                // Sender: serialize + copy onto the wire.
+                self.net.record_serialization(payload.len());
+                self.net.record_copy(payload.len());
+                self.net.record_net(payload.len());
+                self.wire.consume(payload.len());
+                // Receiver: deserialize into the partition buffer.
+                self.net.record_serialization(payload.len());
+                parts[(fx_hash64(&key) % p as u64) as usize].push(payload);
+            }
+            Ok(())
+        })?;
+        Ok(parts)
+    }
+
+    /// Runs one query by id.
+    pub fn run(&self, q: QueryId) -> Result<QueryResult> {
+        match q {
+            QueryId::Q01 => self.q01(),
+            QueryId::Q02 => self.q02(),
+            QueryId::Q04 => self.q04(),
+            QueryId::Q06 => self.q06(),
+            QueryId::Q12 => self.q12(),
+            QueryId::Q13 => self.q13(),
+            QueryId::Q14 => self.q14(),
+            QueryId::Q17 => self.q17(),
+            QueryId::Q22 => self.q22(),
+        }
+    }
+
+    /// Q01 — scan + aggregate (no shuffle needed beyond partials).
+    pub fn q01(&self) -> Result<QueryResult> {
+        let mut groups: FxHashMap<(u8, u8), (i64, i64, i64, u64)> = FxHashMap::default();
+        self.scan("lineitem", |rec| {
+            let li = LineItem::from_line(rec)?;
+            if li.l_shipdate <= Q01_SHIPDATE_MAX {
+                let g = groups
+                    .entry((li.l_returnflag, li.l_linestatus))
+                    .or_default();
+                g.0 += li.l_quantity;
+                g.1 += li.l_extendedprice;
+                g.2 += li.l_extendedprice * (10_000 - li.l_discount);
+                g.3 += 1;
+            }
+            Ok(())
+        })?;
+        Ok(canonical(
+            groups
+                .into_iter()
+                .map(|((f, s), (qty, base, disc, cnt))| {
+                    vec![
+                        RETURN_FLAGS[f as usize].to_string(),
+                        LINE_STATUS[s as usize].to_string(),
+                        qty.to_string(),
+                        base.to_string(),
+                        disc.to_string(),
+                        cnt.to_string(),
+                    ]
+                })
+                .collect(),
+        ))
+    }
+
+    /// Q02 — dimension-table joins (all small; broadcast-style).
+    pub fn q02(&self) -> Result<QueryResult> {
+        let mut nations: FxHashSet<i64> = FxHashSet::default();
+        self.scan("nation", |rec| {
+            let n = Nation::from_line(rec)?;
+            if n.n_regionkey == Q02_REGION {
+                nations.insert(n.n_nationkey);
+            }
+            Ok(())
+        })?;
+        let mut suppliers: FxHashMap<i64, i64> = FxHashMap::default();
+        self.scan("supplier", |rec| {
+            let s = Supplier::from_line(rec)?;
+            if nations.contains(&s.s_nationkey) {
+                suppliers.insert(s.s_suppkey, s.s_acctbal);
+            }
+            Ok(())
+        })?;
+        let mut parts: FxHashSet<i64> = FxHashSet::default();
+        self.scan("part", |rec| {
+            let p = Part::from_line(rec)?;
+            if p.p_size == Q02_SIZE && p.p_type % Q02_TYPE_MOD == 0 {
+                parts.insert(p.p_partkey);
+            }
+            Ok(())
+        })?;
+        let mut best: FxHashMap<i64, (i64, i64)> = FxHashMap::default();
+        self.scan("partsupp", |rec| {
+            let ps = PartSupp::from_line(rec)?;
+            if parts.contains(&ps.ps_partkey) && suppliers.contains_key(&ps.ps_suppkey) {
+                let e = best
+                    .entry(ps.ps_partkey)
+                    .or_insert((ps.ps_supplycost, ps.ps_suppkey));
+                if (ps.ps_supplycost, ps.ps_suppkey) < *e {
+                    *e = (ps.ps_supplycost, ps.ps_suppkey);
+                }
+            }
+            Ok(())
+        })?;
+        Ok(canonical(
+            best.into_iter()
+                .map(|(part, (cost, supp))| {
+                    vec![
+                        part.to_string(),
+                        supp.to_string(),
+                        suppliers[&supp].to_string(),
+                        cost.to_string(),
+                    ]
+                })
+                .collect(),
+        ))
+    }
+
+    /// Q04 — both sides shuffled by orderkey at query time.
+    pub fn q04(&self) -> Result<QueryResult> {
+        let li_parts = self.exchange("lineitem", |rec| {
+            let commit = int_field(rec, 10)?;
+            let receipt = int_field(rec, 11)?;
+            Ok((commit < receipt)
+                .then(|| (field(rec, 0).to_vec(), field(rec, 0).to_vec())))
+        })?;
+        let ord_parts = self.exchange("orders", |rec| {
+            let o = Order::from_line(rec)?;
+            Ok((o.o_orderdate >= Q04_DATE_LO && o.o_orderdate < Q04_DATE_HI).then(
+                || {
+                    (
+                        field(rec, 0).to_vec(),
+                        format!("{}|{}", o.o_orderkey, o.o_orderpriority).into_bytes(),
+                    )
+                },
+            ))
+        })?;
+        let mut counts: FxHashMap<u8, u64> = FxHashMap::default();
+        for (li, ords) in li_parts.iter().zip(&ord_parts) {
+            let keys: FxHashSet<&[u8]> = li.iter().map(|k| k.as_slice()).collect();
+            for o in ords {
+                let okey = field(o, 0);
+                if keys.contains(okey) {
+                    *counts
+                        .entry(int_field(o, 1)? as u8)
+                        .or_default() += 1;
+                }
+            }
+        }
+        Ok(canonical(
+            counts
+                .into_iter()
+                .map(|(p, c)| {
+                    vec![ORDER_PRIORITIES[p as usize].to_string(), c.to_string()]
+                })
+                .collect(),
+        ))
+    }
+
+    /// Q06 — scan + filter + sum.
+    pub fn q06(&self) -> Result<QueryResult> {
+        let mut revenue = 0i64;
+        self.scan("lineitem", |rec| {
+            let li = LineItem::from_line(rec)?;
+            if li.l_shipdate >= Q06_DATE_LO
+                && li.l_shipdate < Q06_DATE_HI
+                && li.l_discount >= Q06_DISC_LO
+                && li.l_discount <= Q06_DISC_HI
+                && li.l_quantity < Q06_QTY_MAX
+            {
+                revenue += li.l_extendedprice * li.l_discount;
+            }
+            Ok(())
+        })?;
+        Ok(vec![vec![revenue.to_string()]])
+    }
+
+    /// Q12 — both sides shuffled by orderkey.
+    pub fn q12(&self) -> Result<QueryResult> {
+        let li_parts = self.exchange("lineitem", |rec| {
+            let l = LineItem::from_line(rec)?;
+            Ok((Q12_MODES.contains(&l.l_shipmode)
+                && l.l_commitdate < l.l_receiptdate
+                && l.l_shipdate < l.l_commitdate
+                && l.l_receiptdate >= Q12_DATE_LO
+                && l.l_receiptdate < Q12_DATE_HI)
+                .then(|| {
+                    (
+                        field(rec, 0).to_vec(),
+                        format!("{}|{}", l.l_orderkey, l.l_shipmode).into_bytes(),
+                    )
+                }))
+        })?;
+        let ord_parts = self.exchange("orders", |rec| {
+            let o = Order::from_line(rec)?;
+            Ok(Some((
+                field(rec, 0).to_vec(),
+                format!("{}|{}", o.o_orderkey, o.o_orderpriority).into_bytes(),
+            )))
+        })?;
+        let mut counts: FxHashMap<u8, (u64, u64)> = FxHashMap::default();
+        for (li, ords) in li_parts.iter().zip(&ord_parts) {
+            let mut prio: FxHashMap<i64, u8> = FxHashMap::default();
+            for o in ords {
+                prio.insert(int_field(o, 0)?, int_field(o, 1)? as u8);
+            }
+            for l in li {
+                let okey = int_field(l, 0)?;
+                let mode = int_field(l, 1)? as u8;
+                if let Some(&p) = prio.get(&okey) {
+                    let e = counts.entry(mode).or_default();
+                    if p <= 1 {
+                        e.0 += 1;
+                    } else {
+                        e.1 += 1;
+                    }
+                }
+            }
+        }
+        Ok(canonical(
+            counts
+                .into_iter()
+                .map(|(m, (hi, lo))| {
+                    vec![
+                        SHIP_MODES[m as usize].to_string(),
+                        hi.to_string(),
+                        lo.to_string(),
+                    ]
+                })
+                .collect(),
+        ))
+    }
+
+    /// Q13 — both sides shuffled by custkey.
+    pub fn q13(&self) -> Result<QueryResult> {
+        let ord_parts = self.exchange("orders", |rec| {
+            Ok(Some((field(rec, 1).to_vec(), field(rec, 1).to_vec())))
+        })?;
+        let cust_parts = self.exchange("customer", |rec| {
+            Ok(Some((field(rec, 0).to_vec(), field(rec, 0).to_vec())))
+        })?;
+        let mut distribution: FxHashMap<u64, u64> = FxHashMap::default();
+        for (ords, custs) in ord_parts.iter().zip(&cust_parts) {
+            let mut per_cust: FxHashMap<i64, u64> = FxHashMap::default();
+            for o in ords {
+                *per_cust.entry(int_field(o, 0)?).or_default() += 1;
+            }
+            for c in custs {
+                let n = per_cust
+                    .get(&int_field(c, 0)?)
+                    .copied()
+                    .unwrap_or(0);
+                *distribution.entry(n).or_default() += 1;
+            }
+        }
+        Ok(canonical(
+            distribution
+                .into_iter()
+                .map(|(orders, custs)| vec![orders.to_string(), custs.to_string()])
+                .collect(),
+        ))
+    }
+
+    /// Q14 — both sides shuffled by partkey.
+    pub fn q14(&self) -> Result<QueryResult> {
+        let li_parts = self.exchange("lineitem", |rec| {
+            let l = LineItem::from_line(rec)?;
+            Ok((l.l_shipdate >= Q14_DATE_LO && l.l_shipdate < Q14_DATE_HI).then(|| {
+                let v = l.l_extendedprice * (10_000 - l.l_discount);
+                (
+                    field(rec, 1).to_vec(),
+                    format!("{}|{v}", l.l_partkey).into_bytes(),
+                )
+            }))
+        })?;
+        let part_parts = self.exchange("part", |rec| {
+            let p = Part::from_line(rec)?;
+            Ok(Some((
+                field(rec, 0).to_vec(),
+                format!("{}|{}", p.p_partkey, p.p_type).into_bytes(),
+            )))
+        })?;
+        let (mut promo, mut total) = (0i64, 0i64);
+        for (li, parts) in li_parts.iter().zip(&part_parts) {
+            let mut types: FxHashMap<i64, u8> = FxHashMap::default();
+            for p in parts {
+                types.insert(int_field(p, 0)?, int_field(p, 1)? as u8);
+            }
+            for l in li {
+                if let Some(&t) = types.get(&int_field(l, 0)?) {
+                    let v = int_field(l, 1)?;
+                    total += v;
+                    if t < Q14_PROMO_TYPE_MAX {
+                        promo += v;
+                    }
+                }
+            }
+        }
+        Ok(vec![vec![promo.to_string(), total.to_string()]])
+    }
+
+    /// Q17 — the full `lineitem` and `part` tables shuffled by partkey
+    /// (a DataFrame shuffle join: the brand/container filter sits on the
+    /// `part` side, so Spark repartitions *all* of `lineitem` — exactly
+    /// the work Pangea's co-partitioned replicas skip; the paper's 20×).
+    pub fn q17(&self) -> Result<QueryResult> {
+        let li_parts = self.exchange("lineitem", |rec| {
+            Ok(Some((
+                field(rec, 1).to_vec(),
+                format!(
+                    "{}|{}|{}",
+                    field_str(rec, 1),
+                    field_str(rec, 3),
+                    field_str(rec, 4)
+                )
+                .into_bytes(),
+            )))
+        })?;
+        let part_parts = self.exchange("part", |rec| {
+            let p = Part::from_line(rec)?;
+            Ok(Some((
+                field(rec, 0).to_vec(),
+                format!("{}|{}|{}", p.p_partkey, p.p_brand, p.p_container)
+                    .into_bytes(),
+            )))
+        })?;
+        let mut total = 0i64;
+        for (li, parts) in li_parts.iter().zip(&part_parts) {
+            let mut targets: FxHashSet<i64> = FxHashSet::default();
+            for p in parts {
+                let brand = int_field(p, 1)? as u8;
+                let container = int_field(p, 2)? as u8;
+                if brand <= Q17_BRAND_MAX && container == Q17_CONTAINER {
+                    targets.insert(int_field(p, 0)?);
+                }
+            }
+            let mut stats: FxHashMap<i64, (i64, i64)> = FxHashMap::default();
+            for l in li {
+                let partkey = int_field(l, 0)?;
+                if targets.contains(&partkey) {
+                    let e = stats.entry(partkey).or_default();
+                    e.0 += int_field(l, 1)?;
+                    e.1 += 1;
+                }
+            }
+            for l in li {
+                if let Some(&(sum_qty, cnt)) = stats.get(&int_field(l, 0)?) {
+                    if int_field(l, 1)? * 5 * cnt < sum_qty {
+                        total += int_field(l, 2)?;
+                    }
+                }
+            }
+        }
+        Ok(vec![vec![total.to_string()]])
+    }
+
+    /// Q22 — both sides shuffled by custkey.
+    pub fn q22(&self) -> Result<QueryResult> {
+        let (mut sum, mut cnt) = (0i64, 0i64);
+        self.scan("customer", |rec| {
+            let c = Customer::from_line(rec)?;
+            if c.c_acctbal > 0 && Q22_CODES.contains(&c.c_phone_cc) {
+                sum += c.c_acctbal;
+                cnt += 1;
+            }
+            Ok(())
+        })?;
+        let ord_parts = self.exchange("orders", |rec| {
+            Ok(Some((field(rec, 1).to_vec(), field(rec, 1).to_vec())))
+        })?;
+        let cust_parts = self.exchange("customer", |rec| {
+            Ok(Some((field(rec, 0).to_vec(), rec.to_vec())))
+        })?;
+        let mut groups: FxHashMap<u8, (u64, i64)> = FxHashMap::default();
+        for (ords, custs) in ord_parts.iter().zip(&cust_parts) {
+            let mut has_orders: FxHashSet<i64> = FxHashSet::default();
+            for o in ords {
+                has_orders.insert(int_field(o, 0)?);
+            }
+            for rec in custs {
+                let c = Customer::from_line(rec)?;
+                if Q22_CODES.contains(&c.c_phone_cc)
+                    && c.c_acctbal * cnt > sum
+                    && !has_orders.contains(&c.c_custkey)
+                {
+                    let e = groups.entry(c.c_phone_cc).or_default();
+                    e.0 += 1;
+                    e.1 += c.c_acctbal;
+                }
+            }
+        }
+        Ok(canonical(
+            groups
+                .into_iter()
+                .map(|(cc, (n, bal))| {
+                    vec![cc.to_string(), n.to_string(), bal.to_string()]
+                })
+                .collect(),
+        ))
+    }
+}
+
+/// A pipe field as UTF-8 (generated data is always ASCII).
+fn field_str(rec: &[u8], idx: usize) -> String {
+    String::from_utf8_lossy(field(rec, idx)).into_owned()
+}

@@ -1,0 +1,95 @@
+//! Cross-engine oracle: both TPC-H engines must produce identical
+//! results on the same seeded data, and the Pangea engine must pick the
+//! co-partitioned replicas the paper describes.
+
+use crate::dbgen::TpchData;
+use crate::exec::QueryId;
+use crate::pangea_exec::PangeaTpch;
+use crate::spark_exec::SparkTpch;
+use pangea_cluster::{ClusterConfig, SimCluster};
+use pangea_common::{KB, MB};
+use std::path::PathBuf;
+
+fn test_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pangea-query-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn engines(tag: &str, sf: f64) -> (PangeaTpch, SparkTpch) {
+    let data = TpchData::generate(sf);
+    let cluster = SimCluster::bootstrap(
+        ClusterConfig::new(test_root(&format!("{tag}-pangea")), 3)
+            .with_pool_capacity(8 * MB)
+            .with_page_size(16 * KB),
+        "pangea-default-keypair",
+    )
+    .unwrap();
+    let pangea = PangeaTpch::load(&cluster, &data).unwrap();
+    let spark = SparkTpch::load(
+        &test_root(&format!("{tag}-spark")),
+        &data,
+        64 * MB,
+        6,
+        None,
+    )
+    .unwrap();
+    (pangea, spark)
+}
+
+#[test]
+fn engines_agree_on_every_query() {
+    let (pangea, spark) = engines("agree", 0.002);
+    for q in QueryId::ALL {
+        let a = pangea.run(q).unwrap();
+        let b = spark.run(q).unwrap();
+        assert_eq!(a, b, "{} results diverge", q.label());
+        assert!(!a.is_empty(), "{} returned no rows", q.label());
+    }
+}
+
+#[test]
+fn scheduler_selects_co_partitioned_replicas() {
+    let (pangea, _spark) = engines("sched", 0.001);
+    assert_eq!(pangea.replica_for("lineitem", "orderkey"), "lineitem_ok");
+    assert_eq!(pangea.replica_for("lineitem", "partkey"), "lineitem_pk");
+    assert_eq!(pangea.replica_for("orders", "custkey"), "orders_ck");
+    assert_eq!(pangea.replica_for("part", "partkey"), "part_pk");
+    // No suitable replica → the base (randomly dispatched) set.
+    assert_eq!(pangea.replica_for("lineitem", "suppkey"), "lineitem");
+}
+
+#[test]
+fn pangea_joins_avoid_the_wire_spark_pays_it() {
+    let (pangea, spark) = engines("wire", 0.002);
+    let net_before = pangea.cluster().network().bytes_moved();
+    pangea.run(QueryId::Q17).unwrap();
+    let pangea_q17_bytes = pangea.cluster().network().bytes_moved() - net_before;
+    let spark_before = spark.net_stats().net_bytes;
+    spark.run(QueryId::Q17).unwrap();
+    let spark_q17_bytes = spark.net_stats().net_bytes - spark_before;
+    assert_eq!(
+        pangea_q17_bytes, 0,
+        "co-partitioned Q17 must not move data between nodes"
+    );
+    assert!(
+        spark_q17_bytes > 0,
+        "Spark's Q17 must shuffle lineitem at query time"
+    );
+}
+
+#[test]
+fn queries_survive_node_failure_and_recovery() {
+    let (pangea, _spark) = engines("recover", 0.001);
+    let before = pangea.run(QueryId::Q01).unwrap();
+    let cluster = pangea.cluster().clone();
+    cluster.kill_node(pangea_common::NodeId(1)).unwrap();
+    let report = cluster.recover_node(pangea_common::NodeId(1)).unwrap();
+    assert!(report.objects_restored > 0);
+    let after = pangea.run(QueryId::Q01).unwrap();
+    assert_eq!(before, after, "recovered data answers queries identically");
+}

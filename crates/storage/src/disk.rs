@@ -1,0 +1,264 @@
+//! The multi-disk disk manager.
+//!
+//! Each worker node owns a set of disk drives (the paper's experiments use
+//! one or two SSD instance stores). A disk is a directory plus a bandwidth
+//! throttle; the throttle stands in for the physical device's transfer rate
+//! so bandwidth-bound shapes reproduce on any host (see DESIGN.md §2).
+//!
+//! The paper's Pangea uses direct I/O to bypass the OS buffer cache (§4).
+//! We reproduce the *effect* (every read/write pays the device cost, no
+//! double caching) by charging the throttle for every byte moved, whether
+//! or not the host page cache would have absorbed it.
+
+use pangea_common::{IoStats, PangeaError, Result, Throttle};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Configuration for a node's disks.
+#[derive(Debug, Clone)]
+pub struct DiskConfig {
+    /// One directory per simulated disk drive.
+    pub dirs: Vec<PathBuf>,
+    /// Per-disk bandwidth in bytes/second; `None` disables throttling
+    /// (unit tests). The paper's r4.2xlarge SSDs sustain a few hundred MB/s.
+    pub bytes_per_sec: Option<u64>,
+}
+
+impl DiskConfig {
+    /// A config with `n` disk subdirectories under `root`, unthrottled.
+    pub fn under(root: &Path, n: usize) -> Self {
+        Self {
+            dirs: (0..n).map(|i| root.join(format!("disk{i}"))).collect(),
+            bytes_per_sec: None,
+        }
+    }
+
+    /// Sets the per-disk bandwidth.
+    pub fn with_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.bytes_per_sec = Some(bytes_per_sec);
+        self
+    }
+}
+
+struct DiskDrive {
+    dir: PathBuf,
+    throttle: Throttle,
+    /// Open-file cache so repeated page I/O does not re-open files.
+    handles: Mutex<pangea_common::FxHashMap<String, Arc<File>>>,
+}
+
+impl std::fmt::Debug for DiskDrive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskDrive").field("dir", &self.dir).finish()
+    }
+}
+
+impl DiskDrive {
+    fn handle(&self, name: &str) -> Result<Arc<File>> {
+        let mut handles = self.handles.lock();
+        if let Some(f) = handles.get(name) {
+            return Ok(Arc::clone(f));
+        }
+        let path = self.dir.join(name);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let file = Arc::new(file);
+        handles.insert(name.to_string(), Arc::clone(&file));
+        Ok(file)
+    }
+
+    fn drop_handle(&self, name: &str) {
+        self.handles.lock().remove(name);
+    }
+}
+
+/// Manages a node's simulated disk drives.
+#[derive(Debug)]
+pub struct DiskManager {
+    drives: Vec<DiskDrive>,
+    stats: Arc<IoStats>,
+}
+
+impl DiskManager {
+    /// Creates the manager, creating each disk directory if needed.
+    pub fn new(config: DiskConfig) -> Result<Self> {
+        if config.dirs.is_empty() {
+            return Err(PangeaError::config("disk manager needs at least one disk"));
+        }
+        let mut drives = Vec::with_capacity(config.dirs.len());
+        for dir in &config.dirs {
+            std::fs::create_dir_all(dir)?;
+            drives.push(DiskDrive {
+                dir: dir.clone(),
+                throttle: match config.bytes_per_sec {
+                    Some(r) => Throttle::bytes_per_sec(r),
+                    None => Throttle::unlimited(),
+                },
+                handles: Mutex::new(pangea_common::FxHashMap::default()),
+            });
+        }
+        Ok(Self {
+            drives,
+            stats: Arc::new(IoStats::new()),
+        })
+    }
+
+    /// Number of disk drives.
+    pub fn num_disks(&self) -> usize {
+        self.drives.len()
+    }
+
+    /// The manager's I/O counters.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    fn drive(&self, disk: usize) -> Result<&DiskDrive> {
+        self.drives
+            .get(disk)
+            .ok_or_else(|| PangeaError::config(format!("disk index {disk} out of range")))
+    }
+
+    /// Writes `data` to `name` on `disk` at byte `offset`.
+    pub fn write_at(&self, disk: usize, name: &str, offset: u64, data: &[u8]) -> Result<()> {
+        let drive = self.drive(disk)?;
+        drive.throttle.consume(data.len());
+        drive.handle(name)?.write_all_at(data, offset)?;
+        self.stats.record_disk_write(data.len());
+        Ok(())
+    }
+
+    /// Reads exactly `buf.len()` bytes from `name` on `disk` at `offset`.
+    pub fn read_at(&self, disk: usize, name: &str, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let drive = self.drive(disk)?;
+        drive.throttle.consume(buf.len());
+        drive.handle(name)?.read_exact_at(buf, offset)?;
+        self.stats.record_disk_read(buf.len());
+        Ok(())
+    }
+
+    /// Current length of `name` on `disk` (0 when absent).
+    pub fn file_len(&self, disk: usize, name: &str) -> Result<u64> {
+        let drive = self.drive(disk)?;
+        let path = drive.dir.join(name);
+        match std::fs::metadata(&path) {
+            Ok(m) => Ok(m.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// True when `name` exists on `disk`.
+    pub fn exists(&self, disk: usize, name: &str) -> Result<bool> {
+        let drive = self.drive(disk)?;
+        Ok(drive.dir.join(name).exists())
+    }
+
+    /// Deletes `name` on every disk where it exists.
+    pub fn delete(&self, name: &str) -> Result<()> {
+        for drive in &self.drives {
+            drive.drop_handle(name);
+            let path = drive.dir.join(name);
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes the open-handle cache (used by failure-injection tests to
+    /// simulate a node process dying).
+    pub fn drop_all_handles(&self) {
+        for drive in &self.drives {
+            drive.handles.lock().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pangea-disk-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_disks() {
+        let root = tmp();
+        let dm = DiskManager::new(DiskConfig::under(&root, 2)).unwrap();
+        dm.write_at(0, "a.data", 0, b"hello").unwrap();
+        dm.write_at(1, "a.data", 10, b"world").unwrap();
+        let mut buf = [0u8; 5];
+        dm.read_at(0, "a.data", 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        dm.read_at(1, "a.data", 10, &mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+        assert_eq!(dm.file_len(1, "a.data").unwrap(), 15);
+        let snap = dm.stats().snapshot();
+        assert_eq!(snap.disk_writes, 2);
+        assert_eq!(snap.disk_reads, 2);
+        assert_eq!(snap.disk_write_bytes, 10);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn delete_removes_from_all_disks() {
+        let root = tmp();
+        let dm = DiskManager::new(DiskConfig::under(&root, 3)).unwrap();
+        dm.write_at(0, "x", 0, b"1").unwrap();
+        dm.write_at(2, "x", 0, b"2").unwrap();
+        assert!(dm.exists(0, "x").unwrap());
+        dm.delete("x").unwrap();
+        for d in 0..3 {
+            assert!(!dm.exists(d, "x").unwrap());
+        }
+        assert_eq!(dm.file_len(0, "x").unwrap(), 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn no_disks_is_a_config_error() {
+        let cfg = DiskConfig {
+            dirs: vec![],
+            bytes_per_sec: None,
+        };
+        assert!(matches!(
+            DiskManager::new(cfg),
+            Err(PangeaError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_disk_is_rejected() {
+        let root = tmp();
+        let dm = DiskManager::new(DiskConfig::under(&root, 1)).unwrap();
+        assert!(dm.write_at(5, "x", 0, b"y").is_err());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reading_missing_range_errors() {
+        let root = tmp();
+        let dm = DiskManager::new(DiskConfig::under(&root, 1)).unwrap();
+        dm.write_at(0, "short", 0, b"ab").unwrap();
+        let mut buf = [0u8; 10];
+        assert!(dm.read_at(0, "short", 0, &mut buf).is_err());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

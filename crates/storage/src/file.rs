@@ -1,0 +1,359 @@
+//! Per-locality-set paged files.
+//!
+//! Paper §4: "a distributed file instance that is associated with one
+//! locality set is implemented using one Pangea data file and one Pangea
+//! meta file on each worker node. [...] a Pangea data file instance can be
+//! automatically distributed across multiple disk drives [...] The Pangea
+//! meta file is simply a physical disk file used to index each page's
+//! location and offset."
+//!
+//! A [`PagedFile`] is the on-disk image of one locality set on one node:
+//! pages are appended round-robin over the node's disks; the meta index
+//! (page number → disk, offset, length) lives in memory and can be
+//! persisted to / recovered from the meta file on disk 0.
+
+use crate::disk::DiskManager;
+use pangea_common::{
+    ByteReader, ByteWriter, FxHashMap, PageNum, PangeaError, Result, SetId,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Where one page lives on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageLoc {
+    /// Disk drive index.
+    pub disk: u32,
+    /// Byte offset within the data file on that disk.
+    pub offset: u64,
+    /// Page length in bytes.
+    pub len: u32,
+}
+
+#[derive(Debug, Default)]
+struct Meta {
+    pages: FxHashMap<PageNum, PageLoc>,
+    /// Next disk for round-robin placement.
+    next_disk: usize,
+    /// Append cursor per disk.
+    cursors: Vec<u64>,
+}
+
+/// The on-disk image of one locality set on one node.
+#[derive(Debug)]
+pub struct PagedFile {
+    set: SetId,
+    disks: Arc<DiskManager>,
+    meta: Mutex<Meta>,
+}
+
+impl PagedFile {
+    /// Creates an empty paged file for `set`.
+    pub fn create(set: SetId, disks: Arc<DiskManager>) -> Self {
+        let n = disks.num_disks();
+        Self {
+            set,
+            disks,
+            meta: Mutex::new(Meta {
+                pages: FxHashMap::default(),
+                next_disk: 0,
+                cursors: vec![0; n],
+            }),
+        }
+    }
+
+    fn data_name(&self, disk: usize) -> String {
+        format!("set_{}_d{}.data", self.set.raw(), disk)
+    }
+
+    fn meta_name(&self) -> String {
+        format!("set_{}.meta", self.set.raw())
+    }
+
+    /// The owning locality set.
+    pub fn set(&self) -> SetId {
+        self.set
+    }
+
+    /// Number of pages with an on-disk image.
+    pub fn page_count(&self) -> usize {
+        self.meta.lock().pages.len()
+    }
+
+    /// Total bytes stored on disk for this set.
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.meta.lock().pages.values().map(|l| l.len as u64).sum()
+    }
+
+    /// True when `num` has an on-disk image.
+    pub fn contains(&self, num: PageNum) -> bool {
+        self.meta.lock().pages.contains_key(&num)
+    }
+
+    /// The location of `num`, if present.
+    pub fn location(&self, num: PageNum) -> Option<PageLoc> {
+        self.meta.lock().pages.get(&num).copied()
+    }
+
+    /// Sorted list of page numbers present on disk.
+    pub fn page_numbers(&self) -> Vec<PageNum> {
+        let mut v: Vec<PageNum> = self.meta.lock().pages.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Writes (or overwrites) page `num`.
+    ///
+    /// First write appends to the next disk round-robin; rewrites go in
+    /// place and must keep the original length (pages of a locality set are
+    /// fixed-size; paper §3.2).
+    pub fn write_page(&self, num: PageNum, data: &[u8]) -> Result<()> {
+        let loc = {
+            let mut meta = self.meta.lock();
+            if let Some(loc) = meta.pages.get(&num).copied() {
+                if loc.len as usize != data.len() {
+                    return Err(PangeaError::usage(format!(
+                        "page {num} of {} rewritten with length {} != {}",
+                        self.set,
+                        data.len(),
+                        loc.len
+                    )));
+                }
+                loc
+            } else {
+                let disk = meta.next_disk;
+                meta.next_disk = (meta.next_disk + 1) % self.disks.num_disks();
+                let offset = meta.cursors[disk];
+                meta.cursors[disk] += data.len() as u64;
+                let loc = PageLoc {
+                    disk: disk as u32,
+                    offset,
+                    len: data.len() as u32,
+                };
+                meta.pages.insert(num, loc);
+                loc
+            }
+        };
+        self.disks
+            .write_at(loc.disk as usize, &self.data_name(loc.disk as usize), loc.offset, data)
+    }
+
+    /// Reads page `num` into `buf` (must be exactly the page's length).
+    pub fn read_page_into(&self, num: PageNum, buf: &mut [u8]) -> Result<()> {
+        let loc = self
+            .location(num)
+            .ok_or(PangeaError::PageNotFound(pangea_common::PageId::new(self.set, num)))?;
+        if buf.len() != loc.len as usize {
+            return Err(PangeaError::usage(format!(
+                "read buffer {} B for page of {} B",
+                buf.len(),
+                loc.len
+            )));
+        }
+        self.disks
+            .read_at(loc.disk as usize, &self.data_name(loc.disk as usize), loc.offset, buf)
+    }
+
+    /// Reads page `num` into a fresh buffer.
+    pub fn read_page(&self, num: PageNum) -> Result<Vec<u8>> {
+        let loc = self
+            .location(num)
+            .ok_or(PangeaError::PageNotFound(pangea_common::PageId::new(self.set, num)))?;
+        let mut buf = vec![0u8; loc.len as usize];
+        self.disks
+            .read_at(loc.disk as usize, &self.data_name(loc.disk as usize), loc.offset, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Persists the meta index to the meta file on disk 0 (paper §4).
+    pub fn persist_meta(&self) -> Result<()> {
+        let meta = self.meta.lock();
+        let mut w = ByteWriter::with_capacity(16 + meta.pages.len() * 24);
+        w.write_record(&(meta.pages.len() as u64));
+        w.write_record(&(meta.next_disk as u64));
+        for (i, &cursor) in meta.cursors.iter().enumerate() {
+            let _ = i;
+            w.write_record(&cursor);
+        }
+        let mut nums: Vec<_> = meta.pages.iter().collect();
+        nums.sort_unstable_by_key(|(n, _)| **n);
+        for (&num, loc) in nums {
+            w.write_record(&num);
+            w.write_record(&(loc.disk as u64));
+            w.write_record(&loc.offset);
+            w.write_record(&(loc.len as u64));
+        }
+        let bytes = w.into_bytes();
+        // Length-prefix the whole meta blob so partial writes are detected.
+        let mut framed = (bytes.len() as u64).to_le_bytes().to_vec();
+        framed.extend_from_slice(&bytes);
+        self.disks.write_at(0, &self.meta_name(), 0, &framed)
+    }
+
+    /// Recovers the meta index from the meta file (used after a simulated
+    /// restart).
+    pub fn load_meta(set: SetId, disks: Arc<DiskManager>) -> Result<Self> {
+        let name = format!("set_{}.meta", set.raw());
+        let total = disks.file_len(0, &name)?;
+        if total < 8 {
+            return Err(PangeaError::Corruption(format!(
+                "meta file for {set} missing or truncated"
+            )));
+        }
+        let mut hdr = [0u8; 8];
+        disks.read_at(0, &name, 0, &mut hdr)?;
+        let body_len = u64::from_le_bytes(hdr) as usize;
+        if (total - 8) < body_len as u64 {
+            return Err(PangeaError::Corruption(format!(
+                "meta file for {set} truncated: body {body_len} B, file {total} B"
+            )));
+        }
+        let mut body = vec![0u8; body_len];
+        disks.read_at(0, &name, 8, &mut body)?;
+        let mut r = ByteReader::new(&body);
+        let n_pages = r.read_record::<u64>()? as usize;
+        let next_disk = r.read_record::<u64>()? as usize;
+        let mut cursors = Vec::with_capacity(disks.num_disks());
+        for _ in 0..disks.num_disks() {
+            cursors.push(r.read_record::<u64>()?);
+        }
+        let mut pages = FxHashMap::default();
+        pages.reserve(n_pages);
+        for _ in 0..n_pages {
+            let num = r.read_record::<u64>()?;
+            let disk = r.read_record::<u64>()? as u32;
+            let offset = r.read_record::<u64>()?;
+            let len = r.read_record::<u64>()? as u32;
+            pages.insert(num, PageLoc { disk, offset, len });
+        }
+        Ok(Self {
+            set,
+            disks,
+            meta: Mutex::new(Meta {
+                pages,
+                next_disk,
+                cursors,
+            }),
+        })
+    }
+
+    /// Deletes all data and meta files for this set.
+    pub fn delete(&self) -> Result<()> {
+        for d in 0..self.disks.num_disks() {
+            self.disks.delete(&self.data_name(d))?;
+        }
+        self.disks.delete(&self.meta_name())?;
+        self.meta.lock().pages.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskConfig;
+    use std::path::PathBuf;
+
+    fn mgr(disks: usize) -> (Arc<DiskManager>, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "pangea-file-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (
+            Arc::new(DiskManager::new(DiskConfig::under(&dir, disks)).unwrap()),
+            dir,
+        )
+    }
+
+    #[test]
+    fn pages_roundtrip_and_stripe_round_robin() {
+        let (dm, dir) = mgr(2);
+        let f = PagedFile::create(SetId(7), Arc::clone(&dm));
+        for i in 0..6u64 {
+            f.write_page(i, &vec![i as u8; 128]).unwrap();
+        }
+        assert_eq!(f.page_count(), 6);
+        assert_eq!(f.bytes_on_disk(), 6 * 128);
+        // Round-robin: pages alternate disks.
+        for i in 0..6u64 {
+            assert_eq!(f.location(i).unwrap().disk as u64, i % 2);
+            assert_eq!(f.read_page(i).unwrap(), vec![i as u8; 128]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rewrite_in_place_keeps_location() {
+        let (dm, dir) = mgr(2);
+        let f = PagedFile::create(SetId(1), dm);
+        f.write_page(0, &[1u8; 64]).unwrap();
+        let loc = f.location(0).unwrap();
+        f.write_page(0, &[2u8; 64]).unwrap();
+        assert_eq!(f.location(0).unwrap(), loc);
+        assert_eq!(f.read_page(0).unwrap(), vec![2u8; 64]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rewrite_with_different_length_rejected() {
+        let (dm, dir) = mgr(1);
+        let f = PagedFile::create(SetId(1), dm);
+        f.write_page(0, &[0u8; 64]).unwrap();
+        assert!(f.write_page(0, &[0u8; 65]).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_page_is_page_not_found() {
+        let (dm, dir) = mgr(1);
+        let f = PagedFile::create(SetId(3), dm);
+        assert!(matches!(
+            f.read_page(9),
+            Err(PangeaError::PageNotFound(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn meta_persists_and_recovers() {
+        let (dm, dir) = mgr(2);
+        let f = PagedFile::create(SetId(11), Arc::clone(&dm));
+        for i in 0..5u64 {
+            f.write_page(i, &vec![(i * 3) as u8; 96]).unwrap();
+        }
+        f.persist_meta().unwrap();
+        drop(f);
+        // Simulated restart: reload from the meta file.
+        let g = PagedFile::load_meta(SetId(11), dm).unwrap();
+        assert_eq!(g.page_count(), 5);
+        for i in 0..5u64 {
+            assert_eq!(g.read_page(i).unwrap(), vec![(i * 3) as u8; 96]);
+        }
+        // Appends continue correctly after recovery.
+        g.write_page(5, &[9u8; 96]).unwrap();
+        assert_eq!(g.read_page(5).unwrap(), vec![9u8; 96]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_meta_of_absent_set_fails() {
+        let (dm, dir) = mgr(1);
+        assert!(PagedFile::load_meta(SetId(99), dm).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delete_removes_everything() {
+        let (dm, dir) = mgr(2);
+        let f = PagedFile::create(SetId(4), Arc::clone(&dm));
+        f.write_page(0, &[1u8; 32]).unwrap();
+        f.persist_meta().unwrap();
+        f.delete().unwrap();
+        assert_eq!(f.page_count(), 0);
+        assert!(!dm.exists(0, "set_4_d0.data").unwrap());
+        assert!(!dm.exists(0, "set_4.meta").unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

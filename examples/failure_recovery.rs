@@ -1,0 +1,85 @@
+//! Heterogeneous replication doing double duty (paper §7): the same
+//! replicas that accelerate joins recover a failed node, with colliding
+//! objects tracked separately.
+//!
+//! Run with: `cargo run --release --example failure_recovery`
+
+use pangea::prelude::*;
+use pangea::query::TpchData;
+
+fn field(idx: usize) -> impl Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static {
+    move |rec: &[u8]| {
+        rec.split(|&b| b == b'|')
+            .nth(idx)
+            .unwrap_or_default()
+            .to_vec()
+    }
+}
+
+fn main() -> Result<()> {
+    let root = std::env::temp_dir().join(format!("pangea-recovery-ex-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let nodes = 5u32;
+    let cluster = SimCluster::bootstrap(
+        ClusterConfig::new(&root, nodes).with_pool_capacity(8 * pangea::common::MB),
+        "pangea-default-keypair",
+    )?;
+
+    // Load lineitem randomly dispatched, then register two replicas with
+    // different physical organizations.
+    let data = TpchData::generate(0.002);
+    let set = cluster.create_dist_set("lineitem", PartitionScheme::round_robin(nodes))?;
+    let mut d = set.loader()?;
+    for li in &data.lineitem {
+        d.dispatch(&li.to_line())?;
+    }
+    d.finish()?;
+    println!("loaded {} lineitem rows over {nodes} nodes", data.lineitem.len());
+
+    cluster.register_replica(
+        "lineitem",
+        "lineitem_ok",
+        PartitionScheme::hash("orderkey", nodes * 2, field(0)),
+    )?;
+    let report = cluster.register_replica(
+        "lineitem",
+        "lineitem_pk",
+        PartitionScheme::hash("partkey", nodes * 2, field(1)),
+    )?;
+    println!(
+        "replica group {}: {} objects, {} colliding ({:.1}%)",
+        report.group,
+        report.objects,
+        report.colliding,
+        report.colliding_ratio() * 100.0
+    );
+
+    // Take a content snapshot, kill a node, recover, verify.
+    let mut before: Vec<Vec<u8>> = Vec::new();
+    set.for_each_record(|_, rec| before.push(rec.to_vec()))?;
+    before.sort();
+
+    let victim = NodeId(2);
+    cluster.kill_node(victim)?;
+    println!("\nkilled {victim}: memory wiped, disks wiped");
+    println!("alive nodes: {:?}", cluster.alive_nodes());
+
+    let recovery = cluster.recover_node(victim)?;
+    println!(
+        "recovered {} in {:.3}s: {} objects restored ({} from the colliding set), \
+         {} KB over the wire",
+        victim,
+        recovery.duration.as_secs_f64(),
+        recovery.objects_restored,
+        recovery.colliding_restored,
+        recovery.bytes_moved / 1024
+    );
+
+    let mut after: Vec<Vec<u8>> = Vec::new();
+    set.for_each_record(|_, rec| after.push(rec.to_vec()))?;
+    after.sort();
+    assert_eq!(before, after, "every object restored exactly once");
+    println!("verification: all {} objects intact across all replicas", after.len());
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! The paper's k-means benchmark (Fig. 1 / §9.1.1) on Pangea and on the
+//! layered Spark-over-HDFS stack, with identical results and a latency
+//! + memory comparison.
+//!
+//! Run with: `cargo run --release --example kmeans_clustering`
+
+use pangea::kmeans::{run_kmeans, KmeansConfig, PangeaKmeans, SparkKmeans};
+use pangea::layered::{SimAlluxio, SimHdfs};
+use std::sync::Arc;
+
+fn main() -> pangea::common::Result<()> {
+    let root = std::env::temp_dir().join(format!("pangea-kmeans-ex-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let cfg = KmeansConfig::new(20_000).with_iterations(5);
+    println!(
+        "k-means: {} points × {} dims, k = {}, {} iterations\n",
+        cfg.points, cfg.dims, cfg.k, cfg.iterations
+    );
+
+    // Pangea: unified buffer pool, write-through input, write-back norms,
+    // virtual hash buffer aggregation.
+    let mut pangea = PangeaKmeans::new(&root.join("pangea"), 8 * pangea::common::MB, "data-aware")?;
+    let pangea_out = run_kmeans(&mut pangea, &cfg)?;
+
+    // Spark over HDFS: RDD cache + per-record deserialization at the
+    // storage boundary.
+    let hdfs = Arc::new(SimHdfs::new(&root.join("hdfs"), 1, 256 * 1024)?);
+    let mut spark = SparkKmeans::new(hdfs, 32 * pangea::common::MB);
+    let spark_out = run_kmeans(&mut spark, &cfg)?;
+
+    // Spark over Alluxio: adds a memory-cache layer — and double caching.
+    let hdfs2 = Arc::new(SimHdfs::new(&root.join("hdfs2"), 1, 256 * 1024)?);
+    let alluxio = Arc::new(SimAlluxio::with_under_store(
+        16 * pangea::common::MB as u64,
+        hdfs2,
+    ));
+    let mut spark_alluxio = SparkKmeans::new(alluxio, 32 * pangea::common::MB);
+    let alluxio_out = run_kmeans(&mut spark_alluxio, &cfg)?;
+
+    assert_eq!(
+        pangea_out.centroids, spark_out.centroids,
+        "backends must agree exactly"
+    );
+    assert_eq!(pangea_out.centroids, alluxio_out.centroids);
+
+    println!("{:<16} {:>10} {:>12} {:>14}", "system", "init", "avg iter", "peak memory");
+    for out in [&pangea_out, &spark_out, &alluxio_out] {
+        println!(
+            "{:<16} {:>9.3}s {:>11.3}s {:>14}",
+            out.system,
+            out.init_time.as_secs_f64(),
+            out.avg_iter_time().as_secs_f64(),
+            pangea::common::units::fmt_bytes(out.peak_mem_bytes as usize),
+        );
+    }
+    println!(
+        "\nspeedup vs spark/hdfs: {:.2}x total",
+        spark_out.total_time().as_secs_f64() / pangea_out.total_time().as_secs_f64()
+    );
+    println!("final centroids (first 3 dims):");
+    for (i, c) in pangea_out.centroids.iter().enumerate() {
+        println!("  c{i}: [{:.1}, {:.1}, {:.1}, …]", c[0], c[1], c[2]);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(())
+}
