@@ -75,7 +75,9 @@ impl TlsfAllocator {
             capacity,
             used: 0,
             blocks: FxHashMap::default(),
-            free_lists: (0..FL_COUNT).map(|_| std::array::from_fn(|_| Vec::new())).collect(),
+            free_lists: (0..FL_COUNT)
+                .map(|_| std::array::from_fn(|_| Vec::new()))
+                .collect(),
             fl_bitmap: 0,
             sl_bitmaps: vec![0; FL_COUNT],
         };
@@ -197,10 +199,7 @@ impl PoolAllocator for TlsfAllocator {
     }
 
     fn free(&mut self, offset: usize) {
-        let block = *self
-            .blocks
-            .get(&offset)
-            .expect("free() of unknown offset");
+        let block = *self.blocks.get(&offset).expect("free() of unknown offset");
         assert!(!block.free, "double free at offset {offset}");
         self.used -= block.size;
 

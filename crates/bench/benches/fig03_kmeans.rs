@@ -8,7 +8,12 @@ fn bench(c: &mut Criterion) {
     let points = cfg.scales[0];
     let mut g = c.benchmark_group("fig03_kmeans");
     g.sample_size(10);
-    for system in ["pangea/data-aware", "pangea/lru", "spark/hdfs", "spark/ignite"] {
+    for system in [
+        "pangea/data-aware",
+        "pangea/lru",
+        "spark/hdfs",
+        "spark/ignite",
+    ] {
         g.bench_function(system.replace('/', "_"), |b| {
             b.iter(|| {
                 let (lat, _) = run_cell(&cfg, system, points);

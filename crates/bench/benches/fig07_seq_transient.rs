@@ -1,8 +1,8 @@
 //! Fig. 7 — sequential access for transient data.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pangea_bench::fig7_8_9::{pangea_seq, SeqConfig};
 use pangea_bench::bench_dir;
+use pangea_bench::fig7_8_9::{pangea_seq, SeqConfig};
 use pangea_layered::{load_dataset, DataStore, SimAlluxio, VmObjectStore};
 
 fn bench(c: &mut Criterion) {

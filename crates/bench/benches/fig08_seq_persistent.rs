@@ -8,7 +8,9 @@ use pangea_layered::{load_dataset, DataStore, OsFileSystem, SimHdfs};
 fn bench(c: &mut Criterion) {
     let cfg = SeqConfig::quick();
     let n = cfg.scales[0];
-    let objs: Vec<Vec<u8>> = (0..n).map(|i| format!("obj-{i:074}").into_bytes()).collect();
+    let objs: Vec<Vec<u8>> = (0..n)
+        .map(|i| format!("obj-{i:074}").into_bytes())
+        .collect();
     let mut g = c.benchmark_group("fig08_seq_persistent");
     g.sample_size(10);
     g.bench_function("pangea_write_through_1disk", |b| {

@@ -7,9 +7,7 @@ fn bench(c: &mut Criterion) {
     for row in pangea_bench::sloc::run() {
         println!("tab2 {}: {}", row.series, row.outcome);
     }
-    c.bench_function("tab2_sloc_count", |b| {
-        b.iter(|| pangea_bench::sloc::run())
-    });
+    c.bench_function("tab2_sloc_count", |b| b.iter(pangea_bench::sloc::run));
 }
 
 criterion_group!(benches, bench);

@@ -14,9 +14,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("stl_unordered_map", |b| {
         b.iter(|| stl_agg("b-t4s", &cfg, distinct).unwrap())
     });
-    g.bench_function("redis", |b| {
-        b.iter(|| redis_agg(&cfg, distinct).unwrap())
-    });
+    g.bench_function("redis", |b| b.iter(|| redis_agg(&cfg, distinct).unwrap()));
     g.finish();
 }
 

@@ -43,7 +43,10 @@ fn main() {
         } else {
             fig5_6::Fig5Config::full()
         };
-        print_rows("Fig. 5 — TPC-H latency, Pangea vs Spark/HDFS", &fig5_6::run(&cfg));
+        print_rows(
+            "Fig. 5 — TPC-H latency, Pangea vs Spark/HDFS",
+            &fig5_6::run(&cfg),
+        );
     }
     if want("fig6") {
         let cfg = if quick {

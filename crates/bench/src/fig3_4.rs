@@ -119,13 +119,13 @@ pub fn run_cell(cfg: &Fig3Config, system: &str, points: usize) -> (Row, Row) {
             // data is then cached twice (worker memory + RDD cache).
             SimHdfs::with_bandwidth(&bench_dir(&tag), 1, 64 * KB, Some(cfg.disk_bandwidth))
                 .and_then(|h| {
-                let store: Arc<dyn DataStore> = Arc::new(SimAlluxio::with_under_store(
-                    cfg.alluxio_memory,
-                    Arc::new(h),
-                ));
-                let executor = cfg.spark_memory.saturating_sub(cfg.alluxio_memory as usize);
-                let mut b = SparkKmeans::new(store, executor.max(64 * KB));
-                run_kmeans(&mut b, &kcfg)
+                    let store: Arc<dyn DataStore> = Arc::new(SimAlluxio::with_under_store(
+                        cfg.alluxio_memory,
+                        Arc::new(h),
+                    ));
+                    let executor = cfg.spark_memory.saturating_sub(cfg.alluxio_memory as usize);
+                    let mut b = SparkKmeans::new(store, executor.max(64 * KB));
+                    run_kmeans(&mut b, &kcfg)
                 })
         }
         "spark/ignite" => {
@@ -139,7 +139,12 @@ pub fn run_cell(cfg: &Fig3Config, system: &str, points: usize) -> (Row, Row) {
     match outcome {
         Ok(out) => (
             Row::new(system, &x, "latency", Outcome::secs(out.total_time())),
-            Row::new(system, &x, "peak-memory", Outcome::Bytes(out.peak_mem_bytes)),
+            Row::new(
+                system,
+                &x,
+                "peak-memory",
+                Outcome::Bytes(out.peak_mem_bytes),
+            ),
         ),
         Err(e) => (
             Row::new(system, &x, "latency", Outcome::failed(&e)),

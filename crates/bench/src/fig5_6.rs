@@ -188,7 +188,12 @@ pub fn run_recovery(cfg: &Fig6Config) -> Vec<Row> {
         let rec = cluster
             .recover_node(pangea_common::NodeId(0))
             .expect("recover");
-        rows.push(Row::new("pangea", &x, "recovery", Outcome::secs(rec.duration)));
+        rows.push(Row::new(
+            "pangea",
+            &x,
+            "recovery",
+            Outcome::secs(rec.duration),
+        ));
         rows.push(Row::new(
             "pangea",
             &x,

@@ -197,7 +197,12 @@ pub fn run_fig7(cfg: &SeqConfig) -> Vec<Row> {
         );
         let alluxio = SimAlluxio::new(cfg.memory as u64);
         push(&mut rows, "alluxio", &x, store_seq(&alluxio, n));
-        push(&mut rows, "os-vm", &x, osvm_seq(&format!("f7v-{n}"), cfg, n));
+        push(
+            &mut rows,
+            "os-vm",
+            &x,
+            osvm_seq(&format!("f7v-{n}"), cfg, n),
+        );
     }
     rows
 }
@@ -208,12 +213,12 @@ pub fn run_fig8(cfg: &SeqConfig) -> Vec<Row> {
     let mut rows = Vec::new();
     for &n in &cfg.scales {
         let x = format!("{n}obj");
-        let osfs = OsFileSystem::new(&bench_dir(&format!("f8o-{n}")), cfg.memory)
-            .expect("os file system");
+        let osfs =
+            OsFileSystem::new(&bench_dir(&format!("f8o-{n}")), cfg.memory).expect("os file system");
         push(&mut rows, "os-file", &x, store_seq(&osfs, n));
         for disks in [1usize, 2] {
-            let hdfs = SimHdfs::new(&bench_dir(&format!("f8h{disks}-{n}")), disks, 64 * KB)
-                .expect("hdfs");
+            let hdfs =
+                SimHdfs::new(&bench_dir(&format!("f8h{disks}-{n}")), disks, 64 * KB).expect("hdfs");
             push(
                 &mut rows,
                 &format!("hdfs-{disks}disk"),
@@ -224,7 +229,14 @@ pub fn run_fig8(cfg: &SeqConfig) -> Vec<Row> {
                 &mut rows,
                 &format!("pangea-wt-{disks}disk"),
                 &x,
-                pangea_seq(&format!("f8p{disks}-{n}"), cfg, n, disks, "data-aware", false),
+                pangea_seq(
+                    &format!("f8p{disks}-{n}"),
+                    cfg,
+                    n,
+                    disks,
+                    "data-aware",
+                    false,
+                ),
             );
         }
     }

@@ -74,7 +74,12 @@ pub struct Row {
 
 impl Row {
     /// Builds one row.
-    pub fn new(series: impl Into<String>, x: impl Into<String>, metric: impl Into<String>, outcome: Outcome) -> Self {
+    pub fn new(
+        series: impl Into<String>,
+        x: impl Into<String>,
+        metric: impl Into<String>,
+        outcome: Outcome,
+    ) -> Self {
         Self {
             series: series.into(),
             x: x.into(),
@@ -87,9 +92,19 @@ impl Row {
 /// Prints one experiment's rows as an aligned table.
 pub fn print_rows(title: &str, rows: &[Row]) {
     println!("\n=== {title} ===");
-    let w1 = rows.iter().map(|r| r.series.len()).max().unwrap_or(6).max(6);
+    let w1 = rows
+        .iter()
+        .map(|r| r.series.len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
     let w2 = rows.iter().map(|r| r.x.len()).max().unwrap_or(4).max(4);
-    let w3 = rows.iter().map(|r| r.metric.len()).max().unwrap_or(6).max(6);
+    let w3 = rows
+        .iter()
+        .map(|r| r.metric.len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
     println!("{:<w1$}  {:<w2$}  {:<w3$}  value", "series", "x", "metric");
     for r in rows {
         println!(
@@ -101,10 +116,7 @@ pub fn print_rows(title: &str, rows: &[Row]) {
 
 /// A scratch directory for one experiment run.
 pub fn bench_dir(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "pangea-bench-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("pangea-bench-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }

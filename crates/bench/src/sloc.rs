@@ -60,7 +60,9 @@ pub fn sloc(source: &str) -> u64 {
     source
         .lines()
         .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("/*") && !l.starts_with('*'))
+        .filter(|l| {
+            !l.is_empty() && !l.starts_with("//") && !l.starts_with("/*") && !l.starts_with('*')
+        })
         .count() as u64
 }
 

@@ -45,14 +45,7 @@ impl ShuffleBenchConfig {
     /// Fuller sweep (fits-in-memory through heavy spilling).
     pub fn full() -> Self {
         Self {
-            per_worker_bytes: vec![
-                128 * KB,
-                256 * KB,
-                384 * KB,
-                512 * KB,
-                640 * KB,
-                768 * KB,
-            ],
+            per_worker_bytes: vec![128 * KB, 256 * KB, 384 * KB, 512 * KB, 640 * KB, 768 * KB],
             memory: 1_024 * KB,
             page_size: 32 * KB,
         }

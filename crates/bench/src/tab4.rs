@@ -120,8 +120,14 @@ pub fn run(cfg: &HashAggConfig) -> Vec<Row> {
                 },
             ));
         };
-        push("stl-unordered-map", stl_agg(&format!("t4s-{distinct}"), cfg, distinct));
-        push("pangea-hashmap", pangea_agg(&format!("t4p-{distinct}"), cfg, distinct));
+        push(
+            "stl-unordered-map",
+            stl_agg(&format!("t4s-{distinct}"), cfg, distinct),
+        );
+        push(
+            "pangea-hashmap",
+            pangea_agg(&format!("t4p-{distinct}"), cfg, distinct),
+        );
         push("redis", redis_agg(cfg, distinct));
     }
     rows
@@ -154,6 +160,9 @@ mod tests {
             cell("pangea-hashmap", "6000keys").outcome.value().is_some(),
             "Pangea spills instead of failing"
         );
-        assert!(cell("stl-unordered-map", "6000keys").outcome.value().is_some());
+        assert!(cell("stl-unordered-map", "6000keys")
+            .outcome
+            .value()
+            .is_some());
     }
 }

@@ -12,6 +12,7 @@ use crate::network::SimNetwork;
 use crate::partition::PartitionScheme;
 use pangea_common::{NodeId, PangeaError, Result};
 use pangea_core::{LocalitySet, NodeConfig, SeqWriter, SetOptions, StorageNode};
+use pangea_net::Transport;
 use parking_lot::RwLock;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -118,7 +119,9 @@ pub(crate) struct ClusterInner {
     /// Slot `i` hosts worker `i`; `None` marks a failed node.
     pub(crate) workers: RwLock<Vec<Option<StorageNode>>>,
     manager: Manager,
-    net: SimNetwork,
+    /// The interconnect: in-process simulation by default, or any other
+    /// [`Transport`] supplied at bootstrap (e.g. TCP via `pangea-net`).
+    net: Arc<dyn Transport>,
 }
 
 /// A handle to the simulated cluster. Cheap to clone.
@@ -132,6 +135,23 @@ impl SimCluster {
     /// the deployment's private key; "a non-valid key will cause the
     /// whole system to terminate".
     pub fn bootstrap(config: ClusterConfig, private_key: &str) -> Result<Self> {
+        let net: Arc<dyn Transport> = match config.net_bandwidth {
+            Some(bw) => Arc::new(SimNetwork::with_bandwidth(bw)),
+            None => Arc::new(SimNetwork::unlimited()),
+        };
+        Self::bootstrap_with_transport(config, private_key, net)
+    }
+
+    /// Bootstraps the cluster over an explicit [`Transport`] — the same
+    /// per-node engines and distributed logic, but every inter-node byte
+    /// moves through `transport` (e.g. `pangea_net::TcpTransport` against
+    /// a fleet of `pangead` peers). `config.net_bandwidth` is ignored
+    /// here: pacing belongs to the transport the caller built.
+    pub fn bootstrap_with_transport(
+        config: ClusterConfig,
+        private_key: &str,
+        transport: Arc<dyn Transport>,
+    ) -> Result<Self> {
         if private_key != config.auth_key {
             return Err(PangeaError::AuthenticationFailed);
         }
@@ -141,16 +161,12 @@ impl SimCluster {
             let _ = std::fs::remove_dir_all(&dir);
             workers.push(Some(StorageNode::new(config.node_config(NodeId(n)))?));
         }
-        let net = match config.net_bandwidth {
-            Some(bw) => SimNetwork::with_bandwidth(bw),
-            None => SimNetwork::unlimited(),
-        };
         Ok(Self {
             inner: Arc::new(ClusterInner {
                 config,
                 workers: RwLock::new(workers),
                 manager: Manager::new(),
-                net,
+                net: transport,
             }),
         })
     }
@@ -186,8 +202,8 @@ impl SimCluster {
         &self.inner.manager
     }
 
-    /// The simulated interconnect.
-    pub fn network(&self) -> &SimNetwork {
+    /// The cluster interconnect (simulated or real, per bootstrap).
+    pub fn network(&self) -> &Arc<dyn Transport> {
         &self.inner.net
     }
 
@@ -207,7 +223,8 @@ impl SimCluster {
             return Err(PangeaError::NodeUnavailable(n));
         }
         drop(workers);
-        let _ = std::fs::remove_dir_all(self.inner.config.data_root.join(format!("node{}", n.raw())));
+        let _ =
+            std::fs::remove_dir_all(self.inner.config.data_root.join(format!("node{}", n.raw())));
         Ok(())
     }
 
@@ -237,11 +254,7 @@ impl SimCluster {
     /// Creates a distributed set: a same-named write-through locality set
     /// on every alive worker plus a catalog entry with its partitioning
     /// scheme.
-    pub fn create_dist_set(
-        &self,
-        name: &str,
-        scheme: PartitionScheme,
-    ) -> Result<DistSet> {
+    pub fn create_dist_set(&self, name: &str, scheme: PartitionScheme) -> Result<DistSet> {
         self.inner.manager.register_set(name, scheme)?;
         let workers = self.inner.workers.read();
         for w in workers.iter().flatten() {
@@ -514,7 +527,8 @@ mod tests {
             .unwrap();
         let mut d = s.loader().unwrap();
         for i in 0..300u32 {
-            d.dispatch(format!("{}|row{}", i % 30, i).as_bytes()).unwrap();
+            d.dispatch(format!("{}|row{}", i % 30, i).as_bytes())
+                .unwrap();
         }
         d.finish().unwrap();
         // Every record with the same key is on exactly one node.

@@ -14,9 +14,11 @@ pub mod network;
 pub mod partition;
 pub mod replication;
 
-pub use cluster::{ClusterConfig, DistSet, Dispatcher, SimCluster};
+pub use cluster::{ClusterConfig, Dispatcher, DistSet, SimCluster};
 pub use manager::{CatalogEntry, Manager, SetStats};
 pub use network::SimNetwork;
+// The wire seam the cluster is generic over (DESIGN.md §2a).
+pub use pangea_net::{TcpTransport, Transport};
 pub use partition::{KeyFn, PartitionKind, PartitionScheme};
 pub use replication::{
     colliding_set_name, expected_colliding_ratio, RecoveryReport, ReplicaReport,

@@ -123,9 +123,7 @@ impl Manager {
         let gb = catalog[b].group;
         let group = match (ga, gb) {
             (Some(g), None) | (None, Some(g)) => g,
-            (None, None) => {
-                ReplicaGroupId(self.next_group.fetch_add(1, Ordering::Relaxed) + 1)
-            }
+            (None, None) => ReplicaGroupId(self.next_group.fetch_add(1, Ordering::Relaxed) + 1),
             (Some(g1), Some(g2)) if g1 == g2 => g1,
             (Some(g1), Some(g2)) => {
                 return Err(PangeaError::usage(format!(
@@ -207,14 +205,21 @@ mod tests {
         m.add_stats("s", 10, 1000).unwrap();
         m.add_stats("s", 5, 500).unwrap();
         let e = m.entry("s").unwrap();
-        assert_eq!(e.stats, SetStats { objects: 15, bytes: 1500 });
+        assert_eq!(
+            e.stats,
+            SetStats {
+                objects: 15,
+                bytes: 1500
+            }
+        );
         assert!(m.add_stats("missing", 1, 1).is_err());
     }
 
     #[test]
     fn replica_groups_link_transitively() {
         let m = Manager::new();
-        m.register_set("a", PartitionScheme::round_robin(4)).unwrap();
+        m.register_set("a", PartitionScheme::round_robin(4))
+            .unwrap();
         m.register_set("b", scheme("l_orderkey")).unwrap();
         m.register_set("c", scheme("l_partkey")).unwrap();
         let g1 = m.link_replicas("a", "b").unwrap();

@@ -87,9 +87,7 @@ impl PartitionScheme {
                     .expect("hash schemes always carry a key fn")(record);
                 PartitionId((fx_hash64(&key) % self.partitions as u64) as u32)
             }
-            PartitionKind::RoundRobin => {
-                PartitionId((ordinal % self.partitions as u64) as u32)
-            }
+            PartitionKind::RoundRobin => PartitionId((ordinal % self.partitions as u64) as u32),
         }
     }
 
@@ -147,10 +145,7 @@ mod tests {
     fn partitions_stripe_over_nodes() {
         let s = PartitionScheme::hash("k", 8, first_field);
         for p in 0..8 {
-            assert_eq!(
-                s.node_of_partition(PartitionId(p), 4).raw(),
-                p % 4
-            );
+            assert_eq!(s.node_of_partition(PartitionId(p), 4).raw(), p % 4);
         }
     }
 

@@ -14,9 +14,7 @@
 
 use crate::cluster::{DistSet, SimCluster};
 use crate::partition::{PartitionKind, PartitionScheme};
-use pangea_common::{
-    fx_hash64, FxHashMap, FxHashSet, NodeId, PangeaError, ReplicaGroupId, Result,
-};
+use pangea_common::{fx_hash64, FxHashMap, FxHashSet, NodeId, PangeaError, ReplicaGroupId, Result};
 use pangea_core::SeqWriter;
 use std::time::{Duration, Instant};
 
@@ -95,8 +93,7 @@ impl<'a> NodeWriters<'a> {
 
     fn append(&mut self, node: NodeId, record: &[u8]) -> Result<()> {
         if !self.writers.contains_key(&node) {
-            self.writers
-                .insert(node, self.set.local(node)?.writer());
+            self.writers.insert(node, self.set.local(node)?.writer());
         }
         self.writers
             .get_mut(&node)
@@ -158,8 +155,14 @@ impl SimCluster {
         writers.finish()?;
         self.manager().add_stats(
             target,
-            self.manager().entry(source).map(|e| e.stats.objects).unwrap_or(0),
-            self.manager().entry(source).map(|e| e.stats.bytes).unwrap_or(0),
+            self.manager()
+                .entry(source)
+                .map(|e| e.stats.objects)
+                .unwrap_or(0),
+            self.manager()
+                .entry(source)
+                .map(|e| e.stats.bytes)
+                .unwrap_or(0),
         )?;
         let group = self.manager().link_replicas(source, target)?;
         let (objects, colliding) = self.rebuild_colliding_set(group, r)?;
@@ -175,11 +178,7 @@ impl SimCluster {
     /// than `r + 1` distinct nodes, and stores `r` extra copies of each
     /// on the nodes after its colliding node. Returns
     /// `(objects, colliding)`.
-    fn rebuild_colliding_set(
-        &self,
-        group: ReplicaGroupId,
-        r: u32,
-    ) -> Result<(u64, u64)> {
+    fn rebuild_colliding_set(&self, group: ReplicaGroupId, r: u32) -> Result<(u64, u64)> {
         let members = self.manager().group_members(group);
         let nodes = self.num_nodes();
         // Object hash → distinct nodes hosting any copy.
@@ -196,9 +195,7 @@ impl SimCluster {
         let colliding: FxHashMap<u64, NodeId> = placement
             .into_iter()
             .filter(|(_, nodes_of)| nodes_of.len() <= r as usize)
-            .map(|(h, nodes_of)| {
-                (h, *nodes_of.iter().next().expect("non-empty placement"))
-            })
+            .map(|(h, nodes_of)| (h, *nodes_of.iter().next().expect("non-empty placement")))
             .collect();
         // (Re)create the colliding set and fill it with `r` extra copies
         // of each colliding object, placed on the nodes after the
@@ -272,8 +269,7 @@ impl SimCluster {
                 )));
             }
             for target in &members {
-                let sources: Vec<&String> =
-                    members.iter().filter(|m| *m != target).collect();
+                let sources: Vec<&String> = members.iter().filter(|m| *m != target).collect();
                 self.recover_member(group, target, &sources, failed, &mut report)?;
                 report.replicas_recovered.push(target.clone());
             }
@@ -330,9 +326,9 @@ impl SimCluster {
         };
         // Pass 1: surviving sibling replicas.
         for source in sources {
-            let src = self.get_dist_set(source).ok_or_else(|| {
-                PangeaError::usage(format!("unknown source '{source}'"))
-            })?;
+            let src = self
+                .get_dist_set(source)
+                .ok_or_else(|| PangeaError::usage(format!("unknown source '{source}'")))?;
             src.try_for_each_record(|from, rec| {
                 if !is_lost(rec) || !seen.insert(fx_hash64(rec)) {
                     return Ok(());

@@ -86,7 +86,7 @@ impl Record for Vec<f64> {
     }
 
     fn decode(bytes: &[u8]) -> Result<Self> {
-        if bytes.len() % 8 != 0 {
+        if !bytes.len().is_multiple_of(8) {
             return Err(PangeaError::Corruption(
                 "f64 vector record not a multiple of 8 bytes".into(),
             ));
@@ -246,10 +246,7 @@ mod tests {
     fn truncated_prefix_is_an_error() {
         let buf = [5u8, 0, 0]; // only 3 of 4 length bytes
         let mut r = ByteReader::new(&buf);
-        assert!(matches!(
-            r.read_bytes(),
-            Err(PangeaError::Corruption(_))
-        ));
+        assert!(matches!(r.read_bytes(), Err(PangeaError::Corruption(_))));
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub enum PangeaError {
     UnrecoverableFailure(String),
     /// Persistent data failed an integrity check when read back.
     Corruption(String),
+    /// A remote node reported a failure over the wire protocol. The
+    /// original error kind does not survive the trip; the message does.
+    Remote(String),
     /// An API was used incorrectly (e.g. writing to a read-configured set).
     InvalidUsage(String),
     /// Invalid configuration (page size 0, no disks, ...).
@@ -109,6 +112,7 @@ impl fmt::Display for PangeaError {
             Self::NodeUnavailable(n) => write!(f, "{n} is unavailable"),
             Self::UnrecoverableFailure(m) => write!(f, "unrecoverable failure: {m}"),
             Self::Corruption(m) => write!(f, "data corruption: {m}"),
+            Self::Remote(m) => write!(f, "remote node error: {m}"),
             Self::InvalidUsage(m) => write!(f, "invalid usage: {m}"),
             Self::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
         }

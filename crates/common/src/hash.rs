@@ -114,7 +114,10 @@ mod tests {
         let base: Vec<u8> = (0u8..32).collect();
         let mut seen = std::collections::HashSet::new();
         for len in 0..=16 {
-            assert!(seen.insert(fx_hash64(&base[..len])), "collision at len {len}");
+            assert!(
+                seen.insert(fx_hash64(&base[..len])),
+                "collision at len {len}"
+            );
         }
     }
 

@@ -4,16 +4,12 @@
 //! [`SetId`] can never be passed where a [`NodeId`] is expected. All of them
 //! are `Copy` and hash with the fast [`crate::FxHasher`].
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
         $(#[$doc])*
-        #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
-        )]
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
         pub struct $name(pub $inner);
 
         impl $name {
@@ -71,7 +67,7 @@ pub type PageNum = u64;
 /// Pages are the unit of buffering, eviction and file I/O. All pages of one
 /// locality set share a size (paper §3.2), but different sets may use
 /// different page sizes.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PageId {
     /// The owning locality set.
     pub set: SetId,

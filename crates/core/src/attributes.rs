@@ -149,7 +149,9 @@ mod tests {
     #[test]
     fn durability_strings_parse_like_the_paper_api() {
         assert_eq!(
-            SetOptions::from_durability_str("write-back").unwrap().durability,
+            SetOptions::from_durability_str("write-back")
+                .unwrap()
+                .durability,
             Durability::WriteBack
         );
         assert_eq!(

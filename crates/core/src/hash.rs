@@ -114,22 +114,14 @@ where
     F: FnMut(&mut V, V),
 {
     /// Creates the backing write-back locality set (`random-mutable-write`
-    /// + `random-read`, per §3.2's service-driven attribute inference) and
-    /// pins `K` empty root pages.
-    pub fn create(
-        node: &StorageNode,
-        name: &str,
-        config: HashConfig,
-        merge: F,
-    ) -> Result<Self> {
+    /// plus `random-read`, per §3.2's service-driven attribute inference)
+    /// and pins `K` empty root pages.
+    pub fn create(node: &StorageNode, name: &str, config: HashConfig, merge: F) -> Result<Self> {
         if config.root_partitions == 0 {
             return Err(PangeaError::config("need at least one root partition"));
         }
         let page_size = config.page_size.unwrap_or(node.default_page_size());
-        let set = node.create_set(
-            name,
-            SetOptions::write_back().with_page_size(page_size),
-        )?;
+        let set = node.create_set(name, SetOptions::write_back().with_page_size(page_size))?;
         set.declare_write(WritePattern::RandomMutable)?;
         set.declare_read(ReadPattern::Random)?;
         let n_buckets = hashpage::buckets_for(page_size);
@@ -189,7 +181,9 @@ where
     }
 
     fn page(&self, idx: usize) -> &PagePin {
-        self.pages[idx].as_ref().expect("hash pages are always present")
+        self.pages[idx]
+            .as_ref()
+            .expect("hash pages are always present")
     }
 
     /// Inserts `key → val`, merging with the existing value when the key
@@ -197,39 +191,37 @@ where
     /// fused because aggregation always merges).
     pub fn insert_merge(&mut self, key: &[u8], val: V) -> Result<()> {
         let (root, sub) = route(key, self.roots.len() as u32);
-        loop {
-            let page_idx = self.page_for(root, sub);
-            let pin = self.page(page_idx);
-            let mut guard = pin.write();
-            self.scratch.clear();
-            match hashpage::lookup(&guard, key) {
-                Some(existing) => {
-                    let mut current = V::decode(existing)?;
-                    (self.merge)(&mut current, val);
-                    current.encode(&mut self.scratch);
-                    // Re-borrow val for the retry path below.
-                    match hashpage::insert(&mut guard, key, &self.scratch)? {
-                        HashInsert::Inserted | HashInsert::Updated => return Ok(()),
-                        HashInsert::Full => {
-                            drop(guard);
-                            let merged = V::decode(&self.scratch)?;
-                            self.make_room(root, page_idx)?;
-                            return self.insert_no_merge(key, merged);
-                        }
+        let page_idx = self.page_for(root, sub);
+        let pin = self.page(page_idx);
+        let mut guard = pin.write();
+        self.scratch.clear();
+        match hashpage::lookup(&guard, key) {
+            Some(existing) => {
+                let mut current = V::decode(existing)?;
+                (self.merge)(&mut current, val);
+                current.encode(&mut self.scratch);
+                // Re-borrow val for the retry path below.
+                match hashpage::insert(&mut guard, key, &self.scratch)? {
+                    HashInsert::Inserted | HashInsert::Updated => Ok(()),
+                    HashInsert::Full => {
+                        drop(guard);
+                        let merged = V::decode(&self.scratch)?;
+                        self.make_room(root, page_idx)?;
+                        self.insert_no_merge(key, merged)
                     }
                 }
-                None => {
-                    val.encode(&mut self.scratch);
-                    match hashpage::insert(&mut guard, key, &self.scratch)? {
-                        HashInsert::Inserted | HashInsert::Updated => return Ok(()),
-                        HashInsert::Full => {
-                            drop(guard);
-                            let v = V::decode(&self.scratch)?;
-                            self.make_room(root, page_idx)?;
-                            // Retry the full merge path: the key may land
-                            // on a different page after a split.
-                            return self.insert_merge(key, v);
-                        }
+            }
+            None => {
+                val.encode(&mut self.scratch);
+                match hashpage::insert(&mut guard, key, &self.scratch)? {
+                    HashInsert::Inserted | HashInsert::Updated => Ok(()),
+                    HashInsert::Full => {
+                        drop(guard);
+                        let v = V::decode(&self.scratch)?;
+                        self.make_room(root, page_idx)?;
+                        // Retry the full merge path: the key may land
+                        // on a different page after a split.
+                        self.insert_merge(key, v)
                     }
                 }
             }
@@ -243,8 +235,7 @@ where
             let page_idx = self.page_for(root, sub);
             self.scratch.clear();
             val.encode(&mut self.scratch);
-            let outcome =
-                hashpage::insert(&mut self.page(page_idx).write(), key, &self.scratch)?;
+            let outcome = hashpage::insert(&mut self.page(page_idx).write(), key, &self.scratch)?;
             match outcome {
                 HashInsert::Inserted | HashInsert::Updated => return Ok(()),
                 HashInsert::Full => self.make_room(root, page_idx)?,
@@ -347,23 +338,21 @@ where
     /// partial aggregation results for each partition").
     pub fn finalize(mut self) -> Result<Vec<(Vec<u8>, V)>> {
         let mut result: FxHashMap<Vec<u8>, V> = FxHashMap::default();
-        let fold = |result: &mut FxHashMap<Vec<u8>, V>,
-                        merge: &mut F,
-                        bytes: &[u8]|
-         -> Result<()> {
-            let mut pending: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
-            hashpage::for_each(bytes, |k, v| pending.push((k.to_vec(), v.to_vec())));
-            for (k, v_bytes) in pending {
-                let v = V::decode(&v_bytes)?;
-                match result.entry(k) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => merge(e.get_mut(), v),
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(v);
+        let fold =
+            |result: &mut FxHashMap<Vec<u8>, V>, merge: &mut F, bytes: &[u8]| -> Result<()> {
+                let mut pending: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+                hashpage::for_each(bytes, |k, v| pending.push((k.to_vec(), v.to_vec())));
+                for (k, v_bytes) in pending {
+                    let v = V::decode(&v_bytes)?;
+                    match result.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => merge(e.get_mut(), v),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(v);
+                        }
                     }
                 }
-            }
-            Ok(())
-        };
+                Ok(())
+            };
         // In-memory pages first; drop each pin as it is folded so the
         // pool frees up for reloading spilled pages.
         for slot in &mut self.pages {
@@ -427,7 +416,8 @@ mod tests {
         let n = node("counts", 64);
         let mut h = counting_hash_buffer(&n, "agg", HashConfig::new(2)).unwrap();
         for i in 0..300u32 {
-            h.insert_merge(format!("k{}", i % 30).as_bytes(), 1).unwrap();
+            h.insert_merge(format!("k{}", i % 30).as_bytes(), 1)
+                .unwrap();
         }
         assert_eq!(h.get(b"k0").unwrap(), Some(10));
         assert_eq!(h.get(b"k29").unwrap(), Some(10));

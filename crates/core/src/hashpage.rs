@@ -108,7 +108,7 @@ fn bucket_slot(bytes: &[u8], hash: u64) -> usize {
     HDR + ((hash & (nb - 1)) as usize) * 4
 }
 
-/// Entry accessors ------------------------------------------------------
+// Entry accessors -------------------------------------------------------
 
 #[inline]
 fn entry_key(bytes: &[u8], at: usize) -> &[u8] {

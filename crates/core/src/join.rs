@@ -40,10 +40,7 @@ impl JoinMapBuilder {
 
     /// Starts a builder with an explicit page size.
     pub fn with_page_size(node: &StorageNode, name: &str, page_size: usize) -> Result<Self> {
-        let set = node.create_set(
-            name,
-            SetOptions::write_back().with_page_size(page_size),
-        )?;
+        let set = node.create_set(name, SetOptions::write_back().with_page_size(page_size))?;
         set.declare_write(WritePattern::RandomMutable)?;
         Ok(Self {
             set,
@@ -66,8 +63,7 @@ impl JoinMapBuilder {
             .extend_from_slice(&(key.len() as u16).to_le_bytes());
         self.scratch.extend_from_slice(key);
         self.scratch.extend_from_slice(payload);
-        let max_payload =
-            self.set.page_size() - page::PAGE_HEADER - page::RECORD_PREFIX;
+        let max_payload = self.set.page_size() - page::PAGE_HEADER - page::RECORD_PREFIX;
         if self.scratch.len() > max_payload {
             return Err(PangeaError::usage(format!(
                 "join entry of {} B exceeds page capacity {max_payload} B",
@@ -153,8 +149,7 @@ impl JoinMap {
             let pin = &self.pages[page_idx as usize];
             let guard = pin.read();
             let at = offset as usize;
-            let len =
-                u32::from_le_bytes(guard[at..at + 4].try_into().expect("4 bytes")) as usize;
+            let len = u32::from_le_bytes(guard[at..at + 4].try_into().expect("4 bytes")) as usize;
             let rec = &guard[at + 4..at + 4 + len];
             let klen = u16::from_le_bytes(rec[..2].try_into().expect("2 bytes")) as usize;
             if &rec[2..2 + klen] == key {

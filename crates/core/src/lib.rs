@@ -32,9 +32,7 @@ pub mod set;
 pub mod shuffle;
 
 pub use attributes::{SetAttributes, SetOptions};
-pub use hash::{
-    counting_hash_buffer, CountingHashBuffer, HashConfig, VirtualHashBuffer,
-};
+pub use hash::{counting_hash_buffer, CountingHashBuffer, HashConfig, VirtualHashBuffer};
 pub use join::{broadcast_map, JoinMap, JoinMapBuilder};
 pub use node::{NodeConfig, StorageNode};
 pub use page::{ObjectIter, RecordSlices};

@@ -9,13 +9,9 @@
 
 use crate::attributes::{SetAttributes, SetOptions};
 use crate::set::LocalitySet;
-use pangea_common::{
-    FxHashMap, IoStats, PageId, PageNum, PangeaError, Result, SetId,
-};
+use pangea_common::{FxHashMap, IoStats, PageId, PageNum, PangeaError, Result, SetId};
 use pangea_paging::{strategy_by_name, CurrentOp, Durability, PageView, PagingStrategy};
-use pangea_storage::{
-    BufferPool, BufferPoolConfig, DiskConfig, DiskManager, PagePin, PagedFile,
-};
+use pangea_storage::{BufferPool, BufferPoolConfig, DiskConfig, DiskManager, PagePin, PagedFile};
 use parking_lot::{Mutex, RwLock};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -153,8 +149,7 @@ impl StorageNode {
             disk_cfg = disk_cfg.with_bandwidth(bw);
         }
         let disks = Arc::new(DiskManager::new(disk_cfg)?);
-        let capacity_pages =
-            (config.pool_capacity / config.default_page_size).max(1) as u64;
+        let capacity_pages = (config.pool_capacity / config.default_page_size).max(1) as u64;
         let strategy = strategy_by_name(&config.strategy, capacity_pages)?;
         Ok(Self {
             inner: Arc::new(NodeInner {
@@ -390,7 +385,13 @@ impl StorageNode {
         let mut strategy = self.inner.strategy.lock();
         for num in self.inner.pool.resident_of_set(state.id) {
             let page = PageId::new(state.id, num);
-            if self.inner.pool.evict(page).map(|e| e.is_some()).unwrap_or(false) {
+            if self
+                .inner
+                .pool
+                .evict(page)
+                .map(|e| e.is_some())
+                .unwrap_or(false)
+            {
                 strategy.on_page_evicted(page);
             }
         }
@@ -638,7 +639,10 @@ mod tests {
         // Evicting the (clean) page must not write again.
         let evicted = n.evict_round().unwrap();
         assert!(evicted >= 1);
-        assert_eq!(n.disk_stats().snapshot().pages_flushed, after_seal.pages_flushed);
+        assert_eq!(
+            n.disk_stats().snapshot().pages_flushed,
+            after_seal.pages_flushed
+        );
         // And it reloads from disk.
         let pin = s.pin_page(0).unwrap();
         let mut it = crate::page::ObjectIter::new(&pin);
@@ -688,10 +692,7 @@ mod tests {
         n.drop_set(id).unwrap();
         assert!(n.get_set("gone").is_none());
         assert!(n.pool().resident_of_set(id).is_empty());
-        assert!(matches!(
-            n.get_set_by_id(id),
-            None
-        ));
+        assert!(n.get_set_by_id(id).is_none());
     }
 
     #[test]

@@ -108,8 +108,7 @@ impl DataProxy {
         // Budget the pins the scan holds concurrently (buffered pages +
         // one per worker + one in the producer's hand) against the pool,
         // so a small pool is streamed through rather than exhausted.
-        let pool_pages =
-            (self.set.node().pool().capacity() / self.set.page_size()).max(1);
+        let pool_pages = (self.set.node().pool().capacity() / self.set.page_size()).max(1);
         let threads = threads.max(1).min(pool_pages.saturating_sub(2).max(1));
         let slots = pool_pages
             .saturating_sub(threads + 1)
@@ -154,11 +153,8 @@ impl DataProxy {
                     first_err.get_or_insert(e);
                 }
             }
-            match producer.join().expect("storage thread panicked") {
-                Err(e) => {
-                    first_err.get_or_insert(e);
-                }
-                Ok(()) => {}
+            if let Err(e) = producer.join().expect("storage thread panicked") {
+                first_err.get_or_insert(e);
             }
             match first_err {
                 Some(e) => Err(e),
@@ -248,7 +244,10 @@ mod tests {
         let pages = s
             .scan(3, |pin| {
                 ObjectIter::new(&pin).for_each(|rec| {
-                    seen.fetch_add(u64::from_le_bytes(rec.try_into().unwrap()), Ordering::Relaxed);
+                    seen.fetch_add(
+                        u64::from_le_bytes(rec.try_into().unwrap()),
+                        Ordering::Relaxed,
+                    );
                 });
                 Ok(())
             })
@@ -273,9 +272,7 @@ mod tests {
         let n = node("err", 16);
         let s = n.create_set("s", SetOptions::write_back()).unwrap();
         fill(&s, 50);
-        let r = s.scan(2, |_pin| {
-            Err(pangea_common::PangeaError::usage("boom"))
-        });
+        let r = s.scan(2, |_pin| Err(pangea_common::PangeaError::usage("boom")));
         assert!(r.is_err());
     }
 

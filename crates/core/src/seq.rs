@@ -50,8 +50,7 @@ impl SeqWriter {
     /// Appends one object (raw payload bytes). The paper's
     /// `myData.addObject(myObject)`.
     pub fn add_object(&mut self, payload: &[u8]) -> Result<()> {
-        let max_payload =
-            self.set.page_size() - page::PAGE_HEADER - page::RECORD_PREFIX;
+        let max_payload = self.set.page_size() - page::PAGE_HEADER - page::RECORD_PREFIX;
         if payload.len() > max_payload {
             return Err(PangeaError::usage(format!(
                 "object of {} B exceeds page capacity {max_payload} B",
@@ -84,10 +83,7 @@ impl SeqWriter {
     }
 
     /// Appends every record of an iterator.
-    pub fn add_all<R: Record>(
-        &mut self,
-        records: impl IntoIterator<Item = R>,
-    ) -> Result<()> {
+    pub fn add_all<R: Record>(&mut self, records: impl IntoIterator<Item = R>) -> Result<()> {
         for r in records {
             self.add_record(&r)?;
         }

@@ -382,9 +382,7 @@ mod tests {
                         for num in set.page_numbers() {
                             let pin = set.pin_page(num).unwrap();
                             ObjectIter::new(&pin).for_each(|rec| {
-                                assert!(rec.starts_with(
-                                    format!("p{p}-").as_bytes()
-                                ));
+                                assert!(rec.starts_with(format!("p{p}-").as_bytes()));
                                 seen += 1;
                             });
                         }

@@ -79,9 +79,7 @@ pub fn generate_points(cfg: &KmeansConfig) -> Vec<Vec<f64>> {
     (0..cfg.points)
         .map(|i| {
             let c = &centers[i % cfg.k];
-            c.iter()
-                .map(|&x| x + rng.random_range(-3.0..3.0))
-                .collect()
+            c.iter().map(|&x| x + rng.random_range(-3.0..3.0)).collect()
         })
         .collect()
 }
@@ -163,10 +161,7 @@ fn nearest(centroids: &[Vec<f64>], cnorms: &[f64], point: &[f64], pnorm: f64) ->
 }
 
 /// Runs the full workload (Fig. 1 dataflow) against a backend.
-pub fn run_kmeans(
-    backend: &mut dyn KmeansBackend,
-    cfg: &KmeansConfig,
-) -> Result<KmeansOutcome> {
+pub fn run_kmeans(backend: &mut dyn KmeansBackend, cfg: &KmeansConfig) -> Result<KmeansOutcome> {
     let points = generate_points(cfg);
     let mut peak = 0u64;
 
@@ -254,8 +249,7 @@ mod tests {
     fn pangea_and_spark_backends_agree_exactly() {
         let cfg = small_cfg();
         let mut pangea =
-            PangeaKmeans::new(&dir("agree-p"), 4 * pangea_common::MB, "data-aware")
-                .unwrap();
+            PangeaKmeans::new(&dir("agree-p"), 4 * pangea_common::MB, "data-aware").unwrap();
         let pangea_out = run_kmeans(&mut pangea, &cfg).unwrap();
         let hdfs = Arc::new(SimHdfs::new(&dir("agree-s"), 1, 64 * 1024).unwrap());
         let mut spark = SparkKmeans::new(hdfs, 8 * pangea_common::MB);
@@ -297,8 +291,7 @@ mod tests {
             seed: 1,
         };
         let mut pangea =
-            PangeaKmeans::new(&dir("pressure"), 96 * pangea_common::KB, "data-aware")
-                .unwrap();
+            PangeaKmeans::new(&dir("pressure"), 96 * pangea_common::KB, "data-aware").unwrap();
         let out = run_kmeans(&mut pangea, &cfg).unwrap();
         assert!(
             pangea.node().disk_stats().snapshot().pages_flushed > 0,
@@ -318,12 +311,8 @@ mod tests {
             iterations: 1,
             seed: 1,
         };
-        let mut pangea = PangeaKmeans::new(
-            &dir("dbmin"),
-            96 * pangea_common::KB,
-            "dbmin-adaptive",
-        )
-        .unwrap();
+        let mut pangea =
+            PangeaKmeans::new(&dir("dbmin"), 96 * pangea_common::KB, "dbmin-adaptive").unwrap();
         let r = run_kmeans(&mut pangea, &cfg);
         match r {
             Err(e) => assert!(e.is_reported_as_gap(), "unexpected error: {e}"),

@@ -5,9 +5,7 @@
 
 use crate::{squared_norm, KmeansBackend};
 use pangea_common::{Record, Result};
-use pangea_core::{
-    HashConfig, NodeConfig, ObjectIter, SetOptions, StorageNode, VirtualHashBuffer,
-};
+use pangea_core::{HashConfig, NodeConfig, ObjectIter, SetOptions, StorageNode, VirtualHashBuffer};
 use std::path::Path;
 
 /// The Pangea k-means backend. The paging strategy is configurable so
@@ -70,10 +68,7 @@ impl KmeansBackend for PangeaKmeans {
     }
 
     fn load_points(&mut self, points: &[Vec<f64>]) -> Result<()> {
-        self.point_bytes = points
-            .iter()
-            .map(|p| (p.encoded_len() + 4) as u64)
-            .sum();
+        self.point_bytes = points.iter().map(|p| (p.encoded_len() + 4) as u64).sum();
         // User data: write-through (persisted as imported; §9.1.1). The
         // page estimate feeds only the DBMIN baselines.
         let set = self.node.create_set(
@@ -171,13 +166,10 @@ impl KmeansBackend for PangeaKmeans {
         norms.declare_idle()?;
         let mut out = Vec::new();
         for (key, sums) in agg.finalize()? {
-            let cluster = u32::from_le_bytes(
-                key.as_slice()
-                    .try_into()
-                    .map_err(|_| pangea_common::PangeaError::Corruption(
-                        "bad cluster key".into(),
-                    ))?,
-            );
+            let cluster =
+                u32::from_le_bytes(key.as_slice().try_into().map_err(|_| {
+                    pangea_common::PangeaError::Corruption("bad cluster key".into())
+                })?);
             out.push((cluster, sums));
         }
         out.sort_by_key(|(c, _)| *c);

@@ -109,9 +109,7 @@ impl KmeansBackend for SparkKmeans {
         let result = self.spark.map_partitions("points_norms", |rec| {
             let v = <Vec<f64> as Record>::decode(rec)?;
             let cluster = assign(&v);
-            let entry = totals
-                .entry(cluster)
-                .or_insert_with(|| vec![0.0; dims + 1]);
+            let entry = totals.entry(cluster).or_insert_with(|| vec![0.0; dims + 1]);
             for (a, b) in entry[..dims].iter_mut().zip(&v[1..]) {
                 *a += b;
             }

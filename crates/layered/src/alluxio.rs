@@ -14,9 +14,7 @@
 //!   bytes live in Alluxio memory and again in the under-store path.
 
 use crate::store::DataStore;
-use pangea_common::{
-    FxHashMap, IoStats, IoStatsSnapshot, PangeaError, Result,
-};
+use pangea_common::{FxHashMap, IoStats, IoStatsSnapshot, PangeaError, Result};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -129,9 +127,9 @@ impl DataStore for SimAlluxio {
             .map(|b| b.len() + record.len() + 4 > ALLUXIO_BUFFER)
             .unwrap_or(true)
         {
-            ds.buffers.push(Vec::with_capacity(ALLUXIO_BUFFER.min(
-                (record.len() + 4).next_power_of_two(),
-            )));
+            ds.buffers.push(Vec::with_capacity(
+                ALLUXIO_BUFFER.min((record.len() + 4).next_power_of_two()),
+            ));
         }
         let buf = ds.buffers.last_mut().expect("just ensured");
         buf.extend_from_slice(&(record.len() as u32).to_le_bytes());

@@ -15,9 +15,7 @@
 //! the separate [`crate::osfile::OsFileSystem`] baseline).
 
 use crate::store::DataStore;
-use pangea_common::{
-    FxHashMap, IoStats, IoStatsSnapshot, PangeaError, Result,
-};
+use pangea_common::{FxHashMap, IoStats, IoStatsSnapshot, PangeaError, Result};
 use pangea_storage::{DiskConfig, DiskManager};
 use parking_lot::Mutex;
 use std::path::Path;
@@ -105,12 +103,9 @@ impl SimHdfs {
             cursors[disk] += ds.open.len() as u64;
             o
         };
-        self.inner.disks.write_at(
-            disk,
-            &format!("hdfs_{name}_d{disk}.blk"),
-            offset,
-            &ds.open,
-        )?;
+        self.inner
+            .disks
+            .write_at(disk, &format!("hdfs_{name}_d{disk}.blk"), offset, &ds.open)?;
         ds.blocks.push(BlockLoc {
             disk,
             offset,

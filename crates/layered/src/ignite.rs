@@ -13,9 +13,7 @@
 //!   more points" as a [`PangeaError::SystemFailure`] gap.
 
 use crate::store::DataStore;
-use pangea_common::{
-    FxHashMap, IoStats, IoStatsSnapshot, PangeaError, Result,
-};
+use pangea_common::{FxHashMap, IoStats, IoStatsSnapshot, PangeaError, Result};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -192,10 +190,7 @@ impl DataStore for SimIgnite {
     fn delete(&self, dataset: &str) -> Result<()> {
         let removed = self.inner.datasets.lock().remove(dataset);
         if let Some(ds) = removed {
-            let bytes: u64 = ds
-                .records
-                .checked_mul(ROW_HEADER as u64)
-                .unwrap_or(0)
+            let bytes: u64 = ds.records.checked_mul(ROW_HEADER as u64).unwrap_or(0)
                 + ds.pages.iter().map(|p| p.len() as u64).sum::<u64>();
             let mut used = self.inner.used.lock();
             *used = used.saturating_sub(bytes);
@@ -274,7 +269,7 @@ mod tests {
         let ig = SimIgnite::new(1 << 26);
         let before = ig.stats().copied_bytes;
         for i in 0..(COMPACTION_INTERVAL + 10) {
-            ig.append("t", &(i as u64).to_le_bytes()).unwrap();
+            ig.append("t", &i.to_le_bytes()).unwrap();
         }
         // One compaction pass ran, copying roughly the whole dataset on
         // top of the per-append copies.

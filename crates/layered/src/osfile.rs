@@ -13,9 +13,7 @@
 //!   where Pangea's data-aware paging wins in Fig. 8b.
 
 use crate::store::DataStore;
-use pangea_common::{
-    FxHashMap, IoStats, IoStatsSnapshot, PangeaError, Result,
-};
+use pangea_common::{FxHashMap, IoStats, IoStatsSnapshot, PangeaError, Result};
 use pangea_storage::{DiskConfig, DiskManager};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -334,11 +332,13 @@ mod tests {
         // blocks must stay exactly block-sized so cache ordinals match
         // the scan stride (regression: torn records on cache-hit scans).
         let fs = OsFileSystem::new(&dir("unaligned"), 8 * CACHE_BLOCK).unwrap();
-        let recs: Vec<Vec<u8>> = (0..3000u32).map(|i| {
-            let mut v = vec![b'x'; 80];
-            v[..4].copy_from_slice(&i.to_le_bytes());
-            v
-        }).collect();
+        let recs: Vec<Vec<u8>> = (0..3000u32)
+            .map(|i| {
+                let mut v = vec![b'x'; 80];
+                v[..4].copy_from_slice(&i.to_le_bytes());
+                v
+            })
+            .collect();
         load_dataset(&fs, "t", recs.iter().map(|r| r.as_slice())).unwrap();
         for _ in 0..3 {
             let mut out = Vec::new();

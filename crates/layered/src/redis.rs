@@ -120,8 +120,7 @@ impl RedisLike {
                 let need = (key.len() + 8 + STL_NODE_OVERHEAD) as u64;
                 if self.mem_used + need > self.mem_budget {
                     return Err(PangeaError::SystemFailure(
-                        "Redis: OOM command not allowed when used memory > 'maxmemory'"
-                            .into(),
+                        "Redis: OOM command not allowed when used memory > 'maxmemory'".into(),
                     ));
                 }
                 self.mem_used += need;

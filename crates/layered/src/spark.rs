@@ -19,9 +19,7 @@
 //!   unified memory manager), which then also must be recomputed.
 
 use crate::store::DataStore;
-use pangea_common::{
-    FxHashMap, IoStats, IoStatsSnapshot, PangeaError, Result,
-};
+use pangea_common::{FxHashMap, IoStats, IoStatsSnapshot, PangeaError, Result};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -568,7 +566,7 @@ mod tests {
         let (spark, _) = spark_over_alluxio(64 * KB, 10);
         spark.cache_rdd("pts").unwrap();
         assert!(matches!(
-            spark.reserve_execution(1 * MB),
+            spark.reserve_execution(MB),
             Err(PangeaError::OutOfMemory { .. })
         ));
     }

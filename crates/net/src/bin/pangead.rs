@@ -1,0 +1,123 @@
+//! `pangead` — run one Pangea storage node behind the wire protocol.
+//!
+//! ```text
+//! pangead --listen 127.0.0.1:7781 --data /var/lib/pangea/node0 \
+//!         [--pool-mb 64] [--page-kb 256] [--disks 1] \
+//!         [--strategy data-aware] [--disk-bw-mb <MB/s>]
+//! ```
+//!
+//! The daemon serves until killed. Argument parsing is deliberately
+//! dependency-free.
+
+use pangea_core::{NodeConfig, StorageNode};
+use pangea_net::PangeadServer;
+use std::process::exit;
+
+struct Args {
+    listen: String,
+    data: String,
+    pool_mb: usize,
+    page_kb: usize,
+    disks: usize,
+    strategy: String,
+    disk_bw_mb: Option<u64>,
+}
+
+const USAGE: &str = "usage: pangead --listen <addr:port> --data <dir> \
+    [--pool-mb N] [--page-kb N] [--disks N] [--strategy NAME] [--disk-bw-mb N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: String::new(),
+        data: String::new(),
+        pool_mb: 64,
+        page_kb: 256,
+        disks: 1,
+        strategy: "data-aware".to_string(),
+        disk_bw_mb: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--data" => args.data = value("--data")?,
+            "--pool-mb" => {
+                args.pool_mb = value("--pool-mb")?
+                    .parse()
+                    .map_err(|e| format!("--pool-mb: {e}"))?;
+            }
+            "--page-kb" => {
+                args.page_kb = value("--page-kb")?
+                    .parse()
+                    .map_err(|e| format!("--page-kb: {e}"))?;
+            }
+            "--disks" => {
+                args.disks = value("--disks")?
+                    .parse()
+                    .map_err(|e| format!("--disks: {e}"))?;
+            }
+            "--strategy" => args.strategy = value("--strategy")?,
+            "--disk-bw-mb" => {
+                args.disk_bw_mb = Some(
+                    value("--disk-bw-mb")?
+                        .parse()
+                        .map_err(|e| format!("--disk-bw-mb: {e}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.listen.is_empty() || args.data.is_empty() {
+        return Err("--listen and --data are required".to_string());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("pangead: {e}\n{USAGE}");
+            exit(2);
+        }
+    };
+    let mut config = NodeConfig::new(&args.data)
+        .with_pool_capacity(args.pool_mb * pangea_common::MB)
+        .with_page_size(args.page_kb * pangea_common::KB)
+        .with_disks(args.disks)
+        .with_strategy(&args.strategy);
+    if let Some(bw) = args.disk_bw_mb {
+        config = config.with_disk_bandwidth(bw * pangea_common::MB as u64);
+    }
+    let node = match StorageNode::new(config) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("pangead: cannot start storage node: {e}");
+            exit(1);
+        }
+    };
+    let server = match PangeadServer::bind(node, &args.listen) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pangead: cannot bind {}: {e}", args.listen);
+            exit(1);
+        }
+    };
+    println!(
+        "pangead listening on {} (data: {}, pool: {} MB, pages: {} KB, strategy: {})",
+        server.local_addr(),
+        args.data,
+        args.pool_mb,
+        args.page_kb,
+        args.strategy
+    );
+    // Serve until killed: park the main thread while the accept loop runs.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,252 @@
+//! A thin synchronous client for `pangead`.
+//!
+//! One client owns one connection and issues framed request/response
+//! round trips. Typed methods mirror the paper's node API (`createSet`,
+//! `addObject`, page iteration, shuffle) so an application can talk to a
+//! remote node with the same vocabulary it uses in-process.
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{Request, Response};
+use pangea_common::{IoStats, PageNum, PangeaError, Result};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// Counter snapshot reported by a remote node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteStats {
+    /// Payload bytes the remote daemon received.
+    pub net_bytes: u64,
+    /// Wire payload messages the remote daemon handled.
+    pub net_messages: u64,
+    /// Bytes the remote node read from its disks.
+    pub disk_read_bytes: u64,
+    /// Bytes the remote node wrote to its disks.
+    pub disk_write_bytes: u64,
+}
+
+/// A connected `pangead` client.
+#[derive(Debug)]
+pub struct PangeaClient {
+    stream: TcpStream,
+    addr: SocketAddr,
+    stats: Arc<IoStats>,
+}
+
+impl PangeaClient {
+    /// Connects to a `pangead` at `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let addr = stream.peer_addr()?;
+        Ok(Self {
+            stream,
+            addr,
+            stats: Arc::new(IoStats::new()),
+        })
+    }
+
+    /// The server's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Client-side wire counters (serialized request/response bytes).
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// One framed round trip; error responses become [`PangeaError::Remote`].
+    pub fn call(&mut self, req: &Request) -> Result<Response> {
+        let encoded = req.encode();
+        self.stats
+            .record_serialization(encoded.len() + crate::frame::FRAME_OVERHEAD);
+        write_frame(&mut self.stream, &encoded)?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            PangeaError::Io(Arc::new(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-request",
+            )))
+        })?;
+        self.stats
+            .record_serialization(payload.len() + crate::frame::FRAME_OVERHEAD);
+        Response::decode(&payload)?.into_result()
+    }
+
+    fn unexpected(resp: Response) -> PangeaError {
+        PangeaError::Remote(format!("unexpected response: {resp:?}"))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call(&Request::Ping)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// `createSet(name, durability)` on the remote node; returns the raw
+    /// remote set id.
+    pub fn create_set(
+        &mut self,
+        name: &str,
+        durability: &str,
+        page_size: Option<usize>,
+    ) -> Result<u64> {
+        let req = Request::CreateSet {
+            name: name.to_string(),
+            durability: durability.to_string(),
+            page_size: page_size.map(|p| p as u64),
+        };
+        match self.call(&req)? {
+            Response::Created { set } => Ok(set),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Appends records through the remote sequential write service.
+    pub fn append<R: AsRef<[u8]>>(&mut self, set: &str, records: &[R]) -> Result<u64> {
+        let payload_bytes: usize = records.iter().map(|r| r.as_ref().len()).sum();
+        let req = Request::Append {
+            set: set.to_string(),
+            records: records.iter().map(|r| r.as_ref().to_vec()).collect(),
+        };
+        match self.call(&req)? {
+            Response::Appended { records } => {
+                self.stats.record_net(payload_bytes);
+                Ok(records)
+            }
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// The remote set's dense page ordinals.
+    pub fn page_numbers(&mut self, set: &str) -> Result<Vec<PageNum>> {
+        let req = Request::PageNumbers {
+            set: set.to_string(),
+        };
+        match self.call(&req)? {
+            Response::Pages { nums } => Ok(nums),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Fetches one remote page's raw bytes (the recovery read path).
+    pub fn fetch_page(&mut self, set: &str, num: PageNum) -> Result<Vec<u8>> {
+        let req = Request::FetchPage {
+            set: set.to_string(),
+            num,
+        };
+        match self.call(&req)? {
+            Response::Page { bytes } => {
+                self.stats.record_net(bytes.len());
+                Ok(bytes)
+            }
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Reads every record of a remote set, in storage order.
+    pub fn scan(&mut self, set: &str) -> Result<Vec<Vec<u8>>> {
+        let req = Request::Scan {
+            set: set.to_string(),
+        };
+        match self.call(&req)? {
+            Response::Records { records } => {
+                let bytes: usize = records.iter().map(Vec::len).sum();
+                self.stats.record_net(bytes);
+                Ok(records)
+            }
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Creates a remote shuffle service.
+    pub fn shuffle_create(
+        &mut self,
+        name: &str,
+        partitions: u32,
+        page_size: Option<usize>,
+    ) -> Result<()> {
+        let req = Request::ShuffleCreate {
+            name: name.to_string(),
+            partitions,
+            page_size: page_size.map(|p| p as u64),
+        };
+        match self.call(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Sends records to one partition of a remote shuffle.
+    pub fn shuffle_send<R: AsRef<[u8]>>(
+        &mut self,
+        name: &str,
+        partition: u32,
+        records: &[R],
+    ) -> Result<u64> {
+        let payload_bytes: usize = records.iter().map(|r| r.as_ref().len()).sum();
+        let req = Request::ShuffleSend {
+            name: name.to_string(),
+            partition,
+            records: records.iter().map(|r| r.as_ref().to_vec()).collect(),
+        };
+        match self.call(&req)? {
+            Response::Appended { records } => {
+                self.stats.record_net(payload_bytes);
+                Ok(records)
+            }
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Seals a remote shuffle's in-progress pages.
+    pub fn shuffle_finish(&mut self, name: &str) -> Result<()> {
+        let req = Request::ShuffleFinish {
+            name: name.to_string(),
+        };
+        match self.call(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Raw transport delivery; returns the acknowledged byte count after
+    /// verifying the server's digest. Mostly diagnostic.
+    pub fn deliver(&mut self, payload: &[u8]) -> Result<u64> {
+        let req = Request::Deliver {
+            from: u32::MAX,
+            payload: payload.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::Delivered { len, checksum } => {
+                if len != payload.len() as u64 || checksum != pangea_common::fx_hash64(payload) {
+                    return Err(PangeaError::Corruption(format!(
+                        "delivery ack digest mismatch for a {} B payload",
+                        payload.len()
+                    )));
+                }
+                Ok(len)
+            }
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// The remote node's counter snapshot.
+    pub fn remote_stats(&mut self) -> Result<RemoteStats> {
+        match self.call(&Request::Stats)? {
+            Response::Stats {
+                net_bytes,
+                net_messages,
+                disk_read_bytes,
+                disk_write_bytes,
+            } => Ok(RemoteStats {
+                net_bytes,
+                net_messages,
+                disk_read_bytes,
+                disk_write_bytes,
+            }),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Length-prefixed wire framing.
+//!
+//! One frame is a `u32` little-endian payload length followed by the
+//! payload bytes — the same self-framing layout `pangea_common::codec`
+//! uses inside pages, lifted onto a byte stream. Frames larger than
+//! [`MAX_FRAME`] are rejected on both sides: on send as an API misuse, on
+//! receive as corruption (a desynchronized or malicious peer), so a bad
+//! length prefix can never make a reader allocate gigabytes.
+
+use pangea_common::{PangeaError, Result};
+use std::io::{Read, Write};
+
+/// Upper bound on one frame's payload. Generous relative to page sizes
+/// (the largest legitimate message is a page fetch or an append batch).
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Bytes of framing overhead per frame (the length prefix).
+pub const FRAME_OVERHEAD: usize = 4;
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(PangeaError::usage(format!(
+            "frame of {} B exceeds the {MAX_FRAME} B limit",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame's payload.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (EOF exactly at a frame
+/// boundary — how a peer hangs up). EOF in the *middle* of a frame, or a
+/// length prefix above [`MAX_FRAME`], is corruption.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; FRAME_OVERHEAD];
+    match read_exact_or_eof(r, &mut prefix)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Partial(got) => {
+            return Err(PangeaError::Corruption(format!(
+                "stream ended {got} B into a frame length prefix"
+            )));
+        }
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(PangeaError::Corruption(format!(
+            "frame length {len} B exceeds the {MAX_FRAME} B limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            PangeaError::Corruption(format!("stream ended inside a frame expecting {len} B"))
+        } else {
+            PangeaError::from(e)
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+enum ReadOutcome {
+    /// The buffer was filled.
+    Full,
+    /// EOF before the first byte.
+    Eof,
+    /// EOF after some bytes (count carried).
+    Partial(usize),
+}
+
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::Eof),
+            Ok(0) => return Ok(ReadOutcome::Partial(filled)),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        for len in [0usize, 1, 7, 4096, 100_000] {
+            let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &payload).unwrap();
+            assert_eq!(buf.len(), FRAME_OVERHEAD + len);
+            let got = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+            assert_eq!(got, payload);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(read_frame(&mut Cursor::new(&[])).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_prefix_is_corruption() {
+        let buf = [9u8, 0, 0]; // 3 of 4 prefix bytes
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf)),
+            Err(PangeaError::Corruption(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_corruption() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"full payload").unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf)),
+            Err(PangeaError::Corruption(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocation() {
+        let mut buf = (u32::MAX).to_le_bytes().to_vec();
+        buf.extend_from_slice(b"junk");
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf)),
+            Err(PangeaError::Corruption(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_send_rejected() {
+        // Zero-filled huge payload; write must refuse before any I/O.
+        let payload = vec![0u8; MAX_FRAME + 1];
+        let mut out = Vec::new();
+        assert!(matches!(
+            write_frame(&mut out, &payload),
+            Err(PangeaError::InvalidUsage(_))
+        ));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn back_to_back_frames_parse_in_order() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame(&mut buf, b"two").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"one");
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"two");
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cur).unwrap().is_none());
+    }
+}

@@ -1,0 +1,45 @@
+//! # pangea-net
+//!
+//! The wire layer of the Pangea reproduction: everything between the
+//! distributed logic in `pangea-cluster` and actual bytes on a socket.
+//!
+//! The original repository substituted the paper's cluster interconnect
+//! with an in-process simulation (`SimNetwork`; DESIGN.md §2). This crate
+//! turns that substitution into a *seam*:
+//!
+//! * [`Transport`] — the trait capturing what the simulation provided: a
+//!   synchronous, `NodeId`-addressed, byte-counted, optionally throttled
+//!   transfer. `SimNetwork` is one implementation; [`TcpTransport`] is
+//!   the real one. Cluster dispatch, replication, and recovery are
+//!   generic over it.
+//! * [`frame`] — length-prefixed binary framing over a byte stream (the
+//!   page codec's layout lifted onto sockets), with oversized-frame
+//!   rejection on both sides.
+//! * [`proto`] — the request/response protocol for the core node
+//!   operations: create set, append, page enumeration/fetch (recovery),
+//!   scan, shuffle send, raw delivery, stats.
+//! * [`Pangead`] / [`PangeadServer`] — the node daemon: a [`StorageNode`]
+//!   served behind the protocol (also available as the `pangead` binary).
+//! * [`PangeaClient`] — a thin typed client over one connection.
+//!
+//! Byte accounting is designed for comparability: every transport counts
+//! *payload* bytes in `IoStats::record_net` (framing and protocol headers
+//! are charged as serialization), so a workload measured over TCP
+//! reports the same net-byte volume as the same workload on the
+//! simulation.
+//!
+//! [`StorageNode`]: pangea_core::StorageNode
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+pub mod tcp;
+pub mod transport;
+
+pub use client::{PangeaClient, RemoteStats};
+pub use frame::{FRAME_OVERHEAD, MAX_FRAME};
+pub use proto::{Request, Response};
+pub use server::{Pangead, PangeadServer};
+pub use tcp::TcpTransport;
+pub use transport::Transport;

@@ -1,0 +1,548 @@
+//! The pangead request/response protocol.
+//!
+//! Messages cover the core node operations the cluster layer needs from a
+//! remote peer: set creation, sequential append, page enumeration and
+//! fetch (the recovery read path), full scans, shuffle receive, the raw
+//! transport delivery used by [`crate::TcpTransport::transfer`], and a
+//! statistics probe. Encoding reuses `pangea_common::codec`: every field
+//! is a length-prefixed record in a [`ByteWriter`] stream, so the wire
+//! format inherits the codec's self-framing and its truncation checks.
+//! One encoded message travels inside one [`crate::frame`] frame.
+
+use pangea_common::{ByteReader, ByteWriter, PangeaError, Result};
+
+/// A client/cluster → pangead message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// `createSet(name, durability)` with an optional page-size override
+    /// (`None` uses the serving node's default).
+    CreateSet {
+        /// Locality-set name, unique per node.
+        name: String,
+        /// `"write-through"` or `"write-back"` (the paper's string form).
+        durability: String,
+        /// Page size override in bytes.
+        page_size: Option<u64>,
+    },
+    /// Appends records through the sequential write service.
+    Append {
+        /// Target locality set.
+        set: String,
+        /// Record payloads, written in order.
+        records: Vec<Vec<u8>>,
+    },
+    /// Enumerates a set's page ordinals (dense).
+    PageNumbers {
+        /// Target locality set.
+        set: String,
+    },
+    /// Fetches one page's raw bytes — the recovery read path.
+    FetchPage {
+        /// Target locality set.
+        set: String,
+        /// Page ordinal.
+        num: u64,
+    },
+    /// Reads every record of a set through the sequential read service.
+    Scan {
+        /// Target locality set.
+        set: String,
+    },
+    /// Creates a shuffle service (`partitions` write-back locality sets
+    /// named `<name>.part<i>`).
+    ShuffleCreate {
+        /// Shuffle name.
+        name: String,
+        /// Partition count.
+        partitions: u32,
+        /// Big-page size override in bytes.
+        page_size: Option<u64>,
+    },
+    /// Delivers shuffle records for one partition (the shuffle-send of a
+    /// remote mapper).
+    ShuffleSend {
+        /// Shuffle name.
+        name: String,
+        /// Destination partition.
+        partition: u32,
+        /// Record payloads.
+        records: Vec<Vec<u8>>,
+    },
+    /// Seals all in-progress shuffle pages after the mappers finish.
+    ShuffleFinish {
+        /// Shuffle name.
+        name: String,
+    },
+    /// Raw transport delivery: the byte-move primitive behind
+    /// `Transport::transfer`. The receiver acknowledges with the payload.
+    Deliver {
+        /// Sending node (`u32::MAX` = external client).
+        from: u32,
+        /// Opaque payload.
+        payload: Vec<u8>,
+    },
+    /// Reads the serving node's I/O counters.
+    Stats,
+}
+
+/// A pangead → client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success without payload.
+    Ok,
+    /// Set created; carries the node-local set id.
+    Created {
+        /// Raw `SetId` on the serving node.
+        set: u64,
+    },
+    /// Records appended.
+    Appended {
+        /// Number of records written.
+        records: u64,
+    },
+    /// Page enumeration.
+    Pages {
+        /// Dense page ordinals.
+        nums: Vec<u64>,
+    },
+    /// One page's raw bytes.
+    Page {
+        /// The page image.
+        bytes: Vec<u8>,
+    },
+    /// Scanned records, in storage order.
+    Records {
+        /// Record payloads.
+        records: Vec<Vec<u8>>,
+    },
+    /// Acknowledged raw delivery. Carries a digest rather than echoing
+    /// the payload, so an ack costs a few bytes instead of doubling the
+    /// wire traffic of every transfer.
+    Delivered {
+        /// Bytes received.
+        len: u64,
+        /// `fx_hash64` of the received payload (integrity check).
+        checksum: u64,
+    },
+    /// Counter snapshot of the serving node.
+    Stats {
+        /// Payload bytes received over the wire by this server.
+        net_bytes: u64,
+        /// Wire messages handled.
+        net_messages: u64,
+        /// Bytes read from the node's disks.
+        disk_read_bytes: u64,
+        /// Bytes written to the node's disks.
+        disk_write_bytes: u64,
+    },
+    /// The operation failed on the serving node.
+    Err {
+        /// Display form of the remote error.
+        message: String,
+    },
+}
+
+// Opcodes. Stable over the protocol's life; add, never renumber.
+const REQ_PING: u64 = 1;
+const REQ_CREATE_SET: u64 = 2;
+const REQ_APPEND: u64 = 3;
+const REQ_PAGE_NUMBERS: u64 = 4;
+const REQ_FETCH_PAGE: u64 = 5;
+const REQ_SCAN: u64 = 6;
+const REQ_SHUFFLE_CREATE: u64 = 7;
+const REQ_SHUFFLE_SEND: u64 = 8;
+const REQ_SHUFFLE_FINISH: u64 = 9;
+const REQ_DELIVER: u64 = 10;
+const REQ_STATS: u64 = 11;
+
+const RESP_OK: u64 = 1;
+const RESP_CREATED: u64 = 2;
+const RESP_APPENDED: u64 = 3;
+const RESP_PAGES: u64 = 4;
+const RESP_PAGE: u64 = 5;
+const RESP_RECORDS: u64 = 6;
+const RESP_DELIVERED: u64 = 7;
+const RESP_STATS: u64 = 8;
+const RESP_ERR: u64 = 9;
+
+fn put_list(w: &mut ByteWriter, items: &[Vec<u8>]) {
+    w.write_record(&(items.len() as u64));
+    for item in items {
+        w.write_bytes(item);
+    }
+}
+
+fn get_list(r: &mut ByteReader<'_>) -> Result<Vec<Vec<u8>>> {
+    let n: u64 = r.read_record()?;
+    let mut out = Vec::with_capacity(n.min(1 << 20) as usize);
+    for _ in 0..n {
+        out.push(r.read_bytes()?.to_vec());
+    }
+    Ok(out)
+}
+
+fn put_opt_u64(w: &mut ByteWriter, v: Option<u64>) {
+    // 0 marks "absent"; legitimate values here (page sizes) are never 0.
+    w.write_record(&v.unwrap_or(0));
+}
+
+fn get_opt_u64(r: &mut ByteReader<'_>) -> Result<Option<u64>> {
+    let v: u64 = r.read_record()?;
+    Ok(if v == 0 { None } else { Some(v) })
+}
+
+fn bad_opcode(kind: &str, op: u64) -> PangeaError {
+    PangeaError::Corruption(format!("unknown {kind} opcode {op}"))
+}
+
+impl Request {
+    /// Encodes this request into one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Self::Ping => w.write_record(&REQ_PING),
+            Self::CreateSet {
+                name,
+                durability,
+                page_size,
+            } => {
+                w.write_record(&REQ_CREATE_SET);
+                w.write_record(name);
+                w.write_record(durability);
+                put_opt_u64(&mut w, *page_size);
+            }
+            Self::Append { set, records } => {
+                w.write_record(&REQ_APPEND);
+                w.write_record(set);
+                put_list(&mut w, records);
+            }
+            Self::PageNumbers { set } => {
+                w.write_record(&REQ_PAGE_NUMBERS);
+                w.write_record(set);
+            }
+            Self::FetchPage { set, num } => {
+                w.write_record(&REQ_FETCH_PAGE);
+                w.write_record(set);
+                w.write_record(num);
+            }
+            Self::Scan { set } => {
+                w.write_record(&REQ_SCAN);
+                w.write_record(set);
+            }
+            Self::ShuffleCreate {
+                name,
+                partitions,
+                page_size,
+            } => {
+                w.write_record(&REQ_SHUFFLE_CREATE);
+                w.write_record(name);
+                w.write_record(&(*partitions as u64));
+                put_opt_u64(&mut w, *page_size);
+            }
+            Self::ShuffleSend {
+                name,
+                partition,
+                records,
+            } => {
+                w.write_record(&REQ_SHUFFLE_SEND);
+                w.write_record(name);
+                w.write_record(&(*partition as u64));
+                put_list(&mut w, records);
+            }
+            Self::ShuffleFinish { name } => {
+                w.write_record(&REQ_SHUFFLE_FINISH);
+                w.write_record(name);
+            }
+            Self::Deliver { from, payload } => {
+                w.write_record(&REQ_DELIVER);
+                w.write_record(&(*from as u64));
+                w.write_bytes(payload);
+            }
+            Self::Stats => w.write_record(&REQ_STATS),
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a request from one frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let op: u64 = r.read_record()?;
+        Ok(match op {
+            REQ_PING => Self::Ping,
+            REQ_CREATE_SET => Self::CreateSet {
+                name: r.read_record()?,
+                durability: r.read_record()?,
+                page_size: get_opt_u64(&mut r)?,
+            },
+            REQ_APPEND => Self::Append {
+                set: r.read_record()?,
+                records: get_list(&mut r)?,
+            },
+            REQ_PAGE_NUMBERS => Self::PageNumbers {
+                set: r.read_record()?,
+            },
+            REQ_FETCH_PAGE => Self::FetchPage {
+                set: r.read_record()?,
+                num: r.read_record()?,
+            },
+            REQ_SCAN => Self::Scan {
+                set: r.read_record()?,
+            },
+            REQ_SHUFFLE_CREATE => Self::ShuffleCreate {
+                name: r.read_record()?,
+                partitions: r.read_record::<u64>()? as u32,
+                page_size: get_opt_u64(&mut r)?,
+            },
+            REQ_SHUFFLE_SEND => Self::ShuffleSend {
+                name: r.read_record()?,
+                partition: r.read_record::<u64>()? as u32,
+                records: get_list(&mut r)?,
+            },
+            REQ_SHUFFLE_FINISH => Self::ShuffleFinish {
+                name: r.read_record()?,
+            },
+            REQ_DELIVER => Self::Deliver {
+                from: r.read_record::<u64>()? as u32,
+                payload: r.read_bytes()?.to_vec(),
+            },
+            REQ_STATS => Self::Stats,
+            other => return Err(bad_opcode("request", other)),
+        })
+    }
+}
+
+impl Response {
+    /// Encodes this response into one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Self::Ok => w.write_record(&RESP_OK),
+            Self::Created { set } => {
+                w.write_record(&RESP_CREATED);
+                w.write_record(set);
+            }
+            Self::Appended { records } => {
+                w.write_record(&RESP_APPENDED);
+                w.write_record(records);
+            }
+            Self::Pages { nums } => {
+                w.write_record(&RESP_PAGES);
+                w.write_record(&(nums.len() as u64));
+                for n in nums {
+                    w.write_record(n);
+                }
+            }
+            Self::Page { bytes } => {
+                w.write_record(&RESP_PAGE);
+                w.write_bytes(bytes);
+            }
+            Self::Records { records } => {
+                w.write_record(&RESP_RECORDS);
+                put_list(&mut w, records);
+            }
+            Self::Delivered { len, checksum } => {
+                w.write_record(&RESP_DELIVERED);
+                w.write_record(len);
+                w.write_record(checksum);
+            }
+            Self::Stats {
+                net_bytes,
+                net_messages,
+                disk_read_bytes,
+                disk_write_bytes,
+            } => {
+                w.write_record(&RESP_STATS);
+                w.write_record(net_bytes);
+                w.write_record(net_messages);
+                w.write_record(disk_read_bytes);
+                w.write_record(disk_write_bytes);
+            }
+            Self::Err { message } => {
+                w.write_record(&RESP_ERR);
+                w.write_record(message);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a response from one frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let op: u64 = r.read_record()?;
+        Ok(match op {
+            RESP_OK => Self::Ok,
+            RESP_CREATED => Self::Created {
+                set: r.read_record()?,
+            },
+            RESP_APPENDED => Self::Appended {
+                records: r.read_record()?,
+            },
+            RESP_PAGES => {
+                let n: u64 = r.read_record()?;
+                let mut nums = Vec::with_capacity(n.min(1 << 20) as usize);
+                for _ in 0..n {
+                    nums.push(r.read_record()?);
+                }
+                Self::Pages { nums }
+            }
+            RESP_PAGE => Self::Page {
+                bytes: r.read_bytes()?.to_vec(),
+            },
+            RESP_RECORDS => Self::Records {
+                records: get_list(&mut r)?,
+            },
+            RESP_DELIVERED => Self::Delivered {
+                len: r.read_record()?,
+                checksum: r.read_record()?,
+            },
+            RESP_STATS => Self::Stats {
+                net_bytes: r.read_record()?,
+                net_messages: r.read_record()?,
+                disk_read_bytes: r.read_record()?,
+                disk_write_bytes: r.read_record()?,
+            },
+            RESP_ERR => Self::Err {
+                message: r.read_record()?,
+            },
+            other => return Err(bad_opcode("response", other)),
+        })
+    }
+
+    /// Converts an error response into `Err`, passing others through.
+    pub fn into_result(self) -> Result<Response> {
+        match self {
+            Self::Err { message } => Err(PangeaError::Remote(message)),
+            other => Ok(other),
+        }
+    }
+}
+
+/// Encodes a [`PangeaError`] as the wire error response.
+pub fn error_response(e: &PangeaError) -> Response {
+    Response::Err {
+        message: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(r: Request) {
+        assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+
+    fn roundtrip_resp(r: Response) {
+        assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::CreateSet {
+            name: "events".into(),
+            durability: "write-back".into(),
+            page_size: Some(4096),
+        });
+        roundtrip_req(Request::CreateSet {
+            name: "u".into(),
+            durability: "write-through".into(),
+            page_size: None,
+        });
+        roundtrip_req(Request::Append {
+            set: "events".into(),
+            records: vec![b"a".to_vec(), vec![], b"ccc".to_vec()],
+        });
+        roundtrip_req(Request::PageNumbers { set: "s".into() });
+        roundtrip_req(Request::FetchPage {
+            set: "s".into(),
+            num: 17,
+        });
+        roundtrip_req(Request::Scan { set: "s".into() });
+        roundtrip_req(Request::ShuffleCreate {
+            name: "wc".into(),
+            partitions: 8,
+            page_size: None,
+        });
+        roundtrip_req(Request::ShuffleSend {
+            name: "wc".into(),
+            partition: 3,
+            records: vec![b"k|1".to_vec()],
+        });
+        roundtrip_req(Request::ShuffleFinish { name: "wc".into() });
+        roundtrip_req(Request::Deliver {
+            from: u32::MAX,
+            payload: vec![0, 1, 2, 255],
+        });
+        roundtrip_req(Request::Stats);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::Created { set: 9 });
+        roundtrip_resp(Response::Appended { records: 1000 });
+        roundtrip_resp(Response::Pages {
+            nums: vec![0, 1, 2, 9],
+        });
+        roundtrip_resp(Response::Page {
+            bytes: vec![7; 4096],
+        });
+        roundtrip_resp(Response::Records {
+            records: vec![b"x".to_vec(), b"yy".to_vec()],
+        });
+        roundtrip_resp(Response::Delivered {
+            len: 3,
+            checksum: 0x1234_5678_9abc_def0,
+        });
+        roundtrip_resp(Response::Stats {
+            net_bytes: 1,
+            net_messages: 2,
+            disk_read_bytes: 3,
+            disk_write_bytes: 4,
+        });
+        roundtrip_resp(Response::Err {
+            message: "set 'x' missing".into(),
+        });
+    }
+
+    #[test]
+    fn unknown_opcodes_are_corruption() {
+        let mut w = pangea_common::ByteWriter::new();
+        w.write_record(&999u64);
+        assert!(matches!(
+            Request::decode(w.as_bytes()),
+            Err(PangeaError::Corruption(_))
+        ));
+        assert!(matches!(
+            Response::decode(w.as_bytes()),
+            Err(PangeaError::Corruption(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_message_is_an_error() {
+        let enc = Request::Append {
+            set: "s".into(),
+            records: vec![b"abc".to_vec()],
+        }
+        .encode();
+        for cut in 1..enc.len() {
+            assert!(
+                Request::decode(&enc[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn err_response_converts_to_remote_error() {
+        let r = error_response(&PangeaError::usage("nope"));
+        match r.into_result() {
+            Err(PangeaError::Remote(m)) => assert!(m.contains("nope")),
+            other => panic!("expected Remote error, got {other:?}"),
+        }
+    }
+}

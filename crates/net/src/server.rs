@@ -1,0 +1,442 @@
+//! `pangead` — the Pangea node daemon.
+//!
+//! Wraps one [`StorageNode`] behind the [`crate::proto`] protocol: a
+//! blocking accept loop hands each connection to a handler thread that
+//! reads framed requests until the peer hangs up. The request dispatch
+//! itself ([`Pangead::handle`]) is pure request → response and does not
+//! know about sockets, so it is testable (and reusable) without any
+//! networking.
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{error_response, Request, Response};
+use pangea_common::{FxHashMap, IoStats, PangeaError, PartitionId, Result};
+use pangea_core::{ObjectIter, SetOptions, ShuffleConfig, ShuffleService, StorageNode};
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The protocol brain of a Pangea node daemon: dispatches decoded
+/// requests against the wrapped [`StorageNode`].
+#[derive(Debug)]
+pub struct Pangead {
+    node: StorageNode,
+    /// Shuffle services created over the wire, by name.
+    shuffles: Mutex<FxHashMap<String, ShuffleService>>,
+    /// Payload bytes and messages received by this daemon.
+    stats: Arc<IoStats>,
+}
+
+impl Pangead {
+    /// Wraps a storage node.
+    pub fn new(node: StorageNode) -> Self {
+        Self {
+            node,
+            shuffles: Mutex::new(FxHashMap::default()),
+            stats: Arc::new(IoStats::new()),
+        }
+    }
+
+    /// The wrapped storage node.
+    pub fn node(&self) -> &StorageNode {
+        &self.node
+    }
+
+    /// Payload bytes received by this daemon (the server-side view of
+    /// the transport's `record_net` accounting).
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// Handles one request, turning node errors into [`Response::Err`].
+    pub fn handle(&self, req: Request) -> Response {
+        match self.dispatch(req) {
+            Ok(resp) => resp,
+            Err(e) => error_response(&e),
+        }
+    }
+
+    fn dispatch(&self, req: Request) -> Result<Response> {
+        match req {
+            Request::Ping => Ok(Response::Ok),
+            Request::CreateSet {
+                name,
+                durability,
+                page_size,
+            } => {
+                let mut options = SetOptions::from_durability_str(&durability)?;
+                if let Some(ps) = page_size {
+                    options = options.with_page_size(ps as usize);
+                }
+                let set = self.node.create_set(&name, options)?;
+                Ok(Response::Created {
+                    set: set.id().raw(),
+                })
+            }
+            Request::Append { set, records } => {
+                let set = self.get_set(&set)?;
+                let mut writer = set.writer();
+                for rec in &records {
+                    self.stats.record_net(rec.len());
+                    writer.add_object(rec)?;
+                }
+                writer.finish()?;
+                Ok(Response::Appended {
+                    records: records.len() as u64,
+                })
+            }
+            Request::PageNumbers { set } => Ok(Response::Pages {
+                nums: self.get_set(&set)?.page_numbers(),
+            }),
+            Request::FetchPage { set, num } => {
+                let set = self.get_set(&set)?;
+                let pin = set.pin_page(num)?;
+                let bytes = pin.read().to_vec();
+                Ok(Response::Page { bytes })
+            }
+            Request::Scan { set } => {
+                let set = self.get_set(&set)?;
+                let mut records = Vec::new();
+                // Refuse (with a protocol error, not a dead socket) once
+                // the reply could no longer fit one frame; large sets are
+                // read page-by-page through FetchPage instead.
+                let budget = crate::frame::MAX_FRAME / 2;
+                let mut bytes = 0usize;
+                for num in set.page_numbers() {
+                    let pin = set.pin_page(num)?;
+                    let mut it = ObjectIter::new(&pin);
+                    while let Some(rec) = it.next() {
+                        bytes += rec.len() + 4;
+                        if bytes > budget {
+                            return Err(PangeaError::usage(format!(
+                                "scan of '{}' exceeds {budget} B in one reply; \
+                                 page through FetchPage instead",
+                                set.name()
+                            )));
+                        }
+                        records.push(rec.to_vec());
+                    }
+                }
+                Ok(Response::Records { records })
+            }
+            Request::ShuffleCreate {
+                name,
+                partitions,
+                page_size,
+            } => {
+                let mut shuffles = self.shuffles.lock();
+                if shuffles.contains_key(&name) {
+                    return Err(PangeaError::usage(format!(
+                        "shuffle '{name}' already exists"
+                    )));
+                }
+                let mut config = ShuffleConfig::new(partitions);
+                if let Some(ps) = page_size {
+                    config = config.with_page_size(ps as usize);
+                }
+                let service = ShuffleService::create(&self.node, &name, config)?;
+                shuffles.insert(name, service);
+                Ok(Response::Ok)
+            }
+            Request::ShuffleSend {
+                name,
+                partition,
+                records,
+            } => {
+                let service = self.get_shuffle(&name)?;
+                let mut buffer = service.virtual_buffer(PartitionId(partition))?;
+                for rec in &records {
+                    self.stats.record_net(rec.len());
+                    buffer.add_object(rec)?;
+                }
+                buffer.flush()?;
+                Ok(Response::Appended {
+                    records: records.len() as u64,
+                })
+            }
+            Request::ShuffleFinish { name } => {
+                self.get_shuffle(&name)?.finish_writes()?;
+                Ok(Response::Ok)
+            }
+            Request::Deliver { from: _, payload } => {
+                self.stats.record_net(payload.len());
+                self.stats.record_copy(payload.len());
+                Ok(Response::Delivered {
+                    len: payload.len() as u64,
+                    checksum: pangea_common::fx_hash64(&payload),
+                })
+            }
+            Request::Stats => {
+                let net = self.stats.snapshot();
+                let disk = self.node.disk_stats().snapshot();
+                Ok(Response::Stats {
+                    net_bytes: net.net_bytes,
+                    net_messages: net.net_messages,
+                    disk_read_bytes: disk.disk_read_bytes,
+                    disk_write_bytes: disk.disk_write_bytes,
+                })
+            }
+        }
+    }
+
+    fn get_set(&self, name: &str) -> Result<pangea_core::LocalitySet> {
+        self.node
+            .get_set(name)
+            .ok_or_else(|| PangeaError::usage(format!("locality set '{name}' not found")))
+    }
+
+    fn get_shuffle(&self, name: &str) -> Result<ShuffleService> {
+        self.shuffles
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PangeaError::usage(format!("shuffle '{name}' not found")))
+    }
+}
+
+/// A running `pangead` server: accept loop plus per-connection handler
+/// threads. Dropping the server shuts the accept loop down.
+#[derive(Debug)]
+pub struct PangeadServer {
+    daemon: Arc<Pangead>,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    /// Clone of the accept socket, used to unblock the accept loop at
+    /// shutdown (switching it to non-blocking) without relying on a
+    /// self-connect that may be firewalled on wildcard binds.
+    listener: TcpListener,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl PangeadServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `node`.
+    pub fn bind(node: StorageNode, addr: impl ToSocketAddrs) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let wake_handle = listener.try_clone()?;
+        let daemon = Arc::new(Pangead::new(node));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let daemon = Arc::clone(&daemon);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name(format!("pangead-accept-{local_addr}"))
+                .spawn(move || accept_loop(listener, daemon, shutdown))?
+        };
+        Ok(Self {
+            daemon,
+            local_addr,
+            shutdown,
+            listener: wake_handle,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The protocol daemon (for inspecting the node or its counters).
+    pub fn daemon(&self) -> &Arc<Pangead> {
+        &self.daemon
+    }
+
+    /// Stops accepting connections and joins the accept loop. Connection
+    /// handler threads finish when their peers hang up.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop: flip the shared socket non-blocking so
+        // the pending accept returns WouldBlock and the loop sees the
+        // flag. The throwaway self-connect is a second wake-up path for
+        // platforms where the mode switch does not interrupt an accept
+        // already in progress.
+        let _ = self.listener.set_nonblocking(true);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PangeadServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, daemon: Arc<Pangead>, shutdown: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Only reachable once shutdown() flips the socket
+                // non-blocking; re-check the flag at the top of the loop.
+                std::thread::yield_now();
+                continue;
+            }
+            Err(_) => continue,
+        };
+        stream.set_nodelay(true).ok();
+        let daemon = Arc::clone(&daemon);
+        let _ = std::thread::Builder::new()
+            .name("pangead-conn".into())
+            .spawn(move || serve_connection(stream, &daemon));
+    }
+}
+
+/// Serves one connection until EOF or a fatal stream error.
+fn serve_connection(mut stream: TcpStream, daemon: &Pangead) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // peer hung up cleanly
+            Err(e) => {
+                // Desynchronized stream: report once, then give up.
+                let _ = write_frame(&mut stream, &error_response(&e).encode());
+                return;
+            }
+        };
+        let response = match Request::decode(&payload) {
+            Ok(req) => daemon.handle(req),
+            Err(e) => error_response(&e),
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangea_core::NodeConfig;
+
+    fn node(tag: &str) -> StorageNode {
+        let dir = std::env::temp_dir().join(format!(
+            "pangea-pangead-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        StorageNode::new(
+            NodeConfig::new(dir)
+                .with_pool_capacity(256 * pangea_common::KB)
+                .with_page_size(4 * pangea_common::KB),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dispatch_covers_the_set_lifecycle() {
+        let d = Pangead::new(node("lifecycle"));
+        let resp = d.handle(Request::CreateSet {
+            name: "events".into(),
+            durability: "write-back".into(),
+            page_size: None,
+        });
+        assert!(matches!(resp, Response::Created { .. }), "{resp:?}");
+        let resp = d.handle(Request::Append {
+            set: "events".into(),
+            records: vec![b"a".to_vec(), b"bb".to_vec()],
+        });
+        assert_eq!(resp, Response::Appended { records: 2 });
+        match d.handle(Request::Scan {
+            set: "events".into(),
+        }) {
+            Response::Records { records } => {
+                assert_eq!(records, vec![b"a".to_vec(), b"bb".to_vec()]);
+            }
+            other => panic!("{other:?}"),
+        }
+        match d.handle(Request::PageNumbers {
+            set: "events".into(),
+        }) {
+            Response::Pages { nums } => assert_eq!(nums, vec![0]),
+            other => panic!("{other:?}"),
+        }
+        match d.handle(Request::FetchPage {
+            set: "events".into(),
+            num: 0,
+        }) {
+            Response::Page { bytes } => assert_eq!(bytes.len(), 4 * pangea_common::KB),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_set_is_a_wire_error() {
+        let d = Pangead::new(node("missing"));
+        match d.handle(Request::Scan { set: "nope".into() }) {
+            Response::Err { message } => assert!(message.contains("nope")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shuffle_over_dispatch() {
+        let d = Pangead::new(node("shuffle"));
+        assert_eq!(
+            d.handle(Request::ShuffleCreate {
+                name: "wc".into(),
+                partitions: 2,
+                page_size: None,
+            }),
+            Response::Ok
+        );
+        d.handle(Request::ShuffleSend {
+            name: "wc".into(),
+            partition: 0,
+            records: vec![b"alpha".to_vec()],
+        });
+        d.handle(Request::ShuffleSend {
+            name: "wc".into(),
+            partition: 1,
+            records: vec![b"beta".to_vec(), b"gamma".to_vec()],
+        });
+        assert_eq!(
+            d.handle(Request::ShuffleFinish { name: "wc".into() }),
+            Response::Ok
+        );
+        match d.handle(Request::Scan {
+            set: "wc.part1".into(),
+        }) {
+            Response::Records { records } => {
+                assert_eq!(records, vec![b"beta".to_vec(), b"gamma".to_vec()]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn deliver_counts_payload_bytes() {
+        let d = Pangead::new(node("deliver"));
+        let resp = d.handle(Request::Deliver {
+            from: 0,
+            payload: vec![9; 128],
+        });
+        assert_eq!(
+            resp,
+            Response::Delivered {
+                len: 128,
+                checksum: pangea_common::fx_hash64(&[9; 128]),
+            }
+        );
+        assert_eq!(d.stats().snapshot().net_bytes, 128);
+    }
+
+    #[test]
+    fn server_binds_and_shuts_down() {
+        let mut server = PangeadServer::bind(node("bind"), "127.0.0.1:0").unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+}

@@ -1,0 +1,66 @@
+//! The [`Transport`] trait — the seam between Pangea's distributed logic
+//! and the wire that carries it.
+//!
+//! Historically the cluster talked through `SimNetwork` directly (an
+//! in-process byte-counted channel; DESIGN.md §2). This trait captures
+//! exactly what that substitution provided — a synchronous, addressed,
+//! byte-counted, optionally throttled transfer — so that dispatch,
+//! replication, and recovery in `pangea-cluster` run unchanged over
+//! either the in-process simulation or a real TCP interconnect
+//! ([`crate::TcpTransport`]). Because every implementation funds the same
+//! [`IoStats`] counters with *payload* bytes, figures measured on the
+//! simulation stay comparable with runs over the real wire (framing
+//! overhead is accounted separately, as serialization).
+
+use pangea_common::{IoStats, NodeId, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// A cluster interconnect: moves opaque payloads between nodes,
+/// charging byte-accounting and (optionally) bandwidth pacing.
+///
+/// # Contract
+///
+/// * `transfer` is synchronous and returns the bytes as delivered to the
+///   destination (implementations may round-trip them through a remote
+///   process; the caller treats the result as the received copy).
+/// * Local deliveries (`from == to`) are free — Pangea reads local pages
+///   through shared memory (paper §5) — and must not touch the counters.
+/// * Remote deliveries record exactly `payload.len()` bytes in
+///   [`IoStats::record_net`] so that byte counts are comparable across
+///   implementations. Wire overhead (framing, protocol headers) must be
+///   recorded as serialization, never as net bytes.
+pub trait Transport: fmt::Debug + Send + Sync {
+    /// Transfers `payload` from `from` to `to`, returning the delivered
+    /// bytes.
+    fn transfer(&self, from: NodeId, to: NodeId, payload: &[u8]) -> Result<Vec<u8>>;
+
+    /// The transport's traffic counters.
+    fn stats(&self) -> &Arc<IoStats>;
+
+    /// A short human-readable name for diagnostics (`"sim"`, `"tcp"`).
+    fn kind(&self) -> &'static str;
+
+    /// Total payload bytes moved across the wire so far.
+    fn bytes_moved(&self) -> u64 {
+        self.stats().snapshot().net_bytes
+    }
+}
+
+impl<T: Transport + ?Sized> Transport for Arc<T> {
+    fn transfer(&self, from: NodeId, to: NodeId, payload: &[u8]) -> Result<Vec<u8>> {
+        (**self).transfer(from, to, payload)
+    }
+
+    fn stats(&self) -> &Arc<IoStats> {
+        (**self).stats()
+    }
+
+    fn kind(&self) -> &'static str {
+        (**self).kind()
+    }
+
+    fn bytes_moved(&self) -> u64 {
+        (**self).bytes_moved()
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests over the wire framing and the protocol codec:
+//! round-trips for arbitrary payloads, corruption on truncation at every
+//! boundary, and oversized-frame rejection.
+
+use pangea_common::PangeaError;
+use pangea_net::frame::{read_frame, write_frame, FRAME_OVERHEAD, MAX_FRAME};
+use pangea_net::{Request, Response};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+proptest! {
+    /// Any sequence of payloads frames and unframes identically, in
+    /// order, consuming exactly the overhead the contract names.
+    #[test]
+    fn frames_roundtrip_in_order(
+        payloads in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 0..512),
+            0..20,
+        )
+    ) {
+        let mut buf = Vec::new();
+        for p in &payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let total: usize = payloads.iter().map(|p| p.len() + FRAME_OVERHEAD).sum();
+        prop_assert_eq!(buf.len(), total);
+        let mut cur = Cursor::new(&buf);
+        for p in &payloads {
+            prop_assert_eq!(&read_frame(&mut cur).unwrap().unwrap(), p);
+        }
+        prop_assert!(read_frame(&mut cur).unwrap().is_none());
+    }
+
+    /// Truncating a framed stream anywhere inside the final frame turns
+    /// into a corruption error, never a short or garbled payload.
+    #[test]
+    fn truncation_is_always_corruption(
+        payload in prop::collection::vec(any::<u8>(), 1..256),
+        cut_fraction in 0usize..100,
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let cut = 1 + cut_fraction * (buf.len() - 1) / 100; // 1..buf.len()
+        if cut < buf.len() {
+            let mut cur = Cursor::new(&buf[..cut]);
+            match read_frame(&mut cur) {
+                Err(PangeaError::Corruption(_)) => {}
+                other => prop_assert!(false, "cut at {cut}: {other:?}"),
+            }
+        }
+    }
+
+    /// A length prefix above MAX_FRAME is rejected before any payload
+    /// allocation, whatever follows it on the stream.
+    #[test]
+    fn oversized_prefix_rejected(
+        excess in 1u64..1_000_000,
+        junk in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let len = (MAX_FRAME as u64 + excess).min(u32::MAX as u64) as u32;
+        let mut buf = len.to_le_bytes().to_vec();
+        buf.extend_from_slice(&junk);
+        match read_frame(&mut Cursor::new(&buf)) {
+            Err(PangeaError::Corruption(m)) => prop_assert!(m.contains("exceeds")),
+            other => prop_assert!(false, "{other:?}"),
+        }
+    }
+
+    /// Protocol messages survive the trip through encode → frame →
+    /// unframe → decode for arbitrary record batches.
+    #[test]
+    fn protocol_roundtrips_through_frames(
+        set in prop::collection::vec(any::<u8>(), 1..16),
+        records in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 0..128),
+            0..32,
+        ),
+    ) {
+        let set = set.iter().map(|b| (b'a' + b % 26) as char).collect::<String>();
+        let req = Request::Append { set, records: records.clone() };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req.encode()).unwrap();
+        let unframed = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+        prop_assert_eq!(Request::decode(&unframed).unwrap(), req);
+
+        let resp = Response::Records { records };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp.encode()).unwrap();
+        let unframed = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+        prop_assert_eq!(Response::decode(&unframed).unwrap(), resp);
+    }
+}

@@ -247,7 +247,11 @@ mod tests {
 
     #[test]
     fn writing_sets_lose_one_page_reading_sets_ten_percent() {
-        let mk_pages = || (0..30).map(|i| pv(1, i, i, true, false)).collect::<Vec<_>>();
+        let mk_pages = || {
+            (0..30)
+                .map(|i| pv(1, i, i, true, false))
+                .collect::<Vec<_>>()
+        };
         let mut s = DataAwareStrategy::new();
         s.update_set(
             SetId(1),

@@ -64,9 +64,7 @@ impl DbminStrategy {
                 let raw = match (profile.reading, profile.op) {
                     // Loop-sequential (read sets are re-scanned in analytics
                     // dataflows): QLSM wants the full set resident.
-                    (Some(ReadPattern::Sequential), _) => {
-                        profile.estimated_pages.unwrap_or(1)
-                    }
+                    (Some(ReadPattern::Sequential), _) => profile.estimated_pages.unwrap_or(1),
                     // Random access: working set ≈ the set size (hash data
                     // is fully live while the aggregation runs).
                     (Some(ReadPattern::Random), _) => profile.estimated_pages.unwrap_or(100),
@@ -139,7 +137,13 @@ impl PagingStrategy for DbminStrategy {
         let victim_set = by_set
             .keys()
             .copied()
-            .max_by_key(|&s| (over_budget(s), resident.get(&s).copied().unwrap_or(0), std::cmp::Reverse(s)))
+            .max_by_key(|&s| {
+                (
+                    over_budget(s),
+                    resident.get(&s).copied().unwrap_or(0),
+                    std::cmp::Reverse(s),
+                )
+            })
             .expect("non-empty");
 
         let profile = self.profiles.get(&victim_set).copied().unwrap_or_default();

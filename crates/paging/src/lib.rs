@@ -215,10 +215,7 @@ pub trait PagingStrategy: Send + std::fmt::Debug {
 ///
 /// Accepted names: `data-aware`, `lru`, `mru`, `dbmin-adaptive`, `dbmin-1`,
 /// `dbmin-1000`, `dbmin-tuned` (matching Fig. 3 / Fig. 9 labels).
-pub fn strategy_by_name(
-    name: &str,
-    pool_capacity_pages: u64,
-) -> Result<Box<dyn PagingStrategy>> {
+pub fn strategy_by_name(name: &str, pool_capacity_pages: u64) -> Result<Box<dyn PagingStrategy>> {
     match name {
         "data-aware" => Ok(Box::new(DataAwareStrategy::new())),
         "lru" => Ok(Box::new(LruStrategy::new())),

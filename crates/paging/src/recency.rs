@@ -139,9 +139,7 @@ mod tests {
     fn cross_set_blindness_is_preserved() {
         // LRU/MRU must ignore set boundaries: a batch may span sets.
         let mut s = LruStrategy::new();
-        let pages: Vec<PageView> = (0..20)
-            .map(|i| pv(i % 3, i, i, true))
-            .collect();
+        let pages: Vec<PageView> = (0..20).map(|i| pv(i % 3, i, i, true)).collect();
         let victims = s.choose_victims(&pages, 100);
         let sets: std::collections::HashSet<SetId> = victims.iter().map(|p| p.set).collect();
         assert!(sets.len() > 1, "global LRU spans locality sets");

@@ -93,7 +93,7 @@ pub fn date_plus(date: u32, days: u32) -> u32 {
 impl TpchData {
     /// Generates the database at `sf` with a fixed seed.
     pub fn generate(sf: f64) -> Self {
-        Self::generate_seeded(sf, 0x50414E47_4541)
+        Self::generate_seeded(sf, 0x5041_4E47_4541)
     }
 
     /// Generates the database at `sf` from an explicit seed.
@@ -101,9 +101,7 @@ impl TpchData {
         let card = Cardinalities::at(sf);
         let mut rng = StdRng::seed_from_u64(seed);
 
-        let region: Vec<Region> = (0..5)
-            .map(|r| Region { r_regionkey: r })
-            .collect();
+        let region: Vec<Region> = (0..5).map(|r| Region { r_regionkey: r }).collect();
         let nation: Vec<Nation> = (0..25)
             .map(|n| Nation {
                 n_nationkey: n,
@@ -144,15 +142,13 @@ impl TpchData {
             .collect();
         let mut orders = Vec::with_capacity(card.orders as usize);
         let mut lineitem = Vec::with_capacity(card.lineitem as usize);
-        let lines_per_order =
-            (card.lineitem as f64 / card.orders as f64).round().max(1.0) as u64;
+        let lines_per_order = (card.lineitem as f64 / card.orders as f64).round().max(1.0) as u64;
         for k in 1..=card.orders as i64 {
             let o_orderdate = random_date(&mut rng);
             // One third of customers never order (TPC-H's convention is
             // similar: only 2/3 of custkeys appear in orders) — Q13/Q22
             // depend on this skew.
-            let o_custkey =
-                (rng.random_range(0..(card.customer * 2 / 3).max(1)) as i64) + 1;
+            let o_custkey = (rng.random_range(0..(card.customer * 2 / 3).max(1)) as i64) + 1;
             let n_lines = rng.random_range(1..=(lines_per_order * 2 - 1).max(1));
             let mut total = 0i64;
             for _ in 0..n_lines {
@@ -184,8 +180,7 @@ impl TpchData {
                 o_custkey,
                 o_totalprice: total,
                 o_orderdate,
-                o_orderpriority: rng.random_range(0..ORDER_PRIORITIES.len() as u32)
-                    as u8,
+                o_orderpriority: rng.random_range(0..ORDER_PRIORITIES.len() as u32) as u8,
             });
         }
         Self {

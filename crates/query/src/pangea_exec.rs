@@ -12,8 +12,8 @@
 //! Joins use the core join-map service; query-time repartitioning (only
 //! needed for `customer` in Q13/Q22) uses the cluster dispatcher.
 
-use crate::exec::{canonical, params::*, QueryId, QueryResult};
 use crate::dbgen::TpchData;
+use crate::exec::{canonical, params::*, QueryId, QueryResult};
 use crate::schema::*;
 use pangea_cluster::{PartitionScheme, SimCluster};
 use pangea_common::{FxHashMap, FxHashSet, NodeId, PangeaError, Result};
@@ -139,11 +139,7 @@ impl PangeaTpch {
         Ok(engine)
     }
 
-    fn load_table(
-        &self,
-        name: &str,
-        rows: impl Iterator<Item = Vec<u8>>,
-    ) -> Result<()> {
+    fn load_table(&self, name: &str, rows: impl Iterator<Item = Vec<u8>>) -> Result<()> {
         let set = self
             .cluster
             .create_dist_set(name, PartitionScheme::round_robin(self.partitions))?;
@@ -274,8 +270,7 @@ impl PangeaTpch {
             .expect("loaded")
             .try_for_each_record(|_, rec| {
                 let ps = PartSupp::from_line(rec)?;
-                if parts.contains(&ps.ps_partkey) && suppliers.contains_key(&ps.ps_suppkey)
-                {
+                if parts.contains(&ps.ps_partkey) && suppliers.contains_key(&ps.ps_suppkey) {
                     let e = best
                         .entry(ps.ps_partkey)
                         .or_insert((ps.ps_supplycost, ps.ps_suppkey));
@@ -330,9 +325,7 @@ impl PangeaTpch {
         Ok(canonical(
             counts
                 .into_iter()
-                .map(|(p, c)| {
-                    vec![ORDER_PRIORITIES[p as usize].to_string(), c.to_string()]
-                })
+                .map(|(p, c)| vec![ORDER_PRIORITIES[p as usize].to_string(), c.to_string()])
                 .collect(),
         ))
     }
@@ -560,9 +553,7 @@ impl PangeaTpch {
         Ok(canonical(
             groups
                 .into_iter()
-                .map(|(cc, (n, bal))| {
-                    vec![cc.to_string(), n.to_string(), bal.to_string()]
-                })
+                .map(|(cc, (n, bal))| vec![cc.to_string(), n.to_string(), bal.to_string()])
                 .collect(),
         ))
     }
@@ -591,14 +582,11 @@ impl PangeaTpch {
             PartitionScheme::hash("custkey", self.partitions, key_field(0)),
         )?;
         let customer = self.cluster.get_dist_set("customer").expect("loaded");
-        let mut dispatchers: FxHashMap<NodeId, pangea_cluster::Dispatcher> =
-            FxHashMap::default();
+        let mut dispatchers: FxHashMap<NodeId, pangea_cluster::Dispatcher> = FxHashMap::default();
         customer.try_for_each_record(|from, rec| {
             let d = match dispatchers.entry(from) {
                 std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(tmp.dispatcher(from)?)
-                }
+                std::collections::hash_map::Entry::Vacant(e) => e.insert(tmp.dispatcher(from)?),
             };
             d.dispatch(rec)?;
             Ok(())

@@ -209,8 +209,7 @@ tpch_table! {
 }
 
 /// Ship modes (`l_shipmode` indexes this).
-pub const SHIP_MODES: [&str; 7] =
-    ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 /// Order priorities (`o_orderpriority` indexes this).
 pub const ORDER_PRIORITIES: [&str; 5] =
@@ -218,7 +217,13 @@ pub const ORDER_PRIORITIES: [&str; 5] =
 
 /// Containers (`p_container` indexes this).
 pub const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK",
+    "SM CASE",
+    "SM BOX",
+    "MED BAG",
+    "MED BOX",
+    "LG CASE",
+    "LG BOX",
+    "JUMBO PACK",
     "WRAP JAR",
 ];
 

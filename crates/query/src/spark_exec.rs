@@ -15,9 +15,7 @@
 use crate::dbgen::TpchData;
 use crate::exec::{canonical, params::*, QueryId, QueryResult};
 use crate::schema::*;
-use pangea_common::{
-    fx_hash64, FxHashMap, FxHashSet, IoStats, IoStatsSnapshot, Result, Throttle,
-};
+use pangea_common::{fx_hash64, FxHashMap, FxHashSet, IoStats, IoStatsSnapshot, Result, Throttle};
 use pangea_layered::{load_dataset, SimHdfs, SimSpark, SparkConfig};
 use parking_lot::Mutex;
 use std::path::Path;
@@ -70,10 +68,7 @@ impl SparkTpch {
         write_table(&hdfs, "partsupp", &data.partsupp, |r| r.to_line())?;
         write_table(&hdfs, "nation", &data.nation, |r| r.to_line())?;
         write_table(&hdfs, "region", &data.region, |r| r.to_line())?;
-        let spark = SimSpark::new(
-            hdfs,
-            SparkConfig::new(executor_memory, 256 * 1024),
-        );
+        let spark = SimSpark::new(hdfs, SparkConfig::new(executor_memory, 256 * 1024));
         Ok(Self {
             spark,
             partitions: partitions.max(1),
@@ -236,19 +231,18 @@ impl SparkTpch {
         let li_parts = self.exchange("lineitem", |rec| {
             let commit = int_field(rec, 10)?;
             let receipt = int_field(rec, 11)?;
-            Ok((commit < receipt)
-                .then(|| (field(rec, 0).to_vec(), field(rec, 0).to_vec())))
+            Ok((commit < receipt).then(|| (field(rec, 0).to_vec(), field(rec, 0).to_vec())))
         })?;
         let ord_parts = self.exchange("orders", |rec| {
             let o = Order::from_line(rec)?;
-            Ok((o.o_orderdate >= Q04_DATE_LO && o.o_orderdate < Q04_DATE_HI).then(
-                || {
+            Ok(
+                (o.o_orderdate >= Q04_DATE_LO && o.o_orderdate < Q04_DATE_HI).then(|| {
                     (
                         field(rec, 0).to_vec(),
                         format!("{}|{}", o.o_orderkey, o.o_orderpriority).into_bytes(),
                     )
-                },
-            ))
+                }),
+            )
         })?;
         let mut counts: FxHashMap<u8, u64> = FxHashMap::default();
         for (li, ords) in li_parts.iter().zip(&ord_parts) {
@@ -256,18 +250,14 @@ impl SparkTpch {
             for o in ords {
                 let okey = field(o, 0);
                 if keys.contains(okey) {
-                    *counts
-                        .entry(int_field(o, 1)? as u8)
-                        .or_default() += 1;
+                    *counts.entry(int_field(o, 1)? as u8).or_default() += 1;
                 }
             }
         }
         Ok(canonical(
             counts
                 .into_iter()
-                .map(|(p, c)| {
-                    vec![ORDER_PRIORITIES[p as usize].to_string(), c.to_string()]
-                })
+                .map(|(p, c)| vec![ORDER_PRIORITIES[p as usize].to_string(), c.to_string()])
                 .collect(),
         ))
     }
@@ -361,10 +351,7 @@ impl SparkTpch {
                 *per_cust.entry(int_field(o, 0)?).or_default() += 1;
             }
             for c in custs {
-                let n = per_cust
-                    .get(&int_field(c, 0)?)
-                    .copied()
-                    .unwrap_or(0);
+                let n = per_cust.get(&int_field(c, 0)?).copied().unwrap_or(0);
                 *distribution.entry(n).or_default() += 1;
             }
         }
@@ -380,13 +367,15 @@ impl SparkTpch {
     pub fn q14(&self) -> Result<QueryResult> {
         let li_parts = self.exchange("lineitem", |rec| {
             let l = LineItem::from_line(rec)?;
-            Ok((l.l_shipdate >= Q14_DATE_LO && l.l_shipdate < Q14_DATE_HI).then(|| {
-                let v = l.l_extendedprice * (10_000 - l.l_discount);
-                (
-                    field(rec, 1).to_vec(),
-                    format!("{}|{v}", l.l_partkey).into_bytes(),
-                )
-            }))
+            Ok(
+                (l.l_shipdate >= Q14_DATE_LO && l.l_shipdate < Q14_DATE_HI).then(|| {
+                    let v = l.l_extendedprice * (10_000 - l.l_discount);
+                    (
+                        field(rec, 1).to_vec(),
+                        format!("{}|{v}", l.l_partkey).into_bytes(),
+                    )
+                }),
+            )
         })?;
         let part_parts = self.exchange("part", |rec| {
             let p = Part::from_line(rec)?;
@@ -435,8 +424,7 @@ impl SparkTpch {
             let p = Part::from_line(rec)?;
             Ok(Some((
                 field(rec, 0).to_vec(),
-                format!("{}|{}|{}", p.p_partkey, p.p_brand, p.p_container)
-                    .into_bytes(),
+                format!("{}|{}|{}", p.p_partkey, p.p_brand, p.p_container).into_bytes(),
             )))
         })?;
         let mut total = 0i64;
@@ -507,9 +495,7 @@ impl SparkTpch {
         Ok(canonical(
             groups
                 .into_iter()
-                .map(|(cc, (n, bal))| {
-                    vec![cc.to_string(), n.to_string(), bal.to_string()]
-                })
+                .map(|(cc, (n, bal))| vec![cc.to_string(), n.to_string(), bal.to_string()])
                 .collect(),
         ))
     }

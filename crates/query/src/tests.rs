@@ -30,14 +30,8 @@ fn engines(tag: &str, sf: f64) -> (PangeaTpch, SparkTpch) {
     )
     .unwrap();
     let pangea = PangeaTpch::load(&cluster, &data).unwrap();
-    let spark = SparkTpch::load(
-        &test_root(&format!("{tag}-spark")),
-        &data,
-        64 * MB,
-        6,
-        None,
-    )
-    .unwrap();
+    let spark =
+        SparkTpch::load(&test_root(&format!("{tag}-spark")), &data, 64 * MB, 6, None).unwrap();
     (pangea, spark)
 }
 

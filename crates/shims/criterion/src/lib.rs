@@ -1,0 +1,158 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no access to crates.io, so the workspace's
+//! benches run on this minimal harness instead. It keeps the API surface
+//! the benches use (`Criterion::bench_function`, `benchmark_group`,
+//! `Bencher::iter`, the `criterion_group!`/`criterion_main!` macros) and
+//! reports mean wall-clock per iteration to stdout. There is no statistical
+//! analysis, warm-up modeling, or HTML report — the figures in this
+//! repository are produced by `pangea-bench`'s own reporting, and this
+//! harness exists so `cargo bench` still drives every figure end to end.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed iterations per benchmark unless the group overrides it.
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly, timing each run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = body();
+            self.total += start.elapsed();
+            self.iters += 1;
+            drop(out);
+        }
+    }
+}
+
+/// Prevents the compiler from optimizing a value away. Identity at the
+/// moment; good enough for the coarse timings this harness reports.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, DEFAULT_SAMPLES, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.samples, f);
+        self
+    }
+
+    /// Finishes the group (formatting only in this harness).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    let start = Instant::now();
+    f(&mut b);
+    let wall = start.elapsed();
+    if b.iters > 0 {
+        let mean = b.total / b.iters as u32;
+        println!(
+            "bench {name:<48} {mean:>12.2?}/iter ({} iters, {wall:.2?} total)",
+            b.iters
+        );
+    } else {
+        println!("bench {name:<48} (no iterations)");
+    }
+}
+
+/// Declares a group function invoking each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut runs = 0;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, DEFAULT_SAMPLES);
+    }
+
+    #[test]
+    fn group_sample_size_is_respected() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0;
+        g.bench_function("case", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,338 @@
+//! Offline stand-in for [`parking_lot`](https://crates.io/crates/parking_lot).
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the *subset* of the `parking_lot` API it actually uses as a thin
+//! veneer over `std::sync`. Semantics follow parking_lot, not std:
+//!
+//! * `lock()` / `read()` / `write()` return guards directly (no `Result`);
+//! * poisoning is ignored — a panic while holding a lock does not poison it
+//!   for later users (`into_inner` on the poison error);
+//! * `RwLock::read_arc` / `RwLock::write_arc` return owned, `'static`
+//!   guards that keep the `Arc` alive for the guard's lifetime.
+//!
+//! Only what the workspace needs is provided; this is not a general
+//! replacement for the real crate.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Marker standing in for parking_lot's `RawRwLock` type parameter in the
+/// owned-guard type aliases.
+#[derive(Debug)]
+pub struct RawRwLock {
+    _priv: (),
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// A mutual-exclusion lock with parking_lot's panic-transparent semantics.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: e.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// A reader-writer lock with parking_lot's panic-transparent semantics.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized + 'static> RwLock<T> {
+    /// Acquires shared read access through an `Arc`, returning an owned
+    /// guard that keeps the lock alive for the guard's lifetime.
+    pub fn read_arc(this: &Arc<Self>) -> ArcRwLockReadGuard<RawRwLock, T> {
+        let arc = Arc::clone(this);
+        let guard = this.inner.read().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: the guard borrows the RwLock stored behind `arc`'s heap
+        // allocation, which is pinned for as long as `arc` lives. The struct
+        // drops the guard before the Arc, so the borrow never dangles.
+        let guard: std::sync::RwLockReadGuard<'static, T> = unsafe { std::mem::transmute(guard) };
+        ArcRwLockReadGuard {
+            guard: ManuallyDrop::new(guard),
+            arc: ManuallyDrop::new(arc),
+            _raw: PhantomData,
+        }
+    }
+
+    /// Acquires exclusive write access through an `Arc`, returning an owned
+    /// guard that keeps the lock alive for the guard's lifetime.
+    pub fn write_arc(this: &Arc<Self>) -> ArcRwLockWriteGuard<RawRwLock, T> {
+        let arc = Arc::clone(this);
+        let guard = this.inner.write().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: as in `read_arc`.
+        let guard: std::sync::RwLockWriteGuard<'static, T> = unsafe { std::mem::transmute(guard) };
+        ArcRwLockWriteGuard {
+            guard: ManuallyDrop::new(guard),
+            arc: ManuallyDrop::new(arc),
+            _raw: PhantomData,
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_read() {
+            Ok(g) => f.debug_struct("RwLock").field("data", &&*g).finish(),
+            Err(_) => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// RAII shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// RAII exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Owned shared-read guard obtained through [`RwLock::read_arc`]. The first
+/// type parameter mirrors parking_lot's raw-lock parameter and is unused.
+pub struct ArcRwLockReadGuard<R, T: ?Sized + 'static> {
+    guard: ManuallyDrop<std::sync::RwLockReadGuard<'static, T>>,
+    arc: ManuallyDrop<Arc<RwLock<T>>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T: ?Sized> Deref for ArcRwLockReadGuard<R, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<R, T: ?Sized> Drop for ArcRwLockReadGuard<R, T> {
+    fn drop(&mut self) {
+        // SAFETY: dropped exactly once, guard strictly before the Arc that
+        // owns the lock it borrows.
+        unsafe {
+            ManuallyDrop::drop(&mut self.guard);
+            ManuallyDrop::drop(&mut self.arc);
+        }
+    }
+}
+
+/// Owned exclusive-write guard obtained through [`RwLock::write_arc`].
+pub struct ArcRwLockWriteGuard<R, T: ?Sized + 'static> {
+    guard: ManuallyDrop<std::sync::RwLockWriteGuard<'static, T>>,
+    arc: ManuallyDrop<Arc<RwLock<T>>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T: ?Sized> Deref for ArcRwLockWriteGuard<R, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<R, T: ?Sized> DerefMut for ArcRwLockWriteGuard<R, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<R, T: ?Sized> Drop for ArcRwLockWriteGuard<R, T> {
+    fn drop(&mut self) {
+        // SAFETY: as in ArcRwLockReadGuard::drop.
+        unsafe {
+            ManuallyDrop::drop(&mut self.guard);
+            ManuallyDrop::drop(&mut self.arc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn arc_guards_keep_lock_alive() {
+        let l = Arc::new(RwLock::new(7u32));
+        let g = RwLock::read_arc(&l);
+        drop(l); // guard still owns a clone
+        assert_eq!(*g, 7);
+    }
+
+    #[test]
+    fn arc_write_guard_mutates() {
+        let l = Arc::new(RwLock::new(0u32));
+        {
+            let mut g = RwLock::write_arc(&l);
+            *g = 9;
+        }
+        assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn poisoned_lock_is_still_usable() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison");
+        })
+        .join();
+        assert_eq!(*m.lock(), 0, "parking_lot semantics: no poisoning");
+    }
+}

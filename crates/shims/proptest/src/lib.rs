@@ -1,0 +1,384 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no access to crates.io, so the workspace's
+//! property tests run on this miniature implementation: strategies generate
+//! deterministic pseudo-random inputs (seeded from the test name, so every
+//! run and every machine sees the same cases), and assertion macros map to
+//! plain `assert!`. The important simplification versus the real crate is
+//! that there is **no shrinking** — a failing case is reported as-is with
+//! its case number. The supported surface is exactly what the workspace
+//! uses: `proptest! { #[test] fn f(x in strategy, ..) { .. } }` with an
+//! optional `#![proptest_config(..)]`, `any::<T>()`, integer/float range
+//! strategies, tuple strategies, `collection::vec`, `prop_assert!`, and
+//! `prop_assert_eq!`.
+
+/// Deterministic test RNG and per-test configuration.
+pub mod test_runner {
+    /// Per-`proptest!` configuration. Only `cases` is modeled.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 100 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// SplitMix64 generator seeded from the test name: deterministic per
+    /// test, independent across tests.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from an arbitrary label.
+        pub fn deterministic(label: &str) -> Self {
+            let mut state = 0xcbf2_9ce4_8422_2325u64;
+            for b in label.bytes() {
+                state ^= b as u64;
+                state = state.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { state }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Input-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating test inputs of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated input type.
+        type Value;
+
+        /// Draws one input.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    (lo as i128 + rng.below(span.saturating_add(1)) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let u01 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + (self.end - self.start) * u01
+        }
+    }
+
+    /// The `any::<T>()` strategy: the full value domain of `T`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Self {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Allowed lengths for a generated collection.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy producing vectors of `element` values with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The full domain of `T` as a strategy.
+pub fn any<T>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// Everything a property test module needs, mirroring
+/// `proptest::prelude::*` (including the `prop` alias for the crate root).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+pub use test_runner::ProptestConfig;
+
+/// Asserts a condition inside a property (maps to `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (maps to `assert_eq!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each function body runs `config.cases` times
+/// with inputs drawn from its strategies. Failures panic with the case
+/// number; re-running reproduces them (generation is deterministic).
+#[macro_export]
+macro_rules! proptest {
+    // Generate one `let` binding per parameter: either `name in strategy`
+    // or proptest's shorthand `name: Type` (= `any::<Type>()`).
+    (@args $rng:ident;) => {};
+    (@args $rng:ident; $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::proptest!(@args $rng; $($rest)*);
+    };
+    (@args $rng:ident; $arg:ident in $strat:expr) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    (@args $rng:ident; $arg:ident : $ty:ty, $($rest:tt)*) => {
+        let $arg: $ty =
+            $crate::strategy::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $crate::proptest!(@args $rng; $($rest)*);
+    };
+    (@args $rng:ident; $arg:ident : $ty:ty) => {
+        let $arg: $ty =
+            $crate::strategy::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    let result = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(|| {
+                            $crate::proptest!(@args rng; $($params)*);
+                            $body
+                        }),
+                    );
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest: property {} failed at case {case}/{}",
+                            stringify!($name),
+                            config.cases,
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 10u32..20, y in 0usize..=4) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_lengths_respected(
+            v in prop::collection::vec(any::<u8>(), 3..6)
+        ) {
+            prop_assert!((3..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn tuples_compose(
+            pair in (any::<bool>(), 1usize..8)
+        ) {
+            let (_b, n) = pair;
+            prop_assert!((1..8).contains(&n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_cases_apply(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(0u32..100, 5..10);
+        let mut a = TestRng::deterministic("same");
+        let mut b = TestRng::deterministic("same");
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

@@ -13,9 +13,7 @@
 //! persisted to / recovered from the meta file on disk 0.
 
 use crate::disk::DiskManager;
-use pangea_common::{
-    ByteReader, ByteWriter, FxHashMap, PageNum, PangeaError, Result, SetId,
-};
+use pangea_common::{ByteReader, ByteWriter, FxHashMap, PageNum, PangeaError, Result, SetId};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -134,15 +132,21 @@ impl PagedFile {
                 loc
             }
         };
-        self.disks
-            .write_at(loc.disk as usize, &self.data_name(loc.disk as usize), loc.offset, data)
+        self.disks.write_at(
+            loc.disk as usize,
+            &self.data_name(loc.disk as usize),
+            loc.offset,
+            data,
+        )
     }
 
     /// Reads page `num` into `buf` (must be exactly the page's length).
     pub fn read_page_into(&self, num: PageNum, buf: &mut [u8]) -> Result<()> {
-        let loc = self
-            .location(num)
-            .ok_or(PangeaError::PageNotFound(pangea_common::PageId::new(self.set, num)))?;
+        let loc =
+            self.location(num)
+                .ok_or(PangeaError::PageNotFound(pangea_common::PageId::new(
+                    self.set, num,
+                )))?;
         if buf.len() != loc.len as usize {
             return Err(PangeaError::usage(format!(
                 "read buffer {} B for page of {} B",
@@ -150,18 +154,28 @@ impl PagedFile {
                 loc.len
             )));
         }
-        self.disks
-            .read_at(loc.disk as usize, &self.data_name(loc.disk as usize), loc.offset, buf)
+        self.disks.read_at(
+            loc.disk as usize,
+            &self.data_name(loc.disk as usize),
+            loc.offset,
+            buf,
+        )
     }
 
     /// Reads page `num` into a fresh buffer.
     pub fn read_page(&self, num: PageNum) -> Result<Vec<u8>> {
-        let loc = self
-            .location(num)
-            .ok_or(PangeaError::PageNotFound(pangea_common::PageId::new(self.set, num)))?;
+        let loc =
+            self.location(num)
+                .ok_or(PangeaError::PageNotFound(pangea_common::PageId::new(
+                    self.set, num,
+                )))?;
         let mut buf = vec![0u8; loc.len as usize];
-        self.disks
-            .read_at(loc.disk as usize, &self.data_name(loc.disk as usize), loc.offset, &mut buf)?;
+        self.disks.read_at(
+            loc.disk as usize,
+            &self.data_name(loc.disk as usize),
+            loc.offset,
+            &mut buf,
+        )?;
         Ok(buf)
     }
 
@@ -272,7 +286,7 @@ mod tests {
         let (dm, dir) = mgr(2);
         let f = PagedFile::create(SetId(7), Arc::clone(&dm));
         for i in 0..6u64 {
-            f.write_page(i, &vec![i as u8; 128]).unwrap();
+            f.write_page(i, &[i as u8; 128]).unwrap();
         }
         assert_eq!(f.page_count(), 6);
         assert_eq!(f.bytes_on_disk(), 6 * 128);
@@ -309,10 +323,7 @@ mod tests {
     fn missing_page_is_page_not_found() {
         let (dm, dir) = mgr(1);
         let f = PagedFile::create(SetId(3), dm);
-        assert!(matches!(
-            f.read_page(9),
-            Err(PangeaError::PageNotFound(_))
-        ));
+        assert!(matches!(f.read_page(9), Err(PangeaError::PageNotFound(_))));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -321,7 +332,7 @@ mod tests {
         let (dm, dir) = mgr(2);
         let f = PagedFile::create(SetId(11), Arc::clone(&dm));
         for i in 0..5u64 {
-            f.write_page(i, &vec![(i * 3) as u8; 96]).unwrap();
+            f.write_page(i, &[(i * 3) as u8; 96]).unwrap();
         }
         f.persist_meta().unwrap();
         drop(f);

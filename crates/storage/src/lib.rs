@@ -28,6 +28,5 @@ pub use arena::Arena;
 pub use disk::{DiskConfig, DiskManager};
 pub use file::{PageLoc, PagedFile};
 pub use pool::{
-    BufferPool, BufferPoolConfig, EvictedFrame, PagePin, PageReadGuard, PageWriteGuard,
-    PoolStats,
+    BufferPool, BufferPoolConfig, EvictedFrame, PagePin, PageReadGuard, PageWriteGuard, PoolStats,
 };

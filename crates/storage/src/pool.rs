@@ -15,9 +15,7 @@
 
 use crate::arena::Arena;
 use pangea_alloc::{allocator_by_name, PoolAllocator};
-use pangea_common::{
-    AccessClock, FxHashMap, IoStats, PageId, PangeaError, Result, SetId, Tick,
-};
+use pangea_common::{AccessClock, FxHashMap, IoStats, PageId, PangeaError, Result, SetId, Tick};
 use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RawRwLock, RwLock};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};

@@ -34,7 +34,10 @@ fn main() -> Result<()> {
         d.dispatch(&li.to_line())?;
     }
     d.finish()?;
-    println!("loaded {} lineitem rows over {nodes} nodes", data.lineitem.len());
+    println!(
+        "loaded {} lineitem rows over {nodes} nodes",
+        data.lineitem.len()
+    );
 
     cluster.register_replica(
         "lineitem",
@@ -79,7 +82,10 @@ fn main() -> Result<()> {
     set.for_each_record(|_, rec| after.push(rec.to_vec()))?;
     after.sort();
     assert_eq!(before, after, "every object restored exactly once");
-    println!("verification: all {} objects intact across all replicas", after.len());
+    println!(
+        "verification: all {} objects intact across all replicas",
+        after.len()
+    );
     let _ = std::fs::remove_dir_all(&root);
     Ok(())
 }

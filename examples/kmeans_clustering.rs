@@ -43,7 +43,10 @@ fn main() -> pangea::common::Result<()> {
     );
     assert_eq!(pangea_out.centroids, alluxio_out.centroids);
 
-    println!("{:<16} {:>10} {:>12} {:>14}", "system", "init", "avg iter", "peak memory");
+    println!(
+        "{:<16} {:>10} {:>12} {:>14}",
+        "system", "init", "avg iter", "peak memory"
+    );
     for out in [&pangea_out, &spark_out, &alluxio_out] {
         println!(
             "{:<16} {:>9.3}s {:>11.3}s {:>14}",

@@ -34,12 +34,7 @@ fn main() -> Result<()> {
         let mut handles = Vec::new();
         for worker in 0..4usize {
             let shuffle = shuffle.clone();
-            let chunk: Vec<&str> = words
-                .iter()
-                .skip(worker)
-                .step_by(4)
-                .copied()
-                .collect();
+            let chunk: Vec<&str> = words.iter().skip(worker).step_by(4).copied().collect();
             handles.push(scope.spawn(move || -> Result<()> {
                 let mut buffers: Vec<VirtualShuffleBuffer> = (0..PARTITIONS)
                     .map(|p| shuffle.virtual_buffer(PartitionId(p)))
@@ -65,11 +60,7 @@ fn main() -> Result<()> {
     let mut counts: Vec<(String, u64)> = Vec::new();
     for p in 0..PARTITIONS {
         let set = shuffle.partition_set(PartitionId(p))?;
-        let mut agg = counting_hash_buffer(
-            &node,
-            &format!("counts.part{p}"),
-            HashConfig::new(2),
-        )?;
+        let mut agg = counting_hash_buffer(&node, &format!("counts.part{p}"), HashConfig::new(2))?;
         for num in set.page_numbers() {
             let pin = set.pin_page(num)?;
             let mut it = ObjectIter::new(&pin);

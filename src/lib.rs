@@ -19,6 +19,7 @@
 //! | [`storage`] | `pangea-storage` | §4–§5 — buffer pool, disks, paged files |
 //! | [`paging`] | `pangea-paging` | §6 — data-aware policy + LRU/MRU/DBMIN baselines |
 //! | [`cluster`] | `pangea-cluster` | §3.3, §7 — manager, dispatch, replication, recovery |
+//! | [`net`] | `pangea-net` | wire layer — `Transport` seam, TCP framing + protocol, `pangead`, client |
 //! | [`layered`] | `pangea-layered` | §9 baselines — HDFS/Alluxio/Ignite/Spark/OS/Redis |
 //! | [`query`] | `pangea-query` | §9.1.2 — TPC-H on Pangea and on Spark |
 //! | [`kmeans`] | `pangea-kmeans` | §9.1.1 — the Fig. 1 workload |
@@ -59,6 +60,7 @@ pub use pangea_common as common;
 pub use pangea_core as core;
 pub use pangea_kmeans as kmeans;
 pub use pangea_layered as layered;
+pub use pangea_net as net;
 pub use pangea_paging as paging;
 pub use pangea_query as query;
 pub use pangea_storage as storage;
@@ -68,9 +70,10 @@ pub mod prelude {
     pub use pangea_cluster::{ClusterConfig, DistSet, PartitionScheme, SimCluster};
     pub use pangea_common::{NodeId, PageId, PangeaError, Result, SetId};
     pub use pangea_core::{
-        broadcast_map, counting_hash_buffer, HashConfig, JoinMap, JoinMapBuilder,
-        LocalitySet, NodeConfig, ObjectIter, SeqWriter, SetOptions, ShuffleConfig,
-        ShuffleService, StorageNode, VirtualHashBuffer, VirtualShuffleBuffer,
+        broadcast_map, counting_hash_buffer, HashConfig, JoinMap, JoinMapBuilder, LocalitySet,
+        NodeConfig, ObjectIter, SeqWriter, SetOptions, ShuffleConfig, ShuffleService, StorageNode,
+        VirtualHashBuffer, VirtualShuffleBuffer,
     };
+    pub use pangea_net::{PangeaClient, PangeadServer, TcpTransport, Transport};
     pub use pangea_paging::{CurrentOp, Durability, ReadPattern, WritePattern};
 }

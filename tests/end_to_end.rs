@@ -29,7 +29,9 @@ fn one_pool_serves_all_services_under_pressure() {
     .unwrap();
 
     // User data.
-    let users = node.create_set("users", SetOptions::write_through()).unwrap();
+    let users = node
+        .create_set("users", SetOptions::write_through())
+        .unwrap();
     let mut w = users.writer();
     for i in 0..2_000u64 {
         w.add_object(format!("user-{i:06}").as_bytes()).unwrap();

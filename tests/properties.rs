@@ -4,8 +4,8 @@
 //! colliding-ratio formula.
 
 use pangea::common::{KB, MB};
-use pangea::core::{hashpage, page, NodeConfig, SetOptions, StorageNode, VirtualHashBuffer};
 use pangea::core::HashConfig;
+use pangea::core::{hashpage, page, NodeConfig, SetOptions, StorageNode, VirtualHashBuffer};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -181,5 +181,5 @@ proptest! {
 /// itself is wired in.
 #[test]
 fn property_suite_is_registered() {
-    assert!(MB > KB);
+    assert_eq!(MB / KB, 1024);
 }
