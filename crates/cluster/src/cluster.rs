@@ -6,12 +6,22 @@
 //! directories, paging strategy, and catalog slice — the per-node code
 //! paths the experiments measure run for real; only the wire between
 //! nodes is simulated (byte-counted, optionally throttled).
+//!
+//! Since the control-plane refactor, `SimCluster` is a thin frontend
+//! over the generic [`ClusterCore`] engine: [`SimWorkers`] implements
+//! the [`WorkerBackend`] seam with in-process [`StorageNode`]s and an
+//! explicit [`Transport`], and the in-process [`Manager`] implements the
+//! catalog seam. `pangea-coord`'s `RemoteCluster` drives the *same*
+//! engine against remote `pangead` processes and a wire-served catalog.
 
+use crate::engine::{
+    ClusterCore, DispatchConfig, EngineDispatcher, EngineSet, RecordSink, WorkerBackend,
+};
 use crate::manager::Manager;
 use crate::network::SimNetwork;
 use crate::partition::PartitionScheme;
 use pangea_common::{NodeId, PangeaError, Result};
-use pangea_core::{LocalitySet, NodeConfig, SeqWriter, SetOptions, StorageNode};
+use pangea_core::{LocalitySet, NodeConfig, ObjectIter, SeqWriter, SetOptions, StorageNode};
 use pangea_net::Transport;
 use parking_lot::RwLock;
 use std::path::PathBuf;
@@ -113,15 +123,130 @@ impl ClusterConfig {
     }
 }
 
+/// The in-process [`WorkerBackend`]: a slot vector of [`StorageNode`]s
+/// plus the [`Transport`] every remote delivery pays.
+#[derive(Debug)]
+pub struct SimWorkers {
+    /// Slot `i` hosts worker `i`; `None` marks a failed node.
+    workers: RwLock<Vec<Option<StorageNode>>>,
+    net: Arc<dyn Transport>,
+}
+
+impl SimWorkers {
+    fn get(&self, n: NodeId) -> Result<StorageNode> {
+        self.workers
+            .read()
+            .get(n.raw() as usize)
+            .and_then(|w| w.clone())
+            .ok_or(PangeaError::NodeUnavailable(n))
+    }
+
+    fn local_set(&self, n: NodeId, name: &str) -> Result<LocalitySet> {
+        self.get(n)?
+            .get_set(name)
+            .ok_or_else(|| PangeaError::usage(format!("set '{name}' missing on {n}")))
+    }
+}
+
+/// The in-process sink: one [`SeqWriter`] held open for the operation's
+/// lifetime (batches land on shared pages, sealed once at `finish`),
+/// fed through the transport for byte accounting.
+struct SimSink {
+    writer: SeqWriter,
+    net: Arc<dyn Transport>,
+    to: NodeId,
+}
+
+impl RecordSink for SimSink {
+    fn append(&mut self, from: NodeId, records: &[Vec<u8>]) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        // One transfer per batch: the payload is the records
+        // back-to-back, so net bytes equal the sum of record lengths —
+        // identical accounting to per-record transfers, in fewer
+        // messages (and, over TCP, fewer round trips).
+        let total: usize = records.iter().map(Vec::len).sum();
+        let mut payload = Vec::with_capacity(total);
+        for rec in records {
+            payload.extend_from_slice(rec);
+        }
+        let delivered = self.net.transfer(from, self.to, &payload)?;
+        let mut off = 0;
+        for rec in records {
+            let next = off + rec.len();
+            self.writer.add_object(&delivered[off..next])?;
+            off = next;
+        }
+        Ok(())
+    }
+
+    fn finish(mut self: Box<Self>) -> Result<()> {
+        self.writer.finish()
+    }
+}
+
+impl WorkerBackend for SimWorkers {
+    fn num_nodes(&self) -> u32 {
+        self.workers.read().len() as u32
+    }
+
+    fn alive_nodes(&self) -> Vec<NodeId> {
+        self.workers
+            .read()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.as_ref().map(|_| NodeId(i as u32)))
+            .collect()
+    }
+
+    fn create_set(&self, n: NodeId, name: &str) -> Result<()> {
+        self.get(n)?.create_set(name, SetOptions::write_through())?;
+        Ok(())
+    }
+
+    fn drop_set(&self, n: NodeId, name: &str) -> Result<()> {
+        let node = self.get(n)?;
+        if let Some(local) = node.get_set(name) {
+            node.drop_set(local.id())?;
+        }
+        Ok(())
+    }
+
+    fn open_sink(&self, n: NodeId, set: &str) -> Result<Box<dyn RecordSink>> {
+        Ok(Box::new(SimSink {
+            writer: self.local_set(n, set)?.writer(),
+            net: Arc::clone(&self.net),
+            to: n,
+        }))
+    }
+
+    fn scan(&self, n: NodeId, set: &str, f: &mut dyn FnMut(&[u8]) -> Result<()>) -> Result<()> {
+        let local = self.local_set(n, set)?;
+        for num in local.page_numbers() {
+            let pin = local.pin_page(num)?;
+            let mut it = ObjectIter::new(&pin);
+            while let Some(rec) = it.next() {
+                f(rec)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn net_bytes(&self) -> u64 {
+        self.net.bytes_moved()
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct ClusterInner {
     config: ClusterConfig,
-    /// Slot `i` hosts worker `i`; `None` marks a failed node.
-    pub(crate) workers: RwLock<Vec<Option<StorageNode>>>,
-    manager: Manager,
+    backend: Arc<SimWorkers>,
+    manager: Arc<Manager>,
     /// The interconnect: in-process simulation by default, or any other
     /// [`Transport`] supplied at bootstrap (e.g. TCP via `pangea-net`).
     net: Arc<dyn Transport>,
+    core: ClusterCore,
 }
 
 /// A handle to the simulated cluster. Cheap to clone.
@@ -161,12 +286,22 @@ impl SimCluster {
             let _ = std::fs::remove_dir_all(&dir);
             workers.push(Some(StorageNode::new(config.node_config(NodeId(n)))?));
         }
+        let backend = Arc::new(SimWorkers {
+            workers: RwLock::new(workers),
+            net: Arc::clone(&transport),
+        });
+        let manager = Arc::new(Manager::new());
+        let core = ClusterCore::new(
+            Arc::clone(&backend) as Arc<dyn WorkerBackend>,
+            Arc::clone(&manager) as Arc<dyn crate::engine::Catalog>,
+        );
         Ok(Self {
             inner: Arc::new(ClusterInner {
                 config,
-                workers: RwLock::new(workers),
-                manager: Manager::new(),
+                backend,
+                manager,
                 net: transport,
+                core,
             }),
         })
     }
@@ -178,28 +313,23 @@ impl SimCluster {
 
     /// Nodes currently alive, ascending.
     pub fn alive_nodes(&self) -> Vec<NodeId> {
-        self.inner
-            .workers
-            .read()
-            .iter()
-            .enumerate()
-            .filter_map(|(i, w)| w.as_ref().map(|_| NodeId(i as u32)))
-            .collect()
+        self.inner.backend.alive_nodes()
     }
 
     /// The storage engine of one worker.
     pub fn worker(&self, n: NodeId) -> Result<StorageNode> {
-        self.inner
-            .workers
-            .read()
-            .get(n.raw() as usize)
-            .and_then(|w| w.clone())
-            .ok_or(PangeaError::NodeUnavailable(n))
+        self.inner.backend.get(n)
     }
 
     /// The manager's catalog / statistics database.
     pub fn manager(&self) -> &Manager {
         &self.inner.manager
+    }
+
+    /// The generic engine this frontend drives (shared with
+    /// `RemoteCluster` in `pangea-coord`).
+    pub fn core(&self) -> &ClusterCore {
+        &self.inner.core
     }
 
     /// The cluster interconnect (simulated or real, per bootstrap).
@@ -215,7 +345,7 @@ impl SimCluster {
     /// Kills a node: its memory vanishes and its disks are wiped
     /// (total machine loss, the Fig. 6 failure model).
     pub fn kill_node(&self, n: NodeId) -> Result<()> {
-        let mut workers = self.inner.workers.write();
+        let mut workers = self.inner.backend.workers.write();
         let slot = workers
             .get_mut(n.raw() as usize)
             .ok_or(PangeaError::NodeUnavailable(n))?;
@@ -232,7 +362,7 @@ impl SimCluster {
     /// re-creates the local locality sets of every cataloged distributed
     /// set. The data is restored separately by recovery (§7).
     pub fn restart_node(&self, n: NodeId) -> Result<StorageNode> {
-        let mut workers = self.inner.workers.write();
+        let mut workers = self.inner.backend.workers.write();
         let slot = workers
             .get_mut(n.raw() as usize)
             .ok_or(PangeaError::NodeUnavailable(n))?;
@@ -240,10 +370,9 @@ impl SimCluster {
             return Err(PangeaError::usage(format!("{n} is still alive")));
         }
         let node = StorageNode::new(self.inner.config.node_config(n))?;
-        for name in self.inner.manager.set_names() {
-            node.create_set(&name, SetOptions::write_through())?;
-        }
         *slot = Some(node.clone());
+        drop(workers);
+        self.inner.core.provision_node(n)?;
         Ok(node)
     }
 
@@ -255,35 +384,29 @@ impl SimCluster {
     /// on every alive worker plus a catalog entry with its partitioning
     /// scheme.
     pub fn create_dist_set(&self, name: &str, scheme: PartitionScheme) -> Result<DistSet> {
-        self.inner.manager.register_set(name, scheme)?;
-        let workers = self.inner.workers.read();
-        for w in workers.iter().flatten() {
-            w.create_set(name, SetOptions::write_through())?;
-        }
+        let inner = self.inner.core.create_dist_set(name, scheme)?;
         Ok(DistSet {
             cluster: self.clone(),
-            name: name.to_string(),
+            inner,
         })
     }
 
     /// Looks up a cataloged distributed set.
     pub fn get_dist_set(&self, name: &str) -> Option<DistSet> {
-        self.inner.manager.contains(name).then(|| DistSet {
-            cluster: self.clone(),
-            name: name.to_string(),
-        })
+        self.inner
+            .core
+            .get_dist_set(name)
+            .ok()
+            .flatten()
+            .map(|inner| DistSet {
+                cluster: self.clone(),
+                inner,
+            })
     }
 
     /// Drops a distributed set everywhere.
     pub fn drop_dist_set(&self, name: &str) -> Result<()> {
-        let workers = self.inner.workers.read();
-        for w in workers.iter().flatten() {
-            if let Some(local) = w.get_set(name) {
-                w.drop_set(local.id())?;
-            }
-        }
-        self.inner.manager.deregister_set(name);
-        Ok(())
+        self.inner.core.drop_dist_set(name)
     }
 }
 
@@ -292,13 +415,13 @@ impl SimCluster {
 #[derive(Debug, Clone)]
 pub struct DistSet {
     cluster: SimCluster,
-    name: String,
+    inner: EngineSet,
 }
 
 impl DistSet {
     /// The set's cluster-wide name.
     pub fn name(&self) -> &str {
-        &self.name
+        self.inner.name()
     }
 
     /// The owning cluster.
@@ -308,38 +431,29 @@ impl DistSet {
 
     /// The set's partitioning scheme, from the manager catalog.
     pub fn scheme(&self) -> Result<PartitionScheme> {
-        Ok(self
-            .cluster
-            .manager()
-            .entry(&self.name)
-            .ok_or_else(|| PangeaError::usage(format!("set '{}' not cataloged", self.name)))?
-            .scheme)
+        self.inner.scheme()
     }
 
-    /// The node-local locality set on worker `n`.
+    /// The node-local locality set on worker `n` (in-process backends
+    /// only; remote clusters read through the wire instead).
     pub fn local(&self, n: NodeId) -> Result<LocalitySet> {
-        let worker = self.cluster.worker(n)?;
-        worker
-            .get_set(&self.name)
-            .ok_or_else(|| PangeaError::usage(format!("set '{}' missing on {n}", self.name)))
+        self.cluster.inner.backend.local_set(n, self.name())
     }
 
-    /// A dispatcher that routes records to workers by the set's scheme.
-    /// `origin` is the node (or client) the records are sent from, for
-    /// network accounting; loading from outside the cluster uses
-    /// [`DistSet::loader`].
+    /// A dispatcher that routes records to workers by the set's scheme,
+    /// batching per destination. `origin` is the node (or client) the
+    /// records are sent from, for network accounting; loading from
+    /// outside the cluster uses [`DistSet::loader`].
     pub fn dispatcher(&self, origin: NodeId) -> Result<Dispatcher> {
-        let scheme = self.scheme()?;
-        let nodes = self.cluster.num_nodes();
         Ok(Dispatcher {
-            set: self.clone(),
-            scheme,
-            origin,
-            nodes,
-            writers: (0..nodes).map(|_| None).collect(),
-            ordinal: 0,
-            objects: 0,
-            bytes: 0,
+            inner: self.inner.dispatcher(origin)?,
+        })
+    }
+
+    /// [`DistSet::dispatcher`] with explicit batching thresholds.
+    pub fn dispatcher_with(&self, origin: NodeId, config: DispatchConfig) -> Result<Dispatcher> {
+        Ok(Dispatcher {
+            inner: self.inner.dispatcher_with(origin, config)?,
         })
     }
 
@@ -349,114 +463,57 @@ impl DistSet {
         self.dispatcher(NodeId(u32::MAX))
     }
 
+    /// [`DistSet::loader`] with explicit batching thresholds.
+    pub fn loader_with(&self, config: DispatchConfig) -> Result<Dispatcher> {
+        self.dispatcher_with(NodeId(u32::MAX), config)
+    }
+
     /// Runs `f` over every record of the set on every alive node
     /// (single-threaded convenience; hot paths scan per node).
-    pub fn for_each_record(&self, mut f: impl FnMut(NodeId, &[u8])) -> Result<()> {
-        self.try_for_each_record(|n, rec| {
-            f(n, rec);
-            Ok(())
-        })
+    pub fn for_each_record(&self, f: impl FnMut(NodeId, &[u8])) -> Result<()> {
+        self.inner.for_each_record(f)
     }
 
     /// Fallible variant of [`DistSet::for_each_record`]: the first error
     /// aborts the scan.
-    pub fn try_for_each_record(
-        &self,
-        mut f: impl FnMut(NodeId, &[u8]) -> Result<()>,
-    ) -> Result<()> {
-        for n in self.cluster.alive_nodes() {
-            let local = self.local(n)?;
-            for num in local.page_numbers() {
-                let pin = local.pin_page(num)?;
-                let mut it = pangea_core::ObjectIter::new(&pin);
-                while let Some(rec) = it.next() {
-                    f(n, rec)?;
-                }
-            }
-        }
-        Ok(())
+    pub fn try_for_each_record(&self, f: impl FnMut(NodeId, &[u8]) -> Result<()>) -> Result<()> {
+        self.inner.try_for_each_record(f)
     }
 
     /// Counts records per alive node (placement diagnostics).
     pub fn records_per_node(&self) -> Result<Vec<(NodeId, u64)>> {
-        let mut out = Vec::new();
-        for n in self.cluster.alive_nodes() {
-            let local = self.local(n)?;
-            let mut count = 0u64;
-            for num in local.page_numbers() {
-                let pin = local.pin_page(num)?;
-                count += pangea_core::ObjectIter::new(&pin).count() as u64;
-            }
-            out.push((n, count));
-        }
-        Ok(out)
+        self.inner.records_per_node()
     }
 
     /// Total records across alive nodes.
     pub fn total_records(&self) -> Result<u64> {
-        Ok(self.records_per_node()?.iter().map(|(_, c)| c).sum())
+        self.inner.total_records()
     }
 }
 
 /// Routes records to workers according to a partitioning scheme, paying
-/// network costs for remote deliveries.
+/// network costs per flushed batch (see [`DispatchConfig`]).
+#[derive(Debug)]
 pub struct Dispatcher {
-    set: DistSet,
-    scheme: PartitionScheme,
-    origin: NodeId,
-    nodes: u32,
-    writers: Vec<Option<SeqWriter>>,
-    ordinal: u64,
-    objects: u64,
-    bytes: u64,
-}
-
-impl std::fmt::Debug for Dispatcher {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Dispatcher")
-            .field("set", &self.set.name)
-            .field("dispatched", &self.objects)
-            .finish()
-    }
+    inner: EngineDispatcher,
 }
 
 impl Dispatcher {
-    /// Dispatches one record, returning the node it landed on.
+    /// Routes one record, returning the node it lands on. Delivery may
+    /// be deferred until the destination's batch flushes.
     pub fn dispatch(&mut self, record: &[u8]) -> Result<NodeId> {
-        let node = self.scheme.node_of(record, self.ordinal, self.nodes);
-        self.ordinal += 1;
-        let delivered = self
-            .set
-            .cluster
-            .network()
-            .transfer(self.origin, node, record)?;
-        let writer = {
-            let slot = &mut self.writers[node.raw() as usize];
-            if slot.is_none() {
-                *slot = Some(self.set.local(node)?.writer());
-            }
-            slot.as_mut().expect("just ensured")
-        };
-        writer.add_object(&delivered)?;
-        self.objects += 1;
-        self.bytes += record.len() as u64;
-        Ok(node)
+        self.inner.dispatch(record)
     }
 
     /// Records dispatched so far.
     pub fn dispatched(&self) -> u64 {
-        self.objects
+        self.inner.dispatched()
     }
 
-    /// Seals all writers and publishes statistics to the manager.
-    pub fn finish(mut self) -> Result<()> {
-        for w in self.writers.iter_mut().flatten() {
-            w.finish()?;
-        }
-        self.set
-            .cluster
-            .manager()
-            .add_stats(&self.set.name, self.objects, self.bytes)
+    /// Flushes all batches, seals all writers, and publishes statistics
+    /// to the manager.
+    pub fn finish(self) -> Result<()> {
+        self.inner.finish()
     }
 }
 
@@ -514,6 +571,40 @@ mod tests {
         assert_eq!(s.total_records().unwrap(), 400);
         assert_eq!(c.manager().entry("points").unwrap().stats.objects, 400);
         assert!(c.network().bytes_moved() > 0);
+    }
+
+    #[test]
+    fn batching_moves_the_same_bytes_in_fewer_messages() {
+        // The satellite claim behind DispatchConfig: identical payload
+        // accounting, strictly fewer Transport::transfer calls.
+        let run = |tag: &str, config: DispatchConfig| {
+            let c = small_cluster(tag, 3);
+            let s = c
+                .create_dist_set("batched", PartitionScheme::round_robin(3))
+                .unwrap();
+            let mut d = s.loader_with(config).unwrap();
+            for i in 0..300u32 {
+                d.dispatch(format!("{i}|row-{i:04}").as_bytes()).unwrap();
+            }
+            d.finish().unwrap();
+            assert_eq!(s.total_records().unwrap(), 300);
+            let snap = c.network().stats().snapshot();
+            (snap.net_bytes, snap.net_messages)
+        };
+        let (bytes_unbatched, msgs_unbatched) = run("unbatched", DispatchConfig::unbatched());
+        let (bytes_batched, msgs_batched) = run("batched", DispatchConfig::default());
+        assert_eq!(
+            bytes_batched, bytes_unbatched,
+            "batching must not change payload accounting"
+        );
+        assert_eq!(
+            msgs_unbatched, 300,
+            "one transfer per record without batching"
+        );
+        assert!(
+            msgs_batched * 10 <= msgs_unbatched,
+            "batching should collapse transfers ≥10×: {msgs_batched} vs {msgs_unbatched}"
+        );
     }
 
     #[test]

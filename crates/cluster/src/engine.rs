@@ -1,0 +1,727 @@
+//! The generic cluster engine: one implementation of distributed-set
+//! dispatch, heterogeneous replication, and failure recovery, shared by
+//! every cluster frontend.
+//!
+//! The engine is written against two seams:
+//!
+//! * [`WorkerBackend`] — where a node's data lives and how records get
+//!   there. `SimCluster` backs this with in-process [`StorageNode`]s and
+//!   an explicit [`Transport`] for the wire; `pangea-coord`'s
+//!   `RemoteCluster` backs it with `PangeaClient` RPCs against remote
+//!   `pangead` processes (the RPC *is* the wire there — no separate
+//!   transfer is paid).
+//! * [`Catalog`] — where distributed-set metadata lives. `Manager` is
+//!   the in-process implementation; `pangea-coord` serves the same
+//!   catalog over the framed protocol from a `pangea-mgr` daemon.
+//!
+//! Record movement is batched per destination ([`DispatchConfig`]): a
+//! dispatcher accumulates records per target node and flushes them as
+//! one delivery once a record-count or byte threshold is crossed, so a
+//! TCP-backed cluster pays one round trip per *batch* instead of one per
+//! record, while payload byte accounting is unchanged (a batch's net
+//! bytes are exactly the sum of its records').
+//!
+//! [`StorageNode`]: pangea_core::StorageNode
+//! [`Transport`]: pangea_net::Transport
+
+use crate::manager::CatalogEntry;
+use crate::partition::{PartitionKind, PartitionScheme};
+use crate::replication::colliding_set_name;
+use pangea_common::{fx_hash64, FxHashMap, FxHashSet, NodeId, PangeaError, ReplicaGroupId, Result};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A destination for routed records on one node. Sinks are opened by a
+/// [`WorkerBackend`] and written by the engine's batching layer.
+pub trait RecordSink {
+    /// Delivers one batch of records originating from node `from`
+    /// (`NodeId(u32::MAX)` = external client). The implementation pays
+    /// whatever wire cost the batch incurs and appends every record, in
+    /// order, to the destination set.
+    fn append(&mut self, from: NodeId, records: &[Vec<u8>]) -> Result<()>;
+
+    /// Seals the sink (flushes the destination's in-progress page).
+    fn finish(self: Box<Self>) -> Result<()>;
+}
+
+/// Where worker data lives: the engine's view of N storage nodes.
+///
+/// # Accounting contract
+///
+/// `net_bytes` must grow by exactly the payload bytes of every remote
+/// delivery ([`RecordSink::append`] with `from != to`, or a remote
+/// scan's transfer toward the caller), mirroring the `Transport`
+/// contract, so recovery reports and cross-backend comparisons line up.
+///
+/// # Width contract
+///
+/// Placement stripes over `num_nodes()` and the engine assumes that
+/// width is *stable over a set's lifetime*: slot replacement (same
+/// `NodeId`, new worker) is supported, growing the fleet is not — a set
+/// created at width N and consulted at width N′ ≠ N would misjudge
+/// placement. Scans fail loudly on a node that never held the set, so
+/// a grown fleet surfaces as an error, not silent misplacement;
+/// elastic rebalancing is a ROADMAP item.
+pub trait WorkerBackend: fmt::Debug + Send + Sync {
+    /// Total node slots (alive or failed).
+    fn num_nodes(&self) -> u32;
+
+    /// Nodes currently alive, ascending.
+    fn alive_nodes(&self) -> Vec<NodeId>;
+
+    /// Creates the node-local locality set backing a distributed set
+    /// (write-through: user data survives process failure, paper §7).
+    fn create_set(&self, n: NodeId, name: &str) -> Result<()>;
+
+    /// Drops the node-local set, ignoring nodes that never held it.
+    fn drop_set(&self, n: NodeId, name: &str) -> Result<()>;
+
+    /// Opens a write sink into `set` on node `n`.
+    fn open_sink(&self, n: NodeId, set: &str) -> Result<Box<dyn RecordSink>>;
+
+    /// Runs `f` over every record of `set` on node `n`, in storage order.
+    fn scan(&self, n: NodeId, set: &str, f: &mut dyn FnMut(&[u8]) -> Result<()>) -> Result<()>;
+
+    /// Counts the records of `set` on node `n`. The default scans;
+    /// remote backends override it with a count RPC so diagnostics do
+    /// not ship the dataset over the wire.
+    fn count(&self, n: NodeId, set: &str) -> Result<u64> {
+        let mut count = 0u64;
+        self.scan(n, set, &mut |_| {
+            count += 1;
+            Ok(())
+        })?;
+        Ok(count)
+    }
+
+    /// Payload bytes this backend has moved across its wire so far.
+    fn net_bytes(&self) -> u64;
+}
+
+/// Where distributed-set metadata lives: the manager catalog +
+/// statistics database (paper §3.3), local or wire-served.
+pub trait Catalog: fmt::Debug + Send + Sync {
+    /// Registers a new distributed set.
+    fn register_set(&self, name: &str, scheme: PartitionScheme) -> Result<()>;
+    /// Removes a set from the catalog and its replica group.
+    fn deregister_set(&self, name: &str) -> Result<()>;
+    /// A copy of one catalog entry.
+    fn entry(&self, name: &str) -> Result<Option<CatalogEntry>>;
+    /// True when the set is registered.
+    fn contains(&self, name: &str) -> Result<bool> {
+        Ok(self.entry(name)?.is_some())
+    }
+    /// All registered set names, sorted.
+    fn set_names(&self) -> Result<Vec<String>>;
+    /// Adds dispatch counts to a set's statistics.
+    fn add_stats(&self, name: &str, objects: u64, bytes: u64) -> Result<()>;
+    /// Puts `a` and `b` in the same replica group.
+    fn link_replicas(&self, a: &str, b: &str) -> Result<ReplicaGroupId>;
+    /// Members of a replica group.
+    fn group_members(&self, group: ReplicaGroupId) -> Result<Vec<String>>;
+    /// All replica groups, ascending.
+    fn groups(&self) -> Result<Vec<ReplicaGroupId>>;
+    /// The statistics service's best-replica answer (§9.1.2).
+    fn best_replica(&self, set: &str, key: &str) -> Result<Option<String>>;
+}
+
+/// Per-destination batching thresholds for record movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchConfig {
+    /// Flush a destination once this many records are pending.
+    pub max_batch_records: usize,
+    /// Flush a destination once this many payload bytes are pending.
+    pub max_batch_bytes: usize,
+}
+
+impl Default for DispatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_records: 256,
+            max_batch_bytes: 128 * 1024,
+        }
+    }
+}
+
+impl DispatchConfig {
+    /// One delivery per record — the pre-batching behavior, kept for
+    /// round-trip-count comparisons.
+    pub fn unbatched() -> Self {
+        Self {
+            max_batch_records: 1,
+            max_batch_bytes: 0,
+        }
+    }
+}
+
+/// Outcome of registering a replica: the group plus colliding statistics.
+#[derive(Debug, Clone)]
+pub struct ReplicaReport {
+    /// The replication group both sets now belong to.
+    pub group: ReplicaGroupId,
+    /// Distinct objects in the group.
+    pub objects: u64,
+    /// Objects whose every copy landed on one node (stored in the
+    /// colliding set).
+    pub colliding: u64,
+}
+
+impl ReplicaReport {
+    /// Colliding objects as a fraction of all objects.
+    pub fn colliding_ratio(&self) -> f64 {
+        if self.objects == 0 {
+            0.0
+        } else {
+            self.colliding as f64 / self.objects as f64
+        }
+    }
+}
+
+/// Outcome of recovering a failed node.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// The node that failed and was re-provisioned.
+    pub failed: NodeId,
+    /// Replica sets whose lost partitions were restored.
+    pub replicas_recovered: Vec<String>,
+    /// Objects restored from surviving replicas.
+    pub objects_restored: u64,
+    /// Of those, objects restored from the colliding set.
+    pub colliding_restored: u64,
+    /// Network bytes moved by the recovery (filled by the frontend,
+    /// which owns the backend's byte ledger across the whole operation).
+    pub bytes_moved: u64,
+    /// Wall-clock recovery time (the Fig. 6 metric; frontend-filled).
+    pub duration: Duration,
+}
+
+/// The shared distributed engine: a worker backend plus a catalog.
+/// Cheap to clone.
+#[derive(Debug, Clone)]
+pub struct ClusterCore {
+    workers: Arc<dyn WorkerBackend>,
+    catalog: Arc<dyn Catalog>,
+}
+
+impl ClusterCore {
+    /// Builds an engine over a backend and a catalog.
+    pub fn new(workers: Arc<dyn WorkerBackend>, catalog: Arc<dyn Catalog>) -> Self {
+        Self { workers, catalog }
+    }
+
+    /// The worker backend.
+    pub fn workers(&self) -> &Arc<dyn WorkerBackend> {
+        &self.workers
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Arc<dyn Catalog> {
+        &self.catalog
+    }
+
+    /// Creates a distributed set: a same-named locality set on every
+    /// alive worker plus a catalog entry with its partitioning scheme.
+    pub fn create_dist_set(&self, name: &str, scheme: PartitionScheme) -> Result<EngineSet> {
+        self.catalog.register_set(name, scheme)?;
+        for n in self.workers.alive_nodes() {
+            self.workers.create_set(n, name)?;
+        }
+        Ok(EngineSet {
+            core: self.clone(),
+            name: name.to_string(),
+        })
+    }
+
+    /// Looks up a cataloged distributed set.
+    pub fn get_dist_set(&self, name: &str) -> Result<Option<EngineSet>> {
+        Ok(self.catalog.contains(name)?.then(|| EngineSet {
+            core: self.clone(),
+            name: name.to_string(),
+        }))
+    }
+
+    /// Drops a distributed set everywhere.
+    pub fn drop_dist_set(&self, name: &str) -> Result<()> {
+        for n in self.workers.alive_nodes() {
+            self.workers.drop_set(n, name)?;
+        }
+        self.catalog.deregister_set(name)
+    }
+
+    /// Re-creates the local locality set of every cataloged distributed
+    /// set on a (fresh) node — the provisioning half of recovery; data
+    /// is restored separately by [`ClusterCore::recover_sets`].
+    pub fn provision_node(&self, n: NodeId) -> Result<()> {
+        for name in self.catalog.set_names()? {
+            self.workers.create_set(n, &name)?;
+        }
+        Ok(())
+    }
+
+    /// Registers `target` as a replica of `source` under `scheme`,
+    /// tolerating `r` concurrent node failures: the source is
+    /// repartitioned into the target, both join one replication group,
+    /// and objects whose copies span fewer than `r + 1` nodes are stored
+    /// in the group's colliding set with `r` extra copies (paper §7).
+    pub fn register_replica_with_r(
+        &self,
+        source: &str,
+        target: &str,
+        scheme: PartitionScheme,
+        r: u32,
+    ) -> Result<ReplicaReport> {
+        if scheme.kind != PartitionKind::Hash {
+            return Err(PangeaError::usage(
+                "replicas must use a keyed (hash) partitioning scheme",
+            ));
+        }
+        let src = self
+            .get_dist_set(source)?
+            .ok_or_else(|| PangeaError::usage(format!("unknown source set '{source}'")))?;
+        let tgt = self.create_dist_set(target, scheme.clone())?;
+        // Repartition: run the target's partitioner over the source
+        // (paper §7 `partitionSet(myLineitems, myReplica, partitionComp)`).
+        let nodes = self.workers.num_nodes();
+        let mut sinks =
+            BatchedSinks::new(self.clone(), tgt.name.clone(), DispatchConfig::default());
+        src.try_for_each_record(|from, rec| {
+            let to = scheme.node_of(rec, 0, nodes);
+            sinks.push(from, to, rec)
+        })?;
+        sinks.finish()?;
+        let (objects, bytes) = self
+            .catalog
+            .entry(source)?
+            .map(|e| (e.stats.objects, e.stats.bytes))
+            .unwrap_or((0, 0));
+        self.catalog.add_stats(target, objects, bytes)?;
+        let group = self.catalog.link_replicas(source, target)?;
+        let (objects, colliding) = self.rebuild_colliding_set(group, r)?;
+        Ok(ReplicaReport {
+            group,
+            objects,
+            colliding,
+        })
+    }
+
+    /// Recomputes the group's colliding set from scratch: maps every
+    /// object to its node in every member, finds objects spanning fewer
+    /// than `r + 1` distinct nodes, and stores `r` extra copies of each
+    /// on the nodes after its colliding node. Returns
+    /// `(objects, colliding)`.
+    fn rebuild_colliding_set(&self, group: ReplicaGroupId, r: u32) -> Result<(u64, u64)> {
+        let members = self.catalog.group_members(group)?;
+        let nodes = self.workers.num_nodes();
+        // Object hash → distinct nodes hosting any copy.
+        let mut placement: FxHashMap<u64, FxHashSet<NodeId>> = FxHashMap::default();
+        for member in &members {
+            let set = self
+                .get_dist_set(member)?
+                .ok_or_else(|| PangeaError::usage(format!("unknown member '{member}'")))?;
+            set.for_each_record(|node, rec| {
+                placement.entry(fx_hash64(rec)).or_default().insert(node);
+            })?;
+        }
+        let objects = placement.len() as u64;
+        let colliding: FxHashMap<u64, NodeId> = placement
+            .into_iter()
+            .filter(|(_, nodes_of)| nodes_of.len() <= r as usize)
+            .map(|(h, nodes_of)| (h, *nodes_of.iter().next().expect("non-empty placement")))
+            .collect();
+        // (Re)create the colliding set and fill it with `r` extra copies
+        // of each colliding object, placed on the nodes after the
+        // colliding node (wrapping), HDFS-style.
+        let name = colliding_set_name(group);
+        if self.catalog.contains(&name)? {
+            self.drop_dist_set(&name)?;
+        }
+        let cset = self.create_dist_set(&name, PartitionScheme::round_robin(nodes))?;
+        if !colliding.is_empty() {
+            let mut sinks =
+                BatchedSinks::new(self.clone(), cset.name.clone(), DispatchConfig::default());
+            // One scan of the first member yields every object's bytes.
+            let first = self
+                .get_dist_set(&members[0])?
+                .ok_or_else(|| PangeaError::usage("group has no members"))?;
+            let mut stored: FxHashSet<u64> = FxHashSet::default();
+            first.try_for_each_record(|from, rec| {
+                let h = fx_hash64(rec);
+                let Some(&collide_node) = colliding.get(&h) else {
+                    return Ok(());
+                };
+                if !stored.insert(h) {
+                    return Ok(()); // copy already stored during this scan
+                }
+                for i in 1..=r {
+                    let to = NodeId((collide_node.raw() + i) % nodes);
+                    sinks.push(from, to, rec)?;
+                }
+                Ok(())
+            })?;
+            sinks.finish()?;
+        }
+        Ok((objects, colliding.len() as u64))
+    }
+
+    /// Count of colliding objects currently stored for `group`.
+    pub fn colliding_objects(&self, group: ReplicaGroupId) -> Result<u64> {
+        match self.get_dist_set(&colliding_set_name(group))? {
+            Some(s) => s.total_records(),
+            None => Ok(0),
+        }
+    }
+
+    /// Restores the data a failed node lost (paper §7): for every member
+    /// of every replication group, re-derives the objects that lived on
+    /// `failed` by running the member's partitioner over a surviving
+    /// sibling replica, plus the colliding set for objects with no
+    /// surviving copy. The node slot must already be re-provisioned
+    /// (fresh node, empty sets — see [`ClusterCore::provision_node`]).
+    /// `bytes_moved` and `duration` are left for the frontend to fill.
+    pub fn recover_sets(&self, failed: NodeId) -> Result<RecoveryReport> {
+        let mut report = RecoveryReport {
+            failed,
+            replicas_recovered: Vec::new(),
+            objects_restored: 0,
+            colliding_restored: 0,
+            bytes_moved: 0,
+            duration: Duration::ZERO,
+        };
+        for group in self.catalog.groups()? {
+            let members = self.catalog.group_members(group)?;
+            if members.len() < 2 {
+                return Err(PangeaError::UnrecoverableFailure(format!(
+                    "replica group {group} has a single member; cannot recover {failed}"
+                )));
+            }
+            for target in &members {
+                let sources: Vec<&String> = members.iter().filter(|m| *m != target).collect();
+                self.recover_member(group, target, &sources, failed, &mut report)?;
+                report.replicas_recovered.push(target.clone());
+            }
+        }
+        Ok(report)
+    }
+
+    /// Restores `target`'s lost share on `failed` from the surviving
+    /// sibling replicas and the group's colliding set. With two replicas
+    /// one sibling suffices (the paper's "arbitrarily selects another
+    /// replica"); with three or more, an object may have been co-located
+    /// with the target's copy in one sibling but not another, so all
+    /// siblings are consulted and the `seen` set dedups.
+    fn recover_member(
+        &self,
+        group: ReplicaGroupId,
+        target: &str,
+        sources: &[&String],
+        failed: NodeId,
+        report: &mut RecoveryReport,
+    ) -> Result<()> {
+        let nodes = self.workers.num_nodes();
+        let t_entry = self
+            .catalog
+            .entry(target)?
+            .ok_or_else(|| PangeaError::usage(format!("unknown target '{target}'")))?;
+        let tgt = self
+            .get_dist_set(target)?
+            .ok_or_else(|| PangeaError::usage(format!("unknown target '{target}'")))?;
+        let mut sinks =
+            BatchedSinks::new(self.clone(), tgt.name.clone(), DispatchConfig::default());
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        // For round-robin targets the lost share cannot be recomputed by
+        // key; diff against the surviving share instead ("calculate the
+        // key range for all lost partitions" generalized to arbitrary
+        // physical organizations).
+        let present: Option<FxHashSet<u64>> = match t_entry.scheme.kind {
+            PartitionKind::Hash => None,
+            PartitionKind::RoundRobin => {
+                let mut p = FxHashSet::default();
+                tgt.for_each_record(|_, rec| {
+                    p.insert(fx_hash64(rec));
+                })?;
+                Some(p)
+            }
+        };
+        let is_lost = |rec: &[u8]| -> bool {
+            match &present {
+                None => t_entry.scheme.node_of(rec, 0, nodes) == failed,
+                Some(p) => !p.contains(&fx_hash64(rec)),
+            }
+        };
+        // Pass 1: surviving sibling replicas.
+        for source in sources {
+            let src = self
+                .get_dist_set(source)?
+                .ok_or_else(|| PangeaError::usage(format!("unknown source '{source}'")))?;
+            src.try_for_each_record(|from, rec| {
+                if !is_lost(rec) || !seen.insert(fx_hash64(rec)) {
+                    return Ok(());
+                }
+                sinks.push(from, failed, rec)?;
+                report.objects_restored += 1;
+                Ok(())
+            })?;
+        }
+        // Pass 2: colliding objects (no surviving sibling copy).
+        if let Some(cset) = self.get_dist_set(&colliding_set_name(group))? {
+            cset.try_for_each_record(|from, rec| {
+                if !is_lost(rec) || !seen.insert(fx_hash64(rec)) {
+                    return Ok(());
+                }
+                sinks.push(from, failed, rec)?;
+                report.objects_restored += 1;
+                report.colliding_restored += 1;
+                Ok(())
+            })?;
+        }
+        sinks.finish()
+    }
+}
+
+/// A distributed dataset handle served by the engine: one locality set
+/// per worker plus catalog metadata.
+#[derive(Debug, Clone)]
+pub struct EngineSet {
+    core: ClusterCore,
+    name: String,
+}
+
+impl EngineSet {
+    /// The set's cluster-wide name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The owning engine.
+    pub fn core(&self) -> &ClusterCore {
+        &self.core
+    }
+
+    /// The set's partitioning scheme, from the catalog.
+    pub fn scheme(&self) -> Result<PartitionScheme> {
+        Ok(self
+            .core
+            .catalog
+            .entry(&self.name)?
+            .ok_or_else(|| PangeaError::usage(format!("set '{}' not cataloged", self.name)))?
+            .scheme)
+    }
+
+    /// A dispatcher that routes records to workers by the set's scheme,
+    /// with default per-destination batching. `origin` is the node (or
+    /// client) the records are sent from, for network accounting.
+    pub fn dispatcher(&self, origin: NodeId) -> Result<EngineDispatcher> {
+        self.dispatcher_with(origin, DispatchConfig::default())
+    }
+
+    /// [`EngineSet::dispatcher`] with explicit batching thresholds.
+    pub fn dispatcher_with(
+        &self,
+        origin: NodeId,
+        config: DispatchConfig,
+    ) -> Result<EngineDispatcher> {
+        let scheme = self.scheme()?;
+        let nodes = self.core.workers.num_nodes();
+        Ok(EngineDispatcher {
+            sinks: BatchedSinks::new(self.core.clone(), self.name.clone(), config),
+            set_name: self.name.clone(),
+            catalog: Arc::clone(&self.core.catalog),
+            scheme,
+            origin,
+            nodes,
+            ordinal: 0,
+            objects: 0,
+            bytes: 0,
+        })
+    }
+
+    /// A dispatcher for records loaded from outside the cluster (every
+    /// delivery crosses the wire).
+    pub fn loader(&self) -> Result<EngineDispatcher> {
+        self.dispatcher(NodeId(u32::MAX))
+    }
+
+    /// [`EngineSet::loader`] with explicit batching thresholds.
+    pub fn loader_with(&self, config: DispatchConfig) -> Result<EngineDispatcher> {
+        self.dispatcher_with(NodeId(u32::MAX), config)
+    }
+
+    /// Runs `f` over every record of the set on every alive node.
+    pub fn for_each_record(&self, mut f: impl FnMut(NodeId, &[u8])) -> Result<()> {
+        self.try_for_each_record(|n, rec| {
+            f(n, rec);
+            Ok(())
+        })
+    }
+
+    /// Fallible variant of [`EngineSet::for_each_record`]: the first
+    /// error aborts the scan.
+    pub fn try_for_each_record(
+        &self,
+        mut f: impl FnMut(NodeId, &[u8]) -> Result<()>,
+    ) -> Result<()> {
+        for n in self.core.workers.alive_nodes() {
+            self.core
+                .workers
+                .scan(n, &self.name, &mut |rec| f(n, rec))?;
+        }
+        Ok(())
+    }
+
+    /// Counts records per alive node (placement diagnostics).
+    pub fn records_per_node(&self) -> Result<Vec<(NodeId, u64)>> {
+        let mut out = Vec::new();
+        for n in self.core.workers.alive_nodes() {
+            out.push((n, self.core.workers.count(n, &self.name)?));
+        }
+        Ok(out)
+    }
+
+    /// Total records across alive nodes.
+    pub fn total_records(&self) -> Result<u64> {
+        Ok(self.records_per_node()?.iter().map(|(_, c)| c).sum())
+    }
+}
+
+/// Routes records to workers according to a partitioning scheme, paying
+/// network costs per flushed batch rather than per record.
+pub struct EngineDispatcher {
+    sinks: BatchedSinks,
+    set_name: String,
+    catalog: Arc<dyn Catalog>,
+    scheme: PartitionScheme,
+    origin: NodeId,
+    nodes: u32,
+    ordinal: u64,
+    objects: u64,
+    bytes: u64,
+}
+
+impl fmt::Debug for EngineDispatcher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineDispatcher")
+            .field("set", &self.set_name)
+            .field("dispatched", &self.objects)
+            .finish()
+    }
+}
+
+impl EngineDispatcher {
+    /// Routes one record, returning the node it will land on. Delivery
+    /// may be deferred until the destination's batch flushes (or
+    /// [`EngineDispatcher::finish`]), so delivery errors can surface on
+    /// a later call.
+    pub fn dispatch(&mut self, record: &[u8]) -> Result<NodeId> {
+        let node = self.scheme.node_of(record, self.ordinal, self.nodes);
+        self.ordinal += 1;
+        self.sinks.push(self.origin, node, record)?;
+        self.objects += 1;
+        self.bytes += record.len() as u64;
+        Ok(node)
+    }
+
+    /// Records dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.objects
+    }
+
+    /// Flushes every pending batch, seals all sinks, and publishes
+    /// statistics to the catalog.
+    pub fn finish(self) -> Result<()> {
+        self.sinks.finish()?;
+        self.catalog
+            .add_stats(&self.set_name, self.objects, self.bytes)
+    }
+}
+
+/// Per-destination batching over backend sinks: records accumulate per
+/// `(origin, destination)` run and flush as one [`RecordSink::append`]
+/// when a threshold trips, the origin changes, or the batch is sealed.
+struct BatchedSinks {
+    core: ClusterCore,
+    set: String,
+    config: DispatchConfig,
+    slots: FxHashMap<NodeId, SinkSlot>,
+}
+
+struct SinkSlot {
+    sink: Box<dyn RecordSink>,
+    /// Origin of the pending batch; a batch never mixes origins so the
+    /// local-delivery (`from == to`) free path stays exact.
+    from: NodeId,
+    pending: Vec<Vec<u8>>,
+    pending_bytes: usize,
+}
+
+impl SinkSlot {
+    fn flush(&mut self) -> Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.sink.append(self.from, &self.pending)?;
+        self.pending.clear();
+        self.pending_bytes = 0;
+        Ok(())
+    }
+}
+
+impl Drop for BatchedSinks {
+    fn drop(&mut self) {
+        // Best effort: a dispatcher dropped without `finish()` (e.g. an
+        // unrelated error unwinding past it) still tries to deliver its
+        // pending batches rather than silently discarding them. Errors
+        // are swallowed here — `finish()` is the checked path, and only
+        // it seals the sinks.
+        for slot in self.slots.values_mut() {
+            let _ = slot.flush();
+        }
+    }
+}
+
+impl BatchedSinks {
+    fn new(core: ClusterCore, set: String, config: DispatchConfig) -> Self {
+        Self {
+            core,
+            set,
+            config,
+            slots: FxHashMap::default(),
+        }
+    }
+
+    fn push(&mut self, from: NodeId, to: NodeId, record: &[u8]) -> Result<()> {
+        if !self.slots.contains_key(&to) {
+            let sink = self.core.workers.open_sink(to, &self.set)?;
+            self.slots.insert(
+                to,
+                SinkSlot {
+                    sink,
+                    from,
+                    pending: Vec::new(),
+                    pending_bytes: 0,
+                },
+            );
+        }
+        let slot = self.slots.get_mut(&to).expect("just ensured");
+        if slot.from != from {
+            slot.flush()?;
+            slot.from = from;
+        }
+        slot.pending.push(record.to_vec());
+        slot.pending_bytes += record.len();
+        if slot.pending.len() >= self.config.max_batch_records
+            || slot.pending_bytes >= self.config.max_batch_bytes
+        {
+            slot.flush()?;
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<()> {
+        for (_, mut slot) in self.slots.drain() {
+            slot.flush()?;
+            slot.sink.finish()?;
+        }
+        Ok(())
+    }
+}

@@ -6,20 +6,29 @@
 //! replication (replicas = different physical organizations of the same
 //! objects), colliding-object tracking, failure injection, and recovery.
 //!
+//! The distributed logic lives in one generic [`engine`]
+//! ([`ClusterCore`] over the [`WorkerBackend`]/[`Catalog`] seams);
+//! [`SimCluster`] is its in-process frontend, and `pangea-coord`'s
+//! `RemoteCluster` drives the same engine against remote `pangead`
+//! processes and a wire-served catalog.
+//!
 //! See DESIGN.md §2 for the cluster-to-simulation substitution argument.
 
 pub mod cluster;
+pub mod engine;
 pub mod manager;
 pub mod network;
 pub mod partition;
 pub mod replication;
 
-pub use cluster::{ClusterConfig, Dispatcher, DistSet, SimCluster};
+pub use cluster::{ClusterConfig, Dispatcher, DistSet, SimCluster, SimWorkers};
+pub use engine::{
+    Catalog, ClusterCore, DispatchConfig, EngineDispatcher, EngineSet, RecordSink, RecoveryReport,
+    ReplicaReport, WorkerBackend,
+};
 pub use manager::{CatalogEntry, Manager, SetStats};
 pub use network::SimNetwork;
 // The wire seam the cluster is generic over (DESIGN.md §2a).
 pub use pangea_net::{TcpTransport, Transport};
 pub use partition::{KeyFn, PartitionKind, PartitionScheme};
-pub use replication::{
-    colliding_set_name, expected_colliding_ratio, RecoveryReport, ReplicaReport,
-};
+pub use replication::{colliding_set_name, expected_colliding_ratio};

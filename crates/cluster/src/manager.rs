@@ -178,6 +178,51 @@ impl Manager {
     }
 }
 
+/// The in-process implementation of the engine's catalog seam; the
+/// wire-served implementation lives in `pangea-coord`.
+impl crate::engine::Catalog for Manager {
+    fn register_set(&self, name: &str, scheme: PartitionScheme) -> Result<()> {
+        Manager::register_set(self, name, scheme)
+    }
+
+    fn deregister_set(&self, name: &str) -> Result<()> {
+        Manager::deregister_set(self, name);
+        Ok(())
+    }
+
+    fn entry(&self, name: &str) -> Result<Option<CatalogEntry>> {
+        Ok(Manager::entry(self, name))
+    }
+
+    fn contains(&self, name: &str) -> Result<bool> {
+        Ok(Manager::contains(self, name))
+    }
+
+    fn set_names(&self) -> Result<Vec<String>> {
+        Ok(Manager::set_names(self))
+    }
+
+    fn add_stats(&self, name: &str, objects: u64, bytes: u64) -> Result<()> {
+        Manager::add_stats(self, name, objects, bytes)
+    }
+
+    fn link_replicas(&self, a: &str, b: &str) -> Result<ReplicaGroupId> {
+        Manager::link_replicas(self, a, b)
+    }
+
+    fn group_members(&self, group: ReplicaGroupId) -> Result<Vec<String>> {
+        Ok(Manager::group_members(self, group))
+    }
+
+    fn groups(&self) -> Result<Vec<ReplicaGroupId>> {
+        Ok(Manager::groups(self))
+    }
+
+    fn best_replica(&self, set: &str, key: &str) -> Result<Option<String>> {
+        Ok(Manager::best_replica(self, set, key))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,7 +6,8 @@
 //! `PartitionComp(getKeyUdf)` — as a plain function over record bytes, so
 //! schemes work for any record layout.
 
-use pangea_common::{fx_hash64, NodeId, PartitionId};
+use pangea_common::{fx_hash64, NodeId, PangeaError, PartitionId, Result};
+use pangea_net::{KeySpec, SchemeSpec};
 use std::fmt;
 use std::sync::Arc;
 
@@ -34,6 +35,10 @@ pub struct PartitionScheme {
     /// Partitioning kind.
     pub kind: PartitionKind,
     key_fn: Option<KeyFn>,
+    /// Declarative form of `key_fn`, when the scheme was built from one.
+    /// Only spec-carrying schemes can be registered in a wire-served
+    /// catalog (UDF closures do not cross the wire).
+    key_spec: Option<KeySpec>,
 }
 
 impl fmt::Debug for PartitionScheme {
@@ -47,7 +52,11 @@ impl fmt::Debug for PartitionScheme {
 }
 
 impl PartitionScheme {
-    /// A hash scheme over `partitions` partitions keyed by `key_fn`.
+    /// A hash scheme over `partitions` partitions keyed by an arbitrary
+    /// `key_fn` — the paper's `PartitionComp(getKeyUdf)`. Closure-keyed
+    /// schemes work everywhere in-process but cannot be registered in a
+    /// wire-served catalog; use [`PartitionScheme::hash_field`] or
+    /// [`PartitionScheme::hash_whole`] there.
     pub fn hash(
         key_name: &str,
         partitions: u32,
@@ -58,6 +67,29 @@ impl PartitionScheme {
             partitions: partitions.max(1),
             kind: PartitionKind::Hash,
             key_fn: Some(Arc::new(key_fn)),
+            key_spec: None,
+        }
+    }
+
+    /// A hash scheme keyed by field `index` of each record after
+    /// splitting on `delim` — declarative, so it survives the trip
+    /// through a wire-served catalog.
+    pub fn hash_field(key_name: &str, partitions: u32, delim: u8, index: u32) -> Self {
+        Self::from_key_spec(key_name, partitions, KeySpec::Field { delim, index })
+    }
+
+    /// A hash scheme keyed by the whole record (declarative).
+    pub fn hash_whole(key_name: &str, partitions: u32) -> Self {
+        Self::from_key_spec(key_name, partitions, KeySpec::WholeRecord)
+    }
+
+    fn from_key_spec(key_name: &str, partitions: u32, spec: KeySpec) -> Self {
+        Self {
+            key_name: key_name.to_string(),
+            partitions: partitions.max(1),
+            kind: PartitionKind::Hash,
+            key_fn: Some(Arc::new(move |rec: &[u8]| spec.key_of(rec))),
+            key_spec: Some(spec),
         }
     }
 
@@ -68,6 +100,46 @@ impl PartitionScheme {
             partitions: partitions.max(1),
             kind: PartitionKind::RoundRobin,
             key_fn: None,
+            key_spec: None,
+        }
+    }
+
+    /// The declarative key spec this scheme was built from, if any.
+    pub fn key_spec(&self) -> Option<KeySpec> {
+        self.key_spec
+    }
+
+    /// The wire form of this scheme, for registration in a wire-served
+    /// catalog. Fails for hash schemes built from opaque closures.
+    pub fn to_spec(&self) -> Result<SchemeSpec> {
+        match self.kind {
+            PartitionKind::RoundRobin => Ok(SchemeSpec::RoundRobin {
+                partitions: self.partitions,
+            }),
+            PartitionKind::Hash => match self.key_spec {
+                Some(key) => Ok(SchemeSpec::Hash {
+                    key_name: self.key_name.clone(),
+                    partitions: self.partitions,
+                    key,
+                }),
+                None => Err(PangeaError::usage(format!(
+                    "scheme '{}' is keyed by an opaque closure; build it with \
+                     hash_field/hash_whole to register it over the wire",
+                    self.key_name
+                ))),
+            },
+        }
+    }
+
+    /// Re-materializes a scheme from its wire form.
+    pub fn from_spec(spec: &SchemeSpec) -> Self {
+        match spec {
+            SchemeSpec::RoundRobin { partitions } => Self::round_robin(*partitions),
+            SchemeSpec::Hash {
+                key_name,
+                partitions,
+                key,
+            } => Self::from_key_spec(key_name, *partitions, *key),
         }
     }
 
@@ -160,6 +232,41 @@ mod tests {
         assert!(!a.co_partitioned_with(&c));
         assert!(!a.co_partitioned_with(&d));
         assert!(!a.co_partitioned_with(&r));
+    }
+
+    #[test]
+    fn declarative_schemes_roundtrip_the_wire_form() {
+        let s = PartitionScheme::hash_field("l_orderkey", 8, b'|', 1);
+        let spec = s.to_spec().unwrap();
+        let back = PartitionScheme::from_spec(&spec);
+        assert_eq!(back.key_name, "l_orderkey");
+        assert_eq!(back.partitions, 8);
+        assert_eq!(back.kind, PartitionKind::Hash);
+        assert_eq!(
+            back.partition_of(b"a|42|x", 0),
+            s.partition_of(b"a|42|zzz", 7),
+            "same key field, same partition after the round trip"
+        );
+
+        let rr = PartitionScheme::round_robin(3);
+        assert_eq!(
+            PartitionScheme::from_spec(&rr.to_spec().unwrap()).partitions,
+            3
+        );
+
+        let whole = PartitionScheme::hash_whole("word", 4);
+        assert_eq!(whole.key_of(b"abc").unwrap(), b"abc");
+        assert!(whole.to_spec().is_ok());
+    }
+
+    #[test]
+    fn closure_schemes_refuse_the_wire() {
+        let s = PartitionScheme::hash("k", 4, first_field);
+        assert!(s.key_spec().is_none());
+        assert!(matches!(
+            s.to_spec(),
+            Err(pangea_common::PangeaError::InvalidUsage(_))
+        ));
     }
 
     #[test]

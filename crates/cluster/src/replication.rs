@@ -12,11 +12,12 @@
 //! copy, so colliding objects are detected at partitioning time, stored
 //! in a separate locality set, and replicated HDFS-style to other nodes.
 
-use crate::cluster::{DistSet, SimCluster};
-use crate::partition::{PartitionKind, PartitionScheme};
-use pangea_common::{fx_hash64, FxHashMap, FxHashSet, NodeId, PangeaError, ReplicaGroupId, Result};
-use pangea_core::SeqWriter;
-use std::time::{Duration, Instant};
+use crate::cluster::SimCluster;
+use crate::partition::PartitionScheme;
+use pangea_common::{NodeId, PangeaError, ReplicaGroupId, Result};
+use std::time::Instant;
+
+pub use crate::engine::{RecoveryReport, ReplicaReport};
 
 /// The conventional name of a group's colliding-object set.
 pub fn colliding_set_name(group: ReplicaGroupId) -> String {
@@ -37,78 +38,6 @@ pub fn expected_colliding_ratio(k: u32, r: u32) -> f64 {
     1.0 - numerator / (k as f64).powi(r as i32 + 1)
 }
 
-/// Outcome of registering a replica: the group plus colliding statistics.
-#[derive(Debug, Clone)]
-pub struct ReplicaReport {
-    /// The replication group both sets now belong to.
-    pub group: ReplicaGroupId,
-    /// Distinct objects in the group.
-    pub objects: u64,
-    /// Objects whose every copy landed on one node (stored in the
-    /// colliding set).
-    pub colliding: u64,
-}
-
-impl ReplicaReport {
-    /// Colliding objects as a fraction of all objects.
-    pub fn colliding_ratio(&self) -> f64 {
-        if self.objects == 0 {
-            0.0
-        } else {
-            self.colliding as f64 / self.objects as f64
-        }
-    }
-}
-
-/// Outcome of recovering a failed node.
-#[derive(Debug, Clone)]
-pub struct RecoveryReport {
-    /// The node that failed and was re-provisioned.
-    pub failed: NodeId,
-    /// Replica sets whose lost partitions were restored.
-    pub replicas_recovered: Vec<String>,
-    /// Objects restored from surviving replicas.
-    pub objects_restored: u64,
-    /// Of those, objects restored from the colliding set.
-    pub colliding_restored: u64,
-    /// Network bytes moved by the recovery.
-    pub bytes_moved: u64,
-    /// Wall-clock recovery time (the Fig. 6 metric).
-    pub duration: Duration,
-}
-
-/// Lazily-opened writers into one distributed set's node-local sets.
-struct NodeWriters<'a> {
-    set: &'a DistSet,
-    writers: FxHashMap<NodeId, SeqWriter>,
-}
-
-impl<'a> NodeWriters<'a> {
-    fn new(set: &'a DistSet) -> Self {
-        Self {
-            set,
-            writers: FxHashMap::default(),
-        }
-    }
-
-    fn append(&mut self, node: NodeId, record: &[u8]) -> Result<()> {
-        if !self.writers.contains_key(&node) {
-            self.writers.insert(node, self.set.local(node)?.writer());
-        }
-        self.writers
-            .get_mut(&node)
-            .expect("just inserted")
-            .add_object(record)
-    }
-
-    fn finish(mut self) -> Result<()> {
-        for (_, w) in self.writers.iter_mut() {
-            w.finish()?;
-        }
-        Ok(())
-    }
-}
-
 impl SimCluster {
     /// The paper's `partitionSet` + `registerReplica` pair with the
     /// default single-failure tolerance (`r = 1`).
@@ -122,10 +51,9 @@ impl SimCluster {
     }
 
     /// Registers `target` as a replica of `source` under `scheme`,
-    /// tolerating `r` concurrent node failures: the source is
-    /// repartitioned into the target, both join one replication group,
-    /// and objects whose copies span fewer than `r + 1` nodes are stored
-    /// in the group's colliding set with `r` extra copies (§7).
+    /// tolerating `r` concurrent node failures (§7). Delegates to the
+    /// generic engine ([`crate::engine::ClusterCore`]), which is shared
+    /// with `pangea-coord`'s `RemoteCluster`.
     pub fn register_replica_with_r(
         &self,
         source: &str,
@@ -133,112 +61,13 @@ impl SimCluster {
         scheme: PartitionScheme,
         r: u32,
     ) -> Result<ReplicaReport> {
-        if scheme.kind != PartitionKind::Hash {
-            return Err(PangeaError::usage(
-                "replicas must use a keyed (hash) partitioning scheme",
-            ));
-        }
-        let src = self
-            .get_dist_set(source)
-            .ok_or_else(|| PangeaError::usage(format!("unknown source set '{source}'")))?;
-        let tgt = self.create_dist_set(target, scheme.clone())?;
-        // Repartition: run the target's partitioner over the source
-        // (paper §7 `partitionSet(myLineitems, myReplica, partitionComp)`).
-        let nodes = self.num_nodes();
-        let mut writers = NodeWriters::new(&tgt);
-        let net = self.network().clone();
-        src.try_for_each_record(|from, rec| {
-            let to = scheme.node_of(rec, 0, nodes);
-            let delivered = net.transfer(from, to, rec)?;
-            writers.append(to, &delivered)
-        })?;
-        writers.finish()?;
-        self.manager().add_stats(
-            target,
-            self.manager()
-                .entry(source)
-                .map(|e| e.stats.objects)
-                .unwrap_or(0),
-            self.manager()
-                .entry(source)
-                .map(|e| e.stats.bytes)
-                .unwrap_or(0),
-        )?;
-        let group = self.manager().link_replicas(source, target)?;
-        let (objects, colliding) = self.rebuild_colliding_set(group, r)?;
-        Ok(ReplicaReport {
-            group,
-            objects,
-            colliding,
-        })
-    }
-
-    /// Recomputes the group's colliding set from scratch: maps every
-    /// object to its node in every member, finds objects spanning fewer
-    /// than `r + 1` distinct nodes, and stores `r` extra copies of each
-    /// on the nodes after its colliding node. Returns
-    /// `(objects, colliding)`.
-    fn rebuild_colliding_set(&self, group: ReplicaGroupId, r: u32) -> Result<(u64, u64)> {
-        let members = self.manager().group_members(group);
-        let nodes = self.num_nodes();
-        // Object hash → distinct nodes hosting any copy.
-        let mut placement: FxHashMap<u64, FxHashSet<NodeId>> = FxHashMap::default();
-        for member in &members {
-            let set = self
-                .get_dist_set(member)
-                .ok_or_else(|| PangeaError::usage(format!("unknown member '{member}'")))?;
-            set.for_each_record(|node, rec| {
-                placement.entry(fx_hash64(rec)).or_default().insert(node);
-            })?;
-        }
-        let objects = placement.len() as u64;
-        let colliding: FxHashMap<u64, NodeId> = placement
-            .into_iter()
-            .filter(|(_, nodes_of)| nodes_of.len() <= r as usize)
-            .map(|(h, nodes_of)| (h, *nodes_of.iter().next().expect("non-empty placement")))
-            .collect();
-        // (Re)create the colliding set and fill it with `r` extra copies
-        // of each colliding object, placed on the nodes after the
-        // colliding node (wrapping), HDFS-style.
-        let name = colliding_set_name(group);
-        if self.manager().contains(&name) {
-            self.drop_dist_set(&name)?;
-        }
-        let cset = self.create_dist_set(&name, PartitionScheme::round_robin(nodes))?;
-        if !colliding.is_empty() {
-            let mut writers = NodeWriters::new(&cset);
-            let net = self.network().clone();
-            // One scan of the first member yields every object's bytes.
-            let first = self
-                .get_dist_set(&members[0])
-                .ok_or_else(|| PangeaError::usage("group has no members"))?;
-            let mut stored: FxHashSet<u64> = FxHashSet::default();
-            first.try_for_each_record(|from, rec| {
-                let h = fx_hash64(rec);
-                let Some(&collide_node) = colliding.get(&h) else {
-                    return Ok(());
-                };
-                if !stored.insert(h) {
-                    return Ok(()); // copy already stored during this scan
-                }
-                for i in 1..=r {
-                    let to = NodeId((collide_node.raw() + i) % nodes);
-                    let delivered = net.transfer(from, to, rec)?;
-                    writers.append(to, &delivered)?;
-                }
-                Ok(())
-            })?;
-            writers.finish()?;
-        }
-        Ok((objects, colliding.len() as u64))
+        self.core()
+            .register_replica_with_r(source, target, scheme, r)
     }
 
     /// Count of colliding objects currently stored for `group`.
     pub fn colliding_objects(&self, group: ReplicaGroupId) -> Result<u64> {
-        match self.get_dist_set(&colliding_set_name(group)) {
-            Some(s) => s.total_records(),
-            None => Ok(0),
-        }
+        self.core().colliding_objects(group)
     }
 
     /// Recovers a failed node (paper §7): re-provisions the slot, then
@@ -253,113 +82,17 @@ impl SimCluster {
             return Err(PangeaError::usage(format!("{failed} has not failed")));
         }
         self.restart_node(failed)?;
-        let mut report = RecoveryReport {
-            failed,
-            replicas_recovered: Vec::new(),
-            objects_restored: 0,
-            colliding_restored: 0,
-            bytes_moved: 0,
-            duration: Duration::ZERO,
-        };
-        for group in self.manager().groups() {
-            let members = self.manager().group_members(group);
-            if members.len() < 2 {
-                return Err(PangeaError::UnrecoverableFailure(format!(
-                    "replica group {group} has a single member; cannot recover {failed}"
-                )));
-            }
-            for target in &members {
-                let sources: Vec<&String> = members.iter().filter(|m| *m != target).collect();
-                self.recover_member(group, target, &sources, failed, &mut report)?;
-                report.replicas_recovered.push(target.clone());
-            }
-        }
+        let mut report = self.core().recover_sets(failed)?;
         report.bytes_moved = self.network().bytes_moved() - net_before;
         report.duration = start.elapsed();
         Ok(report)
-    }
-
-    /// Restores `target`'s lost share on `failed` from the surviving
-    /// sibling replicas and the group's colliding set. With two replicas
-    /// one sibling suffices (the paper's "arbitrarily selects another
-    /// replica"); with three or more, an object may have been co-located
-    /// with the target's copy in one sibling but not another, so all
-    /// siblings are consulted and the `seen` set dedups.
-    fn recover_member(
-        &self,
-        group: ReplicaGroupId,
-        target: &str,
-        sources: &[&String],
-        failed: NodeId,
-        report: &mut RecoveryReport,
-    ) -> Result<()> {
-        let nodes = self.num_nodes();
-        let t_entry = self
-            .manager()
-            .entry(target)
-            .ok_or_else(|| PangeaError::usage(format!("unknown target '{target}'")))?;
-        let tgt = self
-            .get_dist_set(target)
-            .ok_or_else(|| PangeaError::usage(format!("unknown target '{target}'")))?;
-        let mut writers = NodeWriters::new(&tgt);
-        let mut seen: FxHashSet<u64> = FxHashSet::default();
-        let net = self.network().clone();
-        // For round-robin targets the lost share cannot be recomputed by
-        // key; diff against the surviving share instead ("calculate the
-        // key range for all lost partitions" generalized to arbitrary
-        // physical organizations).
-        let present: Option<FxHashSet<u64>> = match t_entry.scheme.kind {
-            PartitionKind::Hash => None,
-            PartitionKind::RoundRobin => {
-                let mut p = FxHashSet::default();
-                tgt.for_each_record(|_, rec| {
-                    p.insert(fx_hash64(rec));
-                })?;
-                Some(p)
-            }
-        };
-        let is_lost = |rec: &[u8]| -> bool {
-            match &present {
-                None => t_entry.scheme.node_of(rec, 0, nodes) == failed,
-                Some(p) => !p.contains(&fx_hash64(rec)),
-            }
-        };
-        // Pass 1: surviving sibling replicas.
-        for source in sources {
-            let src = self
-                .get_dist_set(source)
-                .ok_or_else(|| PangeaError::usage(format!("unknown source '{source}'")))?;
-            src.try_for_each_record(|from, rec| {
-                if !is_lost(rec) || !seen.insert(fx_hash64(rec)) {
-                    return Ok(());
-                }
-                let delivered = net.transfer(from, failed, rec)?;
-                writers.append(failed, &delivered)?;
-                report.objects_restored += 1;
-                Ok(())
-            })?;
-        }
-        // Pass 2: colliding objects (no surviving sibling copy).
-        if let Some(cset) = self.get_dist_set(&colliding_set_name(group)) {
-            cset.try_for_each_record(|from, rec| {
-                if !is_lost(rec) || !seen.insert(fx_hash64(rec)) {
-                    return Ok(());
-                }
-                let delivered = net.transfer(from, failed, rec)?;
-                writers.append(failed, &delivered)?;
-                report.objects_restored += 1;
-                report.colliding_restored += 1;
-                Ok(())
-            })?;
-        }
-        writers.finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cluster::ClusterConfig;
+    use crate::cluster::{ClusterConfig, DistSet};
     use pangea_common::KB;
     use std::collections::BTreeMap;
     use std::path::PathBuf;

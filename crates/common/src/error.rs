@@ -1,6 +1,6 @@
 //! The workspace-wide error type.
 
-use crate::ids::{NodeId, PageId, SetId};
+use crate::ids::{Epoch, NodeId, PageId, SetId};
 use std::fmt;
 use std::io;
 use std::sync::Arc;
@@ -48,6 +48,20 @@ pub enum PangeaError {
     /// Cluster bootstrap was attempted with an invalid key (paper §3.3:
     /// "A non-valid key will cause the whole system to terminate").
     AuthenticationFailed,
+    /// A wire peer failed (or skipped) the shared-secret handshake and
+    /// was rejected before any request was served.
+    Unauthenticated(String),
+    /// A membership operation carried an out-of-date registration epoch —
+    /// the sender is a stale incarnation of a node slot that has since
+    /// been replaced (or swept dead) by the manager.
+    StaleEpoch {
+        /// The node slot the operation addressed.
+        node: NodeId,
+        /// The epoch the sender holds.
+        held: Epoch,
+        /// The slot's current epoch at the manager.
+        current: Epoch,
+    },
     /// The referenced node is not part of the cluster or has failed.
     NodeUnavailable(NodeId),
     /// More nodes failed concurrently than the replication scheme tolerates.
@@ -56,7 +70,19 @@ pub enum PangeaError {
     Corruption(String),
     /// A remote node reported a failure over the wire protocol. The
     /// original error kind does not survive the trip; the message does.
+    /// (Kinds clients dispatch on — [`PangeaError::Unauthenticated`],
+    /// [`PangeaError::StaleEpoch`], [`PangeaError::ScanTooLarge`] —
+    /// travel typed instead.)
     Remote(String),
+    /// A one-shot scan reply would exceed the wire frame budget; read
+    /// the set page-by-page through `FetchPage` instead. Typed so
+    /// remote readers can fall back without parsing error prose.
+    ScanTooLarge {
+        /// The set whose scan was refused.
+        set: String,
+        /// The per-reply byte budget that would have been exceeded.
+        budget: u64,
+    },
     /// An API was used incorrectly (e.g. writing to a read-configured set).
     InvalidUsage(String),
     /// Invalid configuration (page size 0, no disks, ...).
@@ -109,10 +135,24 @@ impl fmt::Display for PangeaError {
             ),
             Self::SystemFailure(m) => write!(f, "system failure: {m}"),
             Self::AuthenticationFailed => write!(f, "invalid key pair; system terminated"),
+            Self::Unauthenticated(m) => write!(f, "unauthenticated peer rejected: {m}"),
+            Self::StaleEpoch {
+                node,
+                held,
+                current,
+            } => write!(
+                f,
+                "stale epoch for {node}: sender holds {held}, manager is at {current}"
+            ),
             Self::NodeUnavailable(n) => write!(f, "{n} is unavailable"),
             Self::UnrecoverableFailure(m) => write!(f, "unrecoverable failure: {m}"),
             Self::Corruption(m) => write!(f, "data corruption: {m}"),
             Self::Remote(m) => write!(f, "remote node error: {m}"),
+            Self::ScanTooLarge { set, budget } => write!(
+                f,
+                "scan of '{set}' exceeds {budget} B in one reply; \
+                 page through FetchPage instead"
+            ),
             Self::InvalidUsage(m) => write!(f, "invalid usage: {m}"),
             Self::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
         }

@@ -57,6 +57,14 @@ id_type!(
     /// hold the same objects under different physical organizations (§7).
     ReplicaGroupId, u64, "rg#"
 );
+id_type!(
+    /// A worker's registration incarnation with the cluster manager
+    /// (paper §3.3). Every (re-)registration of a node slot gets a fresh,
+    /// strictly larger epoch, so a zombie worker that missed its own
+    /// replacement can be told apart from the current incarnation: its
+    /// heartbeats carry a stale epoch and are rejected.
+    Epoch, u64, "epoch#"
+);
 
 /// The ordinal of a page within its locality set on one node.
 pub type PageNum = u64;

@@ -22,7 +22,7 @@ pub use clock::{AccessClock, Tick};
 pub use codec::{decode_record, encode_record, ByteReader, ByteWriter, Record};
 pub use error::{PangeaError, Result};
 pub use hash::{fx_hash64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use ids::{NodeId, PageId, PageNum, PartitionId, ReplicaGroupId, SetId};
+pub use ids::{Epoch, NodeId, PageId, PageNum, PartitionId, ReplicaGroupId, SetId};
 pub use iostats::{IoStats, IoStatsSnapshot};
 pub use throttle::Throttle;
 pub use units::{GB, KB, MB};

@@ -1,0 +1,91 @@
+//! `pangea-mgr` — run the Pangea manager daemon.
+//!
+//! ```text
+//! pangea-mgr --listen 127.0.0.1:7780 [--liveness-ms 3000] \
+//!            [--secret S | --secret-file PATH]
+//! ```
+//!
+//! The daemon serves the wire catalog + membership until killed.
+//! Argument parsing is deliberately dependency-free.
+
+use pangea_coord::MgrServer;
+use std::process::exit;
+use std::time::Duration;
+
+struct Args {
+    listen: String,
+    liveness_ms: u64,
+    secret: Option<String>,
+}
+
+const USAGE: &str = "usage: pangea-mgr --listen <addr:port> \
+    [--liveness-ms N] [--secret S | --secret-file PATH]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: String::new(),
+        liveness_ms: 3000,
+        secret: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--liveness-ms" => {
+                args.liveness_ms = value("--liveness-ms")?
+                    .parse()
+                    .map_err(|e| format!("--liveness-ms: {e}"))?;
+            }
+            "--secret" | "--secret-file" => {
+                let v = value(&flag)?;
+                args.secret = Some(pangea_coord::cli::resolve_secret_flag(&flag, v)?);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.listen.is_empty() {
+        return Err("--listen is required".to_string());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("pangea-mgr: {e}\n{USAGE}");
+            exit(2);
+        }
+    };
+    let mut server = match MgrServer::bind_with(
+        &args.listen,
+        Duration::from_millis(args.liveness_ms),
+        args.secret.clone(),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pangea-mgr: cannot bind {}: {e}", args.listen);
+            exit(1);
+        }
+    };
+    println!(
+        "pangea-mgr listening on {} (liveness timeout: {} ms, handshake: {})",
+        server.local_addr(),
+        args.liveness_ms,
+        if args.secret.is_some() {
+            "required"
+        } else {
+            "open"
+        }
+    );
+    // Serve until SIGINT/SIGTERM, then drain in-flight requests and
+    // join every handler thread before exiting.
+    pangea_coord::wait_for_termination();
+    println!("pangea-mgr: shutting down");
+    server.shutdown();
+}

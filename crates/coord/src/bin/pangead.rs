@@ -3,15 +3,22 @@
 //! ```text
 //! pangead --listen 127.0.0.1:7781 --data /var/lib/pangea/node0 \
 //!         [--pool-mb 64] [--page-kb 256] [--disks 1] \
-//!         [--strategy data-aware] [--disk-bw-mb <MB/s>]
+//!         [--strategy data-aware] [--disk-bw-mb <MB/s>] \
+//!         [--secret S | --secret-file PATH] \
+//!         [--manager <addr:port>] [--advertise <addr:port>] \
+//!         [--slot N] [--heartbeat-ms 500]
 //! ```
 //!
-//! The daemon serves until killed. Argument parsing is deliberately
-//! dependency-free.
+//! With `--manager`, the daemon registers itself with a `pangea-mgr`
+//! (pinning `--slot` when replacing a dead worker), heartbeats in the
+//! background, and deregisters on clean exit. Argument parsing is
+//! deliberately dependency-free.
 
+use pangea_coord::WorkerAgent;
 use pangea_core::{NodeConfig, StorageNode};
 use pangea_net::PangeadServer;
 use std::process::exit;
+use std::time::Duration;
 
 struct Args {
     listen: String,
@@ -21,10 +28,17 @@ struct Args {
     disks: usize,
     strategy: String,
     disk_bw_mb: Option<u64>,
+    secret: Option<String>,
+    manager: Option<String>,
+    advertise: Option<String>,
+    slot: Option<u32>,
+    heartbeat_ms: u64,
 }
 
 const USAGE: &str = "usage: pangead --listen <addr:port> --data <dir> \
-    [--pool-mb N] [--page-kb N] [--disks N] [--strategy NAME] [--disk-bw-mb N]";
+    [--pool-mb N] [--page-kb N] [--disks N] [--strategy NAME] [--disk-bw-mb N] \
+    [--secret S | --secret-file PATH] \
+    [--manager <addr:port>] [--advertise <addr:port>] [--slot N] [--heartbeat-ms N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -35,6 +49,11 @@ fn parse_args() -> Result<Args, String> {
         disks: 1,
         strategy: "data-aware".to_string(),
         disk_bw_mb: None,
+        secret: None,
+        manager: None,
+        advertise: None,
+        slot: None,
+        heartbeat_ms: 500,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -64,6 +83,24 @@ fn parse_args() -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("--disk-bw-mb: {e}"))?,
                 );
+            }
+            "--secret" | "--secret-file" => {
+                let v = value(&flag)?;
+                args.secret = Some(pangea_coord::cli::resolve_secret_flag(&flag, v)?);
+            }
+            "--manager" => args.manager = Some(value("--manager")?),
+            "--advertise" => args.advertise = Some(value("--advertise")?),
+            "--slot" => {
+                args.slot = Some(
+                    value("--slot")?
+                        .parse()
+                        .map_err(|e| format!("--slot: {e}"))?,
+                );
+            }
+            "--heartbeat-ms" => {
+                args.heartbeat_ms = value("--heartbeat-ms")?
+                    .parse()
+                    .map_err(|e| format!("--heartbeat-ms: {e}"))?;
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -101,7 +138,8 @@ fn main() {
             exit(1);
         }
     };
-    let server = match PangeadServer::bind(node, &args.listen) {
+    let mut server = match PangeadServer::bind_with_secret(node, &args.listen, args.secret.clone())
+    {
         Ok(s) => s,
         Err(e) => {
             eprintln!("pangead: cannot bind {}: {e}", args.listen);
@@ -116,8 +154,46 @@ fn main() {
         args.page_kb,
         args.strategy
     );
-    // Serve until killed: park the main thread while the accept loop runs.
-    loop {
-        std::thread::park();
+    // Register with the manager when one is configured: the agent
+    // heartbeats in the background and deregisters on clean shutdown.
+    let mut agent = match &args.manager {
+        Some(mgr) => {
+            let advertise = args
+                .advertise
+                .clone()
+                .unwrap_or_else(|| server.local_addr().to_string());
+            match WorkerAgent::register(
+                mgr,
+                args.secret.as_deref(),
+                &advertise,
+                args.slot.map(pangea_common::NodeId),
+                Duration::from_millis(args.heartbeat_ms),
+            ) {
+                Ok(agent) => {
+                    println!(
+                        "registered with pangea-mgr {mgr} as {} ({}, advertising {advertise})",
+                        agent.node(),
+                        agent.epoch(),
+                    );
+                    Some(agent)
+                }
+                Err(e) => {
+                    eprintln!("pangead: cannot register with manager {mgr}: {e}");
+                    exit(1);
+                }
+            }
+        }
+        None => None,
+    };
+    // Serve until SIGINT/SIGTERM, then exit cleanly: deregister with
+    // the manager (Left, not Dead — never fed to recovery) and drain
+    // in-flight requests before closing connections.
+    pangea_coord::wait_for_termination();
+    println!("pangead: shutting down");
+    if let Some(agent) = agent.as_mut() {
+        if let Err(e) = agent.shutdown() {
+            eprintln!("pangead: deregistration failed: {e}");
+        }
     }
+    server.shutdown();
 }

@@ -1,0 +1,40 @@
+//! Shared pieces of the daemons' dependency-free CLI parsing, so
+//! `pangead` and `pangea-mgr` cannot drift on flags they both take.
+
+/// Resolves the shared-secret flags both daemons accept: `--secret`
+/// passes the value verbatim, `--secret-file` reads the file and trims
+/// surrounding whitespace (so a trailing newline in the file never
+/// becomes part of the handshake secret).
+pub fn resolve_secret_flag(flag: &str, value: String) -> Result<String, String> {
+    match flag {
+        "--secret" => Ok(value),
+        "--secret-file" => std::fs::read_to_string(&value)
+            .map(|s| s.trim().to_string())
+            .map_err(|e| format!("--secret-file {value}: {e}")),
+        other => Err(format!("'{other}' is not a secret flag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secret_flag_passes_through_and_file_trims() {
+        assert_eq!(
+            resolve_secret_flag("--secret", "s3cr3t".into()).unwrap(),
+            "s3cr3t"
+        );
+        let path = std::env::temp_dir().join(format!("pangea-cli-secret-{}", std::process::id()));
+        std::fs::write(&path, "  from-file\n").unwrap();
+        assert_eq!(
+            resolve_secret_flag("--secret-file", path.display().to_string()).unwrap(),
+            "from-file"
+        );
+        let _ = std::fs::remove_file(&path);
+        assert!(resolve_secret_flag("--secret-file", "/no/such/file".into())
+            .unwrap_err()
+            .contains("--secret-file"));
+        assert!(resolve_secret_flag("--listen", "x".into()).is_err());
+    }
+}

@@ -1,0 +1,285 @@
+//! Typed clients for `pangea-mgr`: the [`ManagerClient`] RPC wrapper and
+//! the [`RemoteCatalog`] implementation of the engine's catalog seam.
+
+use pangea_cluster::engine::Catalog;
+use pangea_cluster::{CatalogEntry, PartitionScheme, SetStats};
+use pangea_common::{Epoch, NodeId, PangeaError, ReplicaGroupId, Result};
+use pangea_net::{PangeaClient, Request, Response, SchemeSpec, WireWorker};
+use parking_lot::Mutex;
+use std::net::ToSocketAddrs;
+
+/// A connected manager client: one connection, typed manager RPCs.
+#[derive(Debug)]
+pub struct ManagerClient {
+    client: PangeaClient,
+}
+
+impl ManagerClient {
+    /// Connects to a `pangea-mgr` at `addr`, performing the handshake
+    /// when a secret is given.
+    pub fn connect(addr: impl ToSocketAddrs, secret: Option<&str>) -> Result<Self> {
+        Ok(Self {
+            client: PangeaClient::connect_with_secret(addr, secret)?,
+        })
+    }
+
+    fn unexpected(resp: Response) -> PangeaError {
+        PangeaError::Remote(format!("unexpected manager response: {resp:?}"))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        self.client.ping()
+    }
+
+    /// Registers a worker advertising `addr`, optionally pinning a slot.
+    pub fn register_worker(&mut self, addr: &str, slot: Option<NodeId>) -> Result<(NodeId, Epoch)> {
+        let req = Request::MgrRegisterWorker {
+            addr: addr.to_string(),
+            slot: slot.map(|n| n.raw() as u64),
+        };
+        match self.client.call(&req)? {
+            Response::WorkerRegistered { node, epoch } => Ok((NodeId(node), Epoch(epoch))),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Sends one heartbeat for `(node, epoch)`.
+    pub fn heartbeat(&mut self, node: NodeId, epoch: Epoch) -> Result<()> {
+        let req = Request::MgrHeartbeat {
+            node: node.raw(),
+            epoch: epoch.raw(),
+        };
+        match self.client.call(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Deregisters `(node, epoch)` on clean shutdown.
+    pub fn deregister_worker(&mut self, node: NodeId, epoch: Epoch) -> Result<()> {
+        let req = Request::MgrDeregisterWorker {
+            node: node.raw(),
+            epoch: epoch.raw(),
+        };
+        match self.client.call(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// The manager's membership snapshot (liveness swept server-side).
+    pub fn list_workers(&mut self) -> Result<Vec<WireWorker>> {
+        match self.client.call(&Request::MgrListWorkers)? {
+            Response::Workers { workers } => Ok(workers),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Registers a distributed set in the wire-served catalog.
+    pub fn register_set(&mut self, name: &str, scheme: &SchemeSpec) -> Result<()> {
+        let req = Request::MgrRegisterSet {
+            name: name.to_string(),
+            scheme: scheme.clone(),
+        };
+        match self.client.call(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Removes a set from the catalog.
+    pub fn deregister_set(&mut self, name: &str) -> Result<()> {
+        let req = Request::MgrDeregisterSet {
+            name: name.to_string(),
+        };
+        match self.client.call(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// One catalog entry, if registered.
+    pub fn entry(&mut self, name: &str) -> Result<Option<pangea_net::WireCatalogEntry>> {
+        let req = Request::MgrEntry {
+            name: name.to_string(),
+        };
+        match self.client.call(&req)? {
+            Response::CatalogEntry { entry } => Ok(entry),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// All registered set names, sorted.
+    pub fn set_names(&mut self) -> Result<Vec<String>> {
+        match self.client.call(&Request::MgrSetNames)? {
+            Response::Names { names } => Ok(names),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Adds dispatch counts to a set's statistics.
+    pub fn add_stats(&mut self, name: &str, objects: u64, bytes: u64) -> Result<()> {
+        let req = Request::MgrAddStats {
+            name: name.to_string(),
+            objects,
+            bytes,
+        };
+        match self.client.call(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Puts `a` and `b` in the same replica group.
+    pub fn link_replicas(&mut self, a: &str, b: &str) -> Result<ReplicaGroupId> {
+        let req = Request::MgrLinkReplicas {
+            a: a.to_string(),
+            b: b.to_string(),
+        };
+        match self.client.call(&req)? {
+            Response::Group { group } => Ok(ReplicaGroupId(group)),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Members of a replica group.
+    pub fn group_members(&mut self, group: ReplicaGroupId) -> Result<Vec<String>> {
+        let req = Request::MgrGroupMembers { group: group.raw() };
+        match self.client.call(&req)? {
+            Response::Names { names } => Ok(names),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// All replica groups, ascending.
+    pub fn groups(&mut self) -> Result<Vec<ReplicaGroupId>> {
+        match self.client.call(&Request::MgrGroups)? {
+            Response::Groups { groups } => Ok(groups.into_iter().map(ReplicaGroupId).collect()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// The statistics service's best-replica answer.
+    pub fn best_replica(&mut self, set: &str, key: &str) -> Result<Option<String>> {
+        let req = Request::MgrBestReplica {
+            set: set.to_string(),
+            key: key.to_string(),
+        };
+        match self.client.call(&req)? {
+            Response::MaybeName { name } => Ok(name),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+}
+
+/// A reconnecting handle to one `pangea-mgr`: holds at most one idle
+/// connection, *checked out* for the duration of each RPC so the lock
+/// is never held across socket I/O (a wedged manager socket blocks its
+/// own caller, not every other thread's manager traffic). A failed
+/// call drops the connection; the next call reconnects.
+#[derive(Debug)]
+pub struct MgrConn {
+    addr: String,
+    secret: Option<String>,
+    idle: Mutex<Option<ManagerClient>>,
+}
+
+impl MgrConn {
+    /// Connects once (validating address + handshake) and keeps the
+    /// connection as the idle one.
+    pub fn connect(addr: &str, secret: Option<&str>) -> Result<Self> {
+        let client = ManagerClient::connect(addr, secret)?;
+        Ok(Self {
+            addr: addr.to_string(),
+            secret: secret.map(str::to_string),
+            idle: Mutex::new(Some(client)),
+        })
+    }
+
+    /// Runs `f` with a checked-out manager client, reconnecting when no
+    /// idle connection exists. The connection returns to the pool only
+    /// on success.
+    pub fn with<T>(&self, f: impl FnOnce(&mut ManagerClient) -> Result<T>) -> Result<T> {
+        let cached = self.idle.lock().take();
+        let mut client = match cached {
+            Some(c) => c,
+            None => ManagerClient::connect(self.addr.as_str(), self.secret.as_deref())?,
+        };
+        let out = f(&mut client);
+        if out.is_ok() {
+            // A concurrent caller may have checked its own connection
+            // back in first; last one in wins the single idle slot.
+            *self.idle.lock() = Some(client);
+        }
+        out
+    }
+}
+
+/// The wire-served implementation of the engine's [`Catalog`] seam:
+/// every lookup and registration is an RPC against `pangea-mgr`.
+/// Schemes must be declarative ([`PartitionScheme::hash_field`] /
+/// [`PartitionScheme::hash_whole`] / round-robin) — closure-keyed UDF
+/// schemes cannot cross the wire.
+#[derive(Debug)]
+pub struct RemoteCatalog {
+    mgr: MgrConn,
+}
+
+impl RemoteCatalog {
+    /// Wraps a manager connection.
+    pub fn new(mgr: MgrConn) -> Self {
+        Self { mgr }
+    }
+
+    fn entry_from_wire(e: pangea_net::WireCatalogEntry) -> CatalogEntry {
+        CatalogEntry {
+            name: e.name,
+            scheme: PartitionScheme::from_spec(&e.scheme),
+            group: e.group.map(ReplicaGroupId),
+            stats: SetStats {
+                objects: e.objects,
+                bytes: e.bytes,
+            },
+        }
+    }
+}
+
+impl Catalog for RemoteCatalog {
+    fn register_set(&self, name: &str, scheme: PartitionScheme) -> Result<()> {
+        let spec = scheme.to_spec()?;
+        self.mgr.with(|m| m.register_set(name, &spec))
+    }
+
+    fn deregister_set(&self, name: &str) -> Result<()> {
+        self.mgr.with(|m| m.deregister_set(name))
+    }
+
+    fn entry(&self, name: &str) -> Result<Option<CatalogEntry>> {
+        Ok(self.mgr.with(|m| m.entry(name))?.map(Self::entry_from_wire))
+    }
+
+    fn set_names(&self) -> Result<Vec<String>> {
+        self.mgr.with(|m| m.set_names())
+    }
+
+    fn add_stats(&self, name: &str, objects: u64, bytes: u64) -> Result<()> {
+        self.mgr.with(|m| m.add_stats(name, objects, bytes))
+    }
+
+    fn link_replicas(&self, a: &str, b: &str) -> Result<ReplicaGroupId> {
+        self.mgr.with(|m| m.link_replicas(a, b))
+    }
+
+    fn group_members(&self, group: ReplicaGroupId) -> Result<Vec<String>> {
+        self.mgr.with(|m| m.group_members(group))
+    }
+
+    fn groups(&self) -> Result<Vec<ReplicaGroupId>> {
+        self.mgr.with(|m| m.groups())
+    }
+
+    fn best_replica(&self, set: &str, key: &str) -> Result<Option<String>> {
+        self.mgr.with(|m| m.best_replica(set, key))
+    }
+}

@@ -1,0 +1,333 @@
+//! `pangea-mgr` — the Pangea manager daemon (paper §3.3).
+//!
+//! Serves the manager's catalog + statistics database and the cluster
+//! membership table over the same framed protocol `pangead` speaks. The
+//! daemon is deliberately light-weight, exactly as the paper stresses:
+//! it stores per-*set* metadata and per-*worker* liveness, never
+//! per-page locations (those live in each worker's meta files, §4).
+//!
+//! Like [`Pangead`], the request dispatch is pure request → response —
+//! [`ManagerDaemon::handle`] — and the serving loop is the shared
+//! [`FramedServer`] (handshake enforcement, graceful drain included).
+//!
+//! [`Pangead`]: pangea_net::Pangead
+
+use crate::membership::Membership;
+use pangea_cluster::{CatalogEntry, Manager, PartitionScheme};
+use pangea_common::{Epoch, IoStats, NodeId, PangeaError, ReplicaGroupId, Result};
+use pangea_net::{
+    error_response, FramedServer, FramedService, Request, Response, WireCatalogEntry,
+};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The default liveness timeout: a worker missing heartbeats for this
+/// long is declared dead.
+pub const DEFAULT_LIVENESS_TIMEOUT: Duration = Duration::from_secs(3);
+
+/// The protocol brain of the manager daemon: catalog + membership
+/// behind the wire protocol.
+#[derive(Debug)]
+pub struct ManagerDaemon {
+    catalog: Manager,
+    membership: Membership,
+    stats: Arc<IoStats>,
+}
+
+impl ManagerDaemon {
+    /// A fresh manager with the given liveness timeout.
+    pub fn new(liveness_timeout: Duration) -> Self {
+        Self {
+            catalog: Manager::new(),
+            membership: Membership::new(liveness_timeout),
+            stats: Arc::new(IoStats::new()),
+        }
+    }
+
+    /// The wrapped catalog / statistics database.
+    pub fn catalog(&self) -> &Manager {
+        &self.catalog
+    }
+
+    /// The membership table.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Wire counters (requests handled).
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// Handles one request, turning errors into [`Response::Err`].
+    pub fn handle(&self, req: Request) -> Response {
+        self.stats.record_net(0);
+        match self.dispatch(req) {
+            Ok(resp) => resp,
+            Err(e) => error_response(&e),
+        }
+    }
+
+    fn entry_to_wire(entry: CatalogEntry) -> Result<WireCatalogEntry> {
+        Ok(WireCatalogEntry {
+            name: entry.name,
+            scheme: entry.scheme.to_spec()?,
+            group: entry.group.map(ReplicaGroupId::raw),
+            objects: entry.stats.objects,
+            bytes: entry.stats.bytes,
+        })
+    }
+
+    fn dispatch(&self, req: Request) -> Result<Response> {
+        match req {
+            Request::Ping => Ok(Response::Ok),
+            // The server layer handles handshakes; reaching here means no
+            // secret is required on this daemon.
+            Request::Hello { .. } => Ok(Response::Ok),
+            Request::Stats => {
+                let net = self.stats.snapshot();
+                Ok(Response::Stats {
+                    net_bytes: net.net_bytes,
+                    net_messages: net.net_messages,
+                    disk_read_bytes: 0,
+                    disk_write_bytes: 0,
+                })
+            }
+
+            // ---- membership --------------------------------------------
+            Request::MgrRegisterWorker { addr, slot } => {
+                // The wire field is u64 (u64::MAX reserved for "next
+                // free"); slots are u32 node ids — reject, don't truncate.
+                let slot = slot
+                    .map(|s| {
+                        u32::try_from(s).map(NodeId).map_err(|_| {
+                            PangeaError::usage(format!("slot {s} exceeds the u32 node-id space"))
+                        })
+                    })
+                    .transpose()?;
+                let (node, epoch) = self.membership.register(&addr, slot)?;
+                Ok(Response::WorkerRegistered {
+                    node: node.raw(),
+                    epoch: epoch.raw(),
+                })
+            }
+            Request::MgrHeartbeat { node, epoch } => {
+                self.membership.sweep();
+                self.membership.heartbeat(NodeId(node), Epoch(epoch))?;
+                Ok(Response::Ok)
+            }
+            Request::MgrDeregisterWorker { node, epoch } => {
+                self.membership.deregister(NodeId(node), Epoch(epoch))?;
+                Ok(Response::Ok)
+            }
+            Request::MgrListWorkers => {
+                self.membership.sweep();
+                Ok(Response::Workers {
+                    workers: self.membership.workers(),
+                })
+            }
+
+            // ---- catalog + statistics DB -------------------------------
+            Request::MgrRegisterSet { name, scheme } => {
+                self.catalog
+                    .register_set(&name, PartitionScheme::from_spec(&scheme))?;
+                Ok(Response::Ok)
+            }
+            Request::MgrDeregisterSet { name } => {
+                self.catalog.deregister_set(&name);
+                Ok(Response::Ok)
+            }
+            Request::MgrEntry { name } => Ok(Response::CatalogEntry {
+                entry: self
+                    .catalog
+                    .entry(&name)
+                    .map(Self::entry_to_wire)
+                    .transpose()?,
+            }),
+            Request::MgrSetNames => Ok(Response::Names {
+                names: self.catalog.set_names(),
+            }),
+            Request::MgrAddStats {
+                name,
+                objects,
+                bytes,
+            } => {
+                self.catalog.add_stats(&name, objects, bytes)?;
+                Ok(Response::Ok)
+            }
+            Request::MgrLinkReplicas { a, b } => Ok(Response::Group {
+                group: self.catalog.link_replicas(&a, &b)?.raw(),
+            }),
+            Request::MgrGroupMembers { group } => Ok(Response::Names {
+                names: self.catalog.group_members(ReplicaGroupId(group)),
+            }),
+            Request::MgrGroups => Ok(Response::Groups {
+                groups: self
+                    .catalog
+                    .groups()
+                    .into_iter()
+                    .map(ReplicaGroupId::raw)
+                    .collect(),
+            }),
+            Request::MgrBestReplica { set, key } => Ok(Response::MaybeName {
+                name: self.catalog.best_replica(&set, &key),
+            }),
+
+            // ---- everything else belongs to storage nodes --------------
+            other => Err(PangeaError::usage(format!(
+                "storage request {other:?} sent to the manager daemon; \
+                 connect to a pangead instead"
+            ))),
+        }
+    }
+}
+
+impl FramedService for ManagerDaemon {
+    fn handle(&self, req: Request) -> Response {
+        ManagerDaemon::handle(self, req)
+    }
+}
+
+/// A running `pangea-mgr` server: one [`ManagerDaemon`] behind a
+/// [`FramedServer`].
+#[derive(Debug)]
+pub struct MgrServer {
+    daemon: Arc<ManagerDaemon>,
+    server: FramedServer,
+}
+
+impl MgrServer {
+    /// Binds `addr` with the default liveness timeout and no secret.
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<Self> {
+        Self::bind_with(addr, DEFAULT_LIVENESS_TIMEOUT, None)
+    }
+
+    /// Binds `addr` with an explicit liveness timeout and optional
+    /// shared handshake secret.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        liveness_timeout: Duration,
+        secret: Option<String>,
+    ) -> Result<Self> {
+        let daemon = Arc::new(ManagerDaemon::new(liveness_timeout));
+        let server =
+            FramedServer::bind(Arc::clone(&daemon) as Arc<dyn FramedService>, addr, secret)?;
+        Ok(Self { daemon, server })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The protocol daemon (for inspecting catalog or membership).
+    pub fn daemon(&self) -> &Arc<ManagerDaemon> {
+        &self.daemon
+    }
+
+    /// Gracefully stops the server (drain + join). Idempotent.
+    pub fn shutdown(&mut self) {
+        self.server.shutdown(pangea_net::DEFAULT_DRAIN);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangea_net::{SchemeSpec, WorkerState};
+
+    fn daemon() -> ManagerDaemon {
+        ManagerDaemon::new(Duration::from_millis(50))
+    }
+
+    #[test]
+    fn membership_lifecycle_over_the_protocol() {
+        let d = daemon();
+        let (node, epoch) = match d.handle(Request::MgrRegisterWorker {
+            addr: "127.0.0.1:7781".into(),
+            slot: None,
+        }) {
+            Response::WorkerRegistered { node, epoch } => (node, epoch),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(node, 0);
+        assert_eq!(
+            d.handle(Request::MgrHeartbeat { node, epoch }),
+            Response::Ok
+        );
+        // Stale epoch is rejected with the typed wire response naming
+        // both epochs, so zombies can tell "replaced" from other errors.
+        match d.handle(Request::MgrHeartbeat {
+            node,
+            epoch: epoch + 1,
+        }) {
+            Response::Stale { held, current, .. } => {
+                assert_eq!((held, current), (epoch + 1, epoch));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Miss heartbeats long enough and the list shows Dead.
+        std::thread::sleep(Duration::from_millis(120));
+        match d.handle(Request::MgrListWorkers) {
+            Response::Workers { workers } => {
+                assert_eq!(workers.len(), 1);
+                assert_eq!(workers[0].state, WorkerState::Dead);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn catalog_round_trips_schemes_and_stats() {
+        let d = daemon();
+        let scheme = SchemeSpec::Hash {
+            key_name: "k".into(),
+            partitions: 6,
+            key: pangea_net::KeySpec::Field {
+                delim: b'|',
+                index: 0,
+            },
+        };
+        assert_eq!(
+            d.handle(Request::MgrRegisterSet {
+                name: "orders".into(),
+                scheme: scheme.clone(),
+            }),
+            Response::Ok
+        );
+        assert_eq!(
+            d.handle(Request::MgrAddStats {
+                name: "orders".into(),
+                objects: 10,
+                bytes: 500,
+            }),
+            Response::Ok
+        );
+        match d.handle(Request::MgrEntry {
+            name: "orders".into(),
+        }) {
+            Response::CatalogEntry { entry: Some(e) } => {
+                assert_eq!(e.scheme, scheme);
+                assert_eq!((e.objects, e.bytes), (10, 500));
+                assert_eq!(e.group, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match d.handle(Request::MgrEntry {
+            name: "missing".into(),
+        }) {
+            Response::CatalogEntry { entry: None } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn storage_requests_are_rejected_by_the_manager() {
+        let d = daemon();
+        match d.handle(Request::Scan { set: "s".into() }) {
+            Response::Err { message } => assert!(message.contains("pangead")),
+            other => panic!("{other:?}"),
+        }
+    }
+}

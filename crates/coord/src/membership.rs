@@ -1,0 +1,262 @@
+//! Cluster membership: worker registration, heartbeats, and liveness.
+//!
+//! The manager (paper §3.3) tracks which workers exist, where their
+//! `pangead` serves, and whether they are alive. Liveness is heartbeat
+//! based: a worker that misses heartbeats for longer than the configured
+//! timeout is swept to [`WorkerState::Dead`], which is what feeds the
+//! replica-based recovery path (§7/§8) — a dead slot keeps its node id
+//! so a replacement can re-register *the same slot* and recovery can
+//! restore its share in place.
+//!
+//! Every (re-)registration gets a fresh, strictly increasing
+//! [`Epoch`]. Heartbeats and deregistrations must present the slot's
+//! current epoch; anything older is a zombie incarnation and is rejected
+//! with [`PangeaError::StaleEpoch`].
+
+use pangea_common::{Epoch, NodeId, PangeaError, Result};
+use pangea_net::{WireWorker, WorkerState};
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+struct Slot {
+    addr: String,
+    epoch: Epoch,
+    state: WorkerState,
+    last_beat: Instant,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    slots: Vec<Slot>,
+    next_epoch: u64,
+}
+
+/// The manager's membership table.
+#[derive(Debug)]
+pub struct Membership {
+    inner: Mutex<Inner>,
+    liveness_timeout: Duration,
+}
+
+impl Membership {
+    /// An empty table sweeping workers dead after `liveness_timeout`
+    /// without a heartbeat.
+    pub fn new(liveness_timeout: Duration) -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            liveness_timeout,
+        }
+    }
+
+    /// The configured liveness timeout.
+    pub fn liveness_timeout(&self) -> Duration {
+        self.liveness_timeout
+    }
+
+    /// Registers a worker serving at `addr`. With `slot = None` the next
+    /// free node id is assigned; with an explicit slot, a replacement
+    /// re-registers a Dead/Left slot (bumping its epoch). Registering
+    /// over an Alive slot is an error — kill or deregister it first.
+    /// Liveness is swept first, so a replacement for a silent worker is
+    /// accepted even when no other request has triggered a sweep (the
+    /// single-worker-fleet case).
+    pub fn register(&self, addr: &str, slot: Option<NodeId>) -> Result<(NodeId, Epoch)> {
+        let mut inner = self.inner.lock();
+        Self::sweep_locked(&mut inner, self.liveness_timeout);
+        inner.next_epoch += 1;
+        let epoch = Epoch(inner.next_epoch);
+        let fresh = Slot {
+            addr: addr.to_string(),
+            epoch,
+            state: WorkerState::Alive,
+            last_beat: Instant::now(),
+        };
+        let node = match slot {
+            None => {
+                inner.slots.push(fresh);
+                NodeId(inner.slots.len() as u32 - 1)
+            }
+            Some(n) => {
+                let i = n.raw() as usize;
+                match i.cmp(&inner.slots.len()) {
+                    std::cmp::Ordering::Less => {
+                        let existing = &mut inner.slots[i];
+                        if existing.state == WorkerState::Alive {
+                            return Err(PangeaError::usage(format!(
+                                "slot {n} is occupied by an alive worker at {}",
+                                existing.addr
+                            )));
+                        }
+                        *existing = fresh;
+                        n
+                    }
+                    std::cmp::Ordering::Equal => {
+                        inner.slots.push(fresh);
+                        n
+                    }
+                    std::cmp::Ordering::Greater => {
+                        return Err(PangeaError::usage(format!(
+                            "slot {n} is beyond the next free slot ({})",
+                            inner.slots.len()
+                        )))
+                    }
+                }
+            }
+        };
+        Ok((node, epoch))
+    }
+
+    /// Validates `(node, epoch)` against the table, returning the slot
+    /// index on success.
+    fn check_epoch(inner: &Inner, node: NodeId, epoch: Epoch) -> Result<usize> {
+        let i = node.raw() as usize;
+        let slot = inner
+            .slots
+            .get(i)
+            .ok_or(PangeaError::NodeUnavailable(node))?;
+        if slot.epoch != epoch {
+            return Err(PangeaError::StaleEpoch {
+                node,
+                held: epoch,
+                current: slot.epoch,
+            });
+        }
+        Ok(i)
+    }
+
+    /// Records a heartbeat. A slot swept Dead that heartbeats again with
+    /// its *current* epoch revives (it was a pause, not a machine loss);
+    /// once a replacement has re-registered the slot, the old
+    /// incarnation's epoch is stale and its heartbeats are rejected.
+    pub fn heartbeat(&self, node: NodeId, epoch: Epoch) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let i = Self::check_epoch(&inner, node, epoch)?;
+        let slot = &mut inner.slots[i];
+        if slot.state == WorkerState::Left {
+            return Err(PangeaError::usage(format!("{node} has deregistered")));
+        }
+        slot.state = WorkerState::Alive;
+        slot.last_beat = Instant::now();
+        Ok(())
+    }
+
+    /// Clean shutdown: marks the slot Left so it is not fed to recovery.
+    pub fn deregister(&self, node: NodeId, epoch: Epoch) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let i = Self::check_epoch(&inner, node, epoch)?;
+        inner.slots[i].state = WorkerState::Left;
+        Ok(())
+    }
+
+    /// Sweeps liveness: Alive slots whose last heartbeat is older than
+    /// the timeout become Dead. Returns the newly dead nodes.
+    pub fn sweep(&self) -> Vec<NodeId> {
+        Self::sweep_locked(&mut self.inner.lock(), self.liveness_timeout)
+    }
+
+    fn sweep_locked(inner: &mut Inner, timeout: Duration) -> Vec<NodeId> {
+        let mut newly_dead = Vec::new();
+        for (i, slot) in inner.slots.iter_mut().enumerate() {
+            if slot.state == WorkerState::Alive && slot.last_beat.elapsed() > timeout {
+                slot.state = WorkerState::Dead;
+                newly_dead.push(NodeId(i as u32));
+            }
+        }
+        newly_dead
+    }
+
+    /// A snapshot of every slot, ascending by node id.
+    pub fn workers(&self) -> Vec<WireWorker> {
+        self.inner
+            .lock()
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| WireWorker {
+                node: i as u32,
+                addr: s.addr.clone(),
+                epoch: s.epoch.raw(),
+                state: s.state,
+            })
+            .collect()
+    }
+
+    /// Total slots ever registered.
+    pub fn num_slots(&self) -> u32 {
+        self.inner.lock().slots.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_dense_slots_and_fresh_epochs() {
+        let m = Membership::new(Duration::from_secs(60));
+        let (n0, e0) = m.register("127.0.0.1:1", None).unwrap();
+        let (n1, e1) = m.register("127.0.0.1:2", None).unwrap();
+        assert_eq!((n0, n1), (NodeId(0), NodeId(1)));
+        assert!(e1 > e0, "epochs strictly increase");
+        assert_eq!(m.num_slots(), 2);
+        assert!(m.workers().iter().all(|w| w.state == WorkerState::Alive));
+    }
+
+    #[test]
+    fn explicit_slot_registration_replaces_dead_only() {
+        let m = Membership::new(Duration::from_millis(50));
+        let (n0, e0) = m.register("127.0.0.1:1", None).unwrap();
+        // Alive slot cannot be stolen.
+        assert!(m.register("127.0.0.1:9", Some(n0)).is_err());
+        std::thread::sleep(Duration::from_millis(80));
+        // No explicit sweep: register itself sweeps, so a replacement
+        // for a silent worker is accepted (the single-worker case).
+        let (n0b, e0b) = m.register("127.0.0.1:9", Some(n0)).unwrap();
+        assert_eq!(n0b, n0);
+        assert!(e0b > e0);
+        // The zombie's old epoch is now stale.
+        assert!(matches!(
+            m.heartbeat(n0, e0),
+            Err(PangeaError::StaleEpoch { .. })
+        ));
+        m.heartbeat(n0, e0b).unwrap();
+    }
+
+    #[test]
+    fn missed_heartbeats_sweep_dead_and_a_beat_revives() {
+        let m = Membership::new(Duration::from_millis(10));
+        let (n, e) = m.register("127.0.0.1:1", None).unwrap();
+        assert!(m.sweep().is_empty(), "fresh registration counts as a beat");
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(m.sweep(), vec![n]);
+        assert_eq!(m.workers()[0].state, WorkerState::Dead);
+        assert!(m.sweep().is_empty(), "already dead; not newly dead");
+        // Same-epoch heartbeat revives (GC pause, not machine loss).
+        m.heartbeat(n, e).unwrap();
+        assert_eq!(m.workers()[0].state, WorkerState::Alive);
+    }
+
+    #[test]
+    fn deregistered_workers_leave_and_stay_left() {
+        let m = Membership::new(Duration::from_secs(60));
+        let (n, e) = m.register("127.0.0.1:1", None).unwrap();
+        m.deregister(n, e).unwrap();
+        assert_eq!(m.workers()[0].state, WorkerState::Left);
+        assert!(m.heartbeat(n, e).is_err(), "left workers cannot beat");
+        assert!(m.sweep().is_empty(), "left is not dead; recovery skips it");
+    }
+
+    #[test]
+    fn unknown_slots_and_gaps_are_errors() {
+        let m = Membership::new(Duration::from_secs(60));
+        assert!(matches!(
+            m.heartbeat(NodeId(3), Epoch(1)),
+            Err(PangeaError::NodeUnavailable(_))
+        ));
+        assert!(m.register("a", Some(NodeId(2))).is_err(), "gap");
+        // Registering the next slot explicitly is allowed (deterministic
+        // bring-up).
+        assert_eq!(m.register("a", Some(NodeId(0))).unwrap().0, NodeId(0));
+    }
+}

@@ -1,0 +1,645 @@
+//! [`RemoteCluster`] — the client frontend that drives a real Pangea
+//! deployment: N `pangead` processes plus one `pangea-mgr`, with no
+//! shared memory anywhere. It speaks only `PangeaClient`/manager RPCs
+//! and reuses `pangea-cluster`'s generic engine, so distributed-set
+//! dispatch (batched), replication, and recovery are the *same code*
+//! that runs in `SimCluster` — only the [`WorkerBackend`] and catalog
+//! seams differ.
+//!
+//! Byte accounting: every record appended to a remote worker counts its
+//! payload length once in the shared client-side ledger (and once in
+//! the receiving daemon's counters), exactly like a `SimNetwork`
+//! transfer of the same record — so a load measured here matches the
+//! same load on the simulation. Scans, which are free shared-memory
+//! reads in the simulation, *do* cross the wire here and are charged to
+//! the same ledger (the driver-mediated recovery cost; see DESIGN.md
+//! §control-plane).
+
+use crate::client::{ManagerClient, MgrConn, RemoteCatalog};
+use pangea_cluster::engine::{
+    Catalog, ClusterCore, DispatchConfig, EngineSet, RecordSink, RecoveryReport, ReplicaReport,
+    WorkerBackend,
+};
+use pangea_cluster::PartitionScheme;
+use pangea_common::{fx_hash64, Epoch, FxHashMap, IoStats, NodeId, PangeaError, Result};
+use pangea_net::{PangeaClient, WireWorker, WorkerState};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default heartbeat cadence for [`WorkerAgent`]s.
+pub const DEFAULT_HEARTBEAT: Duration = Duration::from_millis(500);
+
+#[derive(Debug)]
+struct RemoteWorkersInner {
+    /// Slot `i` holds the advertised address of worker `i` while it is
+    /// alive; `None` marks a dead/left slot.
+    slots: RwLock<Vec<Option<String>>>,
+    /// One pooled idle client per worker, keyed with the advertised
+    /// address it was opened against (so a slot replacement at a new
+    /// address never reuses a stale connection). The pool holds only
+    /// *idle* connections: a client is checked out for the duration of
+    /// an RPC, so one slow or hung worker never blocks RPCs to others.
+    clients: Mutex<FxHashMap<NodeId, (String, PangeaClient)>>,
+    secret: Option<String>,
+    /// Shared payload-byte ledger across all per-worker clients.
+    stats: Arc<IoStats>,
+}
+
+/// The remote [`WorkerBackend`]: every operation is an RPC against the
+/// slot's `pangead`. Cheap to clone.
+#[derive(Debug, Clone)]
+pub struct RemoteWorkers {
+    inner: Arc<RemoteWorkersInner>,
+}
+
+impl RemoteWorkers {
+    fn new(secret: Option<&str>) -> Self {
+        Self {
+            inner: Arc::new(RemoteWorkersInner {
+                slots: RwLock::new(Vec::new()),
+                clients: Mutex::new(FxHashMap::default()),
+                secret: secret.map(str::to_string),
+                stats: Arc::new(IoStats::new()),
+            }),
+        }
+    }
+
+    /// The shared client-side wire ledger (payload net bytes).
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.inner.stats
+    }
+
+    fn addr_of(&self, n: NodeId) -> Result<String> {
+        self.inner
+            .slots
+            .read()
+            .get(n.raw() as usize)
+            .and_then(Clone::clone)
+            .ok_or(PangeaError::NodeUnavailable(n))
+    }
+
+    /// Installs a fresh membership snapshot: alive slots keep (or gain)
+    /// their address, everything else is evicted along with its cached
+    /// client connection.
+    fn install_membership(&self, workers: &[WireWorker]) {
+        let len = workers
+            .iter()
+            .map(|w| w.node as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut slots = vec![None; len];
+        for w in workers {
+            if w.state == WorkerState::Alive {
+                slots[w.node as usize] = Some(w.addr.clone());
+            }
+        }
+        let mut clients = self.inner.clients.lock();
+        clients.retain(|n, (opened_against, _)| {
+            slots
+                .get(n.raw() as usize)
+                .and_then(|s| s.as_deref())
+                .is_some_and(|addr| addr == opened_against)
+        });
+        *self.inner.slots.write() = slots;
+    }
+
+    /// Runs `f` (a single RPC — it may be retried once) with the slot's
+    /// pooled client, connecting on first use. The client is checked
+    /// *out* of the pool for the call — the pool lock is never held
+    /// across socket I/O, so a hung worker cannot wedge RPCs to other
+    /// workers (or membership refreshes).
+    ///
+    /// A *pooled* connection may have gone stale while idle (worker
+    /// restarted at the same address). An `Io` failure on a pooled
+    /// connection means the request got no response byte — `pangead`
+    /// always writes a response before closing, and mid-response
+    /// failures surface as `Corruption` — so, exactly like
+    /// `TcpTransport::request`, the call is retried once on a fresh
+    /// connection. Fresh-connection failures propagate.
+    fn with_client<T>(&self, n: NodeId, f: impl Fn(&mut PangeaClient) -> Result<T>) -> Result<T> {
+        let addr = self.addr_of(n)?;
+        let cached = self.inner.clients.lock().remove(&n);
+        if let Some((opened_against, mut client)) = cached {
+            if opened_against == addr {
+                match f(&mut client) {
+                    Ok(out) => {
+                        self.check_in(n, addr, client);
+                        return Ok(out);
+                    }
+                    // Stale idle connection: provably unprocessed, retry
+                    // below on a fresh one.
+                    Err(PangeaError::Io(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        let mut client = PangeaClient::connect_with(
+            addr.as_str(),
+            self.inner.secret.as_deref(),
+            Some(Arc::clone(&self.inner.stats)),
+        )
+        .map_err(|e| PangeaError::Remote(format!("connecting {n} at {addr}: {e}")))?;
+        let out = f(&mut client);
+        if out.is_ok() {
+            self.check_in(n, addr, client);
+        }
+        out
+    }
+
+    /// Returns an idle connection to the pool. Concurrent callers may
+    /// have raced a connection in; last one in wins the single idle
+    /// slot, the loser just closes.
+    fn check_in(&self, n: NodeId, addr: String, client: PangeaClient) {
+        self.inner.clients.lock().insert(n, (addr, client));
+    }
+
+    fn shuffle_create(&self, n: NodeId, name: &str, partitions: u32) -> Result<()> {
+        self.with_client(n, |c| c.shuffle_create(name, partitions, None))
+    }
+
+    fn shuffle_send(
+        &self,
+        n: NodeId,
+        name: &str,
+        partition: u32,
+        records: &[Vec<u8>],
+    ) -> Result<()> {
+        self.with_client(n, |c| c.shuffle_send(name, partition, records).map(|_| ()))
+    }
+
+    fn shuffle_finish(&self, n: NodeId, name: &str) -> Result<()> {
+        self.with_client(n, |c| c.shuffle_finish(name))
+    }
+}
+
+/// A sink appending to one remote set: each batch is one `Append` RPC
+/// (the daemon seals its write after every request, so `finish` is a
+/// no-op here).
+#[derive(Debug)]
+struct RemoteSink {
+    workers: RemoteWorkers,
+    node: NodeId,
+    set: String,
+}
+
+impl RecordSink for RemoteSink {
+    fn append(&mut self, _from: NodeId, records: &[Vec<u8>]) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        // The RPC *is* the wire: the client charges the batch's payload
+        // bytes to the shared ledger, mirroring a SimNetwork transfer.
+        self.workers
+            .with_client(self.node, |c| c.append(&self.set, records))?;
+        Ok(())
+    }
+
+    fn finish(self: Box<Self>) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl WorkerBackend for RemoteWorkers {
+    fn num_nodes(&self) -> u32 {
+        self.inner.slots.read().len() as u32
+    }
+
+    fn alive_nodes(&self) -> Vec<NodeId> {
+        self.inner
+            .slots
+            .read()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| NodeId(i as u32)))
+            .collect()
+    }
+
+    fn create_set(&self, n: NodeId, name: &str) -> Result<()> {
+        self.with_client(n, |c| c.create_set(name, "write-through", None))?;
+        Ok(())
+    }
+
+    fn drop_set(&self, n: NodeId, name: &str) -> Result<()> {
+        // DropSet is idempotent on the daemon: nodes that never held
+        // the set answer Ok (mirrors SimWorkers).
+        self.with_client(n, |c| c.drop_set(name))
+    }
+
+    fn open_sink(&self, n: NodeId, set: &str) -> Result<Box<dyn RecordSink>> {
+        // Fail early if the slot has no address.
+        self.addr_of(n)?;
+        Ok(Box::new(RemoteSink {
+            workers: self.clone(),
+            node: n,
+            set: set.to_string(),
+        }))
+    }
+
+    fn scan(&self, n: NodeId, set: &str, f: &mut dyn FnMut(&[u8]) -> Result<()>) -> Result<()> {
+        // Prefer the one-shot scan RPC (exact record-byte accounting);
+        // fall back to the page-by-page recovery read path when the set
+        // no longer fits one reply frame.
+        let records = match self.with_client(n, |c| c.scan(set)) {
+            Ok(records) => records,
+            Err(PangeaError::ScanTooLarge { .. }) => {
+                return self.scan_pages(n, set, f);
+            }
+            Err(e) => return Err(e),
+        };
+        for rec in &records {
+            f(rec)?;
+        }
+        Ok(())
+    }
+
+    fn count(&self, n: NodeId, set: &str) -> Result<u64> {
+        // Server-side count: no record payload crosses the wire, so
+        // diagnostics like `total_records` stay O(1) in wire bytes and
+        // never inflate the shared payload ledger.
+        self.with_client(n, |c| c.count(set))
+    }
+
+    fn net_bytes(&self) -> u64 {
+        self.inner.stats.snapshot().net_bytes
+    }
+}
+
+impl RemoteWorkers {
+    /// The page-level scan: fetch raw pages and parse them with the page
+    /// codec, as a recovering node would (the `FetchPage` read path).
+    fn scan_pages(
+        &self,
+        n: NodeId,
+        set: &str,
+        f: &mut dyn FnMut(&[u8]) -> Result<()>,
+    ) -> Result<()> {
+        let nums = self.with_client(n, |c| c.page_numbers(set))?;
+        for num in nums {
+            let bytes = self.with_client(n, |c| c.fetch_page(set, num))?;
+            for rec in pangea_core::RecordSlices::new(&bytes) {
+                f(rec)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A handle to a real Pangea deployment: one `pangea-mgr` plus N
+/// `pangead` workers, driven entirely over the wire.
+#[derive(Debug)]
+pub struct RemoteCluster {
+    core: ClusterCore,
+    workers: RemoteWorkers,
+    mgr: MgrConn,
+    /// Highest epoch at which each slot was ever *observed* Dead. A
+    /// slot is only recoverable once it is Alive at a *newer* epoch —
+    /// a genuine replacement — never when the same incarnation merely
+    /// resumed heartbeating after a pause.
+    dead_epochs: Mutex<FxHashMap<NodeId, u64>>,
+}
+
+impl RemoteCluster {
+    /// Connects to the manager, fetches the membership snapshot, and
+    /// builds the engine over the remote seams.
+    pub fn connect(mgr_addr: &str, secret: Option<&str>) -> Result<Self> {
+        let mgr = MgrConn::connect(mgr_addr, secret)?;
+        let catalog = Arc::new(RemoteCatalog::new(MgrConn::connect(mgr_addr, secret)?));
+        let workers = RemoteWorkers::new(secret);
+        let core = ClusterCore::new(
+            Arc::new(workers.clone()) as Arc<dyn WorkerBackend>,
+            catalog as Arc<dyn Catalog>,
+        );
+        let cluster = Self {
+            core,
+            workers,
+            mgr,
+            dead_epochs: Mutex::new(FxHashMap::default()),
+        };
+        cluster.refresh_membership()?;
+        Ok(cluster)
+    }
+
+    /// The generic engine (shared with `SimCluster`).
+    pub fn core(&self) -> &ClusterCore {
+        &self.core
+    }
+
+    /// The remote worker backend (for its shared wire ledger).
+    pub fn workers(&self) -> &RemoteWorkers {
+        &self.workers
+    }
+
+    /// Re-reads membership from the manager (sweeping liveness there)
+    /// and installs it into the backend. Returns the snapshot.
+    pub fn refresh_membership(&self) -> Result<Vec<WireWorker>> {
+        let workers = self.mgr.with(|m| m.list_workers())?;
+        self.workers.install_membership(&workers);
+        let mut dead = self.dead_epochs.lock();
+        for w in &workers {
+            if w.state == WorkerState::Dead {
+                let e = dead.entry(NodeId(w.node)).or_insert(0);
+                *e = (*e).max(w.epoch);
+            }
+        }
+        Ok(workers)
+    }
+
+    /// Total node slots the manager knows.
+    pub fn num_nodes(&self) -> u32 {
+        self.workers.num_nodes()
+    }
+
+    /// Alive workers per the last membership refresh.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        self.workers.alive_nodes()
+    }
+
+    /// Workers the manager has declared dead (missed heartbeats) —
+    /// the trigger for [`RemoteCluster::recover_worker`].
+    pub fn dead_workers(&self) -> Result<Vec<NodeId>> {
+        Ok(self
+            .refresh_membership()?
+            .into_iter()
+            .filter(|w| w.state == WorkerState::Dead)
+            .map(|w| NodeId(w.node))
+            .collect())
+    }
+
+    /// Creates a distributed set via the wire catalog: registered at the
+    /// manager, materialized on every alive worker. The scheme must be
+    /// declarative (`hash_field`/`hash_whole`/round-robin).
+    pub fn create_dist_set(&self, name: &str, scheme: PartitionScheme) -> Result<EngineSet> {
+        self.core.create_dist_set(name, scheme)
+    }
+
+    /// Looks up a cataloged distributed set.
+    pub fn get_dist_set(&self, name: &str) -> Result<Option<EngineSet>> {
+        self.core.get_dist_set(name)
+    }
+
+    /// Drops a distributed set everywhere.
+    pub fn drop_dist_set(&self, name: &str) -> Result<()> {
+        self.core.drop_dist_set(name)
+    }
+
+    /// Registers `target` as a replica of `source` (default `r = 1`).
+    pub fn register_replica(
+        &self,
+        source: &str,
+        target: &str,
+        scheme: PartitionScheme,
+    ) -> Result<ReplicaReport> {
+        self.core.register_replica_with_r(source, target, scheme, 1)
+    }
+
+    /// The statistics service's best-replica answer, straight from the
+    /// manager (§9.1.2).
+    pub fn best_replica(&self, set: &str, key: &str) -> Result<Option<String>> {
+        self.mgr.with(|m| m.best_replica(set, key))
+    }
+
+    /// Recovers a dead worker whose slot a replacement `pangead` has
+    /// already re-registered (same slot, fresh epoch): re-creates every
+    /// cataloged set on the replacement, then restores its lost data
+    /// from surviving replicas through the shared engine.
+    pub fn recover_worker(&self, failed: NodeId) -> Result<RecoveryReport> {
+        let start = Instant::now();
+        let net_before = self.workers.net_bytes();
+        let snapshot = self.refresh_membership()?;
+        let slot = snapshot.iter().find(|w| w.node == failed.raw());
+        match slot {
+            Some(w) if w.state == WorkerState::Alive => {
+                // Alive is not enough: the same incarnation may have
+                // revived after a pause, its data intact — provisioning
+                // over it would fail (and recovery would be pointless).
+                // Only a fresh epoch proves a replacement took the slot.
+                if let Some(&dead_epoch) = self.dead_epochs.lock().get(&failed) {
+                    if w.epoch <= dead_epoch {
+                        return Err(PangeaError::usage(format!(
+                            "{failed} revived as the same incarnation \
+                             ({}); its data was never lost, nothing to recover",
+                            pangea_common::Epoch(w.epoch)
+                        )));
+                    }
+                }
+            }
+            Some(_) => {
+                return Err(PangeaError::usage(format!(
+                    "no replacement registered for {failed}; start a pangead \
+                     with --slot {} first",
+                    failed.raw()
+                )))
+            }
+            None => return Err(PangeaError::NodeUnavailable(failed)),
+        }
+        self.core.provision_node(failed)?;
+        let mut report = self.core.recover_sets(failed)?;
+        self.dead_epochs.lock().remove(&failed);
+        report.bytes_moved = self.workers.net_bytes() - net_before;
+        report.duration = start.elapsed();
+        Ok(report)
+    }
+
+    /// A distributed shuffle over the deployment: partition `p` lives on
+    /// worker `p % nodes`; the driver routes and batches per partition.
+    pub fn shuffle(&self, name: &str, partitions: u32) -> Result<RemoteShuffle> {
+        let nodes = self.alive_nodes();
+        if nodes.is_empty() {
+            return Err(PangeaError::usage("no alive workers to shuffle across"));
+        }
+        for &n in &nodes {
+            self.workers.shuffle_create(n, name, partitions)?;
+        }
+        Ok(RemoteShuffle {
+            workers: self.workers.clone(),
+            name: name.to_string(),
+            partitions: partitions.max(1),
+            nodes,
+            pending: (0..partitions.max(1)).map(|_| Vec::new()).collect(),
+            pending_bytes: vec![0; partitions.max(1) as usize],
+            config: DispatchConfig::default(),
+        })
+    }
+}
+
+/// A driver-side distributed shuffle: records are hashed to partitions,
+/// batched per partition, and shipped to the partition's owning worker.
+#[derive(Debug)]
+pub struct RemoteShuffle {
+    workers: RemoteWorkers,
+    name: String,
+    partitions: u32,
+    nodes: Vec<NodeId>,
+    pending: Vec<Vec<Vec<u8>>>,
+    pending_bytes: Vec<usize>,
+    config: DispatchConfig,
+}
+
+impl RemoteShuffle {
+    /// The worker owning partition `p` (partitions stripe over the alive
+    /// workers, mirroring `PartitionScheme::node_of_partition`).
+    pub fn node_of(&self, partition: u32) -> NodeId {
+        self.nodes[(partition as usize) % self.nodes.len()]
+    }
+
+    /// Routes one record by `key`, returning its partition.
+    pub fn send(&mut self, key: &[u8], record: &[u8]) -> Result<u32> {
+        let p = (fx_hash64(key) % self.partitions as u64) as u32;
+        let slot = p as usize;
+        self.pending[slot].push(record.to_vec());
+        self.pending_bytes[slot] += record.len();
+        if self.pending[slot].len() >= self.config.max_batch_records
+            || self.pending_bytes[slot] >= self.config.max_batch_bytes
+        {
+            self.flush(p)?;
+        }
+        Ok(p)
+    }
+
+    fn flush(&mut self, p: u32) -> Result<()> {
+        let slot = p as usize;
+        if self.pending[slot].is_empty() {
+            return Ok(());
+        }
+        let node = self.node_of(p);
+        let batch = std::mem::take(&mut self.pending[slot]);
+        self.pending_bytes[slot] = 0;
+        self.workers.shuffle_send(node, &self.name, p, &batch)
+    }
+
+    /// Flushes every partition and seals the shuffle on every worker.
+    pub fn finish(mut self) -> Result<()> {
+        for p in 0..self.partitions {
+            self.flush(p)?;
+        }
+        for &n in &self.nodes.clone() {
+            self.workers.shuffle_finish(n, &self.name)?;
+        }
+        Ok(())
+    }
+
+    /// Scans one partition's records from its owning worker.
+    pub fn scan_partition(&self, p: u32, f: &mut dyn FnMut(&[u8]) -> Result<()>) -> Result<()> {
+        self.workers
+            .scan(self.node_of(p), &format!("{}.part{p}", self.name), f)
+    }
+}
+
+/// The worker-side control-plane agent: registers the local `pangead`
+/// with the manager, heartbeats on a background thread, and deregisters
+/// on clean shutdown (so the manager never feeds a cleanly-exited worker
+/// to recovery). Dropping the agent without calling
+/// [`WorkerAgent::shutdown`] stops the heartbeats but does *not*
+/// deregister — indistinguishable from a crash, which is exactly what
+/// liveness sweeping is for.
+#[derive(Debug)]
+pub struct WorkerAgent {
+    mgr_addr: String,
+    secret: Option<String>,
+    node: NodeId,
+    epoch: Epoch,
+    stop: Arc<AtomicBool>,
+    beat: Option<JoinHandle<()>>,
+}
+
+impl WorkerAgent {
+    /// Registers with the manager (optionally pinning a slot — how a
+    /// replacement takes over a dead worker's identity) and starts
+    /// heartbeating every `interval`.
+    pub fn register(
+        mgr_addr: &str,
+        secret: Option<&str>,
+        advertise: &str,
+        slot: Option<NodeId>,
+        interval: Duration,
+    ) -> Result<Self> {
+        let mut mgr = ManagerClient::connect(mgr_addr, secret)?;
+        let (node, epoch) = mgr.register_worker(advertise, slot)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let beat = {
+            let stop = Arc::clone(&stop);
+            let mgr_addr = mgr_addr.to_string();
+            let secret = secret.map(str::to_string);
+            std::thread::Builder::new()
+                .name(format!("pangea-heartbeat-{node}"))
+                .spawn(move || {
+                    let mut conn = Some(mgr);
+                    loop {
+                        let deadline = Instant::now() + interval;
+                        while Instant::now() < deadline {
+                            if stop.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            std::thread::sleep(
+                                Duration::from_millis(5)
+                                    .min(deadline.saturating_duration_since(Instant::now())),
+                            );
+                        }
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        if conn.is_none() {
+                            conn =
+                                ManagerClient::connect(mgr_addr.as_str(), secret.as_deref()).ok();
+                        }
+                        if let Some(m) = conn.as_mut() {
+                            match m.heartbeat(node, epoch) {
+                                Ok(()) => {}
+                                // Replaced by a newer incarnation: stop
+                                // beating for good.
+                                Err(PangeaError::StaleEpoch { .. }) => return,
+                                Err(_) => conn = None,
+                            }
+                        }
+                    }
+                })?
+        };
+        Ok(Self {
+            mgr_addr: mgr_addr.to_string(),
+            secret: secret.map(str::to_string),
+            node,
+            epoch,
+            stop,
+            beat: Some(beat),
+        })
+    }
+
+    /// The slot the manager assigned.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// This incarnation's registration epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    fn stop_heartbeats(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.beat.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Clean exit: stops heartbeating and deregisters with the manager.
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.stop_heartbeats();
+        ManagerClient::connect(self.mgr_addr.as_str(), self.secret.as_deref())?
+            .deregister_worker(self.node, self.epoch)
+    }
+
+    /// Crash simulation: stops heartbeating *without* deregistering, so
+    /// the manager's liveness sweep declares the worker dead.
+    pub fn abandon(&mut self) {
+        self.stop_heartbeats();
+    }
+}
+
+impl Drop for WorkerAgent {
+    fn drop(&mut self) {
+        self.stop_heartbeats();
+    }
+}

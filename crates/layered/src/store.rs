@@ -4,7 +4,7 @@
 //! to layering rather than estimating them (§1 "Interfacing Overhead"):
 //! records are serialized/deserialized through the workspace codec at
 //! each layer crossing, client↔server transfers pay real `memcpy`s
-//! (counted in [`IoStats`]), and persistent layers move real bytes
+//! (counted in [`IoStats`][pangea_common::IoStats]), and persistent layers move real bytes
 //! through a throttleable disk manager.
 
 use pangea_common::{IoStatsSnapshot, Result};

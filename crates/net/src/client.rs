@@ -35,14 +35,41 @@ pub struct PangeaClient {
 impl PangeaClient {
     /// Connects to a `pangead` at `addr`.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        Self::connect_with(addr, None, None)
+    }
+
+    /// Connects and, when `secret` is given, performs the
+    /// [`Request::Hello`] handshake before returning. A rejected
+    /// handshake surfaces as [`PangeaError::Unauthenticated`].
+    pub fn connect_with_secret(addr: impl ToSocketAddrs, secret: Option<&str>) -> Result<Self> {
+        Self::connect_with(addr, secret, None)
+    }
+
+    /// Full-control constructor: optional handshake secret, and an
+    /// optional externally owned counter set so several clients (e.g.
+    /// one per worker in a `RemoteCluster`) can share one ledger.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        secret: Option<&str>,
+        stats: Option<Arc<IoStats>>,
+    ) -> Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let addr = stream.peer_addr()?;
-        Ok(Self {
+        let mut client = Self {
             stream,
             addr,
-            stats: Arc::new(IoStats::new()),
-        })
+            stats: stats.unwrap_or_else(|| Arc::new(IoStats::new())),
+        };
+        if let Some(secret) = secret {
+            match client.call(&Request::Hello {
+                secret: secret.to_string(),
+            })? {
+                Response::Ok => {}
+                other => return Err(Self::unexpected(other)),
+            }
+        }
+        Ok(client)
     }
 
     /// The server's address.
@@ -156,6 +183,29 @@ impl PangeaClient {
                 self.stats.record_net(bytes);
                 Ok(records)
             }
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Counts a remote set's records server-side (no payload bytes
+    /// cross the wire).
+    pub fn count(&mut self, set: &str) -> Result<u64> {
+        let req = Request::Count {
+            set: set.to_string(),
+        };
+        match self.call(&req)? {
+            Response::Count { records } => Ok(records),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Drops a remote locality set.
+    pub fn drop_set(&mut self, set: &str) -> Result<()> {
+        let req = Request::DropSet {
+            set: set.to_string(),
+        };
+        match self.call(&req)? {
+            Response::Ok => Ok(()),
             other => Err(Self::unexpected(other)),
         }
     }

@@ -18,8 +18,14 @@
 //! * [`proto`] — the request/response protocol for the core node
 //!   operations: create set, append, page enumeration/fetch (recovery),
 //!   scan, shuffle send, raw delivery, stats.
+//! * [`wire`] — wire forms of control-plane state: declarative key
+//!   specs, partitioning schemes, catalog entries, and membership
+//!   records served by the `pangea-coord` manager daemon.
+//! * [`FramedServer`] — a reusable accept loop (handshake enforcement,
+//!   graceful drain) shared by `pangead` and `pangea-mgr`.
 //! * [`Pangead`] / [`PangeadServer`] — the node daemon: a [`StorageNode`]
-//!   served behind the protocol (also available as the `pangead` binary).
+//!   served behind the protocol (the `pangead` binary lives in
+//!   `pangea-coord`, next to `pangea-mgr`).
 //! * [`PangeaClient`] — a thin typed client over one connection.
 //!
 //! Byte accounting is designed for comparability: every transport counts
@@ -36,10 +42,12 @@ pub mod proto;
 pub mod server;
 pub mod tcp;
 pub mod transport;
+pub mod wire;
 
 pub use client::{PangeaClient, RemoteStats};
 pub use frame::{FRAME_OVERHEAD, MAX_FRAME};
-pub use proto::{Request, Response};
-pub use server::{Pangead, PangeadServer};
+pub use proto::{error_response, Request, Response};
+pub use server::{FramedServer, FramedService, Pangead, PangeadServer, DEFAULT_DRAIN};
 pub use tcp::TcpTransport;
 pub use transport::Transport;
+pub use wire::{KeySpec, SchemeSpec, WireCatalogEntry, WireWorker, WorkerState};

@@ -3,12 +3,13 @@
 //! Messages cover the core node operations the cluster layer needs from a
 //! remote peer: set creation, sequential append, page enumeration and
 //! fetch (the recovery read path), full scans, shuffle receive, the raw
-//! transport delivery used by [`crate::TcpTransport::transfer`], and a
+//! transport delivery used by `TcpTransport`'s `transfer`, and a
 //! statistics probe. Encoding reuses `pangea_common::codec`: every field
 //! is a length-prefixed record in a [`ByteWriter`] stream, so the wire
 //! format inherits the codec's self-framing and its truncation checks.
 //! One encoded message travels inside one [`crate::frame`] frame.
 
+use crate::wire::{SchemeSpec, WireCatalogEntry, WireWorker};
 use pangea_common::{ByteReader, ByteWriter, PangeaError, Result};
 
 /// A client/cluster → pangead message.
@@ -16,6 +17,13 @@ use pangea_common::{ByteReader, ByteWriter, PangeaError, Result};
 pub enum Request {
     /// Liveness probe.
     Ping,
+    /// Shared-secret handshake. On daemons configured with a secret this
+    /// must be the first message of every connection; other requests are
+    /// answered with [`Response::Denied`] until it succeeds.
+    Hello {
+        /// The deployment's shared secret.
+        secret: String,
+    },
     /// `createSet(name, durability)` with an optional page-size override
     /// (`None` uses the serving node's default).
     CreateSet {
@@ -85,6 +93,95 @@ pub enum Request {
     },
     /// Reads the serving node's I/O counters.
     Stats,
+    /// Drops a locality set (used by distributed-set teardown).
+    DropSet {
+        /// Target locality set.
+        set: String,
+    },
+    /// Counts a set's records server-side (no payload crosses the wire
+    /// — diagnostics like `total_records` stay O(1) in wire bytes).
+    Count {
+        /// Target locality set.
+        set: String,
+    },
+
+    // ---- Manager (pangea-mgr) requests: membership ------------------
+    /// Registers a worker with the manager. `slot` pins a node id — a
+    /// replacement worker re-registers its predecessor's slot; `None`
+    /// takes the next free slot.
+    MgrRegisterWorker {
+        /// The address the worker's `pangead` serves on.
+        addr: String,
+        /// Explicit node slot (raw `NodeId`), or `None` for the next one.
+        slot: Option<u64>,
+    },
+    /// Worker liveness heartbeat.
+    MgrHeartbeat {
+        /// The sender's node slot.
+        node: u32,
+        /// The sender's registration epoch.
+        epoch: u64,
+    },
+    /// Clean worker shutdown: deregisters the slot.
+    MgrDeregisterWorker {
+        /// The sender's node slot.
+        node: u32,
+        /// The sender's registration epoch.
+        epoch: u64,
+    },
+    /// Membership snapshot (sweeps liveness first).
+    MgrListWorkers,
+
+    // ---- Manager requests: catalog + statistics DB ------------------
+    /// Registers a distributed set in the wire-served catalog.
+    MgrRegisterSet {
+        /// Cluster-wide set name.
+        name: String,
+        /// Its partitioning scheme (declarative form).
+        scheme: SchemeSpec,
+    },
+    /// Removes a set from the catalog (and its replica group).
+    MgrDeregisterSet {
+        /// Cluster-wide set name.
+        name: String,
+    },
+    /// Looks up one catalog entry.
+    MgrEntry {
+        /// Cluster-wide set name.
+        name: String,
+    },
+    /// All registered set names, sorted.
+    MgrSetNames,
+    /// Adds dispatch counts to a set's statistics.
+    MgrAddStats {
+        /// Cluster-wide set name.
+        name: String,
+        /// Objects dispatched.
+        objects: u64,
+        /// Payload bytes dispatched.
+        bytes: u64,
+    },
+    /// Puts two sets in the same replica group (`registerReplica`).
+    MgrLinkReplicas {
+        /// First set.
+        a: String,
+        /// Second set.
+        b: String,
+    },
+    /// Members of a replica group.
+    MgrGroupMembers {
+        /// Raw `ReplicaGroupId`.
+        group: u64,
+    },
+    /// All replica groups, ascending.
+    MgrGroups,
+    /// The statistics service: the group member organized by `key`.
+    MgrBestReplica {
+        /// The set whose group is consulted.
+        set: String,
+        /// The desired partitioning key.
+        key: String,
+    },
 }
 
 /// A pangead → client message.
@@ -142,6 +239,75 @@ pub enum Response {
         /// Display form of the remote error.
         message: String,
     },
+    /// The connection failed the shared-secret handshake; decodes to
+    /// [`PangeaError::Unauthenticated`] on the client.
+    Denied {
+        /// Why the peer was rejected.
+        message: String,
+    },
+    /// Worker registered (or re-registered) with the manager.
+    WorkerRegistered {
+        /// The assigned node slot.
+        node: u32,
+        /// The slot's fresh registration epoch.
+        epoch: u64,
+    },
+    /// Membership snapshot.
+    Workers {
+        /// One record per known slot, ascending by node.
+        workers: Vec<WireWorker>,
+    },
+    /// One catalog entry (or `None` when the set is unknown).
+    CatalogEntry {
+        /// The entry, if registered.
+        entry: Option<WireCatalogEntry>,
+    },
+    /// A list of names (set names, group members, …), sorted by the
+    /// serving operation's contract.
+    Names {
+        /// The names.
+        names: Vec<String>,
+    },
+    /// A replica group id.
+    Group {
+        /// Raw `ReplicaGroupId`.
+        group: u64,
+    },
+    /// All replica groups.
+    Groups {
+        /// Raw `ReplicaGroupId`s, ascending.
+        groups: Vec<u64>,
+    },
+    /// An optional name (the statistics service's best-replica answer).
+    MaybeName {
+        /// The name, if any member matched.
+        name: Option<String>,
+    },
+    /// A membership operation carried an out-of-date epoch; decodes to
+    /// [`PangeaError::StaleEpoch`] on the client (zombie incarnations
+    /// must be able to tell "replaced" from other failures).
+    Stale {
+        /// The node slot addressed.
+        node: u32,
+        /// The epoch the sender held.
+        held: u64,
+        /// The slot's current epoch at the manager.
+        current: u64,
+    },
+    /// A one-shot scan reply would exceed the frame budget; decodes to
+    /// [`PangeaError::ScanTooLarge`] so readers can fall back to the
+    /// page-by-page `FetchPage` path without parsing error prose.
+    ScanTooLarge {
+        /// The set whose scan was refused.
+        set: String,
+        /// The per-reply byte budget.
+        budget: u64,
+    },
+    /// A server-side record count.
+    Count {
+        /// Records in the set.
+        records: u64,
+    },
 }
 
 // Opcodes. Stable over the protocol's life; add, never renumber.
@@ -156,6 +322,22 @@ const REQ_SHUFFLE_SEND: u64 = 8;
 const REQ_SHUFFLE_FINISH: u64 = 9;
 const REQ_DELIVER: u64 = 10;
 const REQ_STATS: u64 = 11;
+const REQ_HELLO: u64 = 12;
+const REQ_DROP_SET: u64 = 13;
+const REQ_MGR_REGISTER_WORKER: u64 = 14;
+const REQ_MGR_HEARTBEAT: u64 = 15;
+const REQ_MGR_DEREGISTER_WORKER: u64 = 16;
+const REQ_MGR_LIST_WORKERS: u64 = 17;
+const REQ_MGR_REGISTER_SET: u64 = 18;
+const REQ_MGR_DEREGISTER_SET: u64 = 19;
+const REQ_MGR_ENTRY: u64 = 20;
+const REQ_MGR_SET_NAMES: u64 = 21;
+const REQ_MGR_ADD_STATS: u64 = 22;
+const REQ_MGR_LINK_REPLICAS: u64 = 23;
+const REQ_MGR_GROUP_MEMBERS: u64 = 24;
+const REQ_MGR_GROUPS: u64 = 25;
+const REQ_MGR_BEST_REPLICA: u64 = 26;
+const REQ_COUNT: u64 = 27;
 
 const RESP_OK: u64 = 1;
 const RESP_CREATED: u64 = 2;
@@ -166,6 +348,17 @@ const RESP_RECORDS: u64 = 6;
 const RESP_DELIVERED: u64 = 7;
 const RESP_STATS: u64 = 8;
 const RESP_ERR: u64 = 9;
+const RESP_DENIED: u64 = 10;
+const RESP_WORKER_REGISTERED: u64 = 11;
+const RESP_WORKERS: u64 = 12;
+const RESP_CATALOG_ENTRY: u64 = 13;
+const RESP_NAMES: u64 = 14;
+const RESP_GROUP: u64 = 15;
+const RESP_GROUPS: u64 = 16;
+const RESP_MAYBE_NAME: u64 = 17;
+const RESP_STALE: u64 = 18;
+const RESP_SCAN_TOO_LARGE: u64 = 19;
+const RESP_COUNT: u64 = 20;
 
 fn put_list(w: &mut ByteWriter, items: &[Vec<u8>]) {
     w.write_record(&(items.len() as u64));
@@ -261,6 +454,74 @@ impl Request {
                 w.write_bytes(payload);
             }
             Self::Stats => w.write_record(&REQ_STATS),
+            Self::Hello { secret } => {
+                w.write_record(&REQ_HELLO);
+                w.write_record(secret);
+            }
+            Self::DropSet { set } => {
+                w.write_record(&REQ_DROP_SET);
+                w.write_record(set);
+            }
+            Self::Count { set } => {
+                w.write_record(&REQ_COUNT);
+                w.write_record(set);
+            }
+            Self::MgrRegisterWorker { addr, slot } => {
+                w.write_record(&REQ_MGR_REGISTER_WORKER);
+                w.write_record(addr);
+                // u64::MAX marks "next free slot"; real slots are u32.
+                w.write_record(&slot.unwrap_or(u64::MAX));
+            }
+            Self::MgrHeartbeat { node, epoch } => {
+                w.write_record(&REQ_MGR_HEARTBEAT);
+                w.write_record(&(*node as u64));
+                w.write_record(epoch);
+            }
+            Self::MgrDeregisterWorker { node, epoch } => {
+                w.write_record(&REQ_MGR_DEREGISTER_WORKER);
+                w.write_record(&(*node as u64));
+                w.write_record(epoch);
+            }
+            Self::MgrListWorkers => w.write_record(&REQ_MGR_LIST_WORKERS),
+            Self::MgrRegisterSet { name, scheme } => {
+                w.write_record(&REQ_MGR_REGISTER_SET);
+                w.write_record(name);
+                scheme.put(&mut w);
+            }
+            Self::MgrDeregisterSet { name } => {
+                w.write_record(&REQ_MGR_DEREGISTER_SET);
+                w.write_record(name);
+            }
+            Self::MgrEntry { name } => {
+                w.write_record(&REQ_MGR_ENTRY);
+                w.write_record(name);
+            }
+            Self::MgrSetNames => w.write_record(&REQ_MGR_SET_NAMES),
+            Self::MgrAddStats {
+                name,
+                objects,
+                bytes,
+            } => {
+                w.write_record(&REQ_MGR_ADD_STATS);
+                w.write_record(name);
+                w.write_record(objects);
+                w.write_record(bytes);
+            }
+            Self::MgrLinkReplicas { a, b } => {
+                w.write_record(&REQ_MGR_LINK_REPLICAS);
+                w.write_record(a);
+                w.write_record(b);
+            }
+            Self::MgrGroupMembers { group } => {
+                w.write_record(&REQ_MGR_GROUP_MEMBERS);
+                w.write_record(group);
+            }
+            Self::MgrGroups => w.write_record(&REQ_MGR_GROUPS),
+            Self::MgrBestReplica { set, key } => {
+                w.write_record(&REQ_MGR_BEST_REPLICA);
+                w.write_record(set);
+                w.write_record(key);
+            }
         }
         w.into_bytes()
     }
@@ -308,6 +569,60 @@ impl Request {
                 payload: r.read_bytes()?.to_vec(),
             },
             REQ_STATS => Self::Stats,
+            REQ_HELLO => Self::Hello {
+                secret: r.read_record()?,
+            },
+            REQ_DROP_SET => Self::DropSet {
+                set: r.read_record()?,
+            },
+            REQ_COUNT => Self::Count {
+                set: r.read_record()?,
+            },
+            REQ_MGR_REGISTER_WORKER => {
+                let addr = r.read_record()?;
+                let slot: u64 = r.read_record()?;
+                Self::MgrRegisterWorker {
+                    addr,
+                    slot: (slot != u64::MAX).then_some(slot),
+                }
+            }
+            REQ_MGR_HEARTBEAT => Self::MgrHeartbeat {
+                node: r.read_record::<u64>()? as u32,
+                epoch: r.read_record()?,
+            },
+            REQ_MGR_DEREGISTER_WORKER => Self::MgrDeregisterWorker {
+                node: r.read_record::<u64>()? as u32,
+                epoch: r.read_record()?,
+            },
+            REQ_MGR_LIST_WORKERS => Self::MgrListWorkers,
+            REQ_MGR_REGISTER_SET => Self::MgrRegisterSet {
+                name: r.read_record()?,
+                scheme: SchemeSpec::get(&mut r)?,
+            },
+            REQ_MGR_DEREGISTER_SET => Self::MgrDeregisterSet {
+                name: r.read_record()?,
+            },
+            REQ_MGR_ENTRY => Self::MgrEntry {
+                name: r.read_record()?,
+            },
+            REQ_MGR_SET_NAMES => Self::MgrSetNames,
+            REQ_MGR_ADD_STATS => Self::MgrAddStats {
+                name: r.read_record()?,
+                objects: r.read_record()?,
+                bytes: r.read_record()?,
+            },
+            REQ_MGR_LINK_REPLICAS => Self::MgrLinkReplicas {
+                a: r.read_record()?,
+                b: r.read_record()?,
+            },
+            REQ_MGR_GROUP_MEMBERS => Self::MgrGroupMembers {
+                group: r.read_record()?,
+            },
+            REQ_MGR_GROUPS => Self::MgrGroups,
+            REQ_MGR_BEST_REPLICA => Self::MgrBestReplica {
+                set: r.read_record()?,
+                key: r.read_record()?,
+            },
             other => return Err(bad_opcode("request", other)),
         })
     }
@@ -363,6 +678,73 @@ impl Response {
                 w.write_record(&RESP_ERR);
                 w.write_record(message);
             }
+            Self::Denied { message } => {
+                w.write_record(&RESP_DENIED);
+                w.write_record(message);
+            }
+            Self::WorkerRegistered { node, epoch } => {
+                w.write_record(&RESP_WORKER_REGISTERED);
+                w.write_record(&(*node as u64));
+                w.write_record(epoch);
+            }
+            Self::Workers { workers } => {
+                w.write_record(&RESP_WORKERS);
+                w.write_record(&(workers.len() as u64));
+                for wk in workers {
+                    wk.put(&mut w);
+                }
+            }
+            Self::CatalogEntry { entry } => {
+                w.write_record(&RESP_CATALOG_ENTRY);
+                w.write_record(&(entry.is_some() as u64));
+                if let Some(e) = entry {
+                    e.put(&mut w);
+                }
+            }
+            Self::Names { names } => {
+                w.write_record(&RESP_NAMES);
+                w.write_record(&(names.len() as u64));
+                for n in names {
+                    w.write_record(n);
+                }
+            }
+            Self::Group { group } => {
+                w.write_record(&RESP_GROUP);
+                w.write_record(group);
+            }
+            Self::Groups { groups } => {
+                w.write_record(&RESP_GROUPS);
+                w.write_record(&(groups.len() as u64));
+                for g in groups {
+                    w.write_record(g);
+                }
+            }
+            Self::MaybeName { name } => {
+                w.write_record(&RESP_MAYBE_NAME);
+                w.write_record(&(name.is_some() as u64));
+                if let Some(n) = name {
+                    w.write_record(n);
+                }
+            }
+            Self::Stale {
+                node,
+                held,
+                current,
+            } => {
+                w.write_record(&RESP_STALE);
+                w.write_record(&(*node as u64));
+                w.write_record(held);
+                w.write_record(current);
+            }
+            Self::ScanTooLarge { set, budget } => {
+                w.write_record(&RESP_SCAN_TOO_LARGE);
+                w.write_record(set);
+                w.write_record(budget);
+            }
+            Self::Count { records } => {
+                w.write_record(&RESP_COUNT);
+                w.write_record(records);
+            }
         }
         w.into_bytes()
     }
@@ -406,23 +788,120 @@ impl Response {
             RESP_ERR => Self::Err {
                 message: r.read_record()?,
             },
+            RESP_DENIED => Self::Denied {
+                message: r.read_record()?,
+            },
+            RESP_WORKER_REGISTERED => Self::WorkerRegistered {
+                node: r.read_record::<u64>()? as u32,
+                epoch: r.read_record()?,
+            },
+            RESP_WORKERS => {
+                let n: u64 = r.read_record()?;
+                let mut workers = Vec::with_capacity(n.min(1 << 20) as usize);
+                for _ in 0..n {
+                    workers.push(WireWorker::get(&mut r)?);
+                }
+                Self::Workers { workers }
+            }
+            RESP_CATALOG_ENTRY => {
+                let present: u64 = r.read_record()?;
+                Self::CatalogEntry {
+                    entry: if present != 0 {
+                        Some(WireCatalogEntry::get(&mut r)?)
+                    } else {
+                        None
+                    },
+                }
+            }
+            RESP_NAMES => {
+                let n: u64 = r.read_record()?;
+                let mut names = Vec::with_capacity(n.min(1 << 20) as usize);
+                for _ in 0..n {
+                    names.push(r.read_record()?);
+                }
+                Self::Names { names }
+            }
+            RESP_GROUP => Self::Group {
+                group: r.read_record()?,
+            },
+            RESP_GROUPS => {
+                let n: u64 = r.read_record()?;
+                let mut groups = Vec::with_capacity(n.min(1 << 20) as usize);
+                for _ in 0..n {
+                    groups.push(r.read_record()?);
+                }
+                Self::Groups { groups }
+            }
+            RESP_MAYBE_NAME => {
+                let present: u64 = r.read_record()?;
+                Self::MaybeName {
+                    name: if present != 0 {
+                        Some(r.read_record()?)
+                    } else {
+                        None
+                    },
+                }
+            }
+            RESP_STALE => Self::Stale {
+                node: r.read_record::<u64>()? as u32,
+                held: r.read_record()?,
+                current: r.read_record()?,
+            },
+            RESP_SCAN_TOO_LARGE => Self::ScanTooLarge {
+                set: r.read_record()?,
+                budget: r.read_record()?,
+            },
+            RESP_COUNT => Self::Count {
+                records: r.read_record()?,
+            },
             other => return Err(bad_opcode("response", other)),
         })
     }
 
     /// Converts an error response into `Err`, passing others through.
+    /// Errors with a wire opcode of their own come back as their typed
+    /// [`PangeaError`] variant; everything else collapses to `Remote`.
     pub fn into_result(self) -> Result<Response> {
         match self {
             Self::Err { message } => Err(PangeaError::Remote(message)),
+            Self::Denied { message } => Err(PangeaError::Unauthenticated(message)),
+            Self::Stale {
+                node,
+                held,
+                current,
+            } => Err(PangeaError::StaleEpoch {
+                node: pangea_common::NodeId(node),
+                held: pangea_common::Epoch(held),
+                current: pangea_common::Epoch(current),
+            }),
+            Self::ScanTooLarge { set, budget } => Err(PangeaError::ScanTooLarge { set, budget }),
             other => Ok(other),
         }
     }
 }
 
-/// Encodes a [`PangeaError`] as the wire error response.
+/// Encodes a [`PangeaError`] as the wire error response. Kinds clients
+/// dispatch on (authentication, epoch staleness, scan overflow) keep
+/// their own opcodes so the client-side error stays typed.
 pub fn error_response(e: &PangeaError) -> Response {
-    Response::Err {
-        message: e.to_string(),
+    match e {
+        PangeaError::Unauthenticated(m) => Response::Denied { message: m.clone() },
+        PangeaError::StaleEpoch {
+            node,
+            held,
+            current,
+        } => Response::Stale {
+            node: node.raw(),
+            held: held.raw(),
+            current: current.raw(),
+        },
+        PangeaError::ScanTooLarge { set, budget } => Response::ScanTooLarge {
+            set: set.clone(),
+            budget: *budget,
+        },
+        other => Response::Err {
+            message: other.to_string(),
+        },
     }
 }
 
@@ -477,6 +956,141 @@ mod tests {
             payload: vec![0, 1, 2, 255],
         });
         roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Hello {
+            secret: "deployment-secret".into(),
+        });
+        roundtrip_req(Request::DropSet { set: "gone".into() });
+        roundtrip_req(Request::Count { set: "s".into() });
+        roundtrip_resp(Response::Count { records: 12345 });
+    }
+
+    #[test]
+    fn manager_requests_roundtrip() {
+        roundtrip_req(Request::MgrRegisterWorker {
+            addr: "127.0.0.1:7781".into(),
+            slot: None,
+        });
+        roundtrip_req(Request::MgrRegisterWorker {
+            addr: "127.0.0.1:7782".into(),
+            slot: Some(2),
+        });
+        roundtrip_req(Request::MgrHeartbeat { node: 1, epoch: 4 });
+        roundtrip_req(Request::MgrDeregisterWorker { node: 1, epoch: 4 });
+        roundtrip_req(Request::MgrListWorkers);
+        roundtrip_req(Request::MgrRegisterSet {
+            name: "lineitem".into(),
+            scheme: crate::wire::SchemeSpec::Hash {
+                key_name: "l_orderkey".into(),
+                partitions: 8,
+                key: crate::wire::KeySpec::Field {
+                    delim: b'|',
+                    index: 0,
+                },
+            },
+        });
+        roundtrip_req(Request::MgrDeregisterSet {
+            name: "lineitem".into(),
+        });
+        roundtrip_req(Request::MgrEntry {
+            name: "lineitem".into(),
+        });
+        roundtrip_req(Request::MgrSetNames);
+        roundtrip_req(Request::MgrAddStats {
+            name: "lineitem".into(),
+            objects: 10,
+            bytes: 1000,
+        });
+        roundtrip_req(Request::MgrLinkReplicas {
+            a: "x".into(),
+            b: "y".into(),
+        });
+        roundtrip_req(Request::MgrGroupMembers { group: 3 });
+        roundtrip_req(Request::MgrGroups);
+        roundtrip_req(Request::MgrBestReplica {
+            set: "lineitem".into(),
+            key: "l_partkey".into(),
+        });
+    }
+
+    #[test]
+    fn manager_responses_roundtrip() {
+        roundtrip_resp(Response::Denied {
+            message: "bad secret".into(),
+        });
+        roundtrip_resp(Response::WorkerRegistered { node: 2, epoch: 5 });
+        roundtrip_resp(Response::Workers {
+            workers: vec![crate::wire::WireWorker {
+                node: 0,
+                addr: "127.0.0.1:9000".into(),
+                epoch: 1,
+                state: crate::wire::WorkerState::Alive,
+            }],
+        });
+        roundtrip_resp(Response::CatalogEntry { entry: None });
+        roundtrip_resp(Response::CatalogEntry {
+            entry: Some(crate::wire::WireCatalogEntry {
+                name: "s".into(),
+                scheme: crate::wire::SchemeSpec::RoundRobin { partitions: 3 },
+                group: Some(1),
+                objects: 7,
+                bytes: 70,
+            }),
+        });
+        roundtrip_resp(Response::Names {
+            names: vec!["a".into(), "b".into()],
+        });
+        roundtrip_resp(Response::Group { group: 9 });
+        roundtrip_resp(Response::Groups { groups: vec![1, 2] });
+        roundtrip_resp(Response::MaybeName { name: None });
+        roundtrip_resp(Response::MaybeName {
+            name: Some("replica".into()),
+        });
+        roundtrip_resp(Response::Stale {
+            node: 1,
+            held: 3,
+            current: 7,
+        });
+        roundtrip_resp(Response::ScanTooLarge {
+            set: "big".into(),
+            budget: 1 << 25,
+        });
+    }
+
+    #[test]
+    fn typed_errors_survive_the_wire() {
+        use pangea_common::{Epoch, NodeId};
+        let stale = PangeaError::StaleEpoch {
+            node: NodeId(2),
+            held: Epoch(4),
+            current: Epoch(9),
+        };
+        match error_response(&stale).into_result() {
+            Err(PangeaError::StaleEpoch {
+                node,
+                held,
+                current,
+            }) => assert_eq!((node, held, current), (NodeId(2), Epoch(4), Epoch(9))),
+            other => panic!("{other:?}"),
+        }
+        let too_large = PangeaError::ScanTooLarge {
+            set: "events".into(),
+            budget: 42,
+        };
+        match error_response(&too_large).into_result() {
+            Err(PangeaError::ScanTooLarge { set, budget }) => {
+                assert_eq!((set.as_str(), budget), ("events", 42));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn denied_converts_to_unauthenticated() {
+        let resp = error_response(&PangeaError::Unauthenticated("no hello".into()));
+        match resp.into_result() {
+            Err(PangeaError::Unauthenticated(m)) => assert!(m.contains("no hello")),
+            other => panic!("expected Unauthenticated, got {other:?}"),
+        }
     }
 
     #[test]

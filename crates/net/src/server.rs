@@ -1,21 +1,256 @@
-//! `pangead` — the Pangea node daemon.
+//! Framed TCP serving, and `pangead` — the Pangea node daemon.
 //!
-//! Wraps one [`StorageNode`] behind the [`crate::proto`] protocol: a
-//! blocking accept loop hands each connection to a handler thread that
-//! reads framed requests until the peer hangs up. The request dispatch
-//! itself ([`Pangead::handle`]) is pure request → response and does not
-//! know about sockets, so it is testable (and reusable) without any
-//! networking.
+//! Two layers:
+//!
+//! * [`FramedServer`] — a reusable accept loop for any [`FramedService`]:
+//!   per-connection handler threads, an optional shared-secret handshake
+//!   (unauthenticated peers are rejected with a typed [`Response::Denied`]
+//!   before any request is served), and graceful shutdown that stops
+//!   accepting, drains in-flight requests, closes the remaining
+//!   connections, and joins every handler thread. `pangead` and
+//!   `pangea-mgr` (the `pangea-coord` manager daemon) both serve through
+//!   it.
+//! * [`Pangead`] — the protocol brain of a node daemon: wraps one
+//!   [`StorageNode`] and dispatches decoded requests against it. The
+//!   dispatch is pure request → response and does not know about sockets,
+//!   so it is testable (and reusable) without any networking.
 
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{error_response, Request, Response};
 use pangea_common::{FxHashMap, IoStats, PangeaError, PartitionId, Result};
 use pangea_core::{ObjectIter, SetOptions, ShuffleConfig, ShuffleService, StorageNode};
 use parking_lot::Mutex;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long [`FramedServer::shutdown`] waits for in-flight requests
+/// before closing their connections anyway.
+pub const DEFAULT_DRAIN: Duration = Duration::from_secs(5);
+
+/// Anything that can answer one decoded request. Implementations must
+/// not block indefinitely: a handler thread holds its connection for the
+/// duration of a call.
+pub trait FramedService: std::fmt::Debug + Send + Sync + 'static {
+    /// Handles one request, mapping internal errors to error responses.
+    fn handle(&self, req: Request) -> Response;
+}
+
+/// Shared per-server connection state: the live-connection registry used
+/// to unblock readers at shutdown, the handler-thread handles joined at
+/// shutdown, and the in-flight request count the drain waits on.
+#[derive(Debug, Default)]
+struct ConnShared {
+    streams: Mutex<FxHashMap<u64, TcpStream>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    next_conn: AtomicU64,
+    in_flight: AtomicUsize,
+    secret: Option<String>,
+}
+
+/// A running framed server: accept loop plus per-connection handler
+/// threads over one [`FramedService`]. Dropping the server shuts it
+/// down gracefully.
+#[derive(Debug)]
+pub struct FramedServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    /// Clone of the accept socket, used to unblock the accept loop at
+    /// shutdown (switching it to non-blocking) without relying on a
+    /// self-connect that may be firewalled on wildcard binds.
+    listener: TcpListener,
+    accept: Option<JoinHandle<()>>,
+    shared: Arc<ConnShared>,
+}
+
+impl FramedServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves
+    /// `service`. When `secret` is set, every connection must open with
+    /// a matching [`Request::Hello`] before any other request.
+    pub fn bind(
+        service: Arc<dyn FramedService>,
+        addr: impl ToSocketAddrs,
+        secret: Option<String>,
+    ) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let wake_handle = listener.try_clone()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(ConnShared {
+            secret,
+            ..ConnShared::default()
+        });
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("framed-accept-{local_addr}"))
+                .spawn(move || accept_loop(listener, service, shutdown, shared))?
+        };
+        Ok(Self {
+            local_addr,
+            shutdown,
+            listener: wake_handle,
+            accept: Some(accept),
+            shared,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections currently registered (diagnostics).
+    pub fn open_connections(&self) -> usize {
+        self.shared.streams.lock().len()
+    }
+
+    /// Gracefully stops the server: no new connections are accepted,
+    /// in-flight requests get up to `drain` to finish (their responses
+    /// are written), remaining connections are closed, and every handler
+    /// thread is joined. Idempotent.
+    pub fn shutdown(&mut self, drain: Duration) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop: flip the shared socket non-blocking so
+        // the pending accept returns WouldBlock and the loop sees the
+        // flag. The throwaway self-connect is a second wake-up path for
+        // platforms where the mode switch does not interrupt an accept
+        // already in progress.
+        let _ = self.listener.set_nonblocking(true);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        // Drain: wait for requests already being handled. Connections
+        // idle between requests are not in flight and close immediately.
+        let deadline = Instant::now() + drain;
+        while self.shared.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Unblock readers waiting for their peer's next request.
+        for (_, stream) in self.shared.streams.lock().drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for handle in self.shared.handles.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FramedServer {
+    fn drop(&mut self) {
+        self.shutdown(DEFAULT_DRAIN);
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<dyn FramedService>,
+    shutdown: Arc<AtomicBool>,
+    shared: Arc<ConnShared>,
+) {
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Only reachable once shutdown() flips the socket
+                // non-blocking; re-check the flag at the top of the loop.
+                std::thread::yield_now();
+                continue;
+            }
+            Err(_) => {
+                // Persistent accept errors (e.g. fd exhaustion) must not
+                // busy-spin a core; back off briefly before retrying.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        stream.set_nodelay(true).ok();
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        let registered = match stream.try_clone() {
+            Ok(clone) => {
+                shared.streams.lock().insert(conn_id, clone);
+                true
+            }
+            Err(_) => false,
+        };
+        let service = Arc::clone(&service);
+        let conn_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("framed-conn".into())
+            .spawn(move || {
+                serve_connection(stream, service.as_ref(), &conn_shared);
+                conn_shared.streams.lock().remove(&conn_id);
+            });
+        match spawned {
+            Ok(handle) => {
+                let mut handles = shared.handles.lock();
+                handles.retain(|h| !h.is_finished());
+                handles.push(handle);
+            }
+            Err(_) => {
+                if registered {
+                    shared.streams.lock().remove(&conn_id);
+                }
+            }
+        }
+    }
+}
+
+/// Serves one connection until EOF or a fatal stream error, enforcing
+/// the handshake when the server carries a secret.
+fn serve_connection(mut stream: TcpStream, service: &dyn FramedService, shared: &ConnShared) {
+    let mut authenticated = shared.secret.is_none();
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // peer hung up cleanly
+            Err(e) => {
+                // Desynchronized stream: report once, then give up.
+                let _ = write_frame(&mut stream, &error_response(&e).encode());
+                return;
+            }
+        };
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let (response, close) = match Request::decode(&payload) {
+            Ok(Request::Hello { secret }) => match &shared.secret {
+                Some(expected) if *expected == secret => {
+                    authenticated = true;
+                    (Response::Ok, false)
+                }
+                Some(_) => (
+                    error_response(&PangeaError::Unauthenticated(
+                        "handshake secret does not match".into(),
+                    )),
+                    true,
+                ),
+                // No secret configured: a Hello is a harmless no-op.
+                None => (Response::Ok, false),
+            },
+            Ok(req) if !authenticated => (
+                error_response(&PangeaError::Unauthenticated(format!(
+                    "this daemon requires a Hello handshake before {req:?}"
+                ))),
+                true,
+            ),
+            Ok(req) => (service.handle(req), false),
+            Err(e) => (error_response(&e), false),
+        };
+        let write_ok = write_frame(&mut stream, &response.encode()).is_ok();
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        if !write_ok || close {
+            return;
+        }
+    }
+}
 
 /// The protocol brain of a Pangea node daemon: dispatches decoded
 /// requests against the wrapped [`StorageNode`].
@@ -60,6 +295,9 @@ impl Pangead {
     fn dispatch(&self, req: Request) -> Result<Response> {
         match req {
             Request::Ping => Ok(Response::Ok),
+            // The server layer handles handshakes; reaching here means no
+            // secret is required on this daemon.
+            Request::Hello { .. } => Ok(Response::Ok),
             Request::CreateSet {
                 name,
                 durability,
@@ -109,16 +347,32 @@ impl Pangead {
                     while let Some(rec) = it.next() {
                         bytes += rec.len() + 4;
                         if bytes > budget {
-                            return Err(PangeaError::usage(format!(
-                                "scan of '{}' exceeds {budget} B in one reply; \
-                                 page through FetchPage instead",
-                                set.name()
-                            )));
+                            return Err(PangeaError::ScanTooLarge {
+                                set: set.name().to_string(),
+                                budget: budget as u64,
+                            });
                         }
                         records.push(rec.to_vec());
                     }
                 }
                 Ok(Response::Records { records })
+            }
+            Request::Count { set } => {
+                let set = self.get_set(&set)?;
+                let mut records = 0u64;
+                for num in set.page_numbers() {
+                    let pin = set.pin_page(num)?;
+                    records += ObjectIter::new(&pin).count() as u64;
+                }
+                Ok(Response::Count { records })
+            }
+            Request::DropSet { set } => {
+                // Idempotent: dropping a set the node never held is a
+                // no-op, so distributed teardown needs no error parsing.
+                if let Some(set) = self.node.get_set(&set) {
+                    self.node.drop_set(set.id())?;
+                }
+                Ok(Response::Ok)
             }
             Request::ShuffleCreate {
                 name,
@@ -177,6 +431,21 @@ impl Pangead {
                     disk_write_bytes: disk.disk_write_bytes,
                 })
             }
+            Request::MgrRegisterWorker { .. }
+            | Request::MgrHeartbeat { .. }
+            | Request::MgrDeregisterWorker { .. }
+            | Request::MgrListWorkers
+            | Request::MgrRegisterSet { .. }
+            | Request::MgrDeregisterSet { .. }
+            | Request::MgrEntry { .. }
+            | Request::MgrSetNames
+            | Request::MgrAddStats { .. }
+            | Request::MgrLinkReplicas { .. }
+            | Request::MgrGroupMembers { .. }
+            | Request::MgrGroups
+            | Request::MgrBestReplica { .. } => Err(PangeaError::usage(
+                "manager request sent to a storage node; connect to pangea-mgr instead",
+            )),
         }
     }
 
@@ -195,48 +464,42 @@ impl Pangead {
     }
 }
 
-/// A running `pangead` server: accept loop plus per-connection handler
-/// threads. Dropping the server shuts the accept loop down.
+impl FramedService for Pangead {
+    fn handle(&self, req: Request) -> Response {
+        Pangead::handle(self, req)
+    }
+}
+
+/// A running `pangead` server: one [`Pangead`] behind a [`FramedServer`].
 #[derive(Debug)]
 pub struct PangeadServer {
     daemon: Arc<Pangead>,
-    local_addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    /// Clone of the accept socket, used to unblock the accept loop at
-    /// shutdown (switching it to non-blocking) without relying on a
-    /// self-connect that may be firewalled on wildcard binds.
-    listener: TcpListener,
-    accept: Option<JoinHandle<()>>,
+    server: FramedServer,
 }
 
 impl PangeadServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// serving `node`.
+    /// serving `node` without a handshake secret.
     pub fn bind(node: StorageNode, addr: impl ToSocketAddrs) -> Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        let local_addr = listener.local_addr()?;
-        let wake_handle = listener.try_clone()?;
+        Self::bind_with_secret(node, addr, None)
+    }
+
+    /// Binds `addr` and serves `node`, requiring every connection to
+    /// open with [`Request::Hello`] carrying `secret` when one is given.
+    pub fn bind_with_secret(
+        node: StorageNode,
+        addr: impl ToSocketAddrs,
+        secret: Option<String>,
+    ) -> Result<Self> {
         let daemon = Arc::new(Pangead::new(node));
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let accept = {
-            let daemon = Arc::clone(&daemon);
-            let shutdown = Arc::clone(&shutdown);
-            std::thread::Builder::new()
-                .name(format!("pangead-accept-{local_addr}"))
-                .spawn(move || accept_loop(listener, daemon, shutdown))?
-        };
-        Ok(Self {
-            daemon,
-            local_addr,
-            shutdown,
-            listener: wake_handle,
-            accept: Some(accept),
-        })
+        let server =
+            FramedServer::bind(Arc::clone(&daemon) as Arc<dyn FramedService>, addr, secret)?;
+        Ok(Self { daemon, server })
     }
 
     /// The bound address (with the resolved ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
+        self.server.local_addr()
     }
 
     /// The protocol daemon (for inspecting the node or its counters).
@@ -244,79 +507,23 @@ impl PangeadServer {
         &self.daemon
     }
 
-    /// Stops accepting connections and joins the accept loop. Connection
-    /// handler threads finish when their peers hang up.
+    /// Gracefully stops the server with the default drain window: stops
+    /// accepting, lets in-flight requests finish, closes connections,
+    /// and joins every handler thread. Idempotent.
     pub fn shutdown(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Unblock the accept loop: flip the shared socket non-blocking so
-        // the pending accept returns WouldBlock and the loop sees the
-        // flag. The throwaway self-connect is a second wake-up path for
-        // platforms where the mode switch does not interrupt an accept
-        // already in progress.
-        let _ = self.listener.set_nonblocking(true);
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(handle) = self.accept.take() {
-            let _ = handle.join();
-        }
+        self.server.shutdown(DEFAULT_DRAIN);
     }
-}
 
-impl Drop for PangeadServer {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-fn accept_loop(listener: TcpListener, daemon: Arc<Pangead>, shutdown: Arc<AtomicBool>) {
-    for conn in listener.incoming() {
-        if shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let stream = match conn {
-            Ok(s) => s,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                // Only reachable once shutdown() flips the socket
-                // non-blocking; re-check the flag at the top of the loop.
-                std::thread::yield_now();
-                continue;
-            }
-            Err(_) => continue,
-        };
-        stream.set_nodelay(true).ok();
-        let daemon = Arc::clone(&daemon);
-        let _ = std::thread::Builder::new()
-            .name("pangead-conn".into())
-            .spawn(move || serve_connection(stream, &daemon));
-    }
-}
-
-/// Serves one connection until EOF or a fatal stream error.
-fn serve_connection(mut stream: TcpStream, daemon: &Pangead) {
-    loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(Some(p)) => p,
-            Ok(None) => return, // peer hung up cleanly
-            Err(e) => {
-                // Desynchronized stream: report once, then give up.
-                let _ = write_frame(&mut stream, &error_response(&e).encode());
-                return;
-            }
-        };
-        let response = match Request::decode(&payload) {
-            Ok(req) => daemon.handle(req),
-            Err(e) => error_response(&e),
-        };
-        if write_frame(&mut stream, &response.encode()).is_err() {
-            return;
-        }
+    /// [`PangeadServer::shutdown`] with an explicit drain window.
+    pub fn shutdown_with_drain(&mut self, drain: Duration) {
+        self.server.shutdown(drain);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::PangeaClient;
     use pangea_core::NodeConfig;
 
     fn node(tag: &str) -> StorageNode {
@@ -369,6 +576,19 @@ mod tests {
             Response::Page { bytes } => assert_eq!(bytes.len(), 4 * pangea_common::KB),
             other => panic!("{other:?}"),
         }
+        // Dropping the set makes it unknown.
+        assert_eq!(
+            d.handle(Request::DropSet {
+                set: "events".into()
+            }),
+            Response::Ok
+        );
+        assert!(matches!(
+            d.handle(Request::Scan {
+                set: "events".into()
+            }),
+            Response::Err { .. }
+        ));
     }
 
     #[test]
@@ -376,6 +596,15 @@ mod tests {
         let d = Pangead::new(node("missing"));
         match d.handle(Request::Scan { set: "nope".into() }) {
             Response::Err { message } => assert!(message.contains("nope")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn manager_requests_are_rejected_by_storage_nodes() {
+        let d = Pangead::new(node("mgr-reject"));
+        match d.handle(Request::MgrListWorkers) {
+            Response::Err { message } => assert!(message.contains("pangea-mgr")),
             other => panic!("{other:?}"),
         }
     }
@@ -438,5 +667,54 @@ mod tests {
         assert_ne!(server.local_addr().port(), 0);
         server.shutdown();
         server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn shutdown_drains_open_connections() {
+        let mut server = PangeadServer::bind(node("drain"), "127.0.0.1:0").unwrap();
+        let mut client = PangeaClient::connect(server.local_addr()).unwrap();
+        client.ping().unwrap();
+        // The connection is idle (registered, not in flight): shutdown
+        // closes it and joins the handler instead of hanging forever.
+        server.shutdown_with_drain(Duration::from_millis(200));
+        assert!(client.ping().is_err(), "connection closed by drain");
+    }
+
+    #[test]
+    fn handshake_gates_every_request_when_secret_is_set() {
+        let server = PangeadServer::bind_with_secret(
+            node("secret"),
+            "127.0.0.1:0",
+            Some("letmein".to_string()),
+        )
+        .unwrap();
+
+        // No Hello: first real request is rejected with a typed error.
+        let mut bare = PangeaClient::connect(server.local_addr()).unwrap();
+        match bare.ping() {
+            Err(PangeaError::Unauthenticated(m)) => assert!(m.contains("Hello"), "{m}"),
+            other => panic!("expected Unauthenticated, got {other:?}"),
+        }
+
+        // Wrong secret: rejected.
+        match PangeaClient::connect_with_secret(server.local_addr(), Some("wrong")) {
+            Err(PangeaError::Unauthenticated(_)) => {}
+            other => panic!("expected Unauthenticated, got {other:?}"),
+        }
+
+        // Right secret: full service.
+        let mut authed =
+            PangeaClient::connect_with_secret(server.local_addr(), Some("letmein")).unwrap();
+        authed.ping().unwrap();
+        authed.create_set("ok", "write-through", None).unwrap();
+        assert_eq!(authed.append("ok", &["x"]).unwrap(), 1);
+    }
+
+    #[test]
+    fn hello_is_harmless_without_a_secret() {
+        let server = PangeadServer::bind(node("nosecret"), "127.0.0.1:0").unwrap();
+        let mut client =
+            PangeaClient::connect_with_secret(server.local_addr(), Some("anything")).unwrap();
+        client.ping().unwrap();
     }
 }

@@ -32,6 +32,9 @@ pub struct TcpTransport {
     pool: Mutex<FxHashMap<NodeId, Vec<TcpStream>>>,
     throttle: Arc<Throttle>,
     stats: Arc<IoStats>,
+    /// Shared handshake secret sent as a `Hello` on every fresh
+    /// connection (pooled connections are already authenticated).
+    secret: Option<String>,
 }
 
 impl TcpTransport {
@@ -55,7 +58,15 @@ impl TcpTransport {
             pool: Mutex::new(FxHashMap::default()),
             throttle: Arc::new(throttle),
             stats: Arc::new(IoStats::new()),
+            secret: None,
         }
+    }
+
+    /// Sends `secret` in a [`Request::Hello`] handshake on every fresh
+    /// connection, for fleets of `pangead`s bound with a shared secret.
+    pub fn with_secret(mut self, secret: &str) -> Self {
+        self.secret = Some(secret.to_string());
+        self
     }
 
     /// The peers this transport can reach.
@@ -119,6 +130,7 @@ impl TcpTransport {
         }
         let stream = TcpStream::connect(addr).map_err(|e| self.connect_error(to, addr, e))?;
         stream.set_nodelay(true).ok();
+        let stream = self.handshake(stream)?;
         let (resp, stream) = self.round_trip(stream, &encoded).map_err(|e| match e {
             RoundTripError::NotProcessed => PangeaError::Io(Arc::new(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
@@ -132,6 +144,28 @@ impl TcpTransport {
 
     fn connect_error(&self, to: NodeId, addr: SocketAddr, e: std::io::Error) -> PangeaError {
         PangeaError::Remote(format!("connecting {to} at {addr}: {e}"))
+    }
+
+    /// Authenticates a fresh connection when a secret is configured.
+    fn handshake(&self, stream: TcpStream) -> Result<TcpStream> {
+        let Some(secret) = &self.secret else {
+            return Ok(stream);
+        };
+        let hello = Request::Hello {
+            secret: secret.clone(),
+        }
+        .encode();
+        self.stats
+            .record_serialization(hello.len() + crate::frame::FRAME_OVERHEAD);
+        let (resp, stream) = self.round_trip(stream, &hello).map_err(|e| match e {
+            RoundTripError::NotProcessed => PangeaError::Io(Arc::new(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "peer closed the connection during the handshake",
+            ))),
+            RoundTripError::Fatal(e) => e,
+        })?;
+        resp.into_result()?;
+        Ok(stream)
     }
 
     fn round_trip(

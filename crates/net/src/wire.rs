@@ -1,0 +1,324 @@
+//! Wire representations of control-plane state: partitioning schemes,
+//! catalog entries, and cluster membership.
+//!
+//! The in-process catalog (`pangea-cluster`'s `Manager`) stores a
+//! `PartitionScheme` whose key extractor is an arbitrary closure — a UDF
+//! in the paper's terms. UDFs do not cross the wire; what does is a
+//! *declarative* [`KeySpec`] (whole record, or a delimited field), which
+//! every peer can re-materialize into the same extractor. Schemes built
+//! from opaque closures therefore cannot be registered in a wire-served
+//! catalog; `pangea-cluster` offers `hash_field`/`hash_whole`
+//! constructors that carry their spec.
+//!
+//! Encoding follows the [`crate::proto`] conventions: every field is a
+//! length-prefixed record in a `ByteWriter` stream, integers travel as
+//! `u64`, and unknown discriminants decode to [`PangeaError::Corruption`].
+
+use pangea_common::{ByteReader, ByteWriter, PangeaError, Result};
+
+/// A declarative, wire-safe key extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeySpec {
+    /// The whole record is the key.
+    WholeRecord,
+    /// Field `index` (0-based) after splitting the record on `delim`;
+    /// records with fewer fields key on the empty string.
+    Field {
+        /// The single-byte field delimiter (e.g. `b'|'`).
+        delim: u8,
+        /// 0-based field index.
+        index: u32,
+    },
+}
+
+const KEY_WHOLE: u64 = 1;
+const KEY_FIELD: u64 = 2;
+
+impl KeySpec {
+    pub(crate) fn put(&self, w: &mut ByteWriter) {
+        match self {
+            Self::WholeRecord => w.write_record(&KEY_WHOLE),
+            Self::Field { delim, index } => {
+                w.write_record(&KEY_FIELD);
+                w.write_record(&(*delim as u64));
+                w.write_record(&(*index as u64));
+            }
+        }
+    }
+
+    pub(crate) fn get(r: &mut ByteReader<'_>) -> Result<Self> {
+        let tag: u64 = r.read_record()?;
+        Ok(match tag {
+            KEY_WHOLE => Self::WholeRecord,
+            KEY_FIELD => Self::Field {
+                delim: r.read_record::<u64>()? as u8,
+                index: r.read_record::<u64>()? as u32,
+            },
+            other => {
+                return Err(PangeaError::Corruption(format!(
+                    "unknown key-spec tag {other}"
+                )))
+            }
+        })
+    }
+
+    /// Extracts this spec's key from a record's bytes.
+    pub fn key_of(&self, record: &[u8]) -> Vec<u8> {
+        match *self {
+            Self::WholeRecord => record.to_vec(),
+            Self::Field { delim, index } => record
+                .split(|&b| b == delim)
+                .nth(index as usize)
+                .unwrap_or_default()
+                .to_vec(),
+        }
+    }
+}
+
+/// A partitioning scheme in wire form (the serializable subset of
+/// `pangea-cluster`'s `PartitionScheme`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeSpec {
+    /// `hash(key) % partitions`, keyed by a declarative [`KeySpec`].
+    Hash {
+        /// The key the scheme organizes by (`l_orderkey`, …).
+        key_name: String,
+        /// Number of partitions.
+        partitions: u32,
+        /// How the key is extracted.
+        key: KeySpec,
+    },
+    /// Records round-robin over partitions.
+    RoundRobin {
+        /// Number of partitions.
+        partitions: u32,
+    },
+}
+
+const SCHEME_HASH: u64 = 1;
+const SCHEME_RR: u64 = 2;
+
+impl SchemeSpec {
+    pub(crate) fn put(&self, w: &mut ByteWriter) {
+        match self {
+            Self::Hash {
+                key_name,
+                partitions,
+                key,
+            } => {
+                w.write_record(&SCHEME_HASH);
+                w.write_record(key_name);
+                w.write_record(&(*partitions as u64));
+                key.put(w);
+            }
+            Self::RoundRobin { partitions } => {
+                w.write_record(&SCHEME_RR);
+                w.write_record(&(*partitions as u64));
+            }
+        }
+    }
+
+    pub(crate) fn get(r: &mut ByteReader<'_>) -> Result<Self> {
+        let tag: u64 = r.read_record()?;
+        Ok(match tag {
+            SCHEME_HASH => Self::Hash {
+                key_name: r.read_record()?,
+                partitions: r.read_record::<u64>()? as u32,
+                key: KeySpec::get(r)?,
+            },
+            SCHEME_RR => Self::RoundRobin {
+                partitions: r.read_record::<u64>()? as u32,
+            },
+            other => {
+                return Err(PangeaError::Corruption(format!(
+                    "unknown scheme tag {other}"
+                )))
+            }
+        })
+    }
+}
+
+/// One catalog entry as served by `pangea-mgr`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireCatalogEntry {
+    /// The set's cluster-wide name.
+    pub name: String,
+    /// Its partitioning scheme.
+    pub scheme: SchemeSpec,
+    /// The replica group it belongs to (raw `ReplicaGroupId`), if any.
+    pub group: Option<u64>,
+    /// Objects dispatched into the set.
+    pub objects: u64,
+    /// Payload bytes dispatched into the set.
+    pub bytes: u64,
+}
+
+impl WireCatalogEntry {
+    pub(crate) fn put(&self, w: &mut ByteWriter) {
+        w.write_record(&self.name);
+        self.scheme.put(w);
+        // 0 marks "no group"; real group ids start at 1.
+        w.write_record(&self.group.unwrap_or(0));
+        w.write_record(&self.objects);
+        w.write_record(&self.bytes);
+    }
+
+    pub(crate) fn get(r: &mut ByteReader<'_>) -> Result<Self> {
+        let name = r.read_record()?;
+        let scheme = SchemeSpec::get(r)?;
+        let group: u64 = r.read_record()?;
+        Ok(Self {
+            name,
+            scheme,
+            group: (group != 0).then_some(group),
+            objects: r.read_record()?,
+            bytes: r.read_record()?,
+        })
+    }
+}
+
+/// A worker's liveness state at the manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Registered and heartbeating within the liveness timeout.
+    Alive,
+    /// Missed enough heartbeats to be declared dead (feeds recovery).
+    Dead,
+    /// Deregistered on clean shutdown.
+    Left,
+}
+
+const STATE_ALIVE: u64 = 1;
+const STATE_DEAD: u64 = 2;
+const STATE_LEFT: u64 = 3;
+
+/// One worker's membership record as served by `pangea-mgr`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireWorker {
+    /// The node slot (raw `NodeId`).
+    pub node: u32,
+    /// The address the worker's `pangead` advertised at registration.
+    pub addr: String,
+    /// The slot's current registration epoch (raw `Epoch`).
+    pub epoch: u64,
+    /// Current liveness state.
+    pub state: WorkerState,
+}
+
+impl WireWorker {
+    pub(crate) fn put(&self, w: &mut ByteWriter) {
+        w.write_record(&(self.node as u64));
+        w.write_record(&self.addr);
+        w.write_record(&self.epoch);
+        w.write_record(&match self.state {
+            WorkerState::Alive => STATE_ALIVE,
+            WorkerState::Dead => STATE_DEAD,
+            WorkerState::Left => STATE_LEFT,
+        });
+    }
+
+    pub(crate) fn get(r: &mut ByteReader<'_>) -> Result<Self> {
+        let node = r.read_record::<u64>()? as u32;
+        let addr = r.read_record()?;
+        let epoch = r.read_record()?;
+        let state = match r.read_record::<u64>()? {
+            STATE_ALIVE => WorkerState::Alive,
+            STATE_DEAD => WorkerState::Dead,
+            STATE_LEFT => WorkerState::Left,
+            other => {
+                return Err(PangeaError::Corruption(format!(
+                    "unknown worker state {other}"
+                )))
+            }
+        };
+        Ok(Self {
+            node,
+            addr,
+            epoch,
+            state,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_scheme(s: SchemeSpec) {
+        let mut w = ByteWriter::new();
+        s.put(&mut w);
+        let mut r = ByteReader::new(w.as_bytes());
+        assert_eq!(SchemeSpec::get(&mut r).unwrap(), s);
+    }
+
+    #[test]
+    fn schemes_roundtrip() {
+        roundtrip_scheme(SchemeSpec::RoundRobin { partitions: 8 });
+        roundtrip_scheme(SchemeSpec::Hash {
+            key_name: "l_orderkey".into(),
+            partitions: 12,
+            key: KeySpec::Field {
+                delim: b'|',
+                index: 3,
+            },
+        });
+        roundtrip_scheme(SchemeSpec::Hash {
+            key_name: "word".into(),
+            partitions: 1,
+            key: KeySpec::WholeRecord,
+        });
+    }
+
+    #[test]
+    fn catalog_entries_roundtrip_with_and_without_group() {
+        for group in [None, Some(7u64)] {
+            let e = WireCatalogEntry {
+                name: "lineitem".into(),
+                scheme: SchemeSpec::RoundRobin { partitions: 4 },
+                group,
+                objects: 123,
+                bytes: 45678,
+            };
+            let mut w = ByteWriter::new();
+            e.put(&mut w);
+            let mut r = ByteReader::new(w.as_bytes());
+            assert_eq!(WireCatalogEntry::get(&mut r).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn workers_roundtrip_every_state() {
+        for state in [WorkerState::Alive, WorkerState::Dead, WorkerState::Left] {
+            let wk = WireWorker {
+                node: 3,
+                addr: "10.0.0.3:7781".into(),
+                epoch: 9,
+                state,
+            };
+            let mut w = ByteWriter::new();
+            wk.put(&mut w);
+            let mut r = ByteReader::new(w.as_bytes());
+            assert_eq!(WireWorker::get(&mut r).unwrap(), wk);
+        }
+    }
+
+    #[test]
+    fn key_specs_extract() {
+        assert_eq!(KeySpec::WholeRecord.key_of(b"abc"), b"abc");
+        let f = KeySpec::Field {
+            delim: b'|',
+            index: 1,
+        };
+        assert_eq!(f.key_of(b"a|bb|c"), b"bb");
+        assert_eq!(f.key_of(b"a"), b"");
+    }
+
+    #[test]
+    fn unknown_tags_are_corruption() {
+        let mut w = ByteWriter::new();
+        w.write_record(&99u64);
+        let bytes = w.as_bytes().to_vec();
+        assert!(SchemeSpec::get(&mut ByteReader::new(&bytes)).is_err());
+        assert!(KeySpec::get(&mut ByteReader::new(&bytes)).is_err());
+    }
+}

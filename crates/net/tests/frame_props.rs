@@ -4,9 +4,58 @@
 
 use pangea_common::PangeaError;
 use pangea_net::frame::{read_frame, write_frame, FRAME_OVERHEAD, MAX_FRAME};
-use pangea_net::{Request, Response};
+use pangea_net::{
+    KeySpec, Request, Response, SchemeSpec, WireCatalogEntry, WireWorker, WorkerState,
+};
 use proptest::prelude::*;
 use std::io::Cursor;
+
+/// Lowercase ascii identifier from arbitrary bytes (set/key names).
+fn ident(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| (b'a' + b % 26) as char).collect()
+}
+
+fn key_spec(delim: u8, index: u32, whole: bool) -> KeySpec {
+    if whole {
+        KeySpec::WholeRecord
+    } else {
+        KeySpec::Field { delim, index }
+    }
+}
+
+fn scheme_spec(name: &[u8], partitions: u32, hash: bool, key: KeySpec) -> SchemeSpec {
+    if hash {
+        SchemeSpec::Hash {
+            key_name: ident(name),
+            partitions,
+            key,
+        }
+    } else {
+        SchemeSpec::RoundRobin { partitions }
+    }
+}
+
+fn state_of(tag: u8) -> WorkerState {
+    match tag % 3 {
+        0 => WorkerState::Alive,
+        1 => WorkerState::Dead,
+        _ => WorkerState::Left,
+    }
+}
+
+fn roundtrip_req(req: Request) {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &req.encode()).unwrap();
+    let unframed = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+    assert_eq!(Request::decode(&unframed).unwrap(), req);
+}
+
+fn roundtrip_resp(resp: Response) {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &resp.encode()).unwrap();
+    let unframed = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+    assert_eq!(Response::decode(&unframed).unwrap(), resp);
+}
 
 proptest! {
     /// Any sequence of payloads frames and unframes identically, in
@@ -76,17 +125,90 @@ proptest! {
             0..32,
         ),
     ) {
-        let set = set.iter().map(|b| (b'a' + b % 26) as char).collect::<String>();
-        let req = Request::Append { set, records: records.clone() };
-        let mut buf = Vec::new();
-        write_frame(&mut buf, &req.encode()).unwrap();
-        let unframed = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
-        prop_assert_eq!(Request::decode(&unframed).unwrap(), req);
+        let req = Request::Append { set: ident(&set), records: records.clone() };
+        roundtrip_req(req);
+        roundtrip_resp(Response::Records { records });
+    }
 
-        let resp = Response::Records { records };
-        let mut buf = Vec::new();
-        write_frame(&mut buf, &resp.encode()).unwrap();
-        let unframed = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
-        prop_assert_eq!(Response::decode(&unframed).unwrap(), resp);
+    /// Partitioning schemes (both kinds, both key specs, arbitrary
+    /// delimiters including NUL and `0xff`) survive the catalog wire.
+    #[test]
+    fn scheme_specs_roundtrip_through_frames(
+        name in prop::collection::vec(any::<u8>(), 1..24),
+        partitions in any::<u32>(),
+        hash in any::<bool>(),
+        whole in any::<bool>(),
+        delim in any::<u8>(),
+        index in any::<u32>(),
+    ) {
+        let scheme = scheme_spec(&name, partitions, hash, key_spec(delim, index, whole));
+        roundtrip_req(Request::MgrRegisterSet {
+            name: ident(&name),
+            scheme,
+        });
+    }
+
+    /// Catalog entries — with or without a group, arbitrary statistics —
+    /// survive the trip inside a `CatalogEntry` response.
+    #[test]
+    fn catalog_entries_roundtrip_through_frames(
+        name in prop::collection::vec(any::<u8>(), 1..24),
+        partitions in any::<u32>(),
+        hash in any::<bool>(),
+        whole in any::<bool>(),
+        delim in any::<u8>(),
+        index in any::<u32>(),
+        has_group in any::<bool>(),
+        group in any::<u64>(),
+        objects in any::<u64>(),
+        bytes in any::<u64>(),
+        present in any::<bool>(),
+    ) {
+        let entry = WireCatalogEntry {
+            name: ident(&name),
+            scheme: scheme_spec(&name, partitions, hash, key_spec(delim, index, whole)),
+            // Group ids are nonzero on the wire (0 marks "no group").
+            group: has_group.then_some(group | 1),
+            objects,
+            bytes,
+        };
+        roundtrip_resp(Response::CatalogEntry {
+            entry: present.then_some(entry),
+        });
+    }
+
+    /// Membership messages — registration (fresh or slot-pinned),
+    /// heartbeats, deregistration, and worker snapshots in every state —
+    /// survive the trip.
+    #[test]
+    fn membership_messages_roundtrip_through_frames(
+        addr in prop::collection::vec(any::<u8>(), 0..32),
+        has_slot in any::<bool>(),
+        slot in any::<u32>(),
+        node in any::<u32>(),
+        epoch in any::<u64>(),
+        workers in prop::collection::vec(
+            (any::<u32>(), prop::collection::vec(any::<u8>(), 0..32), any::<u64>(), any::<u8>()),
+            0..8,
+        ),
+    ) {
+        roundtrip_req(Request::MgrRegisterWorker {
+            addr: ident(&addr),
+            slot: has_slot.then_some(u64::from(slot)),
+        });
+        roundtrip_req(Request::MgrHeartbeat { node, epoch });
+        roundtrip_req(Request::MgrDeregisterWorker { node, epoch });
+        roundtrip_resp(Response::WorkerRegistered { node, epoch });
+        roundtrip_resp(Response::Workers {
+            workers: workers
+                .into_iter()
+                .map(|(node, addr, epoch, state)| WireWorker {
+                    node,
+                    addr: ident(&addr),
+                    epoch,
+                    state: state_of(state),
+                })
+                .collect(),
+        });
     }
 }

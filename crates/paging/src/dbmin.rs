@@ -15,7 +15,7 @@
 //!   repeatedly) wants its whole size resident; a straight-sequential set
 //!   wants one page; a random set wants a working-set estimate (we use the
 //!   set's estimated size, matching the paper's "estimates locality set
-//!   size exactly following the algorithm in [21]").
+//!   size exactly following the algorithm in \[21\]").
 //! * **Fixed(1)** — `DBMIN-1`: every set's desired size is 1 page.
 //! * **Fixed(1000)** — `DBMIN-1000`: every set wants 1000 pages.
 //! * **Tuned** — Fig. 9's variant: adaptive, but each desired size is

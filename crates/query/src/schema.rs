@@ -153,7 +153,7 @@ tpch_table! {
     Part {
         /// Primary key.
         p_partkey: i64,
-        /// Brand index (Brand#<n>).
+        /// Brand index (`Brand#<n>`).
         p_brand: u8,
         /// Type index into a synthetic type vocabulary.
         p_type: u8,

@@ -1,9 +1,9 @@
 //! Offline stand-in for [`rand`](https://crates.io/crates/rand).
 //!
 //! The build environment has no access to crates.io, so this workspace
-//! vendors the subset of the rand 0.9 API it uses: [`StdRng`] (a
+//! vendors the subset of the rand 0.9 API it uses: [`StdRng`][rngs::StdRng] (a
 //! xoshiro256** generator seeded through SplitMix64),
-//! [`SeedableRng::seed_from_u64`], and [`Rng::random_range`] over integer
+//! `SeedableRng::seed_from_u64`, and `Rng::random_range` over integer
 //! and float ranges. Distribution quality is adequate for data generation
 //! and benchmarks; this is not a cryptographic generator.
 

@@ -19,6 +19,7 @@
 //! | [`storage`] | `pangea-storage` | §4–§5 — buffer pool, disks, paged files |
 //! | [`paging`] | `pangea-paging` | §6 — data-aware policy + LRU/MRU/DBMIN baselines |
 //! | [`cluster`] | `pangea-cluster` | §3.3, §7 — manager, dispatch, replication, recovery |
+//! | [`coord`] | `pangea-coord` | §3.3, §8 — control plane: `pangea-mgr`, membership, `RemoteCluster` |
 //! | [`net`] | `pangea-net` | wire layer — `Transport` seam, TCP framing + protocol, `pangead`, client |
 //! | [`layered`] | `pangea-layered` | §9 baselines — HDFS/Alluxio/Ignite/Spark/OS/Redis |
 //! | [`query`] | `pangea-query` | §9.1.2 — TPC-H on Pangea and on Spark |
@@ -57,6 +58,7 @@
 pub use pangea_alloc as alloc;
 pub use pangea_cluster as cluster;
 pub use pangea_common as common;
+pub use pangea_coord as coord;
 pub use pangea_core as core;
 pub use pangea_kmeans as kmeans;
 pub use pangea_layered as layered;
@@ -67,8 +69,9 @@ pub use pangea_storage as storage;
 
 /// The names most applications need.
 pub mod prelude {
-    pub use pangea_cluster::{ClusterConfig, DistSet, PartitionScheme, SimCluster};
+    pub use pangea_cluster::{ClusterConfig, DispatchConfig, DistSet, PartitionScheme, SimCluster};
     pub use pangea_common::{NodeId, PageId, PangeaError, Result, SetId};
+    pub use pangea_coord::{MgrServer, RemoteCluster, WorkerAgent};
     pub use pangea_core::{
         broadcast_map, counting_hash_buffer, HashConfig, JoinMap, JoinMapBuilder, LocalitySet,
         NodeConfig, ObjectIter, SeqWriter, SetOptions, ShuffleConfig, ShuffleService, StorageNode,
