@@ -28,6 +28,7 @@ use crate::manager::CatalogEntry;
 use crate::partition::{PartitionKind, PartitionScheme};
 use crate::replication::colliding_set_name;
 use pangea_common::{fx_hash64, FxHashMap, FxHashSet, NodeId, PangeaError, ReplicaGroupId, Result};
+use pangea_net::{RepairFilter, RepairPushReport};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -97,6 +98,48 @@ pub trait WorkerBackend: fmt::Debug + Send + Sync {
 
     /// Payload bytes this backend has moved across its wire so far.
     fn net_bytes(&self) -> u64;
+
+    /// Peer-repair capability: backends whose nodes can move recovery
+    /// data directly between each other (worker→worker) return `Some`,
+    /// and [`ClusterCore::recover_sets`] orchestrates repairs through it
+    /// with one push in flight per survivor. The default `None` keeps
+    /// the driver-mediated serial path — `SimCluster`'s in-process
+    /// backend stays byte-for-byte identical to the pre-peer engine.
+    fn peer_repair(&self) -> Option<&dyn PeerRepair> {
+        None
+    }
+}
+
+/// Worker→worker repair operations (paper §7 recovery without bouncing
+/// payload through a client layer, in the spirit of Sector/Sphere's
+/// replica-to-replica repair): the driver orchestrates, the storage
+/// fabric moves the bytes.
+///
+/// Implementations must be callable from multiple threads at once — the
+/// engine runs one [`PeerRepair::repair_push`] per survivor in parallel.
+/// Pushes are idempotent by contract: the target's repair session dedups
+/// on record hash, so a retried or duplicated push never double-restores.
+pub trait PeerRepair: Send + Sync {
+    /// Opens a repair session for `target_set` on the `target` node,
+    /// seeding its dedup ledger with the record hashes the nodes in
+    /// `present_on` still hold (pulled peer-to-peer; empty for hash
+    /// targets, whose lost share is recomputed by placement instead).
+    fn repair_begin(&self, target: NodeId, target_set: &str, present_on: &[NodeId]) -> Result<()>;
+
+    /// One survivor→replacement push: `survivor` scans its local share
+    /// of `source_set`, keeps what `filter` selects, and streams it
+    /// straight into `target_set` on `target`.
+    fn repair_push(
+        &self,
+        survivor: NodeId,
+        source_set: &str,
+        target: NodeId,
+        target_set: &str,
+        filter: &RepairFilter,
+    ) -> Result<RepairPushReport>;
+
+    /// Seals the session; returns its `(appended, appended_bytes)`.
+    fn repair_end(&self, target: NodeId, target_set: &str) -> Result<(u64, u64)>;
 }
 
 /// Where distributed-set metadata lives: the manager catalog +
@@ -378,8 +421,21 @@ impl ClusterCore {
     /// sibling replica, plus the colliding set for objects with no
     /// surviving copy. The node slot must already be re-provisioned
     /// (fresh node, empty sets — see [`ClusterCore::provision_node`]).
-    /// `bytes_moved` and `duration` are left for the frontend to fill.
+    ///
+    /// Backends exposing [`WorkerBackend::peer_repair`] recover
+    /// worker→worker: survivors stream their shares straight to the
+    /// replacement (one push in flight per survivor), the engine fills
+    /// `bytes_moved` with the peer payload, and the orchestrating driver
+    /// moves zero record bytes. Otherwise the driver-mediated serial
+    /// path runs and `bytes_moved`/`duration` are left for the frontend.
     pub fn recover_sets(&self, failed: NodeId) -> Result<RecoveryReport> {
+        match self.workers.peer_repair() {
+            Some(repair) => self.recover_sets_peer(repair, failed),
+            None => self.recover_sets_serial(failed),
+        }
+    }
+
+    fn recover_sets_serial(&self, failed: NodeId) -> Result<RecoveryReport> {
         let mut report = RecoveryReport {
             failed,
             replicas_recovered: Vec::new(),
@@ -389,15 +445,117 @@ impl ClusterCore {
             duration: Duration::ZERO,
         };
         for group in self.catalog.groups()? {
-            let members = self.catalog.group_members(group)?;
-            if members.len() < 2 {
-                return Err(PangeaError::UnrecoverableFailure(format!(
-                    "replica group {group} has a single member; cannot recover {failed}"
-                )));
-            }
+            let members = self.group_members_checked(group, failed)?;
             for target in &members {
                 let sources: Vec<&String> = members.iter().filter(|m| *m != target).collect();
                 self.recover_member(group, target, &sources, failed, &mut report)?;
+                report.replicas_recovered.push(target.clone());
+            }
+        }
+        Ok(report)
+    }
+
+    fn group_members_checked(&self, group: ReplicaGroupId, failed: NodeId) -> Result<Vec<String>> {
+        let members = self.catalog.group_members(group)?;
+        if members.len() < 2 {
+            return Err(PangeaError::UnrecoverableFailure(format!(
+                "replica group {group} has a single member; cannot recover {failed}"
+            )));
+        }
+        Ok(members)
+    }
+
+    /// The worker→worker recovery path. Per `(group, target)` pair:
+    /// open a dedup session on the replacement (seeded with the
+    /// surviving share for round-robin targets), push every sibling
+    /// share in parallel — one thread, and thus one RPC in flight, per
+    /// survivor — then push the colliding set, then seal the session.
+    /// The session's hash ledger replays the serial path's `seen`-set
+    /// semantics across concurrent pushers, so the restored contents
+    /// match a serial run record-for-record (order aside).
+    fn recover_sets_peer(&self, repair: &dyn PeerRepair, failed: NodeId) -> Result<RecoveryReport> {
+        let mut report = RecoveryReport {
+            failed,
+            replicas_recovered: Vec::new(),
+            objects_restored: 0,
+            colliding_restored: 0,
+            bytes_moved: 0,
+            duration: Duration::ZERO,
+        };
+        let survivors: Vec<NodeId> = self
+            .workers
+            .alive_nodes()
+            .into_iter()
+            .filter(|&n| n != failed)
+            .collect();
+        for group in self.catalog.groups()? {
+            let members = self.group_members_checked(group, failed)?;
+            let cset = colliding_set_name(group);
+            let have_cset = self.catalog.contains(&cset)?;
+            for target in &members {
+                let t_entry = self
+                    .catalog
+                    .entry(target)?
+                    .ok_or_else(|| PangeaError::usage(format!("unknown target '{target}'")))?;
+                // Hash targets recompute their lost share by placement on
+                // every survivor; round-robin targets define it by absence,
+                // so the session pulls the surviving share's hashes first.
+                let (filter, present_on): (RepairFilter, &[NodeId]) = match t_entry.scheme.kind {
+                    PartitionKind::Hash => (
+                        RepairFilter::Lost {
+                            scheme: t_entry.scheme.to_spec()?,
+                            failed: failed.raw(),
+                            nodes: self.workers.num_nodes(),
+                        },
+                        &[],
+                    ),
+                    PartitionKind::RoundRobin => (RepairFilter::All, &survivors),
+                };
+                repair.repair_begin(failed, target, present_on)?;
+                // The two push passes, with the session closed whatever
+                // happens: a failed push must not leave the replacement
+                // holding the session's hash ledger forever. (Should the
+                // close itself fail — daemon unreachable — the next
+                // repair attempt's `repair_begin` replaces the session.)
+                let outcome = (|| {
+                    // Pass 1: sibling replicas, in parallel per survivor.
+                    let sources: Vec<String> =
+                        members.iter().filter(|m| *m != target).cloned().collect();
+                    let siblings =
+                        push_parallel(repair, &survivors, &sources, failed, target, &filter)?;
+                    // Pass 2: the colliding set (objects with no surviving
+                    // sibling copy); the session dedups against pass 1.
+                    let csets = if have_cset {
+                        push_parallel(
+                            repair,
+                            &survivors,
+                            std::slice::from_ref(&cset),
+                            failed,
+                            target,
+                            &filter,
+                        )?
+                    } else {
+                        RepairPushReport::default()
+                    };
+                    Ok::<_, PangeaError>((siblings, csets))
+                })();
+                let ended = repair.repair_end(failed, target);
+                let (_siblings, csets) = outcome?;
+                // The session totals are authoritative: a push whose ack
+                // was lost to a connection failure (and whose retry then
+                // deduped to zero) still appended for real, and only the
+                // session counted it.
+                let (session_appended, session_bytes) = ended?;
+                report.objects_restored += session_appended;
+                // Pass-level split for the colliding share comes from
+                // the pass-2 acks (best effort under lost acks).
+                report.colliding_restored += csets.appended;
+                // `bytes_moved` is the *restored* payload (what the
+                // replacement appended after dedup), mirroring the
+                // serial path where shipped == appended; duplicate
+                // sibling pushes and All-filter overshoot are visible
+                // in the per-node `repair_bytes` counters instead.
+                report.bytes_moved += session_bytes;
                 report.replicas_recovered.push(target.clone());
             }
         }
@@ -477,6 +635,51 @@ impl ClusterCore {
         }
         sinks.finish()
     }
+}
+
+/// Runs one repair push per `(survivor, source)` pair with one thread —
+/// and therefore one RPC in flight — per survivor, each survivor working
+/// through `sources` in order. All threads are joined before returning;
+/// the first error wins but never orphans a running push.
+fn push_parallel(
+    repair: &dyn PeerRepair,
+    survivors: &[NodeId],
+    sources: &[String],
+    target: NodeId,
+    target_set: &str,
+    filter: &RepairFilter,
+) -> Result<RepairPushReport> {
+    let results: Vec<Result<RepairPushReport>> = std::thread::scope(|s| {
+        let handles: Vec<_> = survivors
+            .iter()
+            .map(|&survivor| {
+                s.spawn(move || {
+                    let mut total = RepairPushReport::default();
+                    for source in sources {
+                        let push =
+                            repair.repair_push(survivor, source, target, target_set, filter)?;
+                        total.merge(&push);
+                    }
+                    Ok(total)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(PangeaError::Remote(
+                        "a repair-push thread panicked".to_string(),
+                    ))
+                })
+            })
+            .collect()
+    });
+    let mut total = RepairPushReport::default();
+    for result in results {
+        total.merge(&result?);
+    }
+    Ok(total)
 }
 
 /// A distributed dataset handle served by the engine: one locality set

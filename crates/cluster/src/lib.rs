@@ -23,8 +23,8 @@ pub mod replication;
 
 pub use cluster::{ClusterConfig, Dispatcher, DistSet, SimCluster, SimWorkers};
 pub use engine::{
-    Catalog, ClusterCore, DispatchConfig, EngineDispatcher, EngineSet, RecordSink, RecoveryReport,
-    ReplicaReport, WorkerBackend,
+    Catalog, ClusterCore, DispatchConfig, EngineDispatcher, EngineSet, PeerRepair, RecordSink,
+    RecoveryReport, ReplicaReport, WorkerBackend,
 };
 pub use manager::{CatalogEntry, Manager, SetStats};
 pub use network::SimNetwork;

@@ -25,6 +25,8 @@ pub struct IoStats {
     serialized_bytes: AtomicU64,
     copies: AtomicU64,
     copied_bytes: AtomicU64,
+    repairs: AtomicU64,
+    repair_bytes: AtomicU64,
 }
 
 impl IoStats {
@@ -85,6 +87,17 @@ impl IoStats {
         self.copied_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Records one peer-repair transfer of `bytes` — payload moved
+    /// directly between workers during replica recovery, attributed
+    /// separately from ordinary dispatch traffic so a recovery run can
+    /// prove its data flowed worker→worker rather than through the
+    /// driver (which records `net` bytes, never `repair` bytes).
+    #[inline]
+    pub fn record_repair(&self, bytes: usize) {
+        self.repairs.fetch_add(1, Ordering::Relaxed);
+        self.repair_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot for reporting.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
@@ -100,6 +113,8 @@ impl IoStats {
             serialized_bytes: self.serialized_bytes.load(Ordering::Relaxed),
             copies: self.copies.load(Ordering::Relaxed),
             copied_bytes: self.copied_bytes.load(Ordering::Relaxed),
+            repairs: self.repairs.load(Ordering::Relaxed),
+            repair_bytes: self.repair_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -117,6 +132,8 @@ impl IoStats {
         self.serialized_bytes.store(0, Ordering::Relaxed);
         self.copies.store(0, Ordering::Relaxed);
         self.copied_bytes.store(0, Ordering::Relaxed);
+        self.repairs.store(0, Ordering::Relaxed);
+        self.repair_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -147,6 +164,10 @@ pub struct IoStatsSnapshot {
     pub copies: u64,
     /// Bytes copied between buffers.
     pub copied_bytes: u64,
+    /// Peer-repair transfers (worker→worker recovery pushes).
+    pub repairs: u64,
+    /// Payload bytes moved worker→worker during replica recovery.
+    pub repair_bytes: u64,
 }
 
 impl IoStatsSnapshot {
@@ -169,6 +190,8 @@ impl IoStatsSnapshot {
                 .saturating_sub(earlier.serialized_bytes),
             copies: self.copies.saturating_sub(earlier.copies),
             copied_bytes: self.copied_bytes.saturating_sub(earlier.copied_bytes),
+            repairs: self.repairs.saturating_sub(earlier.repairs),
+            repair_bytes: self.repair_bytes.saturating_sub(earlier.repair_bytes),
         }
     }
 
@@ -193,6 +216,7 @@ mod tests {
         s.record_net(7);
         s.record_serialization(32);
         s.record_copy(64);
+        s.record_repair(48);
         let snap = s.snapshot();
         assert_eq!(snap.disk_reads, 2);
         assert_eq!(snap.disk_read_bytes, 150);
@@ -204,6 +228,8 @@ mod tests {
         assert_eq!(snap.net_bytes, 7);
         assert_eq!(snap.serialized_bytes, 32);
         assert_eq!(snap.copied_bytes, 64);
+        assert_eq!(snap.repairs, 1);
+        assert_eq!(snap.repair_bytes, 48);
         assert_eq!(snap.disk_bytes_total(), 160);
     }
 

@@ -92,6 +92,7 @@ impl ManagerDaemon {
                     net_messages: net.net_messages,
                     disk_read_bytes: 0,
                     disk_write_bytes: 0,
+                    repair_bytes: 0,
                 })
             }
 

@@ -17,12 +17,12 @@
 
 use crate::client::{ManagerClient, MgrConn, RemoteCatalog};
 use pangea_cluster::engine::{
-    Catalog, ClusterCore, DispatchConfig, EngineSet, RecordSink, RecoveryReport, ReplicaReport,
-    WorkerBackend,
+    Catalog, ClusterCore, DispatchConfig, EngineSet, PeerRepair, RecordSink, RecoveryReport,
+    ReplicaReport, WorkerBackend,
 };
-use pangea_cluster::PartitionScheme;
+use pangea_cluster::{PartitionKind, PartitionScheme};
 use pangea_common::{fx_hash64, Epoch, FxHashMap, IoStats, NodeId, PangeaError, Result};
-use pangea_net::{PangeaClient, WireWorker, WorkerState};
+use pangea_net::{PangeaClient, RepairFilter, RepairPushReport, WireWorker, WorkerState};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -118,7 +118,15 @@ impl RemoteWorkers {
     /// always writes a response before closing, and mid-response
     /// failures surface as `Corruption` — so, exactly like
     /// `TcpTransport::request`, the call is retried once on a fresh
-    /// connection. Fresh-connection failures propagate.
+    /// connection.
+    ///
+    /// A fresh connection that *also* fails at the socket level (refused,
+    /// reset, EOF mid-request) means the worker process is gone even if
+    /// the membership snapshot still lists it: the error surfaces as the
+    /// typed [`PangeaError::NodeUnavailable`], so a batched dispatch
+    /// flushing into a freshly-dead worker fails the same way it would
+    /// against an evicted slot — callers dispatch on the variant, not on
+    /// error prose. Non-I/O failures propagate unchanged.
     fn with_client<T>(&self, n: NodeId, f: impl Fn(&mut PangeaClient) -> Result<T>) -> Result<T> {
         let addr = self.addr_of(n)?;
         let cached = self.inner.clients.lock().remove(&n);
@@ -141,12 +149,19 @@ impl RemoteWorkers {
             self.inner.secret.as_deref(),
             Some(Arc::clone(&self.inner.stats)),
         )
-        .map_err(|e| PangeaError::Remote(format!("connecting {n} at {addr}: {e}")))?;
+        .map_err(|e| match e {
+            PangeaError::Io(_) => PangeaError::NodeUnavailable(n),
+            other => PangeaError::Remote(format!("connecting {n} at {addr}: {other}")),
+        })?;
         let out = f(&mut client);
-        if out.is_ok() {
-            self.check_in(n, addr, client);
+        match out {
+            Ok(out) => {
+                self.check_in(n, addr, client);
+                Ok(out)
+            }
+            Err(PangeaError::Io(_)) => Err(PangeaError::NodeUnavailable(n)),
+            Err(e) => Err(e),
         }
-        out
     }
 
     /// Returns an idle connection to the pool. Concurrent callers may
@@ -265,6 +280,41 @@ impl WorkerBackend for RemoteWorkers {
     fn net_bytes(&self) -> u64 {
         self.inner.stats.snapshot().net_bytes
     }
+
+    fn peer_repair(&self) -> Option<&dyn PeerRepair> {
+        Some(self)
+    }
+}
+
+/// The remote peer-repair capability: every operation is a control RPC
+/// (no record payload on the driver's connections) — survivors and the
+/// replacement move the data among themselves.
+impl PeerRepair for RemoteWorkers {
+    fn repair_begin(&self, target: NodeId, target_set: &str, present_on: &[NodeId]) -> Result<()> {
+        let peers: Vec<String> = present_on
+            .iter()
+            .map(|&n| self.addr_of(n))
+            .collect::<Result<_>>()?;
+        self.with_client(target, |c| c.recover_begin(target_set, &peers))
+    }
+
+    fn repair_push(
+        &self,
+        survivor: NodeId,
+        source_set: &str,
+        target: NodeId,
+        target_set: &str,
+        filter: &RepairFilter,
+    ) -> Result<RepairPushReport> {
+        let target_addr = self.addr_of(target)?;
+        self.with_client(survivor, |c| {
+            c.recover_push(source_set, target_set, &target_addr, filter)
+        })
+    }
+
+    fn repair_end(&self, target: NodeId, target_set: &str) -> Result<(u64, u64)> {
+        self.with_client(target, |c| c.recover_end(target_set))
+    }
 }
 
 impl RemoteWorkers {
@@ -289,7 +339,6 @@ impl RemoteWorkers {
 
 /// A handle to a real Pangea deployment: one `pangea-mgr` plus N
 /// `pangead` workers, driven entirely over the wire.
-#[derive(Debug)]
 pub struct RemoteCluster {
     core: ClusterCore,
     workers: RemoteWorkers,
@@ -299,6 +348,18 @@ pub struct RemoteCluster {
     /// a genuine replacement — never when the same incarnation merely
     /// resumed heartbeating after a pause.
     dead_epochs: Mutex<FxHashMap<NodeId, u64>>,
+    /// Test-only rendezvous invoked at the start of each slot's repair
+    /// (after validation, before any data moves) — lets a fault-injection
+    /// test prove two slot recoveries genuinely overlap in time.
+    recovery_hook: Mutex<Option<Arc<dyn Fn(NodeId) + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for RemoteCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteCluster")
+            .field("workers", &self.workers)
+            .finish()
+    }
 }
 
 impl RemoteCluster {
@@ -317,6 +378,7 @@ impl RemoteCluster {
             workers,
             mgr,
             dead_epochs: Mutex::new(FxHashMap::default()),
+            recovery_hook: Mutex::new(None),
         };
         cluster.refresh_membership()?;
         Ok(cluster)
@@ -401,13 +463,29 @@ impl RemoteCluster {
         self.mgr.with(|m| m.best_replica(set, key))
     }
 
+    /// Installs (or clears) the test-only recovery rendezvous. Hidden:
+    /// fault-injection instrumentation, not API.
+    #[doc(hidden)]
+    pub fn set_recovery_hook(&self, hook: Option<Arc<dyn Fn(NodeId) + Send + Sync>>) {
+        *self.recovery_hook.lock() = hook;
+    }
+
     /// Recovers a dead worker whose slot a replacement `pangead` has
     /// already re-registered (same slot, fresh epoch): re-creates every
     /// cataloged set on the replacement, then restores its lost data
-    /// from surviving replicas through the shared engine.
+    /// from surviving replicas — the data flows worker→worker (survivors
+    /// stream their shares straight to the replacement, one push in
+    /// flight per survivor); this driver only orchestrates and never
+    /// touches a record payload.
     pub fn recover_worker(&self, failed: NodeId) -> Result<RecoveryReport> {
-        let start = Instant::now();
-        let net_before = self.workers.net_bytes();
+        self.ensure_replacement(failed)?;
+        self.core.provision_node(failed)?;
+        self.repair_slot(failed)
+    }
+
+    /// Validates that a *replacement* holds the failed slot: Alive at a
+    /// fresh epoch, never the same incarnation resumed.
+    fn ensure_replacement(&self, failed: NodeId) -> Result<()> {
         let snapshot = self.refresh_membership()?;
         let slot = snapshot.iter().find(|w| w.node == failed.raw());
         match slot {
@@ -435,12 +513,96 @@ impl RemoteCluster {
             }
             None => return Err(PangeaError::NodeUnavailable(failed)),
         }
-        self.core.provision_node(failed)?;
+        Ok(())
+    }
+
+    /// The repair half of recovery: the slot must already be validated
+    /// and provisioned (multi-slot recovery provisions every replacement
+    /// before any repair starts, so concurrent repairs never scan a
+    /// fellow replacement whose sets do not exist yet).
+    fn repair_slot(&self, failed: NodeId) -> Result<RecoveryReport> {
+        let start = Instant::now();
+        let net_before = self.workers.net_bytes();
+        // Clone the hook out before invoking it: an `if let` over the
+        // guard would hold the lock for the whole call and serialize
+        // concurrent slot repairs on it.
+        let hook = self.recovery_hook.lock().clone();
+        if let Some(hook) = hook {
+            hook(failed);
+        }
         let mut report = self.core.recover_sets(failed)?;
         self.dead_epochs.lock().remove(&failed);
-        report.bytes_moved = self.workers.net_bytes() - net_before;
+        // The engine already charged the worker→worker payload; any
+        // driver-side payload (none, by design — asserted by the
+        // fault-injection suite) would surface on the shared ledger.
+        report.bytes_moved += self.workers.net_bytes() - net_before;
         report.duration = start.elapsed();
         Ok(report)
+    }
+
+    /// Recovers several dead slots. Every replacement is validated and
+    /// provisioned before any repair begins — a repair scans *all*
+    /// survivors, and a fellow replacement is a (legitimately empty)
+    /// survivor whose sets must already exist.
+    ///
+    /// The per-slot repairs run concurrently (one orchestration thread
+    /// per slot) when every replica-group member is hash-partitioned:
+    /// hash placement makes each slot's lost share disjoint, so
+    /// concurrent repairs cannot restore a record twice. With a
+    /// round-robin member in any group the slots are repaired serially
+    /// instead — a round-robin lost share is defined by *absence*, and
+    /// two sessions snapshotting the surviving share concurrently could
+    /// both restore the same record. Reports come back in `failed` order.
+    pub fn recover_workers(&self, failed: &[NodeId]) -> Result<Vec<RecoveryReport>> {
+        // Two concurrent repairs of one slot would race on the
+        // replacement's session map; reject the caller bug up front.
+        let mut seen = pangea_common::FxHashSet::default();
+        for &n in failed {
+            if !seen.insert(n) {
+                return Err(PangeaError::usage(format!(
+                    "slot {n} listed twice; each failed slot is recovered once"
+                )));
+            }
+        }
+        if failed.len() < 2 {
+            return failed.iter().map(|&n| self.recover_worker(n)).collect();
+        }
+        for &n in failed {
+            self.ensure_replacement(n)?;
+        }
+        for &n in failed {
+            self.core.provision_node(n)?;
+        }
+        // Only replica-group members are recovery targets; unreplicated
+        // sets (and the groups' round-robin colliding sets, which are
+        // repair *sources*) do not constrain parallelism — so consult
+        // the groups directly instead of paying one manager RPC per
+        // cataloged set.
+        let mut all_hash = true;
+        for group in self.core.catalog().groups()? {
+            for member in self.core.catalog().group_members(group)? {
+                if let Some(entry) = self.core.catalog().entry(&member)? {
+                    all_hash &= entry.scheme.kind == PartitionKind::Hash;
+                }
+            }
+        }
+        if !all_hash {
+            return failed.iter().map(|&n| self.repair_slot(n)).collect();
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = failed
+                .iter()
+                .map(|&n| s.spawn(move || self.repair_slot(n)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(PangeaError::Remote("a recovery thread panicked".into()))
+                    })
+                })
+                .collect()
+        })
     }
 
     /// A distributed shuffle over the deployment: partition `p` lives on

@@ -7,6 +7,7 @@
 
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{Request, Response};
+use crate::wire::{RepairFilter, RepairPushReport};
 use pangea_common::{IoStats, PageNum, PangeaError, Result};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
@@ -22,6 +23,8 @@ pub struct RemoteStats {
     pub disk_read_bytes: u64,
     /// Bytes the remote node wrote to its disks.
     pub disk_write_bytes: u64,
+    /// Peer-repair payload bytes the remote daemon moved worker→worker.
+    pub repair_bytes: u64,
 }
 
 /// A connected `pangead` client.
@@ -199,6 +202,120 @@ impl PangeaClient {
         }
     }
 
+    /// The remote set's record hashes, in storage order (no payload
+    /// crosses the wire — the peer pull of a repair session). Pages
+    /// through chunked replies, so sets of any size fit the frame limit.
+    pub fn hash_list(&mut self, set: &str) -> Result<Vec<u64>> {
+        let mut all = Vec::new();
+        let mut cursor = (0u64, 0u64);
+        loop {
+            let req = Request::HashList {
+                set: set.to_string(),
+                start_page: cursor.0,
+                start_record: cursor.1,
+            };
+            match self.call(&req)? {
+                Response::Hashes { hashes, next } => {
+                    match next {
+                        Some(n) if hashes.is_empty() || n <= cursor => {
+                            // A continuation must make progress, or a
+                            // confused server would loop us forever.
+                            return Err(PangeaError::Corruption(format!(
+                                "hash-list cursor did not advance past {cursor:?}"
+                            )));
+                        }
+                        _ => {}
+                    }
+                    all.extend(hashes);
+                    match next {
+                        Some(n) => cursor = n,
+                        None => return Ok(all),
+                    }
+                }
+                other => return Err(Self::unexpected(other)),
+            }
+        }
+    }
+
+    /// Opens a repair session for `set` on the remote node, seeding its
+    /// dedup ledger from the peers in `present_from`.
+    pub fn recover_begin(&mut self, set: &str, present_from: &[String]) -> Result<()> {
+        let req = Request::RecoverBegin {
+            set: set.to_string(),
+            present_from: present_from.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Delivers one batch of candidate records into an open repair
+    /// session; returns `(appended, appended_bytes)` after dedup. Takes
+    /// the batch by value — the streaming hot path hands its buffer
+    /// over instead of copying every payload byte a second time.
+    pub fn recover_append(&mut self, set: &str, records: Vec<Vec<u8>>) -> Result<(u64, u64)> {
+        let payload_bytes: usize = records.iter().map(Vec::len).sum();
+        let req = Request::RecoverAppend {
+            set: set.to_string(),
+            records,
+        };
+        match self.call(&req)? {
+            Response::RepairAck { appended, bytes } => {
+                self.stats.record_net(payload_bytes);
+                Ok((appended, bytes))
+            }
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Seals a repair session; returns its `(appended, appended_bytes)`
+    /// totals.
+    pub fn recover_end(&mut self, set: &str) -> Result<(u64, u64)> {
+        let req = Request::RecoverEnd {
+            set: set.to_string(),
+        };
+        match self.call(&req)? {
+            Response::RepairAck { appended, bytes } => Ok((appended, bytes)),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Orders the remote node (a survivor) to stream its filtered share
+    /// of `source_set` straight to `target_set` on the `pangead` at
+    /// `target_addr`. No payload crosses *this* connection — only the
+    /// push outcome comes back.
+    pub fn recover_push(
+        &mut self,
+        source_set: &str,
+        target_set: &str,
+        target_addr: &str,
+        filter: &RepairFilter,
+    ) -> Result<RepairPushReport> {
+        let req = Request::RecoverPush {
+            source_set: source_set.to_string(),
+            target_set: target_set.to_string(),
+            target_addr: target_addr.to_string(),
+            filter: filter.clone(),
+        };
+        match self.call(&req)? {
+            Response::Pushed {
+                scanned,
+                pushed,
+                pushed_bytes,
+                appended,
+                appended_bytes,
+            } => Ok(RepairPushReport {
+                scanned,
+                pushed,
+                pushed_bytes,
+                appended,
+                appended_bytes,
+            }),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
     /// Drops a remote locality set.
     pub fn drop_set(&mut self, set: &str) -> Result<()> {
         let req = Request::DropSet {
@@ -290,11 +407,13 @@ impl PangeaClient {
                 net_messages,
                 disk_read_bytes,
                 disk_write_bytes,
+                repair_bytes,
             } => Ok(RemoteStats {
                 net_bytes,
                 net_messages,
                 disk_read_bytes,
                 disk_write_bytes,
+                repair_bytes,
             }),
             other => Err(Self::unexpected(other)),
         }

@@ -50,4 +50,6 @@ pub use proto::{error_response, Request, Response};
 pub use server::{FramedServer, FramedService, Pangead, PangeadServer, DEFAULT_DRAIN};
 pub use tcp::TcpTransport;
 pub use transport::Transport;
-pub use wire::{KeySpec, SchemeSpec, WireCatalogEntry, WireWorker, WorkerState};
+pub use wire::{
+    KeySpec, RepairFilter, RepairPushReport, SchemeSpec, WireCatalogEntry, WireWorker, WorkerState,
+};

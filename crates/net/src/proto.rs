@@ -9,7 +9,7 @@
 //! format inherits the codec's self-framing and its truncation checks.
 //! One encoded message travels inside one [`crate::frame`] frame.
 
-use crate::wire::{SchemeSpec, WireCatalogEntry, WireWorker};
+use crate::wire::{RepairFilter, SchemeSpec, WireCatalogEntry, WireWorker};
 use pangea_common::{ByteReader, ByteWriter, PangeaError, Result};
 
 /// A client/cluster → pangead message.
@@ -103,6 +103,62 @@ pub enum Request {
     Count {
         /// Target locality set.
         set: String,
+    },
+
+    // ---- Worker→worker recovery (peer repair) -----------------------
+    /// Record hashes (`fx_hash64`) of a local set, in storage order —
+    /// the peer pull a replacement uses to learn the surviving share of
+    /// a round-robin recovery target without moving any payload.
+    /// Paginated by a `(page, record)` cursor so a huge set can never
+    /// overflow one reply frame and each chunk costs only its own scan:
+    /// the server returns at most [`HASH_CHUNK`] hashes from the cursor
+    /// on, with [`Response::Hashes::next`] carrying the resume point.
+    HashList {
+        /// Target locality set.
+        set: String,
+        /// Page ordinal to start at (0 for the first chunk).
+        start_page: u64,
+        /// Records to skip within the starting page.
+        start_record: u64,
+    },
+    /// Opens a repair session for `set` on the replacement node: the
+    /// session's dedup ledger is seeded with the record hashes of every
+    /// peer in `present_from` (pulled worker→worker via [`Request::HashList`]),
+    /// so subsequent [`Request::RecoverAppend`]s restore each lost
+    /// record exactly once. Replaces any existing session for the set.
+    RecoverBegin {
+        /// The recovery target set.
+        set: String,
+        /// Peer `pangead` addresses holding the surviving share.
+        present_from: Vec<String>,
+    },
+    /// Survivor→replacement delivery of candidate records: the session
+    /// appends only records its ledger has not seen, making concurrent
+    /// pushes from several survivors (and retries) idempotent.
+    RecoverAppend {
+        /// The recovery target set (must have an open session).
+        set: String,
+        /// Candidate record payloads.
+        records: Vec<Vec<u8>>,
+    },
+    /// Seals the repair session and returns its append totals.
+    RecoverEnd {
+        /// The recovery target set.
+        set: String,
+    },
+    /// Driver→survivor orchestration: scan the local share of
+    /// `source_set`, keep records matching `filter`, and stream them in
+    /// batches straight to `target_set` on the `pangead` at
+    /// `target_addr` — the driver never touches the payload.
+    RecoverPush {
+        /// The survivor-local source set to scan.
+        source_set: String,
+        /// The recovery target set on the replacement.
+        target_set: String,
+        /// The replacement `pangead`'s address.
+        target_addr: String,
+        /// Which scanned records to ship.
+        filter: RepairFilter,
     },
 
     // ---- Manager (pangea-mgr) requests: membership ------------------
@@ -233,6 +289,9 @@ pub enum Response {
         disk_read_bytes: u64,
         /// Bytes written to the node's disks.
         disk_write_bytes: u64,
+        /// Peer-repair payload bytes this node moved (pushed to a peer
+        /// or appended from one) during worker→worker recovery.
+        repair_bytes: u64,
     },
     /// The operation failed on the serving node.
     Err {
@@ -308,7 +367,44 @@ pub enum Response {
         /// Records in the set.
         records: u64,
     },
+    /// Record hashes of a set (the [`Request::HashList`] reply).
+    Hashes {
+        /// `fx_hash64` of each record in this chunk, in storage order.
+        hashes: Vec<u64>,
+        /// When more records follow, the `(page, record)` cursor to
+        /// resume the next chunk at.
+        next: Option<(u64, u64)>,
+    },
+    /// Repair-session acknowledgement: what one [`Request::RecoverAppend`]
+    /// batch (or, for [`Request::RecoverEnd`], the whole session)
+    /// actually appended after dedup.
+    RepairAck {
+        /// Records appended.
+        appended: u64,
+        /// Payload bytes appended.
+        bytes: u64,
+    },
+    /// Outcome of one [`Request::RecoverPush`] (a survivor's full
+    /// scan-filter-stream pass against the replacement).
+    Pushed {
+        /// Records scanned in the local source share.
+        scanned: u64,
+        /// Records that matched the filter and were shipped.
+        pushed: u64,
+        /// Payload bytes shipped worker→worker.
+        pushed_bytes: u64,
+        /// Records the replacement appended after dedup.
+        appended: u64,
+        /// Payload bytes the replacement appended.
+        appended_bytes: u64,
+    },
 }
+
+/// Maximum hashes in one [`Response::Hashes`] chunk: 1 Mi hashes encode
+/// to 12 MiB, comfortably inside [`crate::frame::MAX_FRAME`], so a hash
+/// pull over a set of any size pages (by `(page, record)` cursor)
+/// instead of overflowing a frame.
+pub const HASH_CHUNK: usize = 1 << 20;
 
 // Opcodes. Stable over the protocol's life; add, never renumber.
 const REQ_PING: u64 = 1;
@@ -338,6 +434,11 @@ const REQ_MGR_GROUP_MEMBERS: u64 = 24;
 const REQ_MGR_GROUPS: u64 = 25;
 const REQ_MGR_BEST_REPLICA: u64 = 26;
 const REQ_COUNT: u64 = 27;
+const REQ_HASH_LIST: u64 = 28;
+const REQ_RECOVER_BEGIN: u64 = 29;
+const REQ_RECOVER_APPEND: u64 = 30;
+const REQ_RECOVER_END: u64 = 31;
+const REQ_RECOVER_PUSH: u64 = 32;
 
 const RESP_OK: u64 = 1;
 const RESP_CREATED: u64 = 2;
@@ -359,6 +460,9 @@ const RESP_MAYBE_NAME: u64 = 17;
 const RESP_STALE: u64 = 18;
 const RESP_SCAN_TOO_LARGE: u64 = 19;
 const RESP_COUNT: u64 = 20;
+const RESP_HASHES: u64 = 21;
+const RESP_REPAIR_ACK: u64 = 22;
+const RESP_PUSHED: u64 = 23;
 
 fn put_list(w: &mut ByteWriter, items: &[Vec<u8>]) {
     w.write_record(&(items.len() as u64));
@@ -465,6 +569,45 @@ impl Request {
             Self::Count { set } => {
                 w.write_record(&REQ_COUNT);
                 w.write_record(set);
+            }
+            Self::HashList {
+                set,
+                start_page,
+                start_record,
+            } => {
+                w.write_record(&REQ_HASH_LIST);
+                w.write_record(set);
+                w.write_record(start_page);
+                w.write_record(start_record);
+            }
+            Self::RecoverBegin { set, present_from } => {
+                w.write_record(&REQ_RECOVER_BEGIN);
+                w.write_record(set);
+                w.write_record(&(present_from.len() as u64));
+                for addr in present_from {
+                    w.write_record(addr);
+                }
+            }
+            Self::RecoverAppend { set, records } => {
+                w.write_record(&REQ_RECOVER_APPEND);
+                w.write_record(set);
+                put_list(&mut w, records);
+            }
+            Self::RecoverEnd { set } => {
+                w.write_record(&REQ_RECOVER_END);
+                w.write_record(set);
+            }
+            Self::RecoverPush {
+                source_set,
+                target_set,
+                target_addr,
+                filter,
+            } => {
+                w.write_record(&REQ_RECOVER_PUSH);
+                w.write_record(source_set);
+                w.write_record(target_set);
+                w.write_record(target_addr);
+                filter.put(&mut w);
             }
             Self::MgrRegisterWorker { addr, slot } => {
                 w.write_record(&REQ_MGR_REGISTER_WORKER);
@@ -578,6 +721,33 @@ impl Request {
             REQ_COUNT => Self::Count {
                 set: r.read_record()?,
             },
+            REQ_HASH_LIST => Self::HashList {
+                set: r.read_record()?,
+                start_page: r.read_record()?,
+                start_record: r.read_record()?,
+            },
+            REQ_RECOVER_BEGIN => {
+                let set = r.read_record()?;
+                let n: u64 = r.read_record()?;
+                let mut present_from = Vec::with_capacity(n.min(1 << 20) as usize);
+                for _ in 0..n {
+                    present_from.push(r.read_record()?);
+                }
+                Self::RecoverBegin { set, present_from }
+            }
+            REQ_RECOVER_APPEND => Self::RecoverAppend {
+                set: r.read_record()?,
+                records: get_list(&mut r)?,
+            },
+            REQ_RECOVER_END => Self::RecoverEnd {
+                set: r.read_record()?,
+            },
+            REQ_RECOVER_PUSH => Self::RecoverPush {
+                source_set: r.read_record()?,
+                target_set: r.read_record()?,
+                target_addr: r.read_record()?,
+                filter: RepairFilter::get(&mut r)?,
+            },
             REQ_MGR_REGISTER_WORKER => {
                 let addr = r.read_record()?;
                 let slot: u64 = r.read_record()?;
@@ -667,12 +837,14 @@ impl Response {
                 net_messages,
                 disk_read_bytes,
                 disk_write_bytes,
+                repair_bytes,
             } => {
                 w.write_record(&RESP_STATS);
                 w.write_record(net_bytes);
                 w.write_record(net_messages);
                 w.write_record(disk_read_bytes);
                 w.write_record(disk_write_bytes);
+                w.write_record(repair_bytes);
             }
             Self::Err { message } => {
                 w.write_record(&RESP_ERR);
@@ -745,6 +917,37 @@ impl Response {
                 w.write_record(&RESP_COUNT);
                 w.write_record(records);
             }
+            Self::Hashes { hashes, next } => {
+                w.write_record(&RESP_HASHES);
+                w.write_record(&(next.is_some() as u64));
+                if let Some((page, record)) = next {
+                    w.write_record(page);
+                    w.write_record(record);
+                }
+                w.write_record(&(hashes.len() as u64));
+                for h in hashes {
+                    w.write_record(h);
+                }
+            }
+            Self::RepairAck { appended, bytes } => {
+                w.write_record(&RESP_REPAIR_ACK);
+                w.write_record(appended);
+                w.write_record(bytes);
+            }
+            Self::Pushed {
+                scanned,
+                pushed,
+                pushed_bytes,
+                appended,
+                appended_bytes,
+            } => {
+                w.write_record(&RESP_PUSHED);
+                w.write_record(scanned);
+                w.write_record(pushed);
+                w.write_record(pushed_bytes);
+                w.write_record(appended);
+                w.write_record(appended_bytes);
+            }
         }
         w.into_bytes()
     }
@@ -784,6 +987,7 @@ impl Response {
                 net_messages: r.read_record()?,
                 disk_read_bytes: r.read_record()?,
                 disk_write_bytes: r.read_record()?,
+                repair_bytes: r.read_record()?,
             },
             RESP_ERR => Self::Err {
                 message: r.read_record()?,
@@ -853,6 +1057,31 @@ impl Response {
             },
             RESP_COUNT => Self::Count {
                 records: r.read_record()?,
+            },
+            RESP_HASHES => {
+                let has_next: u64 = r.read_record()?;
+                let next = if has_next != 0 {
+                    Some((r.read_record()?, r.read_record()?))
+                } else {
+                    None
+                };
+                let n: u64 = r.read_record()?;
+                let mut hashes = Vec::with_capacity(n.min(1 << 20) as usize);
+                for _ in 0..n {
+                    hashes.push(r.read_record()?);
+                }
+                Self::Hashes { hashes, next }
+            }
+            RESP_REPAIR_ACK => Self::RepairAck {
+                appended: r.read_record()?,
+                bytes: r.read_record()?,
+            },
+            RESP_PUSHED => Self::Pushed {
+                scanned: r.read_record()?,
+                pushed: r.read_record()?,
+                pushed_bytes: r.read_record()?,
+                appended: r.read_record()?,
+                appended_bytes: r.read_record()?,
             },
             other => return Err(bad_opcode("response", other)),
         })
@@ -962,6 +1191,102 @@ mod tests {
         roundtrip_req(Request::DropSet { set: "gone".into() });
         roundtrip_req(Request::Count { set: "s".into() });
         roundtrip_resp(Response::Count { records: 12345 });
+    }
+
+    #[test]
+    fn recovery_messages_roundtrip() {
+        roundtrip_req(Request::HashList {
+            set: "users".into(),
+            start_page: 0,
+            start_record: 0,
+        });
+        roundtrip_req(Request::HashList {
+            set: "users".into(),
+            start_page: 17,
+            start_record: 1 << 20,
+        });
+        roundtrip_req(Request::RecoverBegin {
+            set: "users".into(),
+            present_from: vec![],
+        });
+        roundtrip_req(Request::RecoverBegin {
+            set: "users".into(),
+            present_from: vec!["127.0.0.1:7781".into(), "127.0.0.1:7782".into()],
+        });
+        roundtrip_req(Request::RecoverAppend {
+            set: "users".into(),
+            records: vec![b"a|1".to_vec(), vec![], b"b|2".to_vec()],
+        });
+        roundtrip_req(Request::RecoverEnd {
+            set: "users".into(),
+        });
+        roundtrip_req(Request::RecoverPush {
+            source_set: "users_f1".into(),
+            target_set: "users".into(),
+            target_addr: "127.0.0.1:7783".into(),
+            filter: crate::wire::RepairFilter::All,
+        });
+        roundtrip_req(Request::RecoverPush {
+            source_set: "users_f1".into(),
+            target_set: "users".into(),
+            target_addr: "127.0.0.1:7783".into(),
+            filter: crate::wire::RepairFilter::Lost {
+                scheme: crate::wire::SchemeSpec::Hash {
+                    key_name: "uid".into(),
+                    partitions: 6,
+                    key: crate::wire::KeySpec::WholeRecord,
+                },
+                failed: 2,
+                nodes: 4,
+            },
+        });
+        roundtrip_resp(Response::Hashes {
+            hashes: vec![],
+            next: None,
+        });
+        roundtrip_resp(Response::Hashes {
+            hashes: vec![1, u64::MAX, 42],
+            next: Some((9, 123)),
+        });
+        roundtrip_resp(Response::RepairAck {
+            appended: 10,
+            bytes: 1000,
+        });
+        roundtrip_resp(Response::Pushed {
+            scanned: 100,
+            pushed: 40,
+            pushed_bytes: 4000,
+            appended: 38,
+            appended_bytes: 3800,
+        });
+    }
+
+    #[test]
+    fn truncated_recovery_messages_are_errors() {
+        let enc = Request::RecoverPush {
+            source_set: "src".into(),
+            target_set: "tgt".into(),
+            target_addr: "127.0.0.1:7783".into(),
+            filter: crate::wire::RepairFilter::Lost {
+                scheme: crate::wire::SchemeSpec::Hash {
+                    key_name: "k".into(),
+                    partitions: 3,
+                    key: crate::wire::KeySpec::Field {
+                        delim: b'|',
+                        index: 1,
+                    },
+                },
+                failed: 1,
+                nodes: 3,
+            },
+        }
+        .encode();
+        for cut in 1..enc.len() {
+            assert!(
+                Request::decode(&enc[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
     }
 
     #[test]
@@ -1116,6 +1441,7 @@ mod tests {
             net_messages: 2,
             disk_read_bytes: 3,
             disk_write_bytes: 4,
+            repair_bytes: 5,
         });
         roundtrip_resp(Response::Err {
             message: "set 'x' missing".into(),

@@ -15,9 +15,11 @@
 //!   dispatch is pure request → response and does not know about sockets,
 //!   so it is testable (and reusable) without any networking.
 
+use crate::client::PangeaClient;
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{error_response, Request, Response};
-use pangea_common::{FxHashMap, IoStats, PangeaError, PartitionId, Result};
+use crate::wire::RepairFilter;
+use pangea_common::{fx_hash64, FxHashMap, FxHashSet, IoStats, PangeaError, PartitionId, Result};
 use pangea_core::{ObjectIter, SetOptions, ShuffleConfig, ShuffleService, StorageNode};
 use parking_lot::Mutex;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -59,8 +61,12 @@ pub struct FramedServer {
     shutdown: Arc<AtomicBool>,
     /// Clone of the accept socket, used to unblock the accept loop at
     /// shutdown (switching it to non-blocking) without relying on a
-    /// self-connect that may be firewalled on wildcard binds.
-    listener: TcpListener,
+    /// self-connect that may be firewalled on wildcard binds. Dropped
+    /// (closing the listening socket) once the accept loop is joined:
+    /// while any clone lives, the kernel keeps completing handshakes
+    /// into the dead server's backlog, and a client that "connects"
+    /// there would block forever awaiting a response no one serves.
+    listener: Option<TcpListener>,
     accept: Option<JoinHandle<()>>,
     shared: Arc<ConnShared>,
 }
@@ -92,7 +98,7 @@ impl FramedServer {
         Ok(Self {
             local_addr,
             shutdown,
-            listener: wake_handle,
+            listener: Some(wake_handle),
             accept: Some(accept),
             shared,
         })
@@ -121,11 +127,17 @@ impl FramedServer {
         // flag. The throwaway self-connect is a second wake-up path for
         // platforms where the mode switch does not interrupt an accept
         // already in progress.
-        let _ = self.listener.set_nonblocking(true);
+        if let Some(listener) = &self.listener {
+            let _ = listener.set_nonblocking(true);
+        }
         let _ = TcpStream::connect(self.local_addr);
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
+        // Close the listening socket for real: new connection attempts
+        // must be refused (a typed, prompt failure at the client), not
+        // parked in the backlog of a server that will never answer.
+        drop(self.listener.take());
         // Drain: wait for requests already being handled. Connections
         // idle between requests are not in flight and close immediately.
         let deadline = Instant::now() + drain;
@@ -252,6 +264,24 @@ fn serve_connection(mut stream: TcpStream, service: &dyn FramedService, shared: 
     }
 }
 
+/// One open repair session on a replacement node: the dedup ledger plus
+/// running totals, keyed by target set in [`Pangead::repairs`].
+#[derive(Debug, Default)]
+struct RepairSession {
+    /// `fx_hash64` of every record either present in the surviving share
+    /// (seeded at `RecoverBegin`) or appended by this session — each
+    /// lost record is restored exactly once, however many survivors
+    /// push it and however often a push is retried.
+    seen: FxHashSet<u64>,
+    appended: u64,
+    bytes: u64,
+}
+
+/// Per-push batching thresholds for the survivor's streaming loop
+/// (mirrors the engine's default `DispatchConfig`).
+const PUSH_BATCH_RECORDS: usize = 256;
+const PUSH_BATCH_BYTES: usize = 128 * 1024;
+
 /// The protocol brain of a Pangea node daemon: dispatches decoded
 /// requests against the wrapped [`StorageNode`].
 #[derive(Debug)]
@@ -259,6 +289,22 @@ pub struct Pangead {
     node: StorageNode,
     /// Shuffle services created over the wire, by name.
     shuffles: Mutex<FxHashMap<String, ShuffleService>>,
+    /// Open peer-repair sessions, by recovery target set. Each session
+    /// carries its own lock so appends into one target never block
+    /// sessions of unrelated sets behind disk I/O; the outer map lock
+    /// is only ever held for a lookup.
+    repairs: Mutex<FxHashMap<String, Arc<Mutex<RepairSession>>>>,
+    /// Totals of sessions already sealed, by target set — the tombstone
+    /// that makes `RecoverEnd` idempotent: a retry whose first ack was
+    /// lost to a connection failure re-reads the same totals instead of
+    /// failing on a session that no longer exists. Cleared by the next
+    /// `RecoverBegin` for the set. Two `u64`s per recovered set.
+    ended: Mutex<FxHashMap<String, (u64, u64)>>,
+    /// The deployment secret this daemon presents when it dials *other*
+    /// daemons (repair peers). Independent of the inbound secret the
+    /// surrounding [`FramedServer`] enforces, though deployments
+    /// conventionally share one.
+    peer_secret: Option<String>,
     /// Payload bytes and messages received by this daemon.
     stats: Arc<IoStats>,
 }
@@ -269,8 +315,17 @@ impl Pangead {
         Self {
             node,
             shuffles: Mutex::new(FxHashMap::default()),
+            repairs: Mutex::new(FxHashMap::default()),
+            ended: Mutex::new(FxHashMap::default()),
+            peer_secret: None,
             stats: Arc::new(IoStats::new()),
         }
+    }
+
+    /// Sets the secret this daemon presents when dialing repair peers.
+    pub fn with_peer_secret(mut self, secret: Option<String>) -> Self {
+        self.peer_secret = secret;
+        self
     }
 
     /// The wrapped storage node.
@@ -306,6 +361,28 @@ impl Pangead {
                 let mut options = SetOptions::from_durability_str(&durability)?;
                 if let Some(ps) = page_size {
                     options = options.with_page_size(ps as usize);
+                }
+                // Idempotent, like DropSet — but only for a *matching*
+                // request: a set that already exists with the same
+                // options answers with its id, so distributed
+                // (re-)provisioning — e.g. retrying a failed recovery —
+                // needs no error parsing, while conflicting options
+                // still fail loudly instead of being silently ignored.
+                // A request without a page-size override expresses no
+                // preference and matches any existing page size; only an
+                // *explicit* mismatch conflicts. The catalog, not the
+                // node, rejects duplicate distributed-set creation.
+                if let Some(existing) = self.node.get_set(&name) {
+                    let same = existing.durability() == options.durability
+                        && page_size.is_none_or(|ps| existing.page_size() == ps as usize);
+                    if same {
+                        return Ok(Response::Created {
+                            set: existing.id().raw(),
+                        });
+                    }
+                    return Err(PangeaError::usage(format!(
+                        "set '{name}' already exists with different options"
+                    )));
                 }
                 let set = self.node.create_set(&name, options)?;
                 Ok(Response::Created {
@@ -429,8 +506,137 @@ impl Pangead {
                     net_messages: net.net_messages,
                     disk_read_bytes: disk.disk_read_bytes,
                     disk_write_bytes: disk.disk_write_bytes,
+                    repair_bytes: net.repair_bytes,
                 })
             }
+            Request::HashList {
+                set,
+                start_page,
+                start_record,
+            } => {
+                let set = self.get_set(&set)?;
+                let mut hashes = Vec::new();
+                let mut next = None;
+                // The cursor names the page to resume at, so a chunk
+                // costs only its own scan — pages before it are never
+                // pinned again, whatever the set's size.
+                'pages: for num in set.page_numbers() {
+                    if num < start_page {
+                        continue;
+                    }
+                    let pin = set.pin_page(num)?;
+                    let mut it = ObjectIter::new(&pin);
+                    let mut idx = 0u64;
+                    while let Some(rec) = it.next() {
+                        let skip = num == start_page && idx < start_record;
+                        if !skip {
+                            if hashes.len() >= crate::proto::HASH_CHUNK {
+                                next = Some((num, idx));
+                                break 'pages;
+                            }
+                            hashes.push(fx_hash64(rec));
+                        }
+                        idx += 1;
+                    }
+                }
+                Ok(Response::Hashes { hashes, next })
+            }
+            Request::RecoverBegin { set, present_from } => {
+                let target = self.get_set(&set)?;
+                let mut session = RepairSession::default();
+                // Seed with what this node already holds: a retried
+                // repair (some batches of a failed attempt committed
+                // durably) must not append those records again.
+                for num in target.page_numbers() {
+                    let pin = target.pin_page(num)?;
+                    let mut it = ObjectIter::new(&pin);
+                    while let Some(rec) = it.next() {
+                        session.seen.insert(fx_hash64(rec));
+                    }
+                }
+                for addr in &present_from {
+                    let mut peer = self.dial_peer(addr)?;
+                    session.seen.extend(peer.hash_list(&set)?);
+                }
+                // Replace any stale session (and any sealed-totals
+                // tombstone): `RecoverBegin` is the idempotent open of a
+                // fresh repair attempt.
+                self.ended.lock().remove(&set);
+                self.repairs
+                    .lock()
+                    .insert(set, Arc::new(Mutex::new(session)));
+                Ok(Response::Ok)
+            }
+            Request::RecoverAppend { set, records } => {
+                let target = self.get_set(&set)?;
+                let session = self
+                    .repairs
+                    .lock()
+                    .get(target.name())
+                    .cloned()
+                    .ok_or_else(|| {
+                        PangeaError::usage(format!(
+                            "no repair session for '{}'; RecoverBegin first",
+                            target.name()
+                        ))
+                    })?;
+                // The session lock serializes concurrent survivor pushes
+                // into one target: the dedup check and the append must be
+                // atomic per record, and the storage writer gets batches
+                // in a single writer's order. Unrelated sets' sessions
+                // proceed in parallel.
+                let mut session = session.lock();
+                let mut writer = target.writer();
+                let (mut appended, mut bytes) = (0u64, 0u64);
+                for rec in &records {
+                    self.stats.record_net(rec.len());
+                    let h = fx_hash64(rec);
+                    if session.seen.contains(&h) {
+                        continue;
+                    }
+                    // Ledger only after the record is stored: a failed
+                    // append must leave the hash unseen, or the
+                    // contractually-idempotent retry would dedup the
+                    // record away and lose it forever.
+                    writer.add_object(rec)?;
+                    session.seen.insert(h);
+                    appended += 1;
+                    bytes += rec.len() as u64;
+                }
+                writer.finish()?;
+                session.appended += appended;
+                session.bytes += bytes;
+                self.stats.record_repair(bytes as usize);
+                Ok(Response::RepairAck { appended, bytes })
+            }
+            Request::RecoverEnd { set } => {
+                // The orchestrator only ends a session after its pushes
+                // return, so no appender still holds the session here.
+                let Some(session) = self.repairs.lock().remove(&set) else {
+                    // Retried seal (the first ack was lost): answer the
+                    // recorded totals again.
+                    if let Some(&(appended, bytes)) = self.ended.lock().get(&set) {
+                        return Ok(Response::RepairAck { appended, bytes });
+                    }
+                    return Err(PangeaError::usage(format!(
+                        "no repair session for '{set}' to end"
+                    )));
+                };
+                let session = session.lock();
+                self.ended
+                    .lock()
+                    .insert(set, (session.appended, session.bytes));
+                Ok(Response::RepairAck {
+                    appended: session.appended,
+                    bytes: session.bytes,
+                })
+            }
+            Request::RecoverPush {
+                source_set,
+                target_set,
+                target_addr,
+                filter,
+            } => self.recover_push(&source_set, &target_set, &target_addr, &filter),
             Request::MgrRegisterWorker { .. }
             | Request::MgrHeartbeat { .. }
             | Request::MgrDeregisterWorker { .. }
@@ -447,6 +653,70 @@ impl Pangead {
                 "manager request sent to a storage node; connect to pangea-mgr instead",
             )),
         }
+    }
+
+    /// Connects to a sibling `pangead` with this daemon's peer secret.
+    fn dial_peer(&self, addr: &str) -> Result<PangeaClient> {
+        PangeaClient::connect_with_secret(addr, self.peer_secret.as_deref())
+            .map_err(|e| PangeaError::Remote(format!("dialing repair peer {addr}: {e}")))
+    }
+
+    /// The survivor half of peer repair: scan the local `source_set`,
+    /// keep what `filter` selects, and stream it in batches straight to
+    /// `target_set` on the replacement at `target_addr`. The orchestrating
+    /// driver only ever sees the outcome counters.
+    fn recover_push(
+        &self,
+        source_set: &str,
+        target_set: &str,
+        target_addr: &str,
+        filter: &RepairFilter,
+    ) -> Result<Response> {
+        let source = self.get_set(source_set)?;
+        let keep = filter.compile()?;
+        let mut peer = self.dial_peer(target_addr)?;
+        let (mut scanned, mut pushed, mut pushed_bytes) = (0u64, 0u64, 0u64);
+        let (mut appended, mut appended_bytes) = (0u64, 0u64);
+        let mut batch: Vec<Vec<u8>> = Vec::new();
+        let mut batch_bytes = 0usize;
+        let mut flush = |batch: &mut Vec<Vec<u8>>, batch_bytes: &mut usize| -> Result<()> {
+            if batch.is_empty() {
+                return Ok(());
+            }
+            let (a, b) = peer.recover_append(target_set, std::mem::take(batch))?;
+            appended += a;
+            appended_bytes += b;
+            *batch_bytes = 0;
+            Ok(())
+        };
+        for num in source.page_numbers() {
+            let pin = source.pin_page(num)?;
+            let mut it = ObjectIter::new(&pin);
+            while let Some(rec) = it.next() {
+                scanned += 1;
+                if !keep(rec) {
+                    continue;
+                }
+                pushed += 1;
+                pushed_bytes += rec.len() as u64;
+                batch_bytes += rec.len();
+                batch.push(rec.to_vec());
+                if batch.len() >= PUSH_BATCH_RECORDS || batch_bytes >= PUSH_BATCH_BYTES {
+                    flush(&mut batch, &mut batch_bytes)?;
+                }
+            }
+        }
+        flush(&mut batch, &mut batch_bytes)?;
+        // Survivor-side attribution: this node moved `pushed_bytes` of
+        // repair payload to a peer without touching the driver.
+        self.stats.record_repair(pushed_bytes as usize);
+        Ok(Response::Pushed {
+            scanned,
+            pushed,
+            pushed_bytes,
+            appended,
+            appended_bytes,
+        })
     }
 
     fn get_set(&self, name: &str) -> Result<pangea_core::LocalitySet> {
@@ -491,7 +761,10 @@ impl PangeadServer {
         addr: impl ToSocketAddrs,
         secret: Option<String>,
     ) -> Result<Self> {
-        let daemon = Arc::new(Pangead::new(node));
+        // The deployment shares one secret: what peers must present to
+        // this daemon is also what this daemon presents when it dials
+        // repair peers.
+        let daemon = Arc::new(Pangead::new(node).with_peer_secret(secret.clone()));
         let server =
             FramedServer::bind(Arc::clone(&daemon) as Arc<dyn FramedService>, addr, secret)?;
         Ok(Self { daemon, server })
@@ -708,6 +981,293 @@ mod tests {
         authed.ping().unwrap();
         authed.create_set("ok", "write-through", None).unwrap();
         assert_eq!(authed.append("ok", &["x"]).unwrap(), 1);
+    }
+
+    #[test]
+    fn repair_session_dedups_and_totals() {
+        let d = Pangead::new(node("repair-session"));
+        d.handle(Request::CreateSet {
+            name: "tgt".into(),
+            durability: "write-through".into(),
+            page_size: None,
+        });
+        // Appending without a session is a typed protocol error.
+        assert!(matches!(
+            d.handle(Request::RecoverAppend {
+                set: "tgt".into(),
+                records: vec![b"x".to_vec()],
+            }),
+            Response::Err { .. }
+        ));
+        assert_eq!(
+            d.handle(Request::RecoverBegin {
+                set: "tgt".into(),
+                present_from: vec![],
+            }),
+            Response::Ok
+        );
+        // Duplicates are dropped within and across batches.
+        assert_eq!(
+            d.handle(Request::RecoverAppend {
+                set: "tgt".into(),
+                records: vec![b"a|1".to_vec(), b"b|22".to_vec(), b"a|1".to_vec()],
+            }),
+            Response::RepairAck {
+                appended: 2,
+                bytes: 7,
+            }
+        );
+        assert_eq!(
+            d.handle(Request::RecoverAppend {
+                set: "tgt".into(),
+                records: vec![b"b|22".to_vec(), b"c|333".to_vec()],
+            }),
+            Response::RepairAck {
+                appended: 1,
+                bytes: 5,
+            }
+        );
+        assert_eq!(
+            d.handle(Request::RecoverEnd { set: "tgt".into() }),
+            Response::RepairAck {
+                appended: 3,
+                bytes: 12,
+            }
+        );
+        // Sealing is idempotent: a retried RecoverEnd (lost ack) reads
+        // the same totals back instead of failing.
+        assert_eq!(
+            d.handle(Request::RecoverEnd { set: "tgt".into() }),
+            Response::RepairAck {
+                appended: 3,
+                bytes: 12,
+            }
+        );
+        // A set that never had a session is still an error…
+        assert!(matches!(
+            d.handle(Request::RecoverEnd { set: "nope".into() }),
+            Response::Err { .. }
+        ));
+        // …and a fresh RecoverBegin clears the sealed totals.
+        assert_eq!(
+            d.handle(Request::RecoverBegin {
+                set: "tgt".into(),
+                present_from: vec![],
+            }),
+            Response::Ok
+        );
+        assert_eq!(
+            d.handle(Request::RecoverEnd { set: "tgt".into() }),
+            Response::RepairAck {
+                appended: 0,
+                bytes: 0,
+            }
+        );
+        match d.handle(Request::Scan { set: "tgt".into() }) {
+            Response::Records { records } => {
+                assert_eq!(
+                    records,
+                    vec![b"a|1".to_vec(), b"b|22".to_vec(), b"c|333".to_vec()]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(d.stats().snapshot().repair_bytes, 12);
+    }
+
+    #[test]
+    fn create_set_is_idempotent_and_begin_seeds_from_local_records() {
+        let d = Pangead::new(node("reprovision"));
+        let first = match d.handle(Request::CreateSet {
+            name: "tgt".into(),
+            durability: "write-through".into(),
+            page_size: None,
+        }) {
+            Response::Created { set } => set,
+            other => panic!("{other:?}"),
+        };
+        // Re-provisioning (a recovery retry) answers with the same set.
+        assert_eq!(
+            d.handle(Request::CreateSet {
+                name: "tgt".into(),
+                durability: "write-through".into(),
+                page_size: None,
+            }),
+            Response::Created { set: first }
+        );
+        // Conflicting options still fail loudly — idempotency never
+        // silently ignores what the caller asked for.
+        assert!(matches!(
+            d.handle(Request::CreateSet {
+                name: "tgt".into(),
+                durability: "write-back".into(),
+                page_size: None,
+            }),
+            Response::Err { .. }
+        ));
+        // Records surviving a partial earlier repair seed the session:
+        // a retried push appends nothing.
+        d.handle(Request::Append {
+            set: "tgt".into(),
+            records: vec![b"kept|1".to_vec()],
+        });
+        assert_eq!(
+            d.handle(Request::RecoverBegin {
+                set: "tgt".into(),
+                present_from: vec![],
+            }),
+            Response::Ok
+        );
+        assert_eq!(
+            d.handle(Request::RecoverAppend {
+                set: "tgt".into(),
+                records: vec![b"kept|1".to_vec(), b"new|2".to_vec()],
+            }),
+            Response::RepairAck {
+                appended: 1,
+                bytes: 5,
+            }
+        );
+        assert_eq!(
+            d.handle(Request::RecoverEnd { set: "tgt".into() }),
+            Response::RepairAck {
+                appended: 1,
+                bytes: 5,
+            }
+        );
+    }
+
+    #[test]
+    fn hash_list_matches_record_hashes() {
+        let d = Pangead::new(node("hashes"));
+        d.handle(Request::CreateSet {
+            name: "s".into(),
+            durability: "write-through".into(),
+            page_size: None,
+        });
+        d.handle(Request::Append {
+            set: "s".into(),
+            records: vec![b"one".to_vec(), b"two".to_vec()],
+        });
+        match d.handle(Request::HashList {
+            set: "s".into(),
+            start_page: 0,
+            start_record: 0,
+        }) {
+            Response::Hashes { hashes, next } => {
+                assert_eq!(
+                    hashes,
+                    vec![
+                        pangea_common::fx_hash64(b"one"),
+                        pangea_common::fx_hash64(b"two")
+                    ]
+                );
+                assert_eq!(next, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Pagination: the cursor skips records within the start page.
+        match d.handle(Request::HashList {
+            set: "s".into(),
+            start_page: 0,
+            start_record: 1,
+        }) {
+            Response::Hashes { hashes, next } => {
+                assert_eq!(hashes, vec![pangea_common::fx_hash64(b"two")]);
+                assert_eq!(next, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// The tentpole flow over real sockets at daemon scope: a survivor
+    /// pushes its filtered share straight into a replacement's repair
+    /// session, a round-robin-style session is pre-seeded from a peer,
+    /// and both sides attribute the payload to their repair counters.
+    #[test]
+    fn recover_push_streams_survivor_to_replacement() {
+        let secret = Some("push-secret".to_string());
+        let survivor =
+            PangeadServer::bind_with_secret(node("push-survivor"), "127.0.0.1:0", secret.clone())
+                .unwrap();
+        let replacement = PangeadServer::bind_with_secret(
+            node("push-replacement"),
+            "127.0.0.1:0",
+            secret.clone(),
+        )
+        .unwrap();
+        let mut sc =
+            PangeaClient::connect_with_secret(survivor.local_addr(), Some("push-secret")).unwrap();
+        let mut rc =
+            PangeaClient::connect_with_secret(replacement.local_addr(), Some("push-secret"))
+                .unwrap();
+        sc.create_set("src", "write-through", None).unwrap();
+        rc.create_set("tgt", "write-through", None).unwrap();
+        let rows: Vec<String> = (0..60).map(|i| format!("{}|row-{i}", i % 7)).collect();
+        sc.append("src", &rows).unwrap();
+
+        // Lost filter: only records placing on slot 1 of a 3-node fleet.
+        let filter = crate::wire::RepairFilter::Lost {
+            scheme: crate::wire::SchemeSpec::Hash {
+                key_name: "k".into(),
+                partitions: 6,
+                key: crate::wire::KeySpec::Field {
+                    delim: b'|',
+                    index: 0,
+                },
+            },
+            failed: 1,
+            nodes: 3,
+        };
+        let keep = filter.compile().unwrap();
+        let expect: Vec<&String> = rows.iter().filter(|r| keep(r.as_bytes())).collect();
+        assert!(!expect.is_empty() && expect.len() < rows.len());
+
+        rc.recover_begin("tgt", &[]).unwrap();
+        let push = sc
+            .recover_push("src", "tgt", &replacement.local_addr().to_string(), &filter)
+            .unwrap();
+        assert_eq!(push.scanned, rows.len() as u64);
+        assert_eq!(push.pushed, expect.len() as u64);
+        assert_eq!(push.appended, push.pushed, "fresh session appends all");
+        assert_eq!(push.pushed_bytes, push.appended_bytes);
+        // A retried push is idempotent: the session dedups every record.
+        let again = sc
+            .recover_push("src", "tgt", &replacement.local_addr().to_string(), &filter)
+            .unwrap();
+        assert_eq!(again.appended, 0);
+        let (appended, bytes) = rc.recover_end("tgt").unwrap();
+        assert_eq!(appended, expect.len() as u64);
+        assert!(bytes > 0);
+        let got = rc.scan("tgt").unwrap();
+        assert_eq!(
+            got,
+            expect
+                .iter()
+                .map(|r| r.as_bytes().to_vec())
+                .collect::<Vec<_>>()
+        );
+        assert!(survivor.daemon().stats().snapshot().repair_bytes > 0);
+        assert!(replacement.daemon().stats().snapshot().repair_bytes > 0);
+
+        // Seeding from a peer that already holds the surviving share
+        // (the round-robin path): nothing new is appended. The survivor
+        // plays the peer, holding the whole "tgt2" surviving share.
+        sc.create_set("tgt2", "write-through", None).unwrap();
+        sc.append("tgt2", &rows).unwrap();
+        rc.create_set("tgt2", "write-through", None).unwrap();
+        rc.recover_begin("tgt2", &[survivor.local_addr().to_string()])
+            .unwrap();
+        let seeded = sc
+            .recover_push(
+                "src",
+                "tgt2",
+                &replacement.local_addr().to_string(),
+                &crate::wire::RepairFilter::All,
+            )
+            .unwrap();
+        assert_eq!(seeded.pushed, rows.len() as u64, "All ships everything");
+        assert_eq!(seeded.appended, 0, "present-on-peer records are skipped");
     }
 
     #[test]

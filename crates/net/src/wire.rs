@@ -14,7 +14,7 @@
 //! length-prefixed record in a `ByteWriter` stream, integers travel as
 //! `u64`, and unknown discriminants decode to [`PangeaError::Corruption`].
 
-use pangea_common::{ByteReader, ByteWriter, PangeaError, Result};
+use pangea_common::{fx_hash64, ByteReader, ByteWriter, PangeaError, Result};
 
 /// A declarative, wire-safe key extractor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,6 +135,126 @@ impl SchemeSpec {
                 )))
             }
         })
+    }
+}
+
+/// How a survivor selects which of its local records to ship during a
+/// worker→worker repair push (`Request::RecoverPush`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairFilter {
+    /// Ship only records whose placement under `scheme` across `nodes`
+    /// slots is the `failed` slot — the lost share of a hash-partitioned
+    /// replica, recomputable on any peer from the declarative scheme.
+    Lost {
+        /// The recovery target's partitioning scheme (must be `Hash`:
+        /// round-robin placement is ordinal-based and cannot be
+        /// recomputed per record).
+        scheme: SchemeSpec,
+        /// The failed node slot (raw `NodeId`).
+        failed: u32,
+        /// Fleet width the scheme stripes over.
+        nodes: u32,
+    },
+    /// Ship every record; the replacement's repair session filters out
+    /// what the surviving share already holds (round-robin targets,
+    /// whose lost share is defined by absence, not by placement).
+    All,
+}
+
+const FILTER_LOST: u64 = 1;
+const FILTER_ALL: u64 = 2;
+
+impl RepairFilter {
+    pub(crate) fn put(&self, w: &mut ByteWriter) {
+        match self {
+            Self::Lost {
+                scheme,
+                failed,
+                nodes,
+            } => {
+                w.write_record(&FILTER_LOST);
+                scheme.put(w);
+                w.write_record(&(*failed as u64));
+                w.write_record(&(*nodes as u64));
+            }
+            Self::All => w.write_record(&FILTER_ALL),
+        }
+    }
+
+    pub(crate) fn get(r: &mut ByteReader<'_>) -> Result<Self> {
+        let tag: u64 = r.read_record()?;
+        Ok(match tag {
+            FILTER_LOST => Self::Lost {
+                scheme: SchemeSpec::get(r)?,
+                failed: r.read_record::<u64>()? as u32,
+                nodes: r.read_record::<u64>()? as u32,
+            },
+            FILTER_ALL => Self::All,
+            other => {
+                return Err(PangeaError::Corruption(format!(
+                    "unknown repair-filter tag {other}"
+                )))
+            }
+        })
+    }
+
+    /// Compiles the filter into a per-record predicate: `true` means the
+    /// record must be shipped. Mirrors `PartitionScheme::node_of` exactly
+    /// (`hash(key) % partitions`, partitions striping over nodes), so a
+    /// survivor's local decision matches the placement the dispatcher
+    /// used. Fails on a `Lost` filter over a round-robin scheme.
+    pub fn compile(&self) -> Result<Box<dyn Fn(&[u8]) -> bool + Send + Sync>> {
+        match self {
+            Self::All => Ok(Box::new(|_| true)),
+            Self::Lost {
+                scheme,
+                failed,
+                nodes,
+            } => match scheme {
+                SchemeSpec::RoundRobin { .. } => Err(PangeaError::usage(
+                    "round-robin placement is ordinal-based and cannot back a \
+                     Lost repair filter; use RepairFilter::All",
+                )),
+                SchemeSpec::Hash {
+                    partitions, key, ..
+                } => {
+                    let key = *key;
+                    let partitions = (*partitions).max(1) as u64;
+                    let (failed, nodes) = (*failed, (*nodes).max(1));
+                    Ok(Box::new(move |rec: &[u8]| {
+                        let p = (fx_hash64(&key.key_of(rec)) % partitions) as u32;
+                        p % nodes == failed
+                    }))
+                }
+            },
+        }
+    }
+}
+
+/// Outcome of one survivor→replacement repair push, as acknowledged over
+/// the wire (`Response::Pushed`) and aggregated by the recovery engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairPushReport {
+    /// Records the survivor scanned in its local source share.
+    pub scanned: u64,
+    /// Records that passed the filter and were shipped to the target.
+    pub pushed: u64,
+    /// Payload bytes shipped worker→worker.
+    pub pushed_bytes: u64,
+    /// Records the target actually appended (post-dedup).
+    pub appended: u64,
+    /// Payload bytes the target actually appended.
+    pub appended_bytes: u64,
+}
+
+impl RepairPushReport {
+    /// Component-wise sum with another report.
+    pub fn merge(&mut self, other: &RepairPushReport) {
+        self.scanned += other.scanned;
+        self.pushed += other.pushed;
+        self.pushed_bytes += other.pushed_bytes;
+        self.appended += other.appended;
+        self.appended_bytes += other.appended_bytes;
     }
 }
 
@@ -320,5 +440,73 @@ mod tests {
         let bytes = w.as_bytes().to_vec();
         assert!(SchemeSpec::get(&mut ByteReader::new(&bytes)).is_err());
         assert!(KeySpec::get(&mut ByteReader::new(&bytes)).is_err());
+        assert!(RepairFilter::get(&mut ByteReader::new(&bytes)).is_err());
+    }
+
+    fn roundtrip_filter(f: RepairFilter) {
+        let mut w = ByteWriter::new();
+        f.put(&mut w);
+        let mut r = ByteReader::new(w.as_bytes());
+        assert_eq!(RepairFilter::get(&mut r).unwrap(), f);
+    }
+
+    #[test]
+    fn repair_filters_roundtrip() {
+        roundtrip_filter(RepairFilter::All);
+        roundtrip_filter(RepairFilter::Lost {
+            scheme: SchemeSpec::Hash {
+                key_name: "uid".into(),
+                partitions: 6,
+                key: KeySpec::Field {
+                    delim: b'|',
+                    index: 0,
+                },
+            },
+            failed: 1,
+            nodes: 3,
+        });
+    }
+
+    #[test]
+    fn lost_filter_matches_hash_placement() {
+        // `compile` must agree with the dispatcher's placement rule:
+        // partition = hash(key) % partitions, node = partition % nodes.
+        let key = KeySpec::Field {
+            delim: b'|',
+            index: 0,
+        };
+        let (partitions, nodes, failed) = (6u32, 3u32, 1u32);
+        let keep = RepairFilter::Lost {
+            scheme: SchemeSpec::Hash {
+                key_name: "uid".into(),
+                partitions,
+                key,
+            },
+            failed,
+            nodes,
+        }
+        .compile()
+        .unwrap();
+        let mut kept = 0;
+        for i in 0..200u32 {
+            let rec = format!("{i}|payload-{i}");
+            let p = (fx_hash64(&key.key_of(rec.as_bytes())) % partitions as u64) as u32;
+            assert_eq!(keep(rec.as_bytes()), p % nodes == failed, "record {rec}");
+            kept += keep(rec.as_bytes()) as u32;
+        }
+        assert!(kept > 0, "some records must place on the failed slot");
+    }
+
+    #[test]
+    fn all_filter_keeps_everything_and_rr_lost_is_rejected() {
+        let keep = RepairFilter::All.compile().unwrap();
+        assert!(keep(b"") && keep(b"anything"));
+        assert!(RepairFilter::Lost {
+            scheme: SchemeSpec::RoundRobin { partitions: 4 },
+            failed: 0,
+            nodes: 4,
+        }
+        .compile()
+        .is_err());
     }
 }

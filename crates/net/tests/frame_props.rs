@@ -5,7 +5,7 @@
 use pangea_common::PangeaError;
 use pangea_net::frame::{read_frame, write_frame, FRAME_OVERHEAD, MAX_FRAME};
 use pangea_net::{
-    KeySpec, Request, Response, SchemeSpec, WireCatalogEntry, WireWorker, WorkerState,
+    KeySpec, RepairFilter, Request, Response, SchemeSpec, WireCatalogEntry, WireWorker, WorkerState,
 };
 use proptest::prelude::*;
 use std::io::Cursor;
@@ -55,6 +55,31 @@ fn roundtrip_resp(resp: Response) {
     write_frame(&mut buf, &resp.encode()).unwrap();
     let unframed = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
     assert_eq!(Response::decode(&unframed).unwrap(), resp);
+}
+
+/// A page (or repair batch) reply bigger than one frame is refused on
+/// the *send* side as API misuse — an oversized recovery payload can
+/// never desynchronize the stream or force a peer allocation.
+#[test]
+fn oversized_page_and_repair_replies_are_rejected_at_the_frame() {
+    let page = Response::Page {
+        bytes: vec![7u8; MAX_FRAME + 1],
+    };
+    let mut buf = Vec::new();
+    match write_frame(&mut buf, &page.encode()) {
+        Err(PangeaError::InvalidUsage(m)) => assert!(m.contains("exceeds")),
+        other => panic!("oversized page must be refused, got {other:?}"),
+    }
+    assert!(buf.is_empty(), "nothing may reach the wire");
+
+    let batch = Request::RecoverAppend {
+        set: "users".into(),
+        records: vec![vec![0u8; MAX_FRAME / 2]; 3],
+    };
+    match write_frame(&mut buf, &batch.encode()) {
+        Err(PangeaError::InvalidUsage(_)) => {}
+        other => panic!("oversized repair batch must be refused, got {other:?}"),
+    }
 }
 
 proptest! {
@@ -175,6 +200,111 @@ proptest! {
         roundtrip_resp(Response::CatalogEntry {
             entry: present.then_some(entry),
         });
+    }
+
+    /// Recovery wire types — repair filters over arbitrary schemes,
+    /// peer lists, candidate batches, hash lists, and push outcomes —
+    /// survive the trip through encode → frame → unframe → decode.
+    #[test]
+    fn recovery_messages_roundtrip_through_frames(
+        name in prop::collection::vec(any::<u8>(), 1..24),
+        partitions in any::<u32>(),
+        hash in any::<bool>(),
+        whole in any::<bool>(),
+        delim in any::<u8>(),
+        index in any::<u32>(),
+        all in any::<bool>(),
+        failed in any::<u32>(),
+        nodes in any::<u32>(),
+        peers in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..24), 0..6),
+        records in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..96), 0..24),
+        hashes in prop::collection::vec(any::<u64>(), 0..64),
+        counters in prop::collection::vec(any::<u64>(), 5..=5),
+    ) {
+        let filter = if all {
+            RepairFilter::All
+        } else {
+            RepairFilter::Lost {
+                scheme: scheme_spec(&name, partitions, hash, key_spec(delim, index, whole)),
+                failed,
+                nodes,
+            }
+        };
+        roundtrip_req(Request::RecoverPush {
+            source_set: ident(&name),
+            target_set: ident(&name),
+            target_addr: ident(&peers.first().cloned().unwrap_or_default()),
+            filter,
+        });
+        roundtrip_req(Request::RecoverBegin {
+            set: ident(&name),
+            present_from: peers.iter().map(|p| ident(p)).collect(),
+        });
+        roundtrip_req(Request::RecoverAppend {
+            set: ident(&name),
+            records: records.clone(),
+        });
+        roundtrip_req(Request::HashList {
+            set: ident(&name),
+            start_page: counters[0],
+            start_record: counters[1],
+        });
+        roundtrip_req(Request::RecoverEnd { set: ident(&name) });
+        roundtrip_resp(Response::Hashes {
+            hashes,
+            next: all.then_some((counters[2], counters[3])),
+        });
+        roundtrip_resp(Response::RepairAck {
+            appended: counters[0],
+            bytes: counters[1],
+        });
+        roundtrip_resp(Response::Pushed {
+            scanned: counters[0],
+            pushed: counters[1],
+            pushed_bytes: counters[2],
+            appended: counters[3],
+            appended_bytes: counters[4],
+        });
+    }
+
+    /// Truncating an encoded recovery message anywhere inside produces a
+    /// decode error, never a short or garbled message.
+    #[test]
+    fn truncated_recovery_push_is_an_error(
+        name in prop::collection::vec(any::<u8>(), 1..16),
+        partitions in any::<u32>(),
+        delim in any::<u8>(),
+        index in any::<u32>(),
+        failed in any::<u32>(),
+        nodes in any::<u32>(),
+        cut_fraction in 0usize..100,
+    ) {
+        let enc = Request::RecoverPush {
+            source_set: ident(&name),
+            target_set: ident(&name),
+            target_addr: "127.0.0.1:7781".into(),
+            filter: RepairFilter::Lost {
+                scheme: scheme_spec(&name, partitions, true, key_spec(delim, index, false)),
+                failed,
+                nodes,
+            },
+        }
+        .encode();
+        let cut = 1 + cut_fraction * (enc.len() - 1) / 100;
+        if cut < enc.len() {
+            prop_assert!(Request::decode(&enc[..cut]).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    /// Garbage bytes never decode to a recovery message silently: decode
+    /// either fails or re-encodes to a prefix-consistent message (the
+    /// codec's length prefixes make random acceptance vanishingly rare).
+    #[test]
+    fn garbage_never_panics_the_decoder(
+        junk in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = Request::decode(&junk);
+        let _ = Response::decode(&junk);
     }
 
     /// Membership messages — registration (fresh or slot-pinned),
