@@ -15,7 +15,8 @@
 //! engine against remote `pangead` processes and a wire-served catalog.
 
 use crate::engine::{
-    ClusterCore, DispatchConfig, EngineDispatcher, EngineSet, RecordSink, WorkerBackend,
+    ClusterCore, DispatchConfig, EngineDispatcher, EngineSet, MapShuffleReport, RecordSink,
+    WorkerBackend,
 };
 use crate::manager::Manager;
 use crate::network::SimNetwork;
@@ -408,6 +409,28 @@ impl SimCluster {
     pub fn drop_dist_set(&self, name: &str) -> Result<()> {
         self.inner.core.drop_dist_set(name)
     }
+
+    /// A map-shuffle over the cluster: applies the declarative `map` to
+    /// every record of `input` and materializes the routed output as a
+    /// normal distributed set named `output` under `scheme`. In the
+    /// simulation this runs serially through the engine's dispatch path
+    /// (UDF-closure schemes work fine here); `RemoteCluster` runs the
+    /// *same* engine call distributed — one shipped task per worker —
+    /// so for **hash** output schemes (placement is content-determined)
+    /// this is the record-for-record reference for the remote path.
+    /// Round-robin output placement is ordinal-based and arbitrary by
+    /// design: the serial path sprays by one global ordinal, the
+    /// distributed path by each mapper's local one, so RR outputs are
+    /// balanced but not placement-comparable across backends.
+    pub fn map_shuffle(
+        &self,
+        input: &str,
+        output: &str,
+        map: &pangea_net::MapSpec,
+        scheme: PartitionScheme,
+    ) -> Result<MapShuffleReport> {
+        self.inner.core.map_shuffle(input, output, map, scheme)
+    }
 }
 
 /// A distributed dataset: one locality set per worker plus manager
@@ -661,6 +684,78 @@ mod tests {
         assert_eq!(c.alive_nodes().len(), 3);
         assert_eq!(s.total_records().unwrap(), 20, "restart restores no data");
         assert!(s.local(NodeId(1)).is_ok());
+    }
+
+    #[test]
+    fn map_shuffle_serial_materializes_a_routed_set() {
+        use pangea_net::{FilterSpec, KeySpec, MapSpec};
+        let c = small_cluster("mapshuffle", 3);
+        let s = c
+            .create_dist_set("lines", PartitionScheme::round_robin(3))
+            .unwrap();
+        let mut d = s.loader().unwrap();
+        for i in 0..120u32 {
+            d.dispatch(format!("{}|w{}|junk", i % 2, i % 9).as_bytes())
+                .unwrap();
+        }
+        d.finish().unwrap();
+        // Keep rows whose first field is "1", emit field 1, hash by the
+        // emitted word.
+        let map = MapSpec::extract(KeySpec::Field {
+            delim: b'|',
+            index: 1,
+        })
+        .with_filter(FilterSpec::KeyEquals {
+            key: KeySpec::Field {
+                delim: b'|',
+                index: 0,
+            },
+            value: b"1".to_vec(),
+        });
+        let report = c
+            .map_shuffle(
+                "lines",
+                "words",
+                &map,
+                PartitionScheme::hash_whole("word", 6),
+            )
+            .unwrap();
+        assert_eq!(report.scanned, 120);
+        assert_eq!(report.records_out, 60, "half the rows pass the filter");
+        assert!(report.bytes_out > 0);
+        let out = c.get_dist_set("words").unwrap();
+        assert_eq!(out.total_records().unwrap(), 60);
+        // Every output record is a projected word placed by its hash,
+        // and honest duplicates survive (rows share words).
+        let scheme = out.scheme().unwrap();
+        out.for_each_record(|node, rec| {
+            assert!(rec.starts_with(b"w"));
+            assert_eq!(scheme.node_of(rec, 0, 3), node);
+        })
+        .unwrap();
+        assert_eq!(c.manager().entry("words").unwrap().stats.objects, 60);
+        // Re-running the job replaces the output instead of duplicating.
+        let again = c
+            .map_shuffle(
+                "lines",
+                "words",
+                &map,
+                PartitionScheme::hash_whole("word", 6),
+            )
+            .unwrap();
+        assert_eq!(again.records_out, 60);
+        assert_eq!(
+            c.get_dist_set("words").unwrap().total_records().unwrap(),
+            60
+        );
+        // A conflicting-scheme output is a usage error.
+        assert!(c
+            .map_shuffle("lines", "words", &map, PartitionScheme::round_robin(3))
+            .is_err());
+        // …and so is shuffling a set into itself.
+        assert!(c
+            .map_shuffle("lines", "lines", &map, PartitionScheme::hash_whole("w", 6))
+            .is_err());
     }
 
     #[test]

@@ -28,10 +28,10 @@ use crate::manager::CatalogEntry;
 use crate::partition::{PartitionKind, PartitionScheme};
 use crate::replication::colliding_set_name;
 use pangea_common::{fx_hash64, FxHashMap, FxHashSet, NodeId, PangeaError, ReplicaGroupId, Result};
-use pangea_net::{RepairFilter, RepairPushReport};
+use pangea_net::{MapSpec, RepairFilter, RepairPushReport, SchemeSpec, TaskReport};
 use std::fmt;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A destination for routed records on one node. Sinks are opened by a
 /// [`WorkerBackend`] and written by the engine's batching layer.
@@ -108,6 +108,49 @@ pub trait WorkerBackend: fmt::Debug + Send + Sync {
     fn peer_repair(&self) -> Option<&dyn PeerRepair> {
         None
     }
+
+    /// Task-shipping capability: backends whose nodes can *execute a
+    /// shipped map task* against their local input share (streaming the
+    /// routed output straight to destination peers) return `Some`, and
+    /// [`ClusterCore::map_shuffle`] launches one task per worker in
+    /// parallel through it. The default `None` keeps the in-process
+    /// serial path — `SimCluster` scans and dispatches through the
+    /// driver exactly as a dispatcher-loaded set would.
+    fn task_exec(&self) -> Option<&dyn TaskExec> {
+        None
+    }
+}
+
+/// Distributed map-task execution (ship the task to the data, in the
+/// spirit of Sector/Sphere's in-storage processing): the driver plans,
+/// the storage fabric scans, maps, and moves the bytes.
+///
+/// Implementations must be callable from multiple threads at once — the
+/// engine runs one [`TaskExec::map_task`] per worker in parallel. Tasks
+/// are idempotent by contract: each destination's ingest session dedups
+/// on provenance tags, so a retried or duplicated task never
+/// double-appends.
+pub trait TaskExec: Send + Sync {
+    /// Opens (or resets) the shuffle-ingest session for `set` on the
+    /// destination node, truncating its local share.
+    fn ingest_begin(&self, dest: NodeId, set: &str) -> Result<()>;
+
+    /// Ships one map task to `worker`: scan the local share of `input`,
+    /// apply `map`, route by `scheme` striping over `nodes`, and stream
+    /// straight to the destinations' ingest sessions for `output`.
+    fn map_task(
+        &self,
+        worker: NodeId,
+        input: &str,
+        output: &str,
+        map: &MapSpec,
+        scheme: &SchemeSpec,
+        nodes: u32,
+    ) -> Result<TaskReport>;
+
+    /// Seals the destination's ingest session; returns its
+    /// `(appended, appended_bytes)` totals.
+    fn ingest_end(&self, dest: NodeId, set: &str) -> Result<(u64, u64)>;
 }
 
 /// Worker→worker repair operations (paper §7 recovery without bouncing
@@ -219,6 +262,24 @@ impl ReplicaReport {
             self.colliding as f64 / self.objects as f64
         }
     }
+}
+
+/// Outcome of a distributed map-shuffle job.
+#[derive(Debug, Clone)]
+pub struct MapShuffleReport {
+    /// The materialized output set's cluster-wide name.
+    pub output: String,
+    /// Records scanned across every worker's input share.
+    pub scanned: u64,
+    /// Records materialized into the output set (post-map, post-dedup).
+    pub records_out: u64,
+    /// Payload bytes materialized into the output set.
+    pub bytes_out: u64,
+    /// Per-worker task outcomes, in alive-node order (empty on the
+    /// serial in-process path, which runs no per-worker tasks).
+    pub tasks: Vec<(NodeId, TaskReport)>,
+    /// Wall-clock job time.
+    pub duration: Duration,
 }
 
 /// Outcome of recovering a failed node.
@@ -405,6 +466,236 @@ impl ClusterCore {
             sinks.finish()?;
         }
         Ok((objects, colliding.len() as u64))
+    }
+
+    /// A distributed map-shuffle (the paper's "move computation to the
+    /// data" applied to the shuffle): applies the declarative `map` to
+    /// every record of `input` and materializes the routed output as a
+    /// normal cataloged set named `output` under `scheme`.
+    ///
+    /// Backends exposing [`WorkerBackend::task_exec`] run it
+    /// distributed: the driver ships one task per worker in parallel,
+    /// each worker scans its *local* input share and streams the mapped
+    /// output **directly to the destination workers** — the driver only
+    /// plans and collects reports, moving zero record bytes. `scheme`
+    /// must be declarative there (`hash_field`/`hash_whole`/
+    /// round-robin); a closure-keyed scheme fails with the typed
+    /// [`PangeaError::NotWireSafe`] instead of silently routing through
+    /// the driver. Backends without the capability (`SimCluster`) run
+    /// the same job serially in-process, where UDF-closure schemes work
+    /// fine.
+    ///
+    /// An existing output set under the *same* scheme is replaced — a
+    /// retried job (e.g. after a mid-task worker failure) materializes
+    /// afresh, so retries never duplicate records. An output set with a
+    /// different scheme is a usage error. A fleet with a dead slot is
+    /// refused with the typed [`PangeaError::NodeUnavailable`] (the
+    /// slot's input share would silently go missing): recover it first.
+    pub fn map_shuffle(
+        &self,
+        input: &str,
+        output: &str,
+        map: &MapSpec,
+        scheme: PartitionScheme,
+    ) -> Result<MapShuffleReport> {
+        let start = Instant::now();
+        if input == output {
+            return Err(PangeaError::usage(format!(
+                "map-shuffle output '{output}' cannot be its own input"
+            )));
+        }
+        let src = self
+            .get_dist_set(input)?
+            .ok_or_else(|| PangeaError::usage(format!("unknown input set '{input}'")))?;
+        // Every validation runs before anything destructive: a rejected
+        // job (closure-keyed scheme, dead slot) must never have dropped
+        // the caller's existing output set first.
+        let spec = match self.workers.task_exec() {
+            None => None,
+            Some(_) => Some(scheme.to_spec().map_err(|_| {
+                PangeaError::NotWireSafe(format!(
+                    "scheme '{}' is keyed by an opaque closure (a UDF) and \
+                     cannot ship with a map task; build it with \
+                     hash_field/hash_whole, or fall back to the \
+                     driver-routed shuffle",
+                    scheme.key_name
+                ))
+            })?),
+        };
+        // Every slot holds a share of the input; running with a dead
+        // slot would silently drop that share from the output (or fail
+        // with a misleading routing error mid-task). Typed, so callers
+        // recover the slot and retry.
+        let alive = self.workers.alive_nodes();
+        for slot in 0..self.workers.num_nodes() {
+            if !alive.contains(&NodeId(slot)) {
+                return Err(PangeaError::NodeUnavailable(NodeId(slot)));
+            }
+        }
+        if let Some(existing) = self.catalog.entry(output)? {
+            // Co-partitioning (kind/key/partition-count) is not enough
+            // here: two hash_field schemes sharing a key *name* but
+            // splitting differently would silently replace the output,
+            // so the declarative key spec must match too.
+            let same = existing.scheme.kind == scheme.kind
+                && existing.scheme.partitions == scheme.partitions
+                && existing.scheme.key_name == scheme.key_name
+                && existing.scheme.key_spec() == scheme.key_spec();
+            if !same {
+                return Err(PangeaError::usage(format!(
+                    "output set '{output}' already exists under a different \
+                     scheme; drop it first"
+                )));
+            }
+            self.drop_dist_set(output)?;
+        }
+        match (self.workers.task_exec(), spec) {
+            (Some(exec), Some(spec)) => {
+                self.map_shuffle_tasks(exec, &src, output, map, &spec, scheme, start)
+            }
+            _ => self.map_shuffle_serial(&src, output, map, scheme, start),
+        }
+    }
+
+    /// The in-process path: one serial scan-map-dispatch through the
+    /// driver, batched per destination like any dispatcher load.
+    fn map_shuffle_serial(
+        &self,
+        src: &EngineSet,
+        output: &str,
+        map: &MapSpec,
+        scheme: PartitionScheme,
+        start: Instant,
+    ) -> Result<MapShuffleReport> {
+        let out = self.create_dist_set(output, scheme.clone())?;
+        let nodes = self.workers.num_nodes();
+        let mut sinks = BatchedSinks::new(
+            self.clone(),
+            out.name().to_string(),
+            DispatchConfig::default(),
+        );
+        let (mut scanned, mut records_out, mut bytes_out) = (0u64, 0u64, 0u64);
+        let mut ordinal = 0u64;
+        src.try_for_each_record(|from, rec| {
+            scanned += 1;
+            let Some(mapped) = map.apply(rec) else {
+                return Ok(());
+            };
+            let to = scheme.node_of(&mapped, ordinal, nodes);
+            ordinal += 1;
+            records_out += 1;
+            bytes_out += mapped.len() as u64;
+            sinks.push(from, to, &mapped)
+        })?;
+        sinks.finish()?;
+        self.catalog.add_stats(output, records_out, bytes_out)?;
+        Ok(MapShuffleReport {
+            output: output.to_string(),
+            scanned,
+            records_out,
+            bytes_out,
+            tasks: Vec::new(),
+            duration: start.elapsed(),
+        })
+    }
+
+    /// The distributed path: ingest sessions bracket one shipped task
+    /// per worker, all tasks in flight at once (one orchestration
+    /// thread — and thus one `TaskRun` RPC — per worker). Sessions are
+    /// sealed whatever happens, and the sealed totals — not the task
+    /// acks — are authoritative for the materialized output (a task
+    /// whose ack was lost still appended for real).
+    #[allow(clippy::too_many_arguments)]
+    fn map_shuffle_tasks(
+        &self,
+        exec: &dyn TaskExec,
+        src: &EngineSet,
+        output: &str,
+        map: &MapSpec,
+        spec: &SchemeSpec,
+        scheme: PartitionScheme,
+        start: Instant,
+    ) -> Result<MapShuffleReport> {
+        self.create_dist_set(output, scheme)?;
+        let alive = self.workers.alive_nodes();
+        let nodes = self.workers.num_nodes();
+        for &dest in &alive {
+            exec.ingest_begin(dest, output)?;
+        }
+        let input = src.name();
+        let outcome: Result<Vec<(NodeId, TaskReport)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = alive
+                .iter()
+                .map(|&worker| {
+                    s.spawn(move || {
+                        exec.map_task(worker, input, output, map, spec, nodes)
+                            .map(|r| (worker, r))
+                    })
+                })
+                .collect();
+            // Join everything, then pick the error to surface: a typed
+            // NodeUnavailable (the worker is *gone*) beats whatever
+            // secondary failures its death caused in sibling tasks that
+            // were pushing to it.
+            let results: Vec<Result<(NodeId, TaskReport)>> = handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err(PangeaError::Remote("a map task panicked".into())))
+                })
+                .collect();
+            let mut tasks = Vec::new();
+            let mut first_err: Option<PangeaError> = None;
+            for r in results {
+                match r {
+                    Ok(t) => tasks.push(t),
+                    Err(e) => {
+                        let prefer = matches!(e, PangeaError::NodeUnavailable(_))
+                            && !matches!(first_err, Some(PangeaError::NodeUnavailable(_)));
+                        if first_err.is_none() || prefer {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok(tasks),
+            }
+        });
+        // Seal every session whatever happened: a failed job must not
+        // leave destinations holding tag ledgers forever. (Should a
+        // seal itself fail — daemon unreachable — the retry's
+        // `ingest_begin` replaces the session.)
+        let mut end_err: Option<PangeaError> = None;
+        let (mut records_out, mut bytes_out) = (0u64, 0u64);
+        for &dest in &alive {
+            match exec.ingest_end(dest, output) {
+                Ok((a, b)) => {
+                    records_out += a;
+                    bytes_out += b;
+                }
+                Err(e) if end_err.is_none() => end_err = Some(e),
+                Err(_) => {}
+            }
+        }
+        let tasks = outcome?;
+        if let Some(e) = end_err {
+            return Err(e);
+        }
+        self.catalog.add_stats(output, records_out, bytes_out)?;
+        let mut totals = TaskReport::default();
+        for (_, task) in &tasks {
+            totals.merge(task);
+        }
+        Ok(MapShuffleReport {
+            output: output.to_string(),
+            scanned: totals.scanned,
+            records_out,
+            bytes_out,
+            tasks,
+            duration: start.elapsed(),
+        })
     }
 
     /// Count of colliding objects currently stored for `group`.

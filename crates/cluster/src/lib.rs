@@ -23,12 +23,13 @@ pub mod replication;
 
 pub use cluster::{ClusterConfig, Dispatcher, DistSet, SimCluster, SimWorkers};
 pub use engine::{
-    Catalog, ClusterCore, DispatchConfig, EngineDispatcher, EngineSet, PeerRepair, RecordSink,
-    RecoveryReport, ReplicaReport, WorkerBackend,
+    Catalog, ClusterCore, DispatchConfig, EngineDispatcher, EngineSet, MapShuffleReport,
+    PeerRepair, RecordSink, RecoveryReport, ReplicaReport, TaskExec, WorkerBackend,
 };
 pub use manager::{CatalogEntry, Manager, SetStats};
 pub use network::SimNetwork;
-// The wire seam the cluster is generic over (DESIGN.md §2a).
-pub use pangea_net::{TcpTransport, Transport};
+// The wire seam the cluster is generic over (DESIGN.md §2a), plus the
+// declarative specs map-shuffle jobs are written in.
+pub use pangea_net::{EmitSpec, FilterSpec, KeySpec, MapSpec, TaskReport, TcpTransport, Transport};
 pub use partition::{KeyFn, PartitionKind, PartitionScheme};
 pub use replication::{colliding_set_name, expected_colliding_ratio};

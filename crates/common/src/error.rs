@@ -83,6 +83,13 @@ pub enum PangeaError {
         /// The per-reply byte budget that would have been exceeded.
         budget: u64,
     },
+    /// A declarative wire form was required but the value is backed by
+    /// an in-process closure (a UDF) that cannot cross the wire — e.g. a
+    /// `PartitionScheme::hash` scheme handed to a distributed
+    /// map-shuffle, which ships the task to every worker. Typed so
+    /// callers can fall back to the driver-routed path (or rebuild the
+    /// scheme with `hash_field`/`hash_whole`) without parsing prose.
+    NotWireSafe(String),
     /// An API was used incorrectly (e.g. writing to a read-configured set).
     InvalidUsage(String),
     /// Invalid configuration (page size 0, no disks, ...).
@@ -153,6 +160,7 @@ impl fmt::Display for PangeaError {
                 "scan of '{set}' exceeds {budget} B in one reply; \
                  page through FetchPage instead"
             ),
+            Self::NotWireSafe(m) => write!(f, "not wire-safe: {m}"),
             Self::InvalidUsage(m) => write!(f, "invalid usage: {m}"),
             Self::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
         }

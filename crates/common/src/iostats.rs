@@ -27,6 +27,8 @@ pub struct IoStats {
     copied_bytes: AtomicU64,
     repairs: AtomicU64,
     repair_bytes: AtomicU64,
+    shuffles: AtomicU64,
+    shuffle_bytes: AtomicU64,
 }
 
 impl IoStats {
@@ -98,6 +100,19 @@ impl IoStats {
         self.repair_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Records one map-shuffle transfer of `bytes` — payload a mapper
+    /// streamed directly to a destination worker during a distributed
+    /// map-shuffle, attributed separately from dispatch traffic so a
+    /// shuffle run can prove its data flowed worker→worker rather than
+    /// through the driver (the driver records `net` bytes, never
+    /// `shuffle` bytes — mirroring [`IoStats::record_repair`]).
+    #[inline]
+    pub fn record_shuffle(&self, bytes: usize) {
+        self.shuffles.fetch_add(1, Ordering::Relaxed);
+        self.shuffle_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot for reporting.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
@@ -115,6 +130,8 @@ impl IoStats {
             copied_bytes: self.copied_bytes.load(Ordering::Relaxed),
             repairs: self.repairs.load(Ordering::Relaxed),
             repair_bytes: self.repair_bytes.load(Ordering::Relaxed),
+            shuffles: self.shuffles.load(Ordering::Relaxed),
+            shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -134,6 +151,8 @@ impl IoStats {
         self.copied_bytes.store(0, Ordering::Relaxed);
         self.repairs.store(0, Ordering::Relaxed);
         self.repair_bytes.store(0, Ordering::Relaxed);
+        self.shuffles.store(0, Ordering::Relaxed);
+        self.shuffle_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -168,6 +187,10 @@ pub struct IoStatsSnapshot {
     pub repairs: u64,
     /// Payload bytes moved worker→worker during replica recovery.
     pub repair_bytes: u64,
+    /// Map-shuffle transfers (worker→worker shuffle pushes).
+    pub shuffles: u64,
+    /// Payload bytes moved worker→worker during distributed map-shuffle.
+    pub shuffle_bytes: u64,
 }
 
 impl IoStatsSnapshot {
@@ -192,6 +215,8 @@ impl IoStatsSnapshot {
             copied_bytes: self.copied_bytes.saturating_sub(earlier.copied_bytes),
             repairs: self.repairs.saturating_sub(earlier.repairs),
             repair_bytes: self.repair_bytes.saturating_sub(earlier.repair_bytes),
+            shuffles: self.shuffles.saturating_sub(earlier.shuffles),
+            shuffle_bytes: self.shuffle_bytes.saturating_sub(earlier.shuffle_bytes),
         }
     }
 
@@ -217,6 +242,7 @@ mod tests {
         s.record_serialization(32);
         s.record_copy(64);
         s.record_repair(48);
+        s.record_shuffle(24);
         let snap = s.snapshot();
         assert_eq!(snap.disk_reads, 2);
         assert_eq!(snap.disk_read_bytes, 150);
@@ -230,6 +256,8 @@ mod tests {
         assert_eq!(snap.copied_bytes, 64);
         assert_eq!(snap.repairs, 1);
         assert_eq!(snap.repair_bytes, 48);
+        assert_eq!(snap.shuffles, 1);
+        assert_eq!(snap.shuffle_bytes, 24);
         assert_eq!(snap.disk_bytes_total(), 160);
     }
 

@@ -19,8 +19,10 @@ use pangea_net::{
     error_response, FramedServer, FramedService, Request, Response, WireCatalogEntry,
 };
 use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// The default liveness timeout: a worker missing heartbeats for this
 /// long is declared dead.
@@ -93,6 +95,7 @@ impl ManagerDaemon {
                     disk_read_bytes: 0,
                     disk_write_bytes: 0,
                     repair_bytes: 0,
+                    shuffle_bytes: 0,
                 })
             }
 
@@ -191,11 +194,14 @@ impl FramedService for ManagerDaemon {
 }
 
 /// A running `pangea-mgr` server: one [`ManagerDaemon`] behind a
-/// [`FramedServer`].
+/// [`FramedServer`], plus a background liveness ticker.
 #[derive(Debug)]
 pub struct MgrServer {
     daemon: Arc<ManagerDaemon>,
     server: FramedServer,
+    /// Stops the liveness ticker at shutdown.
+    tick_stop: Arc<AtomicBool>,
+    ticker: Option<JoinHandle<()>>,
 }
 
 impl MgrServer {
@@ -206,6 +212,12 @@ impl MgrServer {
 
     /// Binds `addr` with an explicit liveness timeout and optional
     /// shared handshake secret.
+    ///
+    /// Liveness is swept by a background ticker (a fraction of the
+    /// liveness timeout), not only lazily on membership RPCs: a worker
+    /// that dies mid-shuffle is declared Dead on schedule even when the
+    /// control plane is otherwise idle. Epoch guards are untouched — the
+    /// sweep only flips silent Alive slots to Dead.
     pub fn bind_with(
         addr: impl ToSocketAddrs,
         liveness_timeout: Duration,
@@ -214,7 +226,35 @@ impl MgrServer {
         let daemon = Arc::new(ManagerDaemon::new(liveness_timeout));
         let server =
             FramedServer::bind(Arc::clone(&daemon) as Arc<dyn FramedService>, addr, secret)?;
-        Ok(Self { daemon, server })
+        let tick_stop = Arc::new(AtomicBool::new(false));
+        let ticker = {
+            let daemon = Arc::clone(&daemon);
+            let stop = Arc::clone(&tick_stop);
+            // Tick well inside the timeout so detection latency is
+            // bounded by ~1.25× the timeout, never by the next RPC.
+            let interval = (liveness_timeout / 4).max(Duration::from_millis(10));
+            std::thread::Builder::new()
+                .name("pangea-mgr-liveness".into())
+                .spawn(move || loop {
+                    let deadline = Instant::now() + interval;
+                    while Instant::now() < deadline {
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(
+                            Duration::from_millis(5)
+                                .min(deadline.saturating_duration_since(Instant::now())),
+                        );
+                    }
+                    daemon.membership().sweep();
+                })?
+        };
+        Ok(Self {
+            daemon,
+            server,
+            tick_stop,
+            ticker: Some(ticker),
+        })
     }
 
     /// The bound address (with the resolved ephemeral port).
@@ -227,9 +267,20 @@ impl MgrServer {
         &self.daemon
     }
 
-    /// Gracefully stops the server (drain + join). Idempotent.
+    /// Gracefully stops the server (drain + join) and the liveness
+    /// ticker. Idempotent.
     pub fn shutdown(&mut self) {
+        self.tick_stop.store(true, Ordering::SeqCst);
+        if let Some(ticker) = self.ticker.take() {
+            let _ = ticker.join();
+        }
         self.server.shutdown(pangea_net::DEFAULT_DRAIN);
+    }
+}
+
+impl Drop for MgrServer {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -321,6 +372,35 @@ mod tests {
             Response::CatalogEntry { entry: None } => {}
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn liveness_ticker_sweeps_without_any_membership_rpc() {
+        let mut mgr = MgrServer::bind_with("127.0.0.1:0", Duration::from_millis(60), None).unwrap();
+        let (node, _epoch) = match mgr.daemon().handle(Request::MgrRegisterWorker {
+            addr: "127.0.0.1:7781".into(),
+            slot: None,
+        }) {
+            Response::WorkerRegistered { node, epoch } => (node, epoch),
+            other => panic!("{other:?}"),
+        };
+        // No heartbeats, and — crucially — no membership RPC to trigger
+        // a lazy sweep: read the table directly. The background ticker
+        // alone must declare the silent worker dead.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let workers = mgr.daemon().membership().workers();
+            if workers[node as usize].state == WorkerState::Dead {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "ticker never swept the silent worker dead: {workers:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        mgr.shutdown();
+        mgr.shutdown(); // idempotent
     }
 
     #[test]

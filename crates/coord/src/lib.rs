@@ -16,8 +16,10 @@
 //! * [`RemoteCluster`] / [`RemoteWorkers`] — the client frontend driving
 //!   N real `pangead` processes through `pangea-cluster`'s generic
 //!   engine: create distributed sets via the wire catalog, dispatch with
-//!   per-destination batching, run shuffles, and recover dead workers —
-//!   with no shared memory anywhere.
+//!   per-destination batching, run distributed map-shuffles (the driver
+//!   ships declarative tasks; workers stream the mapped output straight
+//!   to each other), and recover dead workers — with no shared memory
+//!   anywhere.
 //! * [`WorkerAgent`] — the worker-side agent: registers the local
 //!   `pangead`, heartbeats in the background, deregisters on clean exit.
 //!

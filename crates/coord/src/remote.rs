@@ -17,12 +17,15 @@
 
 use crate::client::{ManagerClient, MgrConn, RemoteCatalog};
 use pangea_cluster::engine::{
-    Catalog, ClusterCore, DispatchConfig, EngineSet, PeerRepair, RecordSink, RecoveryReport,
-    ReplicaReport, WorkerBackend,
+    Catalog, ClusterCore, DispatchConfig, EngineSet, MapShuffleReport, PeerRepair, RecordSink,
+    RecoveryReport, ReplicaReport, TaskExec, WorkerBackend,
 };
 use pangea_cluster::{PartitionKind, PartitionScheme};
 use pangea_common::{fx_hash64, Epoch, FxHashMap, IoStats, NodeId, PangeaError, Result};
-use pangea_net::{PangeaClient, RepairFilter, RepairPushReport, WireWorker, WorkerState};
+use pangea_net::{
+    MapSpec, PangeaClient, RepairFilter, RepairPushReport, SchemeSpec, TaskReport, TaskSpec,
+    WireWorker, WorkerState,
+};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -32,7 +35,6 @@ use std::time::{Duration, Instant};
 /// Default heartbeat cadence for [`WorkerAgent`]s.
 pub const DEFAULT_HEARTBEAT: Duration = Duration::from_millis(500);
 
-#[derive(Debug)]
 struct RemoteWorkersInner {
     /// Slot `i` holds the advertised address of worker `i` while it is
     /// alive; `None` marks a dead/left slot.
@@ -46,6 +48,19 @@ struct RemoteWorkersInner {
     secret: Option<String>,
     /// Shared payload-byte ledger across all per-worker clients.
     stats: Arc<IoStats>,
+    /// Test-only rendezvous invoked at the start of each worker's map
+    /// task (before the `TaskRun` RPC is issued) — lets a fault-injection
+    /// test prove per-worker tasks genuinely overlap, and inject a kill
+    /// at a deterministic point. Mirrors `RemoteCluster`'s recovery hook.
+    task_hook: Mutex<Option<Arc<dyn Fn(NodeId) + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for RemoteWorkersInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteWorkersInner")
+            .field("slots", &self.slots)
+            .finish()
+    }
 }
 
 /// The remote [`WorkerBackend`]: every operation is an RPC against the
@@ -63,6 +78,7 @@ impl RemoteWorkers {
                 clients: Mutex::new(FxHashMap::default()),
                 secret: secret.map(str::to_string),
                 stats: Arc::new(IoStats::new()),
+                task_hook: Mutex::new(None),
             }),
         }
     }
@@ -283,6 +299,62 @@ impl WorkerBackend for RemoteWorkers {
 
     fn peer_repair(&self) -> Option<&dyn PeerRepair> {
         Some(self)
+    }
+
+    fn task_exec(&self) -> Option<&dyn TaskExec> {
+        Some(self)
+    }
+}
+
+/// The remote task-shipping capability: every operation is a control
+/// RPC (no record payload on the driver's connections) — each worker
+/// scans its own share and streams the mapped output straight to the
+/// destination workers' ingest sessions.
+impl TaskExec for RemoteWorkers {
+    fn ingest_begin(&self, dest: NodeId, set: &str) -> Result<()> {
+        self.with_client(dest, |c| c.ingest_begin(set))
+    }
+
+    fn map_task(
+        &self,
+        worker: NodeId,
+        input: &str,
+        output: &str,
+        map: &MapSpec,
+        scheme: &SchemeSpec,
+        nodes: u32,
+    ) -> Result<TaskReport> {
+        // Clone the hook out before invoking it (never hold the lock
+        // across the call — it would serialize "parallel" tasks).
+        let hook = self.inner.task_hook.lock().clone();
+        if let Some(hook) = hook {
+            hook(worker);
+        }
+        // The engine hands logical job parameters; this backend owns the
+        // address book, so it fills in the wire task's destinations and
+        // the executing worker's provenance slot.
+        let dests: Vec<(u32, String)> = self
+            .inner
+            .slots
+            .read()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|addr| (i as u32, addr.clone())))
+            .collect();
+        let spec = TaskSpec {
+            input: input.to_string(),
+            output: output.to_string(),
+            map: map.clone(),
+            scheme: scheme.clone(),
+            nodes,
+            source: worker.raw(),
+            dests,
+        };
+        self.with_client(worker, |c| c.run_task(&spec))
+    }
+
+    fn ingest_end(&self, dest: NodeId, set: &str) -> Result<(u64, u64)> {
+        self.with_client(dest, |c| c.ingest_end(set))
     }
 }
 
@@ -605,8 +677,53 @@ impl RemoteCluster {
         })
     }
 
+    /// A distributed map-shuffle: ships one declarative map task to
+    /// every worker holding a share of `input`; each worker scans its
+    /// *local* share, applies `map`, and streams the routed output
+    /// **directly to the destination workers**, materializing `output`
+    /// as a normal cataloged set under `scheme`. The driver only plans,
+    /// launches the per-worker tasks in parallel, and collects reports
+    /// — it moves zero record bytes (all data is attributed to the
+    /// workers' `shuffle_bytes` counters, never this driver's ledger).
+    ///
+    /// `scheme` must be declarative (`hash_field`/`hash_whole`/
+    /// round-robin); a closure-keyed scheme fails with the typed
+    /// [`PangeaError::NotWireSafe`]. For a shuffle keyed by an
+    /// in-process closure, fall back to the driver-routed
+    /// [`RemoteCluster::shuffle`].
+    ///
+    /// Jobs are retryable end to end: a worker killed mid-task surfaces
+    /// a typed error, and re-running the same call (after recovering
+    /// the worker) materializes the output afresh without duplicates.
+    pub fn map_shuffle(
+        &self,
+        input: &str,
+        output: &str,
+        map: &MapSpec,
+        scheme: PartitionScheme,
+    ) -> Result<MapShuffleReport> {
+        self.refresh_membership()?;
+        self.core.map_shuffle(input, output, map, scheme)
+    }
+
+    /// Installs (or clears) the test-only per-task rendezvous. Hidden:
+    /// fault-injection instrumentation, not API.
+    #[doc(hidden)]
+    pub fn set_task_hook(&self, hook: Option<Arc<dyn Fn(NodeId) + Send + Sync>>) {
+        *self.workers.inner.task_hook.lock() = hook;
+    }
+
     /// A distributed shuffle over the deployment: partition `p` lives on
     /// worker `p % nodes`; the driver routes and batches per partition.
+    ///
+    /// This is the **legacy driver-routed path**: every record crosses
+    /// the wire twice (caller → driver-routed send → destination
+    /// worker) and the driver's NIC is the bottleneck. It remains the
+    /// fallback for shuffles keyed by arbitrary in-process closures —
+    /// the caller hashes whatever key it likes. When the key and map
+    /// are expressible declaratively, prefer
+    /// [`RemoteCluster::map_shuffle`], which ships the task to the data
+    /// and moves zero payload through the driver.
     pub fn shuffle(&self, name: &str, partitions: u32) -> Result<RemoteShuffle> {
         let nodes = self.alive_nodes();
         if nodes.is_empty() {
@@ -629,6 +746,13 @@ impl RemoteCluster {
 
 /// A driver-side distributed shuffle: records are hashed to partitions,
 /// batched per partition, and shipped to the partition's owning worker.
+///
+/// Trade-off: every record pays a trip through the driver (its NIC and
+/// its CPU are the bottleneck), but the key is an arbitrary in-process
+/// value the caller computes — nothing needs to be expressible on the
+/// wire. When a declarative [`MapSpec`]/scheme can express the job, use
+/// [`RemoteCluster::map_shuffle`] instead: it ships the task to the
+/// data and the driver moves zero record bytes.
 #[derive(Debug)]
 pub struct RemoteShuffle {
     workers: RemoteWorkers,

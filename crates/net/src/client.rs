@@ -7,7 +7,7 @@
 
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{Request, Response};
-use crate::wire::{RepairFilter, RepairPushReport};
+use crate::wire::{RepairFilter, RepairPushReport, TaskReport, TaskSpec};
 use pangea_common::{IoStats, PageNum, PangeaError, Result};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
@@ -25,6 +25,8 @@ pub struct RemoteStats {
     pub disk_write_bytes: u64,
     /// Peer-repair payload bytes the remote daemon moved worker→worker.
     pub repair_bytes: u64,
+    /// Map-shuffle payload bytes the remote daemon moved worker→worker.
+    pub shuffle_bytes: u64,
 }
 
 /// A connected `pangead` client.
@@ -316,6 +318,74 @@ impl PangeaClient {
         }
     }
 
+    /// Runs one shipped map task on the remote worker (the task scans
+    /// its local input share and streams routed batches straight to the
+    /// destination workers). No record payload crosses *this*
+    /// connection — only the task outcome comes back.
+    pub fn run_task(&mut self, spec: &TaskSpec) -> Result<TaskReport> {
+        let req = Request::TaskRun { spec: spec.clone() };
+        match self.call(&req)? {
+            Response::TaskDone {
+                scanned,
+                emitted,
+                emitted_bytes,
+                appended,
+                appended_bytes,
+            } => Ok(TaskReport {
+                scanned,
+                emitted,
+                emitted_bytes,
+                appended,
+                appended_bytes,
+            }),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Opens (or resets) a shuffle-ingest session for `set` on the
+    /// remote node, truncating its local share of the set.
+    pub fn ingest_begin(&mut self, set: &str) -> Result<()> {
+        let req = Request::IngestBegin {
+            set: set.to_string(),
+        };
+        match self.call(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Delivers one batch of tagged records into an open ingest session;
+    /// returns `(appended, appended_bytes)` after tag dedup. Takes the
+    /// batch by value — the mapper hot path hands its buffer over
+    /// instead of copying every payload byte a second time (mirrors
+    /// [`PangeaClient::recover_append`]).
+    pub fn ingest_append(&mut self, set: &str, entries: Vec<(u64, Vec<u8>)>) -> Result<(u64, u64)> {
+        let payload_bytes: usize = entries.iter().map(|(_, r)| r.len()).sum();
+        let req = Request::IngestAppend {
+            set: set.to_string(),
+            entries,
+        };
+        match self.call(&req)? {
+            Response::IngestAck { appended, bytes } => {
+                self.stats.record_net(payload_bytes);
+                Ok((appended, bytes))
+            }
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Seals an ingest session; returns its `(appended, appended_bytes)`
+    /// totals. Idempotent on the daemon (sealed-totals tombstone).
+    pub fn ingest_end(&mut self, set: &str) -> Result<(u64, u64)> {
+        let req = Request::IngestEnd {
+            set: set.to_string(),
+        };
+        match self.call(&req)? {
+            Response::IngestAck { appended, bytes } => Ok((appended, bytes)),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
     /// Drops a remote locality set.
     pub fn drop_set(&mut self, set: &str) -> Result<()> {
         let req = Request::DropSet {
@@ -408,12 +478,14 @@ impl PangeaClient {
                 disk_read_bytes,
                 disk_write_bytes,
                 repair_bytes,
+                shuffle_bytes,
             } => Ok(RemoteStats {
                 net_bytes,
                 net_messages,
                 disk_read_bytes,
                 disk_write_bytes,
                 repair_bytes,
+                shuffle_bytes,
             }),
             other => Err(Self::unexpected(other)),
         }

@@ -19,8 +19,10 @@
 //!   operations: create set, append, page enumeration/fetch (recovery),
 //!   scan, shuffle send, raw delivery, stats.
 //! * [`wire`] — wire forms of control-plane state: declarative key
-//!   specs, partitioning schemes, catalog entries, and membership
-//!   records served by the `pangea-coord` manager daemon.
+//!   specs, partitioning schemes, map specs and task specs (the
+//!   distributed map-shuffle ships these *to* the data), catalog
+//!   entries, and membership records served by the `pangea-coord`
+//!   manager daemon.
 //! * [`FramedServer`] — a reusable accept loop (handshake enforcement,
 //!   graceful drain) shared by `pangead` and `pangea-mgr`.
 //! * [`Pangead`] / [`PangeadServer`] — the node daemon: a [`StorageNode`]
@@ -51,5 +53,6 @@ pub use server::{FramedServer, FramedService, Pangead, PangeadServer, DEFAULT_DR
 pub use tcp::TcpTransport;
 pub use transport::Transport;
 pub use wire::{
-    KeySpec, RepairFilter, RepairPushReport, SchemeSpec, WireCatalogEntry, WireWorker, WorkerState,
+    ingest_tag, EmitSpec, FilterSpec, KeySpec, MapSpec, RepairFilter, RepairPushReport, SchemeSpec,
+    TaskReport, TaskSpec, WireCatalogEntry, WireWorker, WorkerState,
 };

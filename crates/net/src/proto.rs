@@ -9,7 +9,7 @@
 //! format inherits the codec's self-framing and its truncation checks.
 //! One encoded message travels inside one [`crate::frame`] frame.
 
-use crate::wire::{RepairFilter, SchemeSpec, WireCatalogEntry, WireWorker};
+use crate::wire::{RepairFilter, SchemeSpec, TaskSpec, WireCatalogEntry, WireWorker};
 use pangea_common::{ByteReader, ByteWriter, PangeaError, Result};
 
 /// A client/cluster → pangead message.
@@ -161,6 +161,43 @@ pub enum Request {
         filter: RepairFilter,
     },
 
+    // ---- Distributed map-shuffle (task shipping + push shuffle) -----
+    /// Driver→worker: run one shipped map task — scan the local share of
+    /// the task's input, apply its declarative map, and stream routed
+    /// batches straight to each destination worker's ingest session.
+    /// The driver never touches the record payload.
+    TaskRun {
+        /// The task, wire form.
+        spec: TaskSpec,
+    },
+    /// Opens a shuffle-ingest session for `set` on a destination worker.
+    /// The local `set` share is truncated first — a begin is the
+    /// idempotent open of a *fresh* attempt, so partial output from a
+    /// failed prior attempt never leaks into the retry. Mirrors
+    /// [`Request::RecoverBegin`]'s session pattern, but the dedup ledger
+    /// tracks provenance tags ([`crate::wire::ingest_tag`]) instead of
+    /// record content: shuffle output may contain honest duplicates.
+    IngestBegin {
+        /// The ingest target set (must already exist on the node).
+        set: String,
+    },
+    /// Mapper→destination delivery of routed records, each carrying its
+    /// provenance tag: the session appends only tags its ledger has not
+    /// seen, making within-attempt RPC retries (lost acks) idempotent.
+    IngestAppend {
+        /// The ingest target set (must have an open session).
+        set: String,
+        /// `(tag, record)` pairs.
+        entries: Vec<(u64, Vec<u8>)>,
+    },
+    /// Seals the ingest session and returns its append totals.
+    /// Idempotent via a sealed-totals tombstone, like
+    /// [`Request::RecoverEnd`].
+    IngestEnd {
+        /// The ingest target set.
+        set: String,
+    },
+
     // ---- Manager (pangea-mgr) requests: membership ------------------
     /// Registers a worker with the manager. `slot` pins a node id — a
     /// replacement worker re-registers its predecessor's slot; `None`
@@ -292,6 +329,9 @@ pub enum Response {
         /// Peer-repair payload bytes this node moved (pushed to a peer
         /// or appended from one) during worker→worker recovery.
         repair_bytes: u64,
+        /// Map-shuffle payload bytes this node moved (shipped to a peer
+        /// or appended from one) during a distributed map-shuffle.
+        shuffle_bytes: u64,
     },
     /// The operation failed on the serving node.
     Err {
@@ -384,6 +424,29 @@ pub enum Response {
         /// Payload bytes appended.
         bytes: u64,
     },
+    /// Outcome of one [`Request::TaskRun`] (a worker's full
+    /// scan-map-route-stream pass over its local input share).
+    TaskDone {
+        /// Records scanned in the local input share.
+        scanned: u64,
+        /// Records that survived the map and were shipped.
+        emitted: u64,
+        /// Payload bytes shipped worker→worker.
+        emitted_bytes: u64,
+        /// Records the destinations appended after dedup.
+        appended: u64,
+        /// Payload bytes the destinations appended.
+        appended_bytes: u64,
+    },
+    /// Ingest-session acknowledgement: what one [`Request::IngestAppend`]
+    /// batch (or, for [`Request::IngestEnd`], the whole session)
+    /// actually appended after tag dedup.
+    IngestAck {
+        /// Records appended.
+        appended: u64,
+        /// Payload bytes appended.
+        bytes: u64,
+    },
     /// Outcome of one [`Request::RecoverPush`] (a survivor's full
     /// scan-filter-stream pass against the replacement).
     Pushed {
@@ -439,6 +502,10 @@ const REQ_RECOVER_BEGIN: u64 = 29;
 const REQ_RECOVER_APPEND: u64 = 30;
 const REQ_RECOVER_END: u64 = 31;
 const REQ_RECOVER_PUSH: u64 = 32;
+const REQ_TASK_RUN: u64 = 33;
+const REQ_INGEST_BEGIN: u64 = 34;
+const REQ_INGEST_APPEND: u64 = 35;
+const REQ_INGEST_END: u64 = 36;
 
 const RESP_OK: u64 = 1;
 const RESP_CREATED: u64 = 2;
@@ -463,6 +530,8 @@ const RESP_COUNT: u64 = 20;
 const RESP_HASHES: u64 = 21;
 const RESP_REPAIR_ACK: u64 = 22;
 const RESP_PUSHED: u64 = 23;
+const RESP_TASK_DONE: u64 = 24;
+const RESP_INGEST_ACK: u64 = 25;
 
 fn put_list(w: &mut ByteWriter, items: &[Vec<u8>]) {
     w.write_record(&(items.len() as u64));
@@ -609,6 +678,27 @@ impl Request {
                 w.write_record(target_addr);
                 filter.put(&mut w);
             }
+            Self::TaskRun { spec } => {
+                w.write_record(&REQ_TASK_RUN);
+                spec.put(&mut w);
+            }
+            Self::IngestBegin { set } => {
+                w.write_record(&REQ_INGEST_BEGIN);
+                w.write_record(set);
+            }
+            Self::IngestAppend { set, entries } => {
+                w.write_record(&REQ_INGEST_APPEND);
+                w.write_record(set);
+                w.write_record(&(entries.len() as u64));
+                for (tag, rec) in entries {
+                    w.write_record(tag);
+                    w.write_bytes(rec);
+                }
+            }
+            Self::IngestEnd { set } => {
+                w.write_record(&REQ_INGEST_END);
+                w.write_record(set);
+            }
             Self::MgrRegisterWorker { addr, slot } => {
                 w.write_record(&REQ_MGR_REGISTER_WORKER);
                 w.write_record(addr);
@@ -748,6 +838,25 @@ impl Request {
                 target_addr: r.read_record()?,
                 filter: RepairFilter::get(&mut r)?,
             },
+            REQ_TASK_RUN => Self::TaskRun {
+                spec: TaskSpec::get(&mut r)?,
+            },
+            REQ_INGEST_BEGIN => Self::IngestBegin {
+                set: r.read_record()?,
+            },
+            REQ_INGEST_APPEND => {
+                let set = r.read_record()?;
+                let n: u64 = r.read_record()?;
+                let mut entries = Vec::with_capacity(n.min(1 << 20) as usize);
+                for _ in 0..n {
+                    let tag: u64 = r.read_record()?;
+                    entries.push((tag, r.read_bytes()?.to_vec()));
+                }
+                Self::IngestAppend { set, entries }
+            }
+            REQ_INGEST_END => Self::IngestEnd {
+                set: r.read_record()?,
+            },
             REQ_MGR_REGISTER_WORKER => {
                 let addr = r.read_record()?;
                 let slot: u64 = r.read_record()?;
@@ -838,6 +947,7 @@ impl Response {
                 disk_read_bytes,
                 disk_write_bytes,
                 repair_bytes,
+                shuffle_bytes,
             } => {
                 w.write_record(&RESP_STATS);
                 w.write_record(net_bytes);
@@ -845,6 +955,7 @@ impl Response {
                 w.write_record(disk_read_bytes);
                 w.write_record(disk_write_bytes);
                 w.write_record(repair_bytes);
+                w.write_record(shuffle_bytes);
             }
             Self::Err { message } => {
                 w.write_record(&RESP_ERR);
@@ -948,6 +1059,25 @@ impl Response {
                 w.write_record(appended);
                 w.write_record(appended_bytes);
             }
+            Self::TaskDone {
+                scanned,
+                emitted,
+                emitted_bytes,
+                appended,
+                appended_bytes,
+            } => {
+                w.write_record(&RESP_TASK_DONE);
+                w.write_record(scanned);
+                w.write_record(emitted);
+                w.write_record(emitted_bytes);
+                w.write_record(appended);
+                w.write_record(appended_bytes);
+            }
+            Self::IngestAck { appended, bytes } => {
+                w.write_record(&RESP_INGEST_ACK);
+                w.write_record(appended);
+                w.write_record(bytes);
+            }
         }
         w.into_bytes()
     }
@@ -988,6 +1118,7 @@ impl Response {
                 disk_read_bytes: r.read_record()?,
                 disk_write_bytes: r.read_record()?,
                 repair_bytes: r.read_record()?,
+                shuffle_bytes: r.read_record()?,
             },
             RESP_ERR => Self::Err {
                 message: r.read_record()?,
@@ -1082,6 +1213,17 @@ impl Response {
                 pushed_bytes: r.read_record()?,
                 appended: r.read_record()?,
                 appended_bytes: r.read_record()?,
+            },
+            RESP_TASK_DONE => Self::TaskDone {
+                scanned: r.read_record()?,
+                emitted: r.read_record()?,
+                emitted_bytes: r.read_record()?,
+                appended: r.read_record()?,
+                appended_bytes: r.read_record()?,
+            },
+            RESP_INGEST_ACK => Self::IngestAck {
+                appended: r.read_record()?,
+                bytes: r.read_record()?,
             },
             other => return Err(bad_opcode("response", other)),
         })
@@ -1259,6 +1401,84 @@ mod tests {
             appended: 38,
             appended_bytes: 3800,
         });
+    }
+
+    #[test]
+    fn map_shuffle_messages_roundtrip() {
+        use crate::wire::{EmitSpec, FilterSpec, KeySpec, MapSpec, SchemeSpec};
+        let spec = crate::wire::TaskSpec {
+            input: "lines".into(),
+            output: "words".into(),
+            map: MapSpec {
+                filter: Some(FilterSpec::KeyEquals {
+                    key: KeySpec::Field {
+                        delim: b'|',
+                        index: 0,
+                    },
+                    value: b"7".to_vec(),
+                }),
+                emit: EmitSpec::Fields {
+                    delim: b'|',
+                    indices: vec![1, 2],
+                },
+            },
+            scheme: SchemeSpec::Hash {
+                key_name: "word".into(),
+                partitions: 8,
+                key: KeySpec::WholeRecord,
+            },
+            nodes: 4,
+            source: 1,
+            dests: vec![(0, "127.0.0.1:7781".into()), (2, "127.0.0.1:7783".into())],
+        };
+        roundtrip_req(Request::TaskRun { spec });
+        roundtrip_req(Request::IngestBegin {
+            set: "words".into(),
+        });
+        roundtrip_req(Request::IngestAppend {
+            set: "words".into(),
+            entries: vec![(7, b"the".to_vec()), (9, vec![]), (7, b"the".to_vec())],
+        });
+        roundtrip_req(Request::IngestEnd {
+            set: "words".into(),
+        });
+        roundtrip_resp(Response::TaskDone {
+            scanned: 100,
+            emitted: 60,
+            emitted_bytes: 600,
+            appended: 60,
+            appended_bytes: 600,
+        });
+        roundtrip_resp(Response::IngestAck {
+            appended: 12,
+            bytes: 340,
+        });
+    }
+
+    #[test]
+    fn truncated_task_run_is_an_error() {
+        use crate::wire::{KeySpec, MapSpec, SchemeSpec};
+        let enc = Request::TaskRun {
+            spec: crate::wire::TaskSpec {
+                input: "in".into(),
+                output: "out".into(),
+                map: MapSpec::extract(KeySpec::Field {
+                    delim: b'|',
+                    index: 1,
+                }),
+                scheme: SchemeSpec::RoundRobin { partitions: 3 },
+                nodes: 3,
+                source: 0,
+                dests: vec![(0, "127.0.0.1:1".into()), (1, "127.0.0.1:2".into())],
+            },
+        }
+        .encode();
+        for cut in 1..enc.len() {
+            assert!(
+                Request::decode(&enc[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
     }
 
     #[test]
@@ -1442,6 +1662,7 @@ mod tests {
             disk_read_bytes: 3,
             disk_write_bytes: 4,
             repair_bytes: 5,
+            shuffle_bytes: 6,
         });
         roundtrip_resp(Response::Err {
             message: "set 'x' missing".into(),

@@ -18,7 +18,7 @@
 use crate::client::PangeaClient;
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{error_response, Request, Response};
-use crate::wire::RepairFilter;
+use crate::wire::{ingest_tag, RepairFilter, TaskReport, TaskSpec};
 use pangea_common::{fx_hash64, FxHashMap, FxHashSet, IoStats, PangeaError, PartitionId, Result};
 use pangea_core::{ObjectIter, SetOptions, ShuffleConfig, ShuffleService, StorageNode};
 use parking_lot::Mutex;
@@ -277,10 +277,27 @@ struct RepairSession {
     bytes: u64,
 }
 
+/// One open shuffle-ingest session on a destination node: the
+/// provenance-tag dedup ledger plus running totals, keyed by target set
+/// in [`Pangead::ingests`]. Unlike a [`RepairSession`], the ledger
+/// tracks [`ingest_tag`]s — `(source, ordinal, bytes)` provenance — not
+/// record content: a shuffle output may contain honest duplicates, and
+/// only *re-pushed* records (task retries, lost-ack replays) dedup away.
+#[derive(Debug, Default)]
+struct IngestSession {
+    seen: FxHashSet<u64>,
+    appended: u64,
+    bytes: u64,
+}
+
 /// Per-push batching thresholds for the survivor's streaming loop
 /// (mirrors the engine's default `DispatchConfig`).
 const PUSH_BATCH_RECORDS: usize = 256;
 const PUSH_BATCH_BYTES: usize = 128 * 1024;
+
+/// Most distinct peer addresses the outbound pool caches idle
+/// connections for (see [`Pangead::checkin_peer`]).
+const PEER_POOL_CAP: usize = 64;
 
 /// The protocol brain of a Pangea node daemon: dispatches decoded
 /// requests against the wrapped [`StorageNode`].
@@ -300,6 +317,19 @@ pub struct Pangead {
     /// failing on a session that no longer exists. Cleared by the next
     /// `RecoverBegin` for the set. Two `u64`s per recovered set.
     ended: Mutex<FxHashMap<String, (u64, u64)>>,
+    /// Open shuffle-ingest sessions, by destination set. Same locking
+    /// shape as [`Pangead::repairs`]: per-session locks, the outer map
+    /// lock held only for lookups.
+    ingests: Mutex<FxHashMap<String, Arc<Mutex<IngestSession>>>>,
+    /// Sealed ingest totals, the `IngestEnd` idempotency tombstone
+    /// (mirrors [`Pangead::ended`]).
+    ingests_ended: Mutex<FxHashMap<String, (u64, u64)>>,
+    /// Pooled *idle* outbound connections to sibling daemons, keyed by
+    /// the advertised address they were opened against. A client is
+    /// checked out for the duration of one RPC — the pool lock is never
+    /// held across socket I/O — so repair pushes and shuffle pushes
+    /// reuse one dial per peer instead of reconnecting per push.
+    peers: Mutex<FxHashMap<String, PangeaClient>>,
     /// The deployment secret this daemon presents when it dials *other*
     /// daemons (repair peers). Independent of the inbound secret the
     /// surrounding [`FramedServer`] enforces, though deployments
@@ -317,6 +347,9 @@ impl Pangead {
             shuffles: Mutex::new(FxHashMap::default()),
             repairs: Mutex::new(FxHashMap::default()),
             ended: Mutex::new(FxHashMap::default()),
+            ingests: Mutex::new(FxHashMap::default()),
+            ingests_ended: Mutex::new(FxHashMap::default()),
+            peers: Mutex::new(FxHashMap::default()),
             peer_secret: None,
             stats: Arc::new(IoStats::new()),
         }
@@ -507,6 +540,7 @@ impl Pangead {
                     disk_read_bytes: disk.disk_read_bytes,
                     disk_write_bytes: disk.disk_write_bytes,
                     repair_bytes: net.repair_bytes,
+                    shuffle_bytes: net.shuffle_bytes,
                 })
             }
             Request::HashList {
@@ -555,8 +589,9 @@ impl Pangead {
                     }
                 }
                 for addr in &present_from {
-                    let mut peer = self.dial_peer(addr)?;
+                    let mut peer = self.checkout_peer(addr)?;
                     session.seen.extend(peer.hash_list(&set)?);
+                    self.checkin_peer(addr, peer);
                 }
                 // Replace any stale session (and any sealed-totals
                 // tombstone): `RecoverBegin` is the idempotent open of a
@@ -637,6 +672,51 @@ impl Pangead {
                 target_addr,
                 filter,
             } => self.recover_push(&source_set, &target_set, &target_addr, &filter),
+            Request::TaskRun { spec } => self.run_task(&spec),
+            Request::IngestBegin { set } => {
+                // Truncate the local share: a begin is the idempotent
+                // open of a *fresh* attempt, so partial output from a
+                // failed prior attempt never survives into the retry
+                // (provenance tags cannot be recovered from disk the way
+                // repair sessions reseed from record content).
+                let existing = self.get_set(&set)?;
+                let options = SetOptions {
+                    durability: existing.durability(),
+                    page_size: Some(existing.page_size()),
+                    estimated_pages: None,
+                };
+                self.node.drop_set(existing.id())?;
+                self.node.create_set(&set, options)?;
+                self.ingests_ended.lock().remove(&set);
+                self.ingests
+                    .lock()
+                    .insert(set, Arc::new(Mutex::new(IngestSession::default())));
+                Ok(Response::Ok)
+            }
+            Request::IngestAppend { set, entries } => {
+                let (appended, bytes) = self.ingest_append_session(&set, &entries, true)?;
+                Ok(Response::IngestAck { appended, bytes })
+            }
+            Request::IngestEnd { set } => {
+                let Some(session) = self.ingests.lock().remove(&set) else {
+                    // Retried seal (the first ack was lost): answer the
+                    // recorded totals again.
+                    if let Some(&(appended, bytes)) = self.ingests_ended.lock().get(&set) {
+                        return Ok(Response::IngestAck { appended, bytes });
+                    }
+                    return Err(PangeaError::usage(format!(
+                        "no ingest session for '{set}' to end"
+                    )));
+                };
+                let session = session.lock();
+                self.ingests_ended
+                    .lock()
+                    .insert(set, (session.appended, session.bytes));
+                Ok(Response::IngestAck {
+                    appended: session.appended,
+                    bytes: session.bytes,
+                })
+            }
             Request::MgrRegisterWorker { .. }
             | Request::MgrHeartbeat { .. }
             | Request::MgrDeregisterWorker { .. }
@@ -658,7 +738,237 @@ impl Pangead {
     /// Connects to a sibling `pangead` with this daemon's peer secret.
     fn dial_peer(&self, addr: &str) -> Result<PangeaClient> {
         PangeaClient::connect_with_secret(addr, self.peer_secret.as_deref())
-            .map_err(|e| PangeaError::Remote(format!("dialing repair peer {addr}: {e}")))
+            .map_err(|e| PangeaError::Remote(format!("dialing peer {addr}: {e}")))
+    }
+
+    /// Checks the pooled idle connection to `addr` out of the peer pool,
+    /// or dials afresh. A pooled connection may have gone stale while
+    /// idle (peer restarted at the same address), so it is validated
+    /// with a ping — one round trip, still far cheaper than the full
+    /// connect + handshake a fresh dial pays — and redialed on failure.
+    /// Callers return the connection with [`Pangead::checkin_peer`] on
+    /// success and simply drop it when an RPC on it failed (its stream
+    /// state is unknown).
+    fn checkout_peer(&self, addr: &str) -> Result<PangeaClient> {
+        // Take the client in its own scope: an `if let` over the guard
+        // would hold the pool lock across the validation ping's socket
+        // round trip, stalling every other pusher on this daemon behind
+        // one slow peer.
+        let pooled = self.peers.lock().remove(addr);
+        if let Some(mut client) = pooled {
+            if client.ping().is_ok() {
+                return Ok(client);
+            }
+        }
+        self.dial_peer(addr)
+    }
+
+    /// Returns an idle peer connection to the pool. Concurrent pushers
+    /// may race one in; last one in wins the single idle slot, the
+    /// loser just closes. The pool is bounded at [`PEER_POOL_CAP`]
+    /// distinct addresses, evicting an arbitrary idle entry when full:
+    /// entries for replaced or dead peers are never checked out again,
+    /// so an unbounded map would pin one dead socket per churned worker
+    /// address forever — and refusing inserts instead would stop
+    /// pooling new peers for the daemon's lifetime.
+    fn checkin_peer(&self, addr: &str, client: PangeaClient) {
+        let mut peers = self.peers.lock();
+        if peers.len() >= PEER_POOL_CAP && !peers.contains_key(addr) {
+            if let Some(victim) = peers.keys().next().cloned() {
+                peers.remove(&victim);
+            }
+        }
+        peers.insert(addr.to_string(), client);
+    }
+
+    /// The mapper half of the distributed map-shuffle: scan the local
+    /// share of the task's input, apply the declarative map, route each
+    /// output record by the task's scheme, and stream batches straight
+    /// to each destination worker's ingest session — one pooled
+    /// connection per destination for the task's lifetime. The
+    /// orchestrating driver only ever sees the outcome counters.
+    fn run_task(&self, spec: &TaskSpec) -> Result<Response> {
+        let input = self.get_set(&spec.input)?;
+        let nodes = spec.nodes.max(1);
+        let mut addr_of: FxHashMap<u32, &str> = FxHashMap::default();
+        for (node, addr) in &spec.dests {
+            addr_of.insert(*node, addr.as_str());
+        }
+        let mut conns: FxHashMap<String, PangeaClient> = FxHashMap::default();
+        let mut batches: FxHashMap<u32, (Vec<(u64, Vec<u8>)>, usize)> = FxHashMap::default();
+        let mut report = TaskReport::default();
+        // The input scan position: stable across retries (storage order
+        // is deterministic), so a re-run task re-derives the same
+        // provenance tags and every re-pushed record dedups away.
+        let mut ordinal = 0u64;
+        // Separate routing ordinal for round-robin output schemes: only
+        // *emitted* records advance it, mirroring the driver-side
+        // dispatcher.
+        let mut emitted_ordinal = 0u64;
+        let outcome = (|| -> Result<()> {
+            for num in input.page_numbers() {
+                let pin = input.pin_page(num)?;
+                let mut it = ObjectIter::new(&pin);
+                while let Some(rec) = it.next() {
+                    let ord = ordinal;
+                    ordinal += 1;
+                    report.scanned += 1;
+                    let Some(out) = spec.map.apply(rec) else {
+                        continue;
+                    };
+                    let dest = spec.scheme.node_of(&out, emitted_ordinal, nodes);
+                    emitted_ordinal += 1;
+                    let tag = ingest_tag(spec.source, ord, &out);
+                    report.emitted += 1;
+                    report.emitted_bytes += out.len() as u64;
+                    let (batch, batch_bytes) = batches.entry(dest).or_default();
+                    *batch_bytes += out.len();
+                    batch.push((tag, out));
+                    if batch.len() >= PUSH_BATCH_RECORDS || *batch_bytes >= PUSH_BATCH_BYTES {
+                        let entries = std::mem::take(batch);
+                        *batch_bytes = 0;
+                        let (a, b) = if dest == spec.source {
+                            // The self-destined share never touches a
+                            // socket: append straight into this
+                            // daemon's own ingest session (the sim's
+                            // free local delivery, remotely).
+                            self.ingest_append_session(&spec.output, &entries, false)?
+                        } else {
+                            let addr = *addr_of.get(&dest).ok_or_else(|| {
+                                PangeaError::usage(format!(
+                                    "task has no destination address for slot {dest}"
+                                ))
+                            })?;
+                            self.ingest_into(&mut conns, addr, &spec.output, entries)?
+                        };
+                        report.appended += a;
+                        report.appended_bytes += b;
+                    }
+                }
+            }
+            let dests: Vec<u32> = batches.keys().copied().collect();
+            for dest in dests {
+                let (entries, _) = batches.remove(&dest).expect("key just listed");
+                if entries.is_empty() {
+                    continue;
+                }
+                let (a, b) = if dest == spec.source {
+                    self.ingest_append_session(&spec.output, &entries, false)?
+                } else {
+                    let addr = *addr_of.get(&dest).ok_or_else(|| {
+                        PangeaError::usage(format!(
+                            "task has no destination address for slot {dest}"
+                        ))
+                    })?;
+                    self.ingest_into(&mut conns, addr, &spec.output, entries)?
+                };
+                report.appended += a;
+                report.appended_bytes += b;
+            }
+            Ok(())
+        })();
+        // Healthy connections go back to the pool even when the task
+        // failed on another destination; the failed connection was
+        // already dropped by `ingest_into`.
+        for (addr, client) in conns.drain() {
+            self.checkin_peer(&addr, client);
+        }
+        outcome?;
+        // Mapper-side attribution: this node shipped `emitted_bytes` of
+        // shuffle payload to its peers without touching the driver.
+        self.stats.record_shuffle(report.emitted_bytes as usize);
+        Ok(Response::TaskDone {
+            scanned: report.scanned,
+            emitted: report.emitted,
+            emitted_bytes: report.emitted_bytes,
+            appended: report.appended,
+            appended_bytes: report.appended_bytes,
+        })
+    }
+
+    /// The shared `IngestAppend` implementation: dedup-appends one
+    /// tagged batch into the open ingest session for `set`.
+    ///
+    /// `over_wire` decides whether the batch's payload is charged to
+    /// this daemon's inbound net counters — `false` for a mapper's
+    /// self-destined shortcut, which never touches a socket (mirroring
+    /// the simulation's free local delivery).
+    ///
+    /// The session lock serializes concurrent mapper pushes into one
+    /// destination set: tag check and append are atomic per record, and
+    /// the storage writer sees one writer's order. Unrelated sets
+    /// proceed in parallel. Any failure mid-batch (a record append or
+    /// the final seal) leaves "what was durably stored" unknowable
+    /// while some tags may already sit in the ledger — a retried append
+    /// would dedup those records away — so the session is poisoned:
+    /// retries of this attempt fail loudly, and the job-level retry's
+    /// `IngestBegin` truncates and starts clean.
+    fn ingest_append_session(
+        &self,
+        set: &str,
+        entries: &[(u64, Vec<u8>)],
+        over_wire: bool,
+    ) -> Result<(u64, u64)> {
+        let target = self.get_set(set)?;
+        let session = self.ingests.lock().get(set).cloned().ok_or_else(|| {
+            PangeaError::usage(format!("no ingest session for '{set}'; IngestBegin first"))
+        })?;
+        let mut session = session.lock();
+        let outcome = (|| -> Result<(u64, u64)> {
+            let mut writer = target.writer();
+            let (mut appended, mut bytes) = (0u64, 0u64);
+            for (tag, rec) in entries {
+                if over_wire {
+                    self.stats.record_net(rec.len());
+                }
+                if session.seen.contains(tag) {
+                    continue;
+                }
+                writer.add_object(rec)?;
+                session.seen.insert(*tag);
+                appended += 1;
+                bytes += rec.len() as u64;
+            }
+            writer.finish()?;
+            Ok((appended, bytes))
+        })();
+        match outcome {
+            Ok((appended, bytes)) => {
+                session.appended += appended;
+                session.bytes += bytes;
+                self.stats.record_shuffle(bytes as usize);
+                Ok((appended, bytes))
+            }
+            Err(e) => {
+                drop(session);
+                self.ingests.lock().remove(set);
+                Err(e)
+            }
+        }
+    }
+
+    /// Delivers one tagged batch into the ingest session for `output` on
+    /// the daemon at `addr`, opening (and caching in `conns`) the
+    /// destination connection on first use. A connection whose RPC
+    /// failed is dropped, never cached.
+    fn ingest_into(
+        &self,
+        conns: &mut FxHashMap<String, PangeaClient>,
+        addr: &str,
+        output: &str,
+        entries: Vec<(u64, Vec<u8>)>,
+    ) -> Result<(u64, u64)> {
+        if !conns.contains_key(addr) {
+            conns.insert(addr.to_string(), self.checkout_peer(addr)?);
+        }
+        let conn = conns.get_mut(addr).expect("just ensured");
+        match conn.ingest_append(output, entries) {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                conns.remove(addr);
+                Err(e)
+            }
+        }
     }
 
     /// The survivor half of peer repair: scan the local `source_set`,
@@ -674,7 +984,10 @@ impl Pangead {
     ) -> Result<Response> {
         let source = self.get_set(source_set)?;
         let keep = filter.compile()?;
-        let mut peer = self.dial_peer(target_addr)?;
+        // One pooled connection for the whole push: repeated pushes to
+        // the same replacement (per survivor × source × pass) no longer
+        // pay a fresh dial + handshake each (the ROADMAP hot-path item).
+        let mut peer = self.checkout_peer(target_addr)?;
         let (mut scanned, mut pushed, mut pushed_bytes) = (0u64, 0u64, 0u64);
         let (mut appended, mut appended_bytes) = (0u64, 0u64);
         let mut batch: Vec<Vec<u8>> = Vec::new();
@@ -707,6 +1020,7 @@ impl Pangead {
             }
         }
         flush(&mut batch, &mut batch_bytes)?;
+        self.checkin_peer(target_addr, peer);
         // Survivor-side attribution: this node moved `pushed_bytes` of
         // repair payload to a peer without touching the driver.
         self.stats.record_repair(pushed_bytes as usize);
@@ -1268,6 +1582,186 @@ mod tests {
             .unwrap();
         assert_eq!(seeded.pushed, rows.len() as u64, "All ships everything");
         assert_eq!(seeded.appended, 0, "present-on-peer records are skipped");
+    }
+
+    #[test]
+    fn ingest_session_dedups_tags_not_content() {
+        let d = Pangead::new(node("ingest-session"));
+        d.handle(Request::CreateSet {
+            name: "out".into(),
+            durability: "write-through".into(),
+            page_size: None,
+        });
+        // Appending without a session is a typed protocol error.
+        assert!(matches!(
+            d.handle(Request::IngestAppend {
+                set: "out".into(),
+                entries: vec![(1, b"x".to_vec())],
+            }),
+            Response::Err { .. }
+        ));
+        assert_eq!(
+            d.handle(Request::IngestBegin { set: "out".into() }),
+            Response::Ok
+        );
+        // Identical bytes under distinct tags are honest duplicates and
+        // both append; a replayed tag dedups away.
+        assert_eq!(
+            d.handle(Request::IngestAppend {
+                set: "out".into(),
+                entries: vec![
+                    (crate::wire::ingest_tag(0, 0, b"the"), b"the".to_vec()),
+                    (crate::wire::ingest_tag(0, 1, b"the"), b"the".to_vec()),
+                    (crate::wire::ingest_tag(0, 0, b"the"), b"the".to_vec()),
+                ],
+            }),
+            Response::IngestAck {
+                appended: 2,
+                bytes: 6,
+            }
+        );
+        // A lost-ack replay of the same batch appends nothing.
+        assert_eq!(
+            d.handle(Request::IngestAppend {
+                set: "out".into(),
+                entries: vec![(crate::wire::ingest_tag(0, 1, b"the"), b"the".to_vec())],
+            }),
+            Response::IngestAck {
+                appended: 0,
+                bytes: 0,
+            }
+        );
+        assert_eq!(
+            d.handle(Request::IngestEnd { set: "out".into() }),
+            Response::IngestAck {
+                appended: 2,
+                bytes: 6,
+            }
+        );
+        // Sealing is idempotent (lost-ack retry reads the tombstone)…
+        assert_eq!(
+            d.handle(Request::IngestEnd { set: "out".into() }),
+            Response::IngestAck {
+                appended: 2,
+                bytes: 6,
+            }
+        );
+        // …and a fresh begin truncates the partial output of the prior
+        // attempt, so a job retry starts from zero records.
+        assert_eq!(
+            d.handle(Request::IngestBegin { set: "out".into() }),
+            Response::Ok
+        );
+        match d.handle(Request::Scan { set: "out".into() }) {
+            Response::Records { records } => assert!(records.is_empty(), "{records:?}"),
+            other => panic!("{other:?}"),
+        }
+        assert!(d.stats().snapshot().shuffle_bytes > 0);
+    }
+
+    /// The tentpole flow at daemon scope over real sockets: a shipped
+    /// map task scans its local input share, applies the declarative
+    /// map, and streams routed batches straight into the destination
+    /// daemons' ingest sessions — and a re-run task is idempotent.
+    #[test]
+    fn run_task_maps_and_routes_to_destination_ingests() {
+        use crate::wire::{KeySpec, MapSpec, SchemeSpec, TaskSpec};
+        let secret = Some("task-secret".to_string());
+        let mapper =
+            PangeadServer::bind_with_secret(node("task-mapper"), "127.0.0.1:0", secret.clone())
+                .unwrap();
+        let dest0 =
+            PangeadServer::bind_with_secret(node("task-dest0"), "127.0.0.1:0", secret.clone())
+                .unwrap();
+        let dest1 =
+            PangeadServer::bind_with_secret(node("task-dest1"), "127.0.0.1:0", secret.clone())
+                .unwrap();
+        let mut mc =
+            PangeaClient::connect_with_secret(mapper.local_addr(), Some("task-secret")).unwrap();
+        let mut c0 =
+            PangeaClient::connect_with_secret(dest0.local_addr(), Some("task-secret")).unwrap();
+        let mut c1 =
+            PangeaClient::connect_with_secret(dest1.local_addr(), Some("task-secret")).unwrap();
+        mc.create_set("lines", "write-through", None).unwrap();
+        let rows: Vec<String> = (0..80)
+            .map(|i| format!("{}|w{}|junk", i % 2, i % 9))
+            .collect();
+        mc.append("lines", &rows).unwrap();
+        for c in [&mut c0, &mut c1] {
+            c.create_set("words", "write-through", None).unwrap();
+            c.ingest_begin("words").unwrap();
+        }
+
+        // Keep rows whose first field is "1", emit field 1, route by the
+        // whole emitted record over 4 partitions striping 2 nodes.
+        let spec = TaskSpec {
+            input: "lines".into(),
+            output: "words".into(),
+            map: MapSpec::extract(KeySpec::Field {
+                delim: b'|',
+                index: 1,
+            })
+            .with_filter(crate::wire::FilterSpec::KeyEquals {
+                key: KeySpec::Field {
+                    delim: b'|',
+                    index: 0,
+                },
+                value: b"1".to_vec(),
+            }),
+            scheme: SchemeSpec::Hash {
+                key_name: "word".into(),
+                partitions: 4,
+                key: KeySpec::WholeRecord,
+            },
+            // The mapper plays slot 2 — outside the 2-wide destination
+            // stripe — so nothing self-routes and every record crosses
+            // a real socket to dest0/dest1 (the self-destined shortcut
+            // would otherwise expect slot 0 to be this daemon's own
+            // ingest session, per the TaskSpec::source contract).
+            nodes: 2,
+            source: 2,
+            dests: vec![
+                (0, dest0.local_addr().to_string()),
+                (1, dest1.local_addr().to_string()),
+            ],
+        };
+        let report = mc.run_task(&spec).unwrap();
+        assert_eq!(report.scanned, rows.len() as u64);
+        assert_eq!(report.emitted, 40, "half the rows pass the filter");
+        assert_eq!(report.appended, report.emitted, "fresh sessions append all");
+        assert_eq!(report.emitted_bytes, report.appended_bytes);
+
+        // A re-run task (a retry) re-derives the same tags: nothing new.
+        let again = mc.run_task(&spec).unwrap();
+        assert_eq!(again.emitted, 40);
+        assert_eq!(again.appended, 0, "provenance tags dedup the retry");
+
+        // Every emitted record landed on the node its scheme names, and
+        // honest duplicates survived (multiple rows share each word).
+        let (e0, _) = c0.ingest_end("words").unwrap();
+        let (e1, _) = c1.ingest_end("words").unwrap();
+        assert_eq!(e0 + e1, 40);
+        let scheme = crate::wire::SchemeSpec::Hash {
+            key_name: "word".into(),
+            partitions: 4,
+            key: KeySpec::WholeRecord,
+        };
+        let mut seen = 0u64;
+        for (n, c) in [(0u32, &mut c0), (1u32, &mut c1)] {
+            for rec in c.scan("words").unwrap() {
+                assert_eq!(scheme.node_of(&rec, 0, 2), n, "{rec:?} misrouted");
+                assert!(rec.starts_with(b"w"), "{rec:?} not a projected word");
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 40);
+        // Both sides attribute the payload to their shuffle counters.
+        assert!(mapper.daemon().stats().snapshot().shuffle_bytes > 0);
+        assert!(
+            dest0.daemon().stats().snapshot().shuffle_bytes
+                + dest1.daemon().stats().snapshot().shuffle_bytes
+                > 0
+        );
     }
 
     #[test]

@@ -64,13 +64,19 @@ impl KeySpec {
 
     /// Extracts this spec's key from a record's bytes.
     pub fn key_of(&self, record: &[u8]) -> Vec<u8> {
+        self.key_slice(record).to_vec()
+    }
+
+    /// Borrowing variant of [`KeySpec::key_of`]: both variants name a
+    /// subslice of the record, so routing and filtering hot paths can
+    /// hash or compare the key without allocating.
+    pub fn key_slice<'a>(&self, record: &'a [u8]) -> &'a [u8] {
         match *self {
-            Self::WholeRecord => record.to_vec(),
+            Self::WholeRecord => record,
             Self::Field { delim, index } => record
                 .split(|&b| b == delim)
                 .nth(index as usize)
-                .unwrap_or_default()
-                .to_vec(),
+                .unwrap_or_default(),
         }
     }
 }
@@ -135,6 +141,32 @@ impl SchemeSpec {
                 )))
             }
         })
+    }
+
+    /// The scheme's partition count.
+    pub fn partitions(&self) -> u32 {
+        match self {
+            Self::Hash { partitions, .. } | Self::RoundRobin { partitions } => (*partitions).max(1),
+        }
+    }
+
+    /// The partition a record belongs to. Mirrors the in-process
+    /// `PartitionScheme::partition_of` exactly (`hash(key) % partitions`;
+    /// round-robin uses the caller-maintained `ordinal`), so a mapper's
+    /// remote routing decision matches the driver-side dispatcher's.
+    pub fn partition_of(&self, record: &[u8], ordinal: u64) -> u32 {
+        match self {
+            Self::Hash { key, .. } => {
+                (fx_hash64(key.key_slice(record)) % self.partitions() as u64) as u32
+            }
+            Self::RoundRobin { .. } => (ordinal % self.partitions() as u64) as u32,
+        }
+    }
+
+    /// The node a record lands on in an `nodes`-slot fleet (partitions
+    /// stripe over nodes, mirroring `PartitionScheme::node_of`).
+    pub fn node_of(&self, record: &[u8], ordinal: u64, nodes: u32) -> u32 {
+        self.partition_of(record, ordinal) % nodes.max(1)
     }
 }
 
@@ -222,7 +254,7 @@ impl RepairFilter {
                     let partitions = (*partitions).max(1) as u64;
                     let (failed, nodes) = (*failed, (*nodes).max(1));
                     Ok(Box::new(move |rec: &[u8]| {
-                        let p = (fx_hash64(&key.key_of(rec)) % partitions) as u32;
+                        let p = (fx_hash64(key.key_slice(rec)) % partitions) as u32;
                         p % nodes == failed
                     }))
                 }
@@ -256,6 +288,348 @@ impl RepairPushReport {
         self.appended += other.appended;
         self.appended_bytes += other.appended_bytes;
     }
+}
+
+/// A declarative, wire-safe record filter — the predicate half of a
+/// [`MapSpec`]. Filters evaluate over delimited record bytes, so every
+/// worker re-materializes the same predicate from the wire form (UDF
+/// closures never cross the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterSpec {
+    /// Keep records whose key (per `key`) equals `value` byte-for-byte.
+    KeyEquals {
+        /// How the compared key is extracted.
+        key: KeySpec,
+        /// The bytes the key must equal.
+        value: Vec<u8>,
+    },
+    /// Keep records whose key (per `key`) is *not* empty — e.g. drop
+    /// rows missing the projected field.
+    KeyPresent {
+        /// How the checked key is extracted.
+        key: KeySpec,
+    },
+}
+
+const FILTER_KEY_EQUALS: u64 = 1;
+const FILTER_KEY_PRESENT: u64 = 2;
+
+impl FilterSpec {
+    pub(crate) fn put(&self, w: &mut ByteWriter) {
+        match self {
+            Self::KeyEquals { key, value } => {
+                w.write_record(&FILTER_KEY_EQUALS);
+                key.put(w);
+                w.write_bytes(value);
+            }
+            Self::KeyPresent { key } => {
+                w.write_record(&FILTER_KEY_PRESENT);
+                key.put(w);
+            }
+        }
+    }
+
+    pub(crate) fn get(r: &mut ByteReader<'_>) -> Result<Self> {
+        let tag: u64 = r.read_record()?;
+        Ok(match tag {
+            FILTER_KEY_EQUALS => Self::KeyEquals {
+                key: KeySpec::get(r)?,
+                value: r.read_bytes()?.to_vec(),
+            },
+            FILTER_KEY_PRESENT => Self::KeyPresent {
+                key: KeySpec::get(r)?,
+            },
+            other => {
+                return Err(PangeaError::Corruption(format!(
+                    "unknown filter-spec tag {other}"
+                )))
+            }
+        })
+    }
+
+    /// True when `record` passes the filter (allocation-free).
+    pub fn keeps(&self, record: &[u8]) -> bool {
+        match self {
+            Self::KeyEquals { key, value } => key.key_slice(record) == &value[..],
+            Self::KeyPresent { key } => !key.key_slice(record).is_empty(),
+        }
+    }
+}
+
+/// What a [`MapSpec`] emits for each surviving record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmitSpec {
+    /// The record unchanged.
+    Record,
+    /// The record's key per the spec (key-extract).
+    Key(KeySpec),
+    /// Selected delimited fields, re-joined with `delim` (projection).
+    /// Missing fields project as empty.
+    Fields {
+        /// The single-byte field delimiter.
+        delim: u8,
+        /// 0-based field indices, emitted in the given order.
+        indices: Vec<u32>,
+    },
+}
+
+const EMIT_RECORD: u64 = 1;
+const EMIT_KEY: u64 = 2;
+const EMIT_FIELDS: u64 = 3;
+
+impl EmitSpec {
+    pub(crate) fn put(&self, w: &mut ByteWriter) {
+        match self {
+            Self::Record => w.write_record(&EMIT_RECORD),
+            Self::Key(key) => {
+                w.write_record(&EMIT_KEY);
+                key.put(w);
+            }
+            Self::Fields { delim, indices } => {
+                w.write_record(&EMIT_FIELDS);
+                w.write_record(&(*delim as u64));
+                w.write_record(&(indices.len() as u64));
+                for i in indices {
+                    w.write_record(&(*i as u64));
+                }
+            }
+        }
+    }
+
+    pub(crate) fn get(r: &mut ByteReader<'_>) -> Result<Self> {
+        let tag: u64 = r.read_record()?;
+        Ok(match tag {
+            EMIT_RECORD => Self::Record,
+            EMIT_KEY => Self::Key(KeySpec::get(r)?),
+            EMIT_FIELDS => {
+                let delim = r.read_record::<u64>()? as u8;
+                let n: u64 = r.read_record()?;
+                let mut indices = Vec::with_capacity(n.min(1 << 16) as usize);
+                for _ in 0..n {
+                    indices.push(r.read_record::<u64>()? as u32);
+                }
+                Self::Fields { delim, indices }
+            }
+            other => {
+                return Err(PangeaError::Corruption(format!(
+                    "unknown emit-spec tag {other}"
+                )))
+            }
+        })
+    }
+
+    /// The bytes this spec emits for `record`.
+    pub fn emit(&self, record: &[u8]) -> Vec<u8> {
+        match self {
+            Self::Record => record.to_vec(),
+            Self::Key(key) => key.key_of(record),
+            Self::Fields { delim, indices } => {
+                let fields: Vec<&[u8]> = record.split(|&b| b == *delim).collect();
+                let mut out = Vec::new();
+                for (i, idx) in indices.iter().enumerate() {
+                    if i > 0 {
+                        out.push(*delim);
+                    }
+                    if let Some(f) = fields.get(*idx as usize) {
+                        out.extend_from_slice(f);
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A declarative, wire-codable record map: an optional [`FilterSpec`]
+/// followed by an [`EmitSpec`] — projection, filter, and key-extraction
+/// over delimited fields, in the spirit of [`KeySpec`]/[`SchemeSpec`].
+/// Arbitrary UDF closures stay in-process (`SimCluster`); a `MapSpec`
+/// is what the driver can ship *to* the data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapSpec {
+    /// Records failing the filter are dropped before emission.
+    pub filter: Option<FilterSpec>,
+    /// What each surviving record maps to.
+    pub emit: EmitSpec,
+}
+
+impl MapSpec {
+    /// The identity map: every record emitted unchanged.
+    pub fn identity() -> Self {
+        Self {
+            filter: None,
+            emit: EmitSpec::Record,
+        }
+    }
+
+    /// Emit each record's key per `key` (key-extraction).
+    pub fn extract(key: KeySpec) -> Self {
+        Self {
+            filter: None,
+            emit: EmitSpec::Key(key),
+        }
+    }
+
+    /// Project delimited fields, re-joined with `delim`.
+    pub fn project(delim: u8, indices: Vec<u32>) -> Self {
+        Self {
+            filter: None,
+            emit: EmitSpec::Fields { delim, indices },
+        }
+    }
+
+    /// Adds a filter in front of the emission.
+    pub fn with_filter(mut self, filter: FilterSpec) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// Applies the map to one record: `None` means the record was
+    /// filtered out.
+    pub fn apply(&self, record: &[u8]) -> Option<Vec<u8>> {
+        if let Some(f) = &self.filter {
+            if !f.keeps(record) {
+                return None;
+            }
+        }
+        Some(self.emit.emit(record))
+    }
+
+    pub(crate) fn put(&self, w: &mut ByteWriter) {
+        w.write_record(&(self.filter.is_some() as u64));
+        if let Some(f) = &self.filter {
+            f.put(w);
+        }
+        self.emit.put(w);
+    }
+
+    pub(crate) fn get(r: &mut ByteReader<'_>) -> Result<Self> {
+        let has_filter: u64 = r.read_record()?;
+        let filter = if has_filter != 0 {
+            Some(FilterSpec::get(r)?)
+        } else {
+            None
+        };
+        Ok(Self {
+            filter,
+            emit: EmitSpec::get(r)?,
+        })
+    }
+}
+
+/// One map task as shipped to a worker (`Request::TaskRun`): scan the
+/// local share of `input`, apply `map`, route each output record by
+/// `scheme` striping over `nodes`, and stream batches straight to the
+/// destination worker's ingest session for `output`. The driver only
+/// plans and collects the [`TaskReport`] — no record payload ever
+/// touches its connections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// The worker-local input set to scan.
+    pub input: String,
+    /// The destination set (ingest sessions must be open on every
+    /// destination before the task runs).
+    pub output: String,
+    /// The per-record transform.
+    pub map: MapSpec,
+    /// Output partitioning (declarative — it crossed the wire).
+    pub scheme: SchemeSpec,
+    /// Fleet width the output partitions stripe over.
+    pub nodes: u32,
+    /// The executing worker's slot, for provenance tags
+    /// ([`ingest_tag`]) — stable across task retries. Contract: this
+    /// names the daemon the task runs on, so records routing to the
+    /// `source` slot are appended into the daemon's *own* ingest
+    /// session directly (no loopback RPC).
+    pub source: u32,
+    /// Destination daemons: `(slot, advertised addr)` for every alive
+    /// worker.
+    pub dests: Vec<(u32, String)>,
+}
+
+impl TaskSpec {
+    pub(crate) fn put(&self, w: &mut ByteWriter) {
+        w.write_record(&self.input);
+        w.write_record(&self.output);
+        self.map.put(w);
+        self.scheme.put(w);
+        w.write_record(&(self.nodes as u64));
+        w.write_record(&(self.source as u64));
+        w.write_record(&(self.dests.len() as u64));
+        for (node, addr) in &self.dests {
+            w.write_record(&(*node as u64));
+            w.write_record(addr);
+        }
+    }
+
+    pub(crate) fn get(r: &mut ByteReader<'_>) -> Result<Self> {
+        let input = r.read_record()?;
+        let output = r.read_record()?;
+        let map = MapSpec::get(r)?;
+        let scheme = SchemeSpec::get(r)?;
+        let nodes = r.read_record::<u64>()? as u32;
+        let source = r.read_record::<u64>()? as u32;
+        let n: u64 = r.read_record()?;
+        let mut dests = Vec::with_capacity(n.min(1 << 20) as usize);
+        for _ in 0..n {
+            dests.push((r.read_record::<u64>()? as u32, r.read_record()?));
+        }
+        Ok(Self {
+            input,
+            output,
+            map,
+            scheme,
+            nodes,
+            source,
+            dests,
+        })
+    }
+}
+
+/// Outcome of one shipped map task, as acknowledged over the wire
+/// (`Response::TaskDone`) and aggregated by the map-shuffle engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskReport {
+    /// Records the worker scanned in its local input share.
+    pub scanned: u64,
+    /// Records that survived the map and were shipped.
+    pub emitted: u64,
+    /// Payload bytes shipped worker→worker.
+    pub emitted_bytes: u64,
+    /// Records the destinations actually appended (post-dedup).
+    pub appended: u64,
+    /// Payload bytes the destinations actually appended.
+    pub appended_bytes: u64,
+}
+
+impl TaskReport {
+    /// Component-wise sum with another report.
+    pub fn merge(&mut self, other: &TaskReport) {
+        self.scanned += other.scanned;
+        self.emitted += other.emitted;
+        self.emitted_bytes += other.emitted_bytes;
+        self.appended += other.appended;
+        self.appended_bytes += other.appended_bytes;
+    }
+}
+
+/// The provenance tag an ingest session dedups on: a hash of the
+/// mapper's slot, the input record's scan ordinal, and the emitted
+/// bytes. A retried task re-scans the same local share in the same
+/// storage order, so its tags are identical and every re-pushed record
+/// dedups away — while two *legitimately identical* output records
+/// (different source or ordinal) keep distinct tags and are both
+/// appended. (Contrast repair sessions, which dedup on record content:
+/// a restored set holds each lost record once, but a shuffle output may
+/// contain honest duplicates.)
+pub fn ingest_tag(source: u32, ordinal: u64, record: &[u8]) -> u64 {
+    // Stack buffer of (source, ordinal, hash(record)) — no per-record
+    // heap allocation or payload copy on the mapper hot path.
+    let mut buf = [0u8; 20];
+    buf[..4].copy_from_slice(&source.to_le_bytes());
+    buf[4..12].copy_from_slice(&ordinal.to_le_bytes());
+    buf[12..].copy_from_slice(&fx_hash64(record).to_le_bytes());
+    fx_hash64(&buf)
 }
 
 /// One catalog entry as served by `pangea-mgr`.
@@ -495,6 +869,131 @@ mod tests {
             kept += keep(rec.as_bytes()) as u32;
         }
         assert!(kept > 0, "some records must place on the failed slot");
+    }
+
+    fn roundtrip_map(m: MapSpec) {
+        let mut w = ByteWriter::new();
+        m.put(&mut w);
+        let mut r = ByteReader::new(w.as_bytes());
+        assert_eq!(MapSpec::get(&mut r).unwrap(), m);
+    }
+
+    #[test]
+    fn map_specs_roundtrip_and_apply() {
+        roundtrip_map(MapSpec::identity());
+        roundtrip_map(MapSpec::extract(KeySpec::Field {
+            delim: b'|',
+            index: 2,
+        }));
+        roundtrip_map(
+            MapSpec::project(b'|', vec![1, 0, 3]).with_filter(FilterSpec::KeyEquals {
+                key: KeySpec::Field {
+                    delim: b'|',
+                    index: 0,
+                },
+                value: b"7".to_vec(),
+            }),
+        );
+        roundtrip_map(MapSpec::identity().with_filter(FilterSpec::KeyPresent {
+            key: KeySpec::Field {
+                delim: b'|',
+                index: 1,
+            },
+        }));
+
+        assert_eq!(MapSpec::identity().apply(b"a|b"), Some(b"a|b".to_vec()));
+        let extract = MapSpec::extract(KeySpec::Field {
+            delim: b'|',
+            index: 1,
+        });
+        assert_eq!(extract.apply(b"a|bb|c"), Some(b"bb".to_vec()));
+        let project = MapSpec::project(b'|', vec![2, 0]);
+        assert_eq!(project.apply(b"a|bb|ccc"), Some(b"ccc|a".to_vec()));
+        assert_eq!(project.apply(b"a"), Some(b"|a".to_vec()), "missing = empty");
+        let filtered = MapSpec::identity().with_filter(FilterSpec::KeyEquals {
+            key: KeySpec::Field {
+                delim: b'|',
+                index: 0,
+            },
+            value: b"keep".to_vec(),
+        });
+        assert_eq!(filtered.apply(b"keep|x"), Some(b"keep|x".to_vec()));
+        assert_eq!(filtered.apply(b"drop|x"), None);
+        let present = MapSpec::identity().with_filter(FilterSpec::KeyPresent {
+            key: KeySpec::Field {
+                delim: b'|',
+                index: 1,
+            },
+        });
+        assert_eq!(present.apply(b"a|b"), Some(b"a|b".to_vec()));
+        assert_eq!(present.apply(b"a"), None);
+    }
+
+    #[test]
+    fn task_specs_roundtrip() {
+        let spec = TaskSpec {
+            input: "lines".into(),
+            output: "words".into(),
+            map: MapSpec::extract(KeySpec::Field {
+                delim: b'|',
+                index: 1,
+            }),
+            scheme: SchemeSpec::Hash {
+                key_name: "word".into(),
+                partitions: 8,
+                key: KeySpec::WholeRecord,
+            },
+            nodes: 4,
+            source: 2,
+            dests: vec![
+                (0, "127.0.0.1:7781".into()),
+                (1, "127.0.0.1:7782".into()),
+                (3, "127.0.0.1:7784".into()),
+            ],
+        };
+        let mut w = ByteWriter::new();
+        spec.put(&mut w);
+        let mut r = ByteReader::new(w.as_bytes());
+        assert_eq!(TaskSpec::get(&mut r).unwrap(), spec);
+        // Unknown filter/emit tags decode to corruption, like every spec.
+        let mut w = ByteWriter::new();
+        w.write_record(&99u64);
+        let bytes = w.as_bytes().to_vec();
+        assert!(FilterSpec::get(&mut ByteReader::new(&bytes)).is_err());
+        assert!(EmitSpec::get(&mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn scheme_spec_routing_matches_placement_rule() {
+        let scheme = SchemeSpec::Hash {
+            key_name: "k".into(),
+            partitions: 6,
+            key: KeySpec::Field {
+                delim: b'|',
+                index: 0,
+            },
+        };
+        for i in 0..100u32 {
+            let rec = format!("{i}|payload");
+            let p = (fx_hash64(rec.split('|').next().unwrap().as_bytes()) % 6) as u32;
+            assert_eq!(scheme.partition_of(rec.as_bytes(), i as u64), p);
+            assert_eq!(scheme.node_of(rec.as_bytes(), 0, 4), p % 4);
+        }
+        let rr = SchemeSpec::RoundRobin { partitions: 3 };
+        assert_eq!(rr.partition_of(b"x", 0), 0);
+        assert_eq!(rr.partition_of(b"x", 4), 1);
+        assert_eq!(rr.node_of(b"x", 5, 2), 0);
+    }
+
+    #[test]
+    fn ingest_tags_separate_provenance_not_content() {
+        // Identical bytes from different sources/ordinals keep distinct
+        // tags (honest duplicates survive); identical provenance dedups.
+        let a = ingest_tag(0, 7, b"the");
+        assert_eq!(a, ingest_tag(0, 7, b"the"), "retries produce equal tags");
+        assert_ne!(a, ingest_tag(1, 7, b"the"));
+        assert_ne!(a, ingest_tag(0, 8, b"the"));
+        assert_ne!(a, ingest_tag(0, 7, b"fox"));
     }
 
     #[test]

@@ -5,7 +5,8 @@
 use pangea_common::PangeaError;
 use pangea_net::frame::{read_frame, write_frame, FRAME_OVERHEAD, MAX_FRAME};
 use pangea_net::{
-    KeySpec, RepairFilter, Request, Response, SchemeSpec, WireCatalogEntry, WireWorker, WorkerState,
+    EmitSpec, FilterSpec, KeySpec, MapSpec, RepairFilter, Request, Response, SchemeSpec, TaskSpec,
+    WireCatalogEntry, WireWorker, WorkerState,
 };
 use proptest::prelude::*;
 use std::io::Cursor;
@@ -33,6 +34,36 @@ fn scheme_spec(name: &[u8], partitions: u32, hash: bool, key: KeySpec) -> Scheme
     } else {
         SchemeSpec::RoundRobin { partitions }
     }
+}
+
+fn map_spec(
+    filtered: bool,
+    filter_key: KeySpec,
+    value: &[u8],
+    emit_tag: u8,
+    emit_key: KeySpec,
+    delim: u8,
+    indices: &[u32],
+) -> MapSpec {
+    let emit = match emit_tag % 3 {
+        0 => EmitSpec::Record,
+        1 => EmitSpec::Key(emit_key),
+        _ => EmitSpec::Fields {
+            delim,
+            indices: indices.to_vec(),
+        },
+    };
+    let filter = filtered.then(|| {
+        if value.is_empty() {
+            FilterSpec::KeyPresent { key: filter_key }
+        } else {
+            FilterSpec::KeyEquals {
+                key: filter_key,
+                value: value.to_vec(),
+            }
+        }
+    });
+    MapSpec { filter, emit }
 }
 
 fn state_of(tag: u8) -> WorkerState {
@@ -79,6 +110,16 @@ fn oversized_page_and_repair_replies_are_rejected_at_the_frame() {
     match write_frame(&mut buf, &batch.encode()) {
         Err(PangeaError::InvalidUsage(_)) => {}
         other => panic!("oversized repair batch must be refused, got {other:?}"),
+    }
+
+    // Same contract for a map-shuffle ingest batch.
+    let ingest = Request::IngestAppend {
+        set: "words".into(),
+        entries: vec![(7, vec![0u8; MAX_FRAME / 2]); 3],
+    };
+    match write_frame(&mut buf, &ingest.encode()) {
+        Err(PangeaError::InvalidUsage(_)) => {}
+        other => panic!("oversized ingest batch must be refused, got {other:?}"),
     }
 }
 
@@ -265,6 +306,95 @@ proptest! {
             appended: counters[3],
             appended_bytes: counters[4],
         });
+    }
+
+    /// Map-shuffle wire types — map specs over every filter/emit shape,
+    /// full task specs with arbitrary destination tables, tagged ingest
+    /// batches, and task/ingest acks — survive the trip through
+    /// encode → frame → unframe → decode.
+    #[test]
+    fn map_shuffle_messages_roundtrip_through_frames(
+        name in prop::collection::vec(any::<u8>(), 1..24),
+        partitions in any::<u32>(),
+        hash in any::<bool>(),
+        whole in any::<bool>(),
+        delim in any::<u8>(),
+        index in any::<u32>(),
+        filtered in any::<bool>(),
+        value in prop::collection::vec(any::<u8>(), 0..24),
+        emit_tag in any::<u8>(),
+        indices in prop::collection::vec(any::<u32>(), 0..8),
+        nodes in any::<u32>(),
+        source in any::<u32>(),
+        dests in prop::collection::vec(
+            (any::<u32>(), prop::collection::vec(any::<u8>(), 0..24)),
+            0..8,
+        ),
+        entries in prop::collection::vec(
+            (any::<u64>(), prop::collection::vec(any::<u8>(), 0..96)),
+            0..24,
+        ),
+        counters in prop::collection::vec(any::<u64>(), 5..=5),
+    ) {
+        let key = key_spec(delim, index, whole);
+        let spec = TaskSpec {
+            input: ident(&name),
+            output: ident(&name),
+            map: map_spec(filtered, key, &value, emit_tag, key, delim, &indices),
+            scheme: scheme_spec(&name, partitions, hash, key),
+            nodes,
+            source,
+            dests: dests.iter().map(|(n, a)| (*n, ident(a))).collect(),
+        };
+        roundtrip_req(Request::TaskRun { spec });
+        roundtrip_req(Request::IngestBegin { set: ident(&name) });
+        roundtrip_req(Request::IngestAppend {
+            set: ident(&name),
+            entries,
+        });
+        roundtrip_req(Request::IngestEnd { set: ident(&name) });
+        roundtrip_resp(Response::TaskDone {
+            scanned: counters[0],
+            emitted: counters[1],
+            emitted_bytes: counters[2],
+            appended: counters[3],
+            appended_bytes: counters[4],
+        });
+        roundtrip_resp(Response::IngestAck {
+            appended: counters[0],
+            bytes: counters[1],
+        });
+    }
+
+    /// Truncating an encoded task-run request anywhere inside produces
+    /// a decode error, never a short or garbled task.
+    #[test]
+    fn truncated_task_run_is_an_error(
+        name in prop::collection::vec(any::<u8>(), 1..16),
+        partitions in any::<u32>(),
+        delim in any::<u8>(),
+        index in any::<u32>(),
+        nodes in any::<u32>(),
+        source in any::<u32>(),
+        cut_fraction in 0usize..100,
+    ) {
+        let key = key_spec(delim, index, false);
+        let enc = Request::TaskRun {
+            spec: TaskSpec {
+                input: ident(&name),
+                output: ident(&name),
+                map: MapSpec::extract(key),
+                scheme: scheme_spec(&name, partitions, true, key),
+                nodes,
+                source,
+                dests: vec![(0, "127.0.0.1:7781".into()), (1, "127.0.0.1:7782".into())],
+            },
+        }
+        .encode();
+        let cut = 1 + cut_fraction * (enc.len() - 1) / 100;
+        if cut < enc.len() {
+            prop_assert!(Request::decode(&enc[..cut]).is_err(), "cut at {cut} decoded");
+        }
     }
 
     /// Truncating an encoded recovery message anywhere inside produces a
