@@ -1,0 +1,175 @@
+//! `BENCH_shuffle.json` — the map-shuffle benchmark trajectory: one
+//! real loopback deployment (mgr + 3 `pangead`s), one fixed synthetic
+//! corpus, two jobs over it:
+//!
+//! * **map-only** — tokenize flat-map, every token shipped raw to its
+//!   hash destination;
+//! * **map-combine-reduce** — the same tokenization, counted per word
+//!   with source-side combine, so only per-key partials cross the wire.
+//!
+//! Reported per job: wall-clock seconds, input records/s, and
+//! worker→worker shuffle payload bytes (from the task reports — the
+//! driver provably moves zero). The combine ratio at the bottom is the
+//! headline: how much of the shuffle the source-side fold deleted.
+//!
+//! Usage: `cargo run --release -p pangea-bench --bin bench_shuffle --
+//! [--smoke] [--out PATH]`. `--smoke` shrinks the corpus for CI's
+//! timeout discipline; the default output path is `BENCH_shuffle.json`
+//! in the working directory.
+
+use pangea_cluster::PartitionScheme;
+use pangea_common::{NodeId, Result, KB, MB};
+use pangea_coord::{MgrServer, RemoteCluster, WorkerAgent};
+use pangea_core::{NodeConfig, StorageNode};
+use pangea_net::{KeySpec, MapSpec, PangeadServer, ReduceSpec};
+use std::time::Duration;
+
+const SECRET: &str = "bench-shuffle-secret";
+
+struct JobRow {
+    name: &'static str,
+    seconds: f64,
+    records_in: u64,
+    records_out: u64,
+    shuffle_bytes: u64,
+}
+
+fn main() -> Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_shuffle.json".to_string());
+    let lines = if smoke { 2_000 } else { 20_000 };
+
+    let root = std::env::temp_dir().join(format!("pangea-bench-shuffle-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let mgr = MgrServer::bind_with(
+        "127.0.0.1:0",
+        Duration::from_millis(500),
+        Some(SECRET.into()),
+    )?;
+    let mgr_addr = mgr.local_addr().to_string();
+    let mut fleet = Vec::new();
+    for i in 0..3u32 {
+        let node = StorageNode::new(
+            NodeConfig::new(root.join(format!("node{i}")))
+                .with_pool_capacity(8 * MB)
+                .with_page_size(64 * KB),
+        )?;
+        let server = PangeadServer::bind_with_secret(node, "127.0.0.1:0", Some(SECRET.into()))?;
+        let agent = WorkerAgent::register(
+            &mgr_addr,
+            Some(SECRET),
+            &server.local_addr().to_string(),
+            Some(NodeId(i)),
+            Duration::from_millis(100),
+        )?;
+        fleet.push((server, agent));
+    }
+    let cluster = RemoteCluster::connect(&mgr_addr, Some(SECRET))?;
+
+    // Fixed corpus: 8-word lines over a zipf-ish vocabulary (heavy
+    // repetition, so combining has real work to do) — deterministic,
+    // so runs are comparable across machines and commits.
+    let docs = cluster.create_dist_set("docs", PartitionScheme::round_robin(6))?;
+    let mut d = docs.loader()?;
+    for i in 0..lines {
+        let line = format!(
+            "w{} w{} w{} w{} w{} w{} w{} w{}",
+            i % 7,
+            i % 13,
+            i % 7,
+            i % 101,
+            i % 3,
+            i % 13,
+            i % 7,
+            i % 997,
+        );
+        d.dispatch(line.as_bytes())?;
+    }
+    d.finish()?;
+
+    let map = MapSpec::tokenize(b' ');
+    let shuffle_bytes = |r: &pangea_cluster::MapShuffleReport| -> u64 {
+        r.tasks.iter().map(|(_, t)| t.emitted_bytes).sum()
+    };
+
+    let t0 = std::time::Instant::now();
+    let plain = cluster.map_shuffle(
+        "docs",
+        "tokens",
+        &map,
+        PartitionScheme::hash_whole("word", 6),
+    )?;
+    let plain_row = JobRow {
+        name: "map_only",
+        seconds: t0.elapsed().as_secs_f64(),
+        records_in: plain.scanned,
+        records_out: plain.records_out,
+        shuffle_bytes: shuffle_bytes(&plain),
+    };
+
+    let reduce = ReduceSpec::count(KeySpec::WholeRecord, b'|');
+    let t1 = std::time::Instant::now();
+    let reduced = cluster.map_reduce(
+        "docs",
+        "counts",
+        &map,
+        &reduce,
+        PartitionScheme::hash_field("word", 6, b'|', 0),
+    )?;
+    let reduced_row = JobRow {
+        name: "map_combine_reduce",
+        seconds: t1.elapsed().as_secs_f64(),
+        records_in: reduced.scanned,
+        records_out: reduced.records_out,
+        shuffle_bytes: shuffle_bytes(&reduced),
+    };
+
+    let ratio = if plain_row.shuffle_bytes > 0 {
+        reduced_row.shuffle_bytes as f64 / plain_row.shuffle_bytes as f64
+    } else {
+        1.0
+    };
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"shuffle\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"input_lines\": {lines},\n  \"workers\": 3,\n"));
+    for row in [&plain_row, &reduced_row] {
+        json.push_str(&format!(
+            "  \"{}\": {{ \"seconds\": {:.6}, \"records_in\": {}, \
+             \"records_per_sec\": {:.1}, \"records_out\": {}, \
+             \"shuffle_bytes\": {} }},\n",
+            row.name,
+            row.seconds,
+            row.records_in,
+            row.records_in as f64 / row.seconds.max(1e-9),
+            row.records_out,
+            row.shuffle_bytes,
+        ));
+    }
+    json.push_str(&format!("  \"combine_shuffle_ratio\": {ratio:.4}\n}}\n"));
+    std::fs::write(&out_path, &json)?;
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+
+    // The smoke run doubles as a regression gate: combining must
+    // actually shrink the shuffle on this corpus.
+    assert!(
+        reduced_row.shuffle_bytes < plain_row.shuffle_bytes,
+        "combine did not shrink the shuffle: {} vs {}",
+        reduced_row.shuffle_bytes,
+        plain_row.shuffle_bytes
+    );
+
+    for (_, agent) in fleet.iter_mut() {
+        agent.shutdown()?;
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(())
+}

@@ -416,12 +416,11 @@ impl SimCluster {
     /// simulation this runs serially through the engine's dispatch path
     /// (UDF-closure schemes work fine here); `RemoteCluster` runs the
     /// *same* engine call distributed — one shipped task per worker —
-    /// so for **hash** output schemes (placement is content-determined)
-    /// this is the record-for-record reference for the remote path.
-    /// Round-robin output placement is ordinal-based and arbitrary by
-    /// design: the serial path sprays by one global ordinal, the
-    /// distributed path by each mapper's local one, so RR outputs are
-    /// balanced but not placement-comparable across backends.
+    /// and this serial run is the record-for-record reference for it.
+    /// That parity covers round-robin output schemes too: both backends
+    /// stripe RR outputs per source node with a slot-offset start
+    /// (source `s`'s `i`-th emission → partition `(s + i) %
+    /// partitions`), so placement is identical, not merely balanced.
     pub fn map_shuffle(
         &self,
         input: &str,
@@ -430,6 +429,26 @@ impl SimCluster {
         scheme: PartitionScheme,
     ) -> Result<MapShuffleReport> {
         self.inner.core.map_shuffle(input, output, map, scheme)
+    }
+
+    /// A map-**combine-reduce** over the cluster: like
+    /// [`SimCluster::map_shuffle`] plus a declarative
+    /// [`pangea_net::ReduceSpec`] folding the mapped output per key
+    /// (count/sum/min/max of a delimited numeric field). Here the fold
+    /// runs as one serial in-process pass — the reference the
+    /// distributed combine-then-merge (`RemoteCluster::map_reduce`)
+    /// must match record-for-record.
+    pub fn map_reduce(
+        &self,
+        input: &str,
+        output: &str,
+        map: &pangea_net::MapSpec,
+        reduce: &pangea_net::ReduceSpec,
+        scheme: PartitionScheme,
+    ) -> Result<MapShuffleReport> {
+        self.inner
+            .core
+            .map_reduce(input, output, map, reduce, scheme)
     }
 }
 

@@ -28,7 +28,9 @@ use crate::manager::CatalogEntry;
 use crate::partition::{PartitionKind, PartitionScheme};
 use crate::replication::colliding_set_name;
 use pangea_common::{fx_hash64, FxHashMap, FxHashSet, NodeId, PangeaError, ReplicaGroupId, Result};
-use pangea_net::{MapSpec, RepairFilter, RepairPushReport, SchemeSpec, TaskReport};
+use pangea_net::{
+    KeySpec, MapSpec, ReduceSpec, RepairFilter, RepairPushReport, SchemeSpec, TaskReport,
+};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -132,18 +134,24 @@ pub trait WorkerBackend: fmt::Debug + Send + Sync {
 /// double-appends.
 pub trait TaskExec: Send + Sync {
     /// Opens (or resets) the shuffle-ingest session for `set` on the
-    /// destination node, truncating its local share.
-    fn ingest_begin(&self, dest: NodeId, set: &str) -> Result<()>;
+    /// destination node, truncating its local share. With a `reduce`,
+    /// the session folds incoming partials into a keyed accumulator
+    /// (materialized at [`TaskExec::ingest_end`]) instead of appending
+    /// record-for-record.
+    fn ingest_begin(&self, dest: NodeId, set: &str, reduce: Option<&ReduceSpec>) -> Result<()>;
 
     /// Ships one map task to `worker`: scan the local share of `input`,
-    /// apply `map`, route by `scheme` striping over `nodes`, and stream
-    /// straight to the destinations' ingest sessions for `output`.
+    /// apply `map` (combining per key first when `reduce` is given),
+    /// route by `scheme` striping over `nodes`, and stream straight to
+    /// the destinations' ingest sessions for `output`.
+    #[allow(clippy::too_many_arguments)]
     fn map_task(
         &self,
         worker: NodeId,
         input: &str,
         output: &str,
         map: &MapSpec,
+        reduce: Option<&ReduceSpec>,
         scheme: &SchemeSpec,
         nodes: u32,
     ) -> Result<TaskReport>;
@@ -498,11 +506,76 @@ impl ClusterCore {
         map: &MapSpec,
         scheme: PartitionScheme,
     ) -> Result<MapShuffleReport> {
+        self.map_shuffle_inner(input, output, map, None, scheme)
+    }
+
+    /// A distributed map-**combine-reduce**: like
+    /// [`ClusterCore::map_shuffle`], plus a declarative [`ReduceSpec`]
+    /// folding the mapped output per key. Mappers pre-aggregate their
+    /// share before shipping (source-side combine — the shuffle pays
+    /// for distinct keys, not raw emissions), destinations merge the
+    /// incoming partials in reducing ingest sessions, and the
+    /// materialized output holds one `key<delim>value` record per key.
+    ///
+    /// The output `scheme` must be hash-partitioned **by the reduced
+    /// key** — field 0 under the reduce's delimiter (e.g.
+    /// `PartitionScheme::hash_field(name, parts, reduce.delim, 0)`) —
+    /// so a key's partials from every mapper converge on one node;
+    /// anything else is a typed usage error before anything runs.
+    pub fn map_reduce(
+        &self,
+        input: &str,
+        output: &str,
+        map: &MapSpec,
+        reduce: &ReduceSpec,
+        scheme: PartitionScheme,
+    ) -> Result<MapShuffleReport> {
+        self.map_shuffle_inner(input, output, map, Some(reduce), scheme)
+    }
+
+    fn map_shuffle_inner(
+        &self,
+        input: &str,
+        output: &str,
+        map: &MapSpec,
+        reduce: Option<&ReduceSpec>,
+        scheme: PartitionScheme,
+    ) -> Result<MapShuffleReport> {
         let start = Instant::now();
         if input == output {
             return Err(PangeaError::usage(format!(
                 "map-shuffle output '{output}' cannot be its own input"
             )));
+        }
+        if let Some(reduce) = reduce {
+            // A reduce needs every partial of a key on one node, and the
+            // materialized output is `key<delim>value` — so placement
+            // must be a hash over exactly the output's key field. This
+            // also rules out closure-keyed and round-robin schemes in
+            // *both* backends, keeping the serial reference's semantics
+            // identical to the distributed run.
+            if !ReduceSpec::delim_ok(reduce.delim) {
+                return Err(PangeaError::usage(format!(
+                    "reduce delimiter {:#04x} can appear inside a rendered \
+                     decimal value and would corrupt the key|value partial \
+                     encoding; pick a non-digit, non-'-' byte",
+                    reduce.delim
+                )));
+            }
+            let keyed_right = scheme.kind == PartitionKind::Hash
+                && scheme.key_spec()
+                    == Some(KeySpec::Field {
+                        delim: reduce.delim,
+                        index: 0,
+                    });
+            if !keyed_right {
+                return Err(PangeaError::usage(format!(
+                    "a reduced output is `key{0}value` records and must be \
+                     hash-partitioned by its key: build the scheme with \
+                     hash_field(name, partitions, b'{0}', 0)",
+                    reduce.delim as char
+                )));
+            }
         }
         let src = self
             .get_dist_set(input)?
@@ -551,19 +624,33 @@ impl ClusterCore {
         }
         match (self.workers.task_exec(), spec) {
             (Some(exec), Some(spec)) => {
-                self.map_shuffle_tasks(exec, &src, output, map, &spec, scheme, start)
+                self.map_shuffle_tasks(exec, &src, output, map, reduce, &spec, scheme, start)
             }
-            _ => self.map_shuffle_serial(&src, output, map, scheme, start),
+            _ => self.map_shuffle_serial(&src, output, map, reduce, scheme, start),
         }
     }
 
     /// The in-process path: one serial scan-map-dispatch through the
-    /// driver, batched per destination like any dispatcher load.
+    /// driver, batched per destination like any dispatcher load — the
+    /// record-for-record reference for the distributed path.
+    ///
+    /// Round-robin outputs stripe **per source node** with a
+    /// slot-offset start — source `s`'s `i`-th emission lands on
+    /// partition `(s + i) % partitions` — exactly the rule each remote
+    /// mapper applies, so per-node parity holds for round-robin output
+    /// schemes too (the scan visits each node's share in the same
+    /// storage order a shipped task would).
+    ///
+    /// With a reduce, the whole input folds into one keyed accumulator
+    /// here (a single global fold — the associative/commutative
+    /// reference the distributed combine-then-merge must equal) and the
+    /// encoded `key|value` records dispatch through the scheme.
     fn map_shuffle_serial(
         &self,
         src: &EngineSet,
         output: &str,
         map: &MapSpec,
+        reduce: Option<&ReduceSpec>,
         scheme: PartitionScheme,
         start: Instant,
     ) -> Result<MapShuffleReport> {
@@ -575,18 +662,44 @@ impl ClusterCore {
             DispatchConfig::default(),
         );
         let (mut scanned, mut records_out, mut bytes_out) = (0u64, 0u64, 0u64);
-        let mut ordinal = 0u64;
-        src.try_for_each_record(|from, rec| {
-            scanned += 1;
-            let Some(mapped) = map.apply(rec) else {
-                return Ok(());
-            };
-            let to = scheme.node_of(&mapped, ordinal, nodes);
-            ordinal += 1;
-            records_out += 1;
-            bytes_out += mapped.len() as u64;
-            sinks.push(from, to, &mapped)
-        })?;
+        match reduce {
+            Some(reduce) => {
+                let mut acc: std::collections::BTreeMap<Vec<u8>, i64> = Default::default();
+                src.try_for_each_record(|_, rec| {
+                    scanned += 1;
+                    map.for_each_emit(rec, &mut |mapped| {
+                        if let Some((key, value)) = reduce.accumulate(mapped) {
+                            reduce.fold_into(&mut acc, &key, value);
+                        }
+                        Ok(())
+                    })
+                })?;
+                // The fold collapsed per-record origins; the reduced
+                // records dispatch as a driver load (external origin),
+                // like any loader-fed set.
+                for (key, value) in &acc {
+                    let rec = reduce.encode_record(key, *value);
+                    let to = scheme.node_of(&rec, 0, nodes);
+                    records_out += 1;
+                    bytes_out += rec.len() as u64;
+                    sinks.push(NodeId(u32::MAX), to, &rec)?;
+                }
+            }
+            None => {
+                let mut emitted_of: FxHashMap<NodeId, u64> = FxHashMap::default();
+                src.try_for_each_record(|from, rec| {
+                    scanned += 1;
+                    map.for_each_emit(rec, &mut |mapped| {
+                        let seq = emitted_of.entry(from).or_insert(0);
+                        let to = scheme.node_of(mapped, from.raw() as u64 + *seq, nodes);
+                        *seq += 1;
+                        records_out += 1;
+                        bytes_out += mapped.len() as u64;
+                        sinks.push(from, to, mapped)
+                    })
+                })?;
+            }
+        }
         sinks.finish()?;
         self.catalog.add_stats(output, records_out, bytes_out)?;
         Ok(MapShuffleReport {
@@ -612,6 +725,7 @@ impl ClusterCore {
         src: &EngineSet,
         output: &str,
         map: &MapSpec,
+        reduce: Option<&ReduceSpec>,
         spec: &SchemeSpec,
         scheme: PartitionScheme,
         start: Instant,
@@ -620,7 +734,7 @@ impl ClusterCore {
         let alive = self.workers.alive_nodes();
         let nodes = self.workers.num_nodes();
         for &dest in &alive {
-            exec.ingest_begin(dest, output)?;
+            exec.ingest_begin(dest, output, reduce)?;
         }
         let input = src.name();
         let outcome: Result<Vec<(NodeId, TaskReport)>> = std::thread::scope(|s| {
@@ -628,7 +742,7 @@ impl ClusterCore {
                 .iter()
                 .map(|&worker| {
                     s.spawn(move || {
-                        exec.map_task(worker, input, output, map, spec, nodes)
+                        exec.map_task(worker, input, output, map, reduce, spec, nodes)
                             .map(|r| (worker, r))
                     })
                 })
@@ -720,13 +834,34 @@ impl ClusterCore {
     /// moves zero record bytes. Otherwise the driver-mediated serial
     /// path runs and `bytes_moved`/`duration` are left for the frontend.
     pub fn recover_sets(&self, failed: NodeId) -> Result<RecoveryReport> {
+        self.recover_sets_in(failed, None)
+    }
+
+    /// [`ClusterCore::recover_sets`] restricted to a subset of replica
+    /// groups (`None` = all). Lets an orchestrator split one slot's
+    /// repair into phases with different parallelism rules — e.g.
+    /// hash-only groups repaired concurrently across slots while
+    /// round-robin groups run serially (`RemoteCluster::recover_workers`).
+    pub fn recover_sets_in(
+        &self,
+        failed: NodeId,
+        groups: Option<&[ReplicaGroupId]>,
+    ) -> Result<RecoveryReport> {
+        let groups = match groups {
+            Some(groups) => groups.to_vec(),
+            None => self.catalog.groups()?,
+        };
         match self.workers.peer_repair() {
-            Some(repair) => self.recover_sets_peer(repair, failed),
-            None => self.recover_sets_serial(failed),
+            Some(repair) => self.recover_sets_peer(repair, failed, &groups),
+            None => self.recover_sets_serial(failed, &groups),
         }
     }
 
-    fn recover_sets_serial(&self, failed: NodeId) -> Result<RecoveryReport> {
+    fn recover_sets_serial(
+        &self,
+        failed: NodeId,
+        groups: &[ReplicaGroupId],
+    ) -> Result<RecoveryReport> {
         let mut report = RecoveryReport {
             failed,
             replicas_recovered: Vec::new(),
@@ -735,7 +870,7 @@ impl ClusterCore {
             bytes_moved: 0,
             duration: Duration::ZERO,
         };
-        for group in self.catalog.groups()? {
+        for &group in groups {
             let members = self.group_members_checked(group, failed)?;
             for target in &members {
                 let sources: Vec<&String> = members.iter().filter(|m| *m != target).collect();
@@ -764,7 +899,12 @@ impl ClusterCore {
     /// The session's hash ledger replays the serial path's `seen`-set
     /// semantics across concurrent pushers, so the restored contents
     /// match a serial run record-for-record (order aside).
-    fn recover_sets_peer(&self, repair: &dyn PeerRepair, failed: NodeId) -> Result<RecoveryReport> {
+    fn recover_sets_peer(
+        &self,
+        repair: &dyn PeerRepair,
+        failed: NodeId,
+        groups: &[ReplicaGroupId],
+    ) -> Result<RecoveryReport> {
         let mut report = RecoveryReport {
             failed,
             replicas_recovered: Vec::new(),
@@ -779,7 +919,7 @@ impl ClusterCore {
             .into_iter()
             .filter(|&n| n != failed)
             .collect();
-        for group in self.catalog.groups()? {
+        for &group in groups {
             let members = self.group_members_checked(group, failed)?;
             let cset = colliding_set_name(group);
             let have_cset = self.catalog.contains(&cset)?;
@@ -790,7 +930,11 @@ impl ClusterCore {
                     .ok_or_else(|| PangeaError::usage(format!("unknown target '{target}'")))?;
                 // Hash targets recompute their lost share by placement on
                 // every survivor; round-robin targets define it by absence,
-                // so the session pulls the surviving share's hashes first.
+                // so the session pulls the surviving share's hashes first
+                // — and survivors then diff against that seeded ledger at
+                // the *source* (`Absent`), shipping ~the lost share
+                // instead of their whole share (`All` would dedup at the
+                // replacement after paying for every present record).
                 let (filter, present_on): (RepairFilter, &[NodeId]) = match t_entry.scheme.kind {
                     PartitionKind::Hash => (
                         RepairFilter::Lost {
@@ -800,7 +944,7 @@ impl ClusterCore {
                         },
                         &[],
                     ),
-                    PartitionKind::RoundRobin => (RepairFilter::All, &survivors),
+                    PartitionKind::RoundRobin => (RepairFilter::Absent, &survivors),
                 };
                 repair.repair_begin(failed, target, present_on)?;
                 // The two push passes, with the session closed whatever

@@ -30,6 +30,9 @@ pub use manager::{CatalogEntry, Manager, SetStats};
 pub use network::SimNetwork;
 // The wire seam the cluster is generic over (DESIGN.md §2a), plus the
 // declarative specs map-shuffle jobs are written in.
-pub use pangea_net::{EmitSpec, FilterSpec, KeySpec, MapSpec, TaskReport, TcpTransport, Transport};
+pub use pangea_net::{
+    CmpOp, EmitSpec, FilterSpec, KeySpec, MapSpec, ReduceOp, ReduceSpec, TaskReport, TcpTransport,
+    Transport,
+};
 pub use partition::{KeyFn, PartitionKind, PartitionScheme};
 pub use replication::{colliding_set_name, expected_colliding_ratio};

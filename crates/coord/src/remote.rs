@@ -21,10 +21,11 @@ use pangea_cluster::engine::{
     RecoveryReport, ReplicaReport, TaskExec, WorkerBackend,
 };
 use pangea_cluster::{PartitionKind, PartitionScheme};
+use pangea_common::ReplicaGroupId;
 use pangea_common::{fx_hash64, Epoch, FxHashMap, IoStats, NodeId, PangeaError, Result};
 use pangea_net::{
-    MapSpec, PangeaClient, RepairFilter, RepairPushReport, SchemeSpec, TaskReport, TaskSpec,
-    WireWorker, WorkerState,
+    MapSpec, PangeaClient, ReduceSpec, RepairFilter, RepairPushReport, SchemeSpec, TaskReport,
+    TaskSpec, WireWorker, WorkerState,
 };
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -311,8 +312,8 @@ impl WorkerBackend for RemoteWorkers {
 /// scans its own share and streams the mapped output straight to the
 /// destination workers' ingest sessions.
 impl TaskExec for RemoteWorkers {
-    fn ingest_begin(&self, dest: NodeId, set: &str) -> Result<()> {
-        self.with_client(dest, |c| c.ingest_begin(set))
+    fn ingest_begin(&self, dest: NodeId, set: &str, reduce: Option<&ReduceSpec>) -> Result<()> {
+        self.with_client(dest, |c| c.ingest_begin(set, reduce))
     }
 
     fn map_task(
@@ -321,6 +322,7 @@ impl TaskExec for RemoteWorkers {
         input: &str,
         output: &str,
         map: &MapSpec,
+        reduce: Option<&ReduceSpec>,
         scheme: &SchemeSpec,
         nodes: u32,
     ) -> Result<TaskReport> {
@@ -345,6 +347,7 @@ impl TaskExec for RemoteWorkers {
             input: input.to_string(),
             output: output.to_string(),
             map: map.clone(),
+            reduce: reduce.cloned(),
             scheme: scheme.clone(),
             nodes,
             source: worker.raw(),
@@ -593,16 +596,30 @@ impl RemoteCluster {
     /// before any repair starts, so concurrent repairs never scan a
     /// fellow replacement whose sets do not exist yet).
     fn repair_slot(&self, failed: NodeId) -> Result<RecoveryReport> {
+        self.repair_slot_in(failed, None, true)
+    }
+
+    /// [`RemoteCluster::repair_slot`] restricted to a subset of replica
+    /// groups (`None` = all). `fire_hook` gates the test-only
+    /// rendezvous so a two-phase repair announces each slot once.
+    fn repair_slot_in(
+        &self,
+        failed: NodeId,
+        groups: Option<&[ReplicaGroupId]>,
+        fire_hook: bool,
+    ) -> Result<RecoveryReport> {
         let start = Instant::now();
         let net_before = self.workers.net_bytes();
         // Clone the hook out before invoking it: an `if let` over the
         // guard would hold the lock for the whole call and serialize
         // concurrent slot repairs on it.
-        let hook = self.recovery_hook.lock().clone();
-        if let Some(hook) = hook {
-            hook(failed);
+        if fire_hook {
+            let hook = self.recovery_hook.lock().clone();
+            if let Some(hook) = hook {
+                hook(failed);
+            }
         }
-        let mut report = self.core.recover_sets(failed)?;
+        let mut report = self.core.recover_sets_in(failed, groups)?;
         self.dead_epochs.lock().remove(&failed);
         // The engine already charged the worker→worker payload; any
         // driver-side payload (none, by design — asserted by the
@@ -618,13 +635,16 @@ impl RemoteCluster {
     /// survivor whose sets must already exist.
     ///
     /// The per-slot repairs run concurrently (one orchestration thread
-    /// per slot) when every replica-group member is hash-partitioned:
-    /// hash placement makes each slot's lost share disjoint, so
-    /// concurrent repairs cannot restore a record twice. With a
-    /// round-robin member in any group the slots are repaired serially
-    /// instead — a round-robin lost share is defined by *absence*, and
-    /// two sessions snapshotting the surviving share concurrently could
-    /// both restore the same record. Reports come back in `failed` order.
+    /// per slot) for every replica group whose members are all
+    /// hash-partitioned: hash placement makes each slot's lost share
+    /// disjoint, so concurrent repairs cannot restore a record twice.
+    /// Groups with a round-robin member are repaired in a second,
+    /// serial phase — a round-robin lost share is defined by *absence*,
+    /// and two sessions snapshotting the surviving share concurrently
+    /// could both restore the same record. The serial fallback is
+    /// scoped to exactly those groups: hash-only groups keep their
+    /// parallelism whatever else the catalog holds. Reports come back
+    /// in `failed` order, each slot's two phases merged.
     pub fn recover_workers(&self, failed: &[NodeId]) -> Result<Vec<RecoveryReport>> {
         // Two concurrent repairs of one slot would race on the
         // replacement's session map; reject the caller bug up front.
@@ -650,31 +670,80 @@ impl RemoteCluster {
         // repair *sources*) do not constrain parallelism — so consult
         // the groups directly instead of paying one manager RPC per
         // cataloged set.
-        let mut all_hash = true;
+        let mut hash_groups = Vec::new();
+        let mut rr_groups = Vec::new();
         for group in self.core.catalog().groups()? {
+            let mut all_hash = true;
             for member in self.core.catalog().group_members(group)? {
                 if let Some(entry) = self.core.catalog().entry(&member)? {
                     all_hash &= entry.scheme.kind == PartitionKind::Hash;
                 }
             }
+            if all_hash {
+                hash_groups.push(group);
+            } else {
+                rr_groups.push(group);
+            }
         }
-        if !all_hash {
-            return failed.iter().map(|&n| self.repair_slot(n)).collect();
-        }
-        std::thread::scope(|s| {
-            let handles: Vec<_> = failed
-                .iter()
-                .map(|&n| s.spawn(move || self.repair_slot(n)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|_| {
-                        Err(PangeaError::Remote("a recovery thread panicked".into()))
+        if rr_groups.is_empty() {
+            // Single parallel phase over everything.
+            return std::thread::scope(|s| {
+                let handles: Vec<_> = failed
+                    .iter()
+                    .map(|&n| s.spawn(move || self.repair_slot(n)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(PangeaError::Remote("a recovery thread panicked".into()))
+                        })
                     })
+                    .collect()
+            });
+        }
+        // Phase 1: hash-only groups, all slots concurrently (skipped
+        // when there are none). The rendezvous hook fires here — or in
+        // phase 2 when phase 1 is empty — so each slot announces once.
+        let mut reports: Vec<RecoveryReport> = if hash_groups.is_empty() {
+            failed
+                .iter()
+                .map(|&n| RecoveryReport {
+                    failed: n,
+                    replicas_recovered: Vec::new(),
+                    objects_restored: 0,
+                    colliding_restored: 0,
+                    bytes_moved: 0,
+                    duration: Duration::ZERO,
                 })
                 .collect()
-        })
+        } else {
+            let hash_groups = &hash_groups;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = failed
+                    .iter()
+                    .map(|&n| s.spawn(move || self.repair_slot_in(n, Some(hash_groups), true)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(PangeaError::Remote("a recovery thread panicked".into()))
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()
+            })?
+        };
+        // Phase 2: round-robin-carrying groups, slot by slot.
+        for (slot, report) in failed.iter().zip(reports.iter_mut()) {
+            let serial = self.repair_slot_in(*slot, Some(&rr_groups), hash_groups.is_empty())?;
+            report.replicas_recovered.extend(serial.replicas_recovered);
+            report.objects_restored += serial.objects_restored;
+            report.colliding_restored += serial.colliding_restored;
+            report.bytes_moved += serial.bytes_moved;
+            report.duration += serial.duration;
+        }
+        Ok(reports)
     }
 
     /// A distributed map-shuffle: ships one declarative map task to
@@ -704,6 +773,33 @@ impl RemoteCluster {
     ) -> Result<MapShuffleReport> {
         self.refresh_membership()?;
         self.core.map_shuffle(input, output, map, scheme)
+    }
+
+    /// A distributed map-**combine-reduce**: like
+    /// [`RemoteCluster::map_shuffle`] plus a declarative
+    /// [`ReduceSpec`] folding the mapped output per key. Each mapper
+    /// pre-aggregates its local share before shipping (source-side
+    /// combine — the shuffle pays for distinct keys, not raw
+    /// emissions), each destination merges the incoming partials in a
+    /// reducing ingest session, and `IngestEnd` materializes one
+    /// `key<delim>value` record per key into a normal cataloged set.
+    /// The driver still moves zero record bytes, and the result
+    /// matches the serial `SimCluster::map_reduce` reference
+    /// record-for-record (the fold is associative and commutative by
+    /// construction).
+    ///
+    /// `scheme` must hash by the reduced key — field 0 under the
+    /// reduce's delimiter (`hash_field(name, parts, reduce.delim, 0)`).
+    pub fn map_reduce(
+        &self,
+        input: &str,
+        output: &str,
+        map: &MapSpec,
+        reduce: &ReduceSpec,
+        scheme: PartitionScheme,
+    ) -> Result<MapShuffleReport> {
+        self.refresh_membership()?;
+        self.core.map_reduce(input, output, map, reduce, scheme)
     }
 
     /// Installs (or clears) the test-only per-task rendezvous. Hidden:

@@ -7,7 +7,7 @@
 
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{Request, Response};
-use crate::wire::{RepairFilter, RepairPushReport, TaskReport, TaskSpec};
+use crate::wire::{ReduceSpec, RepairFilter, RepairPushReport, TaskReport, TaskSpec};
 use pangea_common::{IoStats, PageNum, PangeaError, Result};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
@@ -343,14 +343,50 @@ impl PangeaClient {
     }
 
     /// Opens (or resets) a shuffle-ingest session for `set` on the
-    /// remote node, truncating its local share of the set.
-    pub fn ingest_begin(&mut self, set: &str) -> Result<()> {
+    /// remote node, truncating its local share of the set. With a
+    /// `reduce`, the session folds incoming `key|value` partials into a
+    /// keyed accumulator instead of appending records, materializing
+    /// the result at [`PangeaClient::ingest_end`].
+    pub fn ingest_begin(&mut self, set: &str, reduce: Option<&ReduceSpec>) -> Result<()> {
         let req = Request::IngestBegin {
             set: set.to_string(),
+            reduce: reduce.cloned(),
         };
         match self.call(&req)? {
             Response::Ok => Ok(()),
             other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// The present-hash ledger of an open repair session on the remote
+    /// node, paged like [`PangeaClient::hash_list`] (no payload crosses
+    /// the wire) — what an `Absent`-filtered survivor diffs against.
+    pub fn repair_ledger(&mut self, set: &str) -> Result<Vec<u64>> {
+        let mut all = Vec::new();
+        let mut start = 0u64;
+        loop {
+            let req = Request::RepairLedger {
+                set: set.to_string(),
+                start,
+            };
+            match self.call(&req)? {
+                Response::Hashes { hashes, next } => {
+                    match next {
+                        Some((_, n)) if hashes.is_empty() || n <= start => {
+                            return Err(PangeaError::Corruption(format!(
+                                "repair-ledger cursor did not advance past {start}"
+                            )));
+                        }
+                        _ => {}
+                    }
+                    all.extend(hashes);
+                    match next {
+                        Some((_, n)) => start = n,
+                        None => return Ok(all),
+                    }
+                }
+                other => return Err(Self::unexpected(other)),
+            }
         }
     }
 

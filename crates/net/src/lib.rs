@@ -53,6 +53,6 @@ pub use server::{FramedServer, FramedService, Pangead, PangeadServer, DEFAULT_DR
 pub use tcp::TcpTransport;
 pub use transport::Transport;
 pub use wire::{
-    ingest_tag, EmitSpec, FilterSpec, KeySpec, MapSpec, RepairFilter, RepairPushReport, SchemeSpec,
-    TaskReport, TaskSpec, WireCatalogEntry, WireWorker, WorkerState,
+    ingest_tag, CmpOp, EmitSpec, FilterSpec, KeySpec, MapSpec, ReduceOp, ReduceSpec, RepairFilter,
+    RepairPushReport, SchemeSpec, TaskReport, TaskSpec, WireCatalogEntry, WireWorker, WorkerState,
 };

@@ -9,7 +9,7 @@
 //! format inherits the codec's self-framing and its truncation checks.
 //! One encoded message travels inside one [`crate::frame`] frame.
 
-use crate::wire::{RepairFilter, SchemeSpec, TaskSpec, WireCatalogEntry, WireWorker};
+use crate::wire::{ReduceSpec, RepairFilter, SchemeSpec, TaskSpec, WireCatalogEntry, WireWorker};
 use pangea_common::{ByteReader, ByteWriter, PangeaError, Result};
 
 /// A client/cluster → pangead message.
@@ -146,6 +146,21 @@ pub enum Request {
         /// The recovery target set.
         set: String,
     },
+    /// Record hashes already *present* in an open repair session's
+    /// dedup ledger (seeded at [`Request::RecoverBegin`] from the
+    /// target's own records plus its peers' surviving shares) —
+    /// paginated by an index cursor like [`Request::HashList`], at most
+    /// [`HASH_CHUNK`] hashes per reply. A survivor running an
+    /// [`crate::wire::RepairFilter::Absent`] push pulls this from the
+    /// replacement and filters at the source, so the surviving share's
+    /// payload never crosses the wire.
+    RepairLedger {
+        /// The recovery target set (must have an open session).
+        set: String,
+        /// Index of the first ledger hash to return (0 for the first
+        /// chunk).
+        start: u64,
+    },
     /// Driver→survivor orchestration: scan the local share of
     /// `source_set`, keep records matching `filter`, and stream them in
     /// batches straight to `target_set` on the `pangead` at
@@ -180,6 +195,11 @@ pub enum Request {
     IngestBegin {
         /// The ingest target set (must already exist on the node).
         set: String,
+        /// When present, the session runs in *reducing* mode: incoming
+        /// records are `key|value` partials folded into a keyed
+        /// accumulator and materialized at [`Request::IngestEnd`],
+        /// instead of being appended record-for-record.
+        reduce: Option<ReduceSpec>,
     },
     /// Mapper→destination delivery of routed records, each carrying its
     /// provenance tag: the session appends only tags its ledger has not
@@ -506,6 +526,7 @@ const REQ_TASK_RUN: u64 = 33;
 const REQ_INGEST_BEGIN: u64 = 34;
 const REQ_INGEST_APPEND: u64 = 35;
 const REQ_INGEST_END: u64 = 36;
+const REQ_REPAIR_LEDGER: u64 = 37;
 
 const RESP_OK: u64 = 1;
 const RESP_CREATED: u64 = 2;
@@ -682,9 +703,15 @@ impl Request {
                 w.write_record(&REQ_TASK_RUN);
                 spec.put(&mut w);
             }
-            Self::IngestBegin { set } => {
+            Self::IngestBegin { set, reduce } => {
                 w.write_record(&REQ_INGEST_BEGIN);
                 w.write_record(set);
+                ReduceSpec::put_opt(reduce, &mut w);
+            }
+            Self::RepairLedger { set, start } => {
+                w.write_record(&REQ_REPAIR_LEDGER);
+                w.write_record(set);
+                w.write_record(start);
             }
             Self::IngestAppend { set, entries } => {
                 w.write_record(&REQ_INGEST_APPEND);
@@ -843,6 +870,11 @@ impl Request {
             },
             REQ_INGEST_BEGIN => Self::IngestBegin {
                 set: r.read_record()?,
+                reduce: ReduceSpec::get_opt(&mut r)?,
+            },
+            REQ_REPAIR_LEDGER => Self::RepairLedger {
+                set: r.read_record()?,
+                start: r.read_record()?,
             },
             REQ_INGEST_APPEND => {
                 let set = r.read_record()?;
@@ -1422,6 +1454,7 @@ mod tests {
                     indices: vec![1, 2],
                 },
             },
+            reduce: Some(crate::wire::ReduceSpec::sum(KeySpec::WholeRecord, b'|', 1)),
             scheme: SchemeSpec::Hash {
                 key_name: "word".into(),
                 partitions: 8,
@@ -1434,6 +1467,15 @@ mod tests {
         roundtrip_req(Request::TaskRun { spec });
         roundtrip_req(Request::IngestBegin {
             set: "words".into(),
+            reduce: None,
+        });
+        roundtrip_req(Request::IngestBegin {
+            set: "counts".into(),
+            reduce: Some(crate::wire::ReduceSpec::count(KeySpec::WholeRecord, b'|')),
+        });
+        roundtrip_req(Request::RepairLedger {
+            set: "users".into(),
+            start: 1 << 20,
         });
         roundtrip_req(Request::IngestAppend {
             set: "words".into(),
@@ -1466,6 +1508,7 @@ mod tests {
                     delim: b'|',
                     index: 1,
                 }),
+                reduce: None,
                 scheme: SchemeSpec::RoundRobin { partitions: 3 },
                 nodes: 3,
                 source: 0,

@@ -18,7 +18,7 @@
 use crate::client::PangeaClient;
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{error_response, Request, Response};
-use crate::wire::{ingest_tag, RepairFilter, TaskReport, TaskSpec};
+use crate::wire::{ingest_tag, ReduceSpec, RepairFilter, SchemeSpec, TaskReport, TaskSpec};
 use pangea_common::{fx_hash64, FxHashMap, FxHashSet, IoStats, PangeaError, PartitionId, Result};
 use pangea_core::{ObjectIter, SetOptions, ShuffleConfig, ShuffleService, StorageNode};
 use parking_lot::Mutex;
@@ -273,6 +273,13 @@ struct RepairSession {
     /// lost record is restored exactly once, however many survivors
     /// push it and however often a push is retried.
     seen: FxHashSet<u64>,
+    /// Index-stable snapshot of the ledger as seeded at `RecoverBegin`,
+    /// served to `Absent`-filtered survivors through the paginated
+    /// `RepairLedger` RPC. A snapshot (not the live `seen`) keeps the
+    /// cursor stable while concurrent pushes grow the ledger; survivors
+    /// filtering against this subset stay correct — the session still
+    /// dedups every append.
+    seed: Vec<u64>,
     appended: u64,
     bytes: u64,
 }
@@ -288,6 +295,13 @@ struct IngestSession {
     seen: FxHashSet<u64>,
     appended: u64,
     bytes: u64,
+    /// Reducing mode: incoming records are `key|value` partials folded
+    /// into this keyed accumulator (after the usual tag dedup) instead
+    /// of being appended; `IngestEnd` materializes the accumulator into
+    /// the set in sorted-key order. The per-batch totals then count
+    /// partials *accepted into the fold*, and the sealed totals count
+    /// what was materialized.
+    reduce: Option<(ReduceSpec, std::collections::BTreeMap<Vec<u8>, i64>)>,
 }
 
 /// Per-push batching thresholds for the survivor's streaming loop
@@ -593,6 +607,10 @@ impl Pangead {
                     session.seen.extend(peer.hash_list(&set)?);
                     self.checkin_peer(addr, peer);
                 }
+                // Freeze the seeded ledger for `RepairLedger` paging:
+                // Absent-filtered survivors diff against exactly what
+                // was present when the session opened.
+                session.seed = session.seen.iter().copied().collect();
                 // Replace any stale session (and any sealed-totals
                 // tombstone): `RecoverBegin` is the idempotent open of a
                 // fresh repair attempt.
@@ -666,6 +684,20 @@ impl Pangead {
                     bytes: session.bytes,
                 })
             }
+            Request::RepairLedger { set, start } => {
+                let session = self.repairs.lock().get(&set).cloned().ok_or_else(|| {
+                    PangeaError::usage(format!("no repair session for '{set}'; RecoverBegin first"))
+                })?;
+                let session = session.lock();
+                let start = start as usize;
+                let end = session
+                    .seed
+                    .len()
+                    .min(start.saturating_add(crate::proto::HASH_CHUNK));
+                let hashes = session.seed.get(start..end).unwrap_or_default().to_vec();
+                let next = (end < session.seed.len()).then_some((0, end as u64));
+                Ok(Response::Hashes { hashes, next })
+            }
             Request::RecoverPush {
                 source_set,
                 target_set,
@@ -673,7 +705,7 @@ impl Pangead {
                 filter,
             } => self.recover_push(&source_set, &target_set, &target_addr, &filter),
             Request::TaskRun { spec } => self.run_task(&spec),
-            Request::IngestBegin { set } => {
+            Request::IngestBegin { set, reduce } => {
                 // Truncate the local share: a begin is the idempotent
                 // open of a *fresh* attempt, so partial output from a
                 // failed prior attempt never survives into the retry
@@ -688,9 +720,13 @@ impl Pangead {
                 self.node.drop_set(existing.id())?;
                 self.node.create_set(&set, options)?;
                 self.ingests_ended.lock().remove(&set);
+                let session = IngestSession {
+                    reduce: reduce.map(|spec| (spec, Default::default())),
+                    ..IngestSession::default()
+                };
                 self.ingests
                     .lock()
-                    .insert(set, Arc::new(Mutex::new(IngestSession::default())));
+                    .insert(set, Arc::new(Mutex::new(session)));
                 Ok(Response::Ok)
             }
             Request::IngestAppend { set, entries } => {
@@ -709,13 +745,32 @@ impl Pangead {
                     )));
                 };
                 let session = session.lock();
-                self.ingests_ended
-                    .lock()
-                    .insert(set, (session.appended, session.bytes));
-                Ok(Response::IngestAck {
-                    appended: session.appended,
-                    bytes: session.bytes,
-                })
+                let (appended, bytes) = match &session.reduce {
+                    // Reducing seal: materialize the keyed accumulator
+                    // into the (begin-truncated) set — the BTreeMap
+                    // iterates in key order, so the stored order is
+                    // deterministic. The sealed totals are what was
+                    // *materialized*; a failed write leaves no
+                    // tombstone, so a retried seal fails loudly and the
+                    // job-level retry's begin truncates and starts
+                    // clean.
+                    Some((spec, acc)) => {
+                        let target = self.get_set(&set)?;
+                        let mut writer = target.writer();
+                        let (mut n, mut b) = (0u64, 0u64);
+                        for (key, value) in acc {
+                            let rec = spec.encode_record(key, *value);
+                            writer.add_object(&rec)?;
+                            n += 1;
+                            b += rec.len() as u64;
+                        }
+                        writer.finish()?;
+                        (n, b)
+                    }
+                    None => (session.appended, session.bytes),
+                };
+                self.ingests_ended.lock().insert(set, (appended, bytes));
+                Ok(Response::IngestAck { appended, bytes })
             }
             Request::MgrRegisterWorker { .. }
             | Request::MgrHeartbeat { .. }
@@ -782,14 +837,30 @@ impl Pangead {
     }
 
     /// The mapper half of the distributed map-shuffle: scan the local
-    /// share of the task's input, apply the declarative map, route each
-    /// output record by the task's scheme, and stream batches straight
-    /// to each destination worker's ingest session — one pooled
-    /// connection per destination for the task's lifetime. The
-    /// orchestrating driver only ever sees the outcome counters.
+    /// share of the task's input, apply the declarative map (possibly
+    /// multi-emit), route each output record by the task's scheme, and
+    /// stream batches straight to each destination worker's ingest
+    /// session — one pooled connection per destination for the task's
+    /// lifetime. With a [`ReduceSpec`] the mapper *combines* first:
+    /// the whole share folds into a keyed accumulator and only the
+    /// encoded per-key partials ship, so the shuffle pays for distinct
+    /// keys instead of raw emissions. The orchestrating driver only
+    /// ever sees the outcome counters.
+    ///
+    /// Round-robin output striping is **per source**: mapper `s`'s
+    /// `i`-th emission lands on partition `(s + i) % partitions` (the
+    /// `s` offset decorrelates the mappers' first records). The serial
+    /// engine reference applies the identical rule per scanned node,
+    /// so per-node parity holds for round-robin outputs too.
     fn run_task(&self, spec: &TaskSpec) -> Result<Response> {
         let input = self.get_set(&spec.input)?;
         let nodes = spec.nodes.max(1);
+        if spec.reduce.is_some() && matches!(spec.scheme, SchemeSpec::RoundRobin { .. }) {
+            return Err(PangeaError::usage(
+                "a reduce needs key-determined placement; round-robin output \
+                 schemes cannot host one",
+            ));
+        }
         let mut addr_of: FxHashMap<u32, &str> = FxHashMap::default();
         for (node, addr) in &spec.dests {
             addr_of.insert(*node, addr.as_str());
@@ -797,52 +868,72 @@ impl Pangead {
         let mut conns: FxHashMap<String, PangeaClient> = FxHashMap::default();
         let mut batches: FxHashMap<u32, (Vec<(u64, Vec<u8>)>, usize)> = FxHashMap::default();
         let mut report = TaskReport::default();
-        // The input scan position: stable across retries (storage order
-        // is deterministic), so a re-run task re-derives the same
-        // provenance tags and every re-pushed record dedups away.
-        let mut ordinal = 0u64;
-        // Separate routing ordinal for round-robin output schemes: only
-        // *emitted* records advance it, mirroring the driver-side
-        // dispatcher.
-        let mut emitted_ordinal = 0u64;
         let outcome = (|| -> Result<()> {
-            for num in input.page_numbers() {
-                let pin = input.pin_page(num)?;
-                let mut it = ObjectIter::new(&pin);
-                while let Some(rec) = it.next() {
-                    let ord = ordinal;
-                    ordinal += 1;
-                    report.scanned += 1;
-                    let Some(out) = spec.map.apply(rec) else {
-                        continue;
-                    };
-                    let dest = spec.scheme.node_of(&out, emitted_ordinal, nodes);
-                    emitted_ordinal += 1;
-                    let tag = ingest_tag(spec.source, ord, &out);
-                    report.emitted += 1;
-                    report.emitted_bytes += out.len() as u64;
-                    let (batch, batch_bytes) = batches.entry(dest).or_default();
-                    *batch_bytes += out.len();
-                    batch.push((tag, out));
-                    if batch.len() >= PUSH_BATCH_RECORDS || *batch_bytes >= PUSH_BATCH_BYTES {
-                        let entries = std::mem::take(batch);
-                        *batch_bytes = 0;
-                        let (a, b) = if dest == spec.source {
-                            // The self-destined share never touches a
-                            // socket: append straight into this
-                            // daemon's own ingest session (the sim's
-                            // free local delivery, remotely).
-                            self.ingest_append_session(&spec.output, &entries, false)?
-                        } else {
-                            let addr = *addr_of.get(&dest).ok_or_else(|| {
-                                PangeaError::usage(format!(
-                                    "task has no destination address for slot {dest}"
-                                ))
+            match &spec.reduce {
+                // Source-side combine: fold the whole local share, then
+                // ship one encoded partial per key. Tags derive from
+                // the key (a retried task re-derives the same fold, so
+                // its partials dedup away at the destinations).
+                Some(reduce) => {
+                    let mut acc: std::collections::BTreeMap<Vec<u8>, i64> = Default::default();
+                    for num in input.page_numbers() {
+                        let pin = input.pin_page(num)?;
+                        let mut it = ObjectIter::new(&pin);
+                        while let Some(rec) = it.next() {
+                            report.scanned += 1;
+                            spec.map.for_each_emit(rec, &mut |out| {
+                                if let Some((key, value)) = reduce.accumulate(out) {
+                                    reduce.fold_into(&mut acc, &key, value);
+                                }
+                                Ok(())
                             })?;
-                            self.ingest_into(&mut conns, addr, &spec.output, entries)?
-                        };
-                        report.appended += a;
-                        report.appended_bytes += b;
+                        }
+                    }
+                    for (key, value) in &acc {
+                        let out = reduce.encode_record(key, *value);
+                        let dest = spec.scheme.node_of(&out, 0, nodes);
+                        let tag = ingest_tag(spec.source, fx_hash64(key), &out);
+                        self.route_output(
+                            spec,
+                            &addr_of,
+                            &mut conns,
+                            &mut batches,
+                            &mut report,
+                            dest,
+                            tag,
+                            out,
+                        )?;
+                    }
+                }
+                None => {
+                    // The emission sequence number doubles as the
+                    // round-robin stripe position and the provenance-tag
+                    // ordinal: stable across retries (storage order is
+                    // deterministic), and distinct per emission so a
+                    // flat-map record emitting the same token twice
+                    // keeps both honest duplicates.
+                    for num in input.page_numbers() {
+                        let pin = input.pin_page(num)?;
+                        let mut it = ObjectIter::new(&pin);
+                        while let Some(rec) = it.next() {
+                            report.scanned += 1;
+                            spec.map.for_each_emit(rec, &mut |out| {
+                                let seq = report.emitted;
+                                let dest =
+                                    spec.scheme.node_of(out, spec.source as u64 + seq, nodes);
+                                let tag = ingest_tag(spec.source, seq, out);
+                                self.route_output(
+                                    spec,
+                                    &addr_of,
+                                    &mut conns,
+                                    &mut batches,
+                                    &mut report,
+                                    dest,
+                                    tag,
+                                    out.to_vec(),
+                                )
+                            })?;
+                        }
                     }
                 }
             }
@@ -852,16 +943,7 @@ impl Pangead {
                 if entries.is_empty() {
                     continue;
                 }
-                let (a, b) = if dest == spec.source {
-                    self.ingest_append_session(&spec.output, &entries, false)?
-                } else {
-                    let addr = *addr_of.get(&dest).ok_or_else(|| {
-                        PangeaError::usage(format!(
-                            "task has no destination address for slot {dest}"
-                        ))
-                    })?;
-                    self.ingest_into(&mut conns, addr, &spec.output, entries)?
-                };
+                let (a, b) = self.deliver_entries(spec, &addr_of, &mut conns, dest, entries)?;
                 report.appended += a;
                 report.appended_bytes += b;
             }
@@ -884,6 +966,57 @@ impl Pangead {
             appended: report.appended,
             appended_bytes: report.appended_bytes,
         })
+    }
+
+    /// Queues one routed output record for its destination, flushing
+    /// the destination's batch once a size threshold trips.
+    #[allow(clippy::too_many_arguments)]
+    fn route_output(
+        &self,
+        spec: &TaskSpec,
+        addr_of: &FxHashMap<u32, &str>,
+        conns: &mut FxHashMap<String, PangeaClient>,
+        batches: &mut FxHashMap<u32, (Vec<(u64, Vec<u8>)>, usize)>,
+        report: &mut TaskReport,
+        dest: u32,
+        tag: u64,
+        out: Vec<u8>,
+    ) -> Result<()> {
+        report.emitted += 1;
+        report.emitted_bytes += out.len() as u64;
+        let (batch, batch_bytes) = batches.entry(dest).or_default();
+        *batch_bytes += out.len();
+        batch.push((tag, out));
+        if batch.len() >= PUSH_BATCH_RECORDS || *batch_bytes >= PUSH_BATCH_BYTES {
+            let entries = std::mem::take(batch);
+            *batch_bytes = 0;
+            let (a, b) = self.deliver_entries(spec, addr_of, conns, dest, entries)?;
+            report.appended += a;
+            report.appended_bytes += b;
+        }
+        Ok(())
+    }
+
+    /// Delivers one tagged batch to its destination: the self-destined
+    /// share never touches a socket (appended straight into this
+    /// daemon's own ingest session — the sim's free local delivery,
+    /// remotely); every other slot goes through its pooled connection.
+    fn deliver_entries(
+        &self,
+        spec: &TaskSpec,
+        addr_of: &FxHashMap<u32, &str>,
+        conns: &mut FxHashMap<String, PangeaClient>,
+        dest: u32,
+        entries: Vec<(u64, Vec<u8>)>,
+    ) -> Result<(u64, u64)> {
+        if dest == spec.source {
+            self.ingest_append_session(&spec.output, &entries, false)
+        } else {
+            let addr = *addr_of.get(&dest).ok_or_else(|| {
+                PangeaError::usage(format!("task has no destination address for slot {dest}"))
+            })?;
+            self.ingest_into(conns, addr, &spec.output, entries)
+        }
     }
 
     /// The shared `IngestAppend` implementation: dedup-appends one
@@ -915,21 +1048,45 @@ impl Pangead {
         })?;
         let mut session = session.lock();
         let outcome = (|| -> Result<(u64, u64)> {
-            let mut writer = target.writer();
+            let IngestSession { seen, reduce, .. } = &mut *session;
             let (mut appended, mut bytes) = (0u64, 0u64);
-            for (tag, rec) in entries {
-                if over_wire {
-                    self.stats.record_net(rec.len());
+            match reduce {
+                // Reducing session: fold accepted partials into the
+                // keyed accumulator; nothing touches storage until the
+                // seal materializes it. Tag dedup is unchanged, so
+                // lost-ack replays of a combine batch stay idempotent.
+                Some((spec, acc)) => {
+                    for (tag, rec) in entries {
+                        if over_wire {
+                            self.stats.record_net(rec.len());
+                        }
+                        if seen.contains(tag) {
+                            continue;
+                        }
+                        let (key, value) = spec.decode_record(rec)?;
+                        spec.fold_into(acc, key, value);
+                        seen.insert(*tag);
+                        appended += 1;
+                        bytes += rec.len() as u64;
+                    }
                 }
-                if session.seen.contains(tag) {
-                    continue;
+                None => {
+                    let mut writer = target.writer();
+                    for (tag, rec) in entries {
+                        if over_wire {
+                            self.stats.record_net(rec.len());
+                        }
+                        if seen.contains(tag) {
+                            continue;
+                        }
+                        writer.add_object(rec)?;
+                        seen.insert(*tag);
+                        appended += 1;
+                        bytes += rec.len() as u64;
+                    }
+                    writer.finish()?;
                 }
-                writer.add_object(rec)?;
-                session.seen.insert(*tag);
-                appended += 1;
-                bytes += rec.len() as u64;
             }
-            writer.finish()?;
             Ok((appended, bytes))
         })();
         match outcome {
@@ -975,6 +1132,12 @@ impl Pangead {
     /// keep what `filter` selects, and stream it in batches straight to
     /// `target_set` on the replacement at `target_addr`. The orchestrating
     /// driver only ever sees the outcome counters.
+    ///
+    /// An [`RepairFilter::Absent`] filter is resolved here: the
+    /// survivor first pulls the replacement's seeded present-hash
+    /// ledger (paginated `RepairLedger` — hashes only, no payload) and
+    /// keeps only records absent from it, so a round-robin repair ships
+    /// ~the lost share instead of the survivor's whole share.
     fn recover_push(
         &self,
         source_set: &str,
@@ -983,11 +1146,20 @@ impl Pangead {
         filter: &RepairFilter,
     ) -> Result<Response> {
         let source = self.get_set(source_set)?;
-        let keep = filter.compile()?;
         // One pooled connection for the whole push: repeated pushes to
         // the same replacement (per survivor × source × pass) no longer
         // pay a fresh dial + handshake each (the ROADMAP hot-path item).
         let mut peer = self.checkout_peer(target_addr)?;
+        let keep: Box<dyn Fn(&[u8]) -> bool + Send + Sync> = match filter {
+            RepairFilter::Absent => {
+                let present: FxHashSet<u64> = match peer.repair_ledger(target_set) {
+                    Ok(hashes) => hashes.into_iter().collect(),
+                    Err(e) => return Err(e),
+                };
+                Box::new(move |rec: &[u8]| !present.contains(&fx_hash64(rec)))
+            }
+            other => other.compile()?,
+        };
         let (mut scanned, mut pushed, mut pushed_bytes) = (0u64, 0u64, 0u64);
         let (mut appended, mut appended_bytes) = (0u64, 0u64);
         let mut batch: Vec<Vec<u8>> = Vec::new();
@@ -1584,6 +1756,64 @@ mod tests {
         assert_eq!(seeded.appended, 0, "present-on-peer records are skipped");
     }
 
+    /// The Absent filter ships only the lost share: the survivor pulls
+    /// the replacement's seeded ledger (`RepairLedger`) and filters at
+    /// the source, so present records never cross the wire — unlike
+    /// `All`, which ships everything and dedups at the destination.
+    #[test]
+    fn absent_push_filters_at_the_source_against_the_session_ledger() {
+        let secret = Some("absent-secret".to_string());
+        let survivor =
+            PangeadServer::bind_with_secret(node("absent-survivor"), "127.0.0.1:0", secret.clone())
+                .unwrap();
+        let replacement = PangeadServer::bind_with_secret(
+            node("absent-replacement"),
+            "127.0.0.1:0",
+            secret.clone(),
+        )
+        .unwrap();
+        let mut sc =
+            PangeaClient::connect_with_secret(survivor.local_addr(), Some("absent-secret"))
+                .unwrap();
+        let mut rc =
+            PangeaClient::connect_with_secret(replacement.local_addr(), Some("absent-secret"))
+                .unwrap();
+        sc.create_set("src", "write-through", None).unwrap();
+        rc.create_set("tgt", "write-through", None).unwrap();
+        let rows: Vec<String> = (0..60).map(|i| format!("{i}|row-{i}")).collect();
+        sc.append("src", &rows).unwrap();
+        // The replacement already holds a surviving share of 20 rows;
+        // RecoverBegin seeds the session ledger from them.
+        rc.append("tgt", &rows[..20]).unwrap();
+        rc.recover_begin("tgt", &[]).unwrap();
+
+        // The ledger RPC pages the seeded hashes.
+        assert_eq!(sc.call(&Request::Ping).unwrap(), Response::Ok);
+        let mut probe =
+            PangeaClient::connect_with_secret(replacement.local_addr(), Some("absent-secret"))
+                .unwrap();
+        let ledger = probe.repair_ledger("tgt").unwrap();
+        assert_eq!(ledger.len(), 20);
+
+        let push = sc
+            .recover_push(
+                "src",
+                "tgt",
+                &replacement.local_addr().to_string(),
+                &crate::wire::RepairFilter::Absent,
+            )
+            .unwrap();
+        assert_eq!(push.scanned, 60);
+        assert_eq!(push.pushed, 40, "present records filtered at the source");
+        assert_eq!(push.appended, 40, "everything shipped was genuinely lost");
+        assert_eq!(push.pushed_bytes, push.appended_bytes);
+        let (appended, _) = rc.recover_end("tgt").unwrap();
+        assert_eq!(appended, 40);
+        assert_eq!(rc.count("tgt").unwrap(), 60, "full set restored");
+        // Without an open session the ledger is a typed protocol error.
+        assert!(probe.repair_ledger("tgt").is_err());
+    }
+
     #[test]
     fn ingest_session_dedups_tags_not_content() {
         let d = Pangead::new(node("ingest-session"));
@@ -1601,7 +1831,10 @@ mod tests {
             Response::Err { .. }
         ));
         assert_eq!(
-            d.handle(Request::IngestBegin { set: "out".into() }),
+            d.handle(Request::IngestBegin {
+                set: "out".into(),
+                reduce: None,
+            }),
             Response::Ok
         );
         // Identical bytes under distinct tags are honest duplicates and
@@ -1649,7 +1882,10 @@ mod tests {
         // …and a fresh begin truncates the partial output of the prior
         // attempt, so a job retry starts from zero records.
         assert_eq!(
-            d.handle(Request::IngestBegin { set: "out".into() }),
+            d.handle(Request::IngestBegin {
+                set: "out".into(),
+                reduce: None,
+            }),
             Response::Ok
         );
         match d.handle(Request::Scan { set: "out".into() }) {
@@ -1657,6 +1893,78 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(d.stats().snapshot().shuffle_bytes > 0);
+    }
+
+    /// A reducing ingest session folds incoming `key|value` partials
+    /// (tag-deduped) and materializes the accumulator at the seal —
+    /// which stays tombstone-idempotent like the plain session.
+    #[test]
+    fn reducing_ingest_session_folds_partials_and_materializes_at_end() {
+        use crate::wire::{KeySpec, ReduceSpec};
+        let d = Pangead::new(node("ingest-reduce"));
+        d.handle(Request::CreateSet {
+            name: "counts".into(),
+            durability: "write-through".into(),
+            page_size: None,
+        });
+        let reduce = ReduceSpec::count(KeySpec::WholeRecord, b'|');
+        assert_eq!(
+            d.handle(Request::IngestBegin {
+                set: "counts".into(),
+                reduce: Some(reduce.clone()),
+            }),
+            Response::Ok
+        );
+        // Two mappers' partials for "the" (3 + 2), one for "fox" (1);
+        // a replayed tag dedups away instead of double-counting.
+        assert_eq!(
+            d.handle(Request::IngestAppend {
+                set: "counts".into(),
+                entries: vec![
+                    (crate::wire::ingest_tag(0, 7, b"the|3"), b"the|3".to_vec()),
+                    (crate::wire::ingest_tag(1, 7, b"the|2"), b"the|2".to_vec()),
+                    (crate::wire::ingest_tag(0, 9, b"fox|1"), b"fox|1".to_vec()),
+                    (crate::wire::ingest_tag(1, 7, b"the|2"), b"the|2".to_vec()),
+                ],
+            }),
+            Response::IngestAck {
+                appended: 3,
+                bytes: 15,
+            }
+        );
+        // Nothing is stored until the seal…
+        match d.handle(Request::Scan {
+            set: "counts".into(),
+        }) {
+            Response::Records { records } => assert!(records.is_empty(), "{records:?}"),
+            other => panic!("{other:?}"),
+        }
+        // …which materializes one record per key, sorted, and is
+        // idempotent on retry.
+        let sealed = Response::IngestAck {
+            appended: 2,
+            bytes: 10,
+        };
+        assert_eq!(
+            d.handle(Request::IngestEnd {
+                set: "counts".into()
+            }),
+            sealed
+        );
+        assert_eq!(
+            d.handle(Request::IngestEnd {
+                set: "counts".into()
+            }),
+            sealed
+        );
+        match d.handle(Request::Scan {
+            set: "counts".into(),
+        }) {
+            Response::Records { records } => {
+                assert_eq!(records, vec![b"fox|1".to_vec(), b"the|5".to_vec()]);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     /// The tentpole flow at daemon scope over real sockets: a shipped
@@ -1689,7 +1997,7 @@ mod tests {
         mc.append("lines", &rows).unwrap();
         for c in [&mut c0, &mut c1] {
             c.create_set("words", "write-through", None).unwrap();
-            c.ingest_begin("words").unwrap();
+            c.ingest_begin("words", None).unwrap();
         }
 
         // Keep rows whose first field is "1", emit field 1, route by the
@@ -1708,6 +2016,7 @@ mod tests {
                 },
                 value: b"1".to_vec(),
             }),
+            reduce: None,
             scheme: SchemeSpec::Hash {
                 key_name: "word".into(),
                 partitions: 4,

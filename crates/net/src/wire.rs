@@ -126,7 +126,7 @@ impl SchemeSpec {
 
     pub(crate) fn get(r: &mut ByteReader<'_>) -> Result<Self> {
         let tag: u64 = r.read_record()?;
-        Ok(match tag {
+        let spec = match tag {
             SCHEME_HASH => Self::Hash {
                 key_name: r.read_record()?,
                 partitions: r.read_record::<u64>()? as u32,
@@ -140,7 +140,23 @@ impl SchemeSpec {
                     "unknown scheme tag {other}"
                 )))
             }
-        })
+        };
+        // The driver-side `PartitionScheme` clamps `partitions` to ≥ 1 at
+        // construction; a zero can therefore only reach the wire from a
+        // hand-crafted or corrupted frame, and silently clamping it here
+        // would let the two sides disagree about the routing rule.
+        if spec.raw_partitions() == 0 {
+            return Err(PangeaError::Corruption(
+                "partition scheme with zero partitions".into(),
+            ));
+        }
+        Ok(spec)
+    }
+
+    fn raw_partitions(&self) -> u32 {
+        match self {
+            Self::Hash { partitions, .. } | Self::RoundRobin { partitions } => *partitions,
+        }
     }
 
     /// The scheme's partition count.
@@ -191,10 +207,20 @@ pub enum RepairFilter {
     /// what the surviving share already holds (round-robin targets,
     /// whose lost share is defined by absence, not by placement).
     All,
+    /// Ship only records *absent* from the replacement's repair-session
+    /// ledger: before scanning, the survivor pulls the session's seeded
+    /// present-hash ledger from the replacement (paginated like
+    /// `HashList`, via `Request::RepairLedger`) and filters at the
+    /// source. Same correctness as [`RepairFilter::All`] — the session
+    /// still dedups every append — but the surviving share's bytes never
+    /// cross the wire, so a round-robin repair ships ~the lost share
+    /// instead of every survivor's whole share.
+    Absent,
 }
 
 const FILTER_LOST: u64 = 1;
 const FILTER_ALL: u64 = 2;
+const FILTER_ABSENT: u64 = 3;
 
 impl RepairFilter {
     pub(crate) fn put(&self, w: &mut ByteWriter) {
@@ -210,6 +236,7 @@ impl RepairFilter {
                 w.write_record(&(*nodes as u64));
             }
             Self::All => w.write_record(&FILTER_ALL),
+            Self::Absent => w.write_record(&FILTER_ABSENT),
         }
     }
 
@@ -222,6 +249,7 @@ impl RepairFilter {
                 nodes: r.read_record::<u64>()? as u32,
             },
             FILTER_ALL => Self::All,
+            FILTER_ABSENT => Self::Absent,
             other => {
                 return Err(PangeaError::Corruption(format!(
                     "unknown repair-filter tag {other}"
@@ -234,10 +262,17 @@ impl RepairFilter {
     /// record must be shipped. Mirrors `PartitionScheme::node_of` exactly
     /// (`hash(key) % partitions`, partitions striping over nodes), so a
     /// survivor's local decision matches the placement the dispatcher
-    /// used. Fails on a `Lost` filter over a round-robin scheme.
+    /// used. Fails on a `Lost` filter over a round-robin scheme, and on
+    /// `Absent`, whose predicate is not self-contained — the survivor
+    /// resolves it against the target's session ledger (see
+    /// `Pangead::recover_push`).
     pub fn compile(&self) -> Result<Box<dyn Fn(&[u8]) -> bool + Send + Sync>> {
         match self {
             Self::All => Ok(Box::new(|_| true)),
+            Self::Absent => Err(PangeaError::usage(
+                "an Absent repair filter is resolved at the survivor against \
+                 the replacement's session ledger, not compiled standalone",
+            )),
             Self::Lost {
                 scheme,
                 failed,
@@ -309,10 +344,96 @@ pub enum FilterSpec {
         /// How the checked key is extracted.
         key: KeySpec,
     },
+    /// Keep records whose key (per `key`), parsed as a decimal signed
+    /// integer, compares against `value` under `cmp`. Records whose key
+    /// does not parse fail the predicate (dropped), mirroring SQL's
+    /// NULL-comparison semantics.
+    KeyCompare {
+        /// How the compared key is extracted.
+        key: KeySpec,
+        /// The comparison to apply (`key <cmp> value`).
+        cmp: CmpOp,
+        /// The right-hand side of the comparison.
+        value: i64,
+    },
+}
+
+/// A numeric comparison operator for [`FilterSpec::KeyCompare`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `key < value`
+    Lt,
+    /// `key <= value`
+    Le,
+    /// `key > value`
+    Gt,
+    /// `key >= value`
+    Ge,
+    /// `key == value`
+    Eq,
+    /// `key != value`
+    Ne,
+}
+
+const CMP_LT: u64 = 1;
+const CMP_LE: u64 = 2;
+const CMP_GT: u64 = 3;
+const CMP_GE: u64 = 4;
+const CMP_EQ: u64 = 5;
+const CMP_NE: u64 = 6;
+
+impl CmpOp {
+    fn wire_tag(self) -> u64 {
+        match self {
+            Self::Lt => CMP_LT,
+            Self::Le => CMP_LE,
+            Self::Gt => CMP_GT,
+            Self::Ge => CMP_GE,
+            Self::Eq => CMP_EQ,
+            Self::Ne => CMP_NE,
+        }
+    }
+
+    fn from_wire(tag: u64) -> Result<Self> {
+        Ok(match tag {
+            CMP_LT => Self::Lt,
+            CMP_LE => Self::Le,
+            CMP_GT => Self::Gt,
+            CMP_GE => Self::Ge,
+            CMP_EQ => Self::Eq,
+            CMP_NE => Self::Ne,
+            other => {
+                return Err(PangeaError::Corruption(format!(
+                    "unknown comparison-op tag {other}"
+                )))
+            }
+        })
+    }
+
+    /// Evaluates `lhs <op> rhs`.
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            Self::Lt => lhs < rhs,
+            Self::Le => lhs <= rhs,
+            Self::Gt => lhs > rhs,
+            Self::Ge => lhs >= rhs,
+            Self::Eq => lhs == rhs,
+            Self::Ne => lhs != rhs,
+        }
+    }
+}
+
+/// Parses a byte slice as a decimal `i64` with `str::parse` semantics
+/// (an optional leading sign, no surrounding whitespace). Shared by the
+/// numeric filter predicate and the reduce value extraction, so "is a
+/// number" means one thing across the task algebra.
+pub(crate) fn parse_i64(bytes: &[u8]) -> Option<i64> {
+    std::str::from_utf8(bytes).ok()?.parse().ok()
 }
 
 const FILTER_KEY_EQUALS: u64 = 1;
 const FILTER_KEY_PRESENT: u64 = 2;
+const FILTER_KEY_COMPARE: u64 = 3;
 
 impl FilterSpec {
     pub(crate) fn put(&self, w: &mut ByteWriter) {
@@ -325,6 +446,12 @@ impl FilterSpec {
             Self::KeyPresent { key } => {
                 w.write_record(&FILTER_KEY_PRESENT);
                 key.put(w);
+            }
+            Self::KeyCompare { key, cmp, value } => {
+                w.write_record(&FILTER_KEY_COMPARE);
+                key.put(w);
+                w.write_record(&cmp.wire_tag());
+                w.write_record(&(*value as u64));
             }
         }
     }
@@ -339,6 +466,11 @@ impl FilterSpec {
             FILTER_KEY_PRESENT => Self::KeyPresent {
                 key: KeySpec::get(r)?,
             },
+            FILTER_KEY_COMPARE => Self::KeyCompare {
+                key: KeySpec::get(r)?,
+                cmp: CmpOp::from_wire(r.read_record()?)?,
+                value: r.read_record::<u64>()? as i64,
+            },
             other => {
                 return Err(PangeaError::Corruption(format!(
                     "unknown filter-spec tag {other}"
@@ -352,6 +484,10 @@ impl FilterSpec {
         match self {
             Self::KeyEquals { key, value } => key.key_slice(record) == &value[..],
             Self::KeyPresent { key } => !key.key_slice(record).is_empty(),
+            Self::KeyCompare { key, cmp, value } => match parse_i64(key.key_slice(record)) {
+                Some(lhs) => cmp.eval(lhs, *value),
+                None => false,
+            },
         }
     }
 }
@@ -371,11 +507,20 @@ pub enum EmitSpec {
         /// 0-based field indices, emitted in the given order.
         indices: Vec<u32>,
     },
+    /// Flat-map tokenization: split the record on `delim` and emit each
+    /// *non-empty* token as its own output record — one input record
+    /// emits zero or more outputs (e.g. whitespace-tokenize a raw text
+    /// line, so a wordcount needs no pre-split input).
+    Tokens {
+        /// The single-byte token delimiter (e.g. `b' '`).
+        delim: u8,
+    },
 }
 
 const EMIT_RECORD: u64 = 1;
 const EMIT_KEY: u64 = 2;
 const EMIT_FIELDS: u64 = 3;
+const EMIT_TOKENS: u64 = 4;
 
 impl EmitSpec {
     pub(crate) fn put(&self, w: &mut ByteWriter) {
@@ -392,6 +537,10 @@ impl EmitSpec {
                 for i in indices {
                     w.write_record(&(*i as u64));
                 }
+            }
+            Self::Tokens { delim } => {
+                w.write_record(&EMIT_TOKENS);
+                w.write_record(&(*delim as u64));
             }
         }
     }
@@ -410,6 +559,9 @@ impl EmitSpec {
                 }
                 Self::Fields { delim, indices }
             }
+            EMIT_TOKENS => Self::Tokens {
+                delim: r.read_record::<u64>()? as u8,
+            },
             other => {
                 return Err(PangeaError::Corruption(format!(
                     "unknown emit-spec tag {other}"
@@ -418,11 +570,14 @@ impl EmitSpec {
         })
     }
 
-    /// The bytes this spec emits for `record`.
-    pub fn emit(&self, record: &[u8]) -> Vec<u8> {
+    /// Runs `f` over every output this spec emits for `record`, in
+    /// order. The single-emit variants call `f` exactly once;
+    /// [`EmitSpec::Tokens`] calls it once per non-empty token (possibly
+    /// never). The first error aborts the emission.
+    pub fn emit_each(&self, record: &[u8], f: &mut dyn FnMut(&[u8]) -> Result<()>) -> Result<()> {
         match self {
-            Self::Record => record.to_vec(),
-            Self::Key(key) => key.key_of(record),
+            Self::Record => f(record),
+            Self::Key(key) => f(key.key_slice(record)),
             Self::Fields { delim, indices } => {
                 let fields: Vec<&[u8]> = record.split(|&b| b == *delim).collect();
                 let mut out = Vec::new();
@@ -430,13 +585,36 @@ impl EmitSpec {
                     if i > 0 {
                         out.push(*delim);
                     }
-                    if let Some(f) = fields.get(*idx as usize) {
-                        out.extend_from_slice(f);
+                    if let Some(field) = fields.get(*idx as usize) {
+                        out.extend_from_slice(field);
                     }
                 }
-                out
+                f(&out)
+            }
+            Self::Tokens { delim } => {
+                for token in record.split(|&b| b == *delim) {
+                    if !token.is_empty() {
+                        f(token)?;
+                    }
+                }
+                Ok(())
             }
         }
+    }
+
+    /// The bytes this spec emits for `record`, for the single-emit
+    /// variants. [`EmitSpec::Tokens`] is multi-emit — use
+    /// [`EmitSpec::emit_each`]; here it returns the first token (or
+    /// empty), as a convenience for diagnostics only.
+    pub fn emit(&self, record: &[u8]) -> Vec<u8> {
+        let mut first: Option<Vec<u8>> = None;
+        let _ = self.emit_each(record, &mut |out| {
+            if first.is_none() {
+                first = Some(out.to_vec());
+            }
+            Ok(())
+        });
+        first.unwrap_or_default()
     }
 }
 
@@ -478,14 +656,43 @@ impl MapSpec {
         }
     }
 
+    /// Flat-map tokenize: emit every non-empty `delim`-separated token
+    /// of each record as its own output record.
+    pub fn tokenize(delim: u8) -> Self {
+        Self {
+            filter: None,
+            emit: EmitSpec::Tokens { delim },
+        }
+    }
+
     /// Adds a filter in front of the emission.
     pub fn with_filter(mut self, filter: FilterSpec) -> Self {
         self.filter = Some(filter);
         self
     }
 
+    /// Runs `f` over every output the map emits for one record — zero
+    /// outputs when the record is filtered out, several when the emit
+    /// spec is multi-emit ([`EmitSpec::Tokens`]). This is the canonical
+    /// application; mapper hot paths use it so flat-map specs work
+    /// everywhere.
+    pub fn for_each_emit(
+        &self,
+        record: &[u8],
+        f: &mut dyn FnMut(&[u8]) -> Result<()>,
+    ) -> Result<()> {
+        if let Some(filter) = &self.filter {
+            if !filter.keeps(record) {
+                return Ok(());
+            }
+        }
+        self.emit.emit_each(record, f)
+    }
+
     /// Applies the map to one record: `None` means the record was
-    /// filtered out.
+    /// filtered out. Single-emit convenience over
+    /// [`MapSpec::for_each_emit`]; for a multi-emit spec this returns
+    /// only the first emission.
     pub fn apply(&self, record: &[u8]) -> Option<Vec<u8>> {
         if let Some(f) = &self.filter {
             if !f.keeps(record) {
@@ -517,6 +724,255 @@ impl MapSpec {
     }
 }
 
+/// The fold applied by a [`ReduceSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Number of records per key.
+    Count,
+    /// Sum of the numeric value field per key.
+    Sum,
+    /// Minimum of the numeric value field per key.
+    Min,
+    /// Maximum of the numeric value field per key.
+    Max,
+}
+
+const REDUCE_COUNT: u64 = 1;
+const REDUCE_SUM: u64 = 2;
+const REDUCE_MIN: u64 = 3;
+const REDUCE_MAX: u64 = 4;
+
+/// A declarative, wire-codable keyed reduction over the map's output:
+/// count / sum / min / max of a delimited numeric field, grouped by the
+/// record key. A reduce makes the map-shuffle a full distributed
+/// map-combine-reduce: mappers pre-aggregate per key before shipping
+/// (source-side combine — measurably fewer shuffle bytes), and each
+/// destination folds the incoming partials into one accumulator,
+/// materialized at `IngestEnd`.
+///
+/// # Record forms
+///
+/// The reduce sees *mapped* records: `key` extracts the group key from
+/// each, and (for `Sum`/`Min`/`Max`) `value_index` names the
+/// `delim`-separated field parsed as a decimal `i64` — records whose
+/// value does not parse are dropped from the fold. Partial aggregates
+/// travel (and the final output materializes) as
+/// `key ++ [delim] ++ decimal(value)` records, so the reduced output is
+/// a normal delimited set: its key is field 0, its value the last
+/// field. Because every fold here (`Sum`-merge for `Count`, else the op
+/// itself, over wrapping `i64`) is associative and commutative, the
+/// distributed combine-then-merge equals the serial single-fold
+/// reference record-for-record.
+///
+/// The delimiter must not be a byte a rendered decimal value can
+/// contain (`-` or a digit) — the partial encoding splits at the *last*
+/// delimiter and such a byte would make the split ambiguous. Rejected
+/// at wire decode ([`PangeaError::Corruption`]) and at job validation;
+/// see [`ReduceSpec::delim_ok`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReduceSpec {
+    /// How the group key is extracted from a *mapped* record.
+    pub key: KeySpec,
+    /// The fold to apply per key.
+    pub op: ReduceOp,
+    /// Single-byte delimiter: separates `value_index` fields in mapped
+    /// records, and separates key from value in partial/output records.
+    pub delim: u8,
+    /// For `Sum`/`Min`/`Max`: 0-based index of the numeric field in the
+    /// mapped record. Ignored by `Count`.
+    pub value_index: u32,
+}
+
+impl ReduceSpec {
+    /// Count records per key (wordcount's fold).
+    pub fn count(key: KeySpec, delim: u8) -> Self {
+        Self {
+            key,
+            op: ReduceOp::Count,
+            delim,
+            value_index: 0,
+        }
+    }
+
+    /// Sum field `value_index` per key.
+    pub fn sum(key: KeySpec, delim: u8, value_index: u32) -> Self {
+        Self {
+            key,
+            op: ReduceOp::Sum,
+            delim,
+            value_index,
+        }
+    }
+
+    /// Minimum of field `value_index` per key.
+    pub fn min(key: KeySpec, delim: u8, value_index: u32) -> Self {
+        Self {
+            key,
+            op: ReduceOp::Min,
+            delim,
+            value_index,
+        }
+    }
+
+    /// Maximum of field `value_index` per key.
+    pub fn max(key: KeySpec, delim: u8, value_index: u32) -> Self {
+        Self {
+            key,
+            op: ReduceOp::Max,
+            delim,
+            value_index,
+        }
+    }
+
+    /// True when `delim` can delimit reduce partials: a rendered
+    /// decimal `i64` contains only digits and `-`, so any other byte
+    /// splits `key ++ [delim] ++ decimal(value)` unambiguously at its
+    /// last occurrence. A digit or `-` delimiter would let the value's
+    /// own bytes masquerade as the delimiter (`k--17` splitting into
+    /// `k-` / `17`), silently corrupting the fold.
+    pub fn delim_ok(delim: u8) -> bool {
+        delim != b'-' && !delim.is_ascii_digit()
+    }
+
+    /// Extracts `(group key, initial accumulator value)` from one
+    /// *mapped* record; `None` drops the record from the fold (missing
+    /// or non-numeric value field).
+    pub fn accumulate(&self, mapped: &[u8]) -> Option<(Vec<u8>, i64)> {
+        let key = self.key.key_of(mapped);
+        let value = match self.op {
+            ReduceOp::Count => 1,
+            ReduceOp::Sum | ReduceOp::Min | ReduceOp::Max => parse_i64(
+                KeySpec::Field {
+                    delim: self.delim,
+                    index: self.value_index,
+                }
+                .key_slice(mapped),
+            )?,
+        };
+        Some((key, value))
+    }
+
+    /// Merges two accumulator values. `Count` partials merge by
+    /// addition (a count of counts is a sum); addition wraps so the
+    /// merge stays associative and commutative — the property the
+    /// combine-then-merge parity contract rests on.
+    pub fn merge(&self, a: i64, b: i64) -> i64 {
+        match self.op {
+            ReduceOp::Count | ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    /// Folds one `(key, value)` into a keyed accumulator, merging with
+    /// the key's existing slot or inserting on first sight. The single
+    /// definition of the fold — source-side combine, destination merge,
+    /// and the serial reference all go through it, so their semantics
+    /// cannot drift apart.
+    pub fn fold_into(
+        &self,
+        acc: &mut std::collections::BTreeMap<Vec<u8>, i64>,
+        key: &[u8],
+        value: i64,
+    ) {
+        match acc.get_mut(key) {
+            Some(a) => *a = self.merge(*a, value),
+            None => {
+                acc.insert(key.to_vec(), value);
+            }
+        }
+    }
+
+    /// Encodes one `(key, value)` accumulator entry as a partial/output
+    /// record: `key ++ [delim] ++ decimal(value)`.
+    pub fn encode_record(&self, key: &[u8], value: i64) -> Vec<u8> {
+        let digits = value.to_string();
+        let mut out = Vec::with_capacity(key.len() + 1 + digits.len());
+        out.extend_from_slice(key);
+        out.push(self.delim);
+        out.extend_from_slice(digits.as_bytes());
+        out
+    }
+
+    /// Decodes a partial/output record back into `(key, value)`: the
+    /// value is everything after the *last* delimiter (the rendered
+    /// value never contains one), so keys may themselves contain the
+    /// delimiter.
+    pub fn decode_record<'a>(&self, record: &'a [u8]) -> Result<(&'a [u8], i64)> {
+        let split = record
+            .iter()
+            .rposition(|&b| b == self.delim)
+            .ok_or_else(|| {
+                PangeaError::Corruption(format!(
+                    "reduce partial without a '{}' delimiter: {record:?}",
+                    self.delim as char
+                ))
+            })?;
+        let value = parse_i64(&record[split + 1..]).ok_or_else(|| {
+            PangeaError::Corruption(format!(
+                "reduce partial with a non-numeric value: {record:?}"
+            ))
+        })?;
+        Ok((&record[..split], value))
+    }
+
+    pub(crate) fn put(&self, w: &mut ByteWriter) {
+        w.write_record(&match self.op {
+            ReduceOp::Count => REDUCE_COUNT,
+            ReduceOp::Sum => REDUCE_SUM,
+            ReduceOp::Min => REDUCE_MIN,
+            ReduceOp::Max => REDUCE_MAX,
+        });
+        self.key.put(w);
+        w.write_record(&(self.delim as u64));
+        w.write_record(&(self.value_index as u64));
+    }
+
+    pub(crate) fn get(r: &mut ByteReader<'_>) -> Result<Self> {
+        let op = match r.read_record::<u64>()? {
+            REDUCE_COUNT => ReduceOp::Count,
+            REDUCE_SUM => ReduceOp::Sum,
+            REDUCE_MIN => ReduceOp::Min,
+            REDUCE_MAX => ReduceOp::Max,
+            other => {
+                return Err(PangeaError::Corruption(format!(
+                    "unknown reduce-op tag {other}"
+                )))
+            }
+        };
+        let key = KeySpec::get(r)?;
+        let delim = r.read_record::<u64>()? as u8;
+        if !Self::delim_ok(delim) {
+            return Err(PangeaError::Corruption(format!(
+                "reduce delimiter {delim:#04x} can appear inside a rendered \
+                 decimal value; pick a non-digit, non-'-' byte"
+            )));
+        }
+        Ok(Self {
+            key,
+            op,
+            delim,
+            value_index: r.read_record::<u64>()? as u32,
+        })
+    }
+
+    pub(crate) fn put_opt(spec: &Option<ReduceSpec>, w: &mut ByteWriter) {
+        w.write_record(&(spec.is_some() as u64));
+        if let Some(spec) = spec {
+            spec.put(w);
+        }
+    }
+
+    pub(crate) fn get_opt(r: &mut ByteReader<'_>) -> Result<Option<Self>> {
+        let present: u64 = r.read_record()?;
+        Ok(if present != 0 {
+            Some(Self::get(r)?)
+        } else {
+            None
+        })
+    }
+}
+
 /// One map task as shipped to a worker (`Request::TaskRun`): scan the
 /// local share of `input`, apply `map`, route each output record by
 /// `scheme` striping over `nodes`, and stream batches straight to the
@@ -532,6 +988,12 @@ pub struct TaskSpec {
     pub output: String,
     /// The per-record transform.
     pub map: MapSpec,
+    /// When present, the mapper pre-aggregates its mapped output per
+    /// key (source-side combine) and ships encoded partials instead of
+    /// raw records; destinations fold the partials in their reducing
+    /// ingest sessions. Must pair with a hash `scheme` keyed by field 0
+    /// under the reduce's delimiter, so placement is key-determined.
+    pub reduce: Option<ReduceSpec>,
     /// Output partitioning (declarative — it crossed the wire).
     pub scheme: SchemeSpec,
     /// Fleet width the output partitions stripe over.
@@ -552,6 +1014,7 @@ impl TaskSpec {
         w.write_record(&self.input);
         w.write_record(&self.output);
         self.map.put(w);
+        ReduceSpec::put_opt(&self.reduce, w);
         self.scheme.put(w);
         w.write_record(&(self.nodes as u64));
         w.write_record(&(self.source as u64));
@@ -566,6 +1029,7 @@ impl TaskSpec {
         let input = r.read_record()?;
         let output = r.read_record()?;
         let map = MapSpec::get(r)?;
+        let reduce = ReduceSpec::get_opt(r)?;
         let scheme = SchemeSpec::get(r)?;
         let nodes = r.read_record::<u64>()? as u32;
         let source = r.read_record::<u64>()? as u32;
@@ -578,6 +1042,7 @@ impl TaskSpec {
             input,
             output,
             map,
+            reduce,
             scheme,
             nodes,
             source,
@@ -938,6 +1403,7 @@ mod tests {
                 delim: b'|',
                 index: 1,
             }),
+            reduce: Some(ReduceSpec::count(KeySpec::WholeRecord, b'|')),
             scheme: SchemeSpec::Hash {
                 key_name: "word".into(),
                 partitions: 8,
@@ -1007,5 +1473,150 @@ mod tests {
         }
         .compile()
         .is_err());
+    }
+
+    #[test]
+    fn absent_filter_roundtrips_and_refuses_standalone_compile() {
+        roundtrip_filter(RepairFilter::Absent);
+        // The predicate needs the replacement's ledger; compiling it
+        // without one is API misuse, not a silent keep-all.
+        assert!(RepairFilter::Absent.compile().is_err());
+    }
+
+    #[test]
+    fn zero_partition_schemes_are_rejected_at_decode() {
+        for spec in [
+            SchemeSpec::RoundRobin { partitions: 0 },
+            SchemeSpec::Hash {
+                key_name: "k".into(),
+                partitions: 0,
+                key: KeySpec::WholeRecord,
+            },
+        ] {
+            let mut w = ByteWriter::new();
+            spec.put(&mut w);
+            match SchemeSpec::get(&mut ByteReader::new(w.as_bytes())) {
+                Err(PangeaError::Corruption(m)) => assert!(m.contains("zero"), "{m}"),
+                other => panic!("zero partitions must not decode: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tokens_flat_map_emits_every_nonempty_token() {
+        let map = MapSpec::tokenize(b' ');
+        let mut out = Vec::new();
+        map.for_each_emit(b"the  quick fox ", &mut |t| {
+            out.push(t.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            out,
+            vec![b"the".to_vec(), b"quick".to_vec(), b"fox".to_vec()]
+        );
+        // Filter composes in front of the tokenization.
+        let filtered = MapSpec::tokenize(b' ').with_filter(FilterSpec::KeyPresent {
+            key: KeySpec::WholeRecord,
+        });
+        let mut n = 0;
+        filtered
+            .for_each_emit(b"", &mut |_| {
+                n += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(n, 0, "an empty record is filtered before tokenizing");
+        // The wire form survives the trip like every emit spec.
+        roundtrip_map(MapSpec::tokenize(b','));
+    }
+
+    #[test]
+    fn numeric_filters_compare_and_drop_unparsable_keys() {
+        let key = KeySpec::Field {
+            delim: b'|',
+            index: 1,
+        };
+        let over = FilterSpec::KeyCompare {
+            key,
+            cmp: CmpOp::Gt,
+            value: 10,
+        };
+        assert!(over.keeps(b"a|11"));
+        assert!(!over.keeps(b"a|10"));
+        assert!(!over.keeps(b"a|not-a-number"), "unparsable drops");
+        assert!(!over.keeps(b"a"), "missing field drops");
+        let negative = FilterSpec::KeyCompare {
+            key,
+            cmp: CmpOp::Le,
+            value: -3,
+        };
+        assert!(negative.keeps(b"x|-4"));
+        assert!(!negative.keeps(b"x|-2"));
+        for cmp in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
+            roundtrip_map(MapSpec::identity().with_filter(FilterSpec::KeyCompare {
+                key,
+                cmp,
+                value: -42,
+            }));
+        }
+    }
+
+    #[test]
+    fn reduce_specs_roundtrip_fold_and_encode() {
+        let count = ReduceSpec::count(KeySpec::WholeRecord, b'|');
+        for spec in [
+            count.clone(),
+            ReduceSpec::sum(
+                KeySpec::Field {
+                    delim: b'|',
+                    index: 0,
+                },
+                b'|',
+                1,
+            ),
+            ReduceSpec::min(KeySpec::WholeRecord, b',', 2),
+            ReduceSpec::max(KeySpec::WholeRecord, b'\t', 3),
+        ] {
+            let mut w = ByteWriter::new();
+            spec.put(&mut w);
+            let mut r = ByteReader::new(w.as_bytes());
+            assert_eq!(ReduceSpec::get(&mut r).unwrap(), spec);
+        }
+
+        // Count: every mapped record is worth 1; merge is addition.
+        assert_eq!(count.accumulate(b"the"), Some((b"the".to_vec(), 1)));
+        assert_eq!(count.merge(2, 3), 5);
+        // Sum/min/max parse the value field; unparsable drops.
+        let sum = ReduceSpec::sum(
+            KeySpec::Field {
+                delim: b'|',
+                index: 0,
+            },
+            b'|',
+            1,
+        );
+        assert_eq!(sum.accumulate(b"k|7"), Some((b"k".to_vec(), 7)));
+        assert_eq!(sum.accumulate(b"k|x"), None);
+        assert_eq!(sum.accumulate(b"k"), None);
+        let min = ReduceSpec::min(KeySpec::WholeRecord, b'|', 1);
+        assert_eq!(min.merge(4, -2), -2);
+        let max = ReduceSpec::max(KeySpec::WholeRecord, b'|', 1);
+        assert_eq!(max.merge(4, -2), 4);
+
+        // Partials encode as key|value and decode at the *last* delim,
+        // so a key containing the delimiter survives the trip.
+        let enc = count.encode_record(b"a|b", -17);
+        assert_eq!(enc, b"a|b|-17".to_vec());
+        assert_eq!(count.decode_record(&enc).unwrap(), (&b"a|b"[..], -17));
+        assert!(count.decode_record(b"no-delim").is_err());
+        assert!(count.decode_record(b"k|nan").is_err());
     }
 }

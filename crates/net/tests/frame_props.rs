@@ -5,8 +5,8 @@
 use pangea_common::PangeaError;
 use pangea_net::frame::{read_frame, write_frame, FRAME_OVERHEAD, MAX_FRAME};
 use pangea_net::{
-    EmitSpec, FilterSpec, KeySpec, MapSpec, RepairFilter, Request, Response, SchemeSpec, TaskSpec,
-    WireCatalogEntry, WireWorker, WorkerState,
+    CmpOp, EmitSpec, FilterSpec, KeySpec, MapSpec, ReduceOp, ReduceSpec, RepairFilter, Request,
+    Response, SchemeSpec, TaskSpec, WireCatalogEntry, WireWorker, WorkerState,
 };
 use proptest::prelude::*;
 use std::io::Cursor;
@@ -25,6 +25,9 @@ fn key_spec(delim: u8, index: u32, whole: bool) -> KeySpec {
 }
 
 fn scheme_spec(name: &[u8], partitions: u32, hash: bool, key: KeySpec) -> SchemeSpec {
+    // Zero partitions are rejected at decode (typed corruption), so the
+    // roundtrip generators stay in the encodable domain.
+    let partitions = partitions.max(1);
     if hash {
         SchemeSpec::Hash {
             key_name: ident(name),
@@ -36,34 +39,74 @@ fn scheme_spec(name: &[u8], partitions: u32, hash: bool, key: KeySpec) -> Scheme
     }
 }
 
+fn cmp_of(tag: u8) -> CmpOp {
+    match tag % 6 {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Gt,
+        3 => CmpOp::Ge,
+        4 => CmpOp::Eq,
+        _ => CmpOp::Ne,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn map_spec(
-    filtered: bool,
+    filter_tag: u8,
     filter_key: KeySpec,
     value: &[u8],
+    cmp_value: i64,
     emit_tag: u8,
     emit_key: KeySpec,
     delim: u8,
     indices: &[u32],
 ) -> MapSpec {
-    let emit = match emit_tag % 3 {
+    let emit = match emit_tag % 4 {
         0 => EmitSpec::Record,
         1 => EmitSpec::Key(emit_key),
-        _ => EmitSpec::Fields {
+        2 => EmitSpec::Fields {
             delim,
             indices: indices.to_vec(),
         },
+        _ => EmitSpec::Tokens { delim },
     };
-    let filter = filtered.then(|| {
-        if value.is_empty() {
-            FilterSpec::KeyPresent { key: filter_key }
-        } else {
-            FilterSpec::KeyEquals {
-                key: filter_key,
-                value: value.to_vec(),
-            }
-        }
-    });
+    let filter = match filter_tag % 4 {
+        0 => None,
+        1 => Some(FilterSpec::KeyPresent { key: filter_key }),
+        2 => Some(FilterSpec::KeyEquals {
+            key: filter_key,
+            value: value.to_vec(),
+        }),
+        _ => Some(FilterSpec::KeyCompare {
+            key: filter_key,
+            cmp: cmp_of(filter_tag),
+            value: cmp_value,
+        }),
+    };
     MapSpec { filter, emit }
+}
+
+fn reduce_spec(tag: u8, key: KeySpec, delim: u8, value_index: u32) -> Option<ReduceSpec> {
+    let op = match tag % 5 {
+        0 => return None,
+        1 => ReduceOp::Count,
+        2 => ReduceOp::Sum,
+        3 => ReduceOp::Min,
+        _ => ReduceOp::Max,
+    };
+    Some(ReduceSpec {
+        key,
+        op,
+        // A delimiter a rendered decimal value could contain is
+        // rejected at decode; keep the roundtrip generator in the
+        // encodable domain.
+        delim: if ReduceSpec::delim_ok(delim) {
+            delim
+        } else {
+            b'|'
+        },
+        value_index,
+    })
 }
 
 fn state_of(tag: u8) -> WorkerState {
@@ -121,6 +164,63 @@ fn oversized_page_and_repair_replies_are_rejected_at_the_frame() {
         Err(PangeaError::InvalidUsage(_)) => {}
         other => panic!("oversized ingest batch must be refused, got {other:?}"),
     }
+}
+
+/// A hand-crafted zero-partition scheme round-trips the frame but is
+/// rejected at decode with a typed corruption error — the wire guard
+/// now matches the driver-side `PartitionScheme`, which clamps at
+/// construction, so the two sides can never disagree on the routing
+/// modulus.
+#[test]
+fn zero_partition_scheme_specs_are_rejected_at_decode() {
+    for hash in [false, true] {
+        let spec = if hash {
+            SchemeSpec::Hash {
+                key_name: "k".into(),
+                partitions: 0,
+                key: KeySpec::WholeRecord,
+            }
+        } else {
+            SchemeSpec::RoundRobin { partitions: 0 }
+        };
+        let enc = Request::MgrRegisterSet {
+            name: "bad".into(),
+            scheme: spec,
+        }
+        .encode();
+        match Request::decode(&enc) {
+            Err(PangeaError::Corruption(m)) => {
+                assert!(m.contains("zero partitions"), "{m}");
+            }
+            other => panic!("zero-partition spec must not decode: {other:?}"),
+        }
+    }
+}
+
+/// A reduce delimiter that can appear inside a rendered decimal value
+/// (`-` or a digit) would make the `key|value` partial encoding
+/// ambiguous; the wire rejects it at decode with a typed corruption
+/// error.
+#[test]
+fn ambiguous_reduce_delimiters_are_rejected_at_decode() {
+    for delim in [b'-', b'0', b'7', b'9'] {
+        assert!(!ReduceSpec::delim_ok(delim));
+        let enc = Request::IngestBegin {
+            set: "counts".into(),
+            reduce: Some(ReduceSpec {
+                key: KeySpec::WholeRecord,
+                op: ReduceOp::Min,
+                delim,
+                value_index: 0,
+            }),
+        }
+        .encode();
+        match Request::decode(&enc) {
+            Err(PangeaError::Corruption(m)) => assert!(m.contains("delimiter"), "{m}"),
+            other => panic!("delim {delim:#04x} must not decode: {other:?}"),
+        }
+    }
+    assert!(ReduceSpec::delim_ok(b'|') && ReduceSpec::delim_ok(b' '));
 }
 
 proptest! {
@@ -262,20 +362,24 @@ proptest! {
         hashes in prop::collection::vec(any::<u64>(), 0..64),
         counters in prop::collection::vec(any::<u64>(), 5..=5),
     ) {
-        let filter = if all {
-            RepairFilter::All
-        } else {
-            RepairFilter::Lost {
+        let filter = match (all, failed.is_multiple_of(3)) {
+            (true, true) => RepairFilter::Absent,
+            (true, false) => RepairFilter::All,
+            _ => RepairFilter::Lost {
                 scheme: scheme_spec(&name, partitions, hash, key_spec(delim, index, whole)),
                 failed,
                 nodes,
-            }
+            },
         };
         roundtrip_req(Request::RecoverPush {
             source_set: ident(&name),
             target_set: ident(&name),
             target_addr: ident(&peers.first().cloned().unwrap_or_default()),
             filter,
+        });
+        roundtrip_req(Request::RepairLedger {
+            set: ident(&name),
+            start: counters[4],
         });
         roundtrip_req(Request::RecoverBegin {
             set: ident(&name),
@@ -308,10 +412,12 @@ proptest! {
         });
     }
 
-    /// Map-shuffle wire types — map specs over every filter/emit shape,
-    /// full task specs with arbitrary destination tables, tagged ingest
-    /// batches, and task/ingest acks — survive the trip through
-    /// encode → frame → unframe → decode.
+    /// Map-shuffle wire types — map specs over every filter/emit shape
+    /// (including numeric comparisons and flat-map tokenization), full
+    /// task specs with arbitrary destination tables and optional
+    /// reduces over every fold, tagged ingest batches, and task/ingest
+    /// acks — survive the trip through encode → frame → unframe →
+    /// decode.
     #[test]
     fn map_shuffle_messages_roundtrip_through_frames(
         name in prop::collection::vec(any::<u8>(), 1..24),
@@ -320,10 +426,12 @@ proptest! {
         whole in any::<bool>(),
         delim in any::<u8>(),
         index in any::<u32>(),
-        filtered in any::<bool>(),
+        filter_tag in any::<u8>(),
         value in prop::collection::vec(any::<u8>(), 0..24),
+        cmp_value in any::<i64>(),
         emit_tag in any::<u8>(),
         indices in prop::collection::vec(any::<u32>(), 0..8),
+        reduce_tag in any::<u8>(),
         nodes in any::<u32>(),
         source in any::<u32>(),
         dests in prop::collection::vec(
@@ -337,17 +445,19 @@ proptest! {
         counters in prop::collection::vec(any::<u64>(), 5..=5),
     ) {
         let key = key_spec(delim, index, whole);
+        let reduce = reduce_spec(reduce_tag, key, delim, index);
         let spec = TaskSpec {
             input: ident(&name),
             output: ident(&name),
-            map: map_spec(filtered, key, &value, emit_tag, key, delim, &indices),
+            map: map_spec(filter_tag, key, &value, cmp_value, emit_tag, key, delim, &indices),
+            reduce: reduce.clone(),
             scheme: scheme_spec(&name, partitions, hash, key),
             nodes,
             source,
             dests: dests.iter().map(|(n, a)| (*n, ident(a))).collect(),
         };
         roundtrip_req(Request::TaskRun { spec });
-        roundtrip_req(Request::IngestBegin { set: ident(&name) });
+        roundtrip_req(Request::IngestBegin { set: ident(&name), reduce });
         roundtrip_req(Request::IngestAppend {
             set: ident(&name),
             entries,
@@ -367,13 +477,15 @@ proptest! {
     }
 
     /// Truncating an encoded task-run request anywhere inside produces
-    /// a decode error, never a short or garbled task.
+    /// a decode error, never a short or garbled task — including the
+    /// reduce-carrying form.
     #[test]
     fn truncated_task_run_is_an_error(
         name in prop::collection::vec(any::<u8>(), 1..16),
         partitions in any::<u32>(),
         delim in any::<u8>(),
         index in any::<u32>(),
+        reduce_tag in any::<u8>(),
         nodes in any::<u32>(),
         source in any::<u32>(),
         cut_fraction in 0usize..100,
@@ -384,6 +496,7 @@ proptest! {
                 input: ident(&name),
                 output: ident(&name),
                 map: MapSpec::extract(key),
+                reduce: reduce_spec(reduce_tag | 1, key, delim, index),
                 scheme: scheme_spec(&name, partitions, true, key),
                 nodes,
                 source,

@@ -1,15 +1,20 @@
-//! Word count as a **distributed map-shuffle** (paper §8 shuffle, run
-//! the Pangea way: ship the task to the data).
+//! Word count as a **distributed map-combine-reduce** (paper §8
+//! shuffle, run the Pangea way: ship the task — and the aggregation —
+//! to the data).
 //!
 //! A full deployment boots on loopback — one `pangea-mgr` plus three
-//! `pangead` workers — and text lines are dispatched round-robin into a
-//! distributed `docs` set. The driver then ships one declarative map
-//! task to every worker: *emit field 1 (the word) of every line, hash
-//! the emitted word over 6 partitions*. Each worker scans its **local**
-//! share and streams the routed words straight to the destination
-//! workers; the driver moves zero record bytes (watch its ledger stay
-//! at the dispatch-phase count), and every occurrence of a word lands
-//! on one worker, where counting is a local scan.
+//! `pangead` workers — and *raw text lines* are dispatched round-robin
+//! into a distributed `docs` set: no pre-splitting, no `line|word`
+//! massaging. The driver then ships one declarative job to every
+//! worker: *whitespace-tokenize each line (flat-map), count per word,
+//! hash each word's row over 6 partitions*. Each worker scans its
+//! **local** share, folds its own counts first (source-side combine),
+//! and streams only the per-word partials to the destination workers,
+//! whose reducing ingest sessions merge them and materialize one
+//! `word|count` record per word. The driver moves zero record bytes —
+//! asserted below from its ledger — and the "reduce" step of classic
+//! wordcount needs no driver-side pass at all: the output *is* the
+//! counts.
 //!
 //! (The in-process shuffle/hash services this example used to drive
 //! directly still back `ShuffleService` — see `tests/end_to_end.rs` and
@@ -20,16 +25,17 @@
 use pangea::common::{NodeId, KB, MB};
 use pangea::coord::{MgrServer, RemoteCluster, WorkerAgent};
 use pangea::core::{NodeConfig, StorageNode};
-use pangea::net::{KeySpec, MapSpec, PangeadServer};
+use pangea::net::{KeySpec, MapSpec, PangeadServer, ReduceSpec};
 use pangea::prelude::{PartitionScheme, Result};
-use std::collections::HashMap;
 use std::time::Duration;
 
 const SECRET: &str = "wordcount-secret";
 
-const TEXT: &str = "the quick brown fox jumps over the lazy dog \
-                    the dog barks and the fox runs over the hill \
-                    a quick dog and a lazy fox share the hill";
+const TEXT: [&str; 3] = [
+    "the quick brown fox jumps over the lazy dog",
+    "the dog barks and the fox runs over the hill",
+    "a quick dog and a lazy fox share the hill",
+];
 
 fn main() -> Result<()> {
     let root = std::env::temp_dir().join(format!("pangea-wordcount-{}", std::process::id()));
@@ -61,40 +67,43 @@ fn main() -> Result<()> {
     }
     let cluster = RemoteCluster::connect(&mgr_addr, Some(SECRET))?;
 
-    // -- Load: one `line|word` record per word, sprayed round-robin. ---
+    // -- Load: raw text lines, sprayed round-robin. ---------------------
     let docs = cluster.create_dist_set("docs", PartitionScheme::round_robin(6))?;
     let mut d = docs.loader()?;
-    for (i, word) in TEXT.split_whitespace().enumerate() {
-        d.dispatch(format!("line{}|{word}", i / 9).as_bytes())?;
+    for line in TEXT {
+        d.dispatch(line.as_bytes())?;
     }
     d.finish()?;
     let loaded_bytes = cluster.workers().stats().snapshot().net_bytes;
     println!(
-        "loaded {} words across {:?} ({loaded_bytes} payload B through the driver)",
+        "loaded {} lines across {:?} ({loaded_bytes} payload B through the driver)",
         docs.total_records()?,
         docs.records_per_node()?,
     );
 
-    // -- Map-shuffle: ship the task, push worker→worker. ---------------
-    let report = cluster.map_shuffle(
+    // -- Map-combine-reduce: tokenize, count, push worker→worker. -------
+    let reduce = ReduceSpec::count(KeySpec::WholeRecord, b'|');
+    let report = cluster.map_reduce(
         "docs",
-        "words",
-        &MapSpec::extract(KeySpec::Field {
-            delim: b'|',
-            index: 1,
-        }),
-        PartitionScheme::hash_whole("word", 6),
+        "counts",
+        &MapSpec::tokenize(b' '),
+        &reduce,
+        // The reduced output is `word|count` rows: hash by the word
+        // (field 0 under the reduce's delimiter).
+        PartitionScheme::hash_field("word", 6, b'|', 0),
     )?;
     let after_bytes = cluster.workers().stats().snapshot().net_bytes;
     println!(
-        "map-shuffle: {} scanned → {} words in {:?} across {} tasks",
+        "map-combine-reduce: {} lines scanned → {} distinct words in {:?} across {} tasks",
         report.scanned,
         report.records_out,
         report.duration,
         report.tasks.len(),
     );
+    let combined: u64 = report.tasks.iter().map(|(_, t)| t.emitted_bytes).sum();
     println!(
-        "driver payload during the shuffle: {} B (worker shuffle_bytes: {:?})",
+        "shuffle payload after source-side combine: {combined} B worker→worker \
+         (driver payload delta: {} B; worker shuffle_bytes: {:?})",
         after_bytes - loaded_bytes,
         fleet
             .iter()
@@ -103,28 +112,21 @@ fn main() -> Result<()> {
     );
     assert_eq!(after_bytes, loaded_bytes, "the driver must move no record");
 
-    // -- Reduce: every word is co-located, so counting is per node. ----
-    let words = cluster.get_dist_set("words")?.expect("materialized");
-    let mut counts: HashMap<String, u64> = HashMap::new();
-    let mut homes: HashMap<String, NodeId> = HashMap::new();
-    words.for_each_record(|node, rec| {
-        let w = String::from_utf8_lossy(rec).into_owned();
-        *counts.entry(w.clone()).or_insert(0) += 1;
-        let prev = homes.insert(w.clone(), node);
-        assert!(
-            prev.is_none_or(|p| p == node),
-            "word {w} split across nodes"
-        );
+    // -- The output *is* the word count: one `word|count` row per word.
+    let counts_set = cluster.get_dist_set("counts")?.expect("materialized");
+    let mut counts = Vec::new();
+    counts_set.for_each_record(|node, rec| {
+        let (word, n) = reduce.decode_record(rec).expect("well-formed output");
+        counts.push((String::from_utf8_lossy(word).into_owned(), n, node));
     })?;
-    let mut counts: Vec<(String, u64)> = counts.into_iter().collect();
     counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     println!("word counts ({} distinct):", counts.len());
-    for (word, n) in &counts {
-        println!("  {n:>3}  {word}  (on {})", homes[word]);
+    for (word, n, node) in &counts {
+        println!("  {n:>3}  {word}  (on {node})");
     }
-    // (The seed example asserted 7 here, but the text has always held
-    // six "the"s — examples never ran in CI, so the typo survived.)
-    assert_eq!(counts[0], ("the".to_string(), 6));
+    let the = counts.iter().find(|(w, _, _)| w == "the").expect("counted");
+    assert_eq!(the.1, 6, "six 'the's in the corpus");
+    assert_eq!(report.records_out, counts.len() as u64);
 
     for (_, agent) in fleet.iter_mut() {
         agent.shutdown()?;

@@ -327,6 +327,149 @@ fn two_dead_slots_repair_concurrently_and_match_the_serial_sim() {
     );
 }
 
+/// A catalog mixing hash-only replica groups with a round-robin-carrying
+/// group: the hash groups must still repair both dead slots
+/// *concurrently* (the serial fallback is scoped to the round-robin
+/// group now, not the whole recovery), the round-robin target's repair
+/// must ship ~the lost share (`Absent` filters at the source instead of
+/// shipping every survivor's whole share), and the end state must be
+/// exactly the pre-kill one.
+#[test]
+fn mixed_groups_keep_hash_parallelism_and_absent_trims_rr_repair() {
+    let (_mgr, mgr_addr) = mgr_server();
+    let (s0, _a0) = worker("m0", &mgr_addr, 0);
+    let (mut s1, mut a1) = worker("m1", &mgr_addr, 1);
+    let (mut s2, mut a2) = worker("m2", &mgr_addr, 2);
+    let (s3, _a3) = worker("m3", &mgr_addr, 3);
+
+    let cluster = RemoteCluster::connect(&mgr_addr, Some(SECRET)).unwrap();
+    let rows = records(400);
+    // Hash group: users (hash) + users_f1 (hash), r = 2.
+    let users = cluster
+        .create_dist_set("users", PartitionScheme::hash_field("uid", 8, b'|', 0))
+        .unwrap();
+    let mut d = users.loader().unwrap();
+    for row in &rows {
+        d.dispatch(row.as_bytes()).unwrap();
+    }
+    d.finish().unwrap();
+    cluster
+        .core()
+        .register_replica_with_r(
+            "users",
+            "users_f1",
+            PartitionScheme::hash_field("f1", 8, b'|', 1),
+            2,
+        )
+        .unwrap();
+    // Round-robin-carrying group: lines (round-robin source) replicated
+    // into lines_f1 (hash), r = 2 — recovery of `lines` is defined by
+    // absence, the case the serial phase exists for.
+    let lines = cluster
+        .create_dist_set("lines", PartitionScheme::round_robin(8))
+        .unwrap();
+    let mut d = lines.loader().unwrap();
+    for row in &rows {
+        d.dispatch(row.as_bytes()).unwrap();
+    }
+    d.finish().unwrap();
+    cluster
+        .core()
+        .register_replica_with_r(
+            "lines",
+            "lines_f1",
+            PartitionScheme::hash_field("f1", 8, b'|', 1),
+            2,
+        )
+        .unwrap();
+    let before: Vec<_> = ["users", "users_f1", "lines", "lines_f1"]
+        .iter()
+        .map(|s| snapshot_remote(&cluster, s))
+        .collect();
+
+    a1.abandon();
+    s1.shutdown();
+    a2.abandon();
+    s2.shutdown();
+    wait_dead(&cluster, &[NodeId(1), NodeId(2)]);
+    let (s1b, _a1b) = worker("m1-replacement", &mgr_addr, 1);
+    let (s2b, _a2b) = worker("m2-replacement", &mgr_addr, 2);
+
+    // The rendezvous proves the hash phase still overlaps: with the old
+    // whole-recovery serial fallback, the first slot's repair would
+    // park here forever and fail the deadline.
+    let arrivals = Arc::new(AtomicUsize::new(0));
+    let overlapped = Arc::new(AtomicBool::new(false));
+    {
+        let arrivals = Arc::clone(&arrivals);
+        let overlapped = Arc::clone(&overlapped);
+        cluster.set_recovery_hook(Some(Arc::new(move |n: NodeId| {
+            arrivals.fetch_add(1, Ordering::SeqCst);
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while arrivals.load(Ordering::SeqCst) < 2 {
+                assert!(
+                    Instant::now() < deadline,
+                    "hash-phase repair of {n} waited 10s without a concurrent peer"
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            overlapped.store(true, Ordering::SeqCst);
+        })));
+    }
+    let reports = cluster.recover_workers(&[NodeId(1), NodeId(2)]).unwrap();
+    cluster.set_recovery_hook(None);
+    assert!(
+        overlapped.load(Ordering::SeqCst),
+        "hash-only groups must still repair concurrently"
+    );
+    assert_eq!(reports.len(), 2);
+    assert!(reports.iter().all(|r| r.objects_restored > 0));
+    assert!(
+        reports
+            .iter()
+            .all(|r| r.replicas_recovered.iter().any(|s| s == "lines")),
+        "the round-robin group was repaired too: {reports:?}"
+    );
+
+    // End state: hash sets restored *in place* (placement is
+    // content-determined); the round-robin set restored in *content* —
+    // a double failure's absence-defined lost shares are indivisible,
+    // so the first repaired slot absorbs both and placement (arbitrary
+    // by design for round-robin) shifts while the record multiset is
+    // exactly preserved.
+    for (name, snap) in ["users", "users_f1", "lines_f1"]
+        .iter()
+        .zip([&before[0], &before[1], &before[3]])
+    {
+        assert_eq!(&snapshot_remote(&cluster, name), snap, "{name} diverged");
+    }
+    let contents = |snap: &BTreeMap<(u32, Vec<u8>), u32>| -> BTreeMap<Vec<u8>, u32> {
+        let mut m = BTreeMap::new();
+        for ((_, rec), n) in snap {
+            *m.entry(rec.clone()).or_insert(0) += n;
+        }
+        m
+    };
+    assert_eq!(
+        contents(&snapshot_remote(&cluster, "lines")),
+        contents(&before[2]),
+        "round-robin set contents diverged"
+    );
+
+    // The payload still flowed worker→worker (the per-record source
+    // filtering of the round-robin repair is priced exactly by the
+    // daemon-scope `absent_push_filters_at_the_source…` test; here the
+    // end-state equality above is the witness that Absent lost nothing).
+    let survivor_pushed: u64 = [&s0, &s3, &s1b, &s2b]
+        .iter()
+        .map(|s| s.daemon().stats().snapshot().repair_bytes)
+        .sum();
+    assert!(
+        survivor_pushed > 0,
+        "repair payload moved worker→worker at all"
+    );
+}
+
 #[test]
 fn dispatch_flush_into_freshly_dead_worker_is_a_typed_error() {
     let (_mgr, mgr_addr) = mgr_server();
