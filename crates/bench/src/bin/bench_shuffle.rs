@@ -10,7 +10,10 @@
 //! Reported per job: wall-clock seconds, input records/s, and
 //! worker→worker shuffle payload bytes (from the task reports — the
 //! driver provably moves zero). The combine ratio at the bottom is the
-//! headline: how much of the shuffle the source-side fold deleted.
+//! headline: how much of the shuffle the source-side fold deleted. An
+//! `rpc` section aggregates every worker's `MetricsDump` across the
+//! fleet: per-opcode request counts, payload bytes, and p50/p99
+//! latency (log2-bucket upper bounds, in nanoseconds).
 //!
 //! Usage: `cargo run --release -p pangea-bench --bin bench_shuffle --
 //! [--smoke] [--out PATH]`. `--smoke` shrinks the corpus for CI's
@@ -21,10 +24,60 @@ use pangea_cluster::PartitionScheme;
 use pangea_common::{NodeId, Result, KB, MB};
 use pangea_coord::{MgrServer, RemoteCluster, WorkerAgent};
 use pangea_core::{NodeConfig, StorageNode};
-use pangea_net::{KeySpec, MapSpec, PangeadServer, ReduceSpec};
+use pangea_net::{KeySpec, MapSpec, PangeaClient, PangeadServer, ReduceSpec, WireMetric};
+use pangea_obs::{quantile_from_buckets, HISTOGRAM_BUCKETS};
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 const SECRET: &str = "bench-shuffle-secret";
+
+#[derive(Default)]
+struct OpAgg {
+    count: u64,
+    bytes: u64,
+    buckets: Vec<u64>,
+}
+
+/// Aggregates every worker's `MetricsDump` into one per-opcode table:
+/// counts and bytes sum, latency histograms merge bucket-wise (so the
+/// fleet quantiles are exact over the merged distribution).
+fn fleet_rpc_table(fleet: &[(PangeadServer, WorkerAgent)]) -> Result<BTreeMap<String, OpAgg>> {
+    let mut table: BTreeMap<String, OpAgg> = BTreeMap::new();
+    for (server, _) in fleet {
+        let mut client = PangeaClient::connect_with_secret(server.local_addr(), Some(SECRET))?;
+        let (metrics, _spans) = client.metrics_dump()?;
+        for m in metrics {
+            let (prefix, name) = match &m {
+                WireMetric::Counter { name, .. } | WireMetric::Gauge { name, .. } => {
+                    if let Some(op) = name.strip_prefix("rpc.count.") {
+                        ("count", op.to_string())
+                    } else if let Some(op) = name.strip_prefix("rpc.bytes.") {
+                        ("bytes", op.to_string())
+                    } else {
+                        continue;
+                    }
+                }
+                WireMetric::Histogram { name, .. } => match name.strip_prefix("rpc.latency_ns.") {
+                    Some(op) => ("latency", op.to_string()),
+                    None => continue,
+                },
+            };
+            let agg = table.entry(name).or_default();
+            match (prefix, m) {
+                ("count", WireMetric::Counter { value, .. }) => agg.count += value,
+                ("bytes", WireMetric::Counter { value, .. }) => agg.bytes += value,
+                ("latency", WireMetric::Histogram { buckets, .. }) => {
+                    agg.buckets.resize(agg.buckets.len().max(buckets.len()), 0);
+                    for (slot, b) in agg.buckets.iter_mut().zip(&buckets) {
+                        *slot += b;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(table)
+}
 
 struct JobRow {
     name: &'static str,
@@ -153,7 +206,33 @@ fn main() -> Result<()> {
             row.shuffle_bytes,
         ));
     }
-    json.push_str(&format!("  \"combine_shuffle_ratio\": {ratio:.4}\n}}\n"));
+    json.push_str(&format!("  \"combine_shuffle_ratio\": {ratio:.4},\n"));
+    // Fleet-wide per-opcode RPC profile, from every worker's
+    // `MetricsDump` (the dump RPC itself is excluded: its counters tick
+    // only after their own dump was snapshotted on the first worker,
+    // making the row run-order dependent).
+    let rpc = fleet_rpc_table(&fleet)?;
+    json.push_str("  \"rpc\": {\n");
+    let rows: Vec<String> = rpc
+        .iter()
+        .filter(|(op, agg)| agg.count > 0 && op.as_str() != "MetricsDump")
+        .map(|(op, agg)| {
+            let buckets = if agg.buckets.is_empty() {
+                vec![0; HISTOGRAM_BUCKETS]
+            } else {
+                agg.buckets.clone()
+            };
+            format!(
+                "    \"{op}\": {{ \"count\": {}, \"bytes\": {}, \"p50_ns\": {}, \"p99_ns\": {} }}",
+                agg.count,
+                agg.bytes,
+                quantile_from_buckets(&buckets, 0.50),
+                quantile_from_buckets(&buckets, 0.99),
+            )
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  }\n}\n");
     std::fs::write(&out_path, &json)?;
     print!("{json}");
     eprintln!("wrote {out_path}");

@@ -6,87 +6,132 @@
 //! 5074.2 MB (2.5× of Pangea)", §9.2.1); the benches report the same volumes
 //! from these counters so the shape of each comparison is auditable even on
 //! hardware whose raw speeds differ from the paper's testbed.
+//!
+//! Since the observability PR, [`IoStats`] is a *view* over a
+//! [`pangea_obs::Registry`]: every counter is registered under an
+//! `io.`-prefixed name, so a `MetricsDump` of the owning process reports
+//! the same numbers these typed accessors do. The typed API (and its
+//! exact byte accounting, which the SimNetwork parity and remote
+//! payload-delta tests assert on) is unchanged.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use pangea_obs::{Counter, Registry};
+use std::sync::Arc;
 
 /// Shared, thread-safe counters for one subsystem (a disk manager, a buffer
-/// pool, a simulated network, ...).
-#[derive(Debug, Default)]
+/// pool, a simulated network, ...), backed by named registry counters.
+#[derive(Debug)]
 pub struct IoStats {
-    disk_reads: AtomicU64,
-    disk_read_bytes: AtomicU64,
-    disk_writes: AtomicU64,
-    disk_write_bytes: AtomicU64,
-    pages_evicted: AtomicU64,
-    pages_flushed: AtomicU64,
-    net_messages: AtomicU64,
-    net_bytes: AtomicU64,
-    serializations: AtomicU64,
-    serialized_bytes: AtomicU64,
-    copies: AtomicU64,
-    copied_bytes: AtomicU64,
-    repairs: AtomicU64,
-    repair_bytes: AtomicU64,
-    shuffles: AtomicU64,
-    shuffle_bytes: AtomicU64,
+    registry: Arc<Registry>,
+    disk_reads: Counter,
+    disk_read_bytes: Counter,
+    disk_writes: Counter,
+    disk_write_bytes: Counter,
+    pages_evicted: Counter,
+    pages_flushed: Counter,
+    net_messages: Counter,
+    net_bytes: Counter,
+    serializations: Counter,
+    serialized_bytes: Counter,
+    copies: Counter,
+    copied_bytes: Counter,
+    repairs: Counter,
+    repair_bytes: Counter,
+    shuffles: Counter,
+    shuffle_map_bytes: Counter,
+    shuffle_reduce_bytes: Counter,
+}
+
+impl Default for IoStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl IoStats {
-    /// Creates zeroed counters.
+    /// Creates zeroed counters over a fresh registry.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_registry(Arc::new(Registry::new()))
+    }
+
+    /// Creates the `io.*` counter views over an existing registry, so a
+    /// process's RPC metrics and its I/O volumes share one
+    /// `MetricsDump`.
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        Self {
+            disk_reads: registry.counter("io.disk_reads"),
+            disk_read_bytes: registry.counter("io.disk_read_bytes"),
+            disk_writes: registry.counter("io.disk_writes"),
+            disk_write_bytes: registry.counter("io.disk_write_bytes"),
+            pages_evicted: registry.counter("io.pages_evicted"),
+            pages_flushed: registry.counter("io.pages_flushed"),
+            net_messages: registry.counter("io.net_messages"),
+            net_bytes: registry.counter("io.net_bytes"),
+            serializations: registry.counter("io.serializations"),
+            serialized_bytes: registry.counter("io.serialized_bytes"),
+            copies: registry.counter("io.copies"),
+            copied_bytes: registry.counter("io.copied_bytes"),
+            repairs: registry.counter("io.repairs"),
+            repair_bytes: registry.counter("io.repair_bytes"),
+            shuffles: registry.counter("io.shuffles"),
+            shuffle_map_bytes: registry.counter("io.shuffle_bytes.map"),
+            shuffle_reduce_bytes: registry.counter("io.shuffle_bytes.reduce"),
+            registry,
+        }
+    }
+
+    /// The registry these counters are registered in — the seam the
+    /// daemons use to put RPC metrics and I/O volumes in one dump.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Records one disk read of `bytes`.
     #[inline]
     pub fn record_disk_read(&self, bytes: usize) {
-        self.disk_reads.fetch_add(1, Ordering::Relaxed);
-        self.disk_read_bytes
-            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.disk_reads.inc();
+        self.disk_read_bytes.add(bytes as u64);
     }
 
     /// Records one disk write of `bytes`.
     #[inline]
     pub fn record_disk_write(&self, bytes: usize) {
-        self.disk_writes.fetch_add(1, Ordering::Relaxed);
-        self.disk_write_bytes
-            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.disk_writes.inc();
+        self.disk_write_bytes.add(bytes as u64);
     }
 
     /// Records one page eviction from a buffer pool.
     #[inline]
     pub fn record_eviction(&self) {
-        self.pages_evicted.fetch_add(1, Ordering::Relaxed);
+        self.pages_evicted.inc();
     }
 
     /// Records one dirty-page flush.
     #[inline]
     pub fn record_flush(&self) {
-        self.pages_flushed.fetch_add(1, Ordering::Relaxed);
+        self.pages_flushed.inc();
     }
 
     /// Records one network message of `bytes`.
     #[inline]
     pub fn record_net(&self, bytes: usize) {
-        self.net_messages.fetch_add(1, Ordering::Relaxed);
-        self.net_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.net_messages.inc();
+        self.net_bytes.add(bytes as u64);
     }
 
     /// Records one (de)serialization pass over `bytes` — the "interfacing
     /// overhead" the paper charges layered systems for.
     #[inline]
     pub fn record_serialization(&self, bytes: usize) {
-        self.serializations.fetch_add(1, Ordering::Relaxed);
-        self.serialized_bytes
-            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.serializations.inc();
+        self.serialized_bytes.add(bytes as u64);
     }
 
     /// Records one buffer-to-buffer copy of `bytes` (client↔server, layer
     /// crossings).
     #[inline]
     pub fn record_copy(&self, bytes: usize) {
-        self.copies.fetch_add(1, Ordering::Relaxed);
-        self.copied_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.copies.inc();
+        self.copied_bytes.add(bytes as u64);
     }
 
     /// Records one peer-repair transfer of `bytes` — payload moved
@@ -96,8 +141,8 @@ impl IoStats {
     /// driver (which records `net` bytes, never `repair` bytes).
     #[inline]
     pub fn record_repair(&self, bytes: usize) {
-        self.repairs.fetch_add(1, Ordering::Relaxed);
-        self.repair_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.repairs.inc();
+        self.repair_bytes.add(bytes as u64);
     }
 
     /// Records one map-shuffle transfer of `bytes` — payload a mapper
@@ -105,54 +150,71 @@ impl IoStats {
     /// map-shuffle, attributed separately from dispatch traffic so a
     /// shuffle run can prove its data flowed worker→worker rather than
     /// through the driver (the driver records `net` bytes, never
-    /// `shuffle` bytes — mirroring [`IoStats::record_repair`]).
+    /// `shuffle` bytes — mirroring [`IoStats::record_repair`]). This is
+    /// the map-mode label; reducing sessions use
+    /// [`IoStats::record_shuffle_reduce`].
     #[inline]
     pub fn record_shuffle(&self, bytes: usize) {
-        self.shuffles.fetch_add(1, Ordering::Relaxed);
-        self.shuffle_bytes
-            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.shuffles.inc();
+        self.shuffle_map_bytes.add(bytes as u64);
+    }
+
+    /// Records one *reducing* shuffle transfer of `bytes`: payload that
+    /// flowed into a combine/reduce ingest session rather than a plain
+    /// map-only append. Totals still land in
+    /// [`IoStatsSnapshot::shuffle_bytes`]; the map/reduce split is the
+    /// `io.shuffle_bytes.{map,reduce}` label pair.
+    #[inline]
+    pub fn record_shuffle_reduce(&self, bytes: usize) {
+        self.shuffles.inc();
+        self.shuffle_reduce_bytes.add(bytes as u64);
     }
 
     /// Takes a consistent-enough snapshot for reporting.
     pub fn snapshot(&self) -> IoStatsSnapshot {
+        let shuffle_map_bytes = self.shuffle_map_bytes.get();
+        let shuffle_reduce_bytes = self.shuffle_reduce_bytes.get();
         IoStatsSnapshot {
-            disk_reads: self.disk_reads.load(Ordering::Relaxed),
-            disk_read_bytes: self.disk_read_bytes.load(Ordering::Relaxed),
-            disk_writes: self.disk_writes.load(Ordering::Relaxed),
-            disk_write_bytes: self.disk_write_bytes.load(Ordering::Relaxed),
-            pages_evicted: self.pages_evicted.load(Ordering::Relaxed),
-            pages_flushed: self.pages_flushed.load(Ordering::Relaxed),
-            net_messages: self.net_messages.load(Ordering::Relaxed),
-            net_bytes: self.net_bytes.load(Ordering::Relaxed),
-            serializations: self.serializations.load(Ordering::Relaxed),
-            serialized_bytes: self.serialized_bytes.load(Ordering::Relaxed),
-            copies: self.copies.load(Ordering::Relaxed),
-            copied_bytes: self.copied_bytes.load(Ordering::Relaxed),
-            repairs: self.repairs.load(Ordering::Relaxed),
-            repair_bytes: self.repair_bytes.load(Ordering::Relaxed),
-            shuffles: self.shuffles.load(Ordering::Relaxed),
-            shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
+            disk_reads: self.disk_reads.get(),
+            disk_read_bytes: self.disk_read_bytes.get(),
+            disk_writes: self.disk_writes.get(),
+            disk_write_bytes: self.disk_write_bytes.get(),
+            pages_evicted: self.pages_evicted.get(),
+            pages_flushed: self.pages_flushed.get(),
+            net_messages: self.net_messages.get(),
+            net_bytes: self.net_bytes.get(),
+            serializations: self.serializations.get(),
+            serialized_bytes: self.serialized_bytes.get(),
+            copies: self.copies.get(),
+            copied_bytes: self.copied_bytes.get(),
+            repairs: self.repairs.get(),
+            repair_bytes: self.repair_bytes.get(),
+            shuffles: self.shuffles.get(),
+            shuffle_bytes: shuffle_map_bytes + shuffle_reduce_bytes,
+            shuffle_map_bytes,
+            shuffle_reduce_bytes,
         }
     }
 
     /// Resets all counters to zero.
     pub fn reset(&self) {
-        self.disk_reads.store(0, Ordering::Relaxed);
-        self.disk_read_bytes.store(0, Ordering::Relaxed);
-        self.disk_writes.store(0, Ordering::Relaxed);
-        self.disk_write_bytes.store(0, Ordering::Relaxed);
-        self.pages_evicted.store(0, Ordering::Relaxed);
-        self.pages_flushed.store(0, Ordering::Relaxed);
-        self.net_messages.store(0, Ordering::Relaxed);
-        self.net_bytes.store(0, Ordering::Relaxed);
-        self.serializations.store(0, Ordering::Relaxed);
-        self.serialized_bytes.store(0, Ordering::Relaxed);
-        self.copies.store(0, Ordering::Relaxed);
-        self.copied_bytes.store(0, Ordering::Relaxed);
-        self.repairs.store(0, Ordering::Relaxed);
-        self.repair_bytes.store(0, Ordering::Relaxed);
-        self.shuffles.store(0, Ordering::Relaxed);
-        self.shuffle_bytes.store(0, Ordering::Relaxed);
+        self.disk_reads.set(0);
+        self.disk_read_bytes.set(0);
+        self.disk_writes.set(0);
+        self.disk_write_bytes.set(0);
+        self.pages_evicted.set(0);
+        self.pages_flushed.set(0);
+        self.net_messages.set(0);
+        self.net_bytes.set(0);
+        self.serializations.set(0);
+        self.serialized_bytes.set(0);
+        self.copies.set(0);
+        self.copied_bytes.set(0);
+        self.repairs.set(0);
+        self.repair_bytes.set(0);
+        self.shuffles.set(0);
+        self.shuffle_map_bytes.set(0);
+        self.shuffle_reduce_bytes.set(0);
     }
 }
 
@@ -189,8 +251,13 @@ pub struct IoStatsSnapshot {
     pub repair_bytes: u64,
     /// Map-shuffle transfers (worker→worker shuffle pushes).
     pub shuffles: u64,
-    /// Payload bytes moved worker→worker during distributed map-shuffle.
+    /// Payload bytes moved worker→worker during distributed map-shuffle
+    /// (both modes; always `shuffle_map_bytes + shuffle_reduce_bytes`).
     pub shuffle_bytes: u64,
+    /// Shuffle payload delivered to map-only (plain append) sessions.
+    pub shuffle_map_bytes: u64,
+    /// Shuffle payload delivered to combining/reducing sessions.
+    pub shuffle_reduce_bytes: u64,
 }
 
 impl IoStatsSnapshot {
@@ -217,6 +284,12 @@ impl IoStatsSnapshot {
             repair_bytes: self.repair_bytes.saturating_sub(earlier.repair_bytes),
             shuffles: self.shuffles.saturating_sub(earlier.shuffles),
             shuffle_bytes: self.shuffle_bytes.saturating_sub(earlier.shuffle_bytes),
+            shuffle_map_bytes: self
+                .shuffle_map_bytes
+                .saturating_sub(earlier.shuffle_map_bytes),
+            shuffle_reduce_bytes: self
+                .shuffle_reduce_bytes
+                .saturating_sub(earlier.shuffle_reduce_bytes),
         }
     }
 
@@ -273,5 +346,29 @@ mod tests {
         assert_eq!(d.disk_write_bytes, 30);
         s.reset();
         assert_eq!(s.snapshot(), IoStatsSnapshot::default());
+    }
+
+    #[test]
+    fn shuffle_modes_split_but_total_holds() {
+        let s = IoStats::new();
+        s.record_shuffle(100);
+        s.record_shuffle_reduce(40);
+        let snap = s.snapshot();
+        assert_eq!(snap.shuffles, 2);
+        assert_eq!(snap.shuffle_map_bytes, 100);
+        assert_eq!(snap.shuffle_reduce_bytes, 40);
+        assert_eq!(snap.shuffle_bytes, 140);
+    }
+
+    #[test]
+    fn io_counters_are_visible_through_the_registry() {
+        let s = IoStats::new();
+        s.record_net(9);
+        let snap = s.registry().snapshot();
+        let net = snap
+            .iter()
+            .find(|m| m.name == "io.net_bytes")
+            .expect("io.net_bytes registered");
+        assert_eq!(net.value, pangea_obs::MetricValue::Counter(9));
     }
 }

@@ -1,16 +1,70 @@
-//! `pangea-mgr` — run the Pangea manager daemon.
+//! `pangea-mgr` — run the Pangea manager daemon, or introspect a fleet.
 //!
 //! ```text
 //! pangea-mgr --listen 127.0.0.1:7780 [--liveness-ms 3000] \
 //!            [--secret S | --secret-file PATH]
+//! pangea-mgr top --manager 127.0.0.1:7780 [--json] \
+//!            [--secret S | --secret-file PATH]
 //! ```
 //!
-//! The daemon serves the wire catalog + membership until killed.
-//! Argument parsing is deliberately dependency-free.
+//! Without a subcommand the daemon serves the wire catalog + membership
+//! until killed. `top` is the fleet-introspection client: it issues one
+//! `MetricsDump` RPC to the manager and every alive worker and renders
+//! per-node per-opcode RPC counts, bytes, latency quantiles, and
+//! retained trace spans (text table, or one JSON document with
+//! `--json`). Argument parsing is deliberately dependency-free.
 
 use pangea_coord::MgrServer;
 use std::process::exit;
 use std::time::Duration;
+
+const TOP_USAGE: &str = "usage: pangea-mgr top --manager <addr:port> \
+    [--json] [--secret S | --secret-file PATH]";
+
+/// Parses and runs the `top` subcommand; `argv` excludes the
+/// `pangea-mgr top` prefix. Returns the process exit code.
+fn run_top(argv: Vec<String>) -> i32 {
+    let mut manager = String::new();
+    let mut secret: Option<String> = None;
+    let mut json = false;
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        let parsed = match flag.as_str() {
+            "--manager" => value("--manager").map(|v| manager = v),
+            "--json" => {
+                json = true;
+                Ok(())
+            }
+            "--secret" | "--secret-file" => value(&flag)
+                .and_then(|v| pangea_coord::cli::resolve_secret_flag(&flag, v))
+                .map(|v| secret = Some(v)),
+            "--help" | "-h" => {
+                println!("{TOP_USAGE}");
+                return 0;
+            }
+            other => Err(format!("unknown flag '{other}'")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("pangea-mgr top: {e}\n{TOP_USAGE}");
+            return 2;
+        }
+    }
+    if manager.is_empty() {
+        eprintln!("pangea-mgr top: --manager is required\n{TOP_USAGE}");
+        return 2;
+    }
+    match pangea_coord::top::run(&manager, secret.as_deref(), json) {
+        Ok(rendered) => {
+            print!("{rendered}");
+            0
+        }
+        Err(e) => {
+            eprintln!("pangea-mgr top: {e}");
+            1
+        }
+    }
+}
 
 struct Args {
     listen: String,
@@ -55,6 +109,11 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("top") {
+        argv.remove(0);
+        exit(run_top(argv));
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

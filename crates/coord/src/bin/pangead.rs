@@ -6,12 +6,15 @@
 //!         [--strategy data-aware] [--disk-bw-mb <MB/s>] \
 //!         [--secret S | --secret-file PATH] \
 //!         [--manager <addr:port>] [--advertise <addr:port>] \
-//!         [--slot N] [--heartbeat-ms 500]
+//!         [--slot N] [--heartbeat-ms 500] [--trace-log PATH]
 //! ```
 //!
 //! With `--manager`, the daemon registers itself with a `pangea-mgr`
 //! (pinning `--slot` when replacing a dead worker), heartbeats in the
-//! background, and deregisters on clean exit. Argument parsing is
+//! background, and deregisters on clean exit. With `--trace-log`, every
+//! completed trace span (traced RPCs and their fan-out) is also
+//! appended to PATH as one JSON object per line, in addition to the
+//! in-memory ring served by `MetricsDump`. Argument parsing is
 //! deliberately dependency-free.
 
 use pangea_coord::WorkerAgent;
@@ -33,12 +36,14 @@ struct Args {
     advertise: Option<String>,
     slot: Option<u32>,
     heartbeat_ms: u64,
+    trace_log: Option<String>,
 }
 
 const USAGE: &str = "usage: pangead --listen <addr:port> --data <dir> \
     [--pool-mb N] [--page-kb N] [--disks N] [--strategy NAME] [--disk-bw-mb N] \
     [--secret S | --secret-file PATH] \
-    [--manager <addr:port>] [--advertise <addr:port>] [--slot N] [--heartbeat-ms N]";
+    [--manager <addr:port>] [--advertise <addr:port>] [--slot N] [--heartbeat-ms N] \
+    [--trace-log PATH]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -54,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         advertise: None,
         slot: None,
         heartbeat_ms: 500,
+        trace_log: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -102,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--heartbeat-ms: {e}"))?;
             }
+            "--trace-log" => args.trace_log = Some(value("--trace-log")?),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -146,6 +153,18 @@ fn main() {
             exit(1);
         }
     };
+    if let Some(path) = &args.trace_log {
+        if let Err(e) = server
+            .daemon()
+            .obs()
+            .ring()
+            .set_jsonl_sink(std::path::Path::new(path))
+        {
+            eprintln!("pangead: cannot open trace log {path}: {e}");
+            exit(1);
+        }
+        println!("pangead: appending trace spans to {path}");
+    }
     println!(
         "pangead listening on {} (data: {}, pool: {} MB, pages: {} KB, strategy: {})",
         server.local_addr(),

@@ -16,8 +16,10 @@ use crate::membership::Membership;
 use pangea_cluster::{CatalogEntry, Manager, PartitionScheme};
 use pangea_common::{Epoch, IoStats, NodeId, PangeaError, ReplicaGroupId, Result};
 use pangea_net::{
-    error_response, FramedServer, FramedService, Request, Response, WireCatalogEntry,
+    error_response, metrics_dump_response, FramedServer, FramedService, Request, Response,
+    TraceCtx, WireCatalogEntry,
 };
+use pangea_obs::{Obs, SpanRecord};
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -35,15 +37,21 @@ pub struct ManagerDaemon {
     catalog: Manager,
     membership: Membership,
     stats: Arc<IoStats>,
+    /// The manager's observability bundle, sharing the registry behind
+    /// [`ManagerDaemon::stats`] so one `MetricsDump` covers both.
+    obs: Obs,
 }
 
 impl ManagerDaemon {
     /// A fresh manager with the given liveness timeout.
     pub fn new(liveness_timeout: Duration) -> Self {
+        let stats = Arc::new(IoStats::new());
+        let obs = Obs::with_registry(stats.registry().clone());
         Self {
             catalog: Manager::new(),
             membership: Membership::new(liveness_timeout),
-            stats: Arc::new(IoStats::new()),
+            stats,
+            obs,
         }
     }
 
@@ -62,13 +70,52 @@ impl ManagerDaemon {
         &self.stats
     }
 
+    /// The manager's observability bundle (metrics + span ring).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     /// Handles one request, turning errors into [`Response::Err`].
     pub fn handle(&self, req: Request) -> Response {
+        self.handle_full(req, None, 0)
+    }
+
+    /// The instrumented handler (mirrors `Pangead`): per-opcode
+    /// count/bytes/latency metrics always, a [`SpanRecord`] when the
+    /// frame carried a [`TraceCtx`].
+    fn handle_full(&self, req: Request, ctx: Option<TraceCtx>, req_bytes: usize) -> Response {
         self.stats.record_net(0);
-        match self.dispatch(req) {
+        let op = req.name();
+        let reg = self.obs.registry();
+        reg.counter(&format!("rpc.count.{op}")).inc();
+        reg.counter(&format!("rpc.bytes.{op}"))
+            .add(req_bytes as u64);
+        let start = self.obs.now_ns();
+        let resp = match self.dispatch(req) {
             Ok(resp) => resp,
             Err(e) => error_response(&e),
+        };
+        let end = self.obs.now_ns();
+        reg.histogram(&format!("rpc.latency_ns.{op}"))
+            .observe(end.saturating_sub(start));
+        if let Some(ctx) = ctx {
+            self.obs.ring().record(SpanRecord {
+                job: ctx.job,
+                span: pangea_obs::next_span_id(),
+                parent: ctx.span,
+                op: op.to_string(),
+                peer: String::new(),
+                start_ns: start,
+                end_ns: end,
+                bytes: req_bytes as u64,
+                outcome: match &resp {
+                    Response::Err { message } => message.clone(),
+                    Response::Denied { message } => message.clone(),
+                    _ => "ok".to_string(),
+                },
+            });
         }
+        resp
     }
 
     fn entry_to_wire(entry: CatalogEntry) -> Result<WireCatalogEntry> {
@@ -87,6 +134,23 @@ impl ManagerDaemon {
             // The server layer handles handshakes; reaching here means no
             // secret is required on this daemon.
             Request::Hello { .. } => Ok(Response::Ok),
+            Request::MetricsDump {
+                metrics_start,
+                spans_start,
+            } => {
+                // Freshen the staleness gauge at dump time: the oldest
+                // un-heartbeated interval across alive workers, in ms.
+                let staleness = self
+                    .membership
+                    .max_staleness()
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0);
+                self.obs
+                    .registry()
+                    .gauge("mgr.heartbeat_staleness_ms")
+                    .set(staleness);
+                Ok(metrics_dump_response(&self.obs, metrics_start, spans_start))
+            }
             Request::Stats => {
                 let net = self.stats.snapshot();
                 Ok(Response::Stats {
@@ -190,6 +254,10 @@ impl ManagerDaemon {
 impl FramedService for ManagerDaemon {
     fn handle(&self, req: Request) -> Response {
         ManagerDaemon::handle(self, req)
+    }
+
+    fn handle_traced(&self, req: Request, ctx: Option<TraceCtx>, req_bytes: usize) -> Response {
+        self.handle_full(req, ctx, req_bytes)
     }
 }
 

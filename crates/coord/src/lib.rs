@@ -33,6 +33,7 @@ pub mod daemon;
 pub mod membership;
 pub mod remote;
 pub mod signals;
+pub mod top;
 
 pub use client::{ManagerClient, MgrConn, RemoteCatalog};
 pub use daemon::{ManagerDaemon, MgrServer, DEFAULT_LIVENESS_TIMEOUT};

@@ -54,6 +54,21 @@ impl Membership {
         self.liveness_timeout
     }
 
+    /// The longest interval any currently-alive worker has gone without
+    /// a heartbeat — the fleet's heartbeat staleness. `None` with no
+    /// alive workers. Feeds the manager's `mgr.heartbeat_staleness_ms`
+    /// gauge: a value creeping toward the liveness timeout flags a
+    /// worker about to be swept dead.
+    pub fn max_staleness(&self) -> Option<Duration> {
+        let inner = self.inner.lock();
+        inner
+            .slots
+            .iter()
+            .filter(|slot| slot.state == WorkerState::Alive)
+            .map(|slot| slot.last_beat.elapsed())
+            .max()
+    }
+
     /// Registers a worker serving at `addr`. With `slot = None` the next
     /// free node id is assigned; with an explicit slot, a replacement
     /// re-registers a Dead/Left slot (bumping its epoch). Registering

@@ -27,6 +27,7 @@ use pangea_net::{
     MapSpec, PangeaClient, ReduceSpec, RepairFilter, RepairPushReport, SchemeSpec, TaskReport,
     TaskSpec, WireWorker, WorkerState,
 };
+use pangea_obs::{Obs, SpanRecord, TraceCtx};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -49,6 +50,17 @@ struct RemoteWorkersInner {
     secret: Option<String>,
     /// Shared payload-byte ledger across all per-worker clients.
     stats: Arc<IoStats>,
+    /// Driver-side observability bundle over the same registry as
+    /// `stats`: every RPC the driver issues lands one span in its ring,
+    /// correlated by the active job id.
+    obs: Obs,
+    /// The trace job id for the RPCs currently in flight (set for the
+    /// duration of a `map_shuffle`/`map_reduce`/recovery call, `None`
+    /// between jobs). Shared across the per-slot orchestration threads.
+    job: Mutex<Option<u64>>,
+    /// The most recently allocated job id — what a caller correlates
+    /// worker-side spans against after a job returns.
+    last_job: Mutex<Option<u64>>,
     /// Test-only rendezvous invoked at the start of each worker's map
     /// task (before the `TaskRun` RPC is issued) — lets a fault-injection
     /// test prove per-worker tasks genuinely overlap, and inject a kill
@@ -73,12 +85,16 @@ pub struct RemoteWorkers {
 
 impl RemoteWorkers {
     fn new(secret: Option<&str>) -> Self {
+        let stats = Arc::new(IoStats::new());
         Self {
             inner: Arc::new(RemoteWorkersInner {
                 slots: RwLock::new(Vec::new()),
                 clients: Mutex::new(FxHashMap::default()),
                 secret: secret.map(str::to_string),
-                stats: Arc::new(IoStats::new()),
+                stats: Arc::clone(&stats),
+                obs: Obs::with_registry(stats.registry().clone()),
+                job: Mutex::new(None),
+                last_job: Mutex::new(None),
                 task_hook: Mutex::new(None),
             }),
         }
@@ -87,6 +103,32 @@ impl RemoteWorkers {
     /// The shared client-side wire ledger (payload net bytes).
     pub fn stats(&self) -> &Arc<IoStats> {
         &self.inner.stats
+    }
+
+    /// The driver-side observability bundle: the metrics registry shared
+    /// with [`RemoteWorkers::stats`] plus the span ring holding one
+    /// driver span per RPC issued under a traced job.
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
+    }
+
+    /// The id of the most recently traced job (`map_shuffle`,
+    /// `map_reduce`, or a recovery), or `None` before the first one.
+    /// Worker-side `MetricsDump` spans carry the same id.
+    pub fn last_job(&self) -> Option<u64> {
+        *self.inner.last_job.lock()
+    }
+
+    /// Scopes a fresh trace job id around `f`: every RPC issued from
+    /// any thread while `f` runs carries `TraceCtx { job, .. }` on the
+    /// wire and records a driver span under it.
+    fn with_job<T>(&self, f: impl FnOnce() -> T) -> T {
+        let job = pangea_obs::next_job_id();
+        *self.inner.job.lock() = Some(job);
+        *self.inner.last_job.lock() = Some(job);
+        let out = f();
+        *self.inner.job.lock() = None;
+        out
     }
 
     fn addr_of(&self, n: NodeId) -> Result<String> {
@@ -146,12 +188,55 @@ impl RemoteWorkers {
     /// error prose. Non-I/O failures propagate unchanged.
     fn with_client<T>(&self, n: NodeId, f: impl Fn(&mut PangeaClient) -> Result<T>) -> Result<T> {
         let addr = self.addr_of(n)?;
+        let job = *self.inner.job.lock();
+        let ctx = job.map(|job| TraceCtx {
+            job,
+            span: pangea_obs::next_span_id(),
+        });
+        let start = self.inner.obs.now_ns();
+        let out = self.with_client_at(n, &addr, ctx, f);
+        if let Some(ctx) = ctx {
+            // One driver span per RPC: the root of the worker-side span
+            // tree this request grows (the receiving daemon records its
+            // own child span with `parent = ctx.span`). The outcome is
+            // the *final* result after the stale-connection retry — a
+            // killed worker surfaces here as the typed
+            // `NodeUnavailable` text.
+            self.inner.obs.ring().record(SpanRecord {
+                job: ctx.job,
+                span: ctx.span,
+                parent: 0,
+                op: "DriverRpc".to_string(),
+                peer: addr,
+                start_ns: start,
+                end_ns: self.inner.obs.now_ns(),
+                bytes: 0,
+                outcome: match &out {
+                    Ok(_) => "ok".to_string(),
+                    Err(e) => e.to_string(),
+                },
+            });
+        }
+        out
+    }
+
+    /// The untraced body of [`RemoteWorkers::with_client`]: pool
+    /// checkout, the stale-idle-connection retry, and the Io →
+    /// `NodeUnavailable` mapping.
+    fn with_client_at<T>(
+        &self,
+        n: NodeId,
+        addr: &str,
+        ctx: Option<TraceCtx>,
+        f: impl Fn(&mut PangeaClient) -> Result<T>,
+    ) -> Result<T> {
         let cached = self.inner.clients.lock().remove(&n);
         if let Some((opened_against, mut client)) = cached {
             if opened_against == addr {
+                client.set_trace(ctx);
                 match f(&mut client) {
                     Ok(out) => {
-                        self.check_in(n, addr, client);
+                        self.check_in(n, addr.to_string(), client);
                         return Ok(out);
                     }
                     // Stale idle connection: provably unprocessed, retry
@@ -162,7 +247,7 @@ impl RemoteWorkers {
             }
         }
         let mut client = PangeaClient::connect_with(
-            addr.as_str(),
+            addr,
             self.inner.secret.as_deref(),
             Some(Arc::clone(&self.inner.stats)),
         )
@@ -170,10 +255,11 @@ impl RemoteWorkers {
             PangeaError::Io(_) => PangeaError::NodeUnavailable(n),
             other => PangeaError::Remote(format!("connecting {n} at {addr}: {other}")),
         })?;
+        client.set_trace(ctx);
         let out = f(&mut client);
         match out {
             Ok(out) => {
-                self.check_in(n, addr, client);
+                self.check_in(n, addr.to_string(), client);
                 Ok(out)
             }
             Err(PangeaError::Io(_)) => Err(PangeaError::NodeUnavailable(n)),
@@ -184,7 +270,8 @@ impl RemoteWorkers {
     /// Returns an idle connection to the pool. Concurrent callers may
     /// have raced a connection in; last one in wins the single idle
     /// slot, the loser just closes.
-    fn check_in(&self, n: NodeId, addr: String, client: PangeaClient) {
+    fn check_in(&self, n: NodeId, addr: String, mut client: PangeaClient) {
+        client.set_trace(None);
         self.inner.clients.lock().insert(n, (addr, client));
     }
 
@@ -553,9 +640,11 @@ impl RemoteCluster {
     /// flight per survivor); this driver only orchestrates and never
     /// touches a record payload.
     pub fn recover_worker(&self, failed: NodeId) -> Result<RecoveryReport> {
-        self.ensure_replacement(failed)?;
-        self.core.provision_node(failed)?;
-        self.repair_slot(failed)
+        self.workers.with_job(|| {
+            self.ensure_replacement(failed)?;
+            self.core.provision_node(failed)?;
+            self.repair_slot(failed)
+        })
     }
 
     /// Validates that a *replacement* holds the failed slot: Alive at a
@@ -659,6 +748,13 @@ impl RemoteCluster {
         if failed.len() < 2 {
             return failed.iter().map(|&n| self.recover_worker(n)).collect();
         }
+        self.workers
+            .with_job(|| self.recover_workers_traced(failed))
+    }
+
+    /// The body of [`RemoteCluster::recover_workers`] for two or more
+    /// slots, running under an already-scoped trace job.
+    fn recover_workers_traced(&self, failed: &[NodeId]) -> Result<Vec<RecoveryReport>> {
         for &n in failed {
             self.ensure_replacement(n)?;
         }
@@ -772,7 +868,8 @@ impl RemoteCluster {
         scheme: PartitionScheme,
     ) -> Result<MapShuffleReport> {
         self.refresh_membership()?;
-        self.core.map_shuffle(input, output, map, scheme)
+        self.workers
+            .with_job(|| self.core.map_shuffle(input, output, map, scheme))
     }
 
     /// A distributed map-**combine-reduce**: like
@@ -799,7 +896,8 @@ impl RemoteCluster {
         scheme: PartitionScheme,
     ) -> Result<MapShuffleReport> {
         self.refresh_membership()?;
-        self.core.map_reduce(input, output, map, reduce, scheme)
+        self.workers
+            .with_job(|| self.core.map_reduce(input, output, map, reduce, scheme))
     }
 
     /// Installs (or clears) the test-only per-task rendezvous. Hidden:

@@ -1,0 +1,337 @@
+//! `pangea-mgr top` — one fleet-wide observability snapshot.
+//!
+//! The subcommand asks the manager for its membership view, then issues
+//! one `MetricsDump` RPC to the manager itself and to every alive
+//! worker, and renders the result either as a per-node text table
+//! (per-opcode RPC counts, payload bytes, and p50/p99 latency pulled
+//! from the wire histograms) or as one JSON document (`--json`) for
+//! scripting. A node that cannot be reached degrades to an error line
+//! instead of failing the whole snapshot — `top` is a diagnostic tool
+//! and must work best on a half-broken fleet.
+
+use crate::client::ManagerClient;
+use pangea_common::Result;
+use pangea_net::{PangeaClient, WireMetric, WireSpan, WorkerState};
+use pangea_obs::{json_escape, quantile_from_buckets};
+
+/// One node's slice of the fleet snapshot.
+#[derive(Debug)]
+pub struct NodeDump {
+    /// Display name: `mgr` for the manager, `worker<N>` for slot N.
+    pub name: String,
+    /// The address the dump was fetched from (the advertised address
+    /// for workers, the `--manager` address for the manager).
+    pub addr: String,
+    /// Membership state for workers; `None` for the manager row.
+    pub state: Option<WorkerState>,
+    /// The node's full metric registry, sorted by name.
+    pub metrics: Vec<WireMetric>,
+    /// The retained tail of the node's span ring.
+    pub spans: Vec<WireSpan>,
+    /// Why the dump is empty, when the node could not be reached.
+    pub error: Option<String>,
+}
+
+/// Fetches a [`NodeDump`] from every reachable node: the manager first,
+/// then each worker the membership snapshot lists as alive (dead/left
+/// slots get an error row — their daemons are gone by definition).
+pub fn fleet_snapshot(manager: &str, secret: Option<&str>) -> Result<Vec<NodeDump>> {
+    let workers = ManagerClient::connect(manager, secret)?.list_workers()?;
+    let mut nodes = Vec::with_capacity(workers.len() + 1);
+    nodes.push(dump_node("mgr", manager, None, secret));
+    for w in &workers {
+        let name = format!("worker{}", w.node);
+        if w.state == WorkerState::Alive {
+            nodes.push(dump_node(&name, &w.addr, Some(w.state), secret));
+        } else {
+            nodes.push(NodeDump {
+                name,
+                addr: w.addr.clone(),
+                state: Some(w.state),
+                metrics: Vec::new(),
+                spans: Vec::new(),
+                error: Some(format!("not dumped: slot is {:?}", w.state)),
+            });
+        }
+    }
+    Ok(nodes)
+}
+
+fn dump_node(name: &str, addr: &str, state: Option<WorkerState>, secret: Option<&str>) -> NodeDump {
+    let fetched = PangeaClient::connect_with_secret(addr, secret)
+        .and_then(|mut client| client.metrics_dump());
+    let (metrics, spans, error) = match fetched {
+        Ok((metrics, spans)) => (metrics, spans, None),
+        Err(e) => (Vec::new(), Vec::new(), Some(e.to_string())),
+    };
+    NodeDump {
+        name: name.to_string(),
+        addr: addr.to_string(),
+        state,
+        metrics,
+        spans,
+        error,
+    }
+}
+
+/// One per-opcode row of the text table, stitched from the node's
+/// `rpc.count.*` / `rpc.bytes.*` / `rpc.latency_ns.*` metrics.
+struct OpRow {
+    op: String,
+    count: u64,
+    bytes: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+fn row_index(rows: &mut Vec<OpRow>, op: &str) -> usize {
+    if let Some(i) = rows.iter().position(|r| r.op == op) {
+        return i;
+    }
+    rows.push(OpRow {
+        op: op.to_string(),
+        count: 0,
+        bytes: 0,
+        p50_ns: 0,
+        p99_ns: 0,
+    });
+    rows.len() - 1
+}
+
+fn op_rows(metrics: &[WireMetric]) -> Vec<OpRow> {
+    let mut rows: Vec<OpRow> = Vec::new();
+    for m in metrics {
+        if let Some(op) = m.name().strip_prefix("rpc.count.") {
+            if let WireMetric::Counter { value, .. } = m {
+                let i = row_index(&mut rows, op);
+                rows[i].count = *value;
+            }
+        } else if let Some(op) = m.name().strip_prefix("rpc.bytes.") {
+            if let WireMetric::Counter { value, .. } = m {
+                let i = row_index(&mut rows, op);
+                rows[i].bytes = *value;
+            }
+        } else if let Some(op) = m.name().strip_prefix("rpc.latency_ns.") {
+            if let WireMetric::Histogram { buckets, .. } = m {
+                let i = row_index(&mut rows, op);
+                rows[i].p50_ns = quantile_from_buckets(buckets, 0.50);
+                rows[i].p99_ns = quantile_from_buckets(buckets, 0.99);
+            }
+        }
+    }
+    rows.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.op.cmp(&b.op)));
+    rows
+}
+
+fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1_000.0)
+}
+
+/// Renders the snapshot as a human-oriented text table: one block per
+/// node with its per-opcode RPC rows plus the non-RPC counters and
+/// gauges, latencies in microseconds (bucket upper bounds, so they are
+/// coarse by design — log2 buckets).
+pub fn render_table(nodes: &[NodeDump]) -> String {
+    let mut out = String::new();
+    for node in nodes {
+        let state = match node.state {
+            Some(s) => format!("{s:?}").to_lowercase(),
+            None => "manager".to_string(),
+        };
+        out.push_str(&format!("== {} ({}, {}) ==\n", node.name, node.addr, state));
+        if let Some(e) = &node.error {
+            out.push_str(&format!("  unreachable: {e}\n\n"));
+            continue;
+        }
+        let rows = op_rows(&node.metrics);
+        if rows.is_empty() {
+            out.push_str("  no RPCs served yet\n");
+        } else {
+            out.push_str(&format!(
+                "  {:<16} {:>8} {:>12} {:>10} {:>10}\n",
+                "OP", "COUNT", "BYTES", "P50(us)", "P99(us)"
+            ));
+            for r in &rows {
+                out.push_str(&format!(
+                    "  {:<16} {:>8} {:>12} {:>10} {:>10}\n",
+                    r.op,
+                    r.count,
+                    r.bytes,
+                    us(r.p50_ns),
+                    us(r.p99_ns)
+                ));
+            }
+        }
+        let mut extras = Vec::new();
+        for m in &node.metrics {
+            match m {
+                WireMetric::Counter { name, value } if !name.starts_with("rpc.") => {
+                    extras.push(format!("{name}={value}"));
+                }
+                WireMetric::Gauge { name, value } => {
+                    extras.push(format!("{name}={value}"));
+                }
+                _ => {}
+            }
+        }
+        if !extras.is_empty() {
+            out.push_str(&format!("  {}\n", extras.join("  ")));
+        }
+        out.push_str(&format!("  spans retained: {}\n\n", node.spans.len()));
+    }
+    out
+}
+
+fn metric_json(m: &WireMetric) -> String {
+    match m {
+        WireMetric::Counter { name, value } => format!(
+            "{{\"name\":\"{}\",\"kind\":\"counter\",\"value\":{value}}}",
+            json_escape(name)
+        ),
+        WireMetric::Gauge { name, value } => format!(
+            "{{\"name\":\"{}\",\"kind\":\"gauge\",\"value\":{value}}}",
+            json_escape(name)
+        ),
+        WireMetric::Histogram {
+            name,
+            count,
+            sum,
+            buckets,
+        } => format!(
+            "{{\"name\":\"{}\",\"kind\":\"histogram\",\"count\":{count},\"sum\":{sum},\
+             \"p50\":{},\"p99\":{}}}",
+            json_escape(name),
+            quantile_from_buckets(buckets, 0.50),
+            quantile_from_buckets(buckets, 0.99),
+        ),
+    }
+}
+
+fn span_json(s: &WireSpan) -> String {
+    format!(
+        "{{\"seq\":{},\"job\":{},\"span\":{},\"parent\":{},\"op\":\"{}\",\"peer\":\"{}\",\
+         \"start_ns\":{},\"end_ns\":{},\"bytes\":{},\"outcome\":\"{}\"}}",
+        s.seq,
+        s.job,
+        s.span,
+        s.parent,
+        json_escape(&s.op),
+        json_escape(&s.peer),
+        s.start_ns,
+        s.end_ns,
+        s.bytes,
+        json_escape(&s.outcome),
+    )
+}
+
+/// Renders the snapshot as one JSON document (`--json`): an object with
+/// a `nodes` array; each node carries its name/addr/state, an `error`
+/// when unreachable, the full metric list (histograms pre-digested to
+/// p50/p99 in nanoseconds), and the retained spans.
+pub fn render_json(nodes: &[NodeDump]) -> String {
+    let mut items = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        let state = match node.state {
+            Some(s) => format!("\"{s:?}\"").to_lowercase(),
+            None => "\"manager\"".to_string(),
+        };
+        let error = match &node.error {
+            Some(e) => format!("\"{}\"", json_escape(e)),
+            None => "null".to_string(),
+        };
+        let metrics: Vec<String> = node.metrics.iter().map(metric_json).collect();
+        let spans: Vec<String> = node.spans.iter().map(span_json).collect();
+        items.push(format!(
+            "{{\"name\":\"{}\",\"addr\":\"{}\",\"state\":{state},\"error\":{error},\
+             \"metrics\":[{}],\"spans\":[{}]}}",
+            json_escape(&node.name),
+            json_escape(&node.addr),
+            metrics.join(","),
+            spans.join(","),
+        ));
+    }
+    format!("{{\"nodes\":[{}]}}\n", items.join(","))
+}
+
+/// Runs the `top` subcommand end to end: snapshot the fleet via
+/// `manager`, render (table by default, JSON with `json`), and return
+/// the rendered text for the binary to print.
+pub fn run(manager: &str, secret: Option<&str>, json: bool) -> Result<String> {
+    let nodes = fleet_snapshot(manager, secret)?;
+    Ok(if json {
+        render_json(&nodes)
+    } else {
+        render_table(&nodes)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<NodeDump> {
+        let mut buckets = vec![0u64; pangea_obs::HISTOGRAM_BUCKETS];
+        buckets[11] = 3; // three observations in the (1024, 2048] bucket
+        vec![NodeDump {
+            name: "worker0".to_string(),
+            addr: "127.0.0.1:7781".to_string(),
+            state: Some(WorkerState::Alive),
+            metrics: vec![
+                WireMetric::Counter {
+                    name: "rpc.count.TaskRun".to_string(),
+                    value: 3,
+                },
+                WireMetric::Counter {
+                    name: "rpc.bytes.TaskRun".to_string(),
+                    value: 600,
+                },
+                WireMetric::Histogram {
+                    name: "rpc.latency_ns.TaskRun".to_string(),
+                    count: 3,
+                    sum: 5000,
+                    buckets,
+                },
+                WireMetric::Gauge {
+                    name: "sessions.ingest.live".to_string(),
+                    value: 0,
+                },
+            ],
+            spans: vec![WireSpan {
+                seq: 0,
+                job: 7,
+                span: 1,
+                parent: 0,
+                op: "TaskRun".to_string(),
+                peer: "d\"r".to_string(),
+                start_ns: 1,
+                end_ns: 2,
+                bytes: 0,
+                outcome: "ok".to_string(),
+            }],
+            error: None,
+        }]
+    }
+
+    #[test]
+    fn table_stitches_per_opcode_rows() {
+        let text = render_table(&sample());
+        assert!(text.contains("worker0"), "{text}");
+        let row = text.lines().find(|l| l.contains("TaskRun")).unwrap();
+        assert!(row.contains('3'), "count column: {row}");
+        assert!(row.contains("600"), "bytes column: {row}");
+        // p50 and p99 both land on the 2048 ns bucket bound = 2.0 us.
+        assert_eq!(row.matches("2.0").count(), 2, "{row}");
+        assert!(text.contains("sessions.ingest.live=0"), "{text}");
+        assert!(text.contains("spans retained: 1"), "{text}");
+    }
+
+    #[test]
+    fn json_is_escaped_and_structured() {
+        let json = render_json(&sample());
+        assert!(json.starts_with("{\"nodes\":["), "{json}");
+        assert!(json.contains("\"kind\":\"histogram\""), "{json}");
+        assert!(json.contains("\"p99\":2048"), "{json}");
+        assert!(json.contains("d\\\"r"), "quote in peer escaped: {json}");
+        assert!(json.contains("\"state\":\"alive\""), "{json}");
+    }
+}

@@ -7,8 +7,11 @@
 
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{Request, Response};
-use crate::wire::{ReduceSpec, RepairFilter, RepairPushReport, TaskReport, TaskSpec};
+use crate::wire::{
+    ReduceSpec, RepairFilter, RepairPushReport, TaskReport, TaskSpec, WireMetric, WireSpan,
+};
 use pangea_common::{IoStats, PageNum, PangeaError, Result};
+use pangea_obs::TraceCtx;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 
@@ -35,6 +38,9 @@ pub struct PangeaClient {
     stream: TcpStream,
     addr: SocketAddr,
     stats: Arc<IoStats>,
+    /// When set, every outgoing request carries this [`TraceCtx`] as a
+    /// trailing envelope (see `Request::encode_traced`).
+    trace: Option<TraceCtx>,
 }
 
 impl PangeaClient {
@@ -65,6 +71,7 @@ impl PangeaClient {
             stream,
             addr,
             stats: stats.unwrap_or_else(|| Arc::new(IoStats::new())),
+            trace: None,
         };
         if let Some(secret) = secret {
             match client.call(&Request::Hello {
@@ -87,9 +94,21 @@ impl PangeaClient {
         &self.stats
     }
 
+    /// Attaches (or, with `None`, clears) the trace context every
+    /// subsequent request on this connection propagates. Callers that
+    /// pool connections must clear it on check-in.
+    pub fn set_trace(&mut self, ctx: Option<TraceCtx>) {
+        self.trace = ctx;
+    }
+
+    /// The trace context currently attached to this connection.
+    pub fn trace(&self) -> Option<TraceCtx> {
+        self.trace
+    }
+
     /// One framed round trip; error responses become [`PangeaError::Remote`].
     pub fn call(&mut self, req: &Request) -> Result<Response> {
-        let encoded = req.encode();
+        let encoded = req.encode_traced(self.trace.as_ref());
         self.stats
             .record_serialization(encoded.len() + crate::frame::FRAME_OVERHEAD);
         write_frame(&mut self.stream, &encoded)?;
@@ -383,6 +402,47 @@ impl PangeaClient {
                     match next {
                         Some((_, n)) => start = n,
                         None => return Ok(all),
+                    }
+                }
+                other => return Err(Self::unexpected(other)),
+            }
+        }
+    }
+
+    /// Pulls the remote daemon's full observability dump: every
+    /// registered metric plus all retained span records, following the
+    /// `(metrics, spans)` cursor pair until the server reports no more
+    /// (mirroring the [`PangeaClient::repair_ledger`] pagination, with
+    /// the same no-progress corruption check).
+    pub fn metrics_dump(&mut self) -> Result<(Vec<WireMetric>, Vec<WireSpan>)> {
+        let (mut metrics, mut spans) = (Vec::new(), Vec::new());
+        let (mut metrics_start, mut spans_start) = (0u64, 0u64);
+        loop {
+            let req = Request::MetricsDump {
+                metrics_start,
+                spans_start,
+            };
+            match self.call(&req)? {
+                Response::Metrics {
+                    metrics: m,
+                    spans: s,
+                    next,
+                } => {
+                    let advanced = !m.is_empty() || !s.is_empty();
+                    metrics.extend(m);
+                    spans.extend(s);
+                    match next {
+                        Some((mn, sn)) => {
+                            if !advanced && mn <= metrics_start && sn <= spans_start {
+                                return Err(PangeaError::Corruption(format!(
+                                    "metrics-dump cursor did not advance past \
+                                     ({metrics_start}, {spans_start})"
+                                )));
+                            }
+                            metrics_start = mn;
+                            spans_start = sn;
+                        }
+                        None => return Ok((metrics, spans)),
                     }
                 }
                 other => return Err(Self::unexpected(other)),

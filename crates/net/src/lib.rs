@@ -48,11 +48,16 @@ pub mod wire;
 
 pub use client::{PangeaClient, RemoteStats};
 pub use frame::{FRAME_OVERHEAD, MAX_FRAME};
+pub use pangea_obs::TraceCtx;
 pub use proto::{error_response, Request, Response};
-pub use server::{FramedServer, FramedService, Pangead, PangeadServer, DEFAULT_DRAIN};
+pub use server::{
+    metrics_dump_response, FramedServer, FramedService, Pangead, PangeadServer, DEFAULT_DRAIN,
+    METRICS_CHUNK, SPANS_CHUNK,
+};
 pub use tcp::TcpTransport;
 pub use transport::Transport;
 pub use wire::{
     ingest_tag, CmpOp, EmitSpec, FilterSpec, KeySpec, MapSpec, ReduceOp, ReduceSpec, RepairFilter,
-    RepairPushReport, SchemeSpec, TaskReport, TaskSpec, WireCatalogEntry, WireWorker, WorkerState,
+    RepairPushReport, SchemeSpec, TaskReport, TaskSpec, WireCatalogEntry, WireMetric, WireSpan,
+    WireWorker, WorkerState,
 };

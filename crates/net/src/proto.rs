@@ -11,6 +11,7 @@
 
 use crate::wire::{ReduceSpec, RepairFilter, SchemeSpec, TaskSpec, WireCatalogEntry, WireWorker};
 use pangea_common::{ByteReader, ByteWriter, PangeaError, Result};
+use pangea_obs::TraceCtx;
 
 /// A client/cluster → pangead message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -295,6 +296,18 @@ pub enum Request {
         /// The desired partitioning key.
         key: String,
     },
+    /// Pulls the serving process's observability state: every
+    /// registered metric plus the retained span ring, paginated by a
+    /// pair of cursors (metric index, span sequence number) like
+    /// [`Request::HashList`]/[`Request::RepairLedger`]. Subsumes the
+    /// ad-hoc [`Request::Stats`] RPC, which survives as a compat view.
+    MetricsDump {
+        /// Index of the first metric to return (0 for the first chunk).
+        metrics_start: u64,
+        /// Ring sequence number of the first span to return (0 for the
+        /// first chunk; evicted spans are silently skipped).
+        spans_start: u64,
+    },
 }
 
 /// A pangead → client message.
@@ -481,6 +494,17 @@ pub enum Response {
         /// Payload bytes the replacement appended.
         appended_bytes: u64,
     },
+    /// One [`Request::MetricsDump`] chunk: metrics (sorted by name) and
+    /// retained spans, with a resume cursor when either list has more.
+    Metrics {
+        /// Metric snapshots in this chunk.
+        metrics: Vec<crate::wire::WireMetric>,
+        /// `(ring seq, span)` records in this chunk, oldest first.
+        spans: Vec<crate::wire::WireSpan>,
+        /// When more remains, the `(metrics_start, spans_start)` cursor
+        /// pair to resume the next chunk at.
+        next: Option<(u64, u64)>,
+    },
 }
 
 /// Maximum hashes in one [`Response::Hashes`] chunk: 1 Mi hashes encode
@@ -527,6 +551,7 @@ const REQ_INGEST_BEGIN: u64 = 34;
 const REQ_INGEST_APPEND: u64 = 35;
 const REQ_INGEST_END: u64 = 36;
 const REQ_REPAIR_LEDGER: u64 = 37;
+const REQ_METRICS_DUMP: u64 = 38;
 
 const RESP_OK: u64 = 1;
 const RESP_CREATED: u64 = 2;
@@ -553,6 +578,16 @@ const RESP_REPAIR_ACK: u64 = 22;
 const RESP_PUSHED: u64 = 23;
 const RESP_TASK_DONE: u64 = 24;
 const RESP_INGEST_ACK: u64 = 25;
+const RESP_METRICS: u64 = 26;
+
+/// Trailing-envelope marker for a wire-propagated [`TraceCtx`]: a
+/// request payload may be followed by `(TRACE_MARK, job, span)` after
+/// its last body field. Decoders that predate tracing never look past
+/// the body (the protocol has always ignored trailing bytes), and
+/// [`Request::decode_traced`] treats anything that fails to parse as
+/// "no context" — so the envelope is both backward and forward
+/// compatible with untraced peers.
+const TRACE_MARK: u64 = 0x5041_4e47_4541_5443; // "PANGEATC"
 
 fn put_list(w: &mut ByteWriter, items: &[Vec<u8>]) {
     w.write_record(&(items.len() as u64));
@@ -782,24 +817,64 @@ impl Request {
                 w.write_record(set);
                 w.write_record(key);
             }
+            Self::MetricsDump {
+                metrics_start,
+                spans_start,
+            } => {
+                w.write_record(&REQ_METRICS_DUMP);
+                w.write_record(metrics_start);
+                w.write_record(spans_start);
+            }
         }
         w.into_bytes()
+    }
+
+    /// Encodes this request with an optional trailing [`TraceCtx`]
+    /// envelope. With `None` this is byte-identical to
+    /// [`Request::encode`]; with a context, `(marker, job, span)` is
+    /// appended after the body, where untraced decoders never look.
+    pub fn encode_traced(&self, ctx: Option<&TraceCtx>) -> Vec<u8> {
+        let mut bytes = self.encode();
+        if let Some(ctx) = ctx {
+            let mut w = ByteWriter::new();
+            w.write_record(&TRACE_MARK);
+            w.write_record(&ctx.job);
+            w.write_record(&ctx.span);
+            bytes.extend_from_slice(w.as_bytes());
+        }
+        bytes
     }
 
     /// Decodes a request from one frame payload.
     pub fn decode(bytes: &[u8]) -> Result<Self> {
         let mut r = ByteReader::new(bytes);
+        Self::decode_from(&mut r)
+    }
+
+    /// Decodes a request and, when the payload carries a trailing
+    /// [`TraceCtx`] envelope, the context. A missing, truncated, or
+    /// unrecognizable envelope decodes to `None` — never an error — so
+    /// frames from peers that predate tracing (or postdate this
+    /// decoder) stay valid.
+    pub fn decode_traced(bytes: &[u8]) -> Result<(Self, Option<TraceCtx>)> {
+        let mut r = ByteReader::new(bytes);
+        let req = Self::decode_from(&mut r)?;
+        let ctx = read_trace(&mut r);
+        Ok((req, ctx))
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self> {
         let op: u64 = r.read_record()?;
         Ok(match op {
             REQ_PING => Self::Ping,
             REQ_CREATE_SET => Self::CreateSet {
                 name: r.read_record()?,
                 durability: r.read_record()?,
-                page_size: get_opt_u64(&mut r)?,
+                page_size: get_opt_u64(r)?,
             },
             REQ_APPEND => Self::Append {
                 set: r.read_record()?,
-                records: get_list(&mut r)?,
+                records: get_list(r)?,
             },
             REQ_PAGE_NUMBERS => Self::PageNumbers {
                 set: r.read_record()?,
@@ -814,12 +889,12 @@ impl Request {
             REQ_SHUFFLE_CREATE => Self::ShuffleCreate {
                 name: r.read_record()?,
                 partitions: r.read_record::<u64>()? as u32,
-                page_size: get_opt_u64(&mut r)?,
+                page_size: get_opt_u64(r)?,
             },
             REQ_SHUFFLE_SEND => Self::ShuffleSend {
                 name: r.read_record()?,
                 partition: r.read_record::<u64>()? as u32,
-                records: get_list(&mut r)?,
+                records: get_list(r)?,
             },
             REQ_SHUFFLE_FINISH => Self::ShuffleFinish {
                 name: r.read_record()?,
@@ -854,7 +929,7 @@ impl Request {
             }
             REQ_RECOVER_APPEND => Self::RecoverAppend {
                 set: r.read_record()?,
-                records: get_list(&mut r)?,
+                records: get_list(r)?,
             },
             REQ_RECOVER_END => Self::RecoverEnd {
                 set: r.read_record()?,
@@ -863,14 +938,14 @@ impl Request {
                 source_set: r.read_record()?,
                 target_set: r.read_record()?,
                 target_addr: r.read_record()?,
-                filter: RepairFilter::get(&mut r)?,
+                filter: RepairFilter::get(r)?,
             },
             REQ_TASK_RUN => Self::TaskRun {
-                spec: TaskSpec::get(&mut r)?,
+                spec: TaskSpec::get(r)?,
             },
             REQ_INGEST_BEGIN => Self::IngestBegin {
                 set: r.read_record()?,
-                reduce: ReduceSpec::get_opt(&mut r)?,
+                reduce: ReduceSpec::get_opt(r)?,
             },
             REQ_REPAIR_LEDGER => Self::RepairLedger {
                 set: r.read_record()?,
@@ -908,7 +983,7 @@ impl Request {
             REQ_MGR_LIST_WORKERS => Self::MgrListWorkers,
             REQ_MGR_REGISTER_SET => Self::MgrRegisterSet {
                 name: r.read_record()?,
-                scheme: SchemeSpec::get(&mut r)?,
+                scheme: SchemeSpec::get(r)?,
             },
             REQ_MGR_DEREGISTER_SET => Self::MgrDeregisterSet {
                 name: r.read_record()?,
@@ -934,9 +1009,73 @@ impl Request {
                 set: r.read_record()?,
                 key: r.read_record()?,
             },
+            REQ_METRICS_DUMP => Self::MetricsDump {
+                metrics_start: r.read_record()?,
+                spans_start: r.read_record()?,
+            },
             other => return Err(bad_opcode("request", other)),
         })
     }
+
+    /// This request's opcode name — the per-opcode label the metrics
+    /// registry and span records key on (`rpc.count.TaskRun`, ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Ping => "Ping",
+            Self::CreateSet { .. } => "CreateSet",
+            Self::Append { .. } => "Append",
+            Self::PageNumbers { .. } => "PageNumbers",
+            Self::FetchPage { .. } => "FetchPage",
+            Self::Scan { .. } => "Scan",
+            Self::ShuffleCreate { .. } => "ShuffleCreate",
+            Self::ShuffleSend { .. } => "ShuffleSend",
+            Self::ShuffleFinish { .. } => "ShuffleFinish",
+            Self::Deliver { .. } => "Deliver",
+            Self::Stats => "Stats",
+            Self::Hello { .. } => "Hello",
+            Self::DropSet { .. } => "DropSet",
+            Self::Count { .. } => "Count",
+            Self::HashList { .. } => "HashList",
+            Self::RecoverBegin { .. } => "RecoverBegin",
+            Self::RecoverAppend { .. } => "RecoverAppend",
+            Self::RecoverEnd { .. } => "RecoverEnd",
+            Self::RepairLedger { .. } => "RepairLedger",
+            Self::RecoverPush { .. } => "RecoverPush",
+            Self::TaskRun { .. } => "TaskRun",
+            Self::IngestBegin { .. } => "IngestBegin",
+            Self::IngestAppend { .. } => "IngestAppend",
+            Self::IngestEnd { .. } => "IngestEnd",
+            Self::MgrRegisterWorker { .. } => "MgrRegisterWorker",
+            Self::MgrHeartbeat { .. } => "MgrHeartbeat",
+            Self::MgrDeregisterWorker { .. } => "MgrDeregisterWorker",
+            Self::MgrListWorkers => "MgrListWorkers",
+            Self::MgrRegisterSet { .. } => "MgrRegisterSet",
+            Self::MgrDeregisterSet { .. } => "MgrDeregisterSet",
+            Self::MgrEntry { .. } => "MgrEntry",
+            Self::MgrSetNames => "MgrSetNames",
+            Self::MgrAddStats { .. } => "MgrAddStats",
+            Self::MgrLinkReplicas { .. } => "MgrLinkReplicas",
+            Self::MgrGroupMembers { .. } => "MgrGroupMembers",
+            Self::MgrGroups => "MgrGroups",
+            Self::MgrBestReplica { .. } => "MgrBestReplica",
+            Self::MetricsDump { .. } => "MetricsDump",
+        }
+    }
+}
+
+/// Attempts to read a trailing trace envelope; anything short of a
+/// complete, marked `(TRACE_MARK, job, span)` triple is `None`.
+fn read_trace(r: &mut ByteReader<'_>) -> Option<TraceCtx> {
+    if r.is_exhausted() {
+        return None;
+    }
+    let mark: u64 = r.read_record().ok()?;
+    if mark != TRACE_MARK {
+        return None;
+    }
+    let job = r.read_record().ok()?;
+    let span = r.read_record().ok()?;
+    Some(TraceCtx { job, span })
 }
 
 impl Response {
@@ -1110,6 +1249,26 @@ impl Response {
                 w.write_record(appended);
                 w.write_record(bytes);
             }
+            Self::Metrics {
+                metrics,
+                spans,
+                next,
+            } => {
+                w.write_record(&RESP_METRICS);
+                w.write_record(&u64::from(next.is_some()));
+                if let Some((m, s)) = next {
+                    w.write_record(m);
+                    w.write_record(s);
+                }
+                w.write_record(&(metrics.len() as u64));
+                for m in metrics {
+                    m.put(&mut w);
+                }
+                w.write_record(&(spans.len() as u64));
+                for s in spans {
+                    s.put(&mut w);
+                }
+            }
         }
         w.into_bytes()
     }
@@ -1257,6 +1416,29 @@ impl Response {
                 appended: r.read_record()?,
                 bytes: r.read_record()?,
             },
+            RESP_METRICS => {
+                let has_next: u64 = r.read_record()?;
+                let next = if has_next != 0 {
+                    Some((r.read_record()?, r.read_record()?))
+                } else {
+                    None
+                };
+                let n: u64 = r.read_record()?;
+                let mut metrics = Vec::with_capacity(n.min(1 << 20) as usize);
+                for _ in 0..n {
+                    metrics.push(crate::wire::WireMetric::get(&mut r)?);
+                }
+                let n: u64 = r.read_record()?;
+                let mut spans = Vec::with_capacity(n.min(1 << 20) as usize);
+                for _ in 0..n {
+                    spans.push(crate::wire::WireSpan::get(&mut r)?);
+                }
+                Self::Metrics {
+                    metrics,
+                    spans,
+                    next,
+                }
+            }
             other => return Err(bad_opcode("response", other)),
         })
     }
@@ -1311,6 +1493,7 @@ pub fn error_response(e: &PangeaError) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::{WireMetric, WireSpan};
 
     fn roundtrip_req(r: Request) {
         assert_eq!(Request::decode(&r.encode()).unwrap(), r);
@@ -1739,6 +1922,95 @@ mod tests {
                 "truncation at {cut} must not decode"
             );
         }
+    }
+
+    #[test]
+    fn metrics_dump_and_metrics_roundtrip() {
+        roundtrip_req(Request::MetricsDump {
+            metrics_start: 0,
+            spans_start: 0,
+        });
+        roundtrip_req(Request::MetricsDump {
+            metrics_start: 512,
+            spans_start: u64::MAX,
+        });
+        roundtrip_resp(Response::Metrics {
+            metrics: vec![],
+            spans: vec![],
+            next: None,
+        });
+        roundtrip_resp(Response::Metrics {
+            metrics: vec![
+                WireMetric::Counter {
+                    name: "rpc.count.Ping".into(),
+                    value: 42,
+                },
+                WireMetric::Gauge {
+                    name: "sessions.ingest.live".into(),
+                    value: 0,
+                },
+                WireMetric::Histogram {
+                    name: "rpc.latency_ns.Ping".into(),
+                    count: 3,
+                    sum: 999,
+                    buckets: vec![0, 1, 2, 0],
+                },
+            ],
+            spans: vec![WireSpan {
+                seq: 9,
+                job: (7 << 32) | 1,
+                span: 11,
+                parent: 10,
+                op: "TaskRun".into(),
+                peer: "127.0.0.1:7781".into(),
+                start_ns: 100,
+                end_ns: 250,
+                bytes: 64,
+                outcome: "ok".into(),
+            }],
+            next: Some((512, 10)),
+        });
+    }
+
+    #[test]
+    fn trace_ctx_roundtrips_on_the_wire() {
+        let req = Request::Scan { set: "s".into() };
+        let ctx = TraceCtx { job: 7, span: 3 };
+        let enc = req.encode_traced(Some(&ctx));
+        let (back, got) = Request::decode_traced(&enc).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(got, Some(ctx));
+        // Untraced encode is byte-identical to the legacy frame and
+        // decodes with no context.
+        let plain = req.encode_traced(None);
+        assert_eq!(plain, req.encode());
+        let (back, got) = Request::decode_traced(&plain).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn truncated_or_garbled_trace_trailer_degrades_to_none() {
+        let req = Request::Ping;
+        let traced = req.encode_traced(Some(&TraceCtx { job: 1, span: 2 }));
+        let plain_len = req.encode().len();
+        // Any truncation strictly inside the trailer keeps the request
+        // decodable and yields no context (a peer speaking a newer
+        // envelope than ours must still be understood).
+        for cut in plain_len..traced.len() {
+            let (back, got) = Request::decode_traced(&traced[..cut]).unwrap();
+            assert_eq!(back, req);
+            assert_eq!(got, None, "cut at {cut}");
+        }
+        // Trailing bytes that are not a marked triple are ignored too.
+        let mut garbled = req.encode();
+        garbled.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        let (back, got) = Request::decode_traced(&garbled).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(got, None);
+        // Truncating the *body* stays a hard error even via the traced
+        // decoder.
+        assert!(Request::decode_traced(&req.encode()[..4]).is_err());
     }
 
     #[test]

@@ -18,9 +18,12 @@
 use crate::client::PangeaClient;
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{error_response, Request, Response};
-use crate::wire::{ingest_tag, ReduceSpec, RepairFilter, SchemeSpec, TaskReport, TaskSpec};
+use crate::wire::{
+    ingest_tag, ReduceSpec, RepairFilter, SchemeSpec, TaskReport, TaskSpec, WireMetric, WireSpan,
+};
 use pangea_common::{fx_hash64, FxHashMap, FxHashSet, IoStats, PangeaError, PartitionId, Result};
 use pangea_core::{ObjectIter, SetOptions, ShuffleConfig, ShuffleService, StorageNode};
+use pangea_obs::{MetricValue, Obs, SpanRecord, TraceCtx};
 use parking_lot::Mutex;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -38,6 +41,15 @@ pub const DEFAULT_DRAIN: Duration = Duration::from_secs(5);
 pub trait FramedService: std::fmt::Debug + Send + Sync + 'static {
     /// Handles one request, mapping internal errors to error responses.
     fn handle(&self, req: Request) -> Response;
+
+    /// Handles one request with its wire-decoded [`TraceCtx`] (when the
+    /// frame carried one) and the request payload size in bytes.
+    /// Observability-aware services override this to record per-opcode
+    /// metrics and span records; the default simply forwards to
+    /// [`FramedService::handle`], so plain services need no change.
+    fn handle_traced(&self, req: Request, _ctx: Option<TraceCtx>, _req_bytes: usize) -> Response {
+        self.handle(req)
+    }
 }
 
 /// Shared per-server connection state: the live-connection registry used
@@ -232,8 +244,8 @@ fn serve_connection(mut stream: TcpStream, service: &dyn FramedService, shared: 
             }
         };
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        let (response, close) = match Request::decode(&payload) {
-            Ok(Request::Hello { secret }) => match &shared.secret {
+        let (response, close) = match Request::decode_traced(&payload) {
+            Ok((Request::Hello { secret }, _)) => match &shared.secret {
                 Some(expected) if *expected == secret => {
                     authenticated = true;
                     (Response::Ok, false)
@@ -247,13 +259,13 @@ fn serve_connection(mut stream: TcpStream, service: &dyn FramedService, shared: 
                 // No secret configured: a Hello is a harmless no-op.
                 None => (Response::Ok, false),
             },
-            Ok(req) if !authenticated => (
+            Ok((req, _)) if !authenticated => (
                 error_response(&PangeaError::Unauthenticated(format!(
                     "this daemon requires a Hello handshake before {req:?}"
                 ))),
                 true,
             ),
-            Ok(req) => (service.handle(req), false),
+            Ok((req, ctx)) => (service.handle_traced(req, ctx, payload.len()), false),
             Err(e) => (error_response(&e), false),
         };
         let write_ok = write_frame(&mut stream, &response.encode()).is_ok();
@@ -262,6 +274,95 @@ fn serve_connection(mut stream: TcpStream, service: &dyn FramedService, shared: 
             return;
         }
     }
+}
+
+/// Maximum metrics in one [`Response::Metrics`] chunk.
+pub const METRICS_CHUNK: usize = 512;
+/// Maximum spans in one [`Response::Metrics`] chunk.
+pub const SPANS_CHUNK: usize = 1024;
+
+/// Builds one [`Response::Metrics`] chunk from an [`Obs`] bundle: the
+/// registry snapshot paged by metric index, the span ring paged by ring
+/// sequence number, and a resume cursor while either list has more.
+/// Shared by `pangead` and `pangea-mgr` — both daemons serve the
+/// identical `MetricsDump` wire shape.
+pub fn metrics_dump_response(obs: &Obs, metrics_start: u64, spans_start: u64) -> Response {
+    let snapshot = obs.registry().snapshot();
+    let total_metrics = snapshot.len() as u64;
+    let metrics: Vec<WireMetric> = snapshot
+        .into_iter()
+        .skip(metrics_start as usize)
+        .take(METRICS_CHUNK)
+        .map(|m| match m.value {
+            MetricValue::Counter(value) => WireMetric::Counter {
+                name: m.name,
+                value,
+            },
+            MetricValue::Gauge(value) => WireMetric::Gauge {
+                name: m.name,
+                value,
+            },
+            MetricValue::Histogram {
+                count,
+                sum,
+                buckets,
+            } => WireMetric::Histogram {
+                name: m.name,
+                count,
+                sum,
+                buckets,
+            },
+        })
+        .collect();
+    let metrics_next = metrics_start.saturating_add(metrics.len() as u64);
+    let retained = obs.ring().since(spans_start);
+    let more_spans = retained.len() > SPANS_CHUNK;
+    let spans: Vec<WireSpan> = retained
+        .into_iter()
+        .take(SPANS_CHUNK)
+        .map(|(seq, s)| WireSpan {
+            seq,
+            job: s.job,
+            span: s.span,
+            parent: s.parent,
+            op: s.op,
+            peer: s.peer,
+            start_ns: s.start_ns,
+            end_ns: s.end_ns,
+            bytes: s.bytes,
+            outcome: s.outcome,
+        })
+        .collect();
+    // Advance the span cursor past what this chunk shipped; when the
+    // ring was drained, park it at the ring's next sequence number so a
+    // resumed dump does not re-fetch these spans.
+    let spans_next = spans
+        .last()
+        .map(|s| s.seq + 1)
+        .unwrap_or_else(|| obs.ring().next_seq().max(spans_start));
+    let next = (metrics_next < total_metrics || more_spans).then_some((metrics_next, spans_next));
+    Response::Metrics {
+        metrics,
+        spans,
+        next,
+    }
+}
+
+/// A span outcome label for one response: `"ok"`, or the error's wire
+/// message truncated to keep ring records bounded.
+fn outcome_of(resp: &Response) -> String {
+    let text = match resp {
+        Response::Err { message } => message.as_str(),
+        Response::Denied { message } => message.as_str(),
+        Response::Stale { .. } => "stale epoch",
+        Response::ScanTooLarge { .. } => "scan too large",
+        _ => return "ok".to_string(),
+    };
+    let mut out = String::with_capacity(96);
+    for c in text.chars().take(96) {
+        out.push(c);
+    }
+    out
 }
 
 /// One open repair session on a replacement node: the dedup ledger plus
@@ -351,11 +452,17 @@ pub struct Pangead {
     peer_secret: Option<String>,
     /// Payload bytes and messages received by this daemon.
     stats: Arc<IoStats>,
+    /// This daemon's observability bundle: the metrics registry (shared
+    /// with [`Pangead::stats`], so `io.*` volumes and `rpc.*` metrics
+    /// land in one `MetricsDump`) plus the span ring.
+    obs: Obs,
 }
 
 impl Pangead {
     /// Wraps a storage node.
     pub fn new(node: StorageNode) -> Self {
+        let stats = Arc::new(IoStats::new());
+        let obs = Obs::with_registry(stats.registry().clone());
         Self {
             node,
             shuffles: Mutex::new(FxHashMap::default()),
@@ -365,7 +472,8 @@ impl Pangead {
             ingests_ended: Mutex::new(FxHashMap::default()),
             peers: Mutex::new(FxHashMap::default()),
             peer_secret: None,
-            stats: Arc::new(IoStats::new()),
+            stats,
+            obs,
         }
     }
 
@@ -386,15 +494,62 @@ impl Pangead {
         &self.stats
     }
 
-    /// Handles one request, turning node errors into [`Response::Err`].
-    pub fn handle(&self, req: Request) -> Response {
-        match self.dispatch(req) {
-            Ok(resp) => resp,
-            Err(e) => error_response(&e),
-        }
+    /// This daemon's observability bundle (metrics + span ring) — what
+    /// its `MetricsDump` RPC serves.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
-    fn dispatch(&self, req: Request) -> Result<Response> {
+    /// Handles one request, turning node errors into [`Response::Err`].
+    pub fn handle(&self, req: Request) -> Response {
+        self.handle_full(req, None, 0)
+    }
+
+    /// The instrumented handler behind both [`Pangead::handle`] and the
+    /// [`FramedService::handle_traced`] seam: per-opcode count/bytes/
+    /// latency metrics always; a [`SpanRecord`] when the frame carried
+    /// a [`TraceCtx`]. The span id is allocated *before* dispatch so
+    /// any fan-out this request performs (a `TaskRun`'s ingest pushes,
+    /// a `RecoverPush`'s appends) propagates `(job, this span)` and the
+    /// job's span tree stitches together across nodes.
+    fn handle_full(&self, req: Request, ctx: Option<TraceCtx>, req_bytes: usize) -> Response {
+        let op = req.name();
+        let reg = self.obs.registry();
+        reg.counter(&format!("rpc.count.{op}")).inc();
+        reg.counter(&format!("rpc.bytes.{op}"))
+            .add(req_bytes as u64);
+        let child = ctx.map(|c| TraceCtx {
+            job: c.job,
+            span: pangea_obs::next_span_id(),
+        });
+        let start = self.obs.now_ns();
+        let resp = match self.dispatch(req, child) {
+            Ok(resp) => resp,
+            Err(e) => error_response(&e),
+        };
+        let end = self.obs.now_ns();
+        reg.histogram(&format!("rpc.latency_ns.{op}"))
+            .observe(end.saturating_sub(start));
+        if let (Some(ctx), Some(child)) = (ctx, child) {
+            self.obs.ring().record(SpanRecord {
+                job: ctx.job,
+                span: child.span,
+                parent: ctx.span,
+                op: op.to_string(),
+                peer: String::new(),
+                start_ns: start,
+                end_ns: end,
+                bytes: req_bytes as u64,
+                outcome: outcome_of(&resp),
+            });
+        }
+        resp
+    }
+
+    /// Dispatches one decoded request. `ctx`, when present, is the
+    /// *child* context minted by [`Pangead::handle_full`] — `(job, this
+    /// request's own span)` — which fan-out arms forward to peers.
+    fn dispatch(&self, req: Request, ctx: Option<TraceCtx>) -> Result<Response> {
         match req {
             Request::Ping => Ok(Response::Ok),
             // The server layer handles handshakes; reaching here means no
@@ -615,9 +770,14 @@ impl Pangead {
                 // tombstone): `RecoverBegin` is the idempotent open of a
                 // fresh repair attempt.
                 self.ended.lock().remove(&set);
-                self.repairs
-                    .lock()
-                    .insert(set, Arc::new(Mutex::new(session)));
+                let live = {
+                    let mut repairs = self.repairs.lock();
+                    repairs.insert(set, Arc::new(Mutex::new(session)));
+                    repairs.len()
+                };
+                let reg = self.obs.registry();
+                reg.counter("sessions.repair.begun").inc();
+                reg.gauge("sessions.repair.live").set(live as u64);
                 Ok(Response::Ok)
             }
             Request::RecoverAppend { set, records } => {
@@ -640,11 +800,13 @@ impl Pangead {
                 // proceed in parallel.
                 let mut session = session.lock();
                 let mut writer = target.writer();
+                let replays = self.obs.registry().counter("repair.dedup_hits");
                 let (mut appended, mut bytes) = (0u64, 0u64);
                 for rec in &records {
                     self.stats.record_net(rec.len());
                     let h = fx_hash64(rec);
                     if session.seen.contains(&h) {
+                        replays.inc();
                         continue;
                     }
                     // Ledger only after the record is stored: a failed
@@ -679,6 +841,10 @@ impl Pangead {
                 self.ended
                     .lock()
                     .insert(set, (session.appended, session.bytes));
+                let reg = self.obs.registry();
+                reg.counter("sessions.repair.ended").inc();
+                reg.gauge("sessions.repair.live")
+                    .set(self.repairs.lock().len() as u64);
                 Ok(Response::RepairAck {
                     appended: session.appended,
                     bytes: session.bytes,
@@ -703,8 +869,12 @@ impl Pangead {
                 target_set,
                 target_addr,
                 filter,
-            } => self.recover_push(&source_set, &target_set, &target_addr, &filter),
-            Request::TaskRun { spec } => self.run_task(&spec),
+            } => self.recover_push(&source_set, &target_set, &target_addr, &filter, ctx),
+            Request::TaskRun { spec } => self.run_task(&spec, ctx),
+            Request::MetricsDump {
+                metrics_start,
+                spans_start,
+            } => Ok(metrics_dump_response(&self.obs, metrics_start, spans_start)),
             Request::IngestBegin { set, reduce } => {
                 // Truncate the local share: a begin is the idempotent
                 // open of a *fresh* attempt, so partial output from a
@@ -724,9 +894,14 @@ impl Pangead {
                     reduce: reduce.map(|spec| (spec, Default::default())),
                     ..IngestSession::default()
                 };
-                self.ingests
-                    .lock()
-                    .insert(set, Arc::new(Mutex::new(session)));
+                let live = {
+                    let mut ingests = self.ingests.lock();
+                    ingests.insert(set, Arc::new(Mutex::new(session)));
+                    ingests.len()
+                };
+                let reg = self.obs.registry();
+                reg.counter("sessions.ingest.begun").inc();
+                reg.gauge("sessions.ingest.live").set(live as u64);
                 Ok(Response::Ok)
             }
             Request::IngestAppend { set, entries } => {
@@ -770,6 +945,10 @@ impl Pangead {
                     None => (session.appended, session.bytes),
                 };
                 self.ingests_ended.lock().insert(set, (appended, bytes));
+                let reg = self.obs.registry();
+                reg.counter("sessions.ingest.ended").inc();
+                reg.gauge("sessions.ingest.live")
+                    .set(self.ingests.lock().len() as u64);
                 Ok(Response::IngestAck { appended, bytes })
             }
             Request::MgrRegisterWorker { .. }
@@ -805,6 +984,7 @@ impl Pangead {
     /// success and simply drop it when an RPC on it failed (its stream
     /// state is unknown).
     fn checkout_peer(&self, addr: &str) -> Result<PangeaClient> {
+        self.obs.registry().counter("pool.checkouts").inc();
         // Take the client in its own scope: an `if let` over the guard
         // would hold the pool lock across the validation ping's socket
         // round trip, stalling every other pusher on this daemon behind
@@ -812,9 +992,11 @@ impl Pangead {
         let pooled = self.peers.lock().remove(addr);
         if let Some(mut client) = pooled {
             if client.ping().is_ok() {
+                self.obs.registry().counter("pool.hits").inc();
                 return Ok(client);
             }
         }
+        self.obs.registry().counter("pool.dials").inc();
         self.dial_peer(addr)
     }
 
@@ -826,12 +1008,16 @@ impl Pangead {
     /// so an unbounded map would pin one dead socket per churned worker
     /// address forever — and refusing inserts instead would stop
     /// pooling new peers for the daemon's lifetime.
-    fn checkin_peer(&self, addr: &str, client: PangeaClient) {
+    fn checkin_peer(&self, addr: &str, mut client: PangeaClient) {
+        // An idle pooled connection must never carry a stale job's
+        // trace context into whatever checks it out next.
+        client.set_trace(None);
         let mut peers = self.peers.lock();
         if peers.len() >= PEER_POOL_CAP && !peers.contains_key(addr) {
             if let Some(victim) = peers.keys().next().cloned() {
                 peers.remove(&victim);
             }
+            self.obs.registry().counter("pool.evictions").inc();
         }
         peers.insert(addr.to_string(), client);
     }
@@ -852,7 +1038,7 @@ impl Pangead {
     /// `s` offset decorrelates the mappers' first records). The serial
     /// engine reference applies the identical rule per scanned node,
     /// so per-node parity holds for round-robin outputs too.
-    fn run_task(&self, spec: &TaskSpec) -> Result<Response> {
+    fn run_task(&self, spec: &TaskSpec, ctx: Option<TraceCtx>) -> Result<Response> {
         let input = self.get_set(&spec.input)?;
         let nodes = spec.nodes.max(1);
         if spec.reduce.is_some() && matches!(spec.scheme, SchemeSpec::RoundRobin { .. }) {
@@ -902,6 +1088,7 @@ impl Pangead {
                             dest,
                             tag,
                             out,
+                            ctx,
                         )?;
                     }
                 }
@@ -931,6 +1118,7 @@ impl Pangead {
                                     dest,
                                     tag,
                                     out.to_vec(),
+                                    ctx,
                                 )
                             })?;
                         }
@@ -943,7 +1131,8 @@ impl Pangead {
                 if entries.is_empty() {
                     continue;
                 }
-                let (a, b) = self.deliver_entries(spec, &addr_of, &mut conns, dest, entries)?;
+                let (a, b) =
+                    self.deliver_entries(spec, &addr_of, &mut conns, dest, entries, ctx)?;
                 report.appended += a;
                 report.appended_bytes += b;
             }
@@ -957,8 +1146,15 @@ impl Pangead {
         }
         outcome?;
         // Mapper-side attribution: this node shipped `emitted_bytes` of
-        // shuffle payload to its peers without touching the driver.
-        self.stats.record_shuffle(report.emitted_bytes as usize);
+        // shuffle payload to its peers without touching the driver —
+        // labeled by mode, so combine/reduce traffic is distinguishable
+        // from map-only traffic in a dump.
+        if spec.reduce.is_some() {
+            self.stats
+                .record_shuffle_reduce(report.emitted_bytes as usize);
+        } else {
+            self.stats.record_shuffle(report.emitted_bytes as usize);
+        }
         Ok(Response::TaskDone {
             scanned: report.scanned,
             emitted: report.emitted,
@@ -981,6 +1177,7 @@ impl Pangead {
         dest: u32,
         tag: u64,
         out: Vec<u8>,
+        ctx: Option<TraceCtx>,
     ) -> Result<()> {
         report.emitted += 1;
         report.emitted_bytes += out.len() as u64;
@@ -990,7 +1187,7 @@ impl Pangead {
         if batch.len() >= PUSH_BATCH_RECORDS || *batch_bytes >= PUSH_BATCH_BYTES {
             let entries = std::mem::take(batch);
             *batch_bytes = 0;
-            let (a, b) = self.deliver_entries(spec, addr_of, conns, dest, entries)?;
+            let (a, b) = self.deliver_entries(spec, addr_of, conns, dest, entries, ctx)?;
             report.appended += a;
             report.appended_bytes += b;
         }
@@ -1008,6 +1205,7 @@ impl Pangead {
         conns: &mut FxHashMap<String, PangeaClient>,
         dest: u32,
         entries: Vec<(u64, Vec<u8>)>,
+        ctx: Option<TraceCtx>,
     ) -> Result<(u64, u64)> {
         if dest == spec.source {
             self.ingest_append_session(&spec.output, &entries, false)
@@ -1015,7 +1213,7 @@ impl Pangead {
             let addr = *addr_of.get(&dest).ok_or_else(|| {
                 PangeaError::usage(format!("task has no destination address for slot {dest}"))
             })?;
-            self.ingest_into(conns, addr, &spec.output, entries)
+            self.ingest_into(conns, addr, &spec.output, entries, ctx)
         }
     }
 
@@ -1047,6 +1245,7 @@ impl Pangead {
             PangeaError::usage(format!("no ingest session for '{set}'; IngestBegin first"))
         })?;
         let mut session = session.lock();
+        let dedup = self.obs.registry().counter("ingest.dedup_hits");
         let outcome = (|| -> Result<(u64, u64)> {
             let IngestSession { seen, reduce, .. } = &mut *session;
             let (mut appended, mut bytes) = (0u64, 0u64);
@@ -1061,6 +1260,7 @@ impl Pangead {
                             self.stats.record_net(rec.len());
                         }
                         if seen.contains(tag) {
+                            dedup.inc();
                             continue;
                         }
                         let (key, value) = spec.decode_record(rec)?;
@@ -1077,6 +1277,7 @@ impl Pangead {
                             self.stats.record_net(rec.len());
                         }
                         if seen.contains(tag) {
+                            dedup.inc();
                             continue;
                         }
                         writer.add_object(rec)?;
@@ -1093,7 +1294,14 @@ impl Pangead {
             Ok((appended, bytes)) => {
                 session.appended += appended;
                 session.bytes += bytes;
-                self.stats.record_shuffle(bytes as usize);
+                // Destination-side attribution, labeled by session mode:
+                // bytes folded into a reducing session are reduce-mode
+                // shuffle traffic, everything else is map-mode.
+                if session.reduce.is_some() {
+                    self.stats.record_shuffle_reduce(bytes as usize);
+                } else {
+                    self.stats.record_shuffle(bytes as usize);
+                }
                 Ok((appended, bytes))
             }
             Err(e) => {
@@ -1114,9 +1322,15 @@ impl Pangead {
         addr: &str,
         output: &str,
         entries: Vec<(u64, Vec<u8>)>,
+        ctx: Option<TraceCtx>,
     ) -> Result<(u64, u64)> {
         if !conns.contains_key(addr) {
-            conns.insert(addr.to_string(), self.checkout_peer(addr)?);
+            // Fan-out propagation: every ingest RPC this task sends
+            // carries `(job, the TaskRun's span)`, so the destination's
+            // span records stitch under the task that produced them.
+            let mut conn = self.checkout_peer(addr)?;
+            conn.set_trace(ctx);
+            conns.insert(addr.to_string(), conn);
         }
         let conn = conns.get_mut(addr).expect("just ensured");
         match conn.ingest_append(output, entries) {
@@ -1144,12 +1358,14 @@ impl Pangead {
         target_set: &str,
         target_addr: &str,
         filter: &RepairFilter,
+        ctx: Option<TraceCtx>,
     ) -> Result<Response> {
         let source = self.get_set(source_set)?;
         // One pooled connection for the whole push: repeated pushes to
         // the same replacement (per survivor × source × pass) no longer
         // pay a fresh dial + handshake each (the ROADMAP hot-path item).
         let mut peer = self.checkout_peer(target_addr)?;
+        peer.set_trace(ctx);
         let keep: Box<dyn Fn(&[u8]) -> bool + Send + Sync> = match filter {
             RepairFilter::Absent => {
                 let present: FxHashSet<u64> = match peer.repair_ledger(target_set) {
@@ -1223,6 +1439,10 @@ impl Pangead {
 impl FramedService for Pangead {
     fn handle(&self, req: Request) -> Response {
         Pangead::handle(self, req)
+    }
+
+    fn handle_traced(&self, req: Request, ctx: Option<TraceCtx>, req_bytes: usize) -> Response {
+        self.handle_full(req, ctx, req_bytes)
     }
 }
 

@@ -1199,6 +1199,173 @@ impl WireWorker {
     }
 }
 
+const METRIC_COUNTER: u64 = 1;
+const METRIC_GAUGE: u64 = 2;
+const METRIC_HISTOGRAM: u64 = 3;
+
+/// One named metric in a `MetricsDump` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMetric {
+    /// A monotonic counter.
+    Counter {
+        /// Registry name (e.g. `rpc.count.TaskRun`).
+        name: String,
+        /// Value at dump time.
+        value: u64,
+    },
+    /// A last-write-wins gauge.
+    Gauge {
+        /// Registry name (e.g. `mgr.heartbeat_staleness_ms`).
+        name: String,
+        /// Value at dump time.
+        value: u64,
+    },
+    /// A fixed log2-bucket histogram (see `pangea_obs::Histogram`).
+    Histogram {
+        /// Registry name (e.g. `rpc.latency_ns.TaskRun`).
+        name: String,
+        /// Observation count.
+        count: u64,
+        /// Sum of all observations.
+        sum: u64,
+        /// Per-bucket observation counts.
+        buckets: Vec<u64>,
+    },
+}
+
+impl WireMetric {
+    /// This metric's registry name.
+    pub fn name(&self) -> &str {
+        match self {
+            Self::Counter { name, .. }
+            | Self::Gauge { name, .. }
+            | Self::Histogram { name, .. } => name,
+        }
+    }
+
+    pub(crate) fn put(&self, w: &mut ByteWriter) {
+        match self {
+            Self::Counter { name, value } => {
+                w.write_record(&METRIC_COUNTER);
+                w.write_record(name);
+                w.write_record(value);
+            }
+            Self::Gauge { name, value } => {
+                w.write_record(&METRIC_GAUGE);
+                w.write_record(name);
+                w.write_record(value);
+            }
+            Self::Histogram {
+                name,
+                count,
+                sum,
+                buckets,
+            } => {
+                w.write_record(&METRIC_HISTOGRAM);
+                w.write_record(name);
+                w.write_record(count);
+                w.write_record(sum);
+                w.write_record(&(buckets.len() as u64));
+                for b in buckets {
+                    w.write_record(b);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn get(r: &mut ByteReader<'_>) -> Result<Self> {
+        let tag: u64 = r.read_record()?;
+        Ok(match tag {
+            METRIC_COUNTER => Self::Counter {
+                name: r.read_record()?,
+                value: r.read_record()?,
+            },
+            METRIC_GAUGE => Self::Gauge {
+                name: r.read_record()?,
+                value: r.read_record()?,
+            },
+            METRIC_HISTOGRAM => {
+                let name = r.read_record()?;
+                let count = r.read_record()?;
+                let sum = r.read_record()?;
+                let n: u64 = r.read_record()?;
+                let mut buckets = Vec::with_capacity(n.min(1 << 10) as usize);
+                for _ in 0..n {
+                    buckets.push(r.read_record()?);
+                }
+                Self::Histogram {
+                    name,
+                    count,
+                    sum,
+                    buckets,
+                }
+            }
+            other => {
+                return Err(PangeaError::Corruption(format!(
+                    "unknown wire-metric tag {other}"
+                )))
+            }
+        })
+    }
+}
+
+/// One retained span record in a `MetricsDump` reply (the wire form of
+/// `pangea_obs::SpanRecord`, plus its ring sequence number for cursor
+/// resumption).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Ring sequence number (strictly increasing per process).
+    pub seq: u64,
+    /// Job id this span belongs to.
+    pub job: u64,
+    /// This span's id.
+    pub span: u64,
+    /// The caller's span id, or 0 at the root.
+    pub parent: u64,
+    /// Operation name (request opcode or local label).
+    pub op: String,
+    /// The remote peer involved, when known.
+    pub peer: String,
+    /// Monotonic start, ns since the recording process's obs epoch.
+    pub start_ns: u64,
+    /// Monotonic end, ns since the recording process's obs epoch.
+    pub end_ns: u64,
+    /// Request payload bytes handled under this span.
+    pub bytes: u64,
+    /// `"ok"` or a short error description.
+    pub outcome: String,
+}
+
+impl WireSpan {
+    pub(crate) fn put(&self, w: &mut ByteWriter) {
+        w.write_record(&self.seq);
+        w.write_record(&self.job);
+        w.write_record(&self.span);
+        w.write_record(&self.parent);
+        w.write_record(&self.op);
+        w.write_record(&self.peer);
+        w.write_record(&self.start_ns);
+        w.write_record(&self.end_ns);
+        w.write_record(&self.bytes);
+        w.write_record(&self.outcome);
+    }
+
+    pub(crate) fn get(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(Self {
+            seq: r.read_record()?,
+            job: r.read_record()?,
+            span: r.read_record()?,
+            parent: r.read_record()?,
+            op: r.read_record()?,
+            peer: r.read_record()?,
+            start_ns: r.read_record()?,
+            end_ns: r.read_record()?,
+            bytes: r.read_record()?,
+            outcome: r.read_record()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1618,5 +1785,65 @@ mod tests {
         assert_eq!(count.decode_record(&enc).unwrap(), (&b"a|b"[..], -17));
         assert!(count.decode_record(b"no-delim").is_err());
         assert!(count.decode_record(b"k|nan").is_err());
+    }
+
+    #[test]
+    fn wire_metrics_roundtrip_and_reject_unknown_tags() {
+        let metrics = [
+            WireMetric::Counter {
+                name: "rpc.count.Scan".into(),
+                value: u64::MAX,
+            },
+            WireMetric::Gauge {
+                name: "mgr.heartbeat_staleness_ms".into(),
+                value: 17,
+            },
+            WireMetric::Histogram {
+                name: "rpc.latency_ns.Scan".into(),
+                count: 2,
+                sum: 3000,
+                buckets: vec![0; 64],
+            },
+        ];
+        for m in &metrics {
+            let mut w = ByteWriter::new();
+            m.put(&mut w);
+            let mut r = ByteReader::new(w.as_bytes());
+            assert_eq!(&WireMetric::get(&mut r).unwrap(), m);
+            assert!(r.is_exhausted());
+        }
+        let mut w = ByteWriter::new();
+        w.write_record(&99u64);
+        w.write_record(&"bogus".to_string());
+        assert!(matches!(
+            WireMetric::get(&mut ByteReader::new(w.as_bytes())),
+            Err(PangeaError::Corruption(_))
+        ));
+    }
+
+    #[test]
+    fn wire_spans_roundtrip() {
+        let span = WireSpan {
+            seq: 3,
+            job: (1 << 32) | 9,
+            span: 5,
+            parent: 4,
+            op: "IngestAppend".into(),
+            peer: "127.0.0.1:7782".into(),
+            start_ns: 1_000,
+            end_ns: 2_500,
+            bytes: 4096,
+            outcome: "node3 is unavailable".into(),
+        };
+        let mut w = ByteWriter::new();
+        span.put(&mut w);
+        let mut r = ByteReader::new(w.as_bytes());
+        assert_eq!(WireSpan::get(&mut r).unwrap(), span);
+        assert!(r.is_exhausted());
+        // Truncation anywhere inside is a hard error, never a panic.
+        let enc = w.into_bytes();
+        for cut in 0..enc.len() {
+            assert!(WireSpan::get(&mut ByteReader::new(&enc[..cut])).is_err());
+        }
     }
 }

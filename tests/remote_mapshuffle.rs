@@ -18,7 +18,9 @@ use pangea::cluster::{ClusterConfig, PartitionScheme, SimCluster};
 use pangea::common::{NodeId, PangeaError, KB};
 use pangea::coord::{MgrServer, RemoteCluster, WorkerAgent};
 use pangea::core::{NodeConfig, StorageNode};
-use pangea::net::{FilterSpec, KeySpec, MapSpec, PangeadServer, ReduceSpec};
+use pangea::net::{
+    FilterSpec, KeySpec, MapSpec, PangeaClient, PangeadServer, ReduceSpec, WireMetric,
+};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -238,6 +240,158 @@ fn map_shuffle_ships_tasks_with_zero_driver_payload_and_matches_sim() {
         snapshot_sim(&sim, "words"),
         "distributed tasks and the serial sim must materialize the same set"
     );
+}
+
+/// Pulls one named counter out of a `MetricsDump` metric list (0 when
+/// the node never touched it).
+fn counter_value(metrics: &[WireMetric], name: &str) -> u64 {
+    metrics
+        .iter()
+        .find_map(|m| match m {
+            WireMetric::Counter { name: n, value } if n == name => Some(*value),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+/// The observability tentpole, end to end: one distributed wordcount,
+/// then `MetricsDump` against every worker proves (a) per-opcode RPC
+/// counts matching the job's exact RPC plan, (b) latency histograms
+/// populated for every served opcode, and (c) one `job_id`-correlated
+/// span set per worker covering the whole fan-out — the driver's
+/// `TaskRun` plus the ingest RPCs the *other* mappers pushed in — while
+/// the driver's payload ledger still reads exactly zero.
+#[test]
+fn metrics_dump_correlates_one_job_across_every_worker() {
+    let (_mgr, mgr_addr) = mgr_server();
+    let fleet: Vec<_> = (0..3)
+        .map(|i| worker(&format!("obs{i}"), &mgr_addr, i))
+        .collect();
+    let cluster = RemoteCluster::connect(&mgr_addr, Some(SECRET)).unwrap();
+
+    // 97 distinct words (coprime with the 8-way input striping) so
+    // every mapper emits words into every output partition: each
+    // (mapper, destination) pair is guaranteed live, which is what
+    // makes the RPC plan below exact.
+    let rows: Vec<String> = (0..400)
+        .map(|i| format!("u{}|w{:02}|row-{i:05}", i % 7, i % 97))
+        .collect();
+    let set = cluster
+        .create_dist_set("lines", PartitionScheme::round_robin(8))
+        .unwrap();
+    let mut d = set.loader().unwrap();
+    for row in &rows {
+        d.dispatch(row.as_bytes()).unwrap();
+    }
+    d.finish().unwrap();
+
+    let driver_before = cluster.workers().stats().snapshot();
+    cluster
+        .map_shuffle("lines", "words", &word_map(), word_scheme())
+        .unwrap();
+    let job = cluster.workers().last_job().expect("map_shuffle is traced");
+
+    // The driver recorded one span per RPC it issued under the job, all
+    // ok, and its payload ledger never moved (the dump below uses its
+    // own fresh clients, so it cannot move it either).
+    let driver_spans: Vec<_> = cluster
+        .workers()
+        .obs()
+        .ring()
+        .since(0)
+        .into_iter()
+        .filter(|(_, s)| s.job == job)
+        .collect();
+    // 3 TaskRun + 3 IngestBegin + 3 IngestEnd at minimum.
+    assert!(driver_spans.len() >= 9, "driver spans: {driver_spans:?}");
+    assert!(driver_spans.iter().all(|(_, s)| s.outcome == "ok"));
+
+    for (i, (server, _agent)) in fleet.iter().enumerate() {
+        let mut dump =
+            PangeaClient::connect_with_secret(server.local_addr(), Some(SECRET)).unwrap();
+        let (metrics, spans) = dump.metrics_dump().unwrap();
+
+        // (a) Exact opcode counts from the job's RPC plan: the driver
+        // opens and seals one ingest session and runs one task on every
+        // worker; the two *other* mappers each push at least one
+        // `IngestAppend` batch (13 distinct words cover all 8 output
+        // partitions, so every mapper emits to every destination — the
+        // self-destined share never becomes an RPC).
+        let count = |name: &str| counter_value(&metrics, name);
+        assert_eq!(count("rpc.count.TaskRun"), 1, "worker {i}");
+        assert_eq!(count("rpc.count.IngestBegin"), 1, "worker {i}");
+        assert_eq!(count("rpc.count.IngestEnd"), 1, "worker {i}");
+        assert!(
+            count("rpc.count.IngestAppend") >= 2,
+            "worker {i}: expected pushes from both peer mappers, got {}",
+            count("rpc.count.IngestAppend")
+        );
+        assert!(count("rpc.bytes.IngestAppend") > 0, "worker {i}");
+        assert_eq!(
+            counter_value(&metrics, "sessions.ingest.begun"),
+            1,
+            "worker {i}"
+        );
+        assert_eq!(
+            counter_value(&metrics, "sessions.ingest.ended"),
+            1,
+            "worker {i}"
+        );
+
+        // (b) A populated latency histogram for every served opcode.
+        for op in ["TaskRun", "IngestBegin", "IngestAppend", "IngestEnd"] {
+            let hist = metrics.iter().find_map(|m| match m {
+                WireMetric::Histogram { name, count, .. }
+                    if name == &format!("rpc.latency_ns.{op}") =>
+                {
+                    Some(*count)
+                }
+                _ => None,
+            });
+            assert_eq!(
+                hist,
+                Some(count(&format!("rpc.count.{op}"))),
+                "worker {i}: histogram count must match rpc.count.{op}"
+            );
+        }
+
+        // (c) The job's complete span set on this worker: every opcode
+        // in the fan-out appears under the driver's job id, stitched to
+        // a parent span, monotonic, and ok.
+        let job_spans: Vec<_> = spans.iter().filter(|s| s.job == job).collect();
+        for op in ["TaskRun", "IngestBegin", "IngestAppend", "IngestEnd"] {
+            assert!(
+                job_spans.iter().any(|s| s.op == op),
+                "worker {i}: no {op} span under job {job}: {job_spans:?}"
+            );
+        }
+        for s in &job_spans {
+            assert_eq!(s.outcome, "ok", "worker {i}: {s:?}");
+            assert_ne!(s.span, 0, "worker {i}: {s:?}");
+            assert_ne!(s.parent, 0, "worker {i}: spans stitch to a caller");
+            assert!(s.end_ns >= s.start_ns, "worker {i}: {s:?}");
+        }
+        // The ingest pushes arrived from the peer mappers' TaskRun
+        // spans, not from the driver: at least one `IngestAppend` span's
+        // parent is missing from this worker's own span ids.
+        let own: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.span).collect();
+        assert!(
+            job_spans
+                .iter()
+                .any(|s| s.op == "IngestAppend" && !own.contains(&s.parent)),
+            "worker {i}: ingest pushes must stitch under remote mapper spans"
+        );
+    }
+
+    // The dump clients used their own ledgers: the driver's shared
+    // payload ledger is still untouched by the whole job + inspection.
+    let driver_delta = cluster
+        .workers()
+        .stats()
+        .snapshot()
+        .delta_since(&driver_before);
+    assert_eq!(driver_delta.net_bytes, 0);
+    assert_eq!(driver_delta.shuffle_bytes, 0);
 }
 
 /// Round-robin *output* parity: both backends stripe per source node
@@ -584,6 +738,21 @@ fn killed_worker_mid_job_is_typed_and_idempotent_retry_completes() {
         Err(PangeaError::NodeUnavailable(n)) => assert_eq!(n, NodeId(2)),
         other => panic!("expected typed NodeUnavailable(node#2), got {other:?}"),
     }
+
+    // The failed job was traced too: the driver's span ring holds the
+    // fatal RPC against the killed worker with the typed outcome text,
+    // correlated under the failed job's id.
+    let failed_job = cluster
+        .workers()
+        .last_job()
+        .expect("the failed job allocated a trace id");
+    let spans = cluster.workers().obs().ring().since(0);
+    assert!(
+        spans
+            .iter()
+            .any(|(_, s)| s.job == failed_job && s.outcome.contains("unavailable")),
+        "no NodeUnavailable-outcome driver span under job {failed_job}: {spans:?}"
+    );
 
     // While the slot is known-dead, the job is refused up front with
     // the same typed error — a task fleet missing a slot would silently

@@ -16,7 +16,7 @@ use pangea::cluster::{ClusterConfig, DispatchConfig, PartitionScheme, SimCluster
 use pangea::common::{NodeId, PangeaError, KB};
 use pangea::coord::{MgrServer, RemoteCluster, WorkerAgent};
 use pangea::core::{NodeConfig, StorageNode};
-use pangea::net::PangeadServer;
+use pangea::net::{PangeaClient, PangeadServer, WireMetric};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -99,6 +99,18 @@ fn snapshot_sim(cluster: &SimCluster, name: &str) -> BTreeMap<(u32, Vec<u8>), u3
     })
     .unwrap();
     m
+}
+
+/// Pulls one named counter out of a `MetricsDump` metric list (0 when
+/// the node never touched it).
+fn counter_value(metrics: &[WireMetric], name: &str) -> u64 {
+    metrics
+        .iter()
+        .find_map(|m| match m {
+            WireMetric::Counter { name: n, value } if n == name => Some(*value),
+            _ => None,
+        })
+        .unwrap_or(0)
 }
 
 fn wait_dead(cluster: &RemoteCluster, nodes: &[NodeId]) {
@@ -185,6 +197,60 @@ fn killed_worker_recovers_worker_to_worker_with_zero_driver_payload() {
         received, report.bytes_moved,
         "the engine's byte report is the replacement's appended payload"
     );
+
+    // The recovery ran as one traced job: every driver RPC span under
+    // its id is ok, each survivor served a traced `RecoverPush`, and the
+    // replacement's span set stitches the whole fan-out — driver-issued
+    // begin/end plus appends whose parents live on the survivors.
+    let job = cluster.workers().last_job().expect("recovery is traced");
+    let driver_spans = cluster.workers().obs().ring().since(0);
+    let job_spans: Vec<_> = driver_spans.iter().filter(|(_, s)| s.job == job).collect();
+    assert!(!job_spans.is_empty(), "driver recorded no spans for {job}");
+    assert!(
+        job_spans.iter().all(|(_, s)| s.outcome == "ok"),
+        "recovery RPCs all succeeded: {job_spans:?}"
+    );
+    for (name, server) in [("s0", &s0), ("s2", &s2), ("s3", &s3)] {
+        let mut dump =
+            PangeaClient::connect_with_secret(server.local_addr(), Some(SECRET)).unwrap();
+        let (metrics, spans) = dump.metrics_dump().unwrap();
+        assert!(
+            counter_value(&metrics, "rpc.count.RecoverPush") >= 1,
+            "survivor {name} served no RecoverPush"
+        );
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.job == job && s.op == "RecoverPush" && s.outcome == "ok"),
+            "survivor {name} has no RecoverPush span under job {job}"
+        );
+    }
+    {
+        let mut dump = PangeaClient::connect_with_secret(s1b.local_addr(), Some(SECRET)).unwrap();
+        let (metrics, spans) = dump.metrics_dump().unwrap();
+        let begun = counter_value(&metrics, "sessions.repair.begun");
+        assert!(begun >= 1, "replacement opened repair sessions");
+        assert_eq!(
+            begun,
+            counter_value(&metrics, "sessions.repair.ended"),
+            "every repair session sealed"
+        );
+        for op in ["RecoverBegin", "RecoverAppend", "RecoverEnd"] {
+            assert!(
+                spans.iter().any(|s| s.job == job && s.op == op),
+                "replacement has no {op} span under job {job}: {spans:?}"
+            );
+        }
+        // The appends arrived from the survivors' RecoverPush spans,
+        // not from the driver: their parents are not local span ids.
+        let own: BTreeMap<u64, ()> = spans.iter().map(|s| (s.span, ())).collect();
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.job == job && s.op == "RecoverAppend" && !own.contains_key(&s.parent)),
+            "repair appends must stitch under survivor spans"
+        );
+    }
 
     // The set is fully readable and placed exactly as before the kill.
     assert_eq!(snapshot_remote(&cluster, "users"), before_users);
