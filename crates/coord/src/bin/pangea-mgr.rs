@@ -2,24 +2,32 @@
 //!
 //! ```text
 //! pangea-mgr --listen 127.0.0.1:7780 [--liveness-ms 3000] \
-//!            [--secret S | --secret-file PATH]
+//!            [--scrape-ms 1000] [--secret S | --secret-file PATH]
 //! pangea-mgr top --manager 127.0.0.1:7780 [--json] \
+//!            [--watch [--interval-ms 1000] [--iters N]] \
+//!            [--secret S | --secret-file PATH]
+//! pangea-mgr trace <job-id> --manager 127.0.0.1:7780 [--json] \
 //!            [--secret S | --secret-file PATH]
 //! ```
 //!
 //! Without a subcommand the daemon serves the wire catalog + membership
-//! until killed. `top` is the fleet-introspection client: it issues one
-//! `MetricsDump` RPC to the manager and every alive worker and renders
-//! per-node per-opcode RPC counts, bytes, latency quantiles, and
-//! retained trace spans (text table, or one JSON document with
-//! `--json`). Argument parsing is deliberately dependency-free.
+//! until killed, and (unless `--scrape-ms 0`) continuously scrapes
+//! every alive worker's metrics + trace spans into its retained store.
+//! `top` is the fleet-introspection client: one `MetricsDump` RPC to
+//! the manager and every alive worker, rendered per node (`--watch`
+//! instead re-reads the scrape loop's `fleet.*` rate gauges every
+//! interval — one manager RPC per frame). `trace` stitches one job's
+//! cross-node span tree from the manager's retained store and renders
+//! the waterfall (or `--json` for scripting). Argument parsing is
+//! deliberately dependency-free.
 
 use pangea_coord::MgrServer;
 use std::process::exit;
 use std::time::Duration;
 
 const TOP_USAGE: &str = "usage: pangea-mgr top --manager <addr:port> \
-    [--json] [--secret S | --secret-file PATH]";
+    [--json] [--watch [--interval-ms N] [--iters N]] \
+    [--secret S | --secret-file PATH]";
 
 /// Parses and runs the `top` subcommand; `argv` excludes the
 /// `pangea-mgr top` prefix. Returns the process exit code.
@@ -27,6 +35,9 @@ fn run_top(argv: Vec<String>) -> i32 {
     let mut manager = String::new();
     let mut secret: Option<String> = None;
     let mut json = false;
+    let mut watch = false;
+    let mut interval_ms = 1000u64;
+    let mut iters: Option<u64> = None;
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -36,6 +47,20 @@ fn run_top(argv: Vec<String>) -> i32 {
                 json = true;
                 Ok(())
             }
+            "--watch" => {
+                watch = true;
+                Ok(())
+            }
+            "--interval-ms" => value("--interval-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| interval_ms = n)
+                    .map_err(|e| format!("--interval-ms: {e}"))
+            }),
+            "--iters" => value("--iters").and_then(|v| {
+                v.parse()
+                    .map(|n| iters = Some(n))
+                    .map_err(|e| format!("--iters: {e}"))
+            }),
             "--secret" | "--secret-file" => value(&flag)
                 .and_then(|v| pangea_coord::cli::resolve_secret_flag(&flag, v))
                 .map(|v| secret = Some(v)),
@@ -54,6 +79,19 @@ fn run_top(argv: Vec<String>) -> i32 {
         eprintln!("pangea-mgr top: --manager is required\n{TOP_USAGE}");
         return 2;
     }
+    if watch {
+        if json {
+            eprintln!("pangea-mgr top: --watch has no --json form\n{TOP_USAGE}");
+            return 2;
+        }
+        return match pangea_coord::top::run_watch(&manager, secret.as_deref(), interval_ms, iters) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("pangea-mgr top: {e}");
+                1
+            }
+        };
+    }
     match pangea_coord::top::run(&manager, secret.as_deref(), json) {
         Ok(rendered) => {
             print!("{rendered}");
@@ -66,19 +104,73 @@ fn run_top(argv: Vec<String>) -> i32 {
     }
 }
 
+const TRACE_USAGE: &str = "usage: pangea-mgr trace <job-id> --manager <addr:port> \
+    [--json] [--secret S | --secret-file PATH]";
+
+/// Parses and runs the `trace` subcommand; `argv` excludes the
+/// `pangea-mgr trace` prefix. Returns the process exit code.
+fn run_trace(argv: Vec<String>) -> i32 {
+    let mut manager = String::new();
+    let mut secret: Option<String> = None;
+    let mut json = false;
+    let mut job: Option<u64> = None;
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        let parsed = match flag.as_str() {
+            "--manager" => value("--manager").map(|v| manager = v),
+            "--json" => {
+                json = true;
+                Ok(())
+            }
+            "--secret" | "--secret-file" => value(&flag)
+                .and_then(|v| pangea_coord::cli::resolve_secret_flag(&flag, v))
+                .map(|v| secret = Some(v)),
+            "--help" | "-h" => {
+                println!("{TRACE_USAGE}");
+                return 0;
+            }
+            other => other
+                .parse()
+                .map(|n| job = Some(n))
+                .map_err(|_| format!("unknown argument '{other}' (expected a job id)")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("pangea-mgr trace: {e}\n{TRACE_USAGE}");
+            return 2;
+        }
+    }
+    let (Some(job), false) = (job, manager.is_empty()) else {
+        eprintln!("pangea-mgr trace: <job-id> and --manager are required\n{TRACE_USAGE}");
+        return 2;
+    };
+    match pangea_coord::trace::run(&manager, secret.as_deref(), job, json) {
+        Ok(rendered) => {
+            print!("{rendered}");
+            0
+        }
+        Err(e) => {
+            eprintln!("pangea-mgr trace: {e}");
+            1
+        }
+    }
+}
+
 struct Args {
     listen: String,
     liveness_ms: u64,
+    scrape_ms: u64,
     secret: Option<String>,
 }
 
 const USAGE: &str = "usage: pangea-mgr --listen <addr:port> \
-    [--liveness-ms N] [--secret S | --secret-file PATH]";
+    [--liveness-ms N] [--scrape-ms N (0 = off)] [--secret S | --secret-file PATH]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         listen: String::new(),
         liveness_ms: 3000,
+        scrape_ms: pangea_coord::DEFAULT_SCRAPE_INTERVAL.as_millis() as u64,
         secret: None,
     };
     let mut it = std::env::args().skip(1);
@@ -90,6 +182,11 @@ fn parse_args() -> Result<Args, String> {
                 args.liveness_ms = value("--liveness-ms")?
                     .parse()
                     .map_err(|e| format!("--liveness-ms: {e}"))?;
+            }
+            "--scrape-ms" => {
+                args.scrape_ms = value("--scrape-ms")?
+                    .parse()
+                    .map_err(|e| format!("--scrape-ms: {e}"))?;
             }
             "--secret" | "--secret-file" => {
                 let v = value(&flag)?;
@@ -110,9 +207,16 @@ fn parse_args() -> Result<Args, String> {
 
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("top") {
-        argv.remove(0);
-        exit(run_top(argv));
+    match argv.first().map(String::as_str) {
+        Some("top") => {
+            argv.remove(0);
+            exit(run_top(argv));
+        }
+        Some("trace") => {
+            argv.remove(0);
+            exit(run_trace(argv));
+        }
+        _ => {}
     }
     let args = match parse_args() {
         Ok(a) => a,
@@ -121,10 +225,12 @@ fn main() {
             exit(2);
         }
     };
-    let mut server = match MgrServer::bind_with(
+    let scrape = (args.scrape_ms > 0).then(|| Duration::from_millis(args.scrape_ms));
+    let mut server = match MgrServer::bind_full(
         &args.listen,
         Duration::from_millis(args.liveness_ms),
         args.secret.clone(),
+        scrape,
     ) {
         Ok(s) => s,
         Err(e) => {
@@ -133,9 +239,13 @@ fn main() {
         }
     };
     println!(
-        "pangea-mgr listening on {} (liveness timeout: {} ms, handshake: {})",
+        "pangea-mgr listening on {} (liveness timeout: {} ms, scrape: {}, handshake: {})",
         server.local_addr(),
         args.liveness_ms,
+        match args.scrape_ms {
+            0 => "off".to_string(),
+            ms => format!("every {ms} ms"),
+        },
         if args.secret.is_some() {
             "required"
         } else {

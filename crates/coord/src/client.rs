@@ -4,7 +4,7 @@
 use pangea_cluster::engine::Catalog;
 use pangea_cluster::{CatalogEntry, PartitionScheme, SetStats};
 use pangea_common::{Epoch, NodeId, PangeaError, ReplicaGroupId, Result};
-use pangea_net::{PangeaClient, Request, Response, SchemeSpec, WireWorker};
+use pangea_net::{PangeaClient, Request, Response, SchemeSpec, WireSpan, WireWorker};
 use parking_lot::Mutex;
 use std::net::ToSocketAddrs;
 
@@ -157,6 +157,58 @@ impl ManagerClient {
         match self.client.call(&Request::MgrGroups)? {
             Response::Groups { groups } => Ok(groups.into_iter().map(ReplicaGroupId).collect()),
             other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Contributes locally recorded spans to the manager's fleet span
+    /// store under the display name `node`. Drivers push their
+    /// `DriverRpc` root spans this way — the scrape loop only reaches
+    /// registered workers, and every cross-node trace roots in a
+    /// driver's ring.
+    pub fn trace_push(&mut self, node: &str, spans: Vec<WireSpan>) -> Result<()> {
+        let req = Request::TracePush {
+            node: node.to_string(),
+            spans,
+        };
+        match self.client.call(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Pulls one job's fleet-wide spans from the manager's retained
+    /// store, following the index cursor until the manager reports no
+    /// more (with the same no-progress corruption guard the other
+    /// paginated pulls use). Returns the `(node, span)` pairs plus the
+    /// fleet's dropped-span count at query time — nonzero means the
+    /// stitched tree may be missing history.
+    pub fn trace_query(&mut self, job: u64) -> Result<(Vec<(String, WireSpan)>, u64)> {
+        let mut all = Vec::new();
+        let mut start = 0u64;
+        loop {
+            let req = Request::TraceQuery { job, start };
+            match self.client.call(&req)? {
+                Response::Trace {
+                    spans,
+                    dropped,
+                    next,
+                } => {
+                    let advanced = !spans.is_empty();
+                    all.extend(spans);
+                    match next {
+                        Some(n) => {
+                            if !advanced && n <= start {
+                                return Err(PangeaError::Corruption(format!(
+                                    "trace-query cursor did not advance past {start}"
+                                )));
+                            }
+                            start = n;
+                        }
+                        None => return Ok((all, dropped)),
+                    }
+                }
+                other => return Err(Self::unexpected(other)),
+            }
         }
     }
 

@@ -17,9 +17,9 @@ use pangea_cluster::{CatalogEntry, Manager, PartitionScheme};
 use pangea_common::{Epoch, IoStats, NodeId, PangeaError, ReplicaGroupId, Result};
 use pangea_net::{
     error_response, metrics_dump_response, FramedServer, FramedService, Request, Response,
-    TraceCtx, WireCatalogEntry,
+    TraceCtx, WireCatalogEntry, WireSpan,
 };
-use pangea_obs::{Obs, SpanRecord};
+use pangea_obs::{Obs, ScrapeStore, SpanRecord};
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -29,6 +29,12 @@ use std::time::{Duration, Instant};
 /// The default liveness timeout: a worker missing heartbeats for this
 /// long is declared dead.
 pub const DEFAULT_LIVENESS_TIMEOUT: Duration = Duration::from_secs(3);
+
+/// The default fleet-scrape interval (see [`MgrServer::bind_full`]).
+pub const DEFAULT_SCRAPE_INTERVAL: Duration = Duration::from_secs(1);
+
+/// Maximum spans in one [`Response::Trace`] chunk.
+pub const TRACE_CHUNK: usize = 1024;
 
 /// The protocol brain of the manager daemon: catalog + membership
 /// behind the wire protocol.
@@ -40,6 +46,9 @@ pub struct ManagerDaemon {
     /// The manager's observability bundle, sharing the registry behind
     /// [`ManagerDaemon::stats`] so one `MetricsDump` covers both.
     obs: Obs,
+    /// The retained fleet telemetry the scrape loop folds into and the
+    /// `TraceQuery` RPC serves out of.
+    scrape: Arc<ScrapeStore>,
 }
 
 impl ManagerDaemon {
@@ -52,6 +61,7 @@ impl ManagerDaemon {
             membership: Membership::new(liveness_timeout),
             stats,
             obs,
+            scrape: Arc::new(ScrapeStore::new()),
         }
     }
 
@@ -73,6 +83,11 @@ impl ManagerDaemon {
     /// The manager's observability bundle (metrics + span ring).
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// The retained fleet-telemetry store the scrape loop maintains.
+    pub fn scrape_store(&self) -> &Arc<ScrapeStore> {
+        &self.scrape
     }
 
     /// Handles one request, turning errors into [`Response::Err`].
@@ -150,6 +165,31 @@ impl ManagerDaemon {
                     .gauge("mgr.heartbeat_staleness_ms")
                     .set(staleness);
                 Ok(metrics_dump_response(&self.obs, metrics_start, spans_start))
+            }
+
+            // ---- fleet trace store -------------------------------------
+            Request::TraceQuery { job, start } => {
+                let all = self.scrape.job_spans(job);
+                let total = all.len() as u64;
+                let spans: Vec<(String, WireSpan)> = all
+                    .into_iter()
+                    .skip(start as usize)
+                    .take(TRACE_CHUNK)
+                    .map(|ns| (ns.node, crate::scrape::wire_of(ns.seq, ns.record)))
+                    .collect();
+                let next_at = start.saturating_add(spans.len() as u64);
+                Ok(Response::Trace {
+                    spans,
+                    dropped: self.scrape.dropped_total(),
+                    next: (next_at < total).then_some(next_at),
+                })
+            }
+            Request::TracePush { node, spans } => {
+                self.scrape.record_spans(
+                    &node,
+                    spans.into_iter().map(crate::scrape::record_of).collect(),
+                );
+                Ok(Response::Ok)
             }
             Request::Stats => {
                 let net = self.stats.snapshot();
@@ -267,9 +307,10 @@ impl FramedService for ManagerDaemon {
 pub struct MgrServer {
     daemon: Arc<ManagerDaemon>,
     server: FramedServer,
-    /// Stops the liveness ticker at shutdown.
+    /// Stops the liveness ticker and the scrape loop at shutdown.
     tick_stop: Arc<AtomicBool>,
     ticker: Option<JoinHandle<()>>,
+    scraper: Option<JoinHandle<()>>,
 }
 
 impl MgrServer {
@@ -291,9 +332,30 @@ impl MgrServer {
         liveness_timeout: Duration,
         secret: Option<String>,
     ) -> Result<Self> {
+        Self::bind_full(addr, liveness_timeout, secret, None)
+    }
+
+    /// [`MgrServer::bind_with`] plus the fleet scrape loop: with a
+    /// `scrape_interval`, a background thread periodically pulls
+    /// `MetricsDump` from every alive worker (incrementally — each
+    /// worker's span cursor persists across scrapes, so an idle fleet
+    /// ships zero spans) and folds the results into the daemon's
+    /// [`ScrapeStore`], which backs the `TraceQuery` RPC and the
+    /// `fleet.<node>.*` rate gauges `top --watch` reads. The scraper
+    /// dials workers with the same deployment `secret` the inbound
+    /// handshake enforces.
+    pub fn bind_full(
+        addr: impl ToSocketAddrs,
+        liveness_timeout: Duration,
+        secret: Option<String>,
+        scrape_interval: Option<Duration>,
+    ) -> Result<Self> {
         let daemon = Arc::new(ManagerDaemon::new(liveness_timeout));
-        let server =
-            FramedServer::bind(Arc::clone(&daemon) as Arc<dyn FramedService>, addr, secret)?;
+        let server = FramedServer::bind(
+            Arc::clone(&daemon) as Arc<dyn FramedService>,
+            addr,
+            secret.clone(),
+        )?;
         let tick_stop = Arc::new(AtomicBool::new(false));
         let ticker = {
             let daemon = Arc::clone(&daemon);
@@ -317,11 +379,21 @@ impl MgrServer {
                     daemon.membership().sweep();
                 })?
         };
+        let scraper = match scrape_interval {
+            Some(interval) => Some(crate::scrape::spawn(
+                Arc::clone(&daemon),
+                secret,
+                interval,
+                Arc::clone(&tick_stop),
+            )?),
+            None => None,
+        };
         Ok(Self {
             daemon,
             server,
             tick_stop,
             ticker: Some(ticker),
+            scraper,
         })
     }
 
@@ -341,6 +413,9 @@ impl MgrServer {
         self.tick_stop.store(true, Ordering::SeqCst);
         if let Some(ticker) = self.ticker.take() {
             let _ = ticker.join();
+        }
+        if let Some(scraper) = self.scraper.take() {
+            let _ = scraper.join();
         }
         self.server.shutdown(pangea_net::DEFAULT_DRAIN);
     }

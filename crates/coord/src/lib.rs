@@ -32,11 +32,15 @@ pub mod client;
 pub mod daemon;
 pub mod membership;
 pub mod remote;
+pub mod scrape;
 pub mod signals;
 pub mod top;
+pub mod trace;
 
 pub use client::{ManagerClient, MgrConn, RemoteCatalog};
-pub use daemon::{ManagerDaemon, MgrServer, DEFAULT_LIVENESS_TIMEOUT};
+pub use daemon::{
+    ManagerDaemon, MgrServer, DEFAULT_LIVENESS_TIMEOUT, DEFAULT_SCRAPE_INTERVAL, TRACE_CHUNK,
+};
 pub use membership::Membership;
 pub use remote::{RemoteCluster, RemoteShuffle, RemoteWorkers, WorkerAgent, DEFAULT_HEARTBEAT};
 pub use signals::wait_for_termination;

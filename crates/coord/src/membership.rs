@@ -69,6 +69,21 @@ impl Membership {
             .max()
     }
 
+    /// Per-worker heartbeat staleness in milliseconds, for every
+    /// currently-Alive slot. The max gauge above says *that* a worker
+    /// lags; this says *which* — the scrape loop folds it into each
+    /// worker's retained series so `top --watch` can name the laggard.
+    pub fn staleness_by_node(&self) -> Vec<(NodeId, u64)> {
+        let inner = self.inner.lock();
+        inner
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state == WorkerState::Alive)
+            .map(|(i, s)| (NodeId(i as u32), s.last_beat.elapsed().as_millis() as u64))
+            .collect()
+    }
+
     /// Registers a worker serving at `addr`. With `slot = None` the next
     /// free node id is assigned; with an explicit slot, a replacement
     /// re-registers a Dead/Left slot (bumping its epoch). Registering
@@ -260,6 +275,21 @@ mod tests {
         assert_eq!(m.workers()[0].state, WorkerState::Left);
         assert!(m.heartbeat(n, e).is_err(), "left workers cannot beat");
         assert!(m.sweep().is_empty(), "left is not dead; recovery skips it");
+    }
+
+    #[test]
+    fn staleness_is_reported_per_alive_slot() {
+        let m = Membership::new(Duration::from_secs(60));
+        let (n0, _) = m.register("127.0.0.1:1", None).unwrap();
+        let (n1, e1) = m.register("127.0.0.1:2", None).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        m.heartbeat(n1, e1).unwrap();
+        let by_node: std::collections::BTreeMap<_, _> = m.staleness_by_node().into_iter().collect();
+        assert!(by_node[&n0] >= 30, "silent worker shows its lag");
+        assert!(by_node[&n1] < by_node[&n0], "fresh beat resets");
+        // Left slots disappear from the staleness report.
+        m.deregister(n1, e1).unwrap();
+        assert_eq!(m.staleness_by_node().len(), 1);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use pangea_common::ReplicaGroupId;
 use pangea_common::{fx_hash64, Epoch, FxHashMap, IoStats, NodeId, PangeaError, Result};
 use pangea_net::{
     MapSpec, PangeaClient, ReduceSpec, RepairFilter, RepairPushReport, SchemeSpec, TaskReport,
-    TaskSpec, WireWorker, WorkerState,
+    TaskSpec, WireSpan, WireWorker, WorkerState,
 };
 use pangea_obs::{Obs, SpanRecord, TraceCtx};
 use parking_lot::{Mutex, RwLock};
@@ -54,13 +54,20 @@ struct RemoteWorkersInner {
     /// `stats`: every RPC the driver issues lands one span in its ring,
     /// correlated by the active job id.
     obs: Obs,
-    /// The trace job id for the RPCs currently in flight (set for the
-    /// duration of a `map_shuffle`/`map_reduce`/recovery call, `None`
-    /// between jobs). Shared across the per-slot orchestration threads.
-    job: Mutex<Option<u64>>,
+    /// The `(job id, job-root span id)` for the RPCs currently in
+    /// flight (set for the duration of a `map_shuffle`/`map_reduce`/
+    /// recovery call, `None` between jobs). Shared across the per-slot
+    /// orchestration threads. Every driver RPC span parents under the
+    /// job root, so one job stitches into exactly one tree.
+    job: Mutex<Option<(u64, u64)>>,
     /// The most recently allocated job id — what a caller correlates
     /// worker-side spans against after a job returns.
     last_job: Mutex<Option<u64>>,
+    /// The driver ring's incremental export cursor: spans below it have
+    /// already been pushed to the manager's fleet span store. Drivers
+    /// are transient and unscrapable, so they *push* their `DriverRpc`
+    /// root spans after each traced job instead of being polled.
+    trace_cursor: Mutex<u64>,
     /// Test-only rendezvous invoked at the start of each worker's map
     /// task (before the `TaskRun` RPC is issued) — lets a fault-injection
     /// test prove per-worker tasks genuinely overlap, and inject a kill
@@ -95,6 +102,7 @@ impl RemoteWorkers {
                 obs: Obs::with_registry(stats.registry().clone()),
                 job: Mutex::new(None),
                 last_job: Mutex::new(None),
+                trace_cursor: Mutex::new(0),
                 task_hook: Mutex::new(None),
             }),
         }
@@ -119,15 +127,60 @@ impl RemoteWorkers {
         *self.inner.last_job.lock()
     }
 
+    /// Drains the driver ring's spans past the export cursor into wire
+    /// form, advancing the cursor. Returns the spans plus the number of
+    /// spans the ring evicted before they could be exported (nonzero
+    /// when jobs outpace pushes — the manager counts the loss so traces
+    /// can report themselves incomplete).
+    fn drain_trace(&self) -> (Vec<WireSpan>, u64) {
+        let mut cursor = self.inner.trace_cursor.lock();
+        let (spans, gap) = self.inner.obs.ring().since_with_gap(*cursor);
+        if let Some((last_seq, _)) = spans.last() {
+            *cursor = last_seq + 1;
+        }
+        let wire = spans
+            .into_iter()
+            .map(|(seq, r)| WireSpan {
+                seq,
+                job: r.job,
+                span: r.span,
+                parent: r.parent,
+                op: r.op,
+                peer: r.peer,
+                start_ns: r.start_ns,
+                end_ns: r.end_ns,
+                bytes: r.bytes,
+                outcome: r.outcome,
+            })
+            .collect();
+        (wire, gap)
+    }
+
     /// Scopes a fresh trace job id around `f`: every RPC issued from
     /// any thread while `f` runs carries `TraceCtx { job, .. }` on the
-    /// wire and records a driver span under it.
+    /// wire and records a driver span under it. The whole scope is
+    /// itself recorded as one `DriverJob` root span; per-RPC driver
+    /// spans parent under it, so a job's fleet-wide spans stitch into
+    /// exactly one tree with the driver at the root.
     fn with_job<T>(&self, f: impl FnOnce() -> T) -> T {
         let job = pangea_obs::next_job_id();
-        *self.inner.job.lock() = Some(job);
+        let root = pangea_obs::next_span_id();
+        *self.inner.job.lock() = Some((job, root));
         *self.inner.last_job.lock() = Some(job);
+        let start = self.inner.obs.now_ns();
         let out = f();
         *self.inner.job.lock() = None;
+        self.inner.obs.ring().record(SpanRecord {
+            job,
+            span: root,
+            parent: 0,
+            op: "DriverJob".to_string(),
+            peer: String::new(),
+            start_ns: start,
+            end_ns: self.inner.obs.now_ns(),
+            bytes: 0,
+            outcome: "ok".to_string(),
+        });
         out
     }
 
@@ -189,7 +242,7 @@ impl RemoteWorkers {
     fn with_client<T>(&self, n: NodeId, f: impl Fn(&mut PangeaClient) -> Result<T>) -> Result<T> {
         let addr = self.addr_of(n)?;
         let job = *self.inner.job.lock();
-        let ctx = job.map(|job| TraceCtx {
+        let ctx = job.map(|(job, _)| TraceCtx {
             job,
             span: pangea_obs::next_span_id(),
         });
@@ -205,7 +258,7 @@ impl RemoteWorkers {
             self.inner.obs.ring().record(SpanRecord {
                 job: ctx.job,
                 span: ctx.span,
-                parent: 0,
+                parent: job.map(|(_, root)| root).unwrap_or(0),
                 op: "DriverRpc".to_string(),
                 peer: addr,
                 start_ns: start,
@@ -640,11 +693,38 @@ impl RemoteCluster {
     /// flight per survivor); this driver only orchestrates and never
     /// touches a record payload.
     pub fn recover_worker(&self, failed: NodeId) -> Result<RecoveryReport> {
-        self.workers.with_job(|| {
+        let out = self.workers.with_job(|| {
             self.ensure_replacement(failed)?;
             self.core.provision_node(failed)?;
             self.repair_slot(failed)
-        })
+        });
+        self.push_driver_trace();
+        out
+    }
+
+    /// Pushes the driver ring's unexported spans to the manager's fleet
+    /// span store (node `driver`), so `pangea-mgr trace` can root the
+    /// cross-node tree — the scrape loop only reaches registered
+    /// workers, and this driver is neither. Best-effort by design: a
+    /// trace push must never fail a job that already succeeded, so
+    /// errors are logged and the spans retry with the next job's push
+    /// (the export cursor only advances on success).
+    pub fn push_driver_trace(&self) {
+        let cursor_before = *self.workers.inner.trace_cursor.lock();
+        let (spans, gap) = self.workers.drain_trace();
+        if gap > 0 {
+            eprintln!(
+                "pangea driver: ring evicted {gap} spans before export; \
+                 stitched traces of earlier jobs may be missing their roots"
+            );
+        }
+        if spans.is_empty() {
+            return;
+        }
+        if let Err(e) = self.mgr.with(|m| m.trace_push("driver", spans)) {
+            *self.workers.inner.trace_cursor.lock() = cursor_before;
+            eprintln!("pangea driver: trace push failed (will retry next job): {e}");
+        }
     }
 
     /// Validates that a *replacement* holds the failed slot: Alive at a
@@ -748,8 +828,11 @@ impl RemoteCluster {
         if failed.len() < 2 {
             return failed.iter().map(|&n| self.recover_worker(n)).collect();
         }
-        self.workers
-            .with_job(|| self.recover_workers_traced(failed))
+        let out = self
+            .workers
+            .with_job(|| self.recover_workers_traced(failed));
+        self.push_driver_trace();
+        out
     }
 
     /// The body of [`RemoteCluster::recover_workers`] for two or more
@@ -868,8 +951,11 @@ impl RemoteCluster {
         scheme: PartitionScheme,
     ) -> Result<MapShuffleReport> {
         self.refresh_membership()?;
-        self.workers
-            .with_job(|| self.core.map_shuffle(input, output, map, scheme))
+        let out = self
+            .workers
+            .with_job(|| self.core.map_shuffle(input, output, map, scheme));
+        self.push_driver_trace();
+        out
     }
 
     /// A distributed map-**combine-reduce**: like
@@ -896,8 +982,11 @@ impl RemoteCluster {
         scheme: PartitionScheme,
     ) -> Result<MapShuffleReport> {
         self.refresh_membership()?;
-        self.workers
-            .with_job(|| self.core.map_reduce(input, output, map, reduce, scheme))
+        let out = self
+            .workers
+            .with_job(|| self.core.map_reduce(input, output, map, reduce, scheme));
+        self.push_driver_trace();
+        out
     }
 
     /// Installs (or clears) the test-only per-task rendezvous. Hidden:

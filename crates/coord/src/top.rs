@@ -265,6 +265,117 @@ pub fn run(manager: &str, secret: Option<&str>, json: bool) -> Result<String> {
     })
 }
 
+/// The fixed `--watch` column set: `(fleet.<node>.<key>, header)` pairs,
+/// in display order. The values come from the manager's scrape loop
+/// (`fleet.*` gauges), so `--watch` costs one manager RPC per tick no
+/// matter how large the fleet is.
+const WATCH_COLUMNS: &[(&str, &str)] = &[
+    ("rpc_per_sec", "RPC/S"),
+    ("bytes_per_sec", "BYTES/S"),
+    ("rpc_p50_ns", "P50(us)"),
+    ("rpc_p99_ns", "P99(us)"),
+    ("share_bytes", "SHARE(B)"),
+    ("session_bytes", "SESS(B)"),
+    ("pool_peers", "PEERS"),
+    ("staleness_ms", "STALE(ms)"),
+    ("ring_dropped_spans", "RINGDROP"),
+    ("scrape_dropped_spans", "LOST"),
+];
+
+/// Renders one `--watch` frame from the manager's metric dump: one row
+/// per node seen in the `fleet.*` gauges, `-` where the scrape loop has
+/// not exported a value (e.g. workers have no staleness until the
+/// manager measures one, the manager has no heartbeat staleness at
+/// all). Latency gauges are nanosecond bucket bounds; shown as us to
+/// match the snapshot table.
+pub fn render_watch(metrics: &[WireMetric]) -> String {
+    let mut nodes: Vec<String> = Vec::new();
+    let mut cells: Vec<(String, String, u64)> = Vec::new();
+    for m in metrics {
+        let (name, value) = match m {
+            WireMetric::Gauge { name, value } => (name, *value),
+            _ => continue,
+        };
+        let Some(rest) = name.strip_prefix("fleet.") else {
+            continue;
+        };
+        let Some((node, key)) = rest.rsplit_once('.') else {
+            continue;
+        };
+        if !nodes.iter().any(|n| n == node) {
+            nodes.push(node.to_string());
+        }
+        cells.push((node.to_string(), key.to_string(), value));
+    }
+    nodes.sort();
+    let mut out = String::new();
+    if nodes.is_empty() {
+        out.push_str("no fleet.* gauges yet — is the manager's scrape loop on? (--scrape-ms)\n");
+        return out;
+    }
+    out.push_str(&format!("  {:<10}", "NODE"));
+    for (_, header) in WATCH_COLUMNS {
+        out.push_str(&format!(" {header:>9}"));
+    }
+    out.push('\n');
+    for node in &nodes {
+        out.push_str(&format!("  {node:<10}"));
+        for (key, _) in WATCH_COLUMNS {
+            let cell = cells
+                .iter()
+                .find(|(n, k, _)| n == node && k == key)
+                .map(|(_, _, v)| {
+                    if key.ends_with("_ns") {
+                        us(*v)
+                    } else {
+                        v.to_string()
+                    }
+                })
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(" {cell:>9}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs `top --watch`: every `interval_ms`, one `MetricsDump` RPC to
+/// the manager, rendered as a fleet rates table (see [`render_watch`]).
+/// Prints frames to stdout until `iters` runs out (`None` = forever).
+/// Reconnects on a failed tick instead of exiting — like the snapshot
+/// form, watching must work best on a half-broken fleet.
+pub fn run_watch(
+    manager: &str,
+    secret: Option<&str>,
+    interval_ms: u64,
+    iters: Option<u64>,
+) -> Result<()> {
+    let interval = std::time::Duration::from_millis(interval_ms.max(100));
+    let mut client: Option<PangeaClient> = None;
+    let mut tick = 0u64;
+    loop {
+        let dumped = match client.take() {
+            Some(c) => Ok(c),
+            None => PangeaClient::connect_with_secret(manager, secret),
+        }
+        .and_then(|mut c| c.metrics_dump().map(|(metrics, _)| (c, metrics)));
+        tick += 1;
+        match dumped {
+            Ok((c, metrics)) => {
+                println!("-- tick {tick} --\n{}", render_watch(&metrics));
+                client = Some(c);
+            }
+            Err(e) => println!("-- tick {tick} --\nmanager unreachable: {e}\n"),
+        }
+        if let Some(n) = iters {
+            if tick >= n {
+                return Ok(());
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +434,45 @@ mod tests {
         assert_eq!(row.matches("2.0").count(), 2, "{row}");
         assert!(text.contains("sessions.ingest.live=0"), "{text}");
         assert!(text.contains("spans retained: 1"), "{text}");
+    }
+
+    #[test]
+    fn watch_renders_fleet_gauges_per_node() {
+        let metrics = vec![
+            WireMetric::Gauge {
+                name: "fleet.worker0.rpc_per_sec".to_string(),
+                value: 12,
+            },
+            WireMetric::Gauge {
+                name: "fleet.worker0.rpc_p99_ns".to_string(),
+                value: 2048,
+            },
+            WireMetric::Gauge {
+                name: "fleet.mgr.rpc_per_sec".to_string(),
+                value: 3,
+            },
+            // Non-fleet metrics are ignored by the watch table.
+            WireMetric::Gauge {
+                name: "mgr.heartbeat_staleness_ms".to_string(),
+                value: 99,
+            },
+            WireMetric::Counter {
+                name: "fleet.worker0.rpc_per_sec".to_string(),
+                value: 777,
+            },
+        ];
+        let text = render_watch(&metrics);
+        let mgr = text.lines().find(|l| l.contains("mgr")).unwrap();
+        let w0 = text.lines().find(|l| l.contains("worker0")).unwrap();
+        assert!(mgr.contains('3'), "{mgr}");
+        assert!(w0.contains("12"), "{w0}");
+        assert!(w0.contains("2.0"), "p99 shown in us: {w0}");
+        assert!(!w0.contains("777"), "counters are not watch cells: {w0}");
+        assert!(w0.contains('-'), "missing cells dashed: {w0}");
+        assert!(!mgr.contains("99"), "non-fleet gauge leaked in: {mgr}");
+
+        let empty = render_watch(&[]);
+        assert!(empty.contains("--scrape-ms"), "{empty}");
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! `pangea-mgr trace <job-id>` — cross-node job trace analysis.
+//!
+//! Pulls one job's fleet-wide spans from the manager's retained store
+//! (the paginated `TraceQuery` RPC), stitches them into a
+//! [`SpanTree`], and renders either a human waterfall — tree-indented
+//! spans on the job's unified timeline, critical path starred,
+//! per-worker busy-time skew with straggler callouts, and byte
+//! attribution per cross-node hop — or one JSON document (`--json`)
+//! carrying the same analysis for scripting (the CI smoke asserts tree
+//! connectivity from it).
+//!
+//! A nonzero dropped-span count (a worker ring wrapped past the scrape
+//! cursor, or the store's own bounds) is printed up front: an
+//! incomplete trace must say so before showing anything pretty.
+
+use crate::client::ManagerClient;
+use pangea_common::Result;
+use pangea_obs::{json_escape, NodeSpan, SpanTree};
+
+/// Fetches one job's spans from the manager and stitches the tree.
+/// Returns the tree plus the fleet's dropped-span count at query time.
+pub fn fetch(manager: &str, secret: Option<&str>, job: u64) -> Result<(SpanTree, u64)> {
+    let (pairs, dropped) = ManagerClient::connect(manager, secret)?.trace_query(job)?;
+    let spans: Vec<NodeSpan> = pairs
+        .into_iter()
+        .map(|(node, w)| {
+            let (seq, record) = crate::scrape::record_of(w);
+            NodeSpan { node, seq, record }
+        })
+        .collect();
+    Ok((SpanTree::build(&spans), dropped))
+}
+
+fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1_000.0)
+}
+
+/// One waterfall bar: `width` columns over the job's total wall time.
+fn bar(start_ns: u64, end_ns: u64, total_ns: u64, width: usize) -> String {
+    if total_ns == 0 {
+        return String::new();
+    }
+    let col = |ns: u64| ((ns as u128 * width as u128) / total_ns as u128) as usize;
+    let from = col(start_ns).min(width.saturating_sub(1));
+    let to = col(end_ns).clamp(from + 1, width);
+    format!("{}{}", " ".repeat(from), "#".repeat(to - from))
+}
+
+/// Renders the human waterfall (see the module docs).
+pub fn render_text(job: u64, tree: &SpanTree, dropped: u64) -> String {
+    let mut out = String::new();
+    let total = tree.total_ns();
+    let nodes = tree.per_node_busy_ns();
+    out.push_str(&format!(
+        "job {job}: {} spans across {} nodes, {}us reconstructed wall time\n",
+        tree.spans.len(),
+        nodes.len(),
+        us(total),
+    ));
+    if dropped > 0 {
+        out.push_str(&format!(
+            "WARNING: {dropped} spans known dropped — this trace is incomplete\n"
+        ));
+    }
+    if !tree.missing_parents.is_empty() {
+        out.push_str(&format!(
+            "WARNING: {} referenced parent span(s) never scraped: {:?}\n",
+            tree.missing_parents.len(),
+            tree.missing_parents,
+        ));
+    }
+    if tree.spans.is_empty() {
+        out.push_str("no spans retained for this job\n");
+        return out;
+    }
+    let path: std::collections::HashSet<usize> = tree.critical_path().into_iter().collect();
+    const WIDTH: usize = 40;
+    out.push_str(&format!(
+        "\n  {:<9} {:<26} {:>9} {:>9}  TIMELINE\n",
+        "NODE", "OP", "DUR(us)", "BYTES"
+    ));
+    for i in tree.walk() {
+        let s = &tree.spans[i];
+        let op = format!(
+            "{}{}{}",
+            "  ".repeat(s.depth.min(10)),
+            s.record.op,
+            if path.contains(&i) { " *" } else { "" },
+        );
+        out.push_str(&format!(
+            "  {:<9} {:<26} {:>9} {:>9}  |{}|\n",
+            s.node,
+            op,
+            us(s.duration_ns()),
+            s.record.bytes,
+            bar(s.aligned_start_ns, s.aligned_end_ns, total, WIDTH),
+        ));
+    }
+    let ops: Vec<String> = tree
+        .critical_path()
+        .iter()
+        .map(|&i| format!("{}@{}", tree.spans[i].record.op, tree.spans[i].node))
+        .collect();
+    out.push_str(&format!("\ncritical path (*): {}\n", ops.join(" -> ")));
+    let busy: Vec<String> = nodes
+        .iter()
+        .map(|(n, b)| format!("{n} {}us", us(*b)))
+        .collect();
+    let (median, stragglers) = tree.stragglers();
+    out.push_str(&format!(
+        "per-node busy: {} (median {}us)\n",
+        busy.join(", "),
+        us(median)
+    ));
+    if !stragglers.is_empty() {
+        let flagged: Vec<String> = stragglers
+            .iter()
+            .map(|(n, b)| format!("{n} ({:.1}x median)", *b as f64 / (median.max(1)) as f64))
+            .collect();
+        out.push_str(&format!("stragglers: {}\n", flagged.join(", ")));
+    }
+    let hops = tree.bytes_per_hop();
+    if !hops.is_empty() {
+        let hops: Vec<String> = hops
+            .iter()
+            .map(|(from, to, b)| format!("{from}->{to} {b}B"))
+            .collect();
+        out.push_str(&format!("bytes per hop: {}\n", hops.join(", ")));
+    }
+    out
+}
+
+/// Renders the stitched trace as one JSON document: connectivity
+/// verdict, the aligned spans (critical-path membership flagged), the
+/// critical path as span ids, per-node busy time, stragglers, and byte
+/// attribution per hop.
+pub fn render_json(job: u64, tree: &SpanTree, dropped: u64) -> String {
+    let path: Vec<usize> = tree.critical_path();
+    let in_path: std::collections::HashSet<usize> = path.iter().copied().collect();
+    let spans: Vec<String> = tree
+        .walk()
+        .into_iter()
+        .map(|i| {
+            let s = &tree.spans[i];
+            format!(
+                "{{\"node\":\"{}\",\"op\":\"{}\",\"span\":{},\"parent\":{},\"depth\":{},\
+                 \"start_ns\":{},\"end_ns\":{},\"duration_ns\":{},\"bytes\":{},\
+                 \"outcome\":\"{}\",\"critical\":{}}}",
+                json_escape(&s.node),
+                json_escape(&s.record.op),
+                s.record.span,
+                s.record.parent,
+                s.depth,
+                s.aligned_start_ns,
+                s.aligned_end_ns,
+                s.duration_ns(),
+                s.record.bytes,
+                json_escape(&s.record.outcome),
+                in_path.contains(&i),
+            )
+        })
+        .collect();
+    let critical: Vec<String> = path
+        .iter()
+        .map(|&i| tree.spans[i].record.span.to_string())
+        .collect();
+    let busy: Vec<String> = tree
+        .per_node_busy_ns()
+        .into_iter()
+        .map(|(n, b)| format!("{{\"node\":\"{}\",\"busy_ns\":{b}}}", json_escape(&n)))
+        .collect();
+    let (median, stragglers) = tree.stragglers();
+    let stragglers: Vec<String> = stragglers
+        .into_iter()
+        .map(|(n, b)| format!("{{\"node\":\"{}\",\"busy_ns\":{b}}}", json_escape(&n)))
+        .collect();
+    let hops: Vec<String> = tree
+        .bytes_per_hop()
+        .into_iter()
+        .map(|(from, to, b)| {
+            format!(
+                "{{\"from\":\"{}\",\"to\":\"{}\",\"bytes\":{b}}}",
+                json_escape(&from),
+                json_escape(&to)
+            )
+        })
+        .collect();
+    let missing: Vec<String> = tree.missing_parents.iter().map(u64::to_string).collect();
+    format!(
+        "{{\"job\":{job},\"connected\":{},\"roots\":{},\"missing_parents\":[{}],\
+         \"dropped\":{dropped},\"total_ns\":{},\"spans\":[{}],\"critical_path\":[{}],\
+         \"per_node_busy\":[{}],\"median_busy_ns\":{median},\"stragglers\":[{}],\
+         \"bytes_per_hop\":[{}]}}\n",
+        tree.is_connected(),
+        tree.roots.len(),
+        missing.join(","),
+        tree.total_ns(),
+        spans.join(","),
+        critical.join(","),
+        busy.join(","),
+        stragglers.join(","),
+        hops.join(","),
+    )
+}
+
+/// Runs the `trace` subcommand end to end: fetch + stitch via
+/// `manager`, render (waterfall by default, JSON with `json`), and
+/// return the text for the binary to print.
+pub fn run(manager: &str, secret: Option<&str>, job: u64, json: bool) -> Result<String> {
+    let (tree, dropped) = fetch(manager, secret, job)?;
+    Ok(if json {
+        render_json(job, &tree, dropped)
+    } else {
+        render_text(job, &tree, dropped)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangea_obs::SpanRecord;
+
+    fn span(node: &str, id: u64, parent: u64, op: &str, start: u64, end: u64) -> NodeSpan {
+        NodeSpan {
+            node: node.into(),
+            seq: id,
+            record: SpanRecord {
+                job: 7,
+                span: id,
+                parent,
+                op: op.into(),
+                peer: String::new(),
+                start_ns: start,
+                end_ns: end,
+                bytes: 10 * id,
+                outcome: "ok".into(),
+            },
+        }
+    }
+
+    fn sample_tree() -> SpanTree {
+        SpanTree::build(&[
+            span("driver", 1, 0, "DriverRpc", 0, 1000),
+            span("w0", 2, 1, "TaskRun", 50, 650),
+            span("w1", 3, 1, "TaskRun", 80, 280),
+        ])
+    }
+
+    #[test]
+    fn waterfall_marks_critical_path_and_attributes_bytes() {
+        let text = render_text(7, &sample_tree(), 0);
+        assert!(text.contains("3 spans across 3 nodes"), "{text}");
+        assert!(text.contains("DriverRpc *"), "{text}");
+        assert!(text.contains("TaskRun *"), "{text}");
+        assert!(
+            text.contains("critical path (*): DriverRpc@driver -> TaskRun@w0"),
+            "{text}"
+        );
+        assert!(text.contains("driver->w0 20B"), "{text}");
+        assert!(text.contains("driver->w1 30B"), "{text}");
+        assert!(!text.contains("WARNING"), "{text}");
+    }
+
+    #[test]
+    fn incomplete_traces_warn_before_rendering() {
+        let text = render_text(7, &sample_tree(), 12);
+        assert!(text.contains("WARNING: 12 spans known dropped"), "{text}");
+        // An orphaned span is reported too.
+        let tree = SpanTree::build(&[
+            span("driver", 1, 0, "DriverRpc", 0, 100),
+            span("w0", 2, 99, "TaskRun", 0, 50),
+        ]);
+        let text = render_text(7, &tree, 0);
+        assert!(text.contains("never scraped"), "{text}");
+    }
+
+    #[test]
+    fn json_reports_connectivity_and_critical_path() {
+        let json = render_json(7, &sample_tree(), 0);
+        assert!(json.contains("\"connected\":true"), "{json}");
+        assert!(json.contains("\"roots\":1"), "{json}");
+        assert!(json.contains("\"critical\":true"), "{json}");
+        assert!(json.contains("\"critical_path\":[1,2]"), "{json}");
+        assert!(json.contains("\"bytes_per_hop\""), "{json}");
+        let json = render_json(
+            7,
+            &SpanTree::build(&[span("w0", 2, 99, "TaskRun", 0, 50)]),
+            3,
+        );
+        assert!(json.contains("\"connected\":false"), "{json}");
+        assert!(json.contains("\"missing_parents\":[99]"), "{json}");
+        assert!(json.contains("\"dropped\":3"), "{json}");
+    }
+
+    #[test]
+    fn empty_job_renders_without_panicking() {
+        let tree = SpanTree::build(&[]);
+        let text = render_text(1, &tree, 0);
+        assert!(text.contains("no spans retained"), "{text}");
+        let json = render_json(1, &tree, 0);
+        assert!(json.contains("\"spans\":[]"), "{json}");
+    }
+}

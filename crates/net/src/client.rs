@@ -415,8 +415,24 @@ impl PangeaClient {
     /// (mirroring the [`PangeaClient::repair_ledger`] pagination, with
     /// the same no-progress corruption check).
     pub fn metrics_dump(&mut self) -> Result<(Vec<WireMetric>, Vec<WireSpan>)> {
+        let (metrics, spans, _) = self.metrics_dump_since(0)?;
+        Ok((metrics, spans))
+    }
+
+    /// The incremental form of [`PangeaClient::metrics_dump`] the
+    /// manager's scrape loop runs on: spans are pulled from ring
+    /// sequence `from` only, and the returned cursor is where the
+    /// *next* scrape should resume — one past the last span shipped, or
+    /// parked at `from` when nothing new happened (so an idle fleet
+    /// transfers metrics but zero spans, scrape after scrape). A ring
+    /// that wrapped past `from` shows up as a first span sequence
+    /// greater than the cursor; callers diff the two to report loss.
+    pub fn metrics_dump_since(
+        &mut self,
+        from: u64,
+    ) -> Result<(Vec<WireMetric>, Vec<WireSpan>, u64)> {
         let (mut metrics, mut spans) = (Vec::new(), Vec::new());
-        let (mut metrics_start, mut spans_start) = (0u64, 0u64);
+        let (mut metrics_start, mut spans_start) = (0u64, from);
         loop {
             let req = Request::MetricsDump {
                 metrics_start,
@@ -442,7 +458,16 @@ impl PangeaClient {
                             metrics_start = mn;
                             spans_start = sn;
                         }
-                        None => return Ok((metrics, spans)),
+                        None => {
+                            let cursor = spans.last().map(|s: &WireSpan| s.seq + 1).unwrap_or(
+                                // Nothing shipped in the final chunk:
+                                // the parked cursor (or `from` when the
+                                // whole dump was one quiet chunk) is
+                                // already right.
+                                spans_start,
+                            );
+                            return Ok((metrics, spans, cursor));
+                        }
                     }
                 }
                 other => return Err(Self::unexpected(other)),

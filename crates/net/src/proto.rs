@@ -308,6 +308,26 @@ pub enum Request {
         /// first chunk; evicted spans are silently skipped).
         spans_start: u64,
     },
+    /// Manager-served: pulls one job's fleet-wide spans from the
+    /// scrape-loop's retained store, paginated by a plain index into
+    /// the job's span list (0 for the first chunk).
+    TraceQuery {
+        /// The job whose stitched trace is wanted.
+        job: u64,
+        /// Index of the first span to return.
+        start: u64,
+    },
+    /// Client → manager: contributes locally recorded spans to the
+    /// fleet span store under a display name. Drivers use this to hand
+    /// over their `DriverRpc` root spans — they are transient clients
+    /// the scrape loop can never reach, yet every cross-node trace is
+    /// rooted in one of their rings.
+    TracePush {
+        /// Display name the spans are attributed to (e.g. `driver`).
+        node: String,
+        /// `(ring seq, span)` records, oldest first.
+        spans: Vec<crate::wire::WireSpan>,
+    },
 }
 
 /// A pangead → client message.
@@ -505,6 +525,18 @@ pub enum Response {
         /// pair to resume the next chunk at.
         next: Option<(u64, u64)>,
     },
+    /// One [`Request::TraceQuery`] chunk: the job's retained spans,
+    /// each tagged with the node it was scraped from.
+    Trace {
+        /// `(node, span)` pairs in this chunk, store order.
+        spans: Vec<(String, crate::wire::WireSpan)>,
+        /// Fleet-wide spans known lost at query time (a worker ring
+        /// wrapped past the scraper's cursor, or the store's own
+        /// bounds) — nonzero means the tree may be incomplete.
+        dropped: u64,
+        /// When more remains, the start index to resume at.
+        next: Option<u64>,
+    },
 }
 
 /// Maximum hashes in one [`Response::Hashes`] chunk: 1 Mi hashes encode
@@ -552,6 +584,8 @@ const REQ_INGEST_APPEND: u64 = 35;
 const REQ_INGEST_END: u64 = 36;
 const REQ_REPAIR_LEDGER: u64 = 37;
 const REQ_METRICS_DUMP: u64 = 38;
+const REQ_TRACE_QUERY: u64 = 39;
+const REQ_TRACE_PUSH: u64 = 40;
 
 const RESP_OK: u64 = 1;
 const RESP_CREATED: u64 = 2;
@@ -579,6 +613,7 @@ const RESP_PUSHED: u64 = 23;
 const RESP_TASK_DONE: u64 = 24;
 const RESP_INGEST_ACK: u64 = 25;
 const RESP_METRICS: u64 = 26;
+const RESP_TRACE: u64 = 27;
 
 /// Trailing-envelope marker for a wire-propagated [`TraceCtx`]: a
 /// request payload may be followed by `(TRACE_MARK, job, span)` after
@@ -825,6 +860,19 @@ impl Request {
                 w.write_record(metrics_start);
                 w.write_record(spans_start);
             }
+            Self::TraceQuery { job, start } => {
+                w.write_record(&REQ_TRACE_QUERY);
+                w.write_record(job);
+                w.write_record(start);
+            }
+            Self::TracePush { node, spans } => {
+                w.write_record(&REQ_TRACE_PUSH);
+                w.write_record(node);
+                w.write_record(&(spans.len() as u64));
+                for s in spans {
+                    s.put(&mut w);
+                }
+            }
         }
         w.into_bytes()
     }
@@ -1013,6 +1061,19 @@ impl Request {
                 metrics_start: r.read_record()?,
                 spans_start: r.read_record()?,
             },
+            REQ_TRACE_QUERY => Self::TraceQuery {
+                job: r.read_record()?,
+                start: r.read_record()?,
+            },
+            REQ_TRACE_PUSH => {
+                let node = r.read_record()?;
+                let n: u64 = r.read_record()?;
+                let mut spans = Vec::with_capacity(n.min(1 << 20) as usize);
+                for _ in 0..n {
+                    spans.push(crate::wire::WireSpan::get(r)?);
+                }
+                Self::TracePush { node, spans }
+            }
             other => return Err(bad_opcode("request", other)),
         })
     }
@@ -1059,6 +1120,8 @@ impl Request {
             Self::MgrGroups => "MgrGroups",
             Self::MgrBestReplica { .. } => "MgrBestReplica",
             Self::MetricsDump { .. } => "MetricsDump",
+            Self::TraceQuery { .. } => "TraceQuery",
+            Self::TracePush { .. } => "TracePush",
         }
     }
 }
@@ -1269,6 +1332,23 @@ impl Response {
                     s.put(&mut w);
                 }
             }
+            Self::Trace {
+                spans,
+                dropped,
+                next,
+            } => {
+                w.write_record(&RESP_TRACE);
+                w.write_record(dropped);
+                w.write_record(&u64::from(next.is_some()));
+                if let Some(n) = next {
+                    w.write_record(n);
+                }
+                w.write_record(&(spans.len() as u64));
+                for (node, s) in spans {
+                    w.write_record(node);
+                    s.put(&mut w);
+                }
+            }
         }
         w.into_bytes()
     }
@@ -1436,6 +1516,26 @@ impl Response {
                 Self::Metrics {
                     metrics,
                     spans,
+                    next,
+                }
+            }
+            RESP_TRACE => {
+                let dropped = r.read_record()?;
+                let has_next: u64 = r.read_record()?;
+                let next = if has_next != 0 {
+                    Some(r.read_record()?)
+                } else {
+                    None
+                };
+                let n: u64 = r.read_record()?;
+                let mut spans = Vec::with_capacity(n.min(1 << 20) as usize);
+                for _ in 0..n {
+                    let node = r.read_record()?;
+                    spans.push((node, crate::wire::WireSpan::get(&mut r)?));
+                }
+                Self::Trace {
+                    spans,
+                    dropped,
                     next,
                 }
             }
@@ -1969,6 +2069,45 @@ mod tests {
                 outcome: "ok".into(),
             }],
             next: Some((512, 10)),
+        });
+    }
+
+    #[test]
+    fn trace_query_push_and_trace_roundtrip() {
+        let sample = WireSpan {
+            seq: 3,
+            job: (7 << 32) | 2,
+            span: (7 << 32) | 8,
+            parent: 0,
+            op: "DriverRpc".into(),
+            peer: "mgr:127.0.0.1:7700".into(),
+            start_ns: 10,
+            end_ns: 9_000,
+            bytes: 128,
+            outcome: "ok".into(),
+        };
+        roundtrip_req(Request::TraceQuery { job: 0, start: 0 });
+        roundtrip_req(Request::TraceQuery {
+            job: u64::MAX,
+            start: 4096,
+        });
+        roundtrip_req(Request::TracePush {
+            node: "driver".into(),
+            spans: vec![],
+        });
+        roundtrip_req(Request::TracePush {
+            node: "driver".into(),
+            spans: vec![sample.clone(), sample.clone()],
+        });
+        roundtrip_resp(Response::Trace {
+            spans: vec![],
+            dropped: 0,
+            next: None,
+        });
+        roundtrip_resp(Response::Trace {
+            spans: vec![("w0".into(), sample.clone()), ("driver".into(), sample)],
+            dropped: 4097,
+            next: Some(2048),
         });
     }
 

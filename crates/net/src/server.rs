@@ -287,6 +287,12 @@ pub const SPANS_CHUNK: usize = 1024;
 /// Shared by `pangead` and `pangea-mgr` — both daemons serve the
 /// identical `MetricsDump` wire shape.
 pub fn metrics_dump_response(obs: &Obs, metrics_start: u64, spans_start: u64) -> Response {
+    // Freshen the span-loss ledger BEFORE snapshotting so the very dump
+    // that lost history also reports it: a ring that wrapped past a
+    // reader's cursor must never present a complete-looking trace.
+    obs.registry()
+        .counter("trace.dropped_spans")
+        .set(obs.ring().dropped_total());
     let snapshot = obs.registry().snapshot();
     let total_metrics = snapshot.len() as u64;
     let metrics: Vec<WireMetric> = snapshot
@@ -498,6 +504,37 @@ impl Pangead {
     /// its `MetricsDump` RPC serves.
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Freshens the resource gauges every `MetricsDump` serves — the
+    /// signals the tiered-memory arc will assert bounded-RSS claims
+    /// against: `mem.share_bytes` (page-aligned on-disk footprint of
+    /// every local share), `mem.session_bytes` (payload accumulated in
+    /// still-open repair/ingest sessions), and `pool.peers` (pooled
+    /// idle daemon connections). Computed on demand: a scrape interval
+    /// is orders of magnitude longer than a walk over the catalog.
+    fn freshen_resource_gauges(&self) {
+        let reg = self.obs.registry();
+        let share_bytes: u64 = self
+            .node
+            .set_ids()
+            .into_iter()
+            .filter_map(|id| self.node.get_set_by_id(id))
+            .map(|set| set.bytes_on_disk())
+            .sum();
+        reg.gauge("mem.share_bytes").set(share_bytes);
+        // Clone the session handles out first: the outer map locks are
+        // never held while a session lock (which appends hold across
+        // disk I/O) is taken.
+        let repairs: Vec<_> = self.repairs.lock().values().cloned().collect();
+        let ingests: Vec<_> = self.ingests.lock().values().cloned().collect();
+        let session_bytes: u64 = repairs
+            .iter()
+            .map(|s| s.lock().bytes)
+            .chain(ingests.iter().map(|s| s.lock().bytes))
+            .sum();
+        reg.gauge("mem.session_bytes").set(session_bytes);
+        reg.gauge("pool.peers").set(self.peers.lock().len() as u64);
     }
 
     /// Handles one request, turning node errors into [`Response::Err`].
@@ -874,7 +911,10 @@ impl Pangead {
             Request::MetricsDump {
                 metrics_start,
                 spans_start,
-            } => Ok(metrics_dump_response(&self.obs, metrics_start, spans_start)),
+            } => {
+                self.freshen_resource_gauges();
+                Ok(metrics_dump_response(&self.obs, metrics_start, spans_start))
+            }
             Request::IngestBegin { set, reduce } => {
                 // Truncate the local share: a begin is the idempotent
                 // open of a *fresh* attempt, so partial output from a
@@ -963,7 +1003,9 @@ impl Pangead {
             | Request::MgrLinkReplicas { .. }
             | Request::MgrGroupMembers { .. }
             | Request::MgrGroups
-            | Request::MgrBestReplica { .. } => Err(PangeaError::usage(
+            | Request::MgrBestReplica { .. }
+            | Request::TraceQuery { .. }
+            | Request::TracePush { .. } => Err(PangeaError::usage(
                 "manager request sent to a storage node; connect to pangea-mgr instead",
             )),
         }

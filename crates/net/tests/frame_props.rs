@@ -698,4 +698,127 @@ proptest! {
             next: has_next.then_some((metrics_start, spans_start)),
         });
     }
+
+    /// Trace-query/push messages — arbitrary node names, span batches,
+    /// drop counts, and both cursor shapes — survive the trip.
+    #[test]
+    fn trace_messages_roundtrip_through_frames(
+        job in any::<u64>(),
+        start in any::<u64>(),
+        dropped in any::<u64>(),
+        has_next in any::<bool>(),
+        node in prop::collection::vec(any::<u8>(), 0..12),
+        spans in prop::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(),
+             prop::collection::vec(any::<u8>(), 0..16), any::<u64>()),
+            0..8,
+        ),
+    ) {
+        roundtrip_req(Request::TraceQuery { job, start });
+        let wire: Vec<WireSpan> = spans
+            .into_iter()
+            .map(|(seq, job, span, parent, op, start_ns)| WireSpan {
+                seq,
+                job,
+                span,
+                parent,
+                op: ident(&op),
+                peer: "127.0.0.1:0".to_string(),
+                start_ns,
+                end_ns: start_ns.wrapping_add(29),
+                bytes: seq ^ span,
+                outcome: "ok".to_string(),
+            })
+            .collect();
+        roundtrip_req(Request::TracePush {
+            node: ident(&node),
+            spans: wire.clone(),
+        });
+        roundtrip_resp(Response::Trace {
+            spans: wire.into_iter().map(|s| (ident(&node), s)).collect(),
+            dropped,
+            next: has_next.then_some(start),
+        });
+    }
+
+    /// Truncating an encoded trace message at any boundary is a hard
+    /// error, never a panic or a silently shortened span list.
+    #[test]
+    fn truncated_trace_messages_are_errors(
+        cut_fraction in 0.0f64..1.0,
+        as_response in any::<bool>(),
+    ) {
+        let span = WireSpan {
+            seq: 1,
+            job: 2,
+            span: 3,
+            parent: 0,
+            op: "TaskRun".to_string(),
+            peer: "127.0.0.1:0".to_string(),
+            start_ns: 5,
+            end_ns: 6,
+            bytes: 7,
+            outcome: "ok".to_string(),
+        };
+        let enc = if as_response {
+            Response::Trace {
+                spans: vec![("w0".to_string(), span)],
+                dropped: 9,
+                next: Some(4),
+            }
+            .encode()
+        } else {
+            Request::TracePush {
+                node: "driver".to_string(),
+                spans: vec![span],
+            }
+            .encode()
+        };
+        let cut = ((enc.len() as f64) * cut_fraction) as usize;
+        if cut < enc.len() {
+            if as_response {
+                prop_assert!(Response::decode(&enc[..cut]).is_err());
+            } else {
+                prop_assert!(Request::decode(&enc[..cut]).is_err());
+            }
+        }
+    }
+
+    /// Arbitrary garbage bytes never panic either trace-side decoder.
+    #[test]
+    fn garbage_never_panics_trace_decoders(
+        junk in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let _ = Request::decode(&junk);
+        let _ = Response::decode(&junk);
+    }
+}
+
+/// A span push bigger than one frame is refused on the send side, like
+/// oversized pages and repair batches — a runaway driver ring can never
+/// desynchronize the manager connection.
+#[test]
+fn oversized_trace_push_is_rejected_at_the_frame() {
+    let fat = WireSpan {
+        seq: 0,
+        job: 0,
+        span: 0,
+        parent: 0,
+        op: "x".repeat(MAX_FRAME / 4),
+        peer: String::new(),
+        start_ns: 0,
+        end_ns: 0,
+        bytes: 0,
+        outcome: "ok".into(),
+    };
+    let push = Request::TracePush {
+        node: "driver".into(),
+        spans: vec![fat.clone(), fat.clone(), fat.clone(), fat],
+    };
+    let mut buf = Vec::new();
+    match write_frame(&mut buf, &push.encode()) {
+        Err(PangeaError::InvalidUsage(_)) => {}
+        other => panic!("oversized trace push must be refused, got {other:?}"),
+    }
+    assert!(buf.is_empty(), "nothing may reach the wire");
 }

@@ -29,6 +29,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+pub mod spantree;
+pub mod timeseries;
+
+pub use spantree::{SpanTree, TreeSpan};
+pub use timeseries::{
+    windowed_bucket_delta, windowed_rate_per_sec, NodeSpan, ScrapeStore, SeriesPoint,
+};
+
 /// Number of log2 buckets in a [`Histogram`]: bucket `i` counts values
 /// `v` with `bit_length(v) == i` (bucket 0 holds `v == 0`), so the
 /// last bucket absorbs everything at or above 2^62 — far beyond any
@@ -314,7 +322,7 @@ pub struct TraceCtx {
 pub struct SpanRecord {
     /// Job id this span belongs to.
     pub job: u64,
-    /// This span's id, unique within the recording process.
+    /// This span's id, fleet-unique (see [`next_span_id`]).
     pub span: u64,
     /// The caller's span id, or 0 at the root.
     pub parent: u64,
@@ -339,6 +347,8 @@ pub const DEFAULT_RING_CAPACITY: usize = 4096;
 struct RingInner {
     next_seq: u64,
     spans: VecDeque<(u64, SpanRecord)>,
+    /// Total records ever evicted by capacity (not by readers).
+    dropped: u64,
 }
 
 /// A bounded ring of recent [`SpanRecord`]s. Every record gets a
@@ -382,20 +392,48 @@ impl TraceRing {
         inner.next_seq += 1;
         if inner.spans.len() == self.capacity {
             inner.spans.pop_front();
+            inner.dropped += 1;
         }
         inner.spans.push_back((seq, record));
     }
 
     /// All retained records with sequence number `>= start`, oldest
-    /// first, as `(seq, record)` pairs.
+    /// first, as `(seq, record)` pairs. Evicted records are silently
+    /// skipped; readers that must *know* about the skip (an incremental
+    /// scraper presenting a trace as complete) use
+    /// [`TraceRing::since_with_gap`].
     pub fn since(&self, start: u64) -> Vec<(u64, SpanRecord)> {
+        self.since_with_gap(start).0
+    }
+
+    /// Like [`TraceRing::since`], but also reports the **gap**: how many
+    /// records with sequence number `>= start` once existed but have
+    /// already been evicted by capacity. A nonzero gap means the reader's
+    /// cursor fell behind the ring and the returned slice is *not* the
+    /// complete history past `start`.
+    pub fn since_with_gap(&self, start: u64) -> (Vec<(u64, SpanRecord)>, u64) {
         let inner = self.inner.lock().unwrap();
-        inner
+        // The oldest sequence still retained; an empty ring retains
+        // nothing, so everything up to `next_seq` is gone.
+        let oldest = inner
+            .spans
+            .front()
+            .map(|(seq, _)| *seq)
+            .unwrap_or(inner.next_seq);
+        let gap = oldest.min(inner.next_seq).saturating_sub(start);
+        let spans = inner
             .spans
             .iter()
             .filter(|(seq, _)| *seq >= start)
             .cloned()
-            .collect()
+            .collect();
+        (spans, gap)
+    }
+
+    /// Total records ever evicted by capacity pressure — the value
+    /// behind each daemon's `trace.dropped_spans` counter.
+    pub fn dropped_total(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
     }
 
     /// The sequence number the *next* record will get.
@@ -453,9 +491,15 @@ pub fn next_job_id() -> u64 {
     ((std::process::id() as u64) << 32) | (NEXT_JOB.fetch_add(1, Ordering::Relaxed) & 0xffff_ffff)
 }
 
-/// Allocates a process-unique span id (never 0 — 0 means "no parent").
+/// Allocates a fleet-unique span id (never 0 — 0 means "no parent"),
+/// salted like [`next_job_id`]: the process id in the high 32 bits plus
+/// a process-local counter. Every daemon in a job's fan-out allocates
+/// span ids independently, and a cross-node span tree is stitched by
+/// matching `parent` against span ids from *other* processes — bare
+/// per-process counters would collide (every process starts at 1) and
+/// make that stitching ambiguous.
 pub fn next_span_id() -> u64 {
-    NEXT_SPAN.fetch_add(1, Ordering::Relaxed)
+    ((std::process::id() as u64) << 32) | (NEXT_SPAN.fetch_add(1, Ordering::Relaxed) & 0xffff_ffff)
 }
 
 /// One process's observability bundle: a metrics [`Registry`], a span
@@ -582,6 +626,51 @@ mod tests {
         assert_eq!(all[1].0, 4);
         assert_eq!(ring.next_seq(), 5);
         assert_eq!(ring.since(5).len(), 0);
+    }
+
+    #[test]
+    fn wrapped_ring_reports_the_readers_gap() {
+        let ring = TraceRing::with_capacity(3);
+        let span = |n: u64| SpanRecord {
+            job: 1,
+            span: n,
+            parent: 0,
+            op: "op".into(),
+            peer: String::new(),
+            start_ns: 0,
+            end_ns: 1,
+            bytes: 0,
+            outcome: "ok".into(),
+        };
+        // Nothing recorded: no gap whatever the cursor.
+        assert_eq!(ring.since_with_gap(0).1, 0);
+        for n in 0..10 {
+            ring.record(span(n));
+        }
+        // Seqs 0..7 were evicted; a reader parked at 0 lost 7 records.
+        let (spans, gap) = ring.since_with_gap(0);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].0, 7);
+        assert_eq!(gap, 7);
+        assert_eq!(ring.dropped_total(), 7);
+        // A reader inside the retained window sees no gap.
+        assert_eq!(ring.since_with_gap(8).1, 0);
+        // A reader parked at next_seq sees no gap and no spans.
+        let (spans, gap) = ring.since_with_gap(10);
+        assert!(spans.is_empty());
+        assert_eq!(gap, 0);
+        // A drained-then-wrapped reader: cursor 5, everything up to 7
+        // evicted — the two records 5 and 6 are gone.
+        assert_eq!(ring.since_with_gap(5).1, 2);
+    }
+
+    #[test]
+    fn span_ids_are_pid_salted_for_fleet_uniqueness() {
+        let a = next_span_id();
+        let b = next_span_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        assert_eq!(a >> 32, std::process::id() as u64);
     }
 
     #[test]

@@ -1,0 +1,442 @@
+//! Cross-node span-tree reconstruction and critical-path analysis.
+//!
+//! The manager's scrape loop collects every node's spans into a
+//! [`ScrapeStore`](crate::ScrapeStore); this module stitches one job's
+//! spans back into the tree the RPCs actually formed. Parentage crosses
+//! process boundaries (each receiver records the caller's span id as its
+//! parent), and span ids are fleet-unique (see
+//! [`next_span_id`](crate::next_span_id)), so stitching is a pure
+//! id-join — no heuristics.
+//!
+//! ## Clock alignment
+//!
+//! `start_ns`/`end_ns` are monotonic offsets from *each process's own*
+//! obs epoch — raw values from two nodes are incomparable. The waterfall
+//! therefore aligns every span relative to its parent:
+//!
+//! - **Same-node child**: parent and child share an epoch, so the
+//!   child's true offset inside the parent (`child.start - parent.start`)
+//!   is used directly.
+//! - **Cross-node child**: the only honest statement is "the child ran
+//!   somewhere inside the parent's RPC window". We center it, splitting
+//!   the parent-minus-child slack evenly between the request and
+//!   response network legs — the symmetric-overhead assumption.
+//!
+//! ## Critical path
+//!
+//! From the root, repeatedly descend into the child whose *aligned* end
+//! is latest; the chain of those spans is the path that bounded the
+//! job's wall time. Ties break toward the longer child.
+
+use crate::NodeSpan;
+use std::collections::{BTreeMap, HashMap};
+
+/// One stitched span: the scraped record plus its place in the tree and
+/// its clock-aligned interval on the job's unified timeline.
+#[derive(Debug, Clone)]
+pub struct TreeSpan {
+    /// Node the span was scraped from (`mgr`, `worker3`, `driver`).
+    pub node: String,
+    /// Ring sequence on that node (stable tie-break for rendering).
+    pub seq: u64,
+    /// The span record itself.
+    pub record: crate::SpanRecord,
+    /// Indices (into [`SpanTree::spans`]) of this span's children,
+    /// sorted by aligned start.
+    pub children: Vec<usize>,
+    /// Depth below the root (roots are 0).
+    pub depth: usize,
+    /// Start on the job's unified timeline, ns from the root's start.
+    pub aligned_start_ns: u64,
+    /// End on the job's unified timeline.
+    pub aligned_end_ns: u64,
+}
+
+impl TreeSpan {
+    /// The span's own measured duration (clock-safe: both endpoints are
+    /// from the same process).
+    pub fn duration_ns(&self) -> u64 {
+        self.record.end_ns.saturating_sub(self.record.start_ns)
+    }
+}
+
+/// A stitched, clock-aligned span tree for one job.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTree {
+    /// All spans, tree-ordered only via `roots`/`children` indices.
+    pub spans: Vec<TreeSpan>,
+    /// Indices of root spans (`parent == 0`), sorted by duration
+    /// descending — a healthy trace has exactly one.
+    pub roots: Vec<usize>,
+    /// Parent span ids that were referenced but never scraped (ring
+    /// wrap, an unscraped node, …). The orphaned spans are grafted in
+    /// as pseudo-roots so no data is hidden.
+    pub missing_parents: Vec<u64>,
+}
+
+impl SpanTree {
+    /// Stitches scraped spans into a tree and aligns every span onto
+    /// the root's timeline (see the module docs for the rules).
+    /// Duplicate span ids (a re-scraped span) keep the first instance.
+    pub fn build(spans: &[NodeSpan]) -> SpanTree {
+        let mut tree = SpanTree::default();
+        let mut by_id: HashMap<u64, usize> = HashMap::with_capacity(spans.len());
+        for s in spans {
+            if by_id.contains_key(&s.record.span) {
+                continue;
+            }
+            by_id.insert(s.record.span, tree.spans.len());
+            tree.spans.push(TreeSpan {
+                node: s.node.clone(),
+                seq: s.seq,
+                record: s.record.clone(),
+                children: Vec::new(),
+                depth: 0,
+                aligned_start_ns: 0,
+                aligned_end_ns: 0,
+            });
+        }
+        let mut missing: BTreeMap<u64, ()> = BTreeMap::new();
+        for i in 0..tree.spans.len() {
+            let parent = tree.spans[i].record.parent;
+            match by_id.get(&parent) {
+                Some(&p) if p != i => tree.spans[p].children.push(i),
+                _ => {
+                    if parent != 0 {
+                        missing.insert(parent, ());
+                    }
+                    tree.roots.push(i);
+                }
+            }
+        }
+        tree.missing_parents = missing.into_keys().collect();
+        tree.roots
+            .sort_by_key(|&i| std::cmp::Reverse(tree.spans[i].duration_ns()));
+        // Align depth-first from each root. Iterative stack: deep
+        // ingest chains should not recurse.
+        let mut stack: Vec<usize> = Vec::new();
+        for &root in &tree.roots {
+            let d = tree.spans[root].duration_ns();
+            tree.spans[root].aligned_start_ns = 0;
+            tree.spans[root].aligned_end_ns = d;
+            stack.push(root);
+        }
+        while let Some(p) = stack.pop() {
+            let (p_node, p_start_raw, p_astart, p_aend, p_depth) = {
+                let s = &tree.spans[p];
+                (
+                    s.node.clone(),
+                    s.record.start_ns,
+                    s.aligned_start_ns,
+                    s.aligned_end_ns,
+                    s.depth,
+                )
+            };
+            let p_dur = p_aend.saturating_sub(p_astart);
+            for ci in 0..tree.spans[p].children.len() {
+                let c = tree.spans[p].children[ci];
+                let c_dur = tree.spans[c].duration_ns();
+                let start = if tree.spans[c].node == p_node {
+                    // Shared epoch: the true offset inside the parent.
+                    p_astart + tree.spans[c].record.start_ns.saturating_sub(p_start_raw)
+                } else {
+                    // Incomparable clocks: center inside the parent.
+                    p_astart + p_dur.saturating_sub(c_dur) / 2
+                };
+                let child = &mut tree.spans[c];
+                child.depth = p_depth + 1;
+                child.aligned_start_ns = start;
+                child.aligned_end_ns = start + c_dur;
+                stack.push(c);
+            }
+            let mut kids = std::mem::take(&mut tree.spans[p].children);
+            kids.sort_by_key(|&c| (tree.spans[c].aligned_start_ns, tree.spans[c].seq));
+            tree.spans[p].children = kids;
+        }
+        tree
+    }
+
+    /// `true` when the trace stitched into a single tree: exactly one
+    /// root and every referenced parent present.
+    pub fn is_connected(&self) -> bool {
+        self.roots.len() == 1 && self.missing_parents.is_empty()
+    }
+
+    /// End of the latest aligned span — the job's reconstructed wall
+    /// time in ns.
+    pub fn total_ns(&self) -> u64 {
+        self.spans
+            .iter()
+            .map(|s| s.aligned_end_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The critical path from the primary root: indices of the chain
+    /// obtained by repeatedly descending into the child with the
+    /// latest aligned end. Empty only for an empty tree.
+    pub fn critical_path(&self) -> Vec<usize> {
+        let mut path = Vec::new();
+        let Some(&root) = self.roots.first() else {
+            return path;
+        };
+        let mut at = root;
+        loop {
+            path.push(at);
+            let next = self.spans[at]
+                .children
+                .iter()
+                .copied()
+                .max_by_key(|&c| (self.spans[c].aligned_end_ns, self.spans[c].duration_ns()));
+            match next {
+                Some(c) => at = c,
+                None => return path,
+            }
+        }
+    }
+
+    /// Per-node *self* time: for each node, the sum over its spans of
+    /// the span's duration minus its same-node children's durations
+    /// (clamped, so re-entrant bookkeeping can't go negative). This is
+    /// the "who actually burned the time" figure behind skew and
+    /// straggler callouts — nested same-node spans are not
+    /// double-counted.
+    pub fn per_node_busy_ns(&self) -> Vec<(String, u64)> {
+        let mut busy: BTreeMap<String, u64> = BTreeMap::new();
+        for s in &self.spans {
+            let nested: u64 = s
+                .children
+                .iter()
+                .filter(|&&c| self.spans[c].node == s.node)
+                .map(|&c| self.spans[c].duration_ns())
+                .sum();
+            *busy.entry(s.node.clone()).or_default() += s.duration_ns().saturating_sub(nested);
+        }
+        busy.into_iter().collect()
+    }
+
+    /// Worker-skew report over per-node busy time: `(median, Vec of
+    /// (node, busy) flagged as stragglers)`. A straggler burns more
+    /// than 1.5× the median node's busy time; with fewer than two
+    /// nodes there is nothing to compare and nothing is flagged.
+    ///
+    /// The primary root's node (the driver) is excluded: its RPC spans
+    /// measure time spent *waiting* on workers — concurrent waits sum
+    /// past the job's wall time — so including it would flag the
+    /// driver for every parallel job and drown real worker skew.
+    pub fn stragglers(&self) -> (u64, Vec<(String, u64)>) {
+        let root_node = self.roots.first().map(|&i| self.spans[i].node.as_str());
+        let busy: Vec<(String, u64)> = self
+            .per_node_busy_ns()
+            .into_iter()
+            .filter(|(n, _)| Some(n.as_str()) != root_node)
+            .collect();
+        if busy.len() < 2 {
+            return (busy.first().map(|(_, b)| *b).unwrap_or(0), Vec::new());
+        }
+        let mut sorted: Vec<u64> = busy.iter().map(|(_, b)| *b).collect();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let flagged = busy
+            .into_iter()
+            .filter(|(_, b)| *b > median.saturating_mul(3) / 2)
+            .collect();
+        (median, flagged)
+    }
+
+    /// Byte attribution per cross-node hop: for each parent→child edge
+    /// that crosses nodes, the child's request payload bytes summed by
+    /// `(from, to)` pair, sorted by bytes descending.
+    pub fn bytes_per_hop(&self) -> Vec<(String, String, u64)> {
+        let mut hops: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for s in &self.spans {
+            for &c in &s.children {
+                let child = &self.spans[c];
+                if child.node != s.node {
+                    *hops
+                        .entry((s.node.clone(), child.node.clone()))
+                        .or_default() += child.record.bytes;
+                }
+            }
+        }
+        let mut out: Vec<(String, String, u64)> = hops
+            .into_iter()
+            .map(|((from, to), b)| (from, to, b))
+            .collect();
+        out.sort_by_key(|(_, _, b)| std::cmp::Reverse(*b));
+        out
+    }
+
+    /// Depth-first pre-order walk from the primary root, then any
+    /// stray roots — the order a waterfall renders in.
+    pub fn walk(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.spans.len());
+        let mut stack: Vec<usize> = self.roots.iter().rev().copied().collect();
+        while let Some(i) = stack.pop() {
+            out.push(i);
+            for &c in self.spans[i].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanRecord;
+
+    fn rec(
+        node: &str,
+        span: u64,
+        parent: u64,
+        op: &str,
+        start_ns: u64,
+        end_ns: u64,
+        bytes: u64,
+    ) -> NodeSpan {
+        NodeSpan {
+            node: node.into(),
+            seq: span,
+            record: SpanRecord {
+                job: 42,
+                span,
+                parent,
+                op: op.into(),
+                peer: String::new(),
+                start_ns,
+                end_ns,
+                bytes,
+                outcome: "ok".into(),
+            },
+        }
+    }
+
+    /// driver root (0..1000) → mgr rpc (same proc? no: cross-node,
+    /// 0..600 on mgr's clock) → two worker tasks.
+    fn sample() -> Vec<NodeSpan> {
+        vec![
+            rec("driver", 1, 0, "DriverRpc", 5_000, 6_000, 0),
+            rec("w0", 2, 1, "TaskRun", 900_000, 900_400, 64),
+            rec("w1", 3, 1, "TaskRun", 10, 110, 32),
+            // Same-node child of w0's task, offset 100ns in.
+            rec("w0", 4, 2, "IngestAppend", 900_100, 900_250, 16),
+        ]
+    }
+
+    #[test]
+    fn stitches_one_connected_tree() {
+        let tree = SpanTree::build(&sample());
+        assert!(tree.is_connected());
+        assert_eq!(tree.roots.len(), 1);
+        assert!(tree.missing_parents.is_empty());
+        let root = &tree.spans[tree.roots[0]];
+        assert_eq!(root.record.op, "DriverRpc");
+        assert_eq!(root.aligned_start_ns, 0);
+        assert_eq!(root.aligned_end_ns, 1000);
+        assert_eq!(tree.total_ns(), 1000);
+    }
+
+    #[test]
+    fn cross_node_children_center_same_node_children_offset() {
+        let tree = SpanTree::build(&sample());
+        let by_span = |id: u64| tree.spans.iter().find(|s| s.record.span == id).unwrap();
+        // w0's 400ns task centers in the 1000ns root: (1000-400)/2.
+        let task = by_span(2);
+        assert_eq!(task.aligned_start_ns, 300);
+        assert_eq!(task.aligned_end_ns, 700);
+        // Its same-node ingest child keeps the true 100ns offset.
+        let ingest = by_span(4);
+        assert_eq!(ingest.depth, 2);
+        assert_eq!(ingest.aligned_start_ns, 400);
+        assert_eq!(ingest.aligned_end_ns, 550);
+    }
+
+    #[test]
+    fn critical_path_follows_latest_aligned_end() {
+        let tree = SpanTree::build(&sample());
+        let ops: Vec<&str> = tree
+            .critical_path()
+            .iter()
+            .map(|&i| tree.spans[i].record.op.as_str())
+            .collect();
+        // w0's task ends at 700 vs w1's at ~550: the long branch wins.
+        assert_eq!(ops, vec!["DriverRpc", "TaskRun", "IngestAppend"]);
+    }
+
+    #[test]
+    fn missing_parent_becomes_pseudo_root_and_is_reported() {
+        let mut spans = sample();
+        spans.push(rec("w2", 9, 777, "TaskRun", 0, 50, 8));
+        let tree = SpanTree::build(&spans);
+        assert!(!tree.is_connected());
+        assert_eq!(tree.roots.len(), 2);
+        assert_eq!(tree.missing_parents, vec![777]);
+        // The primary root is still the longest one.
+        assert_eq!(tree.spans[tree.roots[0]].record.op, "DriverRpc");
+    }
+
+    #[test]
+    fn busy_time_is_self_time_and_stragglers_flag_above_ratio() {
+        let tree = SpanTree::build(&sample());
+        let busy: BTreeMap<String, u64> = tree.per_node_busy_ns().into_iter().collect();
+        // w0's task is 400 with a 150ns same-node child: 250 + 150.
+        assert_eq!(busy["w0"], 400);
+        assert_eq!(busy["w1"], 100);
+        assert_eq!(busy["driver"], 1000);
+        // The driver (root node) never flags — its spans are RPC wait.
+        let (median, flagged) = tree.stragglers();
+        assert_eq!(median, 400);
+        assert!(flagged.is_empty(), "{flagged:?}");
+        // A genuinely slow worker does flag against the worker median.
+        let mut spans = sample();
+        spans.push(rec("w2", 5, 1, "TaskRun", 0, 2000, 8));
+        let tree = SpanTree::build(&spans);
+        let (median, flagged) = tree.stragglers();
+        assert_eq!(median, 400);
+        assert_eq!(flagged, vec![("w2".to_string(), 2000)]);
+    }
+
+    #[test]
+    fn bytes_attribute_to_cross_node_hops_only() {
+        let tree = SpanTree::build(&sample());
+        let hops = tree.bytes_per_hop();
+        // driver→w0 64B, driver→w1 32B; the same-node ingest is not a hop.
+        assert_eq!(
+            hops,
+            vec![
+                ("driver".to_string(), "w0".to_string(), 64),
+                ("driver".to_string(), "w1".to_string(), 32),
+            ]
+        );
+    }
+
+    #[test]
+    fn walk_is_preorder_from_primary_root() {
+        let tree = SpanTree::build(&sample());
+        let order: Vec<u64> = tree
+            .walk()
+            .iter()
+            .map(|&i| tree.spans[i].record.span)
+            .collect();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], 1);
+        // Children sorted by aligned start: w0's task (300) precedes…
+        // actually w1 (aligned 450) comes after w0's subtree.
+        assert_eq!(order, vec![1, 2, 4, 3]);
+    }
+
+    #[test]
+    fn empty_and_self_parent_inputs_are_safe() {
+        let tree = SpanTree::build(&[]);
+        assert!(tree.critical_path().is_empty());
+        assert_eq!(tree.total_ns(), 0);
+        assert!(!tree.is_connected());
+        // A span claiming itself as parent must not loop.
+        let looped = vec![rec("w0", 7, 7, "TaskRun", 0, 10, 0)];
+        let tree = SpanTree::build(&looped);
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.critical_path().len(), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Fleet telemetry walkthrough: run a traced distributed job, then
+//! analyze it the way an operator would.
+//!
+//! Two modes:
+//!
+//! - **Self-contained** (no arguments): boots a whole deployment
+//!   in-process — one `pangea-mgr` with its scrape loop on, four
+//!   `pangead` workers — then runs the job and the analysis below.
+//! - **External** (`--manager <addr:port>`): drives an already-running
+//!   open (secretless) fleet, e.g. the daemons CI boots from the
+//!   release binaries. The job id is printed so a script can follow up
+//!   with `pangea-mgr trace <job-id> --manager <addr> --json`.
+//!
+//! Either way it runs a distributed wordcount, then:
+//!
+//! 1. prints the `pangea-mgr top --watch` rates table straight from the
+//!    manager's retained time-series (one RPC, no per-worker fan-out),
+//! 2. stitches the job's cross-node span tree from the manager's store
+//!    and prints the `pangea-mgr trace <job>` waterfall: critical path,
+//!    per-worker skew, byte attribution per hop.
+//!
+//! Run with: `cargo run --example trace_job`
+
+use pangea::cluster::PartitionScheme;
+use pangea::common::{NodeId, Result, KB, MB};
+use pangea::coord::{trace, MgrServer, RemoteCluster, WorkerAgent};
+use pangea::core::{NodeConfig, StorageNode};
+use pangea::net::{KeySpec, MapSpec, PangeaClient, PangeadServer, ReduceSpec};
+use std::time::Duration;
+
+const SECRET: &str = "trace-example-secret";
+
+fn main() -> Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let external = args
+        .iter()
+        .position(|a| a == "--manager")
+        .map(|i| args[i + 1].clone());
+
+    let base = std::env::temp_dir().join(format!("pangea-trace-job-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // -- A scraping manager + four workers, unless given a fleet. ------
+    let mut local: Option<(MgrServer, Vec<(PangeadServer, WorkerAgent)>)> = None;
+    let (mgr_addr, secret) = match external {
+        Some(addr) => (addr, None),
+        None => {
+            let mgr = MgrServer::bind_full(
+                "127.0.0.1:0",
+                Duration::from_millis(1000),
+                Some(SECRET.into()),
+                Some(Duration::from_millis(100)),
+            )?;
+            let mgr_addr = mgr.local_addr().to_string();
+            let mut fleet = Vec::new();
+            for slot in 0..4u32 {
+                let node = StorageNode::new(
+                    NodeConfig::new(base.join(format!("w{slot}")))
+                        .with_pool_capacity(4 * MB)
+                        .with_page_size(64 * KB),
+                )?;
+                let server =
+                    PangeadServer::bind_with_secret(node, "127.0.0.1:0", Some(SECRET.into()))?;
+                let agent = WorkerAgent::register(
+                    &mgr_addr,
+                    Some(SECRET),
+                    &server.local_addr().to_string(),
+                    Some(NodeId(slot)),
+                    Duration::from_millis(200),
+                )?;
+                fleet.push((server, agent));
+            }
+            println!("manager at {mgr_addr}, scraping 4 workers every 100 ms\n");
+            local = Some((mgr, fleet));
+            (mgr_addr, Some(SECRET))
+        }
+    };
+
+    // -- One traced distributed wordcount. -----------------------------
+    let cluster = RemoteCluster::connect(&mgr_addr, secret)?;
+    let set = cluster.create_dist_set("lines", PartitionScheme::round_robin(8))?;
+    let mut loader = set.loader()?;
+    for i in 0..2_000u32 {
+        loader.dispatch(format!("w{:02} w{:02} filler{}", i % 23, i % 7, i % 3).as_bytes())?;
+    }
+    loader.finish()?;
+    let report = cluster.map_reduce(
+        "lines",
+        "counts",
+        &MapSpec::tokenize(b' '),
+        &ReduceSpec::count(KeySpec::WholeRecord, b'|'),
+        PartitionScheme::hash_field("word", 8, b'|', 0),
+    )?;
+    let job = cluster.workers().last_job().expect("map_reduce is traced");
+    println!(
+        "job {job}: scanned {} lines, materialized {} distinct words\n",
+        report.scanned, report.records_out
+    );
+
+    // Give the scrape loop a few ticks to pull every worker's spans and
+    // fold the windowed rates.
+    std::thread::sleep(Duration::from_millis(500));
+
+    // -- The operator's view. ------------------------------------------
+    let (metrics, _) = PangeaClient::connect_with_secret(&mgr_addr, secret)?.metrics_dump()?;
+    println!("== fleet rates (what `top --watch` renders) ==");
+    print!("{}", pangea::coord::top::render_watch(&metrics));
+
+    println!("\n== pangea-mgr trace {job} ==");
+    print!("{}", trace::run(&mgr_addr, secret, job, false)?);
+
+    drop(cluster);
+    drop(local);
+    let _ = std::fs::remove_dir_all(&base);
+    Ok(())
+}

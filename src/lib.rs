@@ -21,6 +21,7 @@
 //! | [`cluster`] | `pangea-cluster` | §3.3, §7 — manager, dispatch, replication, recovery |
 //! | [`coord`] | `pangea-coord` | §3.3, §8 — control plane: `pangea-mgr`, membership, `RemoteCluster` |
 //! | [`net`] | `pangea-net` | wire layer — `Transport` seam, TCP framing + protocol, `pangead`, client |
+//! | [`obs`] | `pangea-obs` | observability — metrics registry, trace rings, retained time-series, span trees |
 //! | [`layered`] | `pangea-layered` | §9 baselines — HDFS/Alluxio/Ignite/Spark/OS/Redis |
 //! | [`query`] | `pangea-query` | §9.1.2 — TPC-H on Pangea and on Spark |
 //! | [`kmeans`] | `pangea-kmeans` | §9.1.1 — the Fig. 1 workload |
@@ -63,6 +64,7 @@ pub use pangea_core as core;
 pub use pangea_kmeans as kmeans;
 pub use pangea_layered as layered;
 pub use pangea_net as net;
+pub use pangea_obs as obs;
 pub use pangea_paging as paging;
 pub use pangea_query as query;
 pub use pangea_storage as storage;
