@@ -189,6 +189,88 @@ fn main() -> Result<()> {
     } else {
         1.0
     };
+
+    // Constrained-memory variant: the same job shape on a second fleet
+    // whose pools are a small fraction of the task state, so the combine
+    // and reduce accumulators must page. Reported with the fleet's
+    // aggregated `paging.*` counters — the bound-memory throughput
+    // trajectory next to the roomy one above.
+    const TINY_POOL: usize = 64 * KB;
+    const TINY_PAGE: usize = 4 * KB;
+    let cmgr = MgrServer::bind_with(
+        "127.0.0.1:0",
+        Duration::from_millis(500),
+        Some(SECRET.into()),
+    )?;
+    let cmgr_addr = cmgr.local_addr().to_string();
+    let mut cfleet = Vec::new();
+    for i in 0..3u32 {
+        let node = StorageNode::new(
+            NodeConfig::new(root.join(format!("tiny{i}")))
+                .with_pool_capacity(TINY_POOL)
+                .with_page_size(TINY_PAGE),
+        )?;
+        let server = PangeadServer::bind_with_secret(node, "127.0.0.1:0", Some(SECRET.into()))?;
+        let agent = WorkerAgent::register(
+            &cmgr_addr,
+            Some(SECRET),
+            &server.local_addr().to_string(),
+            Some(NodeId(i)),
+            Duration::from_millis(100),
+        )?;
+        cfleet.push((server, agent));
+    }
+    let ccluster = RemoteCluster::connect(&cmgr_addr, Some(SECRET))?;
+    // Mostly-unique tokens: the per-mapper accumulator alone dwarfs the
+    // pool, which is the point.
+    let cdocs = ccluster.create_dist_set("docs", PartitionScheme::round_robin(6))?;
+    let mut cd = cdocs.loader()?;
+    for i in 0..lines {
+        let line = format!(
+            "w{} u{:06} u{:06} u{:06} u{:06} w{}",
+            i % 7,
+            i * 4,
+            i * 4 + 1,
+            i * 4 + 2,
+            i * 4 + 3,
+            i % 13,
+        );
+        cd.dispatch(line.as_bytes())?;
+    }
+    cd.finish()?;
+    let t2 = std::time::Instant::now();
+    let constrained = ccluster.map_reduce(
+        "docs",
+        "counts",
+        &map,
+        &reduce,
+        PartitionScheme::hash_field("word", 6, b'|', 0),
+    )?;
+    let constrained_secs = t2.elapsed().as_secs_f64();
+    let mut paging = (0u64, 0u64, 0u64, 0u64); // hits, misses, evictions, spill
+    for (i, (server, _)) in cfleet.iter().enumerate() {
+        let mut client = PangeaClient::connect_with_secret(server.local_addr(), Some(SECRET))?;
+        // Presence gate: a worker whose MetricsDump lacks the paging
+        // registry entries is a regression, not a quiet zero.
+        let (metrics, _) = client.metrics_dump()?;
+        for required in ["paging.spill_bytes", "paging.pool_capacity_bytes"] {
+            assert!(
+                metrics.iter().any(|m| m.name() == required),
+                "constrained worker {i}: MetricsDump is missing {required}"
+            );
+        }
+        let s = client.remote_stats()?;
+        assert_eq!(s.pool_capacity_bytes, TINY_POOL as u64);
+        paging.0 += s.paging_hits;
+        paging.1 += s.paging_misses;
+        paging.2 += s.paging_evictions;
+        paging.3 += s.paging_spill_bytes;
+    }
+    assert!(
+        paging.3 > 0,
+        "the constrained fleet finished without spilling a byte — the \
+         pools were not actually under pressure"
+    );
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"shuffle\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
@@ -207,6 +289,20 @@ fn main() -> Result<()> {
         ));
     }
     json.push_str(&format!("  \"combine_shuffle_ratio\": {ratio:.4},\n"));
+    json.push_str(&format!(
+        "  \"constrained\": {{ \"pool_bytes\": {TINY_POOL}, \"page_bytes\": {TINY_PAGE}, \
+         \"seconds\": {:.6}, \"records_in\": {}, \"records_per_sec\": {:.1}, \
+         \"records_out\": {}, \"paging\": {{ \"hits\": {}, \"misses\": {}, \
+         \"evictions\": {}, \"spill_bytes\": {} }} }},\n",
+        constrained_secs,
+        constrained.scanned,
+        constrained.scanned as f64 / constrained_secs.max(1e-9),
+        constrained.records_out,
+        paging.0,
+        paging.1,
+        paging.2,
+        paging.3,
+    ));
     // Fleet-wide per-opcode RPC profile, from every worker's
     // `MetricsDump` (the dump RPC itself is excluded: its counters tick
     // only after their own dump was snapshotted on the first worker,
@@ -246,7 +342,7 @@ fn main() -> Result<()> {
         plain_row.shuffle_bytes
     );
 
-    for (_, agent) in fleet.iter_mut() {
+    for (_, agent) in fleet.iter_mut().chain(cfleet.iter_mut()) {
         agent.shutdown()?;
     }
     let _ = std::fs::remove_dir_all(&root);

@@ -78,6 +78,23 @@ impl Record for u64 {
     }
 }
 
+impl Record for i64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        let arr: [u8; 8] = bytes
+            .try_into()
+            .map_err(|_| PangeaError::Corruption("i64 record with wrong length".into()))?;
+        Ok(i64::from_le_bytes(arr))
+    }
+
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
 impl Record for Vec<f64> {
     fn encode(&self, out: &mut Vec<u8>) {
         for v in self {

@@ -193,6 +193,8 @@ impl ManagerDaemon {
             }
             Request::Stats => {
                 let net = self.stats.snapshot();
+                // The manager holds no storage node, so every paging
+                // field is zero by construction.
                 Ok(Response::Stats {
                     net_bytes: net.net_bytes,
                     net_messages: net.net_messages,
@@ -200,6 +202,12 @@ impl ManagerDaemon {
                     disk_write_bytes: 0,
                     repair_bytes: 0,
                     shuffle_bytes: 0,
+                    paging_hits: 0,
+                    paging_misses: 0,
+                    paging_evictions: 0,
+                    paging_spill_bytes: 0,
+                    pool_used_bytes: 0,
+                    pool_capacity_bytes: 0,
                 })
             }
 

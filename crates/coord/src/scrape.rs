@@ -258,6 +258,12 @@ fn scrape_once(
             ("pool.peers", "pool_peers"),
             (STALENESS_SERIES, "staleness_ms"),
             ("trace.dropped_spans", "ring_dropped_spans"),
+            ("paging.hits", "paging_hits"),
+            ("paging.misses", "paging_misses"),
+            ("paging.evictions", "paging_evictions"),
+            ("paging.spill_bytes", "spill_bytes"),
+            ("paging.pool_used_bytes", "pool_used"),
+            ("paging.pool_capacity_bytes", "pool_capacity"),
         ] {
             if let Some(v) = store.latest_scalar(&node, series) {
                 reg.gauge(&format!("fleet.{node}.{gauge}")).set(v);

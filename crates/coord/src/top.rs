@@ -277,6 +277,8 @@ const WATCH_COLUMNS: &[(&str, &str)] = &[
     ("share_bytes", "SHARE(B)"),
     ("session_bytes", "SESS(B)"),
     ("pool_peers", "PEERS"),
+    ("spill_bytes", "SPILL(B)"),
+    ("pool_used", "POOL(B)"),
     ("staleness_ms", "STALE(ms)"),
     ("ring_dropped_spans", "RINGDROP"),
     ("scrape_dropped_spans", "LOST"),

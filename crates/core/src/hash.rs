@@ -83,7 +83,29 @@ where
     n_buckets: u32,
     scratch: Vec<u8>,
     spilled_entries: u64,
+    /// Set by [`VirtualHashBuffer::finalize`]; a buffer dropped without
+    /// finalizing (an aborted task, a poisoned session) releases its
+    /// pins and backing set in `Drop` instead of leaking them.
+    released: bool,
     _values: PhantomData<V>,
+}
+
+impl<V, F> Drop for VirtualHashBuffer<V, F>
+where
+    V: Record,
+    F: FnMut(&mut V, V),
+{
+    fn drop(&mut self) {
+        if self.released {
+            return;
+        }
+        for slot in &mut self.pages {
+            slot.take();
+        }
+        let _ = self.set.end_lifetime();
+        let id = self.set.id();
+        let _ = self.set.node().drop_set(id);
+    }
 }
 
 impl<V, F> std::fmt::Debug for VirtualHashBuffer<V, F>
@@ -145,6 +167,7 @@ where
             n_buckets,
             scratch: Vec::new(),
             spilled_entries: 0,
+            released: false,
             _values: PhantomData,
         })
     }
@@ -373,6 +396,7 @@ where
         self.set.end_lifetime()?;
         let id = self.set.id();
         self.set.node().drop_set(id)?;
+        self.released = true;
         Ok(result.into_iter().collect())
     }
 }
@@ -380,6 +404,12 @@ where
 /// Convenience alias: string keys, `u64` counts, addition merge — the
 /// shape of the paper's Table 4 `<string,int>` aggregation.
 pub type CountingHashBuffer = VirtualHashBuffer<u64, fn(&mut u64, u64)>;
+
+/// The distributed task algebra's accumulator shape: byte-string keys,
+/// signed 64-bit partials, an op-specific merge (count/sum/min/max)
+/// passed as a plain function pointer so sessions can hold the buffer
+/// as a concrete type.
+pub type ReduceBuffer = VirtualHashBuffer<i64, fn(&mut i64, i64)>;
 
 /// Creates a counting (sum) hash buffer.
 pub fn counting_hash_buffer(

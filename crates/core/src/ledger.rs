@@ -1,0 +1,401 @@
+//! A spill-capable membership ledger for dedup state (paper §3.1's
+//! "job data" tier applied to session bookkeeping).
+//!
+//! Repair and shuffle-ingest sessions dedup retried batches by content
+//! or provenance hash. Those ledgers used to be plain heap hash sets —
+//! one more per-task structure growing outside the memory budget. A
+//! [`SpillLedger`] keeps at most `threshold` entries in heap; when the
+//! in-memory generation fills, it is sorted and flushed as a *run* of
+//! record pages through the node's paged pool ([`LocalitySet::
+//! spill_page_out`]), leaving only a per-page `(min, max, count)` index
+//! in memory. Membership probes check the in-memory generation first,
+//! then binary-search each run's page bounds and pin (reload) at most
+//! one page per run — bounded by the pool like every other page access.
+//!
+//! The ledger also supports a *frozen snapshot*: the repair protocol
+//! pages a session's seeded ledger out to survivors (`RepairLedger`)
+//! and needs a stable enumeration even while new entries keep arriving.
+//! Freezing records the current runs plus a sorted copy of the current
+//! generation (≤ `threshold` entries); the snapshot enumerates exactly
+//! the entries present at freeze time, in a stable order, regardless of
+//! later inserts or flushes.
+
+use crate::attributes::SetOptions;
+use crate::node::StorageNode;
+use crate::page::{self, RecordSlices};
+use crate::set::LocalitySet;
+use pangea_common::{FxHashSet, PageNum, PangeaError, Result};
+use pangea_paging::{ReadPattern, WritePattern};
+
+/// Default in-memory generation size: 64Ki hashes ≈ 512 KB of heap per
+/// session before the first flush.
+pub const DEFAULT_LEDGER_THRESHOLD: usize = 64 * 1024;
+
+/// One flushed page of a sorted run.
+#[derive(Debug, Clone, Copy)]
+struct RunPage {
+    num: PageNum,
+    count: u64,
+    min: u64,
+    max: u64,
+}
+
+/// The frozen-snapshot bookkeeping: how many runs were flushed before
+/// the freeze, plus a sorted copy of the generation at freeze time.
+#[derive(Debug, Default)]
+struct Frozen {
+    runs: usize,
+    tail: Vec<u64>,
+}
+
+/// A set of `u64` hashes whose memory footprint is capped: at most
+/// `threshold` live heap entries, everything older in sorted runs of
+/// pool-paged record pages.
+#[derive(Debug)]
+pub struct SpillLedger {
+    node: StorageNode,
+    name: String,
+    threshold: usize,
+    gen: FxHashSet<u64>,
+    set: Option<LocalitySet>,
+    runs: Vec<Vec<RunPage>>,
+    spilled_len: u64,
+    frozen: Option<Frozen>,
+}
+
+impl SpillLedger {
+    /// Creates an empty ledger. The backing set `name` is created lazily
+    /// on the first flush (small sessions never touch the pool); a
+    /// leftover set under the same name (a predecessor that died without
+    /// cleanup) is dropped first.
+    pub fn new(node: &StorageNode, name: impl Into<String>, threshold: usize) -> Self {
+        Self {
+            node: node.clone(),
+            name: name.into(),
+            threshold: threshold.max(1),
+            gen: FxHashSet::default(),
+            set: None,
+            runs: Vec::new(),
+            spilled_len: 0,
+            frozen: None,
+        }
+    }
+
+    /// Total entries inserted (assuming callers honor the
+    /// check-then-insert contract of [`SpillLedger::insert`]).
+    pub fn len(&self) -> u64 {
+        self.spilled_len + self.gen.len() as u64
+    }
+
+    /// True when no entry was ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries flushed out of heap so far.
+    pub fn spilled_len(&self) -> u64 {
+        self.spilled_len
+    }
+
+    /// Membership probe: the in-memory generation, then at most one
+    /// page pin per flushed run.
+    pub fn contains(&self, h: u64) -> Result<bool> {
+        if self.gen.contains(&h) {
+            return Ok(true);
+        }
+        let Some(set) = &self.set else {
+            return Ok(false);
+        };
+        for run in &self.runs {
+            let idx = run.partition_point(|p| p.max < h);
+            let Some(p) = run.get(idx) else { continue };
+            if h < p.min {
+                continue;
+            }
+            let pin = set.pin_page(p.num)?;
+            let guard = pin.read();
+            for rec in RecordSlices::new(&guard) {
+                let v = u64::from_le_bytes(
+                    rec.try_into()
+                        .map_err(|_| PangeaError::Corruption("ledger record length".into()))?,
+                );
+                if v == h {
+                    return Ok(true);
+                }
+                if v > h {
+                    break; // runs are sorted within a page
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Inserts `h` into the current generation, flushing it as a run
+    /// when full. Callers must have checked [`SpillLedger::contains`]
+    /// first — a duplicate of a flushed entry stays correct for
+    /// membership but inflates `len`.
+    pub fn insert(&mut self, h: u64) -> Result<()> {
+        if self.gen.insert(h) && self.gen.len() >= self.threshold {
+            self.flush_gen()?;
+        }
+        Ok(())
+    }
+
+    /// Checked insert: returns `true` when `h` was absent and is now a
+    /// member. This is the one-call form of check-then-insert.
+    pub fn insert_if_absent(&mut self, h: u64) -> Result<bool> {
+        if self.contains(h)? {
+            return Ok(false);
+        }
+        self.insert(h)?;
+        Ok(true)
+    }
+
+    fn backing_set(&mut self) -> Result<&LocalitySet> {
+        if self.set.is_none() {
+            if let Some(leftover) = self.node.get_set(&self.name) {
+                self.node.drop_set(leftover.id())?;
+            }
+            let set = self.node.create_set(&self.name, SetOptions::write_back())?;
+            set.declare_write(WritePattern::Sequential)?;
+            set.declare_read(ReadPattern::Random)?;
+            self.set = Some(set);
+        }
+        Ok(self.set.as_ref().expect("just created"))
+    }
+
+    /// Sorts and flushes the in-memory generation as one run of spilled
+    /// record pages, leaving only the per-page index in heap.
+    fn flush_gen(&mut self) -> Result<()> {
+        if self.gen.is_empty() {
+            return Ok(());
+        }
+        let mut sorted: Vec<u64> = self.gen.drain().collect();
+        sorted.sort_unstable();
+        let set = self.backing_set()?.clone();
+        let mut pages = Vec::new();
+        let mut i = 0;
+        while i < sorted.len() {
+            let pin = set.new_page()?;
+            let start = i;
+            {
+                let mut guard = pin.write();
+                while i < sorted.len() && page::append_record(&mut guard, &sorted[i].to_le_bytes())
+                {
+                    i += 1;
+                }
+            }
+            debug_assert!(i > start, "a fresh page holds at least one hash");
+            pages.push(RunPage {
+                num: pin.page_id().num,
+                count: (i - start) as u64,
+                min: sorted[start],
+                max: sorted[i - 1],
+            });
+            set.spill_page_out(pin)?;
+        }
+        self.spilled_len += sorted.len() as u64;
+        self.runs.push(pages);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Frozen snapshot (stable enumeration for the repair protocol)
+    // ------------------------------------------------------------------
+
+    /// Freezes the current membership for stable enumeration: the runs
+    /// flushed so far plus a sorted copy of the in-memory generation.
+    /// Later inserts and flushes do not disturb the snapshot (runs are
+    /// append-only and never rewritten).
+    pub fn freeze_snapshot(&mut self) {
+        let mut tail: Vec<u64> = self.gen.iter().copied().collect();
+        tail.sort_unstable();
+        self.frozen = Some(Frozen {
+            runs: self.runs.len(),
+            tail,
+        });
+    }
+
+    /// Entries in the frozen snapshot. Zero when never frozen.
+    pub fn snapshot_len(&self) -> u64 {
+        let Some(f) = &self.frozen else { return 0 };
+        let spilled: u64 = self.runs[..f.runs]
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|p| p.count)
+            .sum();
+        spilled + f.tail.len() as u64
+    }
+
+    /// Returns up to `limit` snapshot entries starting at global index
+    /// `start` (frozen runs in flush order, then the frozen tail).
+    pub fn snapshot_chunk(&self, start: u64, limit: usize) -> Result<Vec<u64>> {
+        let Some(f) = &self.frozen else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::with_capacity(limit.min(1024));
+        let mut skip = start;
+        for run in &self.runs[..f.runs] {
+            for p in run {
+                if out.len() >= limit {
+                    return Ok(out);
+                }
+                if skip >= p.count {
+                    skip -= p.count;
+                    continue;
+                }
+                let set = self.set.as_ref().expect("runs imply a backing set");
+                let pin = set.pin_page(p.num)?;
+                let guard = pin.read();
+                for rec in RecordSlices::new(&guard) {
+                    if skip > 0 {
+                        skip -= 1;
+                        continue;
+                    }
+                    if out.len() >= limit {
+                        return Ok(out);
+                    }
+                    let v = u64::from_le_bytes(
+                        rec.try_into()
+                            .map_err(|_| PangeaError::Corruption("ledger record length".into()))?,
+                    );
+                    out.push(v);
+                }
+            }
+        }
+        let skip = skip as usize;
+        if skip < f.tail.len() {
+            let take = limit.saturating_sub(out.len());
+            out.extend(f.tail[skip..].iter().take(take).copied());
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for SpillLedger {
+    fn drop(&mut self) {
+        // Best-effort: a session torn down mid-job must not leak its
+        // backing set (name collisions on retry, stranded disk files).
+        if let Some(set) = self.set.take() {
+            let _ = set.end_lifetime();
+            let id = set.id();
+            let _ = set.node().drop_set(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeConfig;
+    use pangea_common::KB;
+
+    fn node(tag: &str) -> StorageNode {
+        let dir = std::env::temp_dir().join(format!(
+            "pangea-ledger-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        StorageNode::new(
+            NodeConfig::new(dir)
+                .with_pool_capacity(16 * KB)
+                .with_page_size(KB),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn small_ledgers_stay_in_heap() {
+        let n = node("small");
+        let mut l = SpillLedger::new(&n, "led", 100);
+        for h in 0..50u64 {
+            assert!(l.insert_if_absent(h).unwrap());
+        }
+        assert!(!l.insert_if_absent(7).unwrap());
+        assert_eq!(l.len(), 50);
+        assert_eq!(l.spilled_len(), 0);
+        assert!(n.get_set("led").is_none(), "no backing set until a flush");
+    }
+
+    #[test]
+    fn membership_survives_spilling() {
+        let n = node("spill");
+        let mut l = SpillLedger::new(&n, "led", 64);
+        // Insert enough to force several runs through a 16 KB pool.
+        for h in (0..1000u64).map(|i| i * 7 + 3) {
+            l.insert(h).unwrap();
+        }
+        assert!(l.spilled_len() > 0, "threshold 64 must have flushed");
+        assert_eq!(l.len(), 1000);
+        for h in (0..1000u64).map(|i| i * 7 + 3) {
+            assert!(l.contains(h).unwrap(), "lost {h}");
+        }
+        assert!(!l.contains(1).unwrap());
+        assert!(!l.contains(7 * 1000 + 3).unwrap());
+    }
+
+    #[test]
+    fn frozen_snapshot_is_stable_and_complete() {
+        let n = node("freeze");
+        let mut l = SpillLedger::new(&n, "led", 32);
+        let seeded: Vec<u64> = (0..200u64).map(|i| i * 13 + 1).collect();
+        for &h in &seeded {
+            l.insert(h).unwrap();
+        }
+        l.freeze_snapshot();
+        assert_eq!(l.snapshot_len(), 200);
+        // Keep inserting after the freeze; the snapshot must not move.
+        for h in (0..500u64).map(|i| i * 17 + 2) {
+            l.insert_if_absent(h).unwrap();
+        }
+        let mut all = Vec::new();
+        let mut start = 0;
+        loop {
+            let chunk = l.snapshot_chunk(start, 37).unwrap();
+            if chunk.is_empty() {
+                break;
+            }
+            start += chunk.len() as u64;
+            all.extend(chunk);
+        }
+        let mut want = seeded.clone();
+        want.sort_unstable();
+        all.sort_unstable();
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    fn drop_releases_the_backing_set() {
+        let n = node("drop");
+        {
+            let mut l = SpillLedger::new(&n, "led", 8);
+            for h in 0..100u64 {
+                l.insert(h).unwrap();
+            }
+            assert!(n.get_set("led").is_some());
+        }
+        assert!(n.get_set("led").is_none(), "drop must release the set");
+        assert_eq!(n.pool().pool_stats().pinned_pages, 0);
+    }
+
+    #[test]
+    fn leftover_set_from_a_dead_predecessor_is_replaced() {
+        let n = node("leftover");
+        {
+            let mut l = SpillLedger::new(&n, "led", 4);
+            for h in 0..20u64 {
+                l.insert(h).unwrap();
+            }
+            // Simulate a crash: forget the ledger without Drop.
+            std::mem::forget(l);
+        }
+        assert!(n.get_set("led").is_some(), "leaked by the forget");
+        let mut l2 = SpillLedger::new(&n, "led", 4);
+        for h in 100..120u64 {
+            l2.insert(h).unwrap();
+        }
+        assert!(l2.contains(110).unwrap());
+        assert!(!l2.contains(5).unwrap(), "previous life's entries are gone");
+    }
+}

@@ -24,6 +24,7 @@ pub mod attributes;
 pub mod hash;
 pub mod hashpage;
 pub mod join;
+pub mod ledger;
 pub mod node;
 pub mod page;
 pub mod scan;
@@ -32,9 +33,12 @@ pub mod set;
 pub mod shuffle;
 
 pub use attributes::{SetAttributes, SetOptions};
-pub use hash::{counting_hash_buffer, CountingHashBuffer, HashConfig, VirtualHashBuffer};
+pub use hash::{
+    counting_hash_buffer, CountingHashBuffer, HashConfig, ReduceBuffer, VirtualHashBuffer,
+};
 pub use join::{broadcast_map, JoinMap, JoinMapBuilder};
-pub use node::{NodeConfig, StorageNode};
+pub use ledger::SpillLedger;
+pub use node::{NodeConfig, PagingStats, StorageNode};
 pub use page::{ObjectIter, RecordSlices};
 pub use scan::{DataProxy, PageIterator};
 pub use seq::SeqWriter;

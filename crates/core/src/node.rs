@@ -122,6 +122,43 @@ pub(crate) struct NodeInner {
     names: Mutex<FxHashMap<String, SetId>>,
     next_set: AtomicU64,
     default_page_size: usize,
+    paging: PagingCounters,
+}
+
+/// Node-level paging counters, shared by every locality set: a pin that
+/// found its page resident (hit), a pin that had to read the disk
+/// (miss), and bytes written out by spills and dirty-page eviction
+/// flushes. Evictions themselves are counted by the pool's own stats.
+#[derive(Debug, Default)]
+struct PagingCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    spill_bytes: AtomicU64,
+}
+
+/// One coherent snapshot of a node's paging activity, combining the
+/// node-level pin/spill counters with the pool's eviction counter and
+/// residency gauges. This is the task-state memory story in numbers: a
+/// job whose working set exceeds `pool_capacity` shows `spill_bytes`
+/// and `misses` climbing while `pool_used` stays bounded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagingStats {
+    /// Page pins satisfied from the pool.
+    pub hits: u64,
+    /// Page pins that had to load the page from disk.
+    pub misses: u64,
+    /// Pages evicted from the pool.
+    pub evictions: u64,
+    /// Bytes flushed out by explicit spills and dirty-page evictions.
+    pub spill_bytes: u64,
+    /// Bytes of pool frames currently allocated.
+    pub pool_used: u64,
+    /// The pool's hard capacity in bytes (the `--pool-mb` budget).
+    pub pool_capacity: u64,
+    /// Pages currently resident in the pool.
+    pub resident_pages: u64,
+    /// Resident pages currently pinned by some service.
+    pub pinned_pages: u64,
 }
 
 /// One worker node's storage engine. Cheap to clone (shared handle); all
@@ -160,6 +197,7 @@ impl StorageNode {
                 names: Mutex::new(FxHashMap::default()),
                 next_set: AtomicU64::new(1),
                 default_page_size: config.default_page_size,
+                paging: PagingCounters::default(),
             }),
         })
     }
@@ -187,6 +225,22 @@ impl StorageNode {
     /// Default page size for new sets.
     pub fn default_page_size(&self) -> usize {
         self.inner.default_page_size
+    }
+
+    /// Snapshot of the node's paging activity (pin hits/misses, spill
+    /// bytes) combined with the pool's eviction counter and residency.
+    pub fn paging_stats(&self) -> PagingStats {
+        let pool = self.inner.pool.pool_stats();
+        PagingStats {
+            hits: self.inner.paging.hits.load(Ordering::Relaxed),
+            misses: self.inner.paging.misses.load(Ordering::Relaxed),
+            evictions: self.inner.pool.stats().snapshot().pages_evicted,
+            spill_bytes: self.inner.paging.spill_bytes.load(Ordering::Relaxed),
+            pool_used: self.inner.pool.used() as u64,
+            pool_capacity: self.inner.pool.capacity() as u64,
+            resident_pages: pool.resident_pages as u64,
+            pinned_pages: pool.pinned_pages as u64,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -314,12 +368,14 @@ impl StorageNode {
     pub(crate) fn pin_page(&self, state: &SetState, num: PageNum) -> Result<PagePin> {
         let page = PageId::new(state.id, num);
         if let Some(pin) = self.inner.pool.pin_existing(page) {
+            self.inner.paging.hits.fetch_add(1, Ordering::Relaxed);
             self.inner
                 .strategy
                 .lock()
                 .on_page_accessed(page, pin.last_access());
             return Ok(pin);
         }
+        self.inner.paging.misses.fetch_add(1, Ordering::Relaxed);
         let bytes = state.file.read_page(num)?;
         let pin = self.with_room(bytes.len(), || {
             // Another thread may have loaded it while we read the disk.
@@ -359,6 +415,10 @@ impl StorageNode {
         {
             let bytes = pin.read();
             state.file.write_page(page.num, &bytes)?;
+            self.inner
+                .paging
+                .spill_bytes
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         }
         drop(pin);
         if !self.inner.pool.drop_page(page)? {
@@ -486,6 +546,10 @@ impl StorageNode {
             // to the Pangea file system first."
             let bytes = pin.read();
             state.file.write_page(page.num, &bytes)?;
+            self.inner
+                .paging
+                .spill_bytes
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
             drop(bytes);
             pin.mark_clean();
             self.inner.disks.stats().record_flush();

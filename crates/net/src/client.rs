@@ -30,6 +30,19 @@ pub struct RemoteStats {
     pub repair_bytes: u64,
     /// Map-shuffle payload bytes the remote daemon moved worker→worker.
     pub shuffle_bytes: u64,
+    /// Buffer-pool page pins satisfied from resident frames.
+    pub paging_hits: u64,
+    /// Buffer-pool page pins that had to read from disk.
+    pub paging_misses: u64,
+    /// Pages evicted from the pool to make room.
+    pub paging_evictions: u64,
+    /// Bytes the remote node wrote to disk via spills and dirty
+    /// evictions.
+    pub paging_spill_bytes: u64,
+    /// Bytes currently resident in the remote node's buffer pool.
+    pub pool_used_bytes: u64,
+    /// The remote node's total buffer-pool capacity in bytes.
+    pub pool_capacity_bytes: u64,
 }
 
 /// A connected `pangead` client.
@@ -380,8 +393,29 @@ impl PangeaClient {
     /// The present-hash ledger of an open repair session on the remote
     /// node, paged like [`PangeaClient::hash_list`] (no payload crosses
     /// the wire) — what an `Absent`-filtered survivor diffs against.
+    ///
+    /// Materializes the whole ledger; prefer
+    /// [`PangeaClient::repair_ledger_for_each`] when the caller can
+    /// consume it chunk by chunk.
     pub fn repair_ledger(&mut self, set: &str) -> Result<Vec<u64>> {
         let mut all = Vec::new();
+        self.repair_ledger_for_each(set, |hashes| {
+            all.extend(hashes);
+            Ok(())
+        })?;
+        Ok(all)
+    }
+
+    /// Streams the remote repair-session ledger one wire chunk at a
+    /// time, handing each chunk to `f` as it arrives. The client never
+    /// holds more than one chunk in memory, so a survivor can diff
+    /// against an arbitrarily large replacement ledger with bounded
+    /// heap.
+    pub fn repair_ledger_for_each(
+        &mut self,
+        set: &str,
+        mut f: impl FnMut(Vec<u64>) -> Result<()>,
+    ) -> Result<()> {
         let mut start = 0u64;
         loop {
             let req = Request::RepairLedger {
@@ -398,10 +432,10 @@ impl PangeaClient {
                         }
                         _ => {}
                     }
-                    all.extend(hashes);
+                    f(hashes)?;
                     match next {
                         Some((_, n)) => start = n,
-                        None => return Ok(all),
+                        None => return Ok(()),
                     }
                 }
                 other => return Err(Self::unexpected(other)),
@@ -600,6 +634,12 @@ impl PangeaClient {
                 disk_write_bytes,
                 repair_bytes,
                 shuffle_bytes,
+                paging_hits,
+                paging_misses,
+                paging_evictions,
+                paging_spill_bytes,
+                pool_used_bytes,
+                pool_capacity_bytes,
             } => Ok(RemoteStats {
                 net_bytes,
                 net_messages,
@@ -607,6 +647,12 @@ impl PangeaClient {
                 disk_write_bytes,
                 repair_bytes,
                 shuffle_bytes,
+                paging_hits,
+                paging_misses,
+                paging_evictions,
+                paging_spill_bytes,
+                pool_used_bytes,
+                pool_capacity_bytes,
             }),
             other => Err(Self::unexpected(other)),
         }

@@ -385,6 +385,18 @@ pub enum Response {
         /// Map-shuffle payload bytes this node moved (shipped to a peer
         /// or appended from one) during a distributed map-shuffle.
         shuffle_bytes: u64,
+        /// Buffer-pool page pins satisfied from resident frames.
+        paging_hits: u64,
+        /// Buffer-pool page pins that had to read from disk.
+        paging_misses: u64,
+        /// Pages evicted from the pool to make room.
+        paging_evictions: u64,
+        /// Bytes written to disk by spills and dirty evictions.
+        paging_spill_bytes: u64,
+        /// Bytes currently resident in the buffer pool.
+        pool_used_bytes: u64,
+        /// Total buffer-pool capacity in bytes.
+        pool_capacity_bytes: u64,
     },
     /// The operation failed on the serving node.
     Err {
@@ -1182,6 +1194,12 @@ impl Response {
                 disk_write_bytes,
                 repair_bytes,
                 shuffle_bytes,
+                paging_hits,
+                paging_misses,
+                paging_evictions,
+                paging_spill_bytes,
+                pool_used_bytes,
+                pool_capacity_bytes,
             } => {
                 w.write_record(&RESP_STATS);
                 w.write_record(net_bytes);
@@ -1190,6 +1208,12 @@ impl Response {
                 w.write_record(disk_write_bytes);
                 w.write_record(repair_bytes);
                 w.write_record(shuffle_bytes);
+                w.write_record(paging_hits);
+                w.write_record(paging_misses);
+                w.write_record(paging_evictions);
+                w.write_record(paging_spill_bytes);
+                w.write_record(pool_used_bytes);
+                w.write_record(pool_capacity_bytes);
             }
             Self::Err { message } => {
                 w.write_record(&RESP_ERR);
@@ -1390,6 +1414,12 @@ impl Response {
                 disk_write_bytes: r.read_record()?,
                 repair_bytes: r.read_record()?,
                 shuffle_bytes: r.read_record()?,
+                paging_hits: r.read_record()?,
+                paging_misses: r.read_record()?,
+                paging_evictions: r.read_record()?,
+                paging_spill_bytes: r.read_record()?,
+                pool_used_bytes: r.read_record()?,
+                pool_capacity_bytes: r.read_record()?,
             },
             RESP_ERR => Self::Err {
                 message: r.read_record()?,
@@ -1989,6 +2019,12 @@ mod tests {
             disk_write_bytes: 4,
             repair_bytes: 5,
             shuffle_bytes: 6,
+            paging_hits: 7,
+            paging_misses: 8,
+            paging_evictions: 9,
+            paging_spill_bytes: 10,
+            pool_used_bytes: 11,
+            pool_capacity_bytes: 12,
         });
         roundtrip_resp(Response::Err {
             message: "set 'x' missing".into(),

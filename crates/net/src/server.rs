@@ -21,8 +21,11 @@ use crate::proto::{error_response, Request, Response};
 use crate::wire::{
     ingest_tag, ReduceSpec, RepairFilter, SchemeSpec, TaskReport, TaskSpec, WireMetric, WireSpan,
 };
-use pangea_common::{fx_hash64, FxHashMap, FxHashSet, IoStats, PangeaError, PartitionId, Result};
-use pangea_core::{ObjectIter, SetOptions, ShuffleConfig, ShuffleService, StorageNode};
+use pangea_common::{fx_hash64, FxHashMap, IoStats, PangeaError, PartitionId, Result};
+use pangea_core::{
+    HashConfig, ObjectIter, ReduceBuffer, SetOptions, ShuffleConfig, ShuffleService, SpillLedger,
+    StorageNode,
+};
 use pangea_obs::{MetricValue, Obs, SpanRecord, TraceCtx};
 use parking_lot::Mutex;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -373,20 +376,18 @@ fn outcome_of(resp: &Response) -> String {
 
 /// One open repair session on a replacement node: the dedup ledger plus
 /// running totals, keyed by target set in [`Pangead::repairs`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct RepairSession {
     /// `fx_hash64` of every record either present in the surviving share
     /// (seeded at `RecoverBegin`) or appended by this session — each
     /// lost record is restored exactly once, however many survivors
-    /// push it and however often a push is retried.
-    seen: FxHashSet<u64>,
-    /// Index-stable snapshot of the ledger as seeded at `RecoverBegin`,
-    /// served to `Absent`-filtered survivors through the paginated
-    /// `RepairLedger` RPC. A snapshot (not the live `seen`) keeps the
-    /// cursor stable while concurrent pushes grow the ledger; survivors
-    /// filtering against this subset stay correct — the session still
-    /// dedups every append.
-    seed: Vec<u64>,
+    /// push it and however often a push is retried. A [`SpillLedger`],
+    /// so a huge share's ledger pages through the pool instead of
+    /// growing unbounded heap; its frozen snapshot (taken after
+    /// seeding) is what the paginated `RepairLedger` RPC serves —
+    /// index-stable while concurrent pushes keep growing the live
+    /// membership.
+    seen: SpillLedger,
     appended: u64,
     bytes: u64,
 }
@@ -397,18 +398,20 @@ struct RepairSession {
 /// tracks [`ingest_tag`]s — `(source, ordinal, bytes)` provenance — not
 /// record content: a shuffle output may contain honest duplicates, and
 /// only *re-pushed* records (task retries, lost-ack replays) dedup away.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct IngestSession {
-    seen: FxHashSet<u64>,
+    seen: SpillLedger,
     appended: u64,
     bytes: u64,
     /// Reducing mode: incoming records are `key|value` partials folded
     /// into this keyed accumulator (after the usual tag dedup) instead
     /// of being appended; `IngestEnd` materializes the accumulator into
-    /// the set in sorted-key order. The per-batch totals then count
-    /// partials *accepted into the fold*, and the sealed totals count
-    /// what was materialized.
-    reduce: Option<(ReduceSpec, std::collections::BTreeMap<Vec<u8>, i64>)>,
+    /// the set in sorted-key order. The accumulator is a [`ReduceBuffer`]
+    /// over pool pages (the paper's §8 hash service), so a fold larger
+    /// than memory spills partial aggregates instead of killing the
+    /// worker. The per-batch totals then count partials *accepted into
+    /// the fold*, and the sealed totals count what was materialized.
+    reduce: Option<(ReduceSpec, ReduceBuffer)>,
 }
 
 /// Per-push batching thresholds for the survivor's streaming loop
@@ -419,6 +422,15 @@ const PUSH_BATCH_BYTES: usize = 128 * 1024;
 /// Most distinct peer addresses the outbound pool caches idle
 /// connections for (see [`Pangead::checkin_peer`]).
 const PEER_POOL_CAP: usize = 64;
+
+/// In-memory entries a session dedup ledger holds before spilling
+/// sorted runs through the pool (≈512 KB of heap per session).
+const LEDGER_SPILL_ENTRIES: usize = 64 * 1024;
+
+/// Root partitions for per-session reduce accumulators. Small: a
+/// session accumulator grows by page splits under memory headroom, so
+/// roots only set the floor of pinned pages per open session.
+const ACC_ROOT_PARTITIONS: u32 = 2;
 
 /// The protocol brain of a Pangea node daemon: dispatches decoded
 /// requests against the wrapped [`StorageNode`].
@@ -462,6 +474,11 @@ pub struct Pangead {
     /// with [`Pangead::stats`], so `io.*` volumes and `rpc.*` metrics
     /// land in one `MetricsDump`) plus the span ring.
     obs: Obs,
+    /// Monotonic id appended to session backing-set names (ledger runs,
+    /// reduce accumulators, combine accumulators, Absent-diff ledgers),
+    /// so a replaced session's not-yet-released set never collides with
+    /// its successor's.
+    session_seq: AtomicU64,
 }
 
 impl Pangead {
@@ -480,7 +497,14 @@ impl Pangead {
             peer_secret: None,
             stats,
             obs,
+            session_seq: AtomicU64::new(0),
         }
+    }
+
+    /// A fresh, collision-free backing-set name for per-session state.
+    fn session_set_name(&self, set: &str, kind: &str) -> String {
+        let seq = self.session_seq.fetch_add(1, Ordering::Relaxed);
+        format!("{set}::{kind}.{seq}")
     }
 
     /// Sets the secret this daemon presents when dialing repair peers.
@@ -535,6 +559,19 @@ impl Pangead {
             .sum();
         reg.gauge("mem.session_bytes").set(session_bytes);
         reg.gauge("pool.peers").set(self.peers.lock().len() as u64);
+        // The tiered-memory signals: pin hits/misses and spill volume as
+        // counters (the scrape loop computes rates), pool residency as
+        // gauges — `paging.pool_used_bytes ≤ paging.pool_capacity_bytes`
+        // is the bounded-memory claim in one comparison.
+        let p = self.node.paging_stats();
+        reg.counter("paging.hits").set(p.hits);
+        reg.counter("paging.misses").set(p.misses);
+        reg.counter("paging.evictions").set(p.evictions);
+        reg.counter("paging.spill_bytes").set(p.spill_bytes);
+        reg.gauge("paging.pool_used_bytes").set(p.pool_used);
+        reg.gauge("paging.pool_capacity_bytes").set(p.pool_capacity);
+        reg.gauge("paging.resident_pages").set(p.resident_pages);
+        reg.gauge("paging.pinned_pages").set(p.pinned_pages);
     }
 
     /// Handles one request, turning node errors into [`Response::Err`].
@@ -685,6 +722,25 @@ impl Pangead {
             Request::DropSet { set } => {
                 // Idempotent: dropping a set the node never held is a
                 // no-op, so distributed teardown needs no error parsing.
+                //
+                // Session state keyed by this set dies with it. Open
+                // repair/ingest sessions and — crucially — sealed-totals
+                // tombstones must not survive the drop: a set recreated
+                // under the same name would otherwise answer a
+                // `RecoverEnd`/`IngestEnd` retry with a *previous
+                // life's* totals, and tombstones would accumulate
+                // forever across jobs. Dropping a session's `Arc` also
+                // releases its spill ledger and accumulator backing
+                // sets.
+                self.repairs.lock().remove(&set);
+                self.ended.lock().remove(&set);
+                self.ingests.lock().remove(&set);
+                self.ingests_ended.lock().remove(&set);
+                let reg = self.obs.registry();
+                reg.gauge("sessions.repair.live")
+                    .set(self.repairs.lock().len() as u64);
+                reg.gauge("sessions.ingest.live")
+                    .set(self.ingests.lock().len() as u64);
                 if let Some(set) = self.node.get_set(&set) {
                     self.node.drop_set(set.id())?;
                 }
@@ -740,6 +796,7 @@ impl Pangead {
             Request::Stats => {
                 let net = self.stats.snapshot();
                 let disk = self.node.disk_stats().snapshot();
+                let paging = self.node.paging_stats();
                 Ok(Response::Stats {
                     net_bytes: net.net_bytes,
                     net_messages: net.net_messages,
@@ -747,6 +804,12 @@ impl Pangead {
                     disk_write_bytes: disk.disk_write_bytes,
                     repair_bytes: net.repair_bytes,
                     shuffle_bytes: net.shuffle_bytes,
+                    paging_hits: paging.hits,
+                    paging_misses: paging.misses,
+                    paging_evictions: paging.evictions,
+                    paging_spill_bytes: paging.spill_bytes,
+                    pool_used_bytes: paging.pool_used,
+                    pool_capacity_bytes: paging.pool_capacity,
                 })
             }
             Request::HashList {
@@ -783,7 +846,15 @@ impl Pangead {
             }
             Request::RecoverBegin { set, present_from } => {
                 let target = self.get_set(&set)?;
-                let mut session = RepairSession::default();
+                let mut session = RepairSession {
+                    seen: SpillLedger::new(
+                        &self.node,
+                        self.session_set_name(&set, "repair-ledger"),
+                        LEDGER_SPILL_ENTRIES,
+                    ),
+                    appended: 0,
+                    bytes: 0,
+                };
                 // Seed with what this node already holds: a retried
                 // repair (some batches of a failed attempt committed
                 // durably) must not append those records again.
@@ -791,18 +862,33 @@ impl Pangead {
                     let pin = target.pin_page(num)?;
                     let mut it = ObjectIter::new(&pin);
                     while let Some(rec) = it.next() {
-                        session.seen.insert(fx_hash64(rec));
+                        session.seen.insert_if_absent(fx_hash64(rec))?;
                     }
                 }
                 for addr in &present_from {
                     let mut peer = self.checkout_peer(addr)?;
-                    session.seen.extend(peer.hash_list(&set)?);
-                    self.checkin_peer(addr, peer);
+                    match peer.hash_list(&set) {
+                        Ok(hashes) => {
+                            self.checkin_peer(addr, peer);
+                            for h in hashes {
+                                session.seen.insert_if_absent(h)?;
+                            }
+                        }
+                        Err(e) => {
+                            // A failed RPC leaves the stream state
+                            // unknown; account for the drop so the
+                            // checkout counters stay truthful.
+                            self.discard_peer(peer);
+                            return Err(e);
+                        }
+                    }
                 }
                 // Freeze the seeded ledger for `RepairLedger` paging:
                 // Absent-filtered survivors diff against exactly what
-                // was present when the session opened.
-                session.seed = session.seen.iter().copied().collect();
+                // was present when the session opened (the snapshot is
+                // index-stable while concurrent pushes grow the live
+                // ledger).
+                session.seen.freeze_snapshot();
                 // Replace any stale session (and any sealed-totals
                 // tombstone): `RecoverBegin` is the idempotent open of a
                 // fresh repair attempt.
@@ -842,7 +928,7 @@ impl Pangead {
                 for rec in &records {
                     self.stats.record_net(rec.len());
                     let h = fx_hash64(rec);
-                    if session.seen.contains(&h) {
+                    if session.seen.contains(h)? {
                         replays.inc();
                         continue;
                     }
@@ -851,7 +937,7 @@ impl Pangead {
                     // contractually-idempotent retry would dedup the
                     // record away and lose it forever.
                     writer.add_object(rec)?;
-                    session.seen.insert(h);
+                    session.seen.insert(h)?;
                     appended += 1;
                     bytes += rec.len() as u64;
                 }
@@ -892,13 +978,11 @@ impl Pangead {
                     PangeaError::usage(format!("no repair session for '{set}'; RecoverBegin first"))
                 })?;
                 let session = session.lock();
-                let start = start as usize;
-                let end = session
-                    .seed
-                    .len()
-                    .min(start.saturating_add(crate::proto::HASH_CHUNK));
-                let hashes = session.seed.get(start..end).unwrap_or_default().to_vec();
-                let next = (end < session.seed.len()).then_some((0, end as u64));
+                let hashes = session
+                    .seen
+                    .snapshot_chunk(start, crate::proto::HASH_CHUNK)?;
+                let end = start.saturating_add(hashes.len() as u64);
+                let next = (end < session.seen.snapshot_len()).then_some((0, end));
                 Ok(Response::Hashes { hashes, next })
             }
             Request::RecoverPush {
@@ -930,9 +1014,31 @@ impl Pangead {
                 self.node.drop_set(existing.id())?;
                 self.node.create_set(&set, options)?;
                 self.ingests_ended.lock().remove(&set);
+                let reduce = match reduce {
+                    Some(spec) => {
+                        // The session's keyed accumulator lives on pool
+                        // pages (paper §8 hash service): a fold larger
+                        // than the memory budget spills partial
+                        // aggregates instead of growing unbounded heap.
+                        let acc = ReduceBuffer::create(
+                            &self.node,
+                            &self.session_set_name(&set, "reduce-acc"),
+                            HashConfig::new(ACC_ROOT_PARTITIONS),
+                            spec.merge_fn(),
+                        )?;
+                        Some((spec, acc))
+                    }
+                    None => None,
+                };
                 let session = IngestSession {
-                    reduce: reduce.map(|spec| (spec, Default::default())),
-                    ..IngestSession::default()
+                    seen: SpillLedger::new(
+                        &self.node,
+                        self.session_set_name(&set, "ingest-ledger"),
+                        LEDGER_SPILL_ENTRIES,
+                    ),
+                    appended: 0,
+                    bytes: 0,
+                    reduce,
                 };
                 let live = {
                     let mut ingests = self.ingests.lock();
@@ -959,21 +1065,24 @@ impl Pangead {
                         "no ingest session for '{set}' to end"
                     )));
                 };
-                let session = session.lock();
-                let (appended, bytes) = match &session.reduce {
-                    // Reducing seal: materialize the keyed accumulator
-                    // into the (begin-truncated) set — the BTreeMap
-                    // iterates in key order, so the stored order is
+                let mut session = session.lock();
+                let (appended, bytes) = match session.reduce.take() {
+                    // Reducing seal: re-aggregate the accumulator's
+                    // in-memory pages with its spilled partials, then
+                    // materialize into the (begin-truncated) set in
+                    // sorted-key order so the stored order stays
                     // deterministic. The sealed totals are what was
                     // *materialized*; a failed write leaves no
                     // tombstone, so a retried seal fails loudly and the
                     // job-level retry's begin truncates and starts
                     // clean.
                     Some((spec, acc)) => {
+                        let mut pairs = acc.finalize()?;
+                        pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
                         let target = self.get_set(&set)?;
                         let mut writer = target.writer();
                         let (mut n, mut b) = (0u64, 0u64);
-                        for (key, value) in acc {
+                        for (key, value) in &pairs {
                             let rec = spec.encode_record(key, *value);
                             writer.add_object(&rec)?;
                             n += 1;
@@ -1023,10 +1132,12 @@ impl Pangead {
     /// with a ping — one round trip, still far cheaper than the full
     /// connect + handshake a fresh dial pays — and redialed on failure.
     /// Callers return the connection with [`Pangead::checkin_peer`] on
-    /// success and simply drop it when an RPC on it failed (its stream
-    /// state is unknown).
+    /// success and hand it to [`Pangead::discard_peer`] when an RPC on
+    /// it failed (its stream state is unknown). Every successful
+    /// checkout ends in exactly one of the two, so
+    /// `pool.checkouts == pool.checkins + pool.drops` holds at every
+    /// idle instant — the invariant the accounting unit test pins.
     fn checkout_peer(&self, addr: &str) -> Result<PangeaClient> {
-        self.obs.registry().counter("pool.checkouts").inc();
         // Take the client in its own scope: an `if let` over the guard
         // would hold the pool lock across the validation ping's socket
         // round trip, stalling every other pusher on this daemon behind
@@ -1034,12 +1145,19 @@ impl Pangead {
         let pooled = self.peers.lock().remove(addr);
         if let Some(mut client) = pooled {
             if client.ping().is_ok() {
-                self.obs.registry().counter("pool.hits").inc();
+                let reg = self.obs.registry();
+                reg.counter("pool.checkouts").inc();
+                reg.counter("pool.hits").inc();
                 return Ok(client);
             }
         }
         self.obs.registry().counter("pool.dials").inc();
-        self.dial_peer(addr)
+        let client = self.dial_peer(addr)?;
+        // Counted only once the connection exists: a failed dial hands
+        // the caller nothing, so it must not look like a checkout that
+        // never came back.
+        self.obs.registry().counter("pool.checkouts").inc();
+        Ok(client)
     }
 
     /// Returns an idle peer connection to the pool. Concurrent pushers
@@ -1051,6 +1169,7 @@ impl Pangead {
     /// address forever — and refusing inserts instead would stop
     /// pooling new peers for the daemon's lifetime.
     fn checkin_peer(&self, addr: &str, mut client: PangeaClient) {
+        self.obs.registry().counter("pool.checkins").inc();
         // An idle pooled connection must never carry a stale job's
         // trace context into whatever checks it out next.
         client.set_trace(None);
@@ -1062,6 +1181,14 @@ impl Pangead {
             self.obs.registry().counter("pool.evictions").inc();
         }
         peers.insert(addr.to_string(), client);
+    }
+
+    /// Closes a checked-out connection whose RPC failed. Taking the
+    /// client by value makes the accounting structural: an error path
+    /// cannot forget the counter without also forgetting to close.
+    fn discard_peer(&self, client: PangeaClient) {
+        drop(client);
+        self.obs.registry().counter("pool.drops").inc();
     }
 
     /// The mapper half of the distributed map-shuffle: scan the local
@@ -1101,9 +1228,19 @@ impl Pangead {
                 // Source-side combine: fold the whole local share, then
                 // ship one encoded partial per key. Tags derive from
                 // the key (a retried task re-derives the same fold, so
-                // its partials dedup away at the destinations).
+                // its partials dedup away at the destinations). The
+                // fold runs through a pool-paged [`ReduceBuffer`], so a
+                // share whose distinct keys exceed the memory budget
+                // spills partial aggregates instead of OOMing the
+                // worker; sorting the finalized pairs keeps the shipped
+                // order deterministic across retries.
                 Some(reduce) => {
-                    let mut acc: std::collections::BTreeMap<Vec<u8>, i64> = Default::default();
+                    let mut acc = ReduceBuffer::create(
+                        &self.node,
+                        &self.session_set_name(&spec.output, "combine"),
+                        HashConfig::new(ACC_ROOT_PARTITIONS),
+                        reduce.merge_fn(),
+                    )?;
                     for num in input.page_numbers() {
                         let pin = input.pin_page(num)?;
                         let mut it = ObjectIter::new(&pin);
@@ -1111,13 +1248,15 @@ impl Pangead {
                             report.scanned += 1;
                             spec.map.for_each_emit(rec, &mut |out| {
                                 if let Some((key, value)) = reduce.accumulate(out) {
-                                    reduce.fold_into(&mut acc, &key, value);
+                                    acc.insert_merge(&key, value)?;
                                 }
                                 Ok(())
                             })?;
                         }
                     }
-                    for (key, value) in &acc {
+                    let mut pairs = acc.finalize()?;
+                    pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                    for (key, value) in &pairs {
                         let out = reduce.encode_record(key, *value);
                         let dest = spec.scheme.node_of(&out, 0, nodes);
                         let tag = ingest_tag(spec.source, fx_hash64(key), &out);
@@ -1301,13 +1440,13 @@ impl Pangead {
                         if over_wire {
                             self.stats.record_net(rec.len());
                         }
-                        if seen.contains(tag) {
+                        if seen.contains(*tag)? {
                             dedup.inc();
                             continue;
                         }
                         let (key, value) = spec.decode_record(rec)?;
-                        spec.fold_into(acc, key, value);
-                        seen.insert(*tag);
+                        acc.insert_merge(key, value)?;
+                        seen.insert(*tag)?;
                         appended += 1;
                         bytes += rec.len() as u64;
                     }
@@ -1318,12 +1457,12 @@ impl Pangead {
                         if over_wire {
                             self.stats.record_net(rec.len());
                         }
-                        if seen.contains(tag) {
+                        if seen.contains(*tag)? {
                             dedup.inc();
                             continue;
                         }
                         writer.add_object(rec)?;
-                        seen.insert(*tag);
+                        seen.insert(*tag)?;
                         appended += 1;
                         bytes += rec.len() as u64;
                     }
@@ -1378,7 +1517,11 @@ impl Pangead {
         match conn.ingest_append(output, entries) {
             Ok(out) => Ok(out),
             Err(e) => {
-                conns.remove(addr);
+                // Dropped, not returned — and counted, so a failed push
+                // doesn't strand the checkout accounting.
+                if let Some(conn) = conns.remove(addr) {
+                    self.discard_peer(conn);
+                }
                 Err(e)
             }
         }
@@ -1408,21 +1551,66 @@ impl Pangead {
         // pay a fresh dial + handshake each (the ROADMAP hot-path item).
         let mut peer = self.checkout_peer(target_addr)?;
         peer.set_trace(ctx);
-        let keep: Box<dyn Fn(&[u8]) -> bool + Send + Sync> = match filter {
-            RepairFilter::Absent => {
-                let present: FxHashSet<u64> = match peer.repair_ledger(target_set) {
-                    Ok(hashes) => hashes.into_iter().collect(),
-                    Err(e) => return Err(e),
-                };
-                Box::new(move |rec: &[u8]| !present.contains(&fx_hash64(rec)))
+        match self.recover_push_with(&source, target_set, &mut peer, filter) {
+            Ok(resp) => {
+                self.checkin_peer(target_addr, peer);
+                Ok(resp)
             }
-            other => other.compile()?,
+            Err(e) => {
+                // Any mid-push failure leaves the stream state unknown;
+                // close the connection and account for it so the pool
+                // counters stay truthful on every error path.
+                self.discard_peer(peer);
+                Err(e)
+            }
+        }
+    }
+
+    /// The push body, with the peer checked out by [`Pangead::
+    /// recover_push`]. An `Absent` filter streams the replacement's
+    /// seeded ledger in `HASH_CHUNK` pages into a local [`SpillLedger`]
+    /// — the survivor never materializes the whole ledger in heap, so a
+    /// huge replacement share costs this node at most the ledger's
+    /// in-memory generation plus pool-paged runs.
+    fn recover_push_with(
+        &self,
+        source: &pangea_core::LocalitySet,
+        target_set: &str,
+        peer: &mut PangeaClient,
+        filter: &RepairFilter,
+    ) -> Result<Response> {
+        enum Keep {
+            Compiled(Box<dyn Fn(&[u8]) -> bool + Send + Sync>),
+            Absent(SpillLedger),
+        }
+        let keep = match filter {
+            RepairFilter::Absent => {
+                let mut present = SpillLedger::new(
+                    &self.node,
+                    self.session_set_name(target_set, "absent-diff"),
+                    LEDGER_SPILL_ENTRIES,
+                );
+                // The snapshot enumerates each seeded hash exactly
+                // once, so a plain insert (no membership probe) is
+                // enough.
+                peer.repair_ledger_for_each(target_set, |hashes| {
+                    for h in hashes {
+                        present.insert(h)?;
+                    }
+                    Ok(())
+                })?;
+                Keep::Absent(present)
+            }
+            other => Keep::Compiled(other.compile()?),
         };
         let (mut scanned, mut pushed, mut pushed_bytes) = (0u64, 0u64, 0u64);
         let (mut appended, mut appended_bytes) = (0u64, 0u64);
         let mut batch: Vec<Vec<u8>> = Vec::new();
         let mut batch_bytes = 0usize;
-        let mut flush = |batch: &mut Vec<Vec<u8>>, batch_bytes: &mut usize| -> Result<()> {
+        let mut flush = |peer: &mut PangeaClient,
+                         batch: &mut Vec<Vec<u8>>,
+                         batch_bytes: &mut usize|
+         -> Result<()> {
             if batch.is_empty() {
                 return Ok(());
             }
@@ -1437,7 +1625,11 @@ impl Pangead {
             let mut it = ObjectIter::new(&pin);
             while let Some(rec) = it.next() {
                 scanned += 1;
-                if !keep(rec) {
+                let wanted = match &keep {
+                    Keep::Compiled(f) => f(rec),
+                    Keep::Absent(present) => !present.contains(fx_hash64(rec))?,
+                };
+                if !wanted {
                     continue;
                 }
                 pushed += 1;
@@ -1445,12 +1637,11 @@ impl Pangead {
                 batch_bytes += rec.len();
                 batch.push(rec.to_vec());
                 if batch.len() >= PUSH_BATCH_RECORDS || batch_bytes >= PUSH_BATCH_BYTES {
-                    flush(&mut batch, &mut batch_bytes)?;
+                    flush(peer, &mut batch, &mut batch_bytes)?;
                 }
             }
         }
-        flush(&mut batch, &mut batch_bytes)?;
-        self.checkin_peer(target_addr, peer);
+        flush(peer, &mut batch, &mut batch_bytes)?;
         // Survivor-side attribution: this node moved `pushed_bytes` of
         // repair payload to a peer without touching the driver.
         self.stats.record_repair(pushed_bytes as usize);
@@ -2341,5 +2532,154 @@ mod tests {
         let mut client =
             PangeaClient::connect_with_secret(server.local_addr(), Some("anything")).unwrap();
         client.ping().unwrap();
+    }
+
+    /// Dropping a set must clear its session state: before the fix a
+    /// sealed-session tombstone survived `DropSet`, so a retried
+    /// `RecoverEnd`/`IngestEnd` against a *recreated* set of the same
+    /// name answered the dead set's totals instead of erroring.
+    #[test]
+    fn drop_set_clears_session_tombstones_and_open_sessions() {
+        let d = Pangead::new(node("tombstone"));
+        let create = Request::CreateSet {
+            name: "s".into(),
+            durability: "write-through".into(),
+            page_size: None,
+        };
+        d.handle(create.clone());
+        // Seal a repair session and an ingest session on the first life.
+        d.handle(Request::RecoverBegin {
+            set: "s".into(),
+            present_from: vec![],
+        });
+        d.handle(Request::RecoverAppend {
+            set: "s".into(),
+            records: vec![b"a|1".to_vec()],
+        });
+        assert_eq!(
+            d.handle(Request::RecoverEnd { set: "s".into() }),
+            Response::RepairAck {
+                appended: 1,
+                bytes: 3,
+            }
+        );
+        d.handle(Request::IngestBegin {
+            set: "s".into(),
+            reduce: None,
+        });
+        d.handle(Request::IngestAppend {
+            set: "s".into(),
+            entries: vec![(crate::wire::ingest_tag(0, 0, b"x"), b"x".to_vec())],
+        });
+        assert_eq!(
+            d.handle(Request::IngestEnd { set: "s".into() }),
+            Response::IngestAck {
+                appended: 1,
+                bytes: 1,
+            }
+        );
+
+        // Drop and recreate the set under the same name.
+        assert_eq!(d.handle(Request::DropSet { set: "s".into() }), Response::Ok);
+        assert!(matches!(d.handle(create), Response::Created { .. }));
+
+        // The new life has no sessions: a retried seal is a typed
+        // protocol error, not the dead set's totals.
+        assert!(matches!(
+            d.handle(Request::RecoverEnd { set: "s".into() }),
+            Response::Err { .. }
+        ));
+        assert!(matches!(
+            d.handle(Request::IngestEnd { set: "s".into() }),
+            Response::Err { .. }
+        ));
+        // And fresh sessions start from zero, unpolluted by the old
+        // ledgers.
+        d.handle(Request::RecoverBegin {
+            set: "s".into(),
+            present_from: vec![],
+        });
+        assert_eq!(
+            d.handle(Request::RecoverAppend {
+                set: "s".into(),
+                records: vec![b"a|1".to_vec()],
+            }),
+            Response::RepairAck {
+                appended: 1,
+                bytes: 3,
+            }
+        );
+        // Dropping with sessions still open clears them too.
+        assert_eq!(d.handle(Request::DropSet { set: "s".into() }), Response::Ok);
+        assert!(matches!(
+            d.handle(Request::RecoverAppend {
+                set: "s".into(),
+                records: vec![b"a|1".to_vec()],
+            }),
+            Response::Err { .. }
+        ));
+    }
+
+    /// Every checked-out peer connection is returned exactly once:
+    /// `checkouts == checkins + drops` must hold after successful pushes
+    /// AND after a push that fails mid-flight (before the fix the
+    /// failure path leaked the checkout without a matching drop).
+    #[test]
+    fn failed_push_accounts_for_the_checked_out_peer() {
+        let secret = Some("acct-secret".to_string());
+        let survivor =
+            PangeadServer::bind_with_secret(node("acct-survivor"), "127.0.0.1:0", secret.clone())
+                .unwrap();
+        let replacement = PangeadServer::bind_with_secret(
+            node("acct-replacement"),
+            "127.0.0.1:0",
+            secret.clone(),
+        )
+        .unwrap();
+        let mut sc =
+            PangeaClient::connect_with_secret(survivor.local_addr(), Some("acct-secret")).unwrap();
+        let mut rc =
+            PangeaClient::connect_with_secret(replacement.local_addr(), Some("acct-secret"))
+                .unwrap();
+        sc.create_set("src", "write-through", None).unwrap();
+        sc.append("src", &["a|1", "b|2"]).unwrap();
+        rc.create_set("tgt", "write-through", None).unwrap();
+
+        let balanced = |d: &Pangead| {
+            let reg = d.obs().registry();
+            let (out, back, drops) = (
+                reg.counter("pool.checkouts").get(),
+                reg.counter("pool.checkins").get(),
+                reg.counter("pool.drops").get(),
+            );
+            assert_eq!(out, back + drops, "checkouts {out} != {back} + {drops}");
+            (out, back, drops)
+        };
+
+        // No open session on the replacement: the Absent push fails at
+        // the ledger RPC, *after* the peer was checked out.
+        let err = sc.recover_push(
+            "src",
+            "tgt",
+            &replacement.local_addr().to_string(),
+            &crate::wire::RepairFilter::Absent,
+        );
+        assert!(err.is_err());
+        let (out, _, drops) = balanced(survivor.daemon());
+        assert_eq!(out, 1, "the failed push did check a peer out");
+        assert_eq!(drops, 1, "…and dropped it on the error path");
+
+        // A successful push balances through the checkin path.
+        rc.recover_begin("tgt", &[]).unwrap();
+        sc.recover_push(
+            "src",
+            "tgt",
+            &replacement.local_addr().to_string(),
+            &crate::wire::RepairFilter::Absent,
+        )
+        .unwrap();
+        let (out, back, _) = balanced(survivor.daemon());
+        assert_eq!(out, 2);
+        assert_eq!(back, 1);
     }
 }

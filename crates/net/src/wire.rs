@@ -864,6 +864,17 @@ impl ReduceSpec {
         }
     }
 
+    /// The op's merge as a plain function pointer, the shape the
+    /// spillable `ReduceBuffer` accumulator stores (same semantics as
+    /// [`ReduceSpec::merge`], expressed in-place).
+    pub fn merge_fn(&self) -> fn(&mut i64, i64) {
+        match self.op {
+            ReduceOp::Count | ReduceOp::Sum => |a, b| *a = a.wrapping_add(b),
+            ReduceOp::Min => |a, b| *a = (*a).min(b),
+            ReduceOp::Max => |a, b| *a = (*a).max(b),
+        }
+    }
+
     /// Folds one `(key, value)` into a keyed accumulator, merging with
     /// the key's existing slot or inserting on first sight. The single
     /// definition of the fold — source-side combine, destination merge,
