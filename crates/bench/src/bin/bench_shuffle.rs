@@ -3,7 +3,11 @@
 //! corpus, two jobs over it:
 //!
 //! * **map-only** — tokenize flat-map, every token shipped raw to its
-//!   hash destination;
+//!   hash destination, strict-serial pushes (window 1: one ingest batch
+//!   round trip at a time — the pre-pipelining wire behavior);
+//! * **map-only pipelined** — the identical job with an 8-deep
+//!   correlated pipeline per destination: same shuffle bytes, same
+//!   records, fewer wall-clock round trips;
 //! * **map-combine-reduce** — the same tokenization, counted per word
 //!   with source-side combine, so only per-key partials cross the wire.
 //!
@@ -152,6 +156,9 @@ fn main() -> Result<()> {
         r.tasks.iter().map(|(_, t)| t.emitted_bytes).sum()
     };
 
+    // Strict-serial baseline: window 1 is the pre-pipelining wire
+    // behavior, kept addressable for exactly this A/B.
+    cluster.set_pipeline_window(1);
     let t0 = std::time::Instant::now();
     let plain = cluster.map_shuffle(
         "docs",
@@ -166,6 +173,32 @@ fn main() -> Result<()> {
         records_out: plain.records_out,
         shuffle_bytes: shuffle_bytes(&plain),
     };
+
+    // The same job with an 8-deep correlated pipeline per destination:
+    // identical records and shuffle bytes, the round trips overlapped.
+    cluster.set_pipeline_window(8);
+    let tp = std::time::Instant::now();
+    let piped = cluster.map_shuffle(
+        "docs",
+        "tokens_pipelined",
+        &map,
+        PartitionScheme::hash_whole("word", 6),
+    )?;
+    let piped_row = JobRow {
+        name: "map_only_pipelined",
+        seconds: tp.elapsed().as_secs_f64(),
+        records_in: piped.scanned,
+        records_out: piped.records_out,
+        shuffle_bytes: shuffle_bytes(&piped),
+    };
+    assert_eq!(
+        piped_row.records_out, plain_row.records_out,
+        "pipelining must not change what materializes"
+    );
+    assert_eq!(
+        piped_row.shuffle_bytes, plain_row.shuffle_bytes,
+        "pipelining must ship exactly the same payload"
+    );
 
     let reduce = ReduceSpec::count(KeySpec::WholeRecord, b'|');
     let t1 = std::time::Instant::now();
@@ -275,7 +308,7 @@ fn main() -> Result<()> {
     json.push_str("  \"bench\": \"shuffle\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!("  \"input_lines\": {lines},\n  \"workers\": 3,\n"));
-    for row in [&plain_row, &reduced_row] {
+    for row in [&plain_row, &piped_row, &reduced_row] {
         json.push_str(&format!(
             "  \"{}\": {{ \"seconds\": {:.6}, \"records_in\": {}, \
              \"records_per_sec\": {:.1}, \"records_out\": {}, \
@@ -289,6 +322,10 @@ fn main() -> Result<()> {
         ));
     }
     json.push_str(&format!("  \"combine_shuffle_ratio\": {ratio:.4},\n"));
+    json.push_str(&format!(
+        "  \"pipeline_speedup\": {:.4},\n",
+        plain_row.seconds / piped_row.seconds.max(1e-9)
+    ));
     json.push_str(&format!(
         "  \"constrained\": {{ \"pool_bytes\": {TINY_POOL}, \"page_bytes\": {TINY_PAGE}, \
          \"seconds\": {:.6}, \"records_in\": {}, \"records_per_sec\": {:.1}, \

@@ -159,6 +159,15 @@ pub trait TaskExec: Send + Sync {
     /// Seals the destination's ingest session; returns its
     /// `(appended, appended_bytes)` totals.
     fn ingest_end(&self, dest: NodeId, set: &str) -> Result<(u64, u64)>;
+
+    /// Transport-level pipelining hint for subsequent tasks: how many
+    /// ingest batches a mapper may keep in flight per destination
+    /// before awaiting the oldest ack (`0` = backend default, `1` =
+    /// strict-serial round trips). Receiver credit grants may shrink
+    /// the effective window below this at run time; they never raise
+    /// it. In-process executors stream synchronously and ignore the
+    /// hint — the default does nothing.
+    fn set_pipeline_window(&self, _window: u32) {}
 }
 
 /// Worker→worker repair operations (paper §7 recovery without bouncing
@@ -474,6 +483,24 @@ impl ClusterCore {
             sinks.finish()?;
         }
         Ok((objects, colliding.len() as u64))
+    }
+
+    /// Sets the transport pipelining window shipped map tasks run
+    /// under: batches in flight per destination before the mapper
+    /// awaits the oldest ack (`0` = backend default, `1` =
+    /// strict-serial — the pre-pipelining behavior, kept addressable
+    /// for A/B round-trip comparisons). Forwarded through
+    /// [`TaskExec::set_pipeline_window`]; returns `true` when a
+    /// task-shipping backend received the hint and `false` on
+    /// in-process backends, which stream synchronously.
+    pub fn set_task_pipeline_window(&self, window: u32) -> bool {
+        match self.workers.task_exec() {
+            Some(exec) => {
+                exec.set_pipeline_window(window);
+                true
+            }
+            None => false,
+        }
     }
 
     /// A distributed map-shuffle (the paper's "move computation to the

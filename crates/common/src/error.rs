@@ -51,6 +51,10 @@ pub enum PangeaError {
     /// A wire peer failed (or skipped) the shared-secret handshake and
     /// was rejected before any request was served.
     Unauthenticated(String),
+    /// The server is at its connection cap and refused the connection
+    /// before serving any request. Typed so callers can back off and
+    /// redial instead of parsing error prose.
+    Busy(String),
     /// A membership operation carried an out-of-date registration epoch —
     /// the sender is a stale incarnation of a node slot that has since
     /// been replaced (or swept dead) by the manager.
@@ -143,6 +147,7 @@ impl fmt::Display for PangeaError {
             Self::SystemFailure(m) => write!(f, "system failure: {m}"),
             Self::AuthenticationFailed => write!(f, "invalid key pair; system terminated"),
             Self::Unauthenticated(m) => write!(f, "unauthenticated peer rejected: {m}"),
+            Self::Busy(m) => write!(f, "server busy: {m}"),
             Self::StaleEpoch {
                 node,
                 held,

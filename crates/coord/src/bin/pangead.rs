@@ -6,7 +6,8 @@
 //!         [--strategy data-aware] [--disk-bw-mb <MB/s>] \
 //!         [--secret S | --secret-file PATH] \
 //!         [--manager <addr:port>] [--advertise <addr:port>] \
-//!         [--slot N] [--heartbeat-ms 500] [--trace-log PATH]
+//!         [--slot N] [--heartbeat-ms 500] [--trace-log PATH] \
+//!         [--io-threads 4] [--max-conns 256] [--window 8]
 //! ```
 //!
 //! With `--manager`, the daemon registers itself with a `pangea-mgr`
@@ -19,7 +20,7 @@
 
 use pangea_coord::WorkerAgent;
 use pangea_core::{NodeConfig, StorageNode};
-use pangea_net::PangeadServer;
+use pangea_net::{PangeadServer, ServerConfig};
 use std::process::exit;
 use std::time::Duration;
 
@@ -37,13 +38,16 @@ struct Args {
     slot: Option<u32>,
     heartbeat_ms: u64,
     trace_log: Option<String>,
+    io_threads: usize,
+    max_conns: usize,
+    window: u32,
 }
 
 const USAGE: &str = "usage: pangead --listen <addr:port> --data <dir> \
     [--pool-mb N] [--page-kb N] [--disks N] [--strategy NAME] [--disk-bw-mb N] \
     [--secret S | --secret-file PATH] \
     [--manager <addr:port>] [--advertise <addr:port>] [--slot N] [--heartbeat-ms N] \
-    [--trace-log PATH]";
+    [--trace-log PATH] [--io-threads N] [--max-conns N] [--window N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -60,6 +64,9 @@ fn parse_args() -> Result<Args, String> {
         slot: None,
         heartbeat_ms: 500,
         trace_log: None,
+        io_threads: 0,
+        max_conns: 0,
+        window: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -109,6 +116,21 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--heartbeat-ms: {e}"))?;
             }
             "--trace-log" => args.trace_log = Some(value("--trace-log")?),
+            "--io-threads" => {
+                args.io_threads = value("--io-threads")?
+                    .parse()
+                    .map_err(|e| format!("--io-threads: {e}"))?;
+            }
+            "--max-conns" => {
+                args.max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?;
+            }
+            "--window" => {
+                args.window = value("--window")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -145,8 +167,20 @@ fn main() {
             exit(1);
         }
     };
-    let mut server = match PangeadServer::bind_with_secret(node, &args.listen, args.secret.clone())
-    {
+    // 0 for any tuning flag keeps the library default (io threads,
+    // connection cap, push-pipelining window).
+    let server_config = ServerConfig {
+        io_threads: args.io_threads,
+        max_conns: args.max_conns,
+        registry: None,
+        pipeline_window: args.window,
+    };
+    let mut server = match PangeadServer::bind_with_config(
+        node,
+        &args.listen,
+        args.secret.clone(),
+        server_config,
+    ) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("pangead: cannot bind {}: {e}", args.listen);

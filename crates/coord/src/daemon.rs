@@ -17,7 +17,7 @@ use pangea_cluster::{CatalogEntry, Manager, PartitionScheme};
 use pangea_common::{Epoch, IoStats, NodeId, PangeaError, ReplicaGroupId, Result};
 use pangea_net::{
     error_response, metrics_dump_response, FramedServer, FramedService, Request, Response,
-    TraceCtx, WireCatalogEntry, WireSpan,
+    ServerConfig, TraceCtx, WireCatalogEntry, WireSpan,
 };
 use pangea_obs::{Obs, ScrapeStore, SpanRecord};
 use std::net::{SocketAddr, ToSocketAddrs};
@@ -359,10 +359,17 @@ impl MgrServer {
         scrape_interval: Option<Duration>,
     ) -> Result<Self> {
         let daemon = Arc::new(ManagerDaemon::new(liveness_timeout));
-        let server = FramedServer::bind(
+        // Publish the wire core's health (`net.conns_open`,
+        // `net.busy_rejects`) into the manager's own registry so one
+        // `MetricsDump` covers catalog, membership, and server core.
+        let server = FramedServer::bind_with_config(
             Arc::clone(&daemon) as Arc<dyn FramedService>,
             addr,
             secret.clone(),
+            ServerConfig {
+                registry: Some(daemon.obs().registry().clone()),
+                ..ServerConfig::default()
+            },
         )?;
         let tick_stop = Arc::new(AtomicBool::new(false));
         let ticker = {

@@ -29,7 +29,7 @@ use pangea_net::{
 };
 use pangea_obs::{Obs, SpanRecord, TraceCtx};
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -73,6 +73,12 @@ struct RemoteWorkersInner {
     /// test prove per-worker tasks genuinely overlap, and inject a kill
     /// at a deterministic point. Mirrors `RemoteCluster`'s recovery hook.
     task_hook: Mutex<Option<Arc<dyn Fn(NodeId) + Send + Sync>>>,
+    /// Pipeline window stamped on every shipped `TaskSpec`: how many
+    /// ingest batches each mapper may keep in flight per destination.
+    /// `0` (the default) defers to the executing daemon's own default;
+    /// `1` forces strict-serial round trips — the pre-pipelining wire
+    /// behavior, kept addressable for A/B benchmarks.
+    pipeline_window: AtomicU32,
 }
 
 impl std::fmt::Debug for RemoteWorkersInner {
@@ -104,8 +110,16 @@ impl RemoteWorkers {
                 last_job: Mutex::new(None),
                 trace_cursor: Mutex::new(0),
                 task_hook: Mutex::new(None),
+                pipeline_window: AtomicU32::new(0),
             }),
         }
+    }
+
+    /// Sets the pipeline window shipped with every task (`0` = let each
+    /// daemon use its default, `1` = strict-serial). Takes effect on
+    /// the next job; in-flight tasks keep the window they shipped with.
+    pub fn set_pipeline_window(&self, window: u32) {
+        self.inner.pipeline_window.store(window, Ordering::Relaxed);
     }
 
     /// The shared client-side wire ledger (payload net bytes).
@@ -492,12 +506,17 @@ impl TaskExec for RemoteWorkers {
             nodes,
             source: worker.raw(),
             dests,
+            window: self.inner.pipeline_window.load(Ordering::Relaxed),
         };
         self.with_client(worker, |c| c.run_task(&spec))
     }
 
     fn ingest_end(&self, dest: NodeId, set: &str) -> Result<(u64, u64)> {
         self.with_client(dest, |c| c.ingest_end(set))
+    }
+
+    fn set_pipeline_window(&self, window: u32) {
+        self.inner.pipeline_window.store(window, Ordering::Relaxed);
     }
 }
 
@@ -607,6 +626,16 @@ impl RemoteCluster {
     /// The remote worker backend (for its shared wire ledger).
     pub fn workers(&self) -> &RemoteWorkers {
         &self.workers
+    }
+
+    /// Sets the per-destination pipeline window shipped with every task
+    /// this cluster runs (`0` = daemon default, `1` = strict-serial).
+    /// Routed through the engine's [`TaskExec`] seam — the shared
+    /// backend is this cluster's [`RemoteWorkers`], so the hint lands
+    /// in every subsequent `TaskRun`'s wire spec.
+    pub fn set_pipeline_window(&self, window: u32) {
+        let accepted = self.core.set_task_pipeline_window(window);
+        debug_assert!(accepted, "the remote backend always ships tasks");
     }
 
     /// Re-reads membership from the manager (sweeping liveness there)

@@ -5,12 +5,12 @@
 //! `addObject`, page iteration, shuffle) so an application can talk to a
 //! remote node with the same vocabulary it uses in-process.
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame_corr, write_frame, write_frame_corr, FRAME_CORR_OVERHEAD};
 use crate::proto::{Request, Response};
 use crate::wire::{
     ReduceSpec, RepairFilter, RepairPushReport, TaskReport, TaskSpec, WireMetric, WireSpan,
 };
-use pangea_common::{IoStats, PageNum, PangeaError, Result};
+use pangea_common::{FxHashMap, IoStats, PageNum, PangeaError, Result};
 use pangea_obs::TraceCtx;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
@@ -54,6 +54,14 @@ pub struct PangeaClient {
     /// When set, every outgoing request carries this [`TraceCtx`] as a
     /// trailing envelope (see `Request::encode_traced`).
     trace: Option<TraceCtx>,
+    /// Next correlation id handed out by [`PangeaClient::submit`].
+    /// Starts at 1 — correlation 0 is the strict-serial [`call`] path.
+    next_corr: u64,
+    /// Responses that arrived while awaiting a different correlation id
+    /// (out-of-order completion), parked until their id is awaited.
+    parked: FxHashMap<u64, Response>,
+    /// Correlation ids submitted but not yet awaited.
+    inflight: usize,
 }
 
 impl PangeaClient {
@@ -85,6 +93,9 @@ impl PangeaClient {
             addr,
             stats: stats.unwrap_or_else(|| Arc::new(IoStats::new())),
             trace: None,
+            next_corr: 1,
+            parked: FxHashMap::default(),
+            inflight: 0,
         };
         if let Some(secret) = secret {
             match client.call(&Request::Hello {
@@ -121,19 +132,80 @@ impl PangeaClient {
 
     /// One framed round trip; error responses become [`PangeaError::Remote`].
     pub fn call(&mut self, req: &Request) -> Result<Response> {
+        if self.inflight != 0 {
+            return Err(PangeaError::usage(format!(
+                "serial call with {} pipelined request(s) outstanding; await them first",
+                self.inflight
+            )));
+        }
         let encoded = req.encode_traced(self.trace.as_ref());
         self.stats
             .record_serialization(encoded.len() + crate::frame::FRAME_OVERHEAD);
         write_frame(&mut self.stream, &encoded)?;
-        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
-            PangeaError::Io(Arc::new(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection mid-request",
-            )))
-        })?;
+        let (_, payload) = read_frame_corr(&mut self.stream)?.ok_or_else(Self::closed_early)?;
         self.stats
             .record_serialization(payload.len() + crate::frame::FRAME_OVERHEAD);
         Response::decode(&payload)?.into_result()
+    }
+
+    /// Sends `req` without waiting for its response; returns the
+    /// correlation id to pass to [`PangeaClient::await_response`]. Up to
+    /// the caller's window of submits may be outstanding at once — the
+    /// server executes them in submission order per connection and may
+    /// complete them out of order across sessions.
+    pub fn submit(&mut self, req: &Request) -> Result<u64> {
+        let corr = self.next_corr;
+        let encoded = req.encode_traced(self.trace.as_ref());
+        self.stats
+            .record_serialization(encoded.len() + FRAME_CORR_OVERHEAD);
+        write_frame_corr(&mut self.stream, corr, &encoded)?;
+        self.next_corr += 1;
+        self.inflight += 1;
+        Ok(corr)
+    }
+
+    /// Awaits the response to a prior [`PangeaClient::submit`].
+    /// Responses to *other* outstanding submits that arrive first are
+    /// parked and handed out when their id is awaited, so completion
+    /// order is free. A correlation-0 frame while pipelining is a
+    /// connection-level server error (e.g. [`Response::Busy`] from the
+    /// accept path) and fails the await typed.
+    pub fn await_response(&mut self, corr: u64) -> Result<Response> {
+        self.inflight = self.inflight.saturating_sub(1);
+        if let Some(resp) = self.parked.remove(&corr) {
+            return resp.into_result();
+        }
+        loop {
+            let (got, payload) =
+                read_frame_corr(&mut self.stream)?.ok_or_else(Self::closed_early)?;
+            self.stats
+                .record_serialization(payload.len() + FRAME_CORR_OVERHEAD);
+            let resp = Response::decode(&payload)?;
+            if got == corr {
+                return resp.into_result();
+            }
+            if got == 0 {
+                // Not an answer to any submit: the server speaks corr 0
+                // only for connection-level rejections.
+                resp.into_result()?;
+                return Err(PangeaError::Corruption(
+                    "uncorrelated response while awaiting a pipelined request".to_string(),
+                ));
+            }
+            self.parked.insert(got, resp);
+        }
+    }
+
+    /// Pipelined requests submitted but not yet awaited.
+    pub fn pipelined(&self) -> usize {
+        self.inflight
+    }
+
+    fn closed_early() -> PangeaError {
+        PangeaError::Io(Arc::new(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection mid-request",
+        )))
     }
 
     fn unexpected(resp: Response) -> PangeaError {
@@ -295,9 +367,49 @@ impl PangeaClient {
             records,
         };
         match self.call(&req)? {
-            Response::RepairAck { appended, bytes } => {
+            Response::RepairAck {
+                appended, bytes, ..
+            } => {
                 self.stats.record_net(payload_bytes);
                 Ok((appended, bytes))
+            }
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Pipelined [`PangeaClient::recover_append`]: sends the batch and
+    /// returns `(correlation, payload_bytes)` for a later
+    /// [`PangeaClient::recover_append_await`]. Net-payload accounting is
+    /// deferred to the ack, exactly like the serial path.
+    pub fn recover_append_submit(
+        &mut self,
+        set: &str,
+        records: Vec<Vec<u8>>,
+    ) -> Result<(u64, usize)> {
+        let payload_bytes: usize = records.iter().map(Vec::len).sum();
+        let corr = self.submit(&Request::RecoverAppend {
+            set: set.to_string(),
+            records,
+        })?;
+        Ok((corr, payload_bytes))
+    }
+
+    /// Awaits one pipelined repair batch; returns
+    /// `(appended, appended_bytes, credit)` — `credit` is the receiver's
+    /// current pool-residency grant (`0` = no information).
+    pub fn recover_append_await(
+        &mut self,
+        corr: u64,
+        payload_bytes: usize,
+    ) -> Result<(u64, u64, u64)> {
+        match self.await_response(corr)? {
+            Response::RepairAck {
+                appended,
+                bytes,
+                credit,
+            } => {
+                self.stats.record_net(payload_bytes);
+                Ok((appended, bytes, credit))
             }
             other => Err(Self::unexpected(other)),
         }
@@ -310,7 +422,9 @@ impl PangeaClient {
             set: set.to_string(),
         };
         match self.call(&req)? {
-            Response::RepairAck { appended, bytes } => Ok((appended, bytes)),
+            Response::RepairAck {
+                appended, bytes, ..
+            } => Ok((appended, bytes)),
             other => Err(Self::unexpected(other)),
         }
     }
@@ -521,9 +635,48 @@ impl PangeaClient {
             entries,
         };
         match self.call(&req)? {
-            Response::IngestAck { appended, bytes } => {
+            Response::IngestAck {
+                appended, bytes, ..
+            } => {
                 self.stats.record_net(payload_bytes);
                 Ok((appended, bytes))
+            }
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Pipelined [`PangeaClient::ingest_append`]: sends the batch and
+    /// returns `(correlation, payload_bytes)` for a later
+    /// [`PangeaClient::ingest_append_await`].
+    pub fn ingest_append_submit(
+        &mut self,
+        set: &str,
+        entries: Vec<(u64, Vec<u8>)>,
+    ) -> Result<(u64, usize)> {
+        let payload_bytes: usize = entries.iter().map(|(_, r)| r.len()).sum();
+        let corr = self.submit(&Request::IngestAppend {
+            set: set.to_string(),
+            entries,
+        })?;
+        Ok((corr, payload_bytes))
+    }
+
+    /// Awaits one pipelined ingest batch; returns
+    /// `(appended, appended_bytes, credit)` — `credit` is the receiver's
+    /// current pool-residency grant (`0` = no information).
+    pub fn ingest_append_await(
+        &mut self,
+        corr: u64,
+        payload_bytes: usize,
+    ) -> Result<(u64, u64, u64)> {
+        match self.await_response(corr)? {
+            Response::IngestAck {
+                appended,
+                bytes,
+                credit,
+            } => {
+                self.stats.record_net(payload_bytes);
+                Ok((appended, bytes, credit))
             }
             other => Err(Self::unexpected(other)),
         }
@@ -536,7 +689,9 @@ impl PangeaClient {
             set: set.to_string(),
         };
         match self.call(&req)? {
-            Response::IngestAck { appended, bytes } => Ok((appended, bytes)),
+            Response::IngestAck {
+                appended, bytes, ..
+            } => Ok((appended, bytes)),
             other => Err(Self::unexpected(other)),
         }
     }

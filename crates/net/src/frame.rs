@@ -6,6 +6,21 @@
 //! [`MAX_FRAME`] are rejected on both sides: on send as an API misuse, on
 //! receive as corruption (a desynchronized or malicious peer), so a bad
 //! length prefix can never make a reader allocate gigabytes.
+//!
+//! ## Correlated frames
+//!
+//! A connection that pipelines requests needs responses matched back to
+//! the request they answer, so a frame can optionally carry a `u64`
+//! correlation id: bit 31 of the length prefix ([`CORR_FLAG`]) marks a
+//! correlated frame, whose payload length is followed by an 8-byte
+//! little-endian id before the payload. The flag bit is free because
+//! [`MAX_FRAME`] is 2^26 — a legal length never sets it, and a legacy
+//! reader that saw one would reject it as an oversized frame instead of
+//! desynchronizing. Legacy frames (no flag) decode as correlation `0`,
+//! the strict-serial id, and correlation `0` is always *written* as a
+//! legacy frame — so a server answering in the shape the request used
+//! stays byte-identical to the pre-correlation protocol for serial
+//! clients.
 
 use pangea_common::{PangeaError, Result};
 use std::io::{Read, Write};
@@ -17,26 +32,56 @@ pub const MAX_FRAME: usize = 64 * 1024 * 1024;
 /// Bytes of framing overhead per frame (the length prefix).
 pub const FRAME_OVERHEAD: usize = 4;
 
+/// Length-prefix bit marking a correlated frame (id follows the prefix).
+pub const CORR_FLAG: u32 = 0x8000_0000;
+
+/// Bytes of framing overhead per *correlated* frame (length prefix plus
+/// the 8-byte correlation id).
+pub const FRAME_CORR_OVERHEAD: usize = FRAME_OVERHEAD + 8;
+
 /// Writes one frame (length prefix + payload) and flushes.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    write_frame_corr(w, 0, payload)
+}
+
+/// Writes one frame carrying correlation id `corr` and flushes.
+///
+/// Correlation `0` (the strict-serial id) is written as a legacy
+/// unflagged frame, so serial traffic is bit-for-bit what it was before
+/// correlation existed.
+pub fn write_frame_corr(w: &mut impl Write, corr: u64, payload: &[u8]) -> Result<()> {
     if payload.len() > MAX_FRAME {
         return Err(PangeaError::usage(format!(
             "frame of {} B exceeds the {MAX_FRAME} B limit",
             payload.len()
         )));
     }
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    if corr == 0 {
+        w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    } else {
+        w.write_all(&(payload.len() as u32 | CORR_FLAG).to_le_bytes())?;
+        w.write_all(&corr.to_le_bytes())?;
+    }
     w.write_all(payload)?;
     w.flush()?;
     Ok(())
 }
 
-/// Reads one frame's payload.
+/// Reads one frame's payload, discarding any correlation id.
 ///
 /// Returns `Ok(None)` on a clean end-of-stream (EOF exactly at a frame
 /// boundary — how a peer hangs up). EOF in the *middle* of a frame, or a
 /// length prefix above [`MAX_FRAME`], is corruption.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    Ok(read_frame_corr(r)?.map(|(_, payload)| payload))
+}
+
+/// Reads one frame as `(correlation, payload)`.
+///
+/// Legacy frames (no [`CORR_FLAG`]) decode as correlation `0`. EOF and
+/// corruption semantics match [`read_frame`]; a truncation anywhere in
+/// the correlation id is corruption, same as inside the prefix.
+pub fn read_frame_corr(r: &mut impl Read) -> Result<Option<(u64, Vec<u8>)>> {
     let mut prefix = [0u8; FRAME_OVERHEAD];
     match read_exact_or_eof(r, &mut prefix)? {
         ReadOutcome::Eof => return Ok(None),
@@ -47,7 +92,22 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
         }
         ReadOutcome::Full => {}
     }
-    let len = u32::from_le_bytes(prefix) as usize;
+    let raw = u32::from_le_bytes(prefix);
+    let corr = if raw & CORR_FLAG != 0 {
+        let mut id = [0u8; 8];
+        match read_exact_or_eof(r, &mut id)? {
+            ReadOutcome::Full => {}
+            ReadOutcome::Eof | ReadOutcome::Partial(_) => {
+                return Err(PangeaError::Corruption(
+                    "stream ended inside a frame correlation id".to_string(),
+                ));
+            }
+        }
+        u64::from_le_bytes(id)
+    } else {
+        0
+    };
+    let len = (raw & !CORR_FLAG) as usize;
     if len > MAX_FRAME {
         return Err(PangeaError::Corruption(format!(
             "frame length {len} B exceeds the {MAX_FRAME} B limit"
@@ -61,7 +121,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
             PangeaError::from(e)
         }
     })?;
-    Ok(Some(payload))
+    Ok(Some((corr, payload)))
 }
 
 enum ReadOutcome {
@@ -149,6 +209,81 @@ mod tests {
             Err(PangeaError::InvalidUsage(_))
         ));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn correlated_roundtrip_carries_the_id() {
+        for corr in [1u64, 2, 0xDEAD_BEEF, u64::MAX] {
+            let mut buf = Vec::new();
+            write_frame_corr(&mut buf, corr, b"payload").unwrap();
+            assert_eq!(buf.len(), FRAME_CORR_OVERHEAD + 7);
+            let (got_corr, payload) = read_frame_corr(&mut Cursor::new(&buf)).unwrap().unwrap();
+            assert_eq!(got_corr, corr);
+            assert_eq!(payload, b"payload");
+        }
+    }
+
+    #[test]
+    fn correlation_zero_is_written_as_a_legacy_frame() {
+        let mut legacy = Vec::new();
+        write_frame(&mut legacy, b"serial").unwrap();
+        let mut corr0 = Vec::new();
+        write_frame_corr(&mut corr0, 0, b"serial").unwrap();
+        assert_eq!(legacy, corr0);
+        assert_eq!(legacy.len(), FRAME_OVERHEAD + 6);
+    }
+
+    #[test]
+    fn legacy_frame_decodes_as_correlation_zero() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"old wire").unwrap();
+        let (corr, payload) = read_frame_corr(&mut Cursor::new(&buf)).unwrap().unwrap();
+        assert_eq!(corr, 0);
+        assert_eq!(payload, b"old wire");
+    }
+
+    #[test]
+    fn legacy_reader_sees_correlated_frame_as_corruption_not_desync() {
+        // The flag bit makes the prefix read as an impossible length, so
+        // a pre-correlation reader rejects the frame instead of
+        // misparsing the id bytes as payload.
+        let mut buf = Vec::new();
+        write_frame_corr(&mut buf, 7, b"new wire").unwrap();
+        let raw = u32::from_le_bytes(buf[..4].try_into().unwrap());
+        assert!((raw as usize) > MAX_FRAME);
+    }
+
+    #[test]
+    fn truncated_correlation_id_is_corruption() {
+        let mut buf = Vec::new();
+        write_frame_corr(&mut buf, 42, b"x").unwrap();
+        for cut in FRAME_OVERHEAD..FRAME_CORR_OVERHEAD {
+            let mut short = buf.clone();
+            short.truncate(cut);
+            assert!(matches!(
+                read_frame_corr(&mut Cursor::new(&short)),
+                Err(PangeaError::Corruption(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn interleaved_correlated_and_legacy_frames_parse_in_order() {
+        let mut buf = Vec::new();
+        write_frame_corr(&mut buf, 3, b"three").unwrap();
+        write_frame(&mut buf, b"serial").unwrap();
+        write_frame_corr(&mut buf, 9, b"").unwrap();
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(
+            read_frame_corr(&mut cur).unwrap().unwrap(),
+            (3, b"three".to_vec())
+        );
+        assert_eq!(
+            read_frame_corr(&mut cur).unwrap().unwrap(),
+            (0, b"serial".to_vec())
+        );
+        assert_eq!(read_frame_corr(&mut cur).unwrap().unwrap(), (9, Vec::new()));
+        assert!(read_frame_corr(&mut cur).unwrap().is_none());
     }
 
     #[test]

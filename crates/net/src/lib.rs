@@ -51,8 +51,9 @@ pub use frame::{FRAME_OVERHEAD, MAX_FRAME};
 pub use pangea_obs::TraceCtx;
 pub use proto::{error_response, Request, Response};
 pub use server::{
-    metrics_dump_response, FramedServer, FramedService, Pangead, PangeadServer, DEFAULT_DRAIN,
-    METRICS_CHUNK, SPANS_CHUNK,
+    metrics_dump_response, FramedServer, FramedService, Pangead, PangeadServer, ServerConfig,
+    DEFAULT_DRAIN, DEFAULT_IO_THREADS, DEFAULT_MAX_CONNS, DEFAULT_PIPELINE_WINDOW,
+    MAX_PIPELINE_WINDOW, METRICS_CHUNK, SPANS_CHUNK,
 };
 pub use tcp::TcpTransport;
 pub use transport::Transport;

@@ -409,6 +409,13 @@ pub enum Response {
         /// Why the peer was rejected.
         message: String,
     },
+    /// The server is at its connection cap and refused this connection
+    /// before serving anything; decodes to [`PangeaError::Busy`] on the
+    /// client so callers can back off and redial without parsing prose.
+    Busy {
+        /// Why the connection was refused.
+        message: String,
+    },
     /// Worker registered (or re-registered) with the manager.
     WorkerRegistered {
         /// The assigned node slot.
@@ -488,6 +495,12 @@ pub enum Response {
         appended: u64,
         /// Payload bytes appended.
         bytes: u64,
+        /// Credit grant: how many more in-flight batches the receiver's
+        /// pool residency can absorb right now. `0` means "no
+        /// information" (a legacy peer) — senders treat it as
+        /// unconstrained; any other value caps the sender's pipeline
+        /// window until the next ack revises it.
+        credit: u64,
     },
     /// Outcome of one [`Request::TaskRun`] (a worker's full
     /// scan-map-route-stream pass over its local input share).
@@ -511,6 +524,9 @@ pub enum Response {
         appended: u64,
         /// Payload bytes appended.
         bytes: u64,
+        /// Credit grant, as in [`Response::RepairAck::credit`]: `0` is
+        /// "no information", anything else caps the sender's window.
+        credit: u64,
     },
     /// Outcome of one [`Request::RecoverPush`] (a survivor's full
     /// scan-filter-stream pass against the replacement).
@@ -626,6 +642,7 @@ const RESP_TASK_DONE: u64 = 24;
 const RESP_INGEST_ACK: u64 = 25;
 const RESP_METRICS: u64 = 26;
 const RESP_TRACE: u64 = 27;
+const RESP_BUSY: u64 = 28;
 
 /// Trailing-envelope marker for a wire-propagated [`TraceCtx`]: a
 /// request payload may be followed by `(TRACE_MARK, job, span)` after
@@ -1223,6 +1240,10 @@ impl Response {
                 w.write_record(&RESP_DENIED);
                 w.write_record(message);
             }
+            Self::Busy { message } => {
+                w.write_record(&RESP_BUSY);
+                w.write_record(message);
+            }
             Self::WorkerRegistered { node, epoch } => {
                 w.write_record(&RESP_WORKER_REGISTERED);
                 w.write_record(&(*node as u64));
@@ -1298,10 +1319,19 @@ impl Response {
                     w.write_record(h);
                 }
             }
-            Self::RepairAck { appended, bytes } => {
+            Self::RepairAck {
+                appended,
+                bytes,
+                credit,
+            } => {
                 w.write_record(&RESP_REPAIR_ACK);
                 w.write_record(appended);
                 w.write_record(bytes);
+                // Trailing field: pre-credit decoders never read past
+                // `bytes` (the protocol has always ignored trailing
+                // bytes), and a pre-credit *encoder*'s reply decodes as
+                // credit 0 ("no information").
+                w.write_record(credit);
             }
             Self::Pushed {
                 scanned,
@@ -1331,10 +1361,15 @@ impl Response {
                 w.write_record(appended);
                 w.write_record(appended_bytes);
             }
-            Self::IngestAck { appended, bytes } => {
+            Self::IngestAck {
+                appended,
+                bytes,
+                credit,
+            } => {
                 w.write_record(&RESP_INGEST_ACK);
                 w.write_record(appended);
                 w.write_record(bytes);
+                w.write_record(credit);
             }
             Self::Metrics {
                 metrics,
@@ -1427,6 +1462,9 @@ impl Response {
             RESP_DENIED => Self::Denied {
                 message: r.read_record()?,
             },
+            RESP_BUSY => Self::Busy {
+                message: r.read_record()?,
+            },
             RESP_WORKER_REGISTERED => Self::WorkerRegistered {
                 node: r.read_record::<u64>()? as u32,
                 epoch: r.read_record()?,
@@ -1507,6 +1545,11 @@ impl Response {
             RESP_REPAIR_ACK => Self::RepairAck {
                 appended: r.read_record()?,
                 bytes: r.read_record()?,
+                credit: if r.is_exhausted() {
+                    0
+                } else {
+                    r.read_record()?
+                },
             },
             RESP_PUSHED => Self::Pushed {
                 scanned: r.read_record()?,
@@ -1525,6 +1568,11 @@ impl Response {
             RESP_INGEST_ACK => Self::IngestAck {
                 appended: r.read_record()?,
                 bytes: r.read_record()?,
+                credit: if r.is_exhausted() {
+                    0
+                } else {
+                    r.read_record()?
+                },
             },
             RESP_METRICS => {
                 let has_next: u64 = r.read_record()?;
@@ -1580,6 +1628,7 @@ impl Response {
         match self {
             Self::Err { message } => Err(PangeaError::Remote(message)),
             Self::Denied { message } => Err(PangeaError::Unauthenticated(message)),
+            Self::Busy { message } => Err(PangeaError::Busy(message)),
             Self::Stale {
                 node,
                 held,
@@ -1601,6 +1650,7 @@ impl Response {
 pub fn error_response(e: &PangeaError) -> Response {
     match e {
         PangeaError::Unauthenticated(m) => Response::Denied { message: m.clone() },
+        PangeaError::Busy(m) => Response::Busy { message: m.clone() },
         PangeaError::StaleEpoch {
             node,
             held,
@@ -1738,6 +1788,12 @@ mod tests {
         roundtrip_resp(Response::RepairAck {
             appended: 10,
             bytes: 1000,
+            credit: 0,
+        });
+        roundtrip_resp(Response::RepairAck {
+            appended: 10,
+            bytes: 1000,
+            credit: 8,
         });
         roundtrip_resp(Response::Pushed {
             scanned: 100,
@@ -1776,6 +1832,7 @@ mod tests {
             nodes: 4,
             source: 1,
             dests: vec![(0, "127.0.0.1:7781".into()), (2, "127.0.0.1:7783".into())],
+            window: 8,
         };
         roundtrip_req(Request::TaskRun { spec });
         roundtrip_req(Request::IngestBegin {
@@ -1807,7 +1864,60 @@ mod tests {
         roundtrip_resp(Response::IngestAck {
             appended: 12,
             bytes: 340,
+            credit: 0,
         });
+        roundtrip_resp(Response::IngestAck {
+            appended: 12,
+            bytes: 340,
+            credit: 3,
+        });
+    }
+
+    #[test]
+    fn creditless_acks_decode_as_credit_zero() {
+        // A pre-credit peer stops writing after `bytes`; the tolerant
+        // decoder reads that as "no information".
+        for (op, resp) in [
+            (
+                RESP_REPAIR_ACK,
+                Response::RepairAck {
+                    appended: 4,
+                    bytes: 77,
+                    credit: 0,
+                },
+            ),
+            (
+                RESP_INGEST_ACK,
+                Response::IngestAck {
+                    appended: 4,
+                    bytes: 77,
+                    credit: 0,
+                },
+            ),
+        ] {
+            let mut w = pangea_common::codec::ByteWriter::new();
+            w.write_record(&op);
+            w.write_record(&4u64);
+            w.write_record(&77u64);
+            assert_eq!(Response::decode(w.as_bytes()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn busy_roundtrips_and_is_typed() {
+        roundtrip_resp(Response::Busy {
+            message: "at connection cap".into(),
+        });
+        let err = Response::Busy {
+            message: "at connection cap".into(),
+        }
+        .into_result()
+        .unwrap_err();
+        assert!(matches!(err, PangeaError::Busy(_)));
+        assert!(matches!(
+            error_response(&PangeaError::Busy("full".into())),
+            Response::Busy { .. }
+        ));
     }
 
     #[test]
@@ -1826,6 +1936,7 @@ mod tests {
                 nodes: 3,
                 source: 0,
                 dests: vec![(0, "127.0.0.1:1".into()), (1, "127.0.0.1:2".into())],
+                window: 0,
             },
         }
         .encode();

@@ -2,21 +2,28 @@
 //!
 //! Two layers:
 //!
-//! * [`FramedServer`] — a reusable accept loop for any [`FramedService`]:
-//!   per-connection handler threads, an optional shared-secret handshake
-//!   (unauthenticated peers are rejected with a typed [`Response::Denied`]
-//!   before any request is served), and graceful shutdown that stops
-//!   accepting, drains in-flight requests, closes the remaining
-//!   connections, and joins every handler thread. `pangead` and
-//!   `pangea-mgr` (the `pangea-coord` manager daemon) both serve through
-//!   it.
+//! * [`FramedServer`] — a reusable io-pool server core for any
+//!   [`FramedService`]: one reader thread per accepted connection demuxes
+//!   correlated frames into a per-connection FIFO queue, a bounded worker
+//!   pool ([`ServerConfig::io_threads`]) executes handlers, and responses
+//!   are re-serialized per connection under a write lock — so one
+//!   connection can carry many in-flight requests while execution stays
+//!   strictly in submission order per connection (which is what the
+//!   begin/append/end session protocols require). Connections beyond
+//!   [`ServerConfig::max_conns`] are refused with a typed
+//!   [`Response::Busy`] instead of an unbounded thread spawn; an optional
+//!   shared-secret handshake rejects unauthenticated peers with a typed
+//!   [`Response::Denied`]; graceful shutdown stops accepting, drains
+//!   in-flight requests, closes the remaining connections, and joins
+//!   every thread. `pangead` and `pangea-mgr` (the `pangea-coord`
+//!   manager daemon) both serve through it.
 //! * [`Pangead`] — the protocol brain of a node daemon: wraps one
 //!   [`StorageNode`] and dispatches decoded requests against it. The
 //!   dispatch is pure request → response and does not know about sockets,
 //!   so it is testable (and reusable) without any networking.
 
 use crate::client::PangeaClient;
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame_corr, write_frame, write_frame_corr};
 use crate::proto::{error_response, Request, Response};
 use crate::wire::{
     ingest_tag, ReduceSpec, RepairFilter, SchemeSpec, TaskReport, TaskSpec, WireMetric, WireSpan,
@@ -26,8 +33,9 @@ use pangea_core::{
     HashConfig, ObjectIter, ReduceBuffer, SetOptions, ShuffleConfig, ShuffleService, SpillLedger,
     StorageNode,
 };
-use pangea_obs::{MetricValue, Obs, SpanRecord, TraceCtx};
+use pangea_obs::{Counter, Gauge, MetricValue, Obs, Registry, SpanRecord, TraceCtx};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -38,9 +46,41 @@ use std::time::{Duration, Instant};
 /// before closing their connections anyway.
 pub const DEFAULT_DRAIN: Duration = Duration::from_secs(5);
 
+/// Worker threads in the io pool when [`ServerConfig`] does not say.
+pub const DEFAULT_IO_THREADS: usize = 4;
+
+/// Live-connection cap when [`ServerConfig`] does not say.
+pub const DEFAULT_MAX_CONNS: usize = 256;
+
+/// Tuning for the [`FramedServer`] io-pool core.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Worker threads executing handlers (`0` = [`DEFAULT_IO_THREADS`]).
+    /// Heavyweight requests that themselves fan out over the wire
+    /// (task runs, repair pushes) are offloaded to dedicated threads so
+    /// they can never occupy the whole pool and deadlock a fleet of
+    /// daemons all waiting on each other.
+    pub io_threads: usize,
+    /// Live-connection cap (`0` = [`DEFAULT_MAX_CONNS`]). Connections
+    /// beyond it are refused with a typed [`Response::Busy`].
+    pub max_conns: usize,
+    /// When set, the server publishes `net.conns_open` (gauge) and
+    /// `net.busy_rejects` (counter) here.
+    pub registry: Option<Arc<Registry>>,
+    /// Outbound push-pipelining window for the daemon's own fan-out
+    /// (task ingest, repair streaming): batches in flight per peer
+    /// before awaiting the oldest ack. `0` keeps
+    /// [`DEFAULT_PIPELINE_WINDOW`]; `1` is strict-serial. Receiver
+    /// credit can shrink the effective window below this, never above
+    /// [`MAX_PIPELINE_WINDOW`]. Ignored by [`FramedServer`] itself
+    /// (which has no outbound pushes); [`PangeadServer`] applies it to
+    /// its [`Pangead`].
+    pub pipeline_window: u32,
+}
+
 /// Anything that can answer one decoded request. Implementations must
-/// not block indefinitely: a handler thread holds its connection for the
-/// duration of a call.
+/// not block indefinitely: a pool worker (or offload thread) holds its
+/// connection's execution slot for the duration of a call.
 pub trait FramedService: std::fmt::Debug + Send + Sync + 'static {
     /// Handles one request, mapping internal errors to error responses.
     fn handle(&self, req: Request) -> Response;
@@ -55,21 +95,95 @@ pub trait FramedService: std::fmt::Debug + Send + Sync + 'static {
     }
 }
 
-/// Shared per-server connection state: the live-connection registry used
-/// to unblock readers at shutdown, the handler-thread handles joined at
-/// shutdown, and the in-flight request count the drain waits on.
-#[derive(Debug, Default)]
-struct ConnShared {
-    streams: Mutex<FxHashMap<u64, TcpStream>>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
-    next_conn: AtomicU64,
-    in_flight: AtomicUsize,
-    secret: Option<String>,
+/// One accepted connection as the io pool sees it: its demuxed request
+/// queue, the write half responses are serialized onto, and the claim
+/// flag that guarantees at most one executor drains the queue at a time
+/// (per-connection FIFO ⇒ per-(connection, session) ordering).
+#[derive(Debug)]
+struct ConnState {
+    id: u64,
+    /// Clone of the socket used only to `shutdown(2)` it — unblocking
+    /// the reader — at server shutdown or on a fatal write error.
+    stream: TcpStream,
+    /// The write half. Responses are one `write_frame_corr` under this
+    /// lock, so frames from pool workers and offload threads never
+    /// interleave.
+    writer: Mutex<TcpStream>,
+    /// Demuxed `(correlation, payload)` requests, submission order.
+    queue: Mutex<VecDeque<(u64, Vec<u8>)>>,
+    /// True while an executor owns the queue (it is either on the run
+    /// queue or being drained). The claim moves with the work: a worker
+    /// that offloads a heavyweight request keeps the connection claimed
+    /// until the offload thread releases it.
+    claimed: AtomicBool,
+    /// Flipped by a successful `Hello`; checked at execution time (the
+    /// per-connection FIFO makes a pipelined Hello-then-requests safe).
+    authenticated: AtomicBool,
+    /// Poisoned: drop queued work and stop executing (auth rejection or
+    /// a failed response write).
+    close: AtomicBool,
 }
 
-/// A running framed server: accept loop plus per-connection handler
-/// threads over one [`FramedService`]. Dropping the server shuts it
-/// down gracefully.
+/// State shared by the accept loop, readers, and the worker pool.
+#[derive(Debug)]
+struct ServerShared {
+    conns: Mutex<FxHashMap<u64, Arc<ConnState>>>,
+    /// Connections with queued work, awaiting a pool worker. A
+    /// connection appears at most once (the `claimed` flag gates entry).
+    /// `std::sync` rather than the parking_lot shim: the condvar must
+    /// pair with its own mutex's guard type.
+    run_queue: std::sync::Mutex<VecDeque<Arc<ConnState>>>,
+    work_ready: std::sync::Condvar,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    offloads: Mutex<Vec<JoinHandle<()>>>,
+    next_conn: AtomicU64,
+    in_flight: AtomicUsize,
+    stop_workers: AtomicBool,
+    secret: Option<String>,
+    max_conns: usize,
+    conns_open: Gauge,
+    busy_rejects: Counter,
+}
+
+impl ServerShared {
+    fn deregister(&self, id: u64) {
+        let mut conns = self.conns.lock();
+        conns.remove(&id);
+        self.conns_open.set(conns.len() as u64);
+    }
+}
+
+/// Puts `conn` on the run queue if no executor owns it yet. Called by
+/// readers after enqueueing work and by executors when they release a
+/// non-empty connection.
+fn schedule_conn(shared: &ServerShared, conn: &Arc<ConnState>) {
+    if conn
+        .claimed
+        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+    {
+        shared
+            .run_queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(Arc::clone(conn));
+        shared.work_ready.notify_one();
+    }
+}
+
+/// Releases an executor's claim, re-scheduling the connection if work
+/// arrived between the last queue pop and the release (the standard
+/// lost-wakeup handoff: release first, then re-check).
+fn release_conn(shared: &ServerShared, conn: &Arc<ConnState>) {
+    conn.claimed.store(false, Ordering::SeqCst);
+    if !conn.queue.lock().is_empty() {
+        schedule_conn(shared, conn);
+    }
+}
+
+/// A running framed server: accept loop, per-connection readers, and a
+/// bounded worker pool over one [`FramedService`]. Dropping the server
+/// shuts it down gracefully.
 #[derive(Debug)]
 pub struct FramedServer {
     local_addr: SocketAddr,
@@ -83,38 +197,83 @@ pub struct FramedServer {
     /// there would block forever awaiting a response no one serves.
     listener: Option<TcpListener>,
     accept: Option<JoinHandle<()>>,
-    shared: Arc<ConnShared>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<ServerShared>,
 }
 
 impl FramedServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and serves
-    /// `service`. When `secret` is set, every connection must open with
-    /// a matching [`Request::Hello`] before any other request.
+    /// `service` with default [`ServerConfig`]. When `secret` is set,
+    /// every connection must open with a matching [`Request::Hello`]
+    /// before any other request.
     pub fn bind(
         service: Arc<dyn FramedService>,
         addr: impl ToSocketAddrs,
         secret: Option<String>,
     ) -> Result<Self> {
+        Self::bind_with_config(service, addr, secret, ServerConfig::default())
+    }
+
+    /// [`FramedServer::bind`] with explicit io-pool tuning.
+    pub fn bind_with_config(
+        service: Arc<dyn FramedService>,
+        addr: impl ToSocketAddrs,
+        secret: Option<String>,
+        config: ServerConfig,
+    ) -> Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let wake_handle = listener.try_clone()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let shared = Arc::new(ConnShared {
+        let io_threads = match config.io_threads {
+            0 => DEFAULT_IO_THREADS,
+            n => n,
+        };
+        let max_conns = match config.max_conns {
+            0 => DEFAULT_MAX_CONNS,
+            n => n,
+        };
+        let (conns_open, busy_rejects) = match &config.registry {
+            Some(reg) => (reg.gauge("net.conns_open"), reg.counter("net.busy_rejects")),
+            None => (Gauge::new(), Counter::new()),
+        };
+        let shared = Arc::new(ServerShared {
+            conns: Mutex::new(FxHashMap::default()),
+            run_queue: std::sync::Mutex::new(VecDeque::new()),
+            work_ready: std::sync::Condvar::new(),
+            readers: Mutex::new(Vec::new()),
+            offloads: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            stop_workers: AtomicBool::new(false),
             secret,
-            ..ConnShared::default()
+            max_conns,
+            conns_open,
+            busy_rejects,
         });
+        let mut workers = Vec::with_capacity(io_threads);
+        for i in 0..io_threads {
+            let service = Arc::clone(&service);
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("framed-io-{i}"))
+                    .spawn(move || worker_loop(service, shared))?,
+            );
+        }
         let accept = {
             let shutdown = Arc::clone(&shutdown);
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("framed-accept-{local_addr}"))
-                .spawn(move || accept_loop(listener, service, shutdown, shared))?
+                .spawn(move || accept_loop(listener, shutdown, shared))?
         };
         Ok(Self {
             local_addr,
             shutdown,
             listener: Some(wake_handle),
             accept: Some(accept),
+            workers,
             shared,
         })
     }
@@ -126,13 +285,14 @@ impl FramedServer {
 
     /// Connections currently registered (diagnostics).
     pub fn open_connections(&self) -> usize {
-        self.shared.streams.lock().len()
+        self.shared.conns.lock().len()
     }
 
     /// Gracefully stops the server: no new connections are accepted,
-    /// in-flight requests get up to `drain` to finish (their responses
-    /// are written), remaining connections are closed, and every handler
-    /// thread is joined. Idempotent.
+    /// in-flight requests (queued or executing) get up to `drain` to
+    /// finish (their responses are written), remaining connections are
+    /// closed, and every reader, pool worker, and offload thread is
+    /// joined. Idempotent.
     pub fn shutdown(&mut self, drain: Duration) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
@@ -153,17 +313,30 @@ impl FramedServer {
         // must be refused (a typed, prompt failure at the client), not
         // parked in the backlog of a server that will never answer.
         drop(self.listener.take());
-        // Drain: wait for requests already being handled. Connections
-        // idle between requests are not in flight and close immediately.
+        // Drain: wait for requests already demuxed (queued or being
+        // handled). Connections idle between requests are not in flight
+        // and close immediately.
         let deadline = Instant::now() + drain;
         while self.shared.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(1));
         }
-        // Unblock readers waiting for their peer's next request.
-        for (_, stream) in self.shared.streams.lock().drain() {
-            let _ = stream.shutdown(Shutdown::Both);
+        // Unblock readers waiting for their peer's next request, then
+        // join them.
+        for (_, conn) in self.shared.conns.lock().drain() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
         }
-        for handle in self.shared.handles.lock().drain(..) {
+        self.shared.conns_open.set(0);
+        for handle in self.shared.readers.lock().drain(..) {
+            let _ = handle.join();
+        }
+        // Stop the pool (workers re-check the flag on a short wait
+        // timeout, so a missed notify cannot hang the join).
+        self.shared.stop_workers.store(true, Ordering::SeqCst);
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        for handle in self.shared.offloads.lock().drain(..) {
             let _ = handle.join();
         }
     }
@@ -175,12 +348,7 @@ impl Drop for FramedServer {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    service: Arc<dyn FramedService>,
-    shutdown: Arc<AtomicBool>,
-    shared: Arc<ConnShared>,
-) {
+fn accept_loop(listener: TcpListener, shutdown: Arc<AtomicBool>, shared: Arc<ServerShared>) {
     for conn in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -201,81 +369,230 @@ fn accept_loop(
             }
         };
         stream.set_nodelay(true).ok();
-        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-        let registered = match stream.try_clone() {
-            Ok(clone) => {
-                shared.streams.lock().insert(conn_id, clone);
-                true
-            }
-            Err(_) => false,
+        // The connection cap replaces the old unbounded handler spawn:
+        // beyond it, refuse with a typed Busy the client can dispatch on
+        // (back off, redial) instead of parking in a thread pile-up.
+        if shared.conns.lock().len() >= shared.max_conns {
+            shared.busy_rejects.inc();
+            let mut stream = stream;
+            let busy = error_response(&PangeaError::Busy(format!(
+                "at the {}-connection cap",
+                shared.max_conns
+            )));
+            let _ = write_frame(&mut stream, &busy.encode());
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        let (writer, shutdown_handle) = match (stream.try_clone(), stream.try_clone()) {
+            (Ok(w), Ok(s)) => (w, s),
+            _ => continue,
         };
-        let service = Arc::clone(&service);
-        let conn_shared = Arc::clone(&shared);
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        let conn = Arc::new(ConnState {
+            id: conn_id,
+            stream: shutdown_handle,
+            writer: Mutex::new(writer),
+            queue: Mutex::new(VecDeque::new()),
+            claimed: AtomicBool::new(false),
+            authenticated: AtomicBool::new(shared.secret.is_none()),
+            close: AtomicBool::new(false),
+        });
+        {
+            let mut conns = shared.conns.lock();
+            conns.insert(conn_id, Arc::clone(&conn));
+            shared.conns_open.set(conns.len() as u64);
+        }
+        let reader_shared = Arc::clone(&shared);
         let spawned = std::thread::Builder::new()
-            .name("framed-conn".into())
-            .spawn(move || {
-                serve_connection(stream, service.as_ref(), &conn_shared);
-                conn_shared.streams.lock().remove(&conn_id);
-            });
+            .name("framed-read".into())
+            .spawn(move || reader_loop(stream, conn, reader_shared));
         match spawned {
             Ok(handle) => {
-                let mut handles = shared.handles.lock();
-                handles.retain(|h| !h.is_finished());
-                handles.push(handle);
+                let mut readers = shared.readers.lock();
+                readers.retain(|h| !h.is_finished());
+                readers.push(handle);
             }
-            Err(_) => {
-                if registered {
-                    shared.streams.lock().remove(&conn_id);
-                }
-            }
+            Err(_) => shared.deregister(conn_id),
         }
     }
 }
 
-/// Serves one connection until EOF or a fatal stream error, enforcing
-/// the handshake when the server carries a secret.
-fn serve_connection(mut stream: TcpStream, service: &dyn FramedService, shared: &ConnShared) {
-    let mut authenticated = shared.secret.is_none();
+/// Reads frames off one connection until EOF or a fatal stream error,
+/// demuxing each into the connection's work queue.
+fn reader_loop(mut stream: TcpStream, conn: Arc<ConnState>, shared: Arc<ServerShared>) {
     loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(Some(p)) => p,
-            Ok(None) => return, // peer hung up cleanly
+        match read_frame_corr(&mut stream) {
+            Ok(Some((corr, payload))) => {
+                shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                conn.queue.lock().push_back((corr, payload));
+                schedule_conn(&shared, &conn);
+            }
+            Ok(None) => break, // peer hung up cleanly
             Err(e) => {
-                // Desynchronized stream: report once, then give up.
-                let _ = write_frame(&mut stream, &error_response(&e).encode());
-                return;
+                // Desynchronized stream: report once (uncorrelated — the
+                // reader no longer knows which request is which), then
+                // give up.
+                let mut w = conn.writer.lock();
+                let _ = write_frame(&mut *w, &error_response(&e).encode());
+                break;
+            }
+        }
+    }
+    // Queued requests keep executing; their responses land in the OS
+    // buffer of a half-closed socket (or fail, poisoning the conn).
+    shared.deregister(conn.id);
+}
+
+/// One io-pool worker: pop a runnable connection, drain its queue.
+fn worker_loop(service: Arc<dyn FramedService>, shared: Arc<ServerShared>) {
+    loop {
+        let conn = {
+            let mut rq = shared.run_queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if shared.stop_workers.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(c) = rq.pop_front() {
+                    break c;
+                }
+                // The timeout re-checks `stop_workers`, so a notify lost
+                // to a race can never hang the shutdown join.
+                rq = shared
+                    .work_ready
+                    .wait_timeout(rq, Duration::from_millis(100))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
             }
         };
-        shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        let (response, close) = match Request::decode_traced(&payload) {
-            Ok((Request::Hello { secret }, _)) => match &shared.secret {
-                Some(expected) if *expected == secret => {
-                    authenticated = true;
-                    (Response::Ok, false)
-                }
-                Some(_) => (
-                    error_response(&PangeaError::Unauthenticated(
-                        "handshake secret does not match".into(),
-                    )),
-                    true,
-                ),
-                // No secret configured: a Hello is a harmless no-op.
-                None => (Response::Ok, false),
-            },
-            Ok((req, _)) if !authenticated => (
-                error_response(&PangeaError::Unauthenticated(format!(
-                    "this daemon requires a Hello handshake before {req:?}"
-                ))),
-                true,
-            ),
-            Ok((req, ctx)) => (service.handle_traced(req, ctx, payload.len()), false),
-            Err(e) => (error_response(&e), false),
-        };
-        let write_ok = write_frame(&mut stream, &response.encode()).is_ok();
-        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-        if !write_ok || close {
+        drain_conn(&service, &shared, conn);
+    }
+}
+
+/// True for requests that themselves issue nested outbound RPCs (mapper
+/// fan-out, repair pushes, peer ledger seeding). These run on dedicated
+/// offload threads: if they could occupy every pool worker, a ring of
+/// daemons pushing to each other would deadlock — every pool full of
+/// senders, no worker left to serve the matching appends.
+fn is_heavyweight(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::TaskRun { .. } | Request::RecoverPush { .. } | Request::RecoverBegin { .. }
+    )
+}
+
+/// Executes one connection's queued requests in FIFO order until the
+/// queue is empty (release), a heavyweight request is offloaded (the
+/// claim moves with it), or the connection is poisoned.
+fn drain_conn(service: &Arc<dyn FramedService>, shared: &Arc<ServerShared>, conn: Arc<ConnState>) {
+    loop {
+        if conn.close.load(Ordering::SeqCst) {
+            let dropped = {
+                let mut q = conn.queue.lock();
+                let n = q.len();
+                q.clear();
+                n
+            };
+            if dropped > 0 {
+                shared.in_flight.fetch_sub(dropped, Ordering::SeqCst);
+            }
+            release_conn(shared, &conn);
             return;
         }
+        let Some((corr, payload)) = conn.queue.lock().pop_front() else {
+            release_conn(shared, &conn);
+            return;
+        };
+        match Request::decode_traced(&payload) {
+            Ok((Request::Hello { secret }, _)) => {
+                let response = match &shared.secret {
+                    Some(expected) if *expected == secret => {
+                        conn.authenticated.store(true, Ordering::SeqCst);
+                        Response::Ok
+                    }
+                    Some(_) => {
+                        conn.close.store(true, Ordering::SeqCst);
+                        error_response(&PangeaError::Unauthenticated(
+                            "handshake secret does not match".into(),
+                        ))
+                    }
+                    // No secret configured: a Hello is a harmless no-op.
+                    None => Response::Ok,
+                };
+                let rejected = conn.close.load(Ordering::SeqCst);
+                finish_request(shared, &conn, corr, response);
+                if rejected {
+                    let _ = conn.stream.shutdown(Shutdown::Both);
+                }
+            }
+            Ok((req, _)) if !conn.authenticated.load(Ordering::SeqCst) => {
+                conn.close.store(true, Ordering::SeqCst);
+                finish_request(
+                    shared,
+                    &conn,
+                    corr,
+                    error_response(&PangeaError::Unauthenticated(format!(
+                        "this daemon requires a Hello handshake before {req:?}"
+                    ))),
+                );
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+            Ok((req, ctx)) if is_heavyweight(&req) => {
+                let service2 = Arc::clone(service);
+                let shared2 = Arc::clone(shared);
+                let conn2 = Arc::clone(&conn);
+                let bytes = payload.len();
+                let spawned = std::thread::Builder::new()
+                    .name("framed-offload".into())
+                    .spawn(move || {
+                        let response = service2.handle_traced(req, ctx, bytes);
+                        finish_request(&shared2, &conn2, corr, response);
+                        // Hand the still-claimed connection back to the
+                        // pool (later queued requests stayed parked, so
+                        // FIFO order held across the offload).
+                        release_conn(&shared2, &conn2);
+                    });
+                match spawned {
+                    Ok(handle) => {
+                        let mut offloads = shared.offloads.lock();
+                        offloads.retain(|h| !h.is_finished());
+                        offloads.push(handle);
+                        return;
+                    }
+                    Err(_) => {
+                        // Could not spawn (the request moved into the
+                        // failed closure): answer typed-Busy so the
+                        // caller retries instead of hanging.
+                        finish_request(
+                            shared,
+                            &conn,
+                            corr,
+                            error_response(&PangeaError::Busy(
+                                "no thread available for a task/push request".into(),
+                            )),
+                        );
+                    }
+                }
+            }
+            Ok((req, ctx)) => {
+                let response = service.handle_traced(req, ctx, payload.len());
+                finish_request(shared, &conn, corr, response);
+            }
+            Err(e) => finish_request(shared, &conn, corr, error_response(&e)),
+        }
+    }
+}
+
+/// Writes one response frame (mirroring the request's correlation) and
+/// retires its in-flight slot. A failed write poisons the connection.
+fn finish_request(shared: &ServerShared, conn: &ConnState, corr: u64, response: Response) {
+    let write_ok = {
+        let mut w = conn.writer.lock();
+        write_frame_corr(&mut *w, corr, &response.encode()).is_ok()
+    };
+    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    if !write_ok {
+        conn.close.store(true, Ordering::SeqCst);
+        let _ = conn.stream.shutdown(Shutdown::Both);
     }
 }
 
@@ -423,6 +740,17 @@ const PUSH_BATCH_BYTES: usize = 128 * 1024;
 /// connections for (see [`Pangead::checkin_peer`]).
 const PEER_POOL_CAP: usize = 64;
 
+/// Default pipeline window for this daemon's *outbound* pushes (mapper
+/// ingest fan-out, repair streaming): how many batches may be in flight
+/// on one peer connection before the sender awaits the oldest ack.
+/// Tasks can override it per-run via `TaskSpec::window`.
+pub const DEFAULT_PIPELINE_WINDOW: u32 = 8;
+
+/// Ceiling on any pipeline window — configured or credit-granted. Caps
+/// the unacked bytes one sender can park in a receiver's socket and
+/// session state (`MAX_PIPELINE_WINDOW * PUSH_BATCH_BYTES` ≈ 8 MB).
+pub const MAX_PIPELINE_WINDOW: u32 = 64;
+
 /// In-memory entries a session dedup ledger holds before spilling
 /// sorted runs through the pool (≈512 KB of heap per session).
 const LEDGER_SPILL_ENTRIES: usize = 64 * 1024;
@@ -431,6 +759,44 @@ const LEDGER_SPILL_ENTRIES: usize = 64 * 1024;
 /// session accumulator grows by page splits under memory headroom, so
 /// roots only set the floor of pinned pages per open session.
 const ACC_ROOT_PARTITIONS: u32 = 2;
+
+/// A checked-out peer connection plus its pipelined-push state: the
+/// correlation ids of unacked submits (oldest first, each with the
+/// payload bytes it carried, for ack-time net accounting) and the
+/// receiver's latest credit grant.
+#[derive(Debug)]
+struct PipelinedPeer {
+    client: PangeaClient,
+    /// `(correlation, payload_bytes)` of unacked submits, oldest first.
+    inflight: VecDeque<(u64, usize)>,
+    /// Latest credit grant from the receiver; `0` = no information yet
+    /// (nothing acked, or a legacy peer), treated as unconstrained.
+    credit: u64,
+}
+
+impl PipelinedPeer {
+    fn new(client: PangeaClient) -> Self {
+        Self {
+            client,
+            inflight: VecDeque::new(),
+            credit: 0,
+        }
+    }
+
+    /// The window that gates the next submit: the configured window,
+    /// shrunk by the receiver's latest credit grant. Never below 1 — a
+    /// memory-pressured receiver throttles senders to strict-serial,
+    /// it does not starve them (its spill machinery needs batches to
+    /// keep arriving one at a time to make progress against).
+    fn effective_window(&self, configured: u32) -> usize {
+        let configured = configured.max(1) as usize;
+        if self.credit == 0 {
+            configured
+        } else {
+            configured.min(self.credit as usize).max(1)
+        }
+    }
+}
 
 /// The protocol brain of a Pangea node daemon: dispatches decoded
 /// requests against the wrapped [`StorageNode`].
@@ -468,6 +834,10 @@ pub struct Pangead {
     /// surrounding [`FramedServer`] enforces, though deployments
     /// conventionally share one.
     peer_secret: Option<String>,
+    /// Default outbound pipeline window (batches in flight per peer
+    /// connection) for tasks that don't specify one; see
+    /// [`DEFAULT_PIPELINE_WINDOW`].
+    pipeline_window: u32,
     /// Payload bytes and messages received by this daemon.
     stats: Arc<IoStats>,
     /// This daemon's observability bundle: the metrics registry (shared
@@ -495,6 +865,7 @@ impl Pangead {
             ingests_ended: Mutex::new(FxHashMap::default()),
             peers: Mutex::new(FxHashMap::default()),
             peer_secret: None,
+            pipeline_window: DEFAULT_PIPELINE_WINDOW,
             stats,
             obs,
             session_seq: AtomicU64::new(0),
@@ -511,6 +882,30 @@ impl Pangead {
     pub fn with_peer_secret(mut self, secret: Option<String>) -> Self {
         self.peer_secret = secret;
         self
+    }
+
+    /// Sets the default outbound pipeline window (`0` keeps the
+    /// built-in [`DEFAULT_PIPELINE_WINDOW`]; values are clamped to
+    /// [`MAX_PIPELINE_WINDOW`]). `1` makes every push strict-serial —
+    /// the pre-pipelining behavior.
+    pub fn with_pipeline_window(mut self, window: u32) -> Self {
+        if window != 0 {
+            self.pipeline_window = window.min(MAX_PIPELINE_WINDOW);
+        }
+        self
+    }
+
+    /// The credit grant stamped on every `IngestAck`/`RepairAck`: how
+    /// many more in-flight push batches this daemon's pool residency
+    /// can absorb. Free pool bytes divided by the batch ceiling,
+    /// clamped to `[1, MAX_PIPELINE_WINDOW]` — never 0, because 0 is
+    /// the wire's "no information" value (legacy peers) and because a
+    /// full pool must still admit one batch at a time for the spill
+    /// machinery to make progress against.
+    fn flow_credit(&self) -> u64 {
+        let p = self.node.paging_stats();
+        let free = p.pool_capacity.saturating_sub(p.pool_used);
+        (free / PUSH_BATCH_BYTES as u64).clamp(1, MAX_PIPELINE_WINDOW as u64)
     }
 
     /// The wrapped storage node.
@@ -945,7 +1340,11 @@ impl Pangead {
                 session.appended += appended;
                 session.bytes += bytes;
                 self.stats.record_repair(bytes as usize);
-                Ok(Response::RepairAck { appended, bytes })
+                Ok(Response::RepairAck {
+                    appended,
+                    bytes,
+                    credit: self.flow_credit(),
+                })
             }
             Request::RecoverEnd { set } => {
                 // The orchestrator only ends a session after its pushes
@@ -954,7 +1353,11 @@ impl Pangead {
                     // Retried seal (the first ack was lost): answer the
                     // recorded totals again.
                     if let Some(&(appended, bytes)) = self.ended.lock().get(&set) {
-                        return Ok(Response::RepairAck { appended, bytes });
+                        return Ok(Response::RepairAck {
+                            appended,
+                            bytes,
+                            credit: self.flow_credit(),
+                        });
                     }
                     return Err(PangeaError::usage(format!(
                         "no repair session for '{set}' to end"
@@ -971,6 +1374,7 @@ impl Pangead {
                 Ok(Response::RepairAck {
                     appended: session.appended,
                     bytes: session.bytes,
+                    credit: self.flow_credit(),
                 })
             }
             Request::RepairLedger { set, start } => {
@@ -1052,14 +1456,22 @@ impl Pangead {
             }
             Request::IngestAppend { set, entries } => {
                 let (appended, bytes) = self.ingest_append_session(&set, &entries, true)?;
-                Ok(Response::IngestAck { appended, bytes })
+                Ok(Response::IngestAck {
+                    appended,
+                    bytes,
+                    credit: self.flow_credit(),
+                })
             }
             Request::IngestEnd { set } => {
                 let Some(session) = self.ingests.lock().remove(&set) else {
                     // Retried seal (the first ack was lost): answer the
                     // recorded totals again.
                     if let Some(&(appended, bytes)) = self.ingests_ended.lock().get(&set) {
-                        return Ok(Response::IngestAck { appended, bytes });
+                        return Ok(Response::IngestAck {
+                            appended,
+                            bytes,
+                            credit: self.flow_credit(),
+                        });
                     }
                     return Err(PangeaError::usage(format!(
                         "no ingest session for '{set}' to end"
@@ -1098,7 +1510,11 @@ impl Pangead {
                 reg.counter("sessions.ingest.ended").inc();
                 reg.gauge("sessions.ingest.live")
                     .set(self.ingests.lock().len() as u64);
-                Ok(Response::IngestAck { appended, bytes })
+                Ok(Response::IngestAck {
+                    appended,
+                    bytes,
+                    credit: self.flow_credit(),
+                })
             }
             Request::MgrRegisterWorker { .. }
             | Request::MgrHeartbeat { .. }
@@ -1128,9 +1544,12 @@ impl Pangead {
 
     /// Checks the pooled idle connection to `addr` out of the peer pool,
     /// or dials afresh. A pooled connection may have gone stale while
-    /// idle (peer restarted at the same address), so it is validated
-    /// with a ping — one round trip, still far cheaper than the full
-    /// connect + handshake a fresh dial pays — and redialed on failure.
+    /// idle (peer restarted at the same address) — that is detected on
+    /// the first submit over it, not probed for here: a validation ping
+    /// would cost a full round trip per checkout *and* serialize the
+    /// connection right before the pipelined pushers try to fill a
+    /// window, and every push path already retries through
+    /// [`Pangead::discard_peer`] + redial on RPC failure anyway.
     /// Callers return the connection with [`Pangead::checkin_peer`] on
     /// success and hand it to [`Pangead::discard_peer`] when an RPC on
     /// it failed (its stream state is unknown). Every successful
@@ -1138,18 +1557,11 @@ impl Pangead {
     /// `pool.checkouts == pool.checkins + pool.drops` holds at every
     /// idle instant — the invariant the accounting unit test pins.
     fn checkout_peer(&self, addr: &str) -> Result<PangeaClient> {
-        // Take the client in its own scope: an `if let` over the guard
-        // would hold the pool lock across the validation ping's socket
-        // round trip, stalling every other pusher on this daemon behind
-        // one slow peer.
-        let pooled = self.peers.lock().remove(addr);
-        if let Some(mut client) = pooled {
-            if client.ping().is_ok() {
-                let reg = self.obs.registry();
-                reg.counter("pool.checkouts").inc();
-                reg.counter("pool.hits").inc();
-                return Ok(client);
-            }
+        if let Some(client) = self.peers.lock().remove(addr) {
+            let reg = self.obs.registry();
+            reg.counter("pool.checkouts").inc();
+            reg.counter("pool.hits").inc();
+            return Ok(client);
         }
         self.obs.registry().counter("pool.dials").inc();
         let client = self.dial_peer(addr)?;
@@ -1169,6 +1581,14 @@ impl Pangead {
     /// address forever — and refusing inserts instead would stop
     /// pooling new peers for the daemon's lifetime.
     fn checkin_peer(&self, addr: &str, mut client: PangeaClient) {
+        // A connection with pipelined requests still outstanding is not
+        // idle — its stream carries unread responses that would poison
+        // whatever checks it out next. Callers are supposed to drain
+        // before checkin; treat a violation as a drop, not a landmine.
+        if client.pipelined() != 0 {
+            self.discard_peer(client);
+            return;
+        }
         self.obs.registry().counter("pool.checkins").inc();
         // An idle pooled connection must never carry a stale job's
         // trace context into whatever checks it out next.
@@ -1220,7 +1640,16 @@ impl Pangead {
         for (node, addr) in &spec.dests {
             addr_of.insert(*node, addr.as_str());
         }
-        let mut conns: FxHashMap<String, PangeaClient> = FxHashMap::default();
+        // Per-destination pipeline window: the task's override, else
+        // this daemon's default. Either way capped so one mapper can
+        // never park more than `MAX_PIPELINE_WINDOW` unacked batches in
+        // a receiver.
+        let window = if spec.window == 0 {
+            self.pipeline_window
+        } else {
+            spec.window.min(MAX_PIPELINE_WINDOW)
+        };
+        let mut conns: FxHashMap<String, PipelinedPeer> = FxHashMap::default();
         let mut batches: FxHashMap<u32, (Vec<(u64, Vec<u8>)>, usize)> = FxHashMap::default();
         let mut report = TaskReport::default();
         let outcome = (|| -> Result<()> {
@@ -1269,6 +1698,7 @@ impl Pangead {
                             dest,
                             tag,
                             out,
+                            window,
                             ctx,
                         )?;
                     }
@@ -1299,6 +1729,7 @@ impl Pangead {
                                     dest,
                                     tag,
                                     out.to_vec(),
+                                    window,
                                     ctx,
                                 )
                             })?;
@@ -1313,17 +1744,44 @@ impl Pangead {
                     continue;
                 }
                 let (a, b) =
-                    self.deliver_entries(spec, &addr_of, &mut conns, dest, entries, ctx)?;
+                    self.deliver_entries(spec, &addr_of, &mut conns, dest, entries, window, ctx)?;
                 report.appended += a;
                 report.appended_bytes += b;
             }
+            // Drain every destination's outstanding acks: the task's
+            // totals only count what the receivers acknowledged, and a
+            // connection may only go back to the pool once nothing is
+            // in flight on it.
+            let addrs: Vec<String> = conns.keys().cloned().collect();
+            for addr in addrs {
+                loop {
+                    let peer = conns.get_mut(&addr).expect("key just listed");
+                    if peer.inflight.is_empty() {
+                        break;
+                    }
+                    match self.await_ingest_ack(peer) {
+                        Ok((a, b)) => {
+                            report.appended += a;
+                            report.appended_bytes += b;
+                        }
+                        Err(e) => {
+                            if let Some(peer) = conns.remove(&addr) {
+                                self.discard_peer(peer.client);
+                            }
+                            return Err(e);
+                        }
+                    }
+                }
+            }
             Ok(())
         })();
-        // Healthy connections go back to the pool even when the task
-        // failed on another destination; the failed connection was
-        // already dropped by `ingest_into`.
-        for (addr, client) in conns.drain() {
-            self.checkin_peer(&addr, client);
+        // Healthy (drained) connections go back to the pool even when
+        // the task failed on another destination; the failed connection
+        // was already dropped by `ingest_into`, and any connection the
+        // failure left with acks still in flight is discarded by
+        // `checkin_peer`'s pipelined guard.
+        for (addr, peer) in conns.drain() {
+            self.checkin_peer(&addr, peer.client);
         }
         outcome?;
         // Mapper-side attribution: this node shipped `emitted_bytes` of
@@ -1352,12 +1810,13 @@ impl Pangead {
         &self,
         spec: &TaskSpec,
         addr_of: &FxHashMap<u32, &str>,
-        conns: &mut FxHashMap<String, PangeaClient>,
+        conns: &mut FxHashMap<String, PipelinedPeer>,
         batches: &mut FxHashMap<u32, (Vec<(u64, Vec<u8>)>, usize)>,
         report: &mut TaskReport,
         dest: u32,
         tag: u64,
         out: Vec<u8>,
+        window: u32,
         ctx: Option<TraceCtx>,
     ) -> Result<()> {
         report.emitted += 1;
@@ -1368,7 +1827,7 @@ impl Pangead {
         if batch.len() >= PUSH_BATCH_RECORDS || *batch_bytes >= PUSH_BATCH_BYTES {
             let entries = std::mem::take(batch);
             *batch_bytes = 0;
-            let (a, b) = self.deliver_entries(spec, addr_of, conns, dest, entries, ctx)?;
+            let (a, b) = self.deliver_entries(spec, addr_of, conns, dest, entries, window, ctx)?;
             report.appended += a;
             report.appended_bytes += b;
         }
@@ -1379,13 +1838,21 @@ impl Pangead {
     /// share never touches a socket (appended straight into this
     /// daemon's own ingest session — the sim's free local delivery,
     /// remotely); every other slot goes through its pooled connection.
+    ///
+    /// For a remote destination the returned totals are *not* this
+    /// batch's: they are whatever older in-flight batches got acked
+    /// while making window room (possibly nothing). This batch's own
+    /// totals surface from some later call or the task's final drain —
+    /// the task-level sums come out identical to the serial protocol.
+    #[allow(clippy::too_many_arguments)]
     fn deliver_entries(
         &self,
         spec: &TaskSpec,
         addr_of: &FxHashMap<u32, &str>,
-        conns: &mut FxHashMap<String, PangeaClient>,
+        conns: &mut FxHashMap<String, PipelinedPeer>,
         dest: u32,
         entries: Vec<(u64, Vec<u8>)>,
+        window: u32,
         ctx: Option<TraceCtx>,
     ) -> Result<(u64, u64)> {
         if dest == spec.source {
@@ -1394,7 +1861,7 @@ impl Pangead {
             let addr = *addr_of.get(&dest).ok_or_else(|| {
                 PangeaError::usage(format!("task has no destination address for slot {dest}"))
             })?;
-            self.ingest_into(conns, addr, &spec.output, entries, ctx)
+            self.ingest_into(conns, addr, &spec.output, entries, window, ctx)
         }
     }
 
@@ -1493,16 +1960,26 @@ impl Pangead {
         }
     }
 
-    /// Delivers one tagged batch into the ingest session for `output` on
-    /// the daemon at `addr`, opening (and caching in `conns`) the
+    /// Pipelines one tagged batch into the ingest session for `output`
+    /// on the daemon at `addr`, opening (and caching in `conns`) the
     /// destination connection on first use. A connection whose RPC
     /// failed is dropped, never cached.
+    ///
+    /// The batch is *submitted*, not round-tripped: up to the effective
+    /// window (the configured `window`, shrunk by the receiver's latest
+    /// credit grant) of batches ride the wire unacked, so the mapper
+    /// keeps scanning while the receiver appends. When the window is
+    /// full the oldest ack is awaited first — and when it is the
+    /// *credit* that made the window small, the wait is counted as a
+    /// credit stall: the receiver's pool residency is throttling this
+    /// sender, which is backpressure working as designed.
     fn ingest_into(
         &self,
-        conns: &mut FxHashMap<String, PangeaClient>,
+        conns: &mut FxHashMap<String, PipelinedPeer>,
         addr: &str,
         output: &str,
         entries: Vec<(u64, Vec<u8>)>,
+        window: u32,
         ctx: Option<TraceCtx>,
     ) -> Result<(u64, u64)> {
         if !conns.contains_key(addr) {
@@ -1511,20 +1988,64 @@ impl Pangead {
             // span records stitch under the task that produced them.
             let mut conn = self.checkout_peer(addr)?;
             conn.set_trace(ctx);
-            conns.insert(addr.to_string(), conn);
+            conns.insert(addr.to_string(), PipelinedPeer::new(conn));
         }
-        let conn = conns.get_mut(addr).expect("just ensured");
-        match conn.ingest_append(output, entries) {
-            Ok(out) => Ok(out),
+        let peer = conns.get_mut(addr).expect("just ensured");
+        match self.pipelined_ingest_step(peer, output, entries, window) {
+            Ok(acked) => Ok(acked),
             Err(e) => {
                 // Dropped, not returned — and counted, so a failed push
                 // doesn't strand the checkout accounting.
-                if let Some(conn) = conns.remove(addr) {
-                    self.discard_peer(conn);
+                if let Some(peer) = conns.remove(addr) {
+                    self.discard_peer(peer.client);
                 }
                 Err(e)
             }
         }
+    }
+
+    /// One pipelined submit against a destination: make window room
+    /// (awaiting oldest acks, with credit-stall accounting), then send.
+    /// Returns the totals of whatever acks were drained for room.
+    fn pipelined_ingest_step(
+        &self,
+        peer: &mut PipelinedPeer,
+        output: &str,
+        entries: Vec<(u64, Vec<u8>)>,
+        window: u32,
+    ) -> Result<(u64, u64)> {
+        let reg = self.obs.registry();
+        let (mut appended, mut bytes) = (0u64, 0u64);
+        while peer.inflight.len() >= peer.effective_window(window) {
+            let credit_limited = peer.effective_window(window) < window.max(1) as usize;
+            let start = Instant::now();
+            let (a, b) = self.await_ingest_ack(peer)?;
+            appended += a;
+            bytes += b;
+            if credit_limited {
+                reg.counter("net.credit_stalls").inc();
+                reg.counter("net.credit_stalls_ms")
+                    .add(start.elapsed().as_millis() as u64);
+            }
+        }
+        let (corr, payload_bytes) = peer.client.ingest_append_submit(output, entries)?;
+        peer.inflight.push_back((corr, payload_bytes));
+        reg.histogram("net.inflight")
+            .observe(peer.inflight.len() as u64);
+        Ok((appended, bytes))
+    }
+
+    /// Awaits the oldest outstanding ingest ack on `peer`, adopting the
+    /// receiver's fresh credit grant. Returns the acked `(appended,
+    /// appended_bytes)`.
+    fn await_ingest_ack(&self, peer: &mut PipelinedPeer) -> Result<(u64, u64)> {
+        let (corr, payload_bytes) = peer
+            .inflight
+            .pop_front()
+            .expect("caller checked inflight is non-empty");
+        let (appended, bytes, credit) = peer.client.ingest_append_await(corr, payload_bytes)?;
+        peer.credit = credit;
+        Ok((appended, bytes))
     }
 
     /// The survivor half of peer repair: scan the local `source_set`,
@@ -1607,41 +2128,86 @@ impl Pangead {
         let (mut appended, mut appended_bytes) = (0u64, 0u64);
         let mut batch: Vec<Vec<u8>> = Vec::new();
         let mut batch_bytes = 0usize;
-        let mut flush = |peer: &mut PangeaClient,
-                         batch: &mut Vec<Vec<u8>>,
-                         batch_bytes: &mut usize|
-         -> Result<()> {
-            if batch.is_empty() {
-                return Ok(());
+        // The windowed pipeline: batches are *submitted* and their acks
+        // collected later, so the scan keeps producing while the
+        // replacement appends. The replacement's credit grants shrink
+        // the window when its pool runs hot — repair streaming is the
+        // heaviest sustained push in the system, exactly the traffic a
+        // memory-pressured receiver must be able to slow down.
+        let configured = self.pipeline_window;
+        let reg = self.obs.registry();
+        let mut inflight: VecDeque<(u64, usize)> = VecDeque::new();
+        let mut credit = 0u64;
+        // Scoped so the closure's borrows of the pipeline state end
+        // before the tail drain below walks `inflight` directly.
+        {
+            let mut flush = |peer: &mut PangeaClient,
+                             batch: &mut Vec<Vec<u8>>,
+                             batch_bytes: &mut usize|
+             -> Result<()> {
+                if batch.is_empty() {
+                    return Ok(());
+                }
+                loop {
+                    let effective = if credit == 0 {
+                        configured as usize
+                    } else {
+                        (configured as usize).min(credit as usize).max(1)
+                    };
+                    if inflight.len() < effective {
+                        break;
+                    }
+                    let credit_limited = effective < configured as usize;
+                    let start = Instant::now();
+                    let (corr, payload_bytes) =
+                        inflight.pop_front().expect("non-empty: len >= effective");
+                    let (a, b, c) = peer.recover_append_await(corr, payload_bytes)?;
+                    appended += a;
+                    appended_bytes += b;
+                    credit = c;
+                    if credit_limited {
+                        reg.counter("net.credit_stalls").inc();
+                        reg.counter("net.credit_stalls_ms")
+                            .add(start.elapsed().as_millis() as u64);
+                    }
+                }
+                let (corr, payload_bytes) =
+                    peer.recover_append_submit(target_set, std::mem::take(batch))?;
+                inflight.push_back((corr, payload_bytes));
+                reg.histogram("net.inflight").observe(inflight.len() as u64);
+                *batch_bytes = 0;
+                Ok(())
+            };
+            for num in source.page_numbers() {
+                let pin = source.pin_page(num)?;
+                let mut it = ObjectIter::new(&pin);
+                while let Some(rec) = it.next() {
+                    scanned += 1;
+                    let wanted = match &keep {
+                        Keep::Compiled(f) => f(rec),
+                        Keep::Absent(present) => !present.contains(fx_hash64(rec))?,
+                    };
+                    if !wanted {
+                        continue;
+                    }
+                    pushed += 1;
+                    pushed_bytes += rec.len() as u64;
+                    batch_bytes += rec.len();
+                    batch.push(rec.to_vec());
+                    if batch.len() >= PUSH_BATCH_RECORDS || batch_bytes >= PUSH_BATCH_BYTES {
+                        flush(peer, &mut batch, &mut batch_bytes)?;
+                    }
+                }
             }
-            let (a, b) = peer.recover_append(target_set, std::mem::take(batch))?;
+            flush(peer, &mut batch, &mut batch_bytes)?;
+        }
+        // Drain the tail of the pipeline: the push's totals are the sum
+        // of every ack, same as the serial protocol's.
+        while let Some((corr, payload_bytes)) = inflight.pop_front() {
+            let (a, b, _) = peer.recover_append_await(corr, payload_bytes)?;
             appended += a;
             appended_bytes += b;
-            *batch_bytes = 0;
-            Ok(())
-        };
-        for num in source.page_numbers() {
-            let pin = source.pin_page(num)?;
-            let mut it = ObjectIter::new(&pin);
-            while let Some(rec) = it.next() {
-                scanned += 1;
-                let wanted = match &keep {
-                    Keep::Compiled(f) => f(rec),
-                    Keep::Absent(present) => !present.contains(fx_hash64(rec))?,
-                };
-                if !wanted {
-                    continue;
-                }
-                pushed += 1;
-                pushed_bytes += rec.len() as u64;
-                batch_bytes += rec.len();
-                batch.push(rec.to_vec());
-                if batch.len() >= PUSH_BATCH_RECORDS || batch_bytes >= PUSH_BATCH_BYTES {
-                    flush(peer, &mut batch, &mut batch_bytes)?;
-                }
-            }
         }
-        flush(peer, &mut batch, &mut batch_bytes)?;
         // Survivor-side attribution: this node moved `pushed_bytes` of
         // repair payload to a peer without touching the driver.
         self.stats.record_repair(pushed_bytes as usize);
@@ -1700,12 +2266,36 @@ impl PangeadServer {
         addr: impl ToSocketAddrs,
         secret: Option<String>,
     ) -> Result<Self> {
+        Self::bind_with_config(node, addr, secret, ServerConfig::default())
+    }
+
+    /// [`PangeadServer::bind_with_secret`] with explicit io-pool tuning
+    /// (`--io-threads` / connection cap). The server's `net.conns_open`
+    /// and `net.busy_rejects` land in the daemon's own registry, so one
+    /// `MetricsDump` serves storage, session, and wire-core health.
+    pub fn bind_with_config(
+        node: StorageNode,
+        addr: impl ToSocketAddrs,
+        secret: Option<String>,
+        mut config: ServerConfig,
+    ) -> Result<Self> {
         // The deployment shares one secret: what peers must present to
         // this daemon is also what this daemon presents when it dials
         // repair peers.
-        let daemon = Arc::new(Pangead::new(node).with_peer_secret(secret.clone()));
-        let server =
-            FramedServer::bind(Arc::clone(&daemon) as Arc<dyn FramedService>, addr, secret)?;
+        let daemon = Arc::new(
+            Pangead::new(node)
+                .with_peer_secret(secret.clone())
+                .with_pipeline_window(config.pipeline_window),
+        );
+        if config.registry.is_none() {
+            config.registry = Some(daemon.obs().registry().clone());
+        }
+        let server = FramedServer::bind_with_config(
+            Arc::clone(&daemon) as Arc<dyn FramedService>,
+            addr,
+            secret,
+            config,
+        )?;
         Ok(Self { daemon, server })
     }
 
@@ -1945,8 +2535,10 @@ mod tests {
             }),
             Response::Ok
         );
-        // Duplicates are dropped within and across batches.
-        assert_eq!(
+        // Duplicates are dropped within and across batches. Every ack
+        // also carries a live (pool-derived) credit grant, so totals
+        // are matched by pattern, never whole-value equality.
+        assert!(matches!(
             d.handle(Request::RecoverAppend {
                 set: "tgt".into(),
                 records: vec![b"a|1".to_vec(), b"b|22".to_vec(), b"a|1".to_vec()],
@@ -1954,9 +2546,10 @@ mod tests {
             Response::RepairAck {
                 appended: 2,
                 bytes: 7,
+                ..
             }
-        );
-        assert_eq!(
+        ));
+        assert!(matches!(
             d.handle(Request::RecoverAppend {
                 set: "tgt".into(),
                 records: vec![b"b|22".to_vec(), b"c|333".to_vec()],
@@ -1964,24 +2557,27 @@ mod tests {
             Response::RepairAck {
                 appended: 1,
                 bytes: 5,
+                ..
             }
-        );
-        assert_eq!(
+        ));
+        assert!(matches!(
             d.handle(Request::RecoverEnd { set: "tgt".into() }),
             Response::RepairAck {
                 appended: 3,
                 bytes: 12,
+                ..
             }
-        );
+        ));
         // Sealing is idempotent: a retried RecoverEnd (lost ack) reads
         // the same totals back instead of failing.
-        assert_eq!(
+        assert!(matches!(
             d.handle(Request::RecoverEnd { set: "tgt".into() }),
             Response::RepairAck {
                 appended: 3,
                 bytes: 12,
+                ..
             }
-        );
+        ));
         // A set that never had a session is still an error…
         assert!(matches!(
             d.handle(Request::RecoverEnd { set: "nope".into() }),
@@ -1995,13 +2591,14 @@ mod tests {
             }),
             Response::Ok
         );
-        assert_eq!(
+        assert!(matches!(
             d.handle(Request::RecoverEnd { set: "tgt".into() }),
             Response::RepairAck {
                 appended: 0,
                 bytes: 0,
+                ..
             }
-        );
+        ));
         match d.handle(Request::Scan { set: "tgt".into() }) {
             Response::Records { records } => {
                 assert_eq!(
@@ -2057,7 +2654,7 @@ mod tests {
             }),
             Response::Ok
         );
-        assert_eq!(
+        assert!(matches!(
             d.handle(Request::RecoverAppend {
                 set: "tgt".into(),
                 records: vec![b"kept|1".to_vec(), b"new|2".to_vec()],
@@ -2065,15 +2662,17 @@ mod tests {
             Response::RepairAck {
                 appended: 1,
                 bytes: 5,
+                ..
             }
-        );
-        assert_eq!(
+        ));
+        assert!(matches!(
             d.handle(Request::RecoverEnd { set: "tgt".into() }),
             Response::RepairAck {
                 appended: 1,
                 bytes: 5,
+                ..
             }
-        );
+        ));
     }
 
     #[test]
@@ -2291,8 +2890,9 @@ mod tests {
             Response::Ok
         );
         // Identical bytes under distinct tags are honest duplicates and
-        // both append; a replayed tag dedups away.
-        assert_eq!(
+        // both append; a replayed tag dedups away. (Acks also carry a
+        // live credit grant, so totals are matched by pattern.)
+        assert!(matches!(
             d.handle(Request::IngestAppend {
                 set: "out".into(),
                 entries: vec![
@@ -2304,10 +2904,11 @@ mod tests {
             Response::IngestAck {
                 appended: 2,
                 bytes: 6,
+                ..
             }
-        );
+        ));
         // A lost-ack replay of the same batch appends nothing.
-        assert_eq!(
+        assert!(matches!(
             d.handle(Request::IngestAppend {
                 set: "out".into(),
                 entries: vec![(crate::wire::ingest_tag(0, 1, b"the"), b"the".to_vec())],
@@ -2315,23 +2916,26 @@ mod tests {
             Response::IngestAck {
                 appended: 0,
                 bytes: 0,
+                ..
             }
-        );
-        assert_eq!(
+        ));
+        assert!(matches!(
             d.handle(Request::IngestEnd { set: "out".into() }),
             Response::IngestAck {
                 appended: 2,
                 bytes: 6,
+                ..
             }
-        );
+        ));
         // Sealing is idempotent (lost-ack retry reads the tombstone)…
-        assert_eq!(
+        assert!(matches!(
             d.handle(Request::IngestEnd { set: "out".into() }),
             Response::IngestAck {
                 appended: 2,
                 bytes: 6,
+                ..
             }
-        );
+        ));
         // …and a fresh begin truncates the partial output of the prior
         // attempt, so a job retry starts from zero records.
         assert_eq!(
@@ -2370,7 +2974,7 @@ mod tests {
         );
         // Two mappers' partials for "the" (3 + 2), one for "fox" (1);
         // a replayed tag dedups away instead of double-counting.
-        assert_eq!(
+        assert!(matches!(
             d.handle(Request::IngestAppend {
                 set: "counts".into(),
                 entries: vec![
@@ -2383,8 +2987,9 @@ mod tests {
             Response::IngestAck {
                 appended: 3,
                 bytes: 15,
+                ..
             }
-        );
+        ));
         // Nothing is stored until the seal…
         match d.handle(Request::Scan {
             set: "counts".into(),
@@ -2394,22 +2999,18 @@ mod tests {
         }
         // …which materializes one record per key, sorted, and is
         // idempotent on retry.
-        let sealed = Response::IngestAck {
-            appended: 2,
-            bytes: 10,
-        };
-        assert_eq!(
-            d.handle(Request::IngestEnd {
-                set: "counts".into()
-            }),
-            sealed
-        );
-        assert_eq!(
-            d.handle(Request::IngestEnd {
-                set: "counts".into()
-            }),
-            sealed
-        );
+        for _ in 0..2 {
+            assert!(matches!(
+                d.handle(Request::IngestEnd {
+                    set: "counts".into()
+                }),
+                Response::IngestAck {
+                    appended: 2,
+                    bytes: 10,
+                    ..
+                }
+            ));
+        }
         match d.handle(Request::Scan {
             set: "counts".into(),
         }) {
@@ -2486,6 +3087,7 @@ mod tests {
                 (0, dest0.local_addr().to_string()),
                 (1, dest1.local_addr().to_string()),
             ],
+            window: 0,
         };
         let report = mc.run_task(&spec).unwrap();
         assert_eq!(report.scanned, rows.len() as u64);
@@ -2556,13 +3158,14 @@ mod tests {
             set: "s".into(),
             records: vec![b"a|1".to_vec()],
         });
-        assert_eq!(
+        assert!(matches!(
             d.handle(Request::RecoverEnd { set: "s".into() }),
             Response::RepairAck {
                 appended: 1,
                 bytes: 3,
+                ..
             }
-        );
+        ));
         d.handle(Request::IngestBegin {
             set: "s".into(),
             reduce: None,
@@ -2571,13 +3174,14 @@ mod tests {
             set: "s".into(),
             entries: vec![(crate::wire::ingest_tag(0, 0, b"x"), b"x".to_vec())],
         });
-        assert_eq!(
+        assert!(matches!(
             d.handle(Request::IngestEnd { set: "s".into() }),
             Response::IngestAck {
                 appended: 1,
                 bytes: 1,
+                ..
             }
-        );
+        ));
 
         // Drop and recreate the set under the same name.
         assert_eq!(d.handle(Request::DropSet { set: "s".into() }), Response::Ok);
@@ -2599,7 +3203,7 @@ mod tests {
             set: "s".into(),
             present_from: vec![],
         });
-        assert_eq!(
+        assert!(matches!(
             d.handle(Request::RecoverAppend {
                 set: "s".into(),
                 records: vec![b"a|1".to_vec()],
@@ -2607,8 +3211,9 @@ mod tests {
             Response::RepairAck {
                 appended: 1,
                 bytes: 3,
+                ..
             }
-        );
+        ));
         // Dropping with sessions still open clears them too.
         assert_eq!(d.handle(Request::DropSet { set: "s".into() }), Response::Ok);
         assert!(matches!(
@@ -2681,5 +3286,115 @@ mod tests {
         let (out, back, _) = balanced(survivor.daemon());
         assert_eq!(out, 2);
         assert_eq!(back, 1);
+    }
+
+    /// The pipelined session contract over a real socket: several
+    /// `IngestAppend` batches in flight on one connection, acks awaited
+    /// *out of order* (the client parks responses by correlation id),
+    /// and a lost-ack replay of an already-applied batch — identical
+    /// provenance tags — dedups away entirely. The sealed totals count
+    /// exactly one copy of every record.
+    #[test]
+    fn pipelined_ingest_acks_out_of_order_and_replays_stay_idempotent() {
+        let server = PangeadServer::bind_with_secret(
+            node("pipe-dest"),
+            "127.0.0.1:0",
+            Some("pipe-secret".to_string()),
+        )
+        .unwrap();
+        let mut c =
+            PangeaClient::connect_with_secret(server.local_addr(), Some("pipe-secret")).unwrap();
+        c.create_set("out", "write-through", None).unwrap();
+        c.ingest_begin("out", None).unwrap();
+        let batch = |n: u64| -> Vec<(u64, Vec<u8>)> {
+            (0..8u64)
+                .map(|i| {
+                    let rec = format!("b{n}r{i}").into_bytes();
+                    (crate::wire::ingest_tag(0, n * 8 + i, &rec), rec)
+                })
+                .collect()
+        };
+
+        // Three batches on the wire before a single response is read.
+        let (corr1, p1) = c.ingest_append_submit("out", batch(0)).unwrap();
+        let (corr2, p2) = c.ingest_append_submit("out", batch(1)).unwrap();
+        let (corr3, p3) = c.ingest_append_submit("out", batch(2)).unwrap();
+        assert_eq!(c.pipelined(), 3);
+        // A serial RPC cannot interleave with an open pipeline.
+        assert!(matches!(c.ping(), Err(PangeaError::InvalidUsage(_))));
+
+        // Await newest-first: earlier responses park until asked for.
+        let (a3, _, credit) = c.ingest_append_await(corr3, p3).unwrap();
+        assert_eq!(a3, 8);
+        assert!(credit >= 1, "a live receiver always grants at least 1");
+        let (a1, ..) = c.ingest_append_await(corr1, p1).unwrap();
+        let (a2, ..) = c.ingest_append_await(corr2, p2).unwrap();
+        assert_eq!((a1, a2), (8, 8));
+        assert_eq!(c.pipelined(), 0);
+
+        // Lost-ack replay: batch 1 rides again with identical tags and
+        // appends nothing — pipelined retries stay idempotent.
+        let (corr_r, p_r) = c.ingest_append_submit("out", batch(1)).unwrap();
+        let (ra, rb, _) = c.ingest_append_await(corr_r, p_r).unwrap();
+        assert_eq!((ra, rb), (0, 0));
+
+        let (appended, _) = c.ingest_end("out").unwrap();
+        assert_eq!(appended, 24, "one copy of each record, replay deduped");
+    }
+
+    /// The accept path is capped, not an unbounded thread spawn: the
+    /// connection beyond `max_conns` is refused with a typed
+    /// [`PangeaError::Busy`] before any request is served, the reject is
+    /// counted, and closing a live connection frees its slot (the
+    /// `net.conns_open` gauge follows).
+    #[test]
+    fn connection_cap_rejects_with_typed_busy_and_frees_on_close() {
+        let server = PangeadServer::bind_with_config(
+            node("conn-cap"),
+            "127.0.0.1:0",
+            None,
+            ServerConfig {
+                max_conns: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut held: Vec<PangeaClient> = Vec::new();
+        for _ in 0..2 {
+            let mut c = PangeaClient::connect(server.local_addr()).unwrap();
+            c.ping().unwrap(); // handshake done: the slot is registered
+            held.push(c);
+        }
+        let reg = server.daemon().obs().registry();
+        assert_eq!(reg.gauge("net.conns_open").get(), 2);
+
+        // One over the cap: the server answers a typed Busy at accept
+        // and hangs up. Read it raw — writing first would race the
+        // server's close into a connection reset.
+        let mut over = TcpStream::connect(server.local_addr()).unwrap();
+        let payload = crate::frame::read_frame(&mut over).unwrap().unwrap();
+        match Response::decode(&payload).unwrap().into_result() {
+            Err(PangeaError::Busy(m)) => assert!(m.contains("cap"), "{m}"),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        assert_eq!(reg.counter("net.busy_rejects").get(), 1);
+
+        // Hanging up frees the slot for the next dial.
+        drop(held.pop());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let admitted = PangeaClient::connect(server.local_addr())
+                .map(|mut c| c.ping().is_ok())
+                .unwrap_or(false);
+            if admitted {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "slot was never freed after the peer hung up"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(reg.gauge("net.conns_open").get() <= 2);
     }
 }

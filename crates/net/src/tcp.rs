@@ -11,6 +11,14 @@
 //! `record_serialization`, so figures comparing the two backends line up
 //! (DESIGN.md §2a).
 //!
+//! This transport deliberately speaks *legacy* correlation-0 frames
+//! (one request in flight per connection, strict-serial): `transfer` is
+//! a single idempotency-guarded round trip, so multiplexing buys it
+//! nothing and the unflagged prefix keeps it compatible with
+//! pre-correlation peers. Pipelined, correlated exchanges (windowed
+//! ingest/repair pushes with credit-based backpressure) live in
+//! [`crate::client::PangeaClient`] instead (DESIGN.md §2i).
+//!
 //! [`SimNetwork`]: https://docs.rs/pangea-cluster
 //! [`Throttle`]: pangea_common::Throttle
 

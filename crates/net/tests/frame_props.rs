@@ -3,7 +3,10 @@
 //! boundary, and oversized-frame rejection.
 
 use pangea_common::PangeaError;
-use pangea_net::frame::{read_frame, write_frame, FRAME_OVERHEAD, MAX_FRAME};
+use pangea_net::frame::{
+    read_frame, read_frame_corr, write_frame, write_frame_corr, FRAME_CORR_OVERHEAD,
+    FRAME_OVERHEAD, MAX_FRAME,
+};
 use pangea_net::{
     CmpOp, EmitSpec, FilterSpec, KeySpec, MapSpec, ReduceOp, ReduceSpec, RepairFilter, Request,
     Response, SchemeSpec, TaskSpec, TraceCtx, WireCatalogEntry, WireMetric, WireSpan, WireWorker,
@@ -247,6 +250,80 @@ proptest! {
         prop_assert!(read_frame(&mut cur).unwrap().is_none());
     }
 
+    /// Correlated frames round-trip id and payload exactly, in order,
+    /// and correlation 0 is byte-identical to a legacy frame — the
+    /// header stays version-tolerant in both directions.
+    #[test]
+    fn correlated_frames_roundtrip_in_order(
+        frames in prop::collection::vec(
+            (any::<u64>(), prop::collection::vec(any::<u8>(), 0..512)),
+            0..20,
+        )
+    ) {
+        let mut buf = Vec::new();
+        for (corr, p) in &frames {
+            write_frame_corr(&mut buf, *corr, p).unwrap();
+        }
+        let total: usize = frames
+            .iter()
+            .map(|(corr, p)| {
+                p.len() + if *corr == 0 { FRAME_OVERHEAD } else { FRAME_CORR_OVERHEAD }
+            })
+            .sum();
+        prop_assert_eq!(buf.len(), total);
+        let mut cur = Cursor::new(&buf);
+        for (corr, p) in &frames {
+            let (got_corr, got) = read_frame_corr(&mut cur).unwrap().unwrap();
+            prop_assert_eq!(got_corr, *corr);
+            prop_assert_eq!(&got, p);
+        }
+        prop_assert!(read_frame_corr(&mut cur).unwrap().is_none());
+    }
+
+    /// A legacy (unflagged) frame decodes through the correlated reader
+    /// as correlation 0 — pre-multiplexing peers stay on strict-serial
+    /// ordering without any handshake.
+    #[test]
+    fn legacy_frames_decode_as_correlation_zero(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let (corr, got) = read_frame_corr(&mut Cursor::new(&buf)).unwrap().unwrap();
+        prop_assert_eq!(corr, 0);
+        prop_assert_eq!(got, payload);
+    }
+
+    /// Truncating a correlated frame at every cut point — inside the
+    /// prefix, inside the correlation id, or inside the payload — is a
+    /// corruption error, never a short or garbled payload.
+    #[test]
+    fn correlated_truncation_is_always_corruption(
+        corr in 1u64..u64::MAX,
+        payload in prop::collection::vec(any::<u8>(), 1..256),
+        cut_fraction in 0usize..100,
+    ) {
+        let mut buf = Vec::new();
+        write_frame_corr(&mut buf, corr, &payload).unwrap();
+        let cut = 1 + cut_fraction * (buf.len() - 1) / 100; // 1..buf.len()
+        if cut < buf.len() {
+            match read_frame_corr(&mut Cursor::new(&buf[..cut])) {
+                Err(PangeaError::Corruption(_)) => {}
+                other => prop_assert!(false, "cut at {cut}: {other:?}"),
+            }
+        }
+    }
+
+    /// Garbage prefixes never panic the correlated reader: any random
+    /// byte stream either yields frames or a typed corruption error.
+    #[test]
+    fn garbage_never_panics_the_correlated_reader(
+        junk in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut cur = Cursor::new(&junk);
+        while let Ok(Some(_)) = read_frame_corr(&mut cur) {}
+    }
+
     /// Truncating a framed stream anywhere inside the final frame turns
     /// into a corruption error, never a short or garbled payload.
     #[test]
@@ -403,6 +480,7 @@ proptest! {
         roundtrip_resp(Response::RepairAck {
             appended: counters[0],
             bytes: counters[1],
+            credit: counters[2],
         });
         roundtrip_resp(Response::Pushed {
             scanned: counters[0],
@@ -456,6 +534,7 @@ proptest! {
             nodes,
             source,
             dests: dests.iter().map(|(n, a)| (*n, ident(a))).collect(),
+            window: partitions,
         };
         roundtrip_req(Request::TaskRun { spec });
         roundtrip_req(Request::IngestBegin { set: ident(&name), reduce });
@@ -474,6 +553,7 @@ proptest! {
         roundtrip_resp(Response::IngestAck {
             appended: counters[0],
             bytes: counters[1],
+            credit: counters[2],
         });
     }
 
@@ -502,6 +582,7 @@ proptest! {
                 nodes,
                 source,
                 dests: vec![(0, "127.0.0.1:7781".into()), (1, "127.0.0.1:7782".into())],
+                window: partitions,
             },
         }
         .encode();
