@@ -29,7 +29,7 @@ use pangea_common::{NodeId, Result, KB, MB};
 use pangea_coord::{MgrServer, RemoteCluster, WorkerAgent};
 use pangea_core::{NodeConfig, StorageNode};
 use pangea_net::{KeySpec, MapSpec, PangeaClient, PangeadServer, ReduceSpec, WireMetric};
-use pangea_obs::{quantile_from_buckets, HISTOGRAM_BUCKETS};
+use pangea_obs::{names, quantile_from_buckets, HISTOGRAM_BUCKETS};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -53,18 +53,20 @@ fn fleet_rpc_table(fleet: &[(PangeadServer, WorkerAgent)]) -> Result<BTreeMap<St
         for m in metrics {
             let (prefix, name) = match &m {
                 WireMetric::Counter { name, .. } | WireMetric::Gauge { name, .. } => {
-                    if let Some(op) = name.strip_prefix("rpc.count.") {
+                    if let Some(op) = name.strip_prefix(names::RPC_COUNT_PREFIX) {
                         ("count", op.to_string())
-                    } else if let Some(op) = name.strip_prefix("rpc.bytes.") {
+                    } else if let Some(op) = name.strip_prefix(names::RPC_BYTES_PREFIX) {
                         ("bytes", op.to_string())
                     } else {
                         continue;
                     }
                 }
-                WireMetric::Histogram { name, .. } => match name.strip_prefix("rpc.latency_ns.") {
-                    Some(op) => ("latency", op.to_string()),
-                    None => continue,
-                },
+                WireMetric::Histogram { name, .. } => {
+                    match name.strip_prefix(names::RPC_LATENCY_NS_PREFIX) {
+                        Some(op) => ("latency", op.to_string()),
+                        None => continue,
+                    }
+                }
             };
             let agg = table.entry(name).or_default();
             match (prefix, m) {

@@ -14,7 +14,7 @@
 //! exact byte accounting, which the SimNetwork parity and remote
 //! payload-delta tests assert on) is unchanged.
 
-use pangea_obs::{Counter, Registry};
+use pangea_obs::{names, Counter, Registry};
 use std::sync::Arc;
 
 /// Shared, thread-safe counters for one subsystem (a disk manager, a buffer
@@ -58,23 +58,23 @@ impl IoStats {
     /// `MetricsDump`.
     pub fn with_registry(registry: Arc<Registry>) -> Self {
         Self {
-            disk_reads: registry.counter("io.disk_reads"),
-            disk_read_bytes: registry.counter("io.disk_read_bytes"),
-            disk_writes: registry.counter("io.disk_writes"),
-            disk_write_bytes: registry.counter("io.disk_write_bytes"),
-            pages_evicted: registry.counter("io.pages_evicted"),
-            pages_flushed: registry.counter("io.pages_flushed"),
-            net_messages: registry.counter("io.net_messages"),
-            net_bytes: registry.counter("io.net_bytes"),
-            serializations: registry.counter("io.serializations"),
-            serialized_bytes: registry.counter("io.serialized_bytes"),
-            copies: registry.counter("io.copies"),
-            copied_bytes: registry.counter("io.copied_bytes"),
-            repairs: registry.counter("io.repairs"),
-            repair_bytes: registry.counter("io.repair_bytes"),
-            shuffles: registry.counter("io.shuffles"),
-            shuffle_map_bytes: registry.counter("io.shuffle_bytes.map"),
-            shuffle_reduce_bytes: registry.counter("io.shuffle_bytes.reduce"),
+            disk_reads: registry.counter(names::IO_DISK_READS),
+            disk_read_bytes: registry.counter(names::IO_DISK_READ_BYTES),
+            disk_writes: registry.counter(names::IO_DISK_WRITES),
+            disk_write_bytes: registry.counter(names::IO_DISK_WRITE_BYTES),
+            pages_evicted: registry.counter(names::IO_PAGES_EVICTED),
+            pages_flushed: registry.counter(names::IO_PAGES_FLUSHED),
+            net_messages: registry.counter(names::IO_NET_MESSAGES),
+            net_bytes: registry.counter(names::IO_NET_BYTES),
+            serializations: registry.counter(names::IO_SERIALIZATIONS),
+            serialized_bytes: registry.counter(names::IO_SERIALIZED_BYTES),
+            copies: registry.counter(names::IO_COPIES),
+            copied_bytes: registry.counter(names::IO_COPIED_BYTES),
+            repairs: registry.counter(names::IO_REPAIRS),
+            repair_bytes: registry.counter(names::IO_REPAIR_BYTES),
+            shuffles: registry.counter(names::IO_SHUFFLES),
+            shuffle_map_bytes: registry.counter(names::IO_SHUFFLE_BYTES_MAP),
+            shuffle_reduce_bytes: registry.counter(names::IO_SHUFFLE_BYTES_REDUCE),
             registry,
         }
     }

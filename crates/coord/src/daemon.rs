@@ -19,7 +19,7 @@ use pangea_net::{
     error_response, metrics_dump_response, FramedServer, FramedService, Request, Response,
     ServerConfig, TraceCtx, WireCatalogEntry, WireSpan,
 };
-use pangea_obs::{Obs, ScrapeStore, SpanRecord};
+use pangea_obs::{names, Obs, ScrapeStore, SpanRecord};
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -102,16 +102,15 @@ impl ManagerDaemon {
         self.stats.record_net(0);
         let op = req.name();
         let reg = self.obs.registry();
-        reg.counter(&format!("rpc.count.{op}")).inc();
-        reg.counter(&format!("rpc.bytes.{op}"))
-            .add(req_bytes as u64);
+        reg.counter(&names::rpc_count(op)).inc();
+        reg.counter(&names::rpc_bytes(op)).add(req_bytes as u64);
         let start = self.obs.now_ns();
         let resp = match self.dispatch(req) {
             Ok(resp) => resp,
             Err(e) => error_response(&e),
         };
         let end = self.obs.now_ns();
-        reg.histogram(&format!("rpc.latency_ns.{op}"))
+        reg.histogram(&names::rpc_latency_ns(op))
             .observe(end.saturating_sub(start));
         if let Some(ctx) = ctx {
             self.obs.ring().record(SpanRecord {
@@ -162,7 +161,7 @@ impl ManagerDaemon {
                     .unwrap_or(0);
                 self.obs
                     .registry()
-                    .gauge("mgr.heartbeat_staleness_ms")
+                    .gauge(names::MGR_HEARTBEAT_STALENESS_MS)
                     .set(staleness);
                 Ok(metrics_dump_response(&self.obs, metrics_start, spans_start))
             }

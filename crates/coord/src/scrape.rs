@@ -28,7 +28,7 @@ use crate::daemon::ManagerDaemon;
 use pangea_common::{FxHashMap, Result};
 use pangea_net::{PangeaClient, WireMetric, WireSpan, WorkerState};
 use pangea_obs::timeseries::{ROLLUP_RPC_BYTES, ROLLUP_RPC_COUNT, ROLLUP_RPC_LATENCY};
-use pangea_obs::{MetricSnapshot, MetricValue, SpanRecord};
+use pangea_obs::{names, MetricSnapshot, MetricValue, SpanRecord};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -163,7 +163,7 @@ fn scrape_once(
         .max_staleness()
         .map(|d| d.as_millis() as u64)
         .unwrap_or(0);
-    reg.gauge("mgr.heartbeat_staleness_ms").set(staleness);
+    reg.gauge(names::MGR_HEARTBEAT_STALENESS_MS).set(staleness);
     store.record_metrics("mgr", at, &reg.snapshot());
     let (spans, gap) = daemon.obs().ring().since_with_gap(state.mgr_cursor);
     if gap > 0 {
@@ -207,7 +207,7 @@ fn scrape_once(
                     .unwrap_or(0);
                 if gap > 0 {
                     store.note_dropped(&name, gap);
-                    reg.counter("mgr.scrape.dropped_spans").add(gap);
+                    reg.counter(names::MGR_SCRAPE_DROPPED_SPANS).add(gap);
                     eprintln!(
                         "pangea-mgr: scrape of {name} lost {gap} spans \
                          (ring wrapped past cursor {from})"
@@ -219,7 +219,7 @@ fn scrape_once(
                 state.clients.insert(w.node, (w.addr.clone(), client));
             }
             Err(e) => {
-                reg.counter("mgr.scrape.errors").inc();
+                reg.counter(names::MGR_SCRAPE_ERRORS).inc();
                 eprintln!("pangea-mgr: scrape of {name} at {} failed: {e}", w.addr);
             }
         }
@@ -243,39 +243,39 @@ fn scrape_once(
     let window_ms = (interval.as_millis() as u64).saturating_mul(5).max(10_000);
     for node in store.nodes() {
         let rate = store.counter_rate_per_sec(&node, ROLLUP_RPC_COUNT, window_ms);
-        reg.gauge(&format!("fleet.{node}.rpc_per_sec"))
+        reg.gauge(&names::fleet(&node, names::FLEET_RPC_PER_SEC))
             .set(rate.round() as u64);
         let rate = store.counter_rate_per_sec(&node, ROLLUP_RPC_BYTES, window_ms);
-        reg.gauge(&format!("fleet.{node}.bytes_per_sec"))
+        reg.gauge(&names::fleet(&node, names::FLEET_BYTES_PER_SEC))
             .set(rate.round() as u64);
-        reg.gauge(&format!("fleet.{node}.rpc_p50_ns"))
+        reg.gauge(&names::fleet(&node, names::FLEET_RPC_P50_NS))
             .set(store.histogram_window_quantile(&node, ROLLUP_RPC_LATENCY, window_ms, 0.50));
-        reg.gauge(&format!("fleet.{node}.rpc_p99_ns"))
+        reg.gauge(&names::fleet(&node, names::FLEET_RPC_P99_NS))
             .set(store.histogram_window_quantile(&node, ROLLUP_RPC_LATENCY, window_ms, 0.99));
         for (series, gauge) in [
-            ("mem.share_bytes", "share_bytes"),
-            ("mem.session_bytes", "session_bytes"),
-            ("pool.peers", "pool_peers"),
+            (names::MEM_SHARE_BYTES, "share_bytes"),
+            (names::MEM_SESSION_BYTES, "session_bytes"),
+            (names::POOL_PEERS, "pool_peers"),
             (STALENESS_SERIES, "staleness_ms"),
-            ("trace.dropped_spans", "ring_dropped_spans"),
-            ("paging.hits", "paging_hits"),
-            ("paging.misses", "paging_misses"),
-            ("paging.evictions", "paging_evictions"),
-            ("paging.spill_bytes", "spill_bytes"),
-            ("paging.pool_used_bytes", "pool_used"),
-            ("paging.pool_capacity_bytes", "pool_capacity"),
+            (names::TRACE_DROPPED_SPANS, "ring_dropped_spans"),
+            (names::PAGING_HITS, "paging_hits"),
+            (names::PAGING_MISSES, "paging_misses"),
+            (names::PAGING_EVICTIONS, "paging_evictions"),
+            (names::PAGING_SPILL_BYTES, "spill_bytes"),
+            (names::PAGING_POOL_USED_BYTES, "pool_used"),
+            (names::PAGING_POOL_CAPACITY_BYTES, "pool_capacity"),
         ] {
             if let Some(v) = store.latest_scalar(&node, series) {
-                reg.gauge(&format!("fleet.{node}.{gauge}")).set(v);
+                reg.gauge(&names::fleet(&node, gauge)).set(v);
             }
         }
         let lost = store.node_dropped(&node);
         if lost > 0 {
-            reg.gauge(&format!("fleet.{node}.scrape_dropped_spans"))
+            reg.gauge(&names::fleet(&node, names::FLEET_SCRAPE_DROPPED_SPANS))
                 .set(lost);
         }
     }
-    reg.counter("mgr.scrape.ticks").inc();
+    reg.counter(names::MGR_SCRAPE_TICKS).inc();
 }
 
 #[cfg(test)]

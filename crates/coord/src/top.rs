@@ -12,7 +12,7 @@
 use crate::client::ManagerClient;
 use pangea_common::Result;
 use pangea_net::{PangeaClient, WireMetric, WireSpan, WorkerState};
-use pangea_obs::{json_escape, quantile_from_buckets};
+use pangea_obs::{json_escape, names, quantile_from_buckets};
 
 /// One node's slice of the fleet snapshot.
 #[derive(Debug)]
@@ -101,17 +101,17 @@ fn row_index(rows: &mut Vec<OpRow>, op: &str) -> usize {
 fn op_rows(metrics: &[WireMetric]) -> Vec<OpRow> {
     let mut rows: Vec<OpRow> = Vec::new();
     for m in metrics {
-        if let Some(op) = m.name().strip_prefix("rpc.count.") {
+        if let Some(op) = m.name().strip_prefix(names::RPC_COUNT_PREFIX) {
             if let WireMetric::Counter { value, .. } = m {
                 let i = row_index(&mut rows, op);
                 rows[i].count = *value;
             }
-        } else if let Some(op) = m.name().strip_prefix("rpc.bytes.") {
+        } else if let Some(op) = m.name().strip_prefix(names::RPC_BYTES_PREFIX) {
             if let WireMetric::Counter { value, .. } = m {
                 let i = row_index(&mut rows, op);
                 rows[i].bytes = *value;
             }
-        } else if let Some(op) = m.name().strip_prefix("rpc.latency_ns.") {
+        } else if let Some(op) = m.name().strip_prefix(names::RPC_LATENCY_NS_PREFIX) {
             if let WireMetric::Histogram { buckets, .. } = m {
                 let i = row_index(&mut rows, op);
                 rows[i].p50_ns = quantile_from_buckets(buckets, 0.50);
@@ -270,10 +270,10 @@ pub fn run(manager: &str, secret: Option<&str>, json: bool) -> Result<String> {
 /// (`fleet.*` gauges), so `--watch` costs one manager RPC per tick no
 /// matter how large the fleet is.
 const WATCH_COLUMNS: &[(&str, &str)] = &[
-    ("rpc_per_sec", "RPC/S"),
-    ("bytes_per_sec", "BYTES/S"),
-    ("rpc_p50_ns", "P50(us)"),
-    ("rpc_p99_ns", "P99(us)"),
+    (names::FLEET_RPC_PER_SEC, "RPC/S"),
+    (names::FLEET_BYTES_PER_SEC, "BYTES/S"),
+    (names::FLEET_RPC_P50_NS, "P50(us)"),
+    (names::FLEET_RPC_P99_NS, "P99(us)"),
     ("share_bytes", "SHARE(B)"),
     ("session_bytes", "SESS(B)"),
     ("pool_peers", "PEERS"),
@@ -281,7 +281,7 @@ const WATCH_COLUMNS: &[(&str, &str)] = &[
     ("pool_used", "POOL(B)"),
     ("staleness_ms", "STALE(ms)"),
     ("ring_dropped_spans", "RINGDROP"),
-    ("scrape_dropped_spans", "LOST"),
+    (names::FLEET_SCRAPE_DROPPED_SPANS, "LOST"),
 ];
 
 /// Renders one `--watch` frame from the manager's metric dump: one row
@@ -298,7 +298,7 @@ pub fn render_watch(metrics: &[WireMetric]) -> String {
             WireMetric::Gauge { name, value } => (name, *value),
             _ => continue,
         };
-        let Some(rest) = name.strip_prefix("fleet.") else {
+        let Some(rest) = name.strip_prefix(names::FLEET_PREFIX) else {
             continue;
         };
         let Some((node, key)) = rest.rsplit_once('.') else {

@@ -1,0 +1,29 @@
+// Known-bad fixture for the checkout-pairing rule. Line numbers are
+// asserted exactly by tests/rules.rs — keep edits in sync.
+
+impl Pool {
+    fn leaks_on_question_mark(&self, addr: &str) -> Result<()> {
+        let conn = self.checkout_peer(addr)?;
+        let hashes = conn.hash_list("set")?;
+        self.checkin_peer(addr, conn);
+        Ok(hashes)
+    }
+
+    fn leaks_on_early_return(&self, addr: &str) -> Result<()> {
+        let conn = self.checkout_peer(addr)?;
+        if self.closed() {
+            return Ok(());
+        }
+        self.checkin_peer(addr, conn);
+        Ok(())
+    }
+
+    fn never_consumed(&self, addr: &str) {
+        let conn = self.checkout_peer(addr);
+        conn.set_trace(None);
+    }
+
+    fn not_bound(&self, addr: &str) {
+        self.checkout_peer(addr);
+    }
+}

@@ -1,0 +1,24 @@
+// Known-good fixture for the checkout-pairing rule: zero diagnostics.
+
+impl Pool {
+    fn pairs_on_all_paths(&self, addr: &str) -> Result<u64> {
+        let conn = self.checkout_peer(addr)?;
+        match conn.hash_list("set") {
+            Ok(h) => {
+                self.checkin_peer(addr, conn);
+                Ok(h)
+            }
+            Err(e) => {
+                self.discard_peer(conn);
+                Err(e)
+            }
+        }
+    }
+
+    fn discards_before_fallible_exit(&self, addr: &str) -> Result<()> {
+        let conn = self.checkout_peer(addr)?;
+        self.discard_peer(conn);
+        self.audit()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,8 @@
+// Known-bad fixture for the metric-name-registry rule. Line numbers
+// are asserted exactly by tests/rules.rs — keep edits in sync.
+
+fn register(reg: &Registry, node: &str) {
+    reg.counter("io.disk_reads").inc();
+    reg.gauge("net.conns_open").set(1);
+    reg.histogram(&format!("rpc.latency_ns.{node}")).observe(5);
+}

@@ -1,0 +1,21 @@
+// Known-good fixture for the metric-name-registry rule: constants and
+// helpers from pangea_obs::names, plus test-module literals (which the
+// rule skips — tests cross-check spellings on purpose).
+
+use pangea_obs::names;
+
+fn register(reg: &Registry, node: &str) {
+    reg.counter(names::IO_DISK_READS).inc();
+    reg.gauge(names::NET_CONNS_OPEN).set(1);
+    reg.histogram(&names::rpc_latency_ns("ping")).observe(5);
+    reg.gauge(&names::fleet(node, names::FLEET_RPC_PER_SEC)).set(2);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn literals_fine_in_tests() {
+        let reg = Registry::default();
+        reg.counter("io.disk_reads").inc();
+    }
+}

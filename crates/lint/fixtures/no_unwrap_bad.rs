@@ -1,0 +1,9 @@
+// Known-bad fixture for the no-unwrap-in-daemon rule (linted under a
+// daemon rel-path). Line numbers are asserted exactly by
+// tests/rules.rs — keep edits in sync.
+
+fn handle(req: Request) -> Response {
+    let body = req.body.unwrap();
+    let size = body.len().try_into().expect("fits in u32");
+    Response::ok(size)
+}

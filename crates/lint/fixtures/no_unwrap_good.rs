@@ -1,0 +1,19 @@
+// Known-good fixture for the no-unwrap-in-daemon rule: typed errors,
+// non-panicking adapters, test-module unwraps, and one justified allow.
+
+fn handle(req: Request) -> Result<Response> {
+    let body = req.body.ok_or(PangeaError::Malformed)?;
+    let size = body.len().min(u32::MAX as usize);
+    // Startup-only invariant: the listener was bound two lines up. lint:allow(no-unwrap-in-daemon)
+    let addr = listener.local_addr().unwrap();
+    let fallback = req.hint.unwrap_or_default();
+    Ok(Response::ok(size, addr, fallback))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        handle(Request::default()).unwrap();
+    }
+}

@@ -1,0 +1,24 @@
+// Known-bad/known-good mix for the opcode-coverage rule: `Ping` is
+// fully covered, `Orphan` is missing everything, `Waived` carries an
+// allow. Line numbers are asserted exactly by tests/rules.rs.
+
+pub enum Request {
+    Ping,
+    Orphan { payload: Vec<u8> },
+    // Decoder-internal pseudo-opcode, never dispatched. lint:allow(opcode-coverage)
+    Waived,
+}
+
+pub enum Response {
+    Ok,
+    Lost(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ping_roundtrips() {
+        roundtrip(Request::Ping);
+        roundtrip_resp(Response::Ok);
+    }
+}

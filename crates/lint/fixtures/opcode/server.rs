@@ -1,0 +1,9 @@
+// Handler file for the opcode-coverage fixture tree: dispatches Ping
+// and produces Ok, never touches Orphan or Lost.
+
+fn dispatch(req: Request) -> Response {
+    match req {
+        Request::Ping => Response::Ok,
+        other => Response::Ok,
+    }
+}

@@ -1,0 +1,418 @@
+//! A lightweight Rust lexer: just enough token structure for the rule
+//! engine — identifiers, string literals, lifetimes, and single-char
+//! punctuation, each tagged with its source line.
+//!
+//! This is deliberately *not* a parser. The rules work on token
+//! patterns plus brace/paren matching, which keeps the pass
+//! zero-dependency (no `syn`; the build environment is offline) and
+//! fast. The lexer's only hard obligations are the ones that would
+//! otherwise corrupt every downstream rule: comments (line, nested
+//! block), string literals (escaped, raw, byte), and the char-literal
+//! vs. lifetime ambiguity must all be consumed correctly so a `"...{"`
+//! inside a string can never unbalance the brace tracker.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier, keyword, or number ([A-Za-z0-9_]+).
+    Ident(String),
+    /// A string literal's raw (unescaped) contents.
+    Str(String),
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Any other single character.
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub line: u32,
+    pub kind: TokKind,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Lexer output: the token stream plus every `lint:allow(...)`
+/// directive found in comments, as `(line, rule)` pairs.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub allows: Vec<(u32, String)>,
+}
+
+fn collect_allows(comment: &str, line: u32, allows: &mut Vec<(u32, String)>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:allow(") {
+        rest = &rest[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else { return };
+        for rule in rest[..close].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                allows.push((line, rule.to_string()));
+            }
+        }
+        rest = &rest[close..];
+    }
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lexes `src`. Invalid UTF-8 boundaries cannot occur (input is `&str`);
+/// genuinely malformed Rust degrades to punct soup, never a panic.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Lexed::default();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                collect_allows(&src[start..i], line, &mut out.allows);
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                collect_allows(&src[start..i.min(b.len())], start_line, &mut out.allows);
+            }
+            b'"' => {
+                i += 1;
+                let (start, start_line) = (i, line);
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => break,
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.toks.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Str(src[start..i.min(b.len())].to_string()),
+                });
+                i += 1; // closing quote
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'x'` (anything then a quote)
+                // is a char; `'\...'` is a char; otherwise a lifetime.
+                if b.get(i + 1) == Some(&b'\\') {
+                    i += 2; // skip the escape lead-in
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    i += 3; // 'c'
+                } else if b.get(i + 1).is_some_and(|&n| is_ident_char(n)) {
+                    i += 1;
+                    while i < b.len() && is_ident_char(b[i]) {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        line,
+                        kind: TokKind::Lifetime,
+                    });
+                } else {
+                    // Multi-byte char literal like '€': skip to close.
+                    i += 1;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            _ if is_ident_char(c) => {
+                // Raw/byte string prefixes lex as part of the ident
+                // branch: `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`.
+                let start = i;
+                while i < b.len() && is_ident_char(b[i]) {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let raw_capable = word == "r" || word == "b" || word == "br";
+                if raw_capable && matches!(b.get(i), Some(&b'"') | Some(&b'#')) {
+                    let mut hashes = 0usize;
+                    while b.get(i) == Some(&b'#') {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if b.get(i) == Some(&b'"') {
+                        i += 1;
+                        let (s_start, s_line) = (i, line);
+                        'scan: while i < b.len() {
+                            if b[i] == b'\n' {
+                                line += 1;
+                            } else if b[i] == b'"' {
+                                let mut ok = true;
+                                for k in 0..hashes {
+                                    if b.get(i + 1 + k) != Some(&b'#') {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                                if ok {
+                                    out.toks.push(Tok {
+                                        line: s_line,
+                                        kind: TokKind::Str(src[s_start..i].to_string()),
+                                    });
+                                    i += 1 + hashes;
+                                    break 'scan;
+                                }
+                            }
+                            i += 1;
+                        }
+                    } else {
+                        // `r#ident` raw identifier or stray hashes: emit
+                        // the word, rewind to re-lex what followed.
+                        i -= hashes;
+                        out.toks.push(Tok {
+                            line,
+                            kind: TokKind::Ident(word.to_string()),
+                        });
+                    }
+                } else {
+                    out.toks.push(Tok {
+                        line,
+                        kind: TokKind::Ident(word.to_string()),
+                    });
+                }
+            }
+            _ => {
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct(c as char),
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// For each token, whether it lies inside `#[cfg(test)]`-gated code or a
+/// `#[test]` function. Rules that police production invariants skip
+/// these regions — tests unwrap and hold locks on purpose.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_test_attr(toks, i) {
+            let start = i;
+            let mut j = skip_attr(toks, i);
+            while j < toks.len()
+                && toks[j].is_punct('#')
+                && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+            {
+                j = skip_attr(toks, j);
+            }
+            // The gated item runs to the matching `}` of its first brace,
+            // or to a top-level `;` (e.g. a cfg-gated `use`).
+            let mut depth = 0i32;
+            let mut end = j;
+            while end < toks.len() {
+                match &toks[end].kind {
+                    TokKind::Punct('{') => depth += 1,
+                    TokKind::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokKind::Punct(';') if depth == 0 => break,
+                    _ => {}
+                }
+                end += 1;
+            }
+            let end = end.min(toks.len().saturating_sub(1));
+            for slot in &mut mask[start..=end] {
+                *slot = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// `#[cfg(test)]`, `#[cfg(all(test, ...))]`, or `#[test]` at `i`.
+fn is_test_attr(toks: &[Tok], i: usize) -> bool {
+    if !(toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+        return false;
+    }
+    match toks.get(i + 2).and_then(Tok::ident) {
+        Some("test") => toks.get(i + 3).is_some_and(|t| t.is_punct(']')),
+        Some("cfg") => {
+            let close = attr_end(toks, i);
+            toks[i..close].iter().any(|t| t.ident() == Some("test"))
+        }
+        _ => false,
+    }
+}
+
+/// Index just past an attribute's closing `]` (brackets nest).
+fn skip_attr(toks: &[Tok], i: usize) -> usize {
+    attr_end(toks, i)
+}
+
+fn attr_end(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < toks.len() {
+        if toks[j].is_punct('[') {
+            depth += 1;
+        } else if toks[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Index of the `)`/`]`/`}` matching the opener at `open` (which must
+/// be an opening punct), or `toks.len()` when unbalanced.
+pub fn matching_close(toks: &[Tok], open: usize) -> usize {
+    let (o, c) = match &toks[open].kind {
+        TokKind::Punct('(') => ('(', ')'),
+        TokKind::Punct('[') => ('[', ']'),
+        TokKind::Punct('{') => ('{', '}'),
+        _ => return toks.len(),
+    };
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let src = r##"
+            // a { stray " brace
+            /* nested /* block } */ still comment */
+            let s = "quoted { brace \" escaped";
+            let r = r#"raw " string { here"#;
+            let b = b"bytes {";
+        "##;
+        let lexed = lex(src);
+        let braces = lexed
+            .toks
+            .iter()
+            .filter(|t| t.is_punct('{') || t.is_punct('}'))
+            .count();
+        assert_eq!(braces, 0);
+        assert_eq!(
+            lexed
+                .toks
+                .iter()
+                .filter(|t| matches!(t.kind, TokKind::Str(_)))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let u = '_'; let l: &'_ str = x; }");
+        let lifetimes = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        // 'a twice, plus '_ in type position; 'x' and '_' are chars.
+        assert_eq!(lifetimes, 3);
+    }
+
+    #[test]
+    fn allow_directives_are_collected() {
+        let lexed =
+            lex("let x = 1; // lint:allow(guard-across-io, no-unwrap-in-daemon)\nlet y = 2;");
+        assert_eq!(
+            lexed.allows,
+            vec![
+                (1, "guard-across-io".to_string()),
+                (1, "no-unwrap-in-daemon".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.toks);
+        for (t, in_test) in lexed.toks.iter().zip(&mask) {
+            if t.ident() == Some("y") {
+                assert!(*in_test);
+            }
+            if t.ident() == Some("x") {
+                assert!(!*in_test);
+            }
+        }
+    }
+
+    #[test]
+    fn lines_survive_multiline_strings() {
+        let src = "let a = \"one\ntwo\";\nlet b = 3;";
+        let lexed = lex(src);
+        let b_tok = lexed.toks.iter().find(|t| t.ident() == Some("b")).unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+}

@@ -412,6 +412,9 @@ pub enum Response {
     /// The server is at its connection cap and refused this connection
     /// before serving anything; decodes to [`PangeaError::Busy`] on the
     /// client so callers can back off and redial without parsing prose.
+    /// Handled structurally by the error conversions in this file (it
+    /// never reaches a dispatch arm), which the opcode rule excludes to
+    /// stay non-vacuous. // lint:allow(opcode-coverage)
     Busy {
         /// Why the connection was refused.
         message: String,

@@ -33,8 +33,9 @@ use pangea_core::{
     HashConfig, ObjectIter, ReduceBuffer, SetOptions, ShuffleConfig, ShuffleService, SpillLedger,
     StorageNode,
 };
-use pangea_obs::{Counter, Gauge, MetricValue, Obs, Registry, SpanRecord, TraceCtx};
+use pangea_obs::{names, Counter, Gauge, MetricValue, Obs, Registry, SpanRecord, TraceCtx};
 use parking_lot::Mutex;
+use std::collections::hash_map::Entry;
 use std::collections::VecDeque;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -234,7 +235,10 @@ impl FramedServer {
             n => n,
         };
         let (conns_open, busy_rejects) = match &config.registry {
-            Some(reg) => (reg.gauge("net.conns_open"), reg.counter("net.busy_rejects")),
+            Some(reg) => (
+                reg.gauge(names::NET_CONNS_OPEN),
+                reg.counter(names::NET_BUSY_REJECTS),
+            ),
             None => (Gauge::new(), Counter::new()),
         };
         let shared = Arc::new(ServerShared {
@@ -611,7 +615,7 @@ pub fn metrics_dump_response(obs: &Obs, metrics_start: u64, spans_start: u64) ->
     // that lost history also reports it: a ring that wrapped past a
     // reader's cursor must never present a complete-looking trace.
     obs.registry()
-        .counter("trace.dropped_spans")
+        .counter(names::TRACE_DROPPED_SPANS)
         .set(obs.ring().dropped_total());
     let snapshot = obs.registry().snapshot();
     let total_metrics = snapshot.len() as u64;
@@ -941,7 +945,7 @@ impl Pangead {
             .filter_map(|id| self.node.get_set_by_id(id))
             .map(|set| set.bytes_on_disk())
             .sum();
-        reg.gauge("mem.share_bytes").set(share_bytes);
+        reg.gauge(names::MEM_SHARE_BYTES).set(share_bytes);
         // Clone the session handles out first: the outer map locks are
         // never held while a session lock (which appends hold across
         // disk I/O) is taken.
@@ -952,21 +956,24 @@ impl Pangead {
             .map(|s| s.lock().bytes)
             .chain(ingests.iter().map(|s| s.lock().bytes))
             .sum();
-        reg.gauge("mem.session_bytes").set(session_bytes);
-        reg.gauge("pool.peers").set(self.peers.lock().len() as u64);
+        reg.gauge(names::MEM_SESSION_BYTES).set(session_bytes);
+        reg.gauge(names::POOL_PEERS)
+            .set(self.peers.lock().len() as u64);
         // The tiered-memory signals: pin hits/misses and spill volume as
         // counters (the scrape loop computes rates), pool residency as
         // gauges — `paging.pool_used_bytes ≤ paging.pool_capacity_bytes`
         // is the bounded-memory claim in one comparison.
         let p = self.node.paging_stats();
-        reg.counter("paging.hits").set(p.hits);
-        reg.counter("paging.misses").set(p.misses);
-        reg.counter("paging.evictions").set(p.evictions);
-        reg.counter("paging.spill_bytes").set(p.spill_bytes);
-        reg.gauge("paging.pool_used_bytes").set(p.pool_used);
-        reg.gauge("paging.pool_capacity_bytes").set(p.pool_capacity);
-        reg.gauge("paging.resident_pages").set(p.resident_pages);
-        reg.gauge("paging.pinned_pages").set(p.pinned_pages);
+        reg.counter(names::PAGING_HITS).set(p.hits);
+        reg.counter(names::PAGING_MISSES).set(p.misses);
+        reg.counter(names::PAGING_EVICTIONS).set(p.evictions);
+        reg.counter(names::PAGING_SPILL_BYTES).set(p.spill_bytes);
+        reg.gauge(names::PAGING_POOL_USED_BYTES).set(p.pool_used);
+        reg.gauge(names::PAGING_POOL_CAPACITY_BYTES)
+            .set(p.pool_capacity);
+        reg.gauge(names::PAGING_RESIDENT_PAGES)
+            .set(p.resident_pages);
+        reg.gauge(names::PAGING_PINNED_PAGES).set(p.pinned_pages);
     }
 
     /// Handles one request, turning node errors into [`Response::Err`].
@@ -984,9 +991,8 @@ impl Pangead {
     fn handle_full(&self, req: Request, ctx: Option<TraceCtx>, req_bytes: usize) -> Response {
         let op = req.name();
         let reg = self.obs.registry();
-        reg.counter(&format!("rpc.count.{op}")).inc();
-        reg.counter(&format!("rpc.bytes.{op}"))
-            .add(req_bytes as u64);
+        reg.counter(&names::rpc_count(op)).inc();
+        reg.counter(&names::rpc_bytes(op)).add(req_bytes as u64);
         let child = ctx.map(|c| TraceCtx {
             job: c.job,
             span: pangea_obs::next_span_id(),
@@ -997,7 +1003,7 @@ impl Pangead {
             Err(e) => error_response(&e),
         };
         let end = self.obs.now_ns();
-        reg.histogram(&format!("rpc.latency_ns.{op}"))
+        reg.histogram(&names::rpc_latency_ns(op))
             .observe(end.saturating_sub(start));
         if let (Some(ctx), Some(child)) = (ctx, child) {
             self.obs.ring().record(SpanRecord {
@@ -1132,9 +1138,9 @@ impl Pangead {
                 self.ingests.lock().remove(&set);
                 self.ingests_ended.lock().remove(&set);
                 let reg = self.obs.registry();
-                reg.gauge("sessions.repair.live")
+                reg.gauge(names::SESSIONS_REPAIR_LIVE)
                     .set(self.repairs.lock().len() as u64);
-                reg.gauge("sessions.ingest.live")
+                reg.gauge(names::SESSIONS_INGEST_LIVE)
                     .set(self.ingests.lock().len() as u64);
                 if let Some(set) = self.node.get_set(&set) {
                     self.node.drop_set(set.id())?;
@@ -1294,8 +1300,8 @@ impl Pangead {
                     repairs.len()
                 };
                 let reg = self.obs.registry();
-                reg.counter("sessions.repair.begun").inc();
-                reg.gauge("sessions.repair.live").set(live as u64);
+                reg.counter(names::SESSIONS_REPAIR_BEGUN).inc();
+                reg.gauge(names::SESSIONS_REPAIR_LIVE).set(live as u64);
                 Ok(Response::Ok)
             }
             Request::RecoverAppend { set, records } => {
@@ -1318,7 +1324,7 @@ impl Pangead {
                 // proceed in parallel.
                 let mut session = session.lock();
                 let mut writer = target.writer();
-                let replays = self.obs.registry().counter("repair.dedup_hits");
+                let replays = self.obs.registry().counter(names::REPAIR_DEDUP_HITS);
                 let (mut appended, mut bytes) = (0u64, 0u64);
                 for rec in &records {
                     self.stats.record_net(rec.len());
@@ -1368,8 +1374,8 @@ impl Pangead {
                     .lock()
                     .insert(set, (session.appended, session.bytes));
                 let reg = self.obs.registry();
-                reg.counter("sessions.repair.ended").inc();
-                reg.gauge("sessions.repair.live")
+                reg.counter(names::SESSIONS_REPAIR_ENDED).inc();
+                reg.gauge(names::SESSIONS_REPAIR_LIVE)
                     .set(self.repairs.lock().len() as u64);
                 Ok(Response::RepairAck {
                     appended: session.appended,
@@ -1450,8 +1456,8 @@ impl Pangead {
                     ingests.len()
                 };
                 let reg = self.obs.registry();
-                reg.counter("sessions.ingest.begun").inc();
-                reg.gauge("sessions.ingest.live").set(live as u64);
+                reg.counter(names::SESSIONS_INGEST_BEGUN).inc();
+                reg.gauge(names::SESSIONS_INGEST_LIVE).set(live as u64);
                 Ok(Response::Ok)
             }
             Request::IngestAppend { set, entries } => {
@@ -1507,8 +1513,8 @@ impl Pangead {
                 };
                 self.ingests_ended.lock().insert(set, (appended, bytes));
                 let reg = self.obs.registry();
-                reg.counter("sessions.ingest.ended").inc();
-                reg.gauge("sessions.ingest.live")
+                reg.counter(names::SESSIONS_INGEST_ENDED).inc();
+                reg.gauge(names::SESSIONS_INGEST_LIVE)
                     .set(self.ingests.lock().len() as u64);
                 Ok(Response::IngestAck {
                     appended,
@@ -1559,16 +1565,16 @@ impl Pangead {
     fn checkout_peer(&self, addr: &str) -> Result<PangeaClient> {
         if let Some(client) = self.peers.lock().remove(addr) {
             let reg = self.obs.registry();
-            reg.counter("pool.checkouts").inc();
-            reg.counter("pool.hits").inc();
+            reg.counter(names::POOL_CHECKOUTS).inc();
+            reg.counter(names::POOL_HITS).inc();
             return Ok(client);
         }
-        self.obs.registry().counter("pool.dials").inc();
+        self.obs.registry().counter(names::POOL_DIALS).inc();
         let client = self.dial_peer(addr)?;
         // Counted only once the connection exists: a failed dial hands
         // the caller nothing, so it must not look like a checkout that
         // never came back.
-        self.obs.registry().counter("pool.checkouts").inc();
+        self.obs.registry().counter(names::POOL_CHECKOUTS).inc();
         Ok(client)
     }
 
@@ -1589,7 +1595,7 @@ impl Pangead {
             self.discard_peer(client);
             return;
         }
-        self.obs.registry().counter("pool.checkins").inc();
+        self.obs.registry().counter(names::POOL_CHECKINS).inc();
         // An idle pooled connection must never carry a stale job's
         // trace context into whatever checks it out next.
         client.set_trace(None);
@@ -1598,7 +1604,7 @@ impl Pangead {
             if let Some(victim) = peers.keys().next().cloned() {
                 peers.remove(&victim);
             }
-            self.obs.registry().counter("pool.evictions").inc();
+            self.obs.registry().counter(names::POOL_EVICTIONS).inc();
         }
         peers.insert(addr.to_string(), client);
     }
@@ -1608,7 +1614,7 @@ impl Pangead {
     /// cannot forget the counter without also forgetting to close.
     fn discard_peer(&self, client: PangeaClient) {
         drop(client);
-        self.obs.registry().counter("pool.drops").inc();
+        self.obs.registry().counter(names::POOL_DROPS).inc();
     }
 
     /// The mapper half of the distributed map-shuffle: scan the local
@@ -1737,9 +1743,7 @@ impl Pangead {
                     }
                 }
             }
-            let dests: Vec<u32> = batches.keys().copied().collect();
-            for dest in dests {
-                let (entries, _) = batches.remove(&dest).expect("key just listed");
+            for (dest, (entries, _)) in std::mem::take(&mut batches) {
                 if entries.is_empty() {
                     continue;
                 }
@@ -1754,23 +1758,26 @@ impl Pangead {
             // in flight on it.
             let addrs: Vec<String> = conns.keys().cloned().collect();
             for addr in addrs {
-                loop {
-                    let peer = conns.get_mut(&addr).expect("key just listed");
-                    if peer.inflight.is_empty() {
-                        break;
-                    }
-                    match self.await_ingest_ack(peer) {
-                        Ok((a, b)) => {
-                            report.appended += a;
-                            report.appended_bytes += b;
-                        }
-                        Err(e) => {
-                            if let Some(peer) = conns.remove(&addr) {
-                                self.discard_peer(peer.client);
+                let mut failed = None;
+                if let Some(peer) = conns.get_mut(&addr) {
+                    while !peer.inflight.is_empty() {
+                        match self.await_ingest_ack(peer) {
+                            Ok((a, b)) => {
+                                report.appended += a;
+                                report.appended_bytes += b;
                             }
-                            return Err(e);
+                            Err(e) => {
+                                failed = Some(e);
+                                break;
+                            }
                         }
                     }
+                }
+                if let Some(e) = failed {
+                    if let Some(peer) = conns.remove(&addr) {
+                        self.discard_peer(peer.client);
+                    }
+                    return Err(e);
                 }
             }
             Ok(())
@@ -1893,7 +1900,7 @@ impl Pangead {
             PangeaError::usage(format!("no ingest session for '{set}'; IngestBegin first"))
         })?;
         let mut session = session.lock();
-        let dedup = self.obs.registry().counter("ingest.dedup_hits");
+        let dedup = self.obs.registry().counter(names::INGEST_DEDUP_HITS);
         let outcome = (|| -> Result<(u64, u64)> {
             let IngestSession { seen, reduce, .. } = &mut *session;
             let (mut appended, mut bytes) = (0u64, 0u64);
@@ -1982,15 +1989,18 @@ impl Pangead {
         window: u32,
         ctx: Option<TraceCtx>,
     ) -> Result<(u64, u64)> {
-        if !conns.contains_key(addr) {
-            // Fan-out propagation: every ingest RPC this task sends
-            // carries `(job, the TaskRun's span)`, so the destination's
-            // span records stitch under the task that produced them.
-            let mut conn = self.checkout_peer(addr)?;
-            conn.set_trace(ctx);
-            conns.insert(addr.to_string(), PipelinedPeer::new(conn));
-        }
-        let peer = conns.get_mut(addr).expect("just ensured");
+        let peer = match conns.entry(addr.to_string()) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => {
+                // Fan-out propagation: every ingest RPC this task sends
+                // carries `(job, the TaskRun's span)`, so the
+                // destination's span records stitch under the task that
+                // produced them.
+                let mut conn = self.checkout_peer(addr)?;
+                conn.set_trace(ctx);
+                v.insert(PipelinedPeer::new(conn))
+            }
+        };
         match self.pipelined_ingest_step(peer, output, entries, window) {
             Ok(acked) => Ok(acked),
             Err(e) => {
@@ -2023,14 +2033,14 @@ impl Pangead {
             appended += a;
             bytes += b;
             if credit_limited {
-                reg.counter("net.credit_stalls").inc();
-                reg.counter("net.credit_stalls_ms")
+                reg.counter(names::NET_CREDIT_STALLS).inc();
+                reg.counter(names::NET_CREDIT_STALLS_MS)
                     .add(start.elapsed().as_millis() as u64);
             }
         }
         let (corr, payload_bytes) = peer.client.ingest_append_submit(output, entries)?;
         peer.inflight.push_back((corr, payload_bytes));
-        reg.histogram("net.inflight")
+        reg.histogram(names::NET_INFLIGHT)
             .observe(peer.inflight.len() as u64);
         Ok((appended, bytes))
     }
@@ -2039,10 +2049,11 @@ impl Pangead {
     /// receiver's fresh credit grant. Returns the acked `(appended,
     /// appended_bytes)`.
     fn await_ingest_ack(&self, peer: &mut PipelinedPeer) -> Result<(u64, u64)> {
-        let (corr, payload_bytes) = peer
-            .inflight
-            .pop_front()
-            .expect("caller checked inflight is non-empty");
+        // Nothing in flight means nothing to await — a no-op, not a
+        // panic, so callers can drain unconditionally.
+        let Some((corr, payload_bytes)) = peer.inflight.pop_front() else {
+            return Ok((0, 0));
+        };
         let (appended, bytes, credit) = peer.client.ingest_append_await(corr, payload_bytes)?;
         peer.credit = credit;
         Ok((appended, bytes))
@@ -2159,22 +2170,26 @@ impl Pangead {
                     }
                     let credit_limited = effective < configured as usize;
                     let start = Instant::now();
-                    let (corr, payload_bytes) =
-                        inflight.pop_front().expect("non-empty: len >= effective");
+                    // `inflight.len() >= effective >= 1` here, but an
+                    // empty queue just means the credit wait is over.
+                    let Some((corr, payload_bytes)) = inflight.pop_front() else {
+                        break;
+                    };
                     let (a, b, c) = peer.recover_append_await(corr, payload_bytes)?;
                     appended += a;
                     appended_bytes += b;
                     credit = c;
                     if credit_limited {
-                        reg.counter("net.credit_stalls").inc();
-                        reg.counter("net.credit_stalls_ms")
+                        reg.counter(names::NET_CREDIT_STALLS).inc();
+                        reg.counter(names::NET_CREDIT_STALLS_MS)
                             .add(start.elapsed().as_millis() as u64);
                     }
                 }
                 let (corr, payload_bytes) =
                     peer.recover_append_submit(target_set, std::mem::take(batch))?;
                 inflight.push_back((corr, payload_bytes));
-                reg.histogram("net.inflight").observe(inflight.len() as u64);
+                reg.histogram(names::NET_INFLIGHT)
+                    .observe(inflight.len() as u64);
                 *batch_bytes = 0;
                 Ok(())
             };

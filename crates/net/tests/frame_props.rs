@@ -667,6 +667,37 @@ proptest! {
         });
     }
 
+    /// Every manager catalog/statistics request — including the
+    /// payload-free ones — survives the frame trip byte-identically.
+    #[test]
+    fn manager_catalog_requests_roundtrip_through_frames(
+        name in prop::collection::vec(any::<u8>(), 0..32),
+        other in prop::collection::vec(any::<u8>(), 0..32),
+        objects in any::<u64>(),
+        bytes in any::<u64>(),
+        group in any::<u64>(),
+    ) {
+        roundtrip_req(Request::MgrListWorkers);
+        roundtrip_req(Request::MgrDeregisterSet { name: ident(&name) });
+        roundtrip_req(Request::MgrEntry { name: ident(&name) });
+        roundtrip_req(Request::MgrSetNames);
+        roundtrip_req(Request::MgrAddStats {
+            name: ident(&name),
+            objects,
+            bytes,
+        });
+        roundtrip_req(Request::MgrLinkReplicas {
+            a: ident(&name),
+            b: ident(&other),
+        });
+        roundtrip_req(Request::MgrGroupMembers { group });
+        roundtrip_req(Request::MgrGroups);
+        roundtrip_req(Request::MgrBestReplica {
+            set: ident(&name),
+            key: ident(&other),
+        });
+    }
+
     /// A trace context survives the trip on any request, and every
     /// untraced (pre-envelope) frame decodes with `None` — the trailer
     /// is strictly additive.

@@ -21,7 +21,7 @@
 //! zero) must clamp to zero, never underflow, and that contract is unit
 //! tested independently of any store.
 
-use crate::{quantile_from_buckets, MetricSnapshot, MetricValue, SpanRecord};
+use crate::{names, quantile_from_buckets, MetricSnapshot, MetricValue, SpanRecord};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -134,10 +134,10 @@ impl ScrapeStore {
         let mut latency: Option<(u64, u64, Vec<u64>)> = None;
         for m in metrics {
             match (&m.value, m.name.as_str()) {
-                (MetricValue::Counter(v), name) if name.starts_with("rpc.count.") => {
+                (MetricValue::Counter(v), name) if name.starts_with(names::RPC_COUNT_PREFIX) => {
                     rpc_count = rpc_count.wrapping_add(*v);
                 }
-                (MetricValue::Counter(v), name) if name.starts_with("rpc.bytes.") => {
+                (MetricValue::Counter(v), name) if name.starts_with(names::RPC_BYTES_PREFIX) => {
                     rpc_bytes = rpc_bytes.wrapping_add(*v);
                 }
                 (
@@ -147,7 +147,7 @@ impl ScrapeStore {
                         buckets,
                     },
                     name,
-                ) if name.starts_with("rpc.latency_ns.") => {
+                ) if name.starts_with(names::RPC_LATENCY_NS_PREFIX) => {
                     let (tc, ts, tb) = latency.get_or_insert((0, 0, Vec::new()));
                     *tc = tc.wrapping_add(*count);
                     *ts = ts.wrapping_add(*sum);
